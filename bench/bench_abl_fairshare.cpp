@@ -1,0 +1,65 @@
+// Ablation A3 (DESIGN.md §3.2): max-min fair sharing vs naive equal split.
+//
+// A naive model divides each capacity by its flow count independently,
+// wasting the share of flows that are bottlenecked elsewhere. Progressive
+// filling gives unbottlenecked flows the slack. This harness quantifies
+// the difference on a contention pattern typical of an NFS server: one
+// slow client plus several fast readers.
+
+#include <cstdio>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+using namespace wfs;
+
+/// One slow flow (through a narrow extra link) and N fast flows sharing a
+/// server NIC. Returns the finish time of the last fast flow.
+double runScenario(bool modelNarrowLink) {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  net::Capacity serverNic{net, MBps(100), "server.tx"};
+  net::Capacity narrow{net, MBps(5), "slow-client"};
+  std::vector<double> finishes(5, -1);
+  auto timed = [](sim::Simulator& s, net::FlowNetwork& n, net::Path p, Bytes b,
+                  double& out) -> sim::Task<void> {
+    co_await n.transfer(std::move(p), b);
+    out = s.now().asSeconds();
+  };
+  // The slow client drags 100 MB through both links.
+  net::Path slowPath{{&serverNic, 1.0}};
+  if (modelNarrowLink) slowPath.push_back({&narrow, 1.0});
+  sim.spawn(timed(sim, net, slowPath, 100_MB, finishes[0]));
+  // Four fast clients read 200 MB each.
+  for (int i = 1; i < 5; ++i) {
+    sim.spawn(timed(sim, net, {{&serverNic, 1.0}}, 200_MB, finishes[i]));
+  }
+  sim.run();
+  double last = 0;
+  for (int i = 1; i < 5; ++i) last = std::max(last, finishes[i]);
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A3: max-min fair share vs equal split ===\n");
+  // With max-min, the slow client is pinned at 5 MB/s and the fast flows
+  // share the remaining 95 MB/s. An equal split would cap everyone at
+  // 20 MB/s while the slow client can only use 5 — wasting 15 MB/s.
+  const double fair = runScenario(true);
+  // Reference: without the narrow link, flows split the NIC evenly; this is
+  // what a naive equal-split model would predict for the fast flows.
+  const double naiveEstimate = 800.0 / 95.0;  // 4 x 200 MB at 95 MB/s aggregate
+  std::printf("  fast-flow completion, max-min model:    %6.2f s\n", fair);
+  std::printf("  analytic max-min expectation:           %6.2f s\n", naiveEstimate);
+  std::printf("  naive equal-split prediction:           %6.2f s\n",
+              200.0 / 20.0 + 600.0 / 95.0);  // first finishes at 10s, then reshare
+  const bool ok = fair < 9.0;  // equal split would leave them at ~ >9.4 s
+  std::printf("  shape max-min reclaims the slow client's unused share          %s\n",
+              ok ? "[PASS]" : "[FAIL]");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Ablation A1 (DESIGN.md §3.3): the ephemeral-disk first-write penalty.
+//
+// The paper calls the first-write penalty "one of the major factors
+// inhibiting storage performance on EC2" and notes it is unique to this
+// platform (§VIII). Toggling it off models running the same experiment on
+// a cloud without the penalty.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const double scale = benchScale() * 0.5;
+  std::printf("=== Ablation A1: first-write penalty on/off (scale %.2f) ===\n", scale);
+
+  ExperimentConfig cfg;
+  cfg.app = App::kMontage;
+  cfg.storage = StorageKind::kGlusterNufa;
+  cfg.workerNodes = 2;
+  cfg.appScale = scale;
+
+  cfg.firstWritePenalty = true;
+  std::fprintf(stderr, "  running with penalty...\n");
+  const auto with = wfs::analysis::runExperiment(cfg);
+  cfg.firstWritePenalty = false;
+  std::fprintf(stderr, "  running without penalty...\n");
+  const auto without = wfs::analysis::runExperiment(cfg);
+
+  std::printf("  with penalty:    %8.0f s\n", with.makespanSeconds);
+  std::printf("  without penalty: %8.0f s   (%.0f%% faster)\n", without.makespanSeconds,
+              100.0 * (1.0 - without.makespanSeconds / with.makespanSeconds));
+  bool ok = shapeCheck("removing the penalty speeds up the I/O-bound workflow",
+                       without.makespanSeconds < with.makespanSeconds * 0.97);
+  return ok ? 0 : 1;
+}

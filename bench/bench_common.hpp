@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+
+namespace wfs::bench {
+
+using analysis::App;
+using analysis::ExperimentConfig;
+using analysis::ExperimentResult;
+using analysis::Series;
+using analysis::StorageKind;
+
+/// The storage systems of Figs 2-7, in the paper's plotting order. Local
+/// appears only at one node; GlusterFS/PVFS only from two nodes up.
+inline const std::vector<StorageKind>& figureSystems() {
+  static const std::vector<StorageKind> kinds{
+      StorageKind::kLocal,       StorageKind::kS3,
+      StorageKind::kNfs,         StorageKind::kGlusterNufa,
+      StorageKind::kGlusterDist, StorageKind::kPvfs,
+  };
+  return kinds;
+}
+
+inline const std::vector<int>& figureNodeCounts() {
+  static const std::vector<int> nodes{1, 2, 4, 8};
+  return nodes;
+}
+
+inline bool validCell(StorageKind kind, int nodes) {
+  if (kind == StorageKind::kLocal) return nodes == 1;
+  if (kind == StorageKind::kGlusterNufa || kind == StorageKind::kGlusterDist ||
+      kind == StorageKind::kPvfs) {
+    return nodes >= 2;
+  }
+  return true;
+}
+
+/// Workload scale taken from WFS_BENCH_SCALE (default 1.0 = the published
+/// workload). Smaller values shrink the workflows proportionally for quick
+/// smoke runs of the harness itself.
+inline double benchScale() {
+  if (const char* env = std::getenv("WFS_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+struct SweepResult {
+  std::map<std::pair<int, int>, ExperimentResult> cells;  // (kindIdx, nodes)
+
+  [[nodiscard]] const ExperimentResult* cell(std::size_t kindIdx, int nodes) const {
+    auto it = cells.find({static_cast<int>(kindIdx), nodes});
+    return it == cells.end() ? nullptr : &it->second;
+  }
+};
+
+/// Runs app x {systems} x {node counts}; skips invalid cells.
+inline SweepResult runSweep(App app, double scale) {
+  SweepResult out;
+  const auto& kinds = figureSystems();
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    for (const int n : figureNodeCounts()) {
+      if (!validCell(kinds[k], n)) continue;
+      ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.storage = kinds[k];
+      cfg.workerNodes = n;
+      cfg.appScale = scale;
+      std::fprintf(stderr, "  running %s / %s / %d nodes...\n", toString(app),
+                   toString(kinds[k]), n);
+      out.cells.emplace(std::make_pair(static_cast<int>(k), n),
+                        analysis::runExperiment(cfg));
+    }
+  }
+  return out;
+}
+
+enum class Metric { kRuntime, kCostHourly, kCostPerSecond };
+
+inline std::vector<Series> toSeries(const SweepResult& sweep, Metric metric) {
+  std::vector<Series> out;
+  const auto& kinds = figureSystems();
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    Series s;
+    s.label = toString(kinds[k]);
+    for (const int n : figureNodeCounts()) {
+      const ExperimentResult* r = sweep.cell(k, n);
+      if (r == nullptr) {
+        s.values.push_back(std::nan(""));
+      } else {
+        switch (metric) {
+          case Metric::kRuntime: s.values.push_back(r->makespanSeconds); break;
+          case Metric::kCostHourly: s.values.push_back(r->cost.totalHourly()); break;
+          case Metric::kCostPerSecond: s.values.push_back(r->cost.totalPerSecond()); break;
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+inline std::vector<std::string> nodeLabels() {
+  std::vector<std::string> out;
+  for (const int n : figureNodeCounts()) {
+    out.push_back(std::to_string(n) + (n == 1 ? " node" : " nodes"));
+  }
+  return out;
+}
+
+/// Prints PASS/FAIL for a named shape expectation; returns pass.
+inline bool shapeCheck(const char* what, bool ok) {
+  std::printf("  shape %-66s %s\n", what, ok ? "[PASS]" : "[FAIL]");
+  return ok;
+}
+
+}  // namespace wfs::bench

@@ -1,0 +1,65 @@
+// Extension E2: what if the single-node experiments had used EBS volumes
+// instead of ephemeral disks?
+//
+// The paper's §VIII headline is that the ephemeral-disk first-write penalty
+// is "one of the major factors inhibiting storage performance on EC2" and
+// "unique to this execution platform". 2010 EBS volumes had no such
+// penalty but ran network-attached at much lower throughput and charged
+// per-I/O fees. This bench quantifies the trade for each application on
+// one node.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const double scale = benchScale();
+  std::printf("=== Extension E2: ephemeral RAID-0 vs EBS volume, 1 node (scale %.2f) ===\n",
+              scale);
+
+  bool ok = true;
+  std::printf("  %-11s %14s %14s %12s\n", "app", "ephemeral [s]", "ebs [s]", "ebs I/O fee");
+  double montageLocal = 0, montageEbs = 0, epiLocal = 0, epiEbs = 0;
+  double bbLocal = 0, bbEbs = 0;
+  for (const App app : {App::kMontage, App::kBroadband, App::kEpigenome}) {
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.workerNodes = 1;
+    cfg.appScale = scale;
+    cfg.storage = StorageKind::kLocal;
+    std::fprintf(stderr, "  running %s / local...\n", toString(app));
+    const auto local = wfs::analysis::runExperiment(cfg);
+    cfg.storage = StorageKind::kEbs;
+    std::fprintf(stderr, "  running %s / ebs...\n", toString(app));
+    const auto ebs = wfs::analysis::runExperiment(cfg);
+    std::printf("  %-11s %14.0f %14.0f %11.2f$\n", toString(app), local.makespanSeconds,
+                ebs.makespanSeconds, ebs.cost.extraFees);
+    if (app == App::kMontage) {
+      montageLocal = local.makespanSeconds;
+      montageEbs = ebs.makespanSeconds;
+    }
+    if (app == App::kBroadband) {
+      bbLocal = local.makespanSeconds;
+      bbEbs = ebs.makespanSeconds;
+    }
+    if (app == App::kEpigenome) {
+      epiLocal = local.makespanSeconds;
+      epiEbs = ebs.makespanSeconds;
+    }
+  }
+
+  // The trade cuts both ways: Montage's scattered small-file writes are
+  // dominated by the first-write penalty, so penalty-free EBS wins big;
+  // Broadband streams gigabytes per task and hits the volume's bandwidth
+  // ceiling; CPU-bound Epigenome barely notices the swap. Together these
+  // support the paper's §VIII conjecture that the penalty is the platform's
+  // major storage handicap — for exactly the workloads it hurt.
+  ok &= shapeCheck("EBS beats ephemeral for write-amplified Montage",
+                   montageEbs < montageLocal);
+  ok &= shapeCheck("ephemeral beats EBS for streaming-heavy Broadband",
+                   bbLocal < bbEbs);
+  ok &= shapeCheck("CPU-bound Epigenome nearly indifferent to the swap (<25%)",
+                   epiEbs < 1.25 * epiLocal);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Extension E1 (paper §VIII future work): "configurations in which files
+// can be transferred directly from one computational node to another".
+//
+// Runs Broadband (whose chained transformations reward locality most) on
+// the peer-to-peer option versus the best shared systems, with both the
+// paper's locality-blind scheduler and the data-aware one — quantifying
+// how much of a shared file system's cost is the sharing machinery itself.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const double scale = benchScale();
+  std::printf("=== Extension E1: direct node-to-node transfers (scale %.2f) ===\n", scale);
+
+  ExperimentConfig cfg;
+  cfg.app = App::kBroadband;
+  cfg.workerNodes = 4;
+  cfg.appScale = scale;
+
+  struct Row {
+    const char* label;
+    StorageKind kind;
+    bool dataAware;
+  };
+  const Row rows[] = {
+      {"gluster-nufa", StorageKind::kGlusterNufa, false},
+      {"s3", StorageKind::kS3, false},
+      {"p2p (blind)", StorageKind::kP2p, false},
+      {"p2p (data-aware)", StorageKind::kP2p, true},
+  };
+
+  double nufa = 0, s3 = 0, p2pBlind = 0, p2pAware = 0;
+  for (const Row& row : rows) {
+    cfg.storage = row.kind;
+    cfg.dataAwareScheduling = row.dataAware;
+    std::fprintf(stderr, "  running %s...\n", row.label);
+    const auto r = wfs::analysis::runExperiment(cfg);
+    std::printf("  %-18s %8.0f s   local-reads %llu remote %llu\n", row.label,
+                r.makespanSeconds,
+                static_cast<unsigned long long>(r.storageMetrics.localReads),
+                static_cast<unsigned long long>(r.storageMetrics.remoteReads));
+    if (row.kind == StorageKind::kGlusterNufa) nufa = r.makespanSeconds;
+    if (row.kind == StorageKind::kS3) s3 = r.makespanSeconds;
+    if (row.kind == StorageKind::kP2p && !row.dataAware) p2pBlind = r.makespanSeconds;
+    if (row.kind == StorageKind::kP2p && row.dataAware) p2pAware = r.makespanSeconds;
+  }
+
+  bool ok = true;
+  ok &= shapeCheck("p2p is competitive with the best shared system (within 15%)",
+                   p2pBlind <= std::min(nufa, s3) * 1.15);
+  ok &= shapeCheck("data-aware scheduling helps p2p (or at worst is neutral)",
+                   p2pAware <= p2pBlind * 1.02);
+  return ok ? 0 : 1;
+}

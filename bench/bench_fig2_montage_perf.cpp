@@ -1,0 +1,43 @@
+// Fig 2 reproduction: Montage makespan per storage system and cluster size.
+//
+// Paper shape: GlusterFS (both modes) clearly best; NFS does relatively
+// well (even beating local disk on one node thanks to async writes into the
+// big-memory server); S3 and PVFS are the worst because Montage touches
+// ~29,000 small files.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const double scale = benchScale();
+  std::printf("=== Fig 2: Montage performance (scale %.2f) ===\n", scale);
+  const SweepResult sweep = runSweep(App::kMontage, scale);
+  const auto series = toSeries(sweep, Metric::kRuntime);
+  std::printf("%s\n",
+              wfs::analysis::renderTable("Montage runtime", nodeLabels(), series, "seconds")
+                  .c_str());
+
+  // Indices into figureSystems(): 0 local, 1 s3, 2 nfs, 3 nufa, 4 dist, 5 pvfs.
+  const auto* s3_4 = sweep.cell(1, 4);
+  const auto* nfs_1 = sweep.cell(2, 1);
+  const auto* nfs_4 = sweep.cell(2, 4);
+  const auto* nufa_4 = sweep.cell(3, 4);
+  const auto* dist_4 = sweep.cell(4, 4);
+  const auto* pvfs_4 = sweep.cell(5, 4);
+  const auto* local_1 = sweep.cell(0, 1);
+
+  bool ok = true;
+  ok &= shapeCheck("GlusterFS (NUFA) beats NFS at 4 nodes",
+                   nufa_4->makespanSeconds < nfs_4->makespanSeconds);
+  ok &= shapeCheck("GlusterFS (distribute) beats NFS at 4 nodes",
+                   dist_4->makespanSeconds < nfs_4->makespanSeconds);
+  ok &= shapeCheck("S3 worse than GlusterFS (NUFA) at 4 nodes",
+                   s3_4->makespanSeconds > nufa_4->makespanSeconds);
+  ok &= shapeCheck("PVFS worse than GlusterFS (NUFA) at 4 nodes",
+                   pvfs_4->makespanSeconds > nufa_4->makespanSeconds);
+  ok &= shapeCheck("NFS beats local disk on a single node (async + big RAM)",
+                   nfs_1->makespanSeconds < local_1->makespanSeconds);
+  return ok ? 0 : 1;
+}

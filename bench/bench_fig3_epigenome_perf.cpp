@@ -1,0 +1,52 @@
+// Fig 3 reproduction: Epigenome makespan per storage system and cluster
+// size.
+//
+// Paper shape: the application is CPU-bound, so the choice of storage
+// system barely matters — all systems land close together, S3 and PVFS
+// slightly worse — and the local disk beats NFS on one node (unlike
+// Montage). Runtime drops steeply with added nodes.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const double scale = benchScale();
+  std::printf("=== Fig 3: Epigenome performance (scale %.2f) ===\n", scale);
+  const SweepResult sweep = runSweep(App::kEpigenome, scale);
+  const auto series = toSeries(sweep, Metric::kRuntime);
+  std::printf(
+      "%s\n",
+      wfs::analysis::renderTable("Epigenome runtime", nodeLabels(), series, "seconds")
+          .c_str());
+
+  const auto* local_1 = sweep.cell(0, 1);
+  const auto* s3_1 = sweep.cell(1, 1);
+  const auto* nfs_1 = sweep.cell(2, 1);
+  const auto* nfs_8 = sweep.cell(2, 8);
+  const auto* s3_4 = sweep.cell(1, 4);
+  const auto* nfs_4 = sweep.cell(2, 4);
+  const auto* nufa_4 = sweep.cell(3, 4);
+  const auto* dist_4 = sweep.cell(4, 4);
+  const auto* pvfs_4 = sweep.cell(5, 4);
+
+  bool ok = true;
+  ok &= shapeCheck("local disk beats NFS on one node (CPU-bound app)",
+                   local_1->makespanSeconds < nfs_1->makespanSeconds);
+  // Spread between best and worst system at 4 nodes stays narrow (<35 %).
+  const double best4 = std::min({s3_4->makespanSeconds, nfs_4->makespanSeconds,
+                                 nufa_4->makespanSeconds, dist_4->makespanSeconds,
+                                 pvfs_4->makespanSeconds});
+  const double worst4 = std::max({s3_4->makespanSeconds, nfs_4->makespanSeconds,
+                                  nufa_4->makespanSeconds, dist_4->makespanSeconds,
+                                  pvfs_4->makespanSeconds});
+  ok &= shapeCheck("storage choice has small impact at 4 nodes (<35% spread)",
+                   worst4 / best4 < 1.35);
+  ok &= shapeCheck("S3 slightly worse than GlusterFS at 4 nodes",
+                   s3_4->makespanSeconds > nufa_4->makespanSeconds);
+  ok &= shapeCheck("adding nodes gives near-linear speedup (1 -> 8 nodes > 4x)",
+                   s3_1->makespanSeconds / nfs_8->makespanSeconds > 4.0);
+  return ok ? 0 : 1;
+}

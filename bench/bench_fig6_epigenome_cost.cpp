@@ -1,0 +1,49 @@
+// Fig 6 reproduction: Epigenome cost under both charging models.
+//
+// Paper shape: the cheapest configuration is a single node with the local
+// disk; the spread between storage systems is small because the
+// application is CPU-bound.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_cost_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const SweepResult sweep = runCostFigure(App::kEpigenome, "Fig 6", "Epigenome");
+
+  bool ok = commonCostChecks(sweep);
+  double best = 1e18;
+  std::size_t bestKind = 0;
+  int bestNodes = 0;
+  for (std::size_t k = 0; k < figureSystems().size(); ++k) {
+    for (const int n : figureNodeCounts()) {
+      const auto* r = sweep.cell(k, n);
+      if (r != nullptr && r->cost.totalPerSecond() < best) {
+        best = r->cost.totalPerSecond();
+        bestKind = k;
+        bestNodes = n;
+      }
+    }
+  }
+  std::printf("cheapest (per-second): %s at %d nodes, $%.3f\n",
+              toString(figureSystems()[bestKind]), bestNodes, best);
+  ok &= shapeCheck("cheapest Epigenome configuration is local disk on one node",
+                   figureSystems()[bestKind] == StorageKind::kLocal && bestNodes == 1);
+
+  // Small cost spread between storage options at 4 nodes (CPU-bound).
+  const double s3 = sweep.cell(1, 4)->cost.totalPerSecond();
+  const double nfsNoServer =
+      sweep.cell(2, 4)->cost.totalPerSecond();  // includes the extra node
+  const double nufa = sweep.cell(3, 4)->cost.totalPerSecond();
+  const double dist = sweep.cell(4, 4)->cost.totalPerSecond();
+  const double pvfs = sweep.cell(5, 4)->cost.totalPerSecond();
+  const double lo = std::min({s3, nufa, dist, pvfs});
+  const double hi = std::max({s3, nufa, dist, pvfs});
+  ok &= shapeCheck("cost spread between systems is small at 4 nodes (<35%)",
+                   hi / lo < 1.35);
+  ok &= shapeCheck("NFS costs more than GlusterFS at 4 nodes (extra node)",
+                   nfsNoServer > nufa);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Fig 7 reproduction: Broadband cost under both charging models.
+//
+// Paper shape: local disk, GlusterFS and S3 roughly tie for the lowest
+// cost; NFS is the costliest path (extra server node + poor scaling);
+// the only cells where adding nodes lowers cost are NFS 1 -> 2 (the
+// dedicated server's share of the bill shrinks).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_cost_common.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  const SweepResult sweep = runCostFigure(App::kBroadband, "Fig 7", "Broadband");
+
+  bool ok = commonCostChecks(sweep);
+
+  const double local1 = sweep.cell(0, 1)->cost.totalPerSecond();
+  const double s3best =
+      std::min({sweep.cell(1, 1)->cost.totalPerSecond(),
+                sweep.cell(1, 2)->cost.totalPerSecond(),
+                sweep.cell(1, 4)->cost.totalPerSecond()});
+  const double nufaBest = std::min({sweep.cell(3, 2)->cost.totalPerSecond(),
+                                    sweep.cell(3, 4)->cost.totalPerSecond()});
+  const double nfsBest =
+      std::min({sweep.cell(2, 1)->cost.totalPerSecond(),
+                sweep.cell(2, 2)->cost.totalPerSecond(),
+                sweep.cell(2, 4)->cost.totalPerSecond()});
+  std::printf("best per-second: local=%.3f s3=%.3f gluster-nufa=%.3f nfs=%.3f\n", local1,
+              s3best, nufaBest, nfsBest);
+  const double tieLo = std::min({local1, s3best, nufaBest});
+  const double tieHi = std::max({local1, s3best, nufaBest});
+  bool okTie = tieHi / tieLo < 1.4;
+  ok &= shapeCheck("local, GlusterFS and S3 roughly tie for lowest cost", okTie);
+  ok &= shapeCheck("NFS is more expensive than the tie group", nfsBest > tieHi * 0.99);
+
+  // NFS 1 -> 2 nodes is the paper's cost-reduction exception.
+  const double nfs1 = sweep.cell(2, 1)->cost.totalPerSecond();
+  const double nfs2 = sweep.cell(2, 2)->cost.totalPerSecond();
+  ok &= shapeCheck("NFS cost drops from 1 to 2 nodes (server cost amortized)",
+                   nfs2 < nfs1);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// M1: micro-benchmarks of the simulation substrate itself (google-benchmark).
+// Not a paper artifact — guards the kernel's event throughput and the flow
+// network's recompute cost, which bound how large an experiment we can run.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+using namespace wfs;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(sim::Duration::micros(i % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(10000)->Arg(100000);
+
+void BM_CoroutineSpawnResume(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.spawn([](sim::Simulator& s) -> sim::Task<void> {
+        co_await s.delay(sim::Duration::micros(1));
+        co_await s.delay(sim::Duration::micros(1));
+      }(sim));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineSpawnResume)->Arg(1000)->Arg(10000);
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Resource cores{sim, 8, "cores"};
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.spawn([](sim::Simulator& s, sim::Resource& r) -> sim::Task<void> {
+        auto lease = co_await r.scoped(1);
+        co_await s.delay(sim::Duration::millis(1));
+      }(sim, cores));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResourceContention)->Arg(1000);
+
+void BM_FlowNetworkReshare(benchmark::State& state) {
+  // Cost of running F concurrent flows over R shared capacities.
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FlowNetwork fn{sim};
+    std::vector<std::unique_ptr<net::Capacity>> caps;
+    for (int i = 0; i < 16; ++i) {
+      caps.push_back(std::make_unique<net::Capacity>(fn, MBps(100), "c"));
+    }
+    for (int i = 0; i < flows; ++i) {
+      net::Path p{{caps[static_cast<std::size_t>(i) % caps.size()].get(), 1.0},
+                  {caps[static_cast<std::size_t>(i + 7) % caps.size()].get(), 1.0}};
+      sim.spawn([](net::FlowNetwork& n, net::Path path) -> sim::Task<void> {
+        co_await n.transfer(std::move(path), 10_MB);
+      }(fn, p));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowNetworkReshare)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// §III.C reproduction: the ephemeral-disk / RAID-0 performance envelope.
+//
+// Paper numbers: first writes ~20 MB/s on one disk; RAID-0 first writes
+// 80-100 MB/s and subsequent writes 350-400 MB/s; reads ~110 MB/s single
+// disk and ~310 MB/s RAID; zero-initializing 50 GB takes ~42 minutes.
+
+#include <cstdio>
+
+#include "blk/disk.hpp"
+#include "blk/raid0.hpp"
+#include "net/flow_network.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+using namespace wfs;
+
+double timed(sim::Simulator& sim, sim::Task<void> t) {
+  double finish = -1;
+  const double t0 = sim.now().asSeconds();
+  sim.spawn([](sim::Simulator& s, sim::Task<void> inner, double& out) -> sim::Task<void> {
+    co_await std::move(inner);
+    out = s.now().asSeconds();
+  }(sim, std::move(t), finish));
+  sim.run();
+  return finish - t0;
+}
+
+double mbps(Bytes bytes, double seconds) {
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+bool check(const char* what, double value, double lo, double hi) {
+  const bool ok = value >= lo && value <= hi;
+  std::printf("  %-46s %7.1f MB/s   (paper: %.0f-%.0f)  %s\n", what, value, lo, hi,
+              ok ? "[PASS]" : "[FAIL]");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §III.C: ephemeral disk / RAID-0 envelope ===\n");
+  bool ok = true;
+  constexpr Bytes kProbe = 2_GB;
+
+  {  // single-disk first write
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Disk d{net, blk::Disk::Config{}, "d"};
+    ok &= check("single disk, first write", mbps(kProbe, timed(sim, d.writeAt(0, kProbe))),
+                17, 23);
+  }
+  {  // single-disk read
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Disk d{net, blk::Disk::Config{}, "d"};
+    d.initializeAll();
+    ok &= check("single disk, read", mbps(kProbe, timed(sim, d.read(kProbe))), 100, 120);
+  }
+  {  // RAID-0 first write
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Raid0 r{net, blk::Raid0::Config{}, "md0"};
+    ok &= check("RAID-0 (4 disks), first write", mbps(kProbe, timed(sim, r.write(kProbe))),
+                78, 102);
+  }
+  {  // RAID-0 subsequent write
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Raid0 r{net, blk::Raid0::Config{}, "md0"};
+    r.initializeAll();
+    ok &= check("RAID-0 (4 disks), subsequent write",
+                mbps(kProbe, timed(sim, r.write(kProbe))), 350, 400);
+  }
+  {  // RAID-0 read
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Raid0 r{net, blk::Raid0::Config{}, "md0"};
+    r.initializeAll();
+    ok &= check("RAID-0 (4 disks), read", mbps(kProbe, timed(sim, r.read(kProbe))), 290,
+                320);
+  }
+  {  // 50 GB zero-init
+    sim::Simulator sim;
+    net::FlowNetwork net{sim};
+    blk::Disk d{net, blk::Disk::Config{}, "d"};
+    const double minutes = timed(sim, d.writeAt(0, 50_GB)) / 60.0;
+    const bool inRange = minutes > 38 && minutes < 46;
+    std::printf("  %-46s %7.1f min    (paper: ~42)     %s\n",
+                "zero-initialize 50 GB (one device)", minutes, inRange ? "[PASS]" : "[FAIL]");
+    ok &= inRange;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Table I reproduction: application resource usage comparison.
+//
+// The paper profiled each application with a ptrace-based tool (wfprof) and
+// classified them as:
+//
+//   Application   I/O     Memory   CPU
+//   Montage       High    Low      Low
+//   Broadband     Medium  High     Medium
+//   Epigenome     Low     Medium   High
+//
+// We run each application on a single node with the local disk (profiling
+// setup) and regenerate the classification from the simulated task traces.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "prof/wfprof.hpp"
+
+int main() {
+  using namespace wfs::bench;
+  using wfs::prof::UsageLevel;
+  const double scale = benchScale();
+  std::printf("=== Table I: application resource usage (scale %.2f) ===\n", scale);
+  std::printf("  %-12s %-8s %-8s %-8s   (io%%  cpu%%  mem>1GB%%)\n", "Application", "I/O",
+              "Memory", "CPU");
+
+  struct Row {
+    App app;
+    const char* name;
+    UsageLevel io, mem, cpu;
+  };
+  const Row expected[] = {
+      {App::kMontage, "Montage", UsageLevel::kHigh, UsageLevel::kLow, UsageLevel::kLow},
+      {App::kBroadband, "Broadband", UsageLevel::kMedium, UsageLevel::kHigh,
+       UsageLevel::kMedium},
+      {App::kEpigenome, "Epigenome", UsageLevel::kLow, UsageLevel::kMedium,
+       UsageLevel::kHigh},
+  };
+
+  bool ok = true;
+  for (const Row& row : expected) {
+    ExperimentConfig cfg;
+    cfg.app = row.app;
+    cfg.storage = StorageKind::kLocal;
+    cfg.workerNodes = 1;
+    cfg.appScale = scale;
+    std::fprintf(stderr, "  profiling %s...\n", row.name);
+    const auto r = wfs::analysis::runExperiment(cfg);
+    const auto& p = r.profile;
+    std::printf("  %-12s %-8s %-8s %-8s   (%4.1f  %4.1f  %5.1f)\n", row.name,
+                toString(p.ioLevel), toString(p.memoryLevel), toString(p.cpuLevel),
+                100 * p.ioFraction, 100 * p.cpuFraction,
+                100 * p.memHeavyRuntimeFraction);
+    ok &= shapeCheck((std::string(row.name) + " I/O level matches Table I").c_str(),
+                     p.ioLevel == row.io);
+    ok &= shapeCheck((std::string(row.name) + " memory level matches Table I").c_str(),
+                     p.memoryLevel == row.mem);
+    ok &= shapeCheck((std::string(row.name) + " CPU level matches Table I").c_str(),
+                     p.cpuLevel == row.cpu);
+  }
+  return ok ? 0 : 1;
+}

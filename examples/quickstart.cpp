@@ -1,0 +1,64 @@
+// Quickstart: run one paper experiment cell and print what the paper would
+// report for it — makespan, cost under both charging models, and the
+// storage-layer behaviour behind them.
+//
+//   ./examples/quickstart [app] [storage] [nodes] [scale]
+//   e.g. ./examples/quickstart montage gluster-nufa 4 0.2
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "wfcloudsim.hpp"
+
+namespace {
+
+wfs::analysis::App parseApp(const std::string& s) {
+  using wfs::analysis::App;
+  if (s == "montage") return App::kMontage;
+  if (s == "broadband") return App::kBroadband;
+  if (s == "epigenome") return App::kEpigenome;
+  throw std::invalid_argument("unknown app: " + s + " (montage|broadband|epigenome)");
+}
+
+wfs::analysis::StorageKind parseStorage(const std::string& s) {
+  using wfs::analysis::StorageKind;
+  for (const StorageKind k :
+       {StorageKind::kLocal, StorageKind::kS3, StorageKind::kNfs, StorageKind::kGlusterNufa,
+        StorageKind::kGlusterDist, StorageKind::kPvfs, StorageKind::kXtreemFs}) {
+    if (s == wfs::analysis::toString(k)) return k;
+  }
+  throw std::invalid_argument("unknown storage system: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfs::analysis::ExperimentConfig cfg;
+  cfg.app = argc > 1 ? parseApp(argv[1]) : wfs::analysis::App::kMontage;
+  cfg.storage = argc > 2 ? parseStorage(argv[2]) : wfs::analysis::StorageKind::kGlusterNufa;
+  cfg.workerNodes = argc > 3 ? std::atoi(argv[3]) : 2;
+  cfg.appScale = argc > 4 ? std::atof(argv[4]) : 0.1;
+
+  std::printf("wfcloudsim quickstart: %s on %s, %d x c1.xlarge (scale %.2f)\n",
+              toString(cfg.app), toString(cfg.storage), cfg.workerNodes, cfg.appScale);
+
+  const auto r = wfs::analysis::runExperiment(cfg);
+
+  std::printf("\nworkflow   : %s (%d tasks)\n", r.workflowName.c_str(), r.tasks);
+  std::printf("makespan   : %.0f s (%.2f h)\n", r.makespanSeconds,
+              r.makespanSeconds / 3600.0);
+  std::printf("cost       : $%.2f as billed per-hour, $%.3f if billed per-second\n",
+              r.cost.totalHourly(), r.cost.totalPerSecond());
+  if (r.cost.s3RequestCost > 0) {
+    std::printf("             of which $%.3f S3 request fees\n", r.cost.s3RequestCost);
+  }
+  std::printf("storage    : %s\n", r.storageMetrics.summary().c_str());
+  std::printf("profile    : I/O %s, Memory %s, CPU %s (io %.0f%%, cpu %.0f%%)\n",
+              toString(r.profile.ioLevel), toString(r.profile.memoryLevel),
+              toString(r.profile.cpuLevel), 100 * r.profile.ioFraction,
+              100 * r.profile.cpuFraction);
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include "analysis/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/broadband.hpp"
+#include "apps/epigenome.hpp"
+#include "apps/montage.hpp"
+#include "cloud/context_broker.hpp"
+#include "cloud/provisioner.hpp"
+#include "net/fabric.hpp"
+#include "simcore/rng.hpp"
+#include "storage/ebs/ebs_fs.hpp"
+#include "storage/gluster/gluster_fs.hpp"
+#include "storage/local/local_fs.hpp"
+#include "storage/nfs/nfs_fs.hpp"
+#include "storage/p2p/p2p_fs.hpp"
+#include "storage/pvfs/pvfs_fs.hpp"
+#include "storage/s3/s3_fs.hpp"
+#include "storage/xtreemfs/xtreem_fs.hpp"
+#include "wf/engine.hpp"
+#include "wf/planner.hpp"
+
+namespace wfs::analysis {
+
+const char* toString(App app) {
+  switch (app) {
+    case App::kMontage: return "montage";
+    case App::kBroadband: return "broadband";
+    case App::kEpigenome: return "epigenome";
+  }
+  return "?";
+}
+
+const char* toString(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kLocal: return "local";
+    case StorageKind::kS3: return "s3";
+    case StorageKind::kNfs: return "nfs";
+    case StorageKind::kGlusterNufa: return "gluster-nufa";
+    case StorageKind::kGlusterDist: return "gluster-dist";
+    case StorageKind::kPvfs: return "pvfs";
+    case StorageKind::kXtreemFs: return "xtreemfs";
+    case StorageKind::kP2p: return "p2p";
+    case StorageKind::kEbs: return "ebs";
+  }
+  return "?";
+}
+
+namespace {
+
+wf::AbstractWorkflow makeApp(App app, double scale, sim::Rng& rng,
+                             wf::TransformationCatalog& tc) {
+  switch (app) {
+    case App::kMontage: {
+      apps::registerMontageTransformations(tc);
+      apps::MontageConfig cfg;
+      cfg.scale = scale;
+      return apps::makeMontage(cfg, rng);
+    }
+    case App::kBroadband: {
+      apps::registerBroadbandTransformations(tc);
+      apps::BroadbandConfig cfg;
+      cfg.scale = scale;
+      return apps::makeBroadband(cfg, rng);
+    }
+    case App::kEpigenome: {
+      apps::registerEpigenomeTransformations(tc);
+      apps::EpigenomeConfig cfg;
+      cfg.scale = scale;
+      return apps::makeEpigenome(cfg, rng);
+    }
+  }
+  throw std::logic_error("unknown app");
+}
+
+}  // namespace
+
+ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+  if (cfg.workerNodes < 1) throw std::invalid_argument("workerNodes must be >= 1");
+  if ((cfg.storage == StorageKind::kLocal || cfg.storage == StorageKind::kEbs) &&
+      cfg.workerNodes != 1) {
+    throw std::invalid_argument("node-attached storage cannot share files across nodes");
+  }
+  const bool needsTwo = cfg.storage == StorageKind::kGlusterNufa ||
+                        cfg.storage == StorageKind::kGlusterDist ||
+                        cfg.storage == StorageKind::kPvfs;
+  if (needsTwo && cfg.workerNodes < 2) {
+    throw std::invalid_argument("GlusterFS/PVFS need at least two nodes (paper §V)");
+  }
+
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  net::Fabric fabric{net, net::Fabric::Config{}};
+  sim::Rng rng{cfg.seed};
+
+  // --- Cloud: provision the virtual cluster -------------------------------
+  cloud::BillingEngine billing;
+  cloud::Provisioner::Config provCfg;
+  if (!cfg.firstWritePenalty) {
+    provCfg.vmOptions.disk.firstWriteRate = provCfg.vmOptions.disk.writeRate;
+  }
+  cloud::Provisioner prov{sim, net, billing, provCfg};
+  cloud::VirtualCluster cluster;
+  for (int i = 0; i < cfg.workerNodes; ++i) {
+    cluster.workers.push_back(prov.request(cfg.workerType, "worker" + std::to_string(i)));
+  }
+  if (cfg.storage == StorageKind::kNfs) {
+    cluster.auxiliary = prov.request(cfg.nfsServerType, "nfs-server");
+  }
+  cloud::ContextBroker broker{sim, prov};
+
+  // --- Storage system ------------------------------------------------------
+  std::vector<storage::StorageNode> nodes = cluster.workerNodes();
+  std::unique_ptr<storage::StorageSystem> store;
+  switch (cfg.storage) {
+    case StorageKind::kLocal:
+      store = std::make_unique<storage::LocalFs>(sim, nodes);
+      break;
+    case StorageKind::kS3:
+      store = std::make_unique<storage::S3Fs>(sim, net, nodes);
+      break;
+    case StorageKind::kNfs: {
+      storage::NfsFs::Config nfsCfg;
+      // nfsd concurrency (and the interference knee) scales with the
+      // server's cores: m1.xlarge 4, m2.4xlarge 8 (paper §V.C variant).
+      nfsCfg.server.threads = cluster.auxiliary->type().cores;
+      store = std::make_unique<storage::NfsFs>(sim, fabric, nodes,
+                                               cluster.auxiliary->storageNode(), nfsCfg);
+      break;
+    }
+    case StorageKind::kGlusterNufa:
+      store = std::make_unique<storage::GlusterFs>(sim, fabric, nodes,
+                                                   storage::GlusterMode::kNufa);
+      break;
+    case StorageKind::kGlusterDist:
+      store = std::make_unique<storage::GlusterFs>(sim, fabric, nodes,
+                                                   storage::GlusterMode::kDistribute);
+      break;
+    case StorageKind::kPvfs:
+      store = std::make_unique<storage::PvfsFs>(sim, fabric, nodes);
+      break;
+    case StorageKind::kXtreemFs:
+      store = std::make_unique<storage::XtreemFs>(sim, fabric, nodes);
+      break;
+    case StorageKind::kP2p:
+      store = std::make_unique<storage::P2pFs>(sim, fabric, nodes);
+      break;
+    case StorageKind::kEbs:
+      store = std::make_unique<storage::EbsFs>(sim, net, nodes);
+      break;
+  }
+
+  // --- Plan the workflow ---------------------------------------------------
+  wf::TransformationCatalog tc;
+  sim::Rng appRng = rng.fork();
+  const wf::AbstractWorkflow abstract = makeApp(cfg.app, cfg.appScale, appRng, tc);
+  wf::ReplicaCatalog rc;
+  for (const auto& f : abstract.externalInputs) {
+    rc.registerReplica(f.lfn, store->name());
+  }
+  wf::SiteCatalog site;
+  site.workerNodes = cfg.workerNodes;
+  site.coresPerNode = cluster.workers.front()->type().cores;
+  site.memoryPerNode = cluster.workers.front()->type().memory;
+  site.storageSystem = store->name();
+  wf::Planner planner{tc, rc, site};
+  wf::Planner::Options planOpt;
+  planOpt.clusterFactor = cfg.clusterFactor;
+  const wf::ExecutableWorkflow exec = planner.plan(abstract, planOpt);
+
+  // Pre-stage input data (not timed; §III.C).
+  for (const auto& f : abstract.externalInputs) {
+    store->preload(f.lfn, f.size);
+  }
+
+  // --- Execute -------------------------------------------------------------
+  std::vector<int> slots;
+  std::vector<sim::Resource*> memories;
+  for (auto& vm : cluster.workers) {
+    slots.push_back(vm->type().cores);
+    memories.push_back(&vm->memory());
+  }
+  wf::Scheduler scheduler{sim, slots,
+                          cfg.dataAwareScheduling ? wf::Scheduler::Policy::kDataAware
+                                                  : wf::Scheduler::Policy::kFifo,
+                          store.get()};
+  prof::WfProf prof;
+  wf::DagmanEngine::Options engineOpt;
+  engineOpt.coreSpeed = cluster.workers.front()->type().coreSpeed;
+  wf::DagmanEngine engine{sim, exec, *store, scheduler, memories, &prof, engineOpt};
+
+  sim.spawn([](cloud::ContextBroker& cb, cloud::VirtualCluster& vc, sim::Rng& r,
+               wf::DagmanEngine& eng) -> sim::Task<void> {
+    co_await cb.deploy(vc, r);
+    co_await eng.execute();
+  }(broker, cluster, rng, engine));
+  sim.run();
+
+  if (engine.completedJobs() != exec.dag.jobCount()) {
+    throw std::logic_error("workflow did not complete: " +
+                           std::to_string(engine.completedJobs()) + "/" +
+                           std::to_string(exec.dag.jobCount()));
+  }
+
+  // --- Cost ----------------------------------------------------------------
+  // The paper's cost analysis charges the workflow's runtime (makespan) on
+  // every provisioned instance, plus S3 request/storage fees.
+  const double makespan = engine.makespan().asSeconds();
+  const auto start = sim::SimTime::origin();
+  const auto end = start + sim::Duration::fromSeconds(makespan);
+  for (auto& vm : cluster.workers) {
+    billing.recordInstance(vm->type(), start, end);
+  }
+  if (cluster.auxiliary) {
+    billing.recordInstance(cluster.auxiliary->type(), start, end);
+  }
+  if (cfg.storage == StorageKind::kS3) {
+    auto& s3 = static_cast<storage::S3Fs&>(*store);
+    billing.recordS3Requests(s3.objectStore().putCount(), s3.objectStore().getCount());
+    billing.recordS3Storage(s3.objectStore().bytesStored(), makespan);
+  }
+  if (cfg.storage == StorageKind::kEbs) {
+    billing.recordExtraFee(static_cast<storage::EbsFs&>(*store).ioRequestCost());
+  }
+
+  ExperimentResult res;
+  res.makespanSeconds = makespan;
+  res.cost = billing.report();
+  res.storageMetrics = store->metrics();
+  res.profile = prof.profile();
+  res.tasks = exec.dag.jobCount();
+  res.storageName = store->name();
+  res.workflowName = abstract.name;
+  return res;
+}
+
+}  // namespace wfs::analysis

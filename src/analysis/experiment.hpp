@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/billing.hpp"
+#include "prof/wfprof.hpp"
+#include "storage/base/metrics.hpp"
+
+namespace wfs::analysis {
+
+enum class App { kMontage, kBroadband, kEpigenome };
+enum class StorageKind {
+  kLocal,
+  kS3,
+  kNfs,
+  kGlusterNufa,
+  kGlusterDist,
+  kPvfs,
+  kXtreemFs,
+  /// Direct node-to-node transfers — the paper's stated future work (§VIII).
+  kP2p,
+  /// EBS-volume node storage (extension: no first-write penalty, I/O fees).
+  kEbs,
+};
+
+[[nodiscard]] const char* toString(App app);
+[[nodiscard]] const char* toString(StorageKind kind);
+
+/// One cell of the paper's experiment matrix: application x storage system
+/// x cluster size (Figs 2-7), plus the ablation knobs from DESIGN.md §3.
+struct ExperimentConfig {
+  App app = App::kMontage;
+  StorageKind storage = StorageKind::kLocal;
+  int workerNodes = 1;
+  std::string workerType = "c1.xlarge";
+  /// NFS server instance type (§IV.B uses m1.xlarge; §V.C tries m2.4xlarge).
+  std::string nfsServerType = "m1.xlarge";
+  /// Paper setup is locality-blind (§IV.A); true enables the conjectured
+  /// data-aware scheduler (ablation A2).
+  bool dataAwareScheduling = false;
+  /// false disables the ephemeral-disk first-write penalty (ablation A1).
+  bool firstWritePenalty = true;
+  /// Pegasus horizontal clustering factor (1 = paper setup).
+  int clusterFactor = 1;
+  /// Scales workload size for affordable runs; 1.0 = published workload.
+  double appScale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  double makespanSeconds = 0.0;
+  cloud::CostReport cost;
+  storage::StorageMetrics storageMetrics;
+  prof::AppProfile profile;
+  int tasks = 0;
+  std::string storageName;
+  std::string workflowName;
+};
+
+/// Builds the full simulated world (cloud, network, storage, WMS), runs the
+/// workflow, and returns makespan + cost + profile. Deterministic in `seed`.
+[[nodiscard]] ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+}  // namespace wfs::analysis

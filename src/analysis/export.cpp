@@ -1,0 +1,72 @@
+#include "analysis/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wfs::analysis {
+
+namespace {
+std::string escapeDot(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string toDot(const wf::Dag& dag, const std::string& graphName) {
+  std::string out = "digraph \"" + escapeDot(graphName) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  char buf[256];
+  for (wf::JobId id = 0; id < dag.jobCount(); ++id) {
+    const auto& j = dag.job(id);
+    std::snprintf(buf, sizeof buf, "  j%d [label=\"%s\\n%.1fs cpu\"];\n", id,
+                  escapeDot(j.name).c_str(), j.cpuSeconds);
+    out += buf;
+  }
+  for (wf::JobId id = 0; id < dag.jobCount(); ++id) {
+    for (const wf::JobId c : dag.children(id)) {
+      std::snprintf(buf, sizeof buf, "  j%d -> j%d;\n", id, c);
+      out += buf;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string traceCsv(const prof::WfProf& prof) {
+  std::string out =
+      "job,transformation,node,start,end,cpu,io,bytes_read,bytes_written,peak_mem\n";
+  char buf[320];
+  for (const auto& t : prof.traces()) {
+    std::snprintf(buf, sizeof buf, "%d,%s,%d,%.3f,%.3f,%.3f,%.3f,%lld,%lld,%lld\n", t.jobId,
+                  t.transformation.c_str(), t.node, t.startSeconds, t.endSeconds,
+                  t.cpuSeconds, t.ioSeconds, static_cast<long long>(t.bytesRead),
+                  static_cast<long long>(t.bytesWritten),
+                  static_cast<long long>(t.peakMemory));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ganttCsv(const prof::WfProf& prof) {
+  std::vector<const prof::TaskTrace*> rows;
+  rows.reserve(prof.traces().size());
+  for (const auto& t : prof.traces()) rows.push_back(&t);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    if (a->node != b->node) return a->node < b->node;
+    return a->startSeconds < b->startSeconds;
+  });
+  std::string out = "node,start,end,job,transformation\n";
+  char buf[256];
+  for (const auto* t : rows) {
+    std::snprintf(buf, sizeof buf, "%d,%.3f,%.3f,%d,%s\n", t->node, t->startSeconds,
+                  t->endSeconds, t->jobId, t->transformation.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wfs::analysis

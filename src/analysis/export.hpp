@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "prof/wfprof.hpp"
+#include "wf/dag.hpp"
+
+namespace wfs::analysis {
+
+/// Graphviz rendering of a workflow DAG: one node per job (labelled with
+/// transformation and CPU demand), one edge per dependency. Suitable for
+/// `dot -Tsvg` on the scaled-down workflows; the full Montage graph is
+/// legal DOT but unreadable.
+[[nodiscard]] std::string toDot(const wf::Dag& dag, const std::string& graphName);
+
+/// Per-task execution trace as CSV (kickstart-record style):
+/// job,transformation,node,start,end,cpu,io,bytes_read,bytes_written,peak_mem.
+[[nodiscard]] std::string traceCsv(const prof::WfProf& prof);
+
+/// Host utilization Gantt as CSV rows (node,start,end,job,transformation),
+/// sorted by node then start time — loadable into any plotting tool.
+[[nodiscard]] std::string ganttCsv(const prof::WfProf& prof);
+
+}  // namespace wfs::analysis

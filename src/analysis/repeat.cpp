@@ -1,0 +1,20 @@
+#include "analysis/repeat.hpp"
+
+namespace wfs::analysis {
+
+RepeatedResult repeatExperiment(ExperimentConfig cfg,
+                                const std::vector<std::uint64_t>& seeds) {
+  RepeatedResult out;
+  out.runs.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    cfg.seed = seed;
+    ExperimentResult r = runExperiment(cfg);
+    out.makespan.add(r.makespanSeconds);
+    out.costHourly.add(r.cost.totalHourly());
+    out.costPerSecond.add(r.cost.totalPerSecond());
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace wfs::analysis

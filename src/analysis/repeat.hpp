@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "simcore/stats.hpp"
+
+namespace wfs::analysis {
+
+/// Aggregate of repeated runs of one experiment cell under different seeds
+/// (the paper reports repeated experiments for the NFS regression; this is
+/// the general tool).
+struct RepeatedResult {
+  sim::OnlineStats makespan;
+  sim::OnlineStats costHourly;
+  sim::OnlineStats costPerSecond;
+  std::vector<ExperimentResult> runs;
+};
+
+/// Runs `cfg` once per seed and aggregates. Workload structure is resampled
+/// per seed (task runtime/file-size jitter), so the spread reflects
+/// workload variability, not nondeterminism — identical seed lists always
+/// reproduce identical aggregates.
+[[nodiscard]] RepeatedResult repeatExperiment(ExperimentConfig cfg,
+                                              const std::vector<std::uint64_t>& seeds);
+
+}  // namespace wfs::analysis

@@ -1,0 +1,59 @@
+#include "analysis/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wfs::analysis {
+
+std::string renderTable(const std::string& title, const std::vector<std::string>& xLabels,
+                        const std::vector<Series>& series, const std::string& unit) {
+  std::string out;
+  out += title + " [" + unit + "]\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "  %-14s", "system");
+  out += buf;
+  for (const auto& x : xLabels) {
+    std::snprintf(buf, sizeof buf, " %12s", x.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& s : series) {
+    std::snprintf(buf, sizeof buf, "  %-14s", s.label.c_str());
+    out += buf;
+    for (double v : s.values) {
+      if (std::isnan(v)) {
+        std::snprintf(buf, sizeof buf, " %12s", "-");
+      } else if (v >= 100.0) {
+        std::snprintf(buf, sizeof buf, " %12.0f", v);
+      } else {
+        std::snprintf(buf, sizeof buf, " %12.2f", v);
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string renderCsv(const std::vector<std::string>& xLabels,
+                      const std::vector<Series>& series) {
+  std::string out = "system";
+  for (const auto& x : xLabels) out += "," + x;
+  out += "\n";
+  char buf[64];
+  for (const auto& s : series) {
+    out += s.label;
+    for (double v : s.values) {
+      if (std::isnan(v)) {
+        out += ",";
+      } else {
+        std::snprintf(buf, sizeof buf, ",%.3f", v);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wfs::analysis

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfs::analysis {
+
+/// One plotted line of a paper figure: a storage system's value (runtime or
+/// cost) per cluster size. A NaN point means "not run" (e.g. GlusterFS on
+/// one node).
+struct Series {
+  std::string label;
+  std::vector<double> values;  // aligned with the x-axis labels
+};
+
+/// Renders a fixed-width text table, one row per series — the textual
+/// equivalent of the paper's bar charts.
+[[nodiscard]] std::string renderTable(const std::string& title,
+                                      const std::vector<std::string>& xLabels,
+                                      const std::vector<Series>& series,
+                                      const std::string& unit);
+
+/// Same data as CSV (header: system,x0,x1,...).
+[[nodiscard]] std::string renderCsv(const std::vector<std::string>& xLabels,
+                                    const std::vector<Series>& series);
+
+}  // namespace wfs::analysis

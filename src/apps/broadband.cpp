@@ -1,0 +1,116 @@
+#include "apps/broadband.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfs::apps {
+
+namespace {
+double jitter(sim::Rng& rng, double v) { return v * rng.uniform(0.9, 1.1); }
+}  // namespace
+
+wf::AbstractWorkflow makeBroadband(const BroadbandConfig& cfg, sim::Rng& rng) {
+  const int pairs = std::max(
+      1, static_cast<int>(std::lround(cfg.sources * cfg.sites * cfg.scale)));
+
+  wf::AbstractWorkflow awf;
+  awf.name = "broadband-6x8";
+
+  // Shared input data (~6 GB): regional velocity models reused by every
+  // simulation task of every pair, plus per-source rupture descriptions.
+  constexpr int kVelocityFiles = 5;
+  constexpr Bytes kVelocityBytes = 1150_MB;  // 5 x 1.15 GB ~ 5.75 GB
+  for (int v = 0; v < kVelocityFiles; ++v) {
+    awf.externalInputs.push_back({"vel/model_" + std::to_string(v) + ".bin", kVelocityBytes});
+  }
+  for (int s = 0; s < cfg.sources; ++s) {
+    awf.externalInputs.push_back({"src/source_" + std::to_string(s) + ".def", 40_MB});
+  }
+
+  auto& dag = awf.dag;
+  auto velocity = [&](int pair, int k) -> wf::FileSpec {
+    return awf.externalInputs[static_cast<std::size_t>((pair + k) % kVelocityFiles)];
+  };
+
+  for (int p = 0; p < pairs; ++p) {
+    const std::string tag = std::to_string(p);
+    const int source = p % cfg.sources;
+    const wf::FileSpec srcDef =
+        awf.externalInputs[static_cast<std::size_t>(kVelocityFiles + source)];
+
+    // 1 rupture generator.
+    wf::JobSpec gen;
+    gen.name = "ucsb_createSRF_" + tag;
+    gen.transformation = "ucsb_createSRF";
+    gen.cpuSeconds = jitter(rng, 20.0);
+    gen.peakMemory = 800_MB;
+    gen.inputs = {srcDef};
+    gen.outputs = {{"srf/rupture_" + tag + ".srf", 20_MB}};
+    dag.addJob(std::move(gen));
+
+    // 3 low-frequency synthesis tasks (the memory hogs).
+    for (int k = 0; k < 3; ++k) {
+      wf::JobSpec j;
+      j.name = "jbsim_" + tag + "_" + std::to_string(k);
+      j.transformation = "jbsim";
+      j.cpuSeconds = jitter(rng, 50.0);
+      j.peakMemory = 3500_MB;
+      j.inputs = {{"srf/rupture_" + tag + ".srf", 20_MB}, velocity(p, k)};
+      // Chained executables exchange a sizeable intermediate on disk.
+      j.scratchFiles = {{"tmp/lf_" + tag + "_" + std::to_string(k) + ".tmp", 700_MB}};
+      j.outputs = {{"lf/seis_" + tag + "_" + std::to_string(k) + ".grm", 5_MB}};
+      dag.addJob(std::move(j));
+    }
+
+    // 3 high-frequency synthesis tasks.
+    for (int k = 0; k < 3; ++k) {
+      wf::JobSpec j;
+      j.name = "hfsims_" + tag + "_" + std::to_string(k);
+      j.transformation = "hfsims";
+      j.cpuSeconds = jitter(rng, 55.0);
+      j.peakMemory = 1800_MB;
+      j.inputs = {{"srf/rupture_" + tag + ".srf", 20_MB}, velocity(p, k + 1)};
+      j.scratchFiles = {{"tmp/hf_" + tag + "_" + std::to_string(k) + ".tmp", 500_MB}};
+      j.outputs = {{"hf/seis_" + tag + "_" + std::to_string(k) + ".grm", 5_MB}};
+      dag.addJob(std::move(j));
+    }
+
+    // 3 merge/site-response tasks combining one LF + one HF seismogram.
+    for (int k = 0; k < 3; ++k) {
+      wf::JobSpec j;
+      j.name = "merge_" + tag + "_" + std::to_string(k);
+      j.transformation = "merge_seis";
+      j.cpuSeconds = jitter(rng, 20.0);
+      j.peakMemory = 1400_MB;
+      j.inputs = {{"lf/seis_" + tag + "_" + std::to_string(k) + ".grm", 5_MB},
+                  {"hf/seis_" + tag + "_" + std::to_string(k) + ".grm", 5_MB}};
+      j.scratchFiles = {{"tmp/mrg_" + tag + "_" + std::to_string(k) + ".tmp", 300_MB}};
+      j.outputs = {{"merged/seis_" + tag + "_" + std::to_string(k) + ".grm", 3_MB}};
+      dag.addJob(std::move(j));
+    }
+
+    // 6 intensity-measure tasks (2 per merged seismogram).
+    for (int k = 0; k < 6; ++k) {
+      wf::JobSpec j;
+      j.name = "seispeak_" + tag + "_" + std::to_string(k);
+      j.transformation = "seispeak";
+      j.cpuSeconds = jitter(rng, 6.0);
+      j.peakMemory = 200_MB;
+      j.inputs = {{"merged/seis_" + tag + "_" + std::to_string(k / 2) + ".grm", 3_MB}};
+      j.outputs = {{"peaks/peak_" + tag + "_" + std::to_string(k) + ".bsa",
+                    static_cast<Bytes>(1050_KB)}};  // 288 peaks ~ 303 MB (§II)
+      dag.addJob(std::move(j));
+    }
+  }
+
+  awf.finalize();
+  return awf;
+}
+
+void registerBroadbandTransformations(wf::TransformationCatalog& tc) {
+  for (const char* tx : {"ucsb_createSRF", "jbsim", "hfsims", "merge_seis", "seispeak"}) {
+    tc.add({tx, 1.0});
+  }
+}
+
+}  // namespace wfs::apps

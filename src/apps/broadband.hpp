@@ -1,0 +1,26 @@
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "wf/abstract_workflow.hpp"
+#include "wf/catalogs.hpp"
+
+namespace wfs::apps {
+
+/// Broadband (paper §II): seismogram synthesis for (source, site) pairs.
+/// 6 sources x 8 sites -> 768 tasks (16 per pair), reads 6 GB, writes
+/// 303 MB. More than 75 % of its runtime is in tasks needing > 1 GB RAM —
+/// Table I: I/O Medium, Memory High, CPU Medium. Each pair runs several
+/// executables in sequence "like a mini workflow", which is why NUFA
+/// placement (outputs on the local disk) beats distribute (§V.C), and the
+/// heavy reuse of velocity-model inputs is why the S3 client cache wins.
+struct BroadbandConfig {
+  int sources = 6;
+  int sites = 8;
+  double scale = 1.0;  // scales the number of (source, site) pairs
+};
+
+[[nodiscard]] wf::AbstractWorkflow makeBroadband(const BroadbandConfig& cfg, sim::Rng& rng);
+
+void registerBroadbandTransformations(wf::TransformationCatalog& tc);
+
+}  // namespace wfs::apps

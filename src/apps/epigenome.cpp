@@ -1,0 +1,149 @@
+#include "apps/epigenome.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfs::apps {
+
+namespace {
+double jitter(sim::Rng& rng, double v) { return v * rng.uniform(0.9, 1.1); }
+}  // namespace
+
+wf::AbstractWorkflow makeEpigenome(const EpigenomeConfig& cfg, sim::Rng& rng) {
+  const int chunks = std::max(1, static_cast<int>(std::lround(cfg.chunks * cfg.scale)));
+
+  wf::AbstractWorkflow awf;
+  awf.name = "epigenome-chr21";
+
+  // Inputs (~1.9 GB): the sequencer read file and the reference genome.
+  const Bytes readsBytes = static_cast<Bytes>(1.8e9 * cfg.scale);
+  awf.externalInputs.push_back({"reads.fastq", readsBytes});
+  awf.externalInputs.push_back({"chr21.bfa", 100_MB});
+
+  auto& dag = awf.dag;
+  const Bytes chunkBytes = readsBytes / chunks;
+
+  // fastqSplit.
+  {
+    wf::JobSpec j;
+    j.name = "fastqSplit";
+    j.transformation = "fastqSplit";
+    j.cpuSeconds = jitter(rng, 25.0);
+    j.peakMemory = 120_MB;
+    j.inputs = {awf.externalInputs[0]};
+    for (int c = 0; c < chunks; ++c) {
+      j.outputs.push_back({"chunk/r_" + std::to_string(c) + ".fastq", chunkBytes});
+    }
+    dag.addJob(std::move(j));
+  }
+
+  // Per-chunk pipeline: filterContams -> sol2sanger -> fastq2bfq -> map.
+  for (int c = 0; c < chunks; ++c) {
+    const std::string tag = std::to_string(c);
+    {
+      wf::JobSpec j;
+      j.name = "filterContams_" + tag;
+      j.transformation = "filterContams";
+      j.cpuSeconds = jitter(rng, 12.0);
+      j.peakMemory = 100_MB;
+      j.inputs = {{"chunk/r_" + tag + ".fastq", chunkBytes}};
+      j.outputs = {{"filt/f_" + tag + ".fastq", chunkBytes * 95 / 100}};
+      dag.addJob(std::move(j));
+    }
+    {
+      wf::JobSpec j;
+      j.name = "sol2sanger_" + tag;
+      j.transformation = "sol2sanger";
+      j.cpuSeconds = jitter(rng, 8.0);
+      j.peakMemory = 80_MB;
+      j.inputs = {{"filt/f_" + tag + ".fastq", chunkBytes * 95 / 100}};
+      j.outputs = {{"sanger/s_" + tag + ".fastq", chunkBytes * 95 / 100}};
+      dag.addJob(std::move(j));
+    }
+    {
+      wf::JobSpec j;
+      j.name = "fastq2bfq_" + tag;
+      j.transformation = "fastq2bfq";
+      j.cpuSeconds = jitter(rng, 6.0);
+      j.peakMemory = 80_MB;
+      j.inputs = {{"sanger/s_" + tag + ".fastq", chunkBytes * 95 / 100}};
+      j.outputs = {{"bfq/b_" + tag + ".bfq", chunkBytes * 30 / 100}};
+      dag.addJob(std::move(j));
+    }
+    {
+      wf::JobSpec j;
+      j.name = "map_" + tag;
+      j.transformation = "maq_map";
+      j.cpuSeconds = jitter(rng, 200.0);  // the CPU hog (99 % CPU overall)
+      j.peakMemory = 800_MB;
+      j.inputs = {{"bfq/b_" + tag + ".bfq", chunkBytes * 30 / 100},
+                  {"chr21.bfa", 100_MB}};
+      j.outputs = {{"map/m_" + tag + ".map", static_cast<Bytes>(1500_KB)}};
+      dag.addJob(std::move(j));
+    }
+  }
+
+  // Batched merge (MAQ merges in batches), then index and pileup. Task
+  // total at full scale: 1 + 4*131 + 2 + 1 + 1 = 529, the published count.
+  const int half = (chunks + 1) / 2;
+  {
+    wf::JobSpec j;
+    j.name = "mapMerge_0";
+    j.transformation = "mapMerge";
+    j.cpuSeconds = jitter(rng, 30.0);
+    j.peakMemory = 600_MB;
+    for (int c = 0; c < half; ++c) {
+      j.inputs.push_back({"map/m_" + std::to_string(c) + ".map", 1500_KB});
+    }
+    j.outputs = {{"merged_0.map", static_cast<Bytes>(1500_KB) * half}};
+    dag.addJob(std::move(j));
+  }
+  {
+    wf::JobSpec j;
+    j.name = "mapMergeFinal";
+    j.transformation = "mapMerge";
+    j.cpuSeconds = jitter(rng, 30.0);
+    j.peakMemory = 600_MB;
+    j.inputs.push_back({"merged_0.map", static_cast<Bytes>(1500_KB) * half});
+    for (int c = half; c < chunks; ++c) {
+      j.inputs.push_back({"map/m_" + std::to_string(c) + ".map", 1500_KB});
+    }
+    j.outputs = {{"chr21.map", static_cast<Bytes>(1500_KB) * chunks}};
+    dag.addJob(std::move(j));
+  }
+  {
+    wf::JobSpec j;
+    j.name = "maqIndex";
+    j.transformation = "maqIndex";
+    j.cpuSeconds = jitter(rng, 20.0);
+    j.peakMemory = 500_MB;
+    j.inputs = {{"chr21.map", static_cast<Bytes>(1500_KB) * chunks}};
+    j.outputs = {{"chr21.map.idx", 50_MB}};
+    dag.addJob(std::move(j));
+  }
+  {
+    wf::JobSpec j;
+    j.name = "pileup";
+    j.transformation = "pileup";
+    j.cpuSeconds = jitter(rng, 30.0);
+    j.peakMemory = 700_MB;
+    j.inputs = {{"chr21.map", static_cast<Bytes>(1500_KB) * chunks},
+                {"chr21.map.idx", 50_MB},
+                {"chr21.bfa", 100_MB}};
+    j.outputs = {{"density.wig", 55_MB}};
+    dag.addJob(std::move(j));
+  }
+
+  awf.finalProducts = {"chr21.map", "chr21.map.idx"};  // §II: ~300 MB of output
+  awf.finalize();
+  return awf;
+}
+
+void registerEpigenomeTransformations(wf::TransformationCatalog& tc) {
+  for (const char* tx : {"fastqSplit", "filterContams", "sol2sanger", "fastq2bfq", "maq_map",
+                         "mapMerge", "maqIndex", "pileup"}) {
+    tc.add({tx, 1.0});
+  }
+}
+
+}  // namespace wfs::apps

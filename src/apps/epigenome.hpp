@@ -1,0 +1,24 @@
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "wf/abstract_workflow.hpp"
+#include "wf/catalogs.hpp"
+
+namespace wfs::apps {
+
+/// Epigenome (paper §II): maps short DNA reads to a reference genome with
+/// MAQ. The chromosome-21 workflow has 529 tasks, reads 1.9 GB and writes
+/// ~300 MB; 99 % of its time is CPU — Table I: I/O Low, Memory Medium,
+/// CPU High. Structure: split the read files into chunks, run a 4-stage
+/// per-chunk pipeline (filter, convert, binary-pack, map), then merge,
+/// index and compute the sequence-density pileup.
+struct EpigenomeConfig {
+  int chunks = 131;  // 1 + 4*131 + 4 = 529 tasks at full scale
+  double scale = 1.0;
+};
+
+[[nodiscard]] wf::AbstractWorkflow makeEpigenome(const EpigenomeConfig& cfg, sim::Rng& rng);
+
+void registerEpigenomeTransformations(wf::TransformationCatalog& tc);
+
+}  // namespace wfs::apps

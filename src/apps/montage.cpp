@@ -1,0 +1,178 @@
+#include "apps/montage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfs::apps {
+
+namespace {
+/// Jitters `v` by +-10 % (deterministic via the workflow's RNG stream).
+double jitter(sim::Rng& rng, double v) { return v * rng.uniform(0.9, 1.1); }
+Bytes jitterBytes(sim::Rng& rng, Bytes v) {
+  return static_cast<Bytes>(jitter(rng, static_cast<double>(v)));
+}
+}  // namespace
+
+wf::AbstractWorkflow makeMontage(const MontageConfig& cfg, sim::Rng& rng) {
+  // Sizes and CPU demands follow the published aggregates: 2,102 x 2 MB of
+  // input imagery (4.2 GB), a ~6.5 GB mosaic + shrunk/jpeg products
+  // (~7.9 GB of final output), and a few thousand core-seconds of total
+  // compute spread over 10k short tasks (I/O dominates every task).
+  const int nImages = std::max(1, static_cast<int>(std::lround(cfg.inputImages * cfg.scale)));
+  const int nDiffs = std::max(1, static_cast<int>(std::lround(cfg.diffFits * cfg.scale)));
+  constexpr Bytes kInputImage = 2_MB;
+  constexpr Bytes kProjected = 1400_KB;
+  constexpr Bytes kArea = 600_KB;
+  constexpr Bytes kFit = 300_B;
+  constexpr Bytes kHdr = 2_KB;
+
+  wf::AbstractWorkflow awf;
+  awf.name = "montage-8deg";
+
+  // External inputs: the raw survey images plus the region header.
+  for (int i = 0; i < nImages; ++i) {
+    awf.externalInputs.push_back({"raw/img_" + std::to_string(i) + ".fits",
+                                  jitterBytes(rng, kInputImage)});
+  }
+  awf.externalInputs.push_back({"region.hdr", 10_KB});
+
+  auto& dag = awf.dag;
+
+  // mProjectPP: reproject every input image.
+  for (int i = 0; i < nImages; ++i) {
+    wf::JobSpec j;
+    j.name = "mProjectPP_" + std::to_string(i);
+    j.transformation = "mProjectPP";
+    j.cpuSeconds = jitter(rng, 0.7);
+    j.peakMemory = 40_MB;
+    j.inputs = {awf.externalInputs[static_cast<std::size_t>(i)], {"region.hdr", 10_KB}};
+    j.outputs = {{"proj/p_" + std::to_string(i) + ".fits",
+                  jitterBytes(rng, kProjected + kArea)}};
+    dag.addJob(std::move(j));
+  }
+
+  // mDiffFit: fit each overlapping pair of projected images.
+  for (int d = 0; d < nDiffs; ++d) {
+    const int a = d % nImages;
+    const int b = (d + 1 + d / nImages) % nImages;
+    wf::JobSpec j;
+    j.name = "mDiffFit_" + std::to_string(d);
+    j.transformation = "mDiffFit";
+    j.cpuSeconds = jitter(rng, 0.15);
+    j.peakMemory = 30_MB;
+    j.inputs = {{"proj/p_" + std::to_string(a) + ".fits", kProjected + kArea},
+                {"proj/p_" + std::to_string(b) + ".fits", kProjected + kArea}};
+    // mDiffFit is itself a chained pair (mDiff writes the difference image,
+    // mFitplane reads it back) — the bulk of Montage's temporary data.
+    j.scratchFiles = {{"tmp/diff_" + std::to_string(d) + ".fits", 6_MB}};
+    j.outputs = {{"fit/fit_" + std::to_string(d) + ".txt", kFit}};
+    dag.addJob(std::move(j));
+  }
+
+  // mConcatFit: gather all fit results.
+  {
+    wf::JobSpec j;
+    j.name = "mConcatFit";
+    j.transformation = "mConcatFit";
+    j.cpuSeconds = jitter(rng, 12.0);
+    j.peakMemory = 100_MB;
+    for (int d = 0; d < nDiffs; ++d) {
+      j.inputs.push_back({"fit/fit_" + std::to_string(d) + ".txt", kFit});
+    }
+    j.outputs = {{"fits.tbl", 600_KB}};
+    dag.addJob(std::move(j));
+  }
+
+  // mBgModel: solve for background corrections.
+  {
+    wf::JobSpec j;
+    j.name = "mBgModel";
+    j.transformation = "mBgModel";
+    j.cpuSeconds = jitter(rng, 25.0);
+    j.peakMemory = 160_MB;
+    j.inputs = {{"fits.tbl", 600_KB}};
+    j.outputs = {{"corrections.tbl", 1_MB}};
+    dag.addJob(std::move(j));
+  }
+
+  // mBackground: apply corrections per image.
+  for (int i = 0; i < nImages; ++i) {
+    wf::JobSpec j;
+    j.name = "mBackground_" + std::to_string(i);
+    j.transformation = "mBackground";
+    j.cpuSeconds = jitter(rng, 0.2);
+    j.peakMemory = 40_MB;
+    j.inputs = {{"proj/p_" + std::to_string(i) + ".fits", kProjected + kArea},
+                {"corrections.tbl", 1_MB}};
+    j.outputs = {{"corr/c_" + std::to_string(i) + ".fits",
+                  jitterBytes(rng, kProjected + kArea)},
+                 {"corr/c_" + std::to_string(i) + ".hdr", kHdr}};
+    dag.addJob(std::move(j));
+  }
+
+  // mImgtbl: build the image table from the corrected headers.
+  {
+    wf::JobSpec j;
+    j.name = "mImgtbl";
+    j.transformation = "mImgtbl";
+    j.cpuSeconds = jitter(rng, 6.0);
+    j.peakMemory = 60_MB;
+    for (int i = 0; i < nImages; ++i) {
+      j.inputs.push_back({"corr/c_" + std::to_string(i) + ".hdr", kHdr});
+    }
+    j.outputs = {{"pimages.tbl", 1_MB}};
+    dag.addJob(std::move(j));
+  }
+
+  // mAdd: co-add every corrected image into the mosaic (the big I/O tail).
+  const Bytes mosaicBytes = static_cast<Bytes>(6.5e9 * cfg.scale);
+  const Bytes mosaicArea = static_cast<Bytes>(1.3e9 * cfg.scale);
+  {
+    wf::JobSpec j;
+    j.name = "mAdd";
+    j.transformation = "mAdd";
+    j.cpuSeconds = jitter(rng, 50.0);
+    j.peakMemory = 200_MB;
+    j.inputs.push_back({"pimages.tbl", 1_MB});
+    for (int i = 0; i < nImages; ++i) {
+      j.inputs.push_back({"corr/c_" + std::to_string(i) + ".fits", kProjected + kArea});
+    }
+    j.outputs = {{"mosaic.fits", mosaicBytes}, {"mosaic.area", mosaicArea}};
+    dag.addJob(std::move(j));
+  }
+
+  // mShrink + mJPEG: presentation products.
+  {
+    wf::JobSpec j;
+    j.name = "mShrink";
+    j.transformation = "mShrink";
+    j.cpuSeconds = jitter(rng, 12.0);
+    j.peakMemory = 120_MB;
+    j.inputs = {{"mosaic.fits", mosaicBytes}};
+    j.outputs = {{"mosaic_small.fits", static_cast<Bytes>(5.0e7 * cfg.scale)}};
+    dag.addJob(std::move(j));
+  }
+  {
+    wf::JobSpec j;
+    j.name = "mJPEG";
+    j.transformation = "mJPEG";
+    j.cpuSeconds = jitter(rng, 4.0);
+    j.peakMemory = 80_MB;
+    j.inputs = {{"mosaic_small.fits", static_cast<Bytes>(5.0e7 * cfg.scale)}};
+    j.outputs = {{"mosaic.jpg", static_cast<Bytes>(1.0e7 * cfg.scale)}};
+    dag.addJob(std::move(j));
+  }
+
+  awf.finalProducts = {"mosaic.fits", "mosaic.area"};  // §II: 7.9 GB of output
+  awf.finalize();
+  return awf;
+}
+
+void registerMontageTransformations(wf::TransformationCatalog& tc) {
+  for (const char* tx : {"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel", "mBackground",
+                         "mImgtbl", "mAdd", "mShrink", "mJPEG"}) {
+    tc.add({tx, 1.0});
+  }
+}
+
+}  // namespace wfs::apps

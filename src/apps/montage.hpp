@@ -1,0 +1,28 @@
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "wf/abstract_workflow.hpp"
+#include "wf/catalogs.hpp"
+
+namespace wfs::apps {
+
+/// Montage (paper §II): science-grade astronomical mosaics. The paper's
+/// 8-degree workflow has 10,429 tasks, reads 4.2 GB of input images and
+/// produces 7.9 GB of output (excluding temporary data); >95 % of its time
+/// is I/O wait — Table I: I/O High, Memory Low, CPU Low.
+struct MontageConfig {
+  /// 2,102 input images at full scale gives the published task count:
+  /// images + diffs + images + 6 singleton jobs = 10,429.
+  int inputImages = 2102;
+  /// Overlapping image pairs handled by mDiffFit at full scale.
+  int diffFits = 6219;
+  /// Scale factor for affordable test runs; task counts scale linearly.
+  double scale = 1.0;
+};
+
+[[nodiscard]] wf::AbstractWorkflow makeMontage(const MontageConfig& cfg, sim::Rng& rng);
+
+/// Registers Montage's transformations at the execution site.
+void registerMontageTransformations(wf::TransformationCatalog& tc);
+
+}  // namespace wfs::apps

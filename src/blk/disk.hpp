@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blk/extent_set.hpp"
+#include "net/flow_network.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace wfs::blk {
+
+/// Abstract block storage: a single device or a RAID array. I/O calls accept
+/// extra flow hops so remote storage systems can pipeline disk service with
+/// NIC transfer (one flow through disk + network, as a streaming copy would).
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Sequential read of `size` bytes from an initialized region.
+  [[nodiscard]] virtual sim::Task<void> read(Bytes size, net::Path extra = {}) = 0;
+
+  /// Sequential write into freshly allocated space (first-write penalty
+  /// applies to whatever fraction of the allocation is uninitialized).
+  [[nodiscard]] virtual sim::Task<void> write(Bytes size, net::Path extra = {}) = 0;
+
+  /// Raw positioned write (disk envelope benchmarks).
+  [[nodiscard]] virtual sim::Task<void> writeAt(Bytes offset, Bytes size,
+                                                net::Path extra = {}) = 0;
+
+  /// Reserves space for `size` bytes and returns its offset; paired with
+  /// writeAt() this lets callers (PVFS datafiles) write one file's chunks
+  /// contiguously instead of paying per-chunk initialization.
+  virtual Bytes allocate(Bytes size) = 0;
+
+  /// Marks every block initialized, as `dd if=/dev/zero` would. The paper
+  /// notes this takes ~42 min for 50 GB and is rarely economical.
+  virtual void initializeAll() = 0;
+
+  [[nodiscard]] virtual Bytes capacity() const = 0;
+  [[nodiscard]] virtual Bytes initializedBytes() const = 0;
+};
+
+/// One EC2 ephemeral disk (paper §III.C):
+///   reads ~110 MB/s; writes to initialized blocks ~100 MB/s; *first* writes
+///   ~20 MB/s due to the EC2 disk-virtualization layer.
+///
+/// The device is a unit-rate service capacity; an operation at device rate R
+/// contributes weight 1/R per flow-byte, so heterogeneous operations share
+/// the device proportionally and a lone operation runs at exactly R.
+class Disk : public BlockStore {
+ public:
+  struct Config {
+    Rate readRate = MBps(110);
+    Rate writeRate = MBps(100);
+    Rate firstWriteRate = MBps(20);
+    /// Issue latency per operation (does not occupy the device).
+    sim::Duration perOpLatency = sim::Duration::micros(500);
+    /// Head-positioning service per operation; *occupies* the device, so a
+    /// storm of small-file operations saturates it even at low bandwidth —
+    /// the effect behind PVFS/S3 small-file behaviour in the paper.
+    sim::Duration seekTime = sim::Duration::millis(10);
+    /// The EC2 virtualization layer initializes storage in chunks: the
+    /// first write touching a chunk pays for initializing the WHOLE chunk
+    /// at `firstWriteRate`. Sequential streams amortize this; scattered
+    /// small-file writes amplify it — a key driver of the paper's "local
+    /// disk contention" under many-file workloads.
+    Bytes initChunk = 4_MB;
+    Bytes capacityBytes = 420_GB;  // one of c1.xlarge's four ephemeral disks
+  };
+
+  Disk(net::FlowNetwork& net, const Config& cfg, std::string name);
+
+  [[nodiscard]] sim::Task<void> read(Bytes size, net::Path extra = {}) override;
+  [[nodiscard]] sim::Task<void> write(Bytes size, net::Path extra = {}) override;
+  [[nodiscard]] sim::Task<void> writeAt(Bytes offset, Bytes size, net::Path extra = {}) override;
+  void initializeAll() override;
+
+  [[nodiscard]] Bytes capacity() const override { return cfg_.capacityBytes; }
+  [[nodiscard]] Bytes initializedBytes() const override { return extents_.totalCovered(); }
+
+  /// Allocates `size` bytes. Like a real file system, allocations scatter
+  /// across block groups (deterministic hash of an allocation counter), so
+  /// unrelated small files rarely share an initialization chunk.
+  Bytes allocate(Bytes size) override;
+
+  /// Device busy time integral in seconds (the service capacity is
+  /// unit-rate, so accumulated service bytes are seconds).
+  [[nodiscard]] double busySeconds() const { return service_.serviceBytes(); }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> doWrite(Bytes offset, Bytes size, net::Path extra);
+
+  net::FlowNetwork* net_;
+  Config cfg_;
+  net::Capacity service_;
+  ExtentSet extents_;
+  std::uint64_t allocCounter_ = 0;
+};
+
+}  // namespace wfs::blk

@@ -1,0 +1,74 @@
+#include "blk/extent_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wfs::blk {
+
+void ExtentSet::insert(Bytes begin, Bytes end) {
+  assert(begin <= end);
+  if (begin == end) return;
+
+  // Find the first extent that could overlap or touch [begin, end).
+  auto it = extents_.upper_bound(begin);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) it = prev;  // touches or overlaps from the left
+  }
+  // Absorb all overlapping/touching extents.
+  while (it != extents_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    total_ -= it->second - it->first;
+    it = extents_.erase(it);
+  }
+  extents_.emplace(begin, end);
+  total_ += end - begin;
+}
+
+void ExtentSet::erase(Bytes begin, Bytes end) {
+  assert(begin <= end);
+  if (begin == end) return;
+  auto it = extents_.upper_bound(begin);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  while (it != extents_.end() && it->first < end) {
+    const Bytes eBegin = it->first;
+    const Bytes eEnd = it->second;
+    total_ -= eEnd - eBegin;
+    it = extents_.erase(it);
+    if (eBegin < begin) {
+      extents_.emplace(eBegin, begin);
+      total_ += begin - eBegin;
+    }
+    if (eEnd > end) {
+      extents_.emplace(end, eEnd);
+      total_ += eEnd - end;
+    }
+  }
+}
+
+Bytes ExtentSet::coveredWithin(Bytes begin, Bytes end) const {
+  assert(begin <= end);
+  Bytes covered = 0;
+  auto it = extents_.upper_bound(begin);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  for (; it != extents_.end() && it->first < end; ++it) {
+    covered += std::min(end, it->second) - std::max(begin, it->first);
+  }
+  return covered;
+}
+
+bool ExtentSet::contains(Bytes point) const { return coveredWithin(point, point + 1) == 1; }
+
+void ExtentSet::clear() {
+  extents_.clear();
+  total_ = 0;
+}
+
+}  // namespace wfs::blk

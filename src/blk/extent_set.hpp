@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "simcore/units.hpp"
+
+namespace wfs::blk {
+
+/// Set of disjoint, half-open byte ranges [begin, end).
+///
+/// Tracks which regions of a virtual disk have been written at least once:
+/// EC2 ephemeral disks serve the *first* write to a block at ~20 MB/s and
+/// subsequent writes at full speed (paper §III.C), so write cost depends on
+/// how much of the target range is already initialized.
+class ExtentSet {
+ public:
+  /// Marks [begin, end) as covered, merging with neighbours.
+  void insert(Bytes begin, Bytes end);
+
+  /// Removes coverage of [begin, end) (used by TRIM-style tests).
+  void erase(Bytes begin, Bytes end);
+
+  /// Bytes of [begin, end) already covered.
+  [[nodiscard]] Bytes coveredWithin(Bytes begin, Bytes end) const;
+
+  /// Bytes of [begin, end) not yet covered.
+  [[nodiscard]] Bytes uncoveredWithin(Bytes begin, Bytes end) const {
+    return (end - begin) - coveredWithin(begin, end);
+  }
+
+  [[nodiscard]] bool contains(Bytes point) const;
+  [[nodiscard]] Bytes totalCovered() const { return total_; }
+  [[nodiscard]] std::size_t extentCount() const { return extents_.size(); }
+  void clear();
+
+ private:
+  std::map<Bytes, Bytes> extents_;  // begin -> end
+  Bytes total_ = 0;
+};
+
+}  // namespace wfs::blk

@@ -1,0 +1,98 @@
+#include "blk/raid0.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wfs::blk {
+
+Raid0::Raid0(net::FlowNetwork& net, const Config& cfg, const std::string& name)
+    : net_{&net}, cfg_{cfg} {
+  assert(cfg.members >= 1);
+  disks_.reserve(static_cast<std::size_t>(cfg.members));
+  for (int i = 0; i < cfg.members; ++i) {
+    disks_.push_back(
+        std::make_unique<Disk>(net, cfg.member, name + ".d" + std::to_string(i)));
+  }
+  if (cfg.readCeiling > 0) readCtrl_.emplace(net, cfg.readCeiling, name + ".rdctl");
+  if (cfg.writeCeiling > 0) writeCtrl_.emplace(net, cfg.writeCeiling, name + ".wrctl");
+}
+
+sim::Task<void> Raid0::striped(Op op, Bytes offset, Bytes size, net::Path extra) {
+  // Small operations touch only as many members as they have stripe chunks.
+  const int n = static_cast<int>(
+      std::min<Bytes>(memberCount(),
+                      std::max<Bytes>(1, (size + cfg_.stripeUnit - 1) / cfg_.stripeUnit)));
+  const Bytes chunk = size / n;
+  const Bytes last = size - chunk * (n - 1);
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  // Rotate the starting member so consecutive small files spread across the
+  // array instead of hammering member 0.
+  const int start = rotor_;
+  rotor_ = (rotor_ + n) % memberCount();
+  for (int idx = 0; idx < n; ++idx) {
+    const int i = (start + idx) % memberCount();
+    const Bytes part = (idx == n - 1) ? last : chunk;
+    if (part <= 0) continue;
+    net::Path path = extra;  // each member flow also traverses shared hops,
+                             // so e.g. a NIC sees the full `size` in total
+    if (op == Op::kRead && readCtrl_) path.push_back(net::Hop{&*readCtrl_, 1.0});
+    if (op != Op::kRead && writeCtrl_) path.push_back(net::Hop{&*writeCtrl_, 1.0});
+    switch (op) {
+      case Op::kRead:
+        parts.push_back(disks_[static_cast<std::size_t>(i)]->read(part, std::move(path)));
+        break;
+      case Op::kWrite:
+        parts.push_back(disks_[static_cast<std::size_t>(i)]->write(part, std::move(path)));
+        break;
+      case Op::kWriteAt:
+        parts.push_back(disks_[static_cast<std::size_t>(i)]->writeAt(offset / n, part,
+                                                                     std::move(path)));
+        break;
+    }
+  }
+  co_await sim::allOf(net_->simulator(), std::move(parts));
+}
+
+sim::Task<void> Raid0::read(Bytes size, net::Path extra) {
+  co_await striped(Op::kRead, 0, size, std::move(extra));
+}
+
+sim::Task<void> Raid0::write(Bytes size, net::Path extra) {
+  co_await striped(Op::kWrite, 0, size, std::move(extra));
+}
+
+sim::Task<void> Raid0::writeAt(Bytes offset, Bytes size, net::Path extra) {
+  co_await striped(Op::kWriteAt, offset, size, std::move(extra));
+}
+
+Bytes Raid0::allocate(Bytes size) {
+  // Members stay in lockstep as long as all allocation goes through the
+  // array, so member 0's offset (scaled back up) addresses the stripe set.
+  const int n = memberCount();
+  const Bytes share = (size + n - 1) / n;
+  Bytes offset0 = 0;
+  for (int i = 0; i < n; ++i) {
+    const Bytes o = disks_[static_cast<std::size_t>(i)]->allocate(share);
+    if (i == 0) offset0 = o;
+  }
+  return offset0 * n;
+}
+
+void Raid0::initializeAll() {
+  for (auto& d : disks_) d->initializeAll();
+}
+
+Bytes Raid0::capacity() const {
+  Bytes total = 0;
+  for (const auto& d : disks_) total += d->capacity();
+  return total;
+}
+
+Bytes Raid0::initializedBytes() const {
+  Bytes total = 0;
+  for (const auto& d : disks_) total += d->initializedBytes();
+  return total;
+}
+
+}  // namespace wfs::blk

@@ -1,0 +1,28 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+
+namespace wfs::cloud {
+
+void BillingEngine::recordInstance(const InstanceType& type, sim::SimTime start,
+                                   sim::SimTime end) {
+  usage_.push_back(Usage{type.pricePerHour, (end - start).asSeconds()});
+}
+
+CostReport BillingEngine::report() const {
+  CostReport r;
+  for (const auto& u : usage_) {
+    const double hours = u.seconds / 3600.0;
+    // Amazon bills whole hours; even a few seconds cost one full hour.
+    r.resourceCostHourly += std::ceil(hours - 1e-9) * u.pricePerHour;
+    r.resourceCostPerSecond += u.seconds * (u.pricePerHour / 3600.0);
+  }
+  r.s3RequestCost = book_.s3RequestCost(puts_, gets_);
+  // Storage cost from integrated byte-seconds (paper: "<< $0.01" here).
+  r.s3StorageCost =
+      s3ByteSeconds_ / 1e9 / (30.0 * 24 * 3600) * book_.s3StoragePerGBMonth;
+  r.extraFees = extraFees_;
+  return r;
+}
+
+}  // namespace wfs::cloud

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_types.hpp"
+#include "cloud/pricing.hpp"
+#include "simcore/time.hpp"
+
+namespace wfs::cloud {
+
+/// Cost breakdown for one run, under both charging models the paper uses
+/// (§VI): what Amazon actually bills (hourly, partial hours rounded up) and
+/// the hypothetical per-second rate (hourly / 3600).
+struct CostReport {
+  double resourceCostHourly = 0.0;
+  double resourceCostPerSecond = 0.0;
+  double s3RequestCost = 0.0;
+  double s3StorageCost = 0.0;
+  /// Other metered service fees (EBS I/O requests in the extension).
+  double extraFees = 0.0;
+
+  [[nodiscard]] double totalHourly() const {
+    return resourceCostHourly + s3RequestCost + s3StorageCost + extraFees;
+  }
+  [[nodiscard]] double totalPerSecond() const {
+    return resourceCostPerSecond + s3RequestCost + s3StorageCost + extraFees;
+  }
+};
+
+/// Meters VM usage intervals and S3 traffic, then prices them.
+class BillingEngine {
+ public:
+  explicit BillingEngine(PriceBook book = PriceBook{}) : book_{book} {}
+
+  /// Records that an instance of `type` ran for [start, end).
+  void recordInstance(const InstanceType& type, sim::SimTime start, sim::SimTime end);
+
+  void recordS3Requests(std::uint64_t puts, std::uint64_t gets) {
+    puts_ += puts;
+    gets_ += gets;
+  }
+  void recordS3Storage(Bytes bytes, double seconds) {
+    s3ByteSeconds_ += static_cast<double>(bytes) * seconds;
+  }
+
+  /// Additional service fee (e.g. EBS per-million-I/O requests).
+  void recordExtraFee(double dollars) { extraFees_ += dollars; }
+
+  [[nodiscard]] CostReport report() const;
+  [[nodiscard]] const PriceBook& priceBook() const { return book_; }
+
+ private:
+  struct Usage {
+    double pricePerHour;
+    double seconds;
+  };
+  PriceBook book_;
+  std::vector<Usage> usage_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+  double s3ByteSeconds_ = 0.0;
+  double extraFees_ = 0.0;
+};
+
+}  // namespace wfs::cloud

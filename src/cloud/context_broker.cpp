@@ -1,0 +1,34 @@
+#include "cloud/context_broker.hpp"
+
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace wfs::cloud {
+
+ContextBroker::ContextBroker(sim::Simulator& sim, Provisioner& prov, const Config& cfg)
+    : sim_{&sim}, prov_{&prov}, cfg_{cfg} {}
+
+sim::Task<void> ContextBroker::bootAndConfigure(Vm& vm, sim::Duration bootTime) {
+  co_await sim_->delay(bootTime);           // instance boot (70-90 s)
+  co_await sim_->delay(cfg_.perNodeSetup);  // ctx agent + config generation
+  co_await sim_->delay(cfg_.serviceStart);  // daemons up
+  vm.setBootedAt(sim_->now());
+}
+
+sim::Task<void> ContextBroker::deploy(VirtualCluster& cluster, sim::Rng& rng) {
+  std::vector<sim::Task<void>> boots;
+  for (auto& vm : cluster.workers) {
+    boots.push_back(bootAndConfigure(*vm, prov_->sampleBootTime(rng)));
+  }
+  if (cluster.auxiliary) {
+    boots.push_back(bootAndConfigure(*cluster.auxiliary, prov_->sampleBootTime(rng)));
+  }
+  co_await sim::allOf(*sim_, std::move(boots));
+  readyAt_ = sim_->now();
+}
+
+ContextBroker::ContextBroker(sim::Simulator& sim, Provisioner& prov)
+    : ContextBroker{sim, prov, Config{}} {}
+
+}  // namespace wfs::cloud

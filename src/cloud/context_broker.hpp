@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/provisioner.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/task.hpp"
+
+namespace wfs::cloud {
+
+/// Nimbus Context Broker (paper §III.A): turns freshly booted instances
+/// into a configured virtual cluster — collects addresses, generates the
+/// Condor / storage-system configuration for each role, and starts the
+/// services. The alternative is tedious, error-prone manual setup.
+class ContextBroker {
+ public:
+  struct Config {
+    /// Context agent exchange + config generation per node.
+    sim::Duration perNodeSetup = sim::Duration::seconds(5);
+    /// Service start (condor daemons, storage daemons).
+    sim::Duration serviceStart = sim::Duration::seconds(3);
+  };
+
+  ContextBroker(sim::Simulator& sim, Provisioner& prov, const Config& cfg);
+  ContextBroker(sim::Simulator& sim, Provisioner& prov);
+
+  /// Boots and contextualizes every VM of the cluster (in parallel);
+  /// completes when the whole virtual cluster is ready. Returns through
+  /// `readyAt` pointers being set on the VMs.
+  [[nodiscard]] sim::Task<void> deploy(VirtualCluster& cluster, sim::Rng& rng);
+
+  [[nodiscard]] sim::SimTime readyAt() const { return readyAt_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> bootAndConfigure(Vm& vm, sim::Duration bootTime);
+
+  sim::Simulator* sim_;
+  Provisioner* prov_;
+  Config cfg_;
+  sim::SimTime readyAt_{};
+};
+
+}  // namespace wfs::cloud

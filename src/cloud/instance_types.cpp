@@ -1,0 +1,41 @@
+#include "cloud/instance_types.hpp"
+
+#include <stdexcept>
+
+namespace wfs::cloud {
+
+InstanceCatalog::InstanceCatalog() {
+  // 2010 us-east on-demand prices; memory/cores from the contemporary EC2
+  // documentation. c1.xlarge is the worker type for every experiment
+  // (paper §III.B); m1.xlarge hosts NFS (§IV.B); m2.4xlarge is the big
+  // NFS-server variant in the Broadband discussion (§V.C).
+  types_ = {
+      {"m1.small", 1, 2_GB, 1, 0.085, Gbps(1), 0.4},
+      {"m1.large", 2, 8_GB, 2, 0.34, Gbps(1), 0.8},
+      {"m1.xlarge", 4, 16_GB, 4, 0.68, Gbps(1), 0.8},
+      {"c1.medium", 2, 2_GB, 1, 0.17, Gbps(1), 1.0},
+      {"c1.xlarge", 8, 7_GB, 4, 0.68, Gbps(1), 1.0},
+      {"m2.4xlarge", 8, 64_GB, 2, 2.40, Gbps(1), 1.1},
+  };
+}
+
+const InstanceType& InstanceCatalog::get(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("unknown EC2 instance type: " + name);
+}
+
+bool InstanceCatalog::has(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+const InstanceCatalog& instanceCatalog() {
+  static const InstanceCatalog catalog;
+  return catalog;
+}
+
+}  // namespace wfs::cloud

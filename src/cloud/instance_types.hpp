@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace wfs::cloud {
+
+/// EC2 instance type as of the paper's experiments (2010, us-east).
+struct InstanceType {
+  std::string name;
+  int cores;
+  Bytes memory;
+  int ephemeralDisks;
+  /// On-demand $/hour (2010 price book).
+  double pricePerHour;
+  /// NIC rate; the 2010 fleet was gigabit.
+  Rate nicRate;
+  /// Per-core speed relative to a c1.xlarge core (ECU-derived).
+  double coreSpeed;
+};
+
+/// Catalog of the types the paper uses or mentions (§III.B, §V.C, §VI).
+class InstanceCatalog {
+ public:
+  InstanceCatalog();
+
+  [[nodiscard]] const InstanceType& get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const std::vector<InstanceType>& all() const { return types_; }
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+/// Process-wide catalog (read-only after construction).
+[[nodiscard]] const InstanceCatalog& instanceCatalog();
+
+}  // namespace wfs::cloud

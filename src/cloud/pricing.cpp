@@ -1,0 +1,3 @@
+#include "cloud/pricing.hpp"
+
+// Header-only; translation unit reserved for future regional price books.

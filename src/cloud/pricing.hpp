@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/units.hpp"
+
+namespace wfs::cloud {
+
+/// Amazon's 2010 fee schedule for the cost components the paper charges
+/// (§VI): hourly instances with round-up, and S3 request/storage fees.
+/// Transfers within EC2 are free.
+struct PriceBook {
+  double s3PutPer1000 = 0.01;       // $ per 1,000 PUTs
+  double s3GetPer10000 = 0.01;      // $ per 10,000 GETs
+  double s3StoragePerGBMonth = 0.15;
+
+  [[nodiscard]] double s3RequestCost(std::uint64_t puts, std::uint64_t gets) const {
+    return static_cast<double>(puts) / 1000.0 * s3PutPer1000 +
+           static_cast<double>(gets) / 10000.0 * s3GetPer10000;
+  }
+
+  /// Storage fee for holding `bytes` for `seconds` (paper: "<< $0.01" for
+  /// these workloads — included for completeness).
+  [[nodiscard]] double s3StorageCost(Bytes bytes, double seconds) const {
+    const double gbMonths = static_cast<double>(bytes) / 1e9 * seconds / (30.0 * 24 * 3600);
+    return gbMonths * s3StoragePerGBMonth;
+  }
+};
+
+}  // namespace wfs::cloud

@@ -1,0 +1,33 @@
+#include "cloud/provisioner.hpp"
+
+namespace wfs::cloud {
+
+Provisioner::Provisioner(sim::Simulator& sim, net::FlowNetwork& net, BillingEngine& billing,
+                         const Config& cfg)
+    : sim_{&sim}, net_{&net}, billing_{&billing}, cfg_{cfg} {}
+
+std::unique_ptr<Vm> Provisioner::request(const std::string& typeName,
+                                         const std::string& hostname) {
+  const InstanceType& type = instanceCatalog().get(typeName);
+  auto vm = std::make_unique<Vm>(*sim_, *net_, type, hostname, cfg_.vmOptions);
+  open_.push_back(Pending{&type, sim_->now()});
+  return vm;
+}
+
+sim::Duration Provisioner::sampleBootTime(sim::Rng& rng) const {
+  const double lo = cfg_.bootMin.asSeconds();
+  const double hi = cfg_.bootMax.asSeconds();
+  return sim::Duration::fromSeconds(rng.uniform(lo, hi));
+}
+
+void Provisioner::settleBilling() {
+  for (const auto& p : open_) {
+    billing_->recordInstance(*p.type, p.requestedAt, sim_->now());
+  }
+  open_.clear();
+}
+
+Provisioner::Provisioner(sim::Simulator& sim, net::FlowNetwork& net, BillingEngine& billing)
+    : Provisioner{sim, net, billing, Config{}} {}
+
+}  // namespace wfs::cloud

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/vm.hpp"
+#include "net/fabric.hpp"
+#include "simcore/rng.hpp"
+
+namespace wfs::cloud {
+
+/// A provisioned set of instances: the workers plus any auxiliary hosts
+/// (the dedicated NFS server).
+struct VirtualCluster {
+  std::vector<std::unique_ptr<Vm>> workers;
+  std::unique_ptr<Vm> auxiliary;  // e.g. NFS server; may be null
+
+  [[nodiscard]] std::vector<storage::StorageNode> workerNodes() const {
+    std::vector<storage::StorageNode> out;
+    out.reserve(workers.size());
+    for (const auto& vm : workers) out.push_back(vm->storageNode());
+    return out;
+  }
+};
+
+/// Requests instances from the (infinitely elastic) EC2 region and models
+/// boot latency. The paper reports 70-90 s boots and excludes them from
+/// makespans; the provisioner still simulates them so billing starts at
+/// request time, as Amazon's meter does.
+class Provisioner {
+ public:
+  struct Config {
+    sim::Duration bootMin = sim::Duration::seconds(70);
+    sim::Duration bootMax = sim::Duration::seconds(90);
+    Vm::Options vmOptions{};
+  };
+
+  Provisioner(sim::Simulator& sim, net::FlowNetwork& net, BillingEngine& billing,
+              const Config& cfg);
+  Provisioner(sim::Simulator& sim, net::FlowNetwork& net, BillingEngine& billing);
+
+  /// Synchronously creates the VM objects; boot completion is simulated by
+  /// contextualization (ContextBroker). Billing is noted at request time.
+  [[nodiscard]] std::unique_ptr<Vm> request(const std::string& typeName,
+                                            const std::string& hostname);
+
+  [[nodiscard]] sim::Duration sampleBootTime(sim::Rng& rng) const;
+
+  /// Reports instance usage [requestTime, now] to billing; call at teardown.
+  void settleBilling();
+
+ private:
+  sim::Simulator* sim_;
+  net::FlowNetwork* net_;
+  BillingEngine* billing_;
+  Config cfg_;
+  struct Pending {
+    const InstanceType* type;
+    sim::SimTime requestedAt;
+  };
+  std::vector<Pending> open_;
+};
+
+}  // namespace wfs::cloud

@@ -1,0 +1,23 @@
+#include "cloud/vm.hpp"
+
+namespace wfs::cloud {
+
+Vm::Vm(sim::Simulator& sim, net::FlowNetwork& net, const InstanceType& type,
+       std::string hostname, const Options& opt)
+    : type_{&type}, hostname_{std::move(hostname)} {
+  nic_ = std::make_unique<net::Nic>(net, type.nicRate, type.nicRate, opt.nicLatency,
+                                    hostname_);
+  blk::Raid0::Config rc;
+  rc.member = opt.disk;
+  rc.members = type.ephemeralDisks;
+  // Envelope ceilings scale with the array width relative to the measured
+  // 4-disk c1.xlarge numbers (§III.C).
+  rc.readCeiling = MBps(77.5) * type.ephemeralDisks;
+  rc.writeCeiling = MBps(100) * type.ephemeralDisks;
+  disk_ = std::make_unique<blk::Raid0>(net, rc, hostname_ + ".md0");
+  if (opt.initializeDisks) disk_->initializeAll();
+  cores_ = std::make_unique<sim::Resource>(sim, type.cores, hostname_ + ".cores");
+  memory_ = std::make_unique<sim::Resource>(sim, type.memory, hostname_ + ".mem");
+}
+
+}  // namespace wfs::cloud

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blk/raid0.hpp"
+#include "cloud/instance_types.hpp"
+#include "net/nic.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/simulator.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::cloud {
+
+/// One EC2 instance: cores and memory as schedulable resources, a gigabit
+/// NIC, and its ephemeral disks assembled into the RAID-0 array the paper
+/// builds on every node (§III.C).
+class Vm {
+ public:
+  struct Options {
+    /// Disk model for each ephemeral device.
+    blk::Disk::Config disk{};
+    /// Zero-fill the array at launch (the paper measured ~42 min for 50 GB
+    /// and does *not* initialize; kept for the ablation benches).
+    bool initializeDisks = false;
+    sim::Duration nicLatency = sim::Duration::micros(100);
+  };
+
+  Vm(sim::Simulator& sim, net::FlowNetwork& net, const InstanceType& type,
+     std::string hostname, const Options& opt);
+
+  [[nodiscard]] const InstanceType& type() const { return *type_; }
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+  [[nodiscard]] net::Nic& nic() { return *nic_; }
+  [[nodiscard]] blk::Raid0& disk() { return *disk_; }
+  [[nodiscard]] sim::Resource& cores() { return *cores_; }
+  [[nodiscard]] sim::Resource& memory() { return *memory_; }
+
+  [[nodiscard]] storage::StorageNode storageNode() {
+    return storage::StorageNode{hostname_, nic_.get(), disk_.get(), type_->memory};
+  }
+
+  [[nodiscard]] sim::SimTime bootedAt() const { return bootedAt_; }
+  void setBootedAt(sim::SimTime t) { bootedAt_ = t; }
+
+ private:
+  const InstanceType* type_;
+  std::string hostname_;
+  std::unique_ptr<net::Nic> nic_;
+  std::unique_ptr<blk::Raid0> disk_;
+  std::unique_ptr<sim::Resource> cores_;
+  std::unique_ptr<sim::Resource> memory_;
+  sim::SimTime bootedAt_{};
+};
+
+}  // namespace wfs::cloud

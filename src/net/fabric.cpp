@@ -1,0 +1,41 @@
+#include "net/fabric.hpp"
+
+namespace wfs::net {
+
+Fabric::Fabric(FlowNetwork& net, const Config& cfg) : net_{&net}, hopLatency_{cfg.hopLatency} {
+  if (cfg.coreRate > 0) core_.emplace(net, cfg.coreRate, "fabric.core");
+}
+
+Path Fabric::path(Nic* src, Nic* dst) const {
+  if (src == dst) return {};  // loopback: memory-speed, not modeled
+  Path p;
+  if (src != nullptr) p.push_back(Hop{&src->tx(), 1.0});
+  if (core_) p.push_back(Hop{const_cast<Capacity*>(&*core_), 1.0});
+  if (dst != nullptr) p.push_back(Hop{&dst->rx(), 1.0});
+  return p;
+}
+
+sim::Duration Fabric::oneWayLatency(const Nic* src, const Nic* dst) const {
+  if (src == dst) return sim::Duration::zero();
+  sim::Duration d = hopLatency_;
+  if (src != nullptr) d += src->latency();
+  if (dst != nullptr) d += dst->latency();
+  return d;
+}
+
+sim::Task<void> Fabric::send(Nic* src, Nic* dst, Bytes bytes) {
+  if (src == dst) co_return;  // loopback
+  co_await net_->simulator().delay(oneWayLatency(src, dst));
+  co_await net_->transfer(path(src, dst), bytes);
+}
+
+sim::Task<void> Fabric::rpc(Nic* src, Nic* dst, Bytes request, Bytes response,
+                            sim::Duration serviceTime) {
+  co_await send(src, dst, request);
+  if (serviceTime > sim::Duration::zero()) {
+    co_await net_->simulator().delay(serviceTime);
+  }
+  co_await send(dst, src, response);
+}
+
+}  // namespace wfs::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "net/nic.hpp"
+#include "simcore/task.hpp"
+
+namespace wfs::net {
+
+/// Datacenter fabric connecting the VMs of a virtual cluster.
+///
+/// Models an optional aggregate core capacity (oversubscription) on top of
+/// per-NIC limits, and builds flow paths / RPC exchanges between hosts.
+/// Same-host transfers bypass the network entirely (loopback).
+class Fabric {
+ public:
+  struct Config {
+    /// Aggregate core bandwidth; 0 disables the core stage (EC2-class
+    /// fabrics are rarely the bottleneck below ~16 nodes).
+    Rate coreRate = 0;
+    /// One-way propagation/software latency added per message on top of the
+    /// NIC latencies.
+    sim::Duration hopLatency = sim::Duration::micros(150);
+  };
+
+  Fabric(FlowNetwork& net, const Config& cfg);
+
+  [[nodiscard]] FlowNetwork& network() { return *net_; }
+
+  /// Flow path for a src -> dst bulk transfer. Empty when src == dst.
+  [[nodiscard]] Path path(Nic* src, Nic* dst) const;
+
+  /// One-way latency for a message src -> dst (zero for loopback).
+  [[nodiscard]] sim::Duration oneWayLatency(const Nic* src, const Nic* dst) const;
+
+  /// Sends `bytes` from src to dst: one-way latency, then a bandwidth flow.
+  [[nodiscard]] sim::Task<void> send(Nic* src, Nic* dst, Bytes bytes);
+
+  /// Request/response exchange: request latency+flow, then response
+  /// latency+flow; `serviceTime` is spent at the responder in between.
+  [[nodiscard]] sim::Task<void> rpc(Nic* src, Nic* dst, Bytes request, Bytes response,
+                                    sim::Duration serviceTime = sim::Duration::zero());
+
+ private:
+  FlowNetwork* net_;
+  std::optional<Capacity> core_;
+  sim::Duration hopLatency_;
+};
+
+}  // namespace wfs::net

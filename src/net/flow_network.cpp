@@ -1,0 +1,177 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace wfs::net {
+
+namespace {
+/// Flows below this many remaining bytes are complete (absorbs rounding).
+constexpr double kDoneEps = 0.5;
+/// Floor on assigned rates; prevents a stalled simulation if progressive
+/// filling hits an exactly-saturated capacity (degenerate tie).
+constexpr double kMinRate = 1e-3;
+/// Loads below this are floating-point residue from subtracting frozen
+/// flows' weights, not real demand (legitimate weights are > 1e-9).
+constexpr double kLoadEps = 1e-12;
+}  // namespace
+
+Capacity::Capacity(FlowNetwork& net, Rate rate, std::string name)
+    : net_{&net}, rate_{rate}, name_{std::move(name)} {
+  assert(rate > 0);
+  net_->capacities_.push_back(this);
+}
+
+Capacity::~Capacity() {
+  auto& caps = net_->capacities_;
+  caps.erase(std::remove(caps.begin(), caps.end(), this), caps.end());
+}
+
+void Capacity::setRate(Rate r) {
+  assert(r > 0);
+  if (r == rate_) return;
+  net_->settle();
+  rate_ = r;
+  net_->reshare();
+}
+
+sim::Task<void> FlowNetwork::transfer(Path path, Bytes bytes) {
+  // The awaiter is trivially destructible on purpose: it borrows the path
+  // from the coroutine frame instead of owning it (avoids a GCC 12 issue
+  // with non-trivial awaiter temporaries).
+  struct Awaiter {
+    FlowNetwork* net;
+    Path* path;
+    double bytes;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      net->addFlow(std::move(*path), bytes, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{this, &path, static_cast<double>(bytes)};
+}
+
+void FlowNetwork::addFlow(Path path, double bytes, std::coroutine_handle<> waiter) {
+  totalBytes_ += bytes;
+  if (bytes <= kDoneEps || path.empty()) {
+    // Nothing to bottleneck on: complete on the next scheduling round.
+    ++completedFlows_;
+    sim_->schedule(sim::Duration::zero(), [waiter] { waiter.resume(); });
+    return;
+  }
+  settle();
+  flows_.push_back(Flow{std::move(path), bytes, 0.0, waiter});
+  reshare();
+}
+
+void FlowNetwork::settle() {
+  const sim::SimTime now = sim_->now();
+  const double dt = (now - lastSettle_).asSeconds();
+  lastSettle_ = now;
+  if (dt <= 0.0) return;
+  for (auto& f : flows_) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  for (Capacity* c : capacities_) {
+    c->serviceBytes_ += c->usedRate_ * dt;
+  }
+}
+
+void FlowNetwork::reshare() {
+  // Weighted progressive filling. All unfrozen flows rise at a common fill
+  // level phi; the capacity with the smallest residual_/load_ saturates
+  // first and freezes its flows at that level.
+  for (Capacity* c : capacities_) {
+    c->residual_ = c->rate_;
+    c->load_ = 0.0;
+    c->usedRate_ = 0.0;
+  }
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& f : flows_) {
+    unfrozen.push_back(&f);
+    for (const Hop& hop : f.path) hop.cap->load_ += hop.weight;
+  }
+
+  while (!unfrozen.empty()) {
+    Capacity* bottleneck = nullptr;
+    double phi = std::numeric_limits<double>::infinity();
+    for (Capacity* c : capacities_) {
+      if (c->load_ <= kLoadEps) continue;
+      const double cPhi = std::max(c->residual_, 0.0) / c->load_;
+      if (cPhi < phi) {
+        phi = cPhi;
+        bottleneck = c;
+      }
+    }
+    assert(bottleneck != nullptr && "every flow has a non-empty path");
+    phi = std::max(phi, 0.0);
+
+    // Freeze every unfrozen flow passing through the bottleneck.
+    auto isThrough = [bottleneck](const Flow* f) {
+      for (const Hop& hop : f->path) {
+        if (hop.cap == bottleneck) return true;
+      }
+      return false;
+    };
+    bool frozeAny = false;
+    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
+      Flow* f = *it;
+      if (!isThrough(f)) {
+        ++it;
+        continue;
+      }
+      f->rate = std::max(phi, kMinRate);
+      for (const Hop& hop : f->path) {
+        hop.cap->residual_ -= phi * hop.weight;
+        hop.cap->load_ -= hop.weight;
+        hop.cap->usedRate_ += f->rate * hop.weight;
+      }
+      it = unfrozen.erase(it);
+      frozeAny = true;
+    }
+    if (!frozeAny) {
+      // Defensive: the bottleneck's load was pure residue after all; zero
+      // it so the next iteration picks a real one instead of spinning.
+      bottleneck->load_ = 0.0;
+    }
+  }
+  scheduleNextCompletion();
+}
+
+void FlowNetwork::scheduleNextCompletion() {
+  if (eventPending_) {
+    sim_->cancel(pendingEvent_);
+    eventPending_ = false;
+  }
+  if (flows_.empty()) return;
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    soonest = std::min(soonest, f.remaining / f.rate);
+  }
+  // fromSeconds rounds up, so the event lands at-or-after true completion.
+  pendingEvent_ = sim_->schedule(sim::Duration::fromSeconds(soonest), [this] {
+    eventPending_ = false;
+    settle();
+    completeFinishedFlows();
+    reshare();
+  });
+  eventPending_ = true;
+}
+
+void FlowNetwork::completeFinishedFlows() {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kDoneEps) {
+      ++completedFlows_;
+      sim_->schedule(sim::Duration::zero(), [h = it->waiter] { h.resume(); });
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace wfs::net

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "simcore/units.hpp"
+
+namespace wfs::net {
+
+class FlowNetwork;
+
+/// A shared bottleneck: NIC direction, fabric stage, or disk service.
+///
+/// Capacities are registered with one FlowNetwork; flows traverse a path of
+/// capacities and receive a weighted max–min fair share of each.
+class Capacity {
+ public:
+  Capacity(FlowNetwork& net, Rate rate, std::string name = {});
+  Capacity(const Capacity&) = delete;
+  Capacity& operator=(const Capacity&) = delete;
+  ~Capacity();
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+  /// Changing the rate re-shares all active flows (used for degraded modes).
+  void setRate(Rate r);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Integral of in-use rate over time, in bytes; divide by elapsed seconds
+  /// times rate() for average utilization.
+  [[nodiscard]] double serviceBytes() const { return serviceBytes_; }
+
+ private:
+  friend class FlowNetwork;
+  FlowNetwork* net_;
+  Rate rate_;
+  std::string name_;
+  double serviceBytes_ = 0.0;
+
+  // Scratch used during recompute/settle.
+  double residual_ = 0.0;
+  double load_ = 0.0;
+  double usedRate_ = 0.0;
+};
+
+/// One hop of a flow's path. `weight` scales how much of the capacity each
+/// flow-byte consumes: e.g. an uninitialized-extent disk write with a 5x
+/// first-write penalty uses weight 5 on the disk capacity but weight 1 on
+/// the NICs it also traverses.
+struct Hop {
+  Capacity* cap;
+  double weight = 1.0;
+};
+
+using Path = std::vector<Hop>;
+
+/// Flow-level network/IO model with weighted progressive-filling (max–min)
+/// bandwidth sharing.
+///
+/// Each active flow gets rate r_f such that for every capacity c,
+/// sum_f(r_f * w_{f,c}) <= C_c, rates are max–min fair, and at least one
+/// capacity on every flow's path is saturated (work conservation). Rates are
+/// recomputed whenever a flow starts, finishes, or a capacity changes.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulator& sim) : sim_{&sim} {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Moves `bytes` through `path`; completes when fully serviced. A flow
+  /// with an empty path completes after one scheduling round (no bottleneck
+  /// modeled). Zero-byte transfers complete after one scheduling round.
+  [[nodiscard]] sim::Task<void> transfer(Path path, Bytes bytes);
+
+  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t completedFlows() const { return completedFlows_; }
+  [[nodiscard]] double totalBytesMoved() const { return totalBytes_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+ private:
+  friend class Capacity;
+
+  struct Flow {
+    Path path;
+    double remaining;
+    double rate = 0.0;
+    std::coroutine_handle<> waiter{};
+  };
+  using FlowIt = std::list<Flow>::iterator;
+
+  void addFlow(Path path, double bytes, std::coroutine_handle<> waiter);
+  void onCapacityChanged();
+
+  /// Advances all flow progress to now() using the current rates.
+  void settle();
+  /// Recomputes max–min rates and reschedules the next completion event.
+  void reshare();
+  void completeFinishedFlows();
+  void scheduleNextCompletion();
+
+  sim::Simulator* sim_;
+  std::list<Flow> flows_;
+  std::vector<Capacity*> capacities_;
+  sim::SimTime lastSettle_{};
+  sim::EventId pendingEvent_{};
+  bool eventPending_ = false;
+  std::uint64_t completedFlows_ = 0;
+  double totalBytes_ = 0.0;
+};
+
+}  // namespace wfs::net

@@ -1,0 +1,4 @@
+#include "net/nic.hpp"
+
+// Header-only for now; translation unit kept so the target layout matches
+// the module inventory and future out-of-line additions have a home.

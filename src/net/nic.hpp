@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "simcore/time.hpp"
+
+namespace wfs::net {
+
+/// Full-duplex network interface of one VM: independent transmit and
+/// receive capacities plus a fixed one-way latency contribution.
+class Nic {
+ public:
+  Nic(FlowNetwork& net, Rate txRate, Rate rxRate, sim::Duration latency,
+      const std::string& host)
+      : tx_{net, txRate, host + ".tx"}, rx_{net, rxRate, host + ".rx"}, latency_{latency} {}
+
+  [[nodiscard]] Capacity& tx() { return tx_; }
+  [[nodiscard]] Capacity& rx() { return rx_; }
+  [[nodiscard]] sim::Duration latency() const { return latency_; }
+
+ private:
+  Capacity tx_;
+  Capacity rx_;
+  sim::Duration latency_;
+};
+
+}  // namespace wfs::net

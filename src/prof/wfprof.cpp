@@ -1,0 +1,55 @@
+#include "prof/wfprof.hpp"
+
+#include <algorithm>
+
+namespace wfs::prof {
+
+const char* toString(UsageLevel level) {
+  switch (level) {
+    case UsageLevel::kLow: return "Low";
+    case UsageLevel::kMedium: return "Medium";
+    case UsageLevel::kHigh: return "High";
+  }
+  return "?";
+}
+
+AppProfile WfProf::profile() const { return profileWith(Thresholds{}); }
+
+AppProfile WfProf::profileWith(const Thresholds& th) const {
+  AppProfile p;
+  p.taskCount = traces_.size();
+  double cpu = 0.0, io = 0.0, memHeavy = 0.0;
+  for (const auto& t : traces_) {
+    const double rt = t.runtime();
+    p.totalTaskRuntime += rt;
+    cpu += t.cpuSeconds;
+    io += t.ioSeconds;
+    if (t.peakMemory > th.memHeavyTask) memHeavy += rt;
+    p.bytesRead += t.bytesRead;
+    p.bytesWritten += t.bytesWritten;
+    p.maxPeakMemory = std::max(p.maxPeakMemory, t.peakMemory);
+  }
+  if (p.totalTaskRuntime > 0) {
+    p.cpuFraction = cpu / p.totalTaskRuntime;
+    p.ioFraction = io / p.totalTaskRuntime;
+    p.memHeavyRuntimeFraction = memHeavy / p.totalTaskRuntime;
+  }
+
+  auto level = [](double v, double high, double medium) {
+    if (v > high) return UsageLevel::kHigh;
+    if (v > medium) return UsageLevel::kMedium;
+    return UsageLevel::kLow;
+  };
+  p.ioLevel = level(p.ioFraction, th.ioHigh, th.ioMedium);
+  p.cpuLevel = level(p.cpuFraction, th.cpuHigh, th.cpuMedium);
+  if (p.memHeavyRuntimeFraction > th.memHighRuntime) {
+    p.memoryLevel = UsageLevel::kHigh;
+  } else if (p.maxPeakMemory > th.memMediumPeak) {
+    p.memoryLevel = UsageLevel::kMedium;
+  } else {
+    p.memoryLevel = UsageLevel::kLow;
+  }
+  return p;
+}
+
+}  // namespace wfs::prof

@@ -1,0 +1,68 @@
+#include "simcore/event_queue.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+#include "simcore/time.hpp"
+
+namespace wfs::sim {
+
+std::string Duration::toString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6fs", asSeconds());
+  return buf;
+}
+
+Duration Duration::fromSeconds(double s) {
+  const double ns = s * 1e9;
+  auto whole = static_cast<std::int64_t>(ns);
+  if (static_cast<double>(whole) < ns) ++whole;  // round up
+  return Duration::nanos(whole);
+}
+
+std::string SimTime::toString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", asSeconds());
+  return buf;
+}
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const std::uint64_t seq = nextSeq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  dead_.push_back(false);
+  ++live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id.seq >= dead_.size() || dead_[id.seq]) return;
+  dead_[id.seq] = true;
+  assert(live_ > 0);
+  --live_;
+}
+
+void EventQueue::dropDead() const {
+  while (!heap_.empty() && dead_[heap_.top().seq]) heap_.pop();
+}
+
+SimTime EventQueue::nextTime() const {
+  dropDead();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+SimTime EventQueue::runNext() {
+  dropDead();
+  assert(!heap_.empty());
+  // Move the callback out before running: the callback may schedule new
+  // events, which would invalidate a reference into the heap.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  dead_[e.seq] = true;
+  --live_;
+  e.cb();
+  return e.at;
+}
+
+}  // namespace wfs::sim

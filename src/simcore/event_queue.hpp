@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace wfs::sim {
+
+/// Handle to a scheduled event; used to cancel timers.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+/// Priority queue of timestamped callbacks.
+///
+/// Ties are broken by insertion sequence number so that execution order is
+/// deterministic and FIFO among simultaneous events — the property every
+/// other component (resources, signals, flow settlement) relies on.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Marks an event dead; it is dropped when popped. O(1).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  /// Precondition: !empty().
+  SimTime runNext();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dropDead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<bool> dead_;  // indexed by seq
+  std::uint64_t nextSeq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace wfs::sim

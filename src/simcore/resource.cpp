@@ -1,0 +1,63 @@
+#include "simcore/resource.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wfs::sim {
+
+Lease& Lease::operator=(Lease&& o) noexcept {
+  if (this != &o) {
+    release();
+    res_ = std::exchange(o.res_, nullptr);
+    amount_ = o.amount_;
+  }
+  return *this;
+}
+
+void Lease::release() {
+  if (res_ != nullptr) {
+    res_->release(amount_);
+    res_ = nullptr;
+  }
+}
+
+Resource::Resource(Simulator& sim, std::int64_t capacity, std::string name)
+    : sim_{&sim}, capacity_{capacity}, available_{capacity}, name_{std::move(name)} {
+  assert(capacity >= 0);
+}
+
+bool Resource::tryAcquireNow(std::int64_t n) {
+  assert(n >= 0 && n <= capacity_);
+  // Strict FIFO: even if units are free, a newcomer must queue behind
+  // existing waiters.
+  if (!waiters_.empty() || available_ < n) return false;
+  available_ -= n;
+  return true;
+}
+
+bool Resource::tryAcquire(std::int64_t n) { return tryAcquireNow(n); }
+
+void Resource::enqueue(std::int64_t n, std::coroutine_handle<> h) {
+  waiters_.push_back(Waiter{n, h});
+}
+
+void Resource::release(std::int64_t n) {
+  assert(n >= 0);
+  available_ += n;
+  assert(available_ <= capacity_);
+  drainQueue();
+}
+
+void Resource::drainQueue() {
+  // Grant head-of-line waiters whose request fits. Units are reserved here,
+  // synchronously, so nothing can steal them before the waiter resumes via
+  // the event queue.
+  while (!waiters_.empty() && waiters_.front().n <= available_) {
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    available_ -= w.n;
+    sim_->schedule(Duration::zero(), [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "simcore/simulator.hpp"
+
+namespace wfs::sim {
+
+class Resource;
+
+/// RAII grant of `amount` units of a Resource; releases on destruction.
+class Lease {
+ public:
+  Lease() = default;
+  Lease(Resource& r, std::int64_t amount) : res_{&r}, amount_{amount} {}
+  Lease(Lease&& o) noexcept : res_{std::exchange(o.res_, nullptr)}, amount_{o.amount_} {}
+  Lease& operator=(Lease&& o) noexcept;
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { release(); }
+
+  void release();
+  [[nodiscard]] bool held() const { return res_ != nullptr; }
+  [[nodiscard]] std::int64_t amount() const { return res_ ? amount_ : 0; }
+
+ private:
+  Resource* res_ = nullptr;
+  std::int64_t amount_ = 0;
+};
+
+/// Counting semaphore with strict FIFO granting.
+///
+/// Models node cores, memory, and any other discrete capacity. A waiter is
+/// granted only when it reaches the head of the queue and enough units are
+/// free, so a large request cannot be starved by a stream of small ones
+/// (matters for Broadband's >1 GB tasks competing for the 7 GB of c1.xlarge
+/// RAM).
+class Resource {
+ public:
+  Resource(Simulator& sim, std::int64_t capacity, std::string name = {});
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t available() const { return available_; }
+  [[nodiscard]] std::int64_t inUse() const { return capacity_ - available_; }
+  [[nodiscard]] std::size_t queueLength() const { return waiters_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// co_await acquire(n) suspends until n units are granted.
+  [[nodiscard]] auto acquire(std::int64_t n = 1) {
+    struct Awaiter {
+      Resource* res;
+      std::int64_t n;
+      [[nodiscard]] bool await_ready() const { return res->tryAcquireNow(n); }
+      void await_suspend(std::coroutine_handle<> h) { res->enqueue(n, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, n};
+  }
+
+  /// co_await scoped(n) yields an RAII Lease.
+  [[nodiscard]] auto scoped(std::int64_t n = 1) {
+    struct Awaiter {
+      Resource* res;
+      std::int64_t n;
+      [[nodiscard]] bool await_ready() const { return res->tryAcquireNow(n); }
+      void await_suspend(std::coroutine_handle<> h) { res->enqueue(n, h); }
+      [[nodiscard]] Lease await_resume() const { return Lease{*res, n}; }
+    };
+    return Awaiter{this, n};
+  }
+
+  void release(std::int64_t n = 1);
+
+  /// Non-blocking acquire; returns whether n units were taken.
+  bool tryAcquire(std::int64_t n = 1);
+
+ private:
+  friend class Lease;
+  bool tryAcquireNow(std::int64_t n);
+  void enqueue(std::int64_t n, std::coroutine_handle<> h);
+  void drainQueue();
+
+  struct Waiter {
+    std::int64_t n;
+    std::coroutine_handle<> handle;
+  };
+
+  Simulator* sim_;
+  std::int64_t capacity_;
+  std::int64_t available_;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace wfs::sim

@@ -1,0 +1,87 @@
+#include "simcore/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace wfs::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork() { return Rng{nextU64()}; }
+
+std::uint64_t Rng::nextU64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::nextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(nextU64());  // full range
+  // Rejection sampling for unbiased modulo.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v = nextU64();
+  while (v >= limit) v = nextU64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * nextDouble(); }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = nextDouble();
+  while (u == 0.0) u = nextDouble();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = nextDouble();
+  while (u1 == 0.0) u1 = nextDouble();
+  const double u2 = nextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::truncatedNormal(double mean, double stddev, double lo) {
+  for (int i = 0; i < 64; ++i) {
+    const double v = normal(mean, stddev);
+    if (v >= lo) return v;
+  }
+  return lo;
+}
+
+double Rng::boundedPareto(double lo, double hi, double alpha) {
+  assert(lo > 0 && hi > lo && alpha > 0);
+  const double u = nextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wfs::sim {
+
+/// Deterministic xoshiro256** generator with a SplitMix64 seeder.
+///
+/// Self-contained (no libstdc++ distribution objects) so that streams are
+/// identical across standard-library implementations — a requirement for
+/// bit-reproducible experiment tables.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derives an independent child stream; used to give every workflow task
+  /// its own stream regardless of generation order.
+  [[nodiscard]] Rng fork();
+
+  std::uint64_t nextU64();
+
+  /// Uniform in [0, 1).
+  double nextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Normal via Box–Muller (one value per call; the pair's second half is
+  /// discarded to keep fork()/call interleavings simple and deterministic).
+  double normal(double mean, double stddev);
+
+  /// Normal truncated below at `lo` (resamples; lo should be well below the
+  /// mean for the distributions used here).
+  double truncatedNormal(double mean, double stddev, double lo);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha; models heavy-tailed file
+  /// size distributions.
+  double boundedPareto(double lo, double hi, double alpha);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wfs::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace wfs::sim {
+
+/// One-shot latch: waiters suspend until fire(); waits after fire() complete
+/// immediately. Resumptions go through the event queue (FIFO at fire time).
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Simulator& sim) : sim_{&sim} {}
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  [[nodiscard]] bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      OneShotEvent* ev;
+      [[nodiscard]] bool await_ready() const noexcept { return ev->fired_; }
+      void await_suspend(std::coroutine_handle<> h) const { ev->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable broadcast signal: fire() wakes everyone currently waiting;
+/// later waiters block until the next fire(). Useful for condition loops:
+///   while (!pred()) co_await signal.wait();
+class Broadcast {
+ public:
+  explicit Broadcast(Simulator& sim) : sim_{&sim} {}
+  Broadcast(const Broadcast&) = delete;
+  Broadcast& operator=(const Broadcast&) = delete;
+
+  void fire() {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Broadcast* s;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const { s->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace wfs::sim

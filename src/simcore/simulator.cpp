@@ -1,0 +1,116 @@
+#include "simcore/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "simcore/signal.hpp"
+
+namespace wfs::sim {
+
+void Delay::await_suspend(std::coroutine_handle<> h) const {
+  sim_->schedule(d_, [h] { h.resume(); });
+}
+
+namespace detail {
+
+struct DetachedHandle::promise_type {
+  Simulator* sim;
+
+  // Coroutine parameters are visible to the promise constructor; we use that
+  // to learn which simulator owns this root process.
+  promise_type(Simulator& s, Task<void>&) : sim{&s} {}
+
+  DetachedHandle get_return_object() noexcept {
+    return DetachedHandle{std::coroutine_handle<promise_type>::from_promise(*this)};
+  }
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept { return {}; }
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+      // Unregister, then self-destroy. Nothing may touch the frame after
+      // destroy(); returning void leaves control with the resumer.
+      Simulator* sim = h.promise().sim;
+      void* addr = h.address();
+      h.destroy();
+      sim->unregisterDetached(addr);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void return_void() const noexcept {}
+  [[noreturn]] void unhandled_exception() const noexcept {
+    // A root process leaking an exception is a simulation bug; there is no
+    // awaiter to propagate it to.
+    std::terminate();
+  }
+};
+
+namespace {
+DetachedHandle detachedRun(Simulator&, Task<void> t) {
+  co_await std::move(t);
+}
+}  // namespace
+
+}  // namespace detail
+
+void Simulator::spawn(Task<void> t) {
+  auto wrapper = detail::detachedRun(*this, std::move(t));
+  detached_.insert(wrapper.handle.address());
+  const auto h = wrapper.handle;
+  schedule(Duration::zero(), [h] { h.resume(); });
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Advance the clock before dispatching, so code running inside the event
+    // observes the event's own timestamp via now().
+    now_ = queue_.nextTime();
+    queue_.runNext();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::runUntil(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    now_ = queue_.nextTime();
+    queue_.runNext();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+Simulator::~Simulator() {
+  // Destroy still-suspended root processes; their frames own any child tasks,
+  // so the whole tree is reclaimed.
+  auto leftovers = std::move(detached_);
+  detached_.clear();
+  for (void* addr : leftovers) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+namespace {
+Task<void> notifyWhenDone(Task<void> inner, std::shared_ptr<std::size_t> remaining,
+                          std::shared_ptr<OneShotEvent> done) {
+  co_await std::move(inner);
+  if (--*remaining == 0) done->fire();
+}
+}  // namespace
+
+Task<void> allOf(Simulator& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto remaining = std::make_shared<std::size_t>(tasks.size());
+  auto done = std::make_shared<OneShotEvent>(sim);
+  for (auto& t : tasks) {
+    sim.spawn(notifyWhenDone(std::move(t), remaining, done));
+  }
+  tasks.clear();
+  co_await done->wait();
+}
+
+}  // namespace wfs::sim

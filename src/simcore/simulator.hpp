@@ -1,0 +1,92 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace wfs::sim {
+
+class Simulator;
+
+/// Awaitable that resumes the coroutine after a simulated duration.
+///
+/// Even a zero delay goes through the event queue, so `co_await sim.yield()`
+/// is a deterministic FIFO scheduling point.
+class Delay {
+ public:
+  Delay(Simulator& sim, Duration d) : sim_{&sim}, d_{d} {}
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const;
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator* sim_;
+  Duration d_;
+};
+
+namespace detail {
+/// Self-destroying wrapper coroutine that owns a spawned root Task.
+struct DetachedHandle {
+  struct promise_type;
+  std::coroutine_handle<promise_type> handle;
+};
+}  // namespace detail
+
+/// Single-threaded discrete-event simulator.
+///
+/// Activities are Task<> coroutines spawned as root processes; they await
+/// Delay / Resource / signal awaitables, all of which resume through the
+/// event queue in (time, insertion-order) order, making every run with the
+/// same seed bit-identical.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  EventId schedule(Duration after, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + after, std::move(cb));
+  }
+  EventId scheduleAt(SimTime at, EventQueue::Callback cb) {
+    return queue_.schedule(at, std::move(cb));
+  }
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Starts a root process. The task body begins at the current simulation
+  /// time, after already-queued events (deferred start, FIFO).
+  void spawn(Task<void> t);
+
+  /// Runs until no events remain. Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs until the queue is empty or the next event is later than `until`.
+  std::size_t runUntil(SimTime until);
+
+  [[nodiscard]] Delay delay(Duration d) { return Delay{*this, d}; }
+  [[nodiscard]] Delay yield() { return Delay{*this, Duration::zero()}; }
+
+  /// Number of live root processes (spawned, not yet finished).
+  [[nodiscard]] std::size_t liveProcesses() const { return detached_.size(); }
+
+ private:
+  friend struct detail::DetachedHandle;
+  void unregisterDetached(void* addr) { detached_.erase(addr); }
+
+  EventQueue queue_;
+  SimTime now_ = SimTime::origin();
+  std::unordered_set<void*> detached_;
+};
+
+/// Runs all tasks as root processes and completes when every one has
+/// finished. An empty vector completes immediately.
+Task<void> allOf(Simulator& sim, std::vector<Task<void>> tasks);
+
+}  // namespace wfs::sim

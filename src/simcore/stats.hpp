@@ -1,0 +1,78 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace wfs::sim {
+
+/// Numerically stable online mean/variance (Welford) with min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Half-width of the ~95% confidence interval of the mean (normal
+  /// approximation; fine for the >=5 repetitions used in experiments).
+  [[nodiscard]] double ci95() const {
+    return n_ < 2 ? 0.0 : 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact sample percentiles over a retained sample set (experiment scale
+/// keeps these small; no sketching needed).
+class Percentiles {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// p in [0, 100]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+inline double Percentiles::percentile(double p) {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace wfs::sim {
+
+/// Lazy coroutine used for every simulated activity.
+///
+/// A Task does not run until awaited (or spawned onto a Simulator). When the
+/// body finishes, control symmetrically transfers back to the awaiter, so
+/// arbitrarily deep call chains cost no stack. The handle is owned by the
+/// Task object; destroying a Task that is suspended destroys the whole frame
+/// tree (children are Task locals inside the frame), which is what makes
+/// simulation teardown leak-free.
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept { return {}; }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value{};
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_{h} {}
+  Task(Task&& o) noexcept : handle_{std::exchange(o.handle_, {})} {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a Task starts it (it is lazy) and resumes the awaiter when the
+  /// task's body completes, yielding its return value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      [[nodiscard]] bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the handle (used by Simulator::spawn).
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace wfs::sim

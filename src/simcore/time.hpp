@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace wfs::sim {
+
+/// Duration of simulated time, stored as integer nanoseconds.
+///
+/// Integer ticks keep the event queue totally ordered and the simulation
+/// bit-reproducible; all rate arithmetic converts through double and rounds
+/// up, so durations are never silently truncated to zero.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration{us * 1000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t h) { return seconds(h * 3600); }
+
+  /// From fractional seconds, rounding up to the next nanosecond so that a
+  /// positive duration never collapses to zero.
+  [[nodiscard]] static Duration fromSeconds(double s);
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double asSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Absolute simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime origin() { return SimTime{}; }
+  [[nodiscard]] static constexpr SimTime fromNanos(std::int64_t ns) { return SimTime{ns}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double asSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) { return SimTime{t.ns_ + d.ns()}; }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace wfs::sim

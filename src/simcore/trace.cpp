@@ -1,0 +1,29 @@
+#include "simcore/trace.hpp"
+
+namespace wfs::sim {
+
+Trace& Trace::instance() {
+  static Trace t;
+  return t;
+}
+
+namespace {
+const char* catName(TraceCat c) {
+  switch (c) {
+    case TraceCat::kKernel: return "kernel";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kDisk: return "disk";
+    case TraceCat::kStorage: return "storage";
+    case TraceCat::kCloud: return "cloud";
+    case TraceCat::kWorkflow: return "wf";
+    case TraceCat::kApp: return "app";
+  }
+  return "?";
+}
+}  // namespace
+
+void Trace::log(TraceCat cat, SimTime t, const std::string& msg) const {
+  std::fprintf(stderr, "[%12.6f] %-7s %s\n", t.asSeconds(), catName(cat), msg.c_str());
+}
+
+}  // namespace wfs::sim

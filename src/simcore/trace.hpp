@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace wfs::sim {
+
+/// Trace categories roughly follow the subsystems.
+enum class TraceCat { kKernel, kNet, kDisk, kStorage, kCloud, kWorkflow, kApp };
+
+/// Minimal logging sink. Disabled by default; experiments enable it for
+/// debugging. Not a metrics system — quantitative counters live in each
+/// subsystem's metrics structs.
+class Trace {
+ public:
+  static Trace& instance();
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void log(TraceCat cat, SimTime t, const std::string& msg) const;
+
+ private:
+  Trace() = default;
+  bool enabled_ = false;
+};
+
+#define WFS_TRACE(cat, sim, msg)                                             \
+  do {                                                                       \
+    if (::wfs::sim::Trace::instance().enabled()) {                           \
+      ::wfs::sim::Trace::instance().log((cat), (sim).now(), (msg));          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace wfs::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wfs {
+
+/// Data sizes are plain 64-bit byte counts; the helpers below make call
+/// sites read like the paper's units (MB/s bandwidths, GB data sets).
+using Bytes = std::int64_t;
+
+inline constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+inline constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) * 1000; }
+inline constexpr Bytes operator""_MB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1000 * 1000;
+}
+inline constexpr Bytes operator""_GB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1000 * 1000 * 1000;
+}
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return static_cast<Bytes>(v) << 30; }
+
+/// Transfer / service rates in bytes per second.
+using Rate = double;
+
+inline constexpr Rate MBps(double v) { return v * 1e6; }
+inline constexpr Rate GBps(double v) { return v * 1e9; }
+inline constexpr Rate Gbps(double v) { return v * 1e9 / 8.0; }
+
+}  // namespace wfs

@@ -1,0 +1,49 @@
+#include "storage/base/lru_cache.hpp"
+
+namespace wfs::storage {
+
+void LruCache::put(const std::string& key, Bytes size) {
+  if (size > capacity_) return;
+  if (auto it = index_.find(key); it != index_.end()) {
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  evictToFit(size);
+  lru_.push_front(Entry{key, size});
+  index_[key] = lru_.begin();
+  used_ += size;
+}
+
+bool LruCache::touch(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void LruCache::erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+void LruCache::evictToFit(Bytes need) {
+  while (used_ + need > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace wfs::storage

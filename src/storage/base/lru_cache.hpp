@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "simcore/units.hpp"
+
+namespace wfs::storage {
+
+/// Byte-capacity LRU of named objects (whole files or page runs).
+///
+/// Backs the S3 client whole-file cache, NFS server page cache, the
+/// GlusterFS io-cache translator, and node page caches.
+class LruCache {
+ public:
+  explicit LruCache(Bytes capacity) : capacity_{capacity} {}
+
+  /// Inserts (or refreshes) an entry, evicting LRU entries to fit. Objects
+  /// larger than the whole capacity are not cached.
+  void put(const std::string& key, Bytes size);
+
+  /// True if present; refreshes recency.
+  bool touch(const std::string& key);
+
+  /// Presence without recency update.
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return index_.contains(key);
+  }
+
+  void erase(const std::string& key);
+  void clear();
+
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t entryCount() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Bytes size;
+  };
+  void evictToFit(Bytes need);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,22 @@
+#include "storage/base/metrics.hpp"
+
+#include <cstdio>
+
+namespace wfs::storage {
+
+std::string StorageMetrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "reads=%llu (%.1f MB) writes=%llu (%.1f MB) local=%llu remote=%llu "
+                "hit-rate=%.2f GET=%llu PUT=%llu",
+                static_cast<unsigned long long>(readOps), static_cast<double>(bytesRead) / 1e6,
+                static_cast<unsigned long long>(writeOps),
+                static_cast<double>(bytesWritten) / 1e6,
+                static_cast<unsigned long long>(localReads),
+                static_cast<unsigned long long>(remoteReads), cacheHitRate(),
+                static_cast<unsigned long long>(getRequests),
+                static_cast<unsigned long long>(putRequests));
+  return buf;
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/units.hpp"
+
+namespace wfs::storage {
+
+/// Counters common to all storage systems; derived systems add their own
+/// (e.g. S3 request counts feed the billing engine).
+struct StorageMetrics {
+  std::uint64_t readOps = 0;
+  std::uint64_t writeOps = 0;
+  Bytes bytesRead = 0;
+  Bytes bytesWritten = 0;
+
+  /// Reads served from the client node itself (local brick / cache).
+  std::uint64_t localReads = 0;
+  /// Reads that crossed the network.
+  std::uint64_t remoteReads = 0;
+
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+
+  /// S3-style request accounting (zero elsewhere).
+  std::uint64_t getRequests = 0;
+  std::uint64_t putRequests = 0;
+
+  [[nodiscard]] double cacheHitRate() const {
+    const auto total = cacheHits + cacheMisses;
+    return total == 0 ? 0.0 : static_cast<double>(cacheHits) / static_cast<double>(total);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace wfs::storage

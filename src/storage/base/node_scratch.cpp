@@ -1,0 +1,38 @@
+#include "storage/base/node_scratch.hpp"
+
+namespace wfs::storage {
+
+namespace {
+WriteBackCache::Config wbConfigFor(const StorageNode& node, const NodeScratch::Config& cfg) {
+  WriteBackCache::Config wb;
+  wb.dirtyLimit = static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.dirtyFraction);
+  wb.memRate = cfg.memRate;
+  return wb;
+}
+}  // namespace
+
+NodeScratch::NodeScratch(sim::Simulator& sim, const StorageNode& node, const Config& cfg)
+    : sim_{&sim},
+      node_{&node},
+      cfg_{cfg},
+      pageCache_{static_cast<Bytes>(static_cast<double>(node.memoryBytes) *
+                                    cfg.pageCacheFraction)},
+      wb_{std::make_unique<WriteBackCache>(sim, *node.disk, wbConfigFor(node, cfg))} {}
+
+sim::Task<void> NodeScratch::read(const std::string& key, Bytes size) {
+  if (pageCache_.touch(key)) {
+    ++hits_;
+    co_await sim_->delay(memCopyTime(size, cfg_.memRate));
+    co_return;
+  }
+  ++misses_;
+  co_await node_->disk->read(size);
+  pageCache_.put(key, size);
+}
+
+sim::Task<void> NodeScratch::write(const std::string& key, Bytes size) {
+  co_await wb_->write(size);
+  pageCache_.put(key, size);
+}
+
+}  // namespace wfs::storage

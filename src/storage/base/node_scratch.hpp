@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/base/wb_cache.hpp"
+
+namespace wfs::storage {
+
+/// The local-disk view a single node has of its own data: a kernel page
+/// cache over the RAID array plus a dirty-page write-back buffer.
+///
+/// Shared by the local-disk option (the whole storage system) and by the
+/// S3 option (every GET/PUT stages through the node's scratch disk).
+class NodeScratch {
+ public:
+  struct Config {
+    /// Page cache bytes, as a fraction of node RAM.
+    double pageCacheFraction = 0.42;
+    /// Dirty limit, as a fraction of node RAM (Linux dirty_ratio ~ 0.2-0.4;
+    /// workflow nodes mostly do I/O, so the effective share is higher).
+    double dirtyFraction = 0.2;
+    Rate memRate = GBps(1);
+  };
+
+  NodeScratch(sim::Simulator& sim, const StorageNode& node, const Config& cfg);
+
+  /// Program-visible whole-file read: page cache hit at memory speed,
+  /// otherwise disk read (then cached).
+  [[nodiscard]] sim::Task<void> read(const std::string& key, Bytes size);
+
+  /// Program-visible whole-file write: lands in the dirty buffer (blocking
+  /// on the flusher only when the buffer is full) and becomes page-cached.
+  [[nodiscard]] sim::Task<void> write(const std::string& key, Bytes size);
+
+  [[nodiscard]] bool cached(const std::string& key) const { return pageCache_.contains(key); }
+  [[nodiscard]] LruCache& pageCache() { return pageCache_; }
+  [[nodiscard]] WriteBackCache& writeBack() { return *wb_; }
+  [[nodiscard]] std::uint64_t cacheHits() const { return hits_; }
+  [[nodiscard]] std::uint64_t cacheMisses() const { return misses_; }
+
+ private:
+  sim::Simulator* sim_;
+  const StorageNode* node_;
+  Config cfg_;
+  LruCache pageCache_;
+  std::unique_ptr<WriteBackCache> wb_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,32 @@
+#include "storage/base/path.hpp"
+
+namespace wfs::storage {
+
+std::uint64_t pathHash(std::string_view path) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string_view baseName(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+std::string_view dirName(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? std::string_view{} : path.substr(0, pos);
+}
+
+std::string joinPath(std::string_view dir, std::string_view leaf) {
+  if (dir.empty()) return std::string{leaf};
+  std::string out{dir};
+  if (out.back() != '/') out.push_back('/');
+  out += leaf;
+  return out;
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wfs::storage {
+
+/// FNV-1a 64-bit hash; the stable hash used by DHT-style placement
+/// (GlusterFS distribute) and PVFS metadata-server selection.
+[[nodiscard]] std::uint64_t pathHash(std::string_view path);
+
+/// Last component of a slash-separated logical file name.
+[[nodiscard]] std::string_view baseName(std::string_view path);
+
+/// Directory part (empty if none).
+[[nodiscard]] std::string_view dirName(std::string_view path);
+
+/// Joins with exactly one slash.
+[[nodiscard]] std::string joinPath(std::string_view dir, std::string_view leaf);
+
+}  // namespace wfs::storage

@@ -1,0 +1,26 @@
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::storage {
+
+void FileCatalog::create(const std::string& path, Bytes size, int creator) {
+  auto [it, inserted] = files_.emplace(path, FileMeta{size, creator});
+  if (!inserted) {
+    throw std::logic_error("write-once violation: file already exists: " + path);
+  }
+  (void)it;
+  totalBytes_ += size;
+}
+
+const FileMeta& FileCatalog::lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::out_of_range("no such file in storage catalog: " + path);
+  }
+  return it->second;
+}
+
+sim::Duration memCopyTime(Bytes size, Rate memRate) {
+  return sim::Duration::fromSeconds(static_cast<double>(size) / memRate);
+}
+
+}  // namespace wfs::storage

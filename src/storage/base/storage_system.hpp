@@ -1,0 +1,130 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blk/disk.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "simcore/task.hpp"
+#include "storage/base/metrics.hpp"
+
+namespace wfs::storage {
+
+/// What a storage system needs to know about each host of the virtual
+/// cluster (provided by cloud::Vm).
+struct StorageNode {
+  std::string host;
+  net::Nic* nic = nullptr;
+  blk::BlockStore* disk = nullptr;
+  Bytes memoryBytes = 0;
+};
+
+/// Metadata for one logical file held by a storage system.
+struct FileMeta {
+  Bytes size = 0;
+  /// Node index that created the file; -1 for pre-staged input data.
+  int creator = -1;
+};
+
+/// Write-once namespace shared by every backend.
+///
+/// All three paper applications obey strict write-once semantics (§IV.A);
+/// the catalog enforces it — an update-in-place is a simulation bug, since
+/// the S3 cache and the NUFA placement map both rely on immutability.
+class FileCatalog {
+ public:
+  void create(const std::string& path, Bytes size, int creator);
+  [[nodiscard]] const FileMeta& lookup(const std::string& path) const;
+  [[nodiscard]] bool exists(const std::string& path) const { return files_.contains(path); }
+  [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
+  [[nodiscard]] Bytes totalBytes() const { return totalBytes_; }
+
+ private:
+  std::unordered_map<std::string, FileMeta> files_;
+  Bytes totalBytes_ = 0;
+};
+
+/// A data-sharing option for the virtual cluster: the five systems of the
+/// paper (local, S3, NFS, GlusterFS x2, PVFS) plus XtreemFS implement this.
+///
+/// I/O is whole-file and node-relative: workflow tasks on worker `node`
+/// read inputs before computing and write outputs after, exactly as the
+/// Pegasus-launched executables do through POSIX (or through the S3 client
+/// wrapper).
+class StorageSystem {
+ public:
+  explicit StorageSystem(std::vector<StorageNode> nodes) : nodes_{std::move(nodes)} {}
+  virtual ~StorageSystem() = default;
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Creates `path` of `size` bytes from worker `node`.
+  ///
+  /// Paths are taken by value throughout this interface: these are
+  /// coroutines, and a reference parameter would dangle once the returned
+  /// Task is awaited after the caller's argument expression has ended.
+  [[nodiscard]] virtual sim::Task<void> write(int node, std::string path, Bytes size) = 0;
+
+  /// Reads the whole of `path` at worker `node`.
+  [[nodiscard]] virtual sim::Task<void> read(int node, std::string path) = 0;
+
+  /// Registers pre-staged input data with zero simulated cost. The paper
+  /// excludes input staging time from every experiment (§III.C); data is
+  /// placed as the system's own layout would place it.
+  virtual void preload(const std::string& path, Bytes size) = 0;
+
+  /// Intra-job scratch round trip: a job writes `path` and immediately
+  /// re-reads it (the next executable of a chained transformation). On a
+  /// mounted shared file system this is an ordinary write + read; the S3
+  /// client wrapper keeps scratch entirely on the node's local disk.
+  [[nodiscard]] virtual sim::Task<void> scratchRoundTrip(int node, std::string path,
+                                                         Bytes size) {
+    co_await write(node, path, size);
+    co_await read(node, std::move(path));
+  }
+
+  /// Drops `path` from any caches (the job deleted its temporary file).
+  /// The catalog entry stays: logical names are never reused.
+  virtual void discard(int node, const std::string& path) {
+    (void)node;
+    (void)path;
+  }
+
+  /// Bytes of `path` that `node` could serve without network traffic;
+  /// the data-aware scheduler ranks candidate nodes with this.
+  [[nodiscard]] virtual Bytes localityHint(int node, const std::string& path) const {
+    (void)node;
+    (void)path;
+    return 0;
+  }
+
+  [[nodiscard]] bool exists(const std::string& path) const { return catalog_.exists(path); }
+  [[nodiscard]] Bytes sizeOf(const std::string& path) const {
+    return catalog_.lookup(path).size;
+  }
+
+  [[nodiscard]] const StorageMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<StorageNode>& nodes() const { return nodes_; }
+  [[nodiscard]] int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+ protected:
+  [[nodiscard]] StorageNode& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const StorageNode& node(int i) const {
+    return nodes_.at(static_cast<std::size_t>(i));
+  }
+
+  std::vector<StorageNode> nodes_;
+  FileCatalog catalog_;
+  StorageMetrics metrics_;
+};
+
+/// Memory-copy time for cache-served data (page cache hit, dirty buffer).
+[[nodiscard]] sim::Duration memCopyTime(Bytes size, Rate memRate = GBps(1));
+
+}  // namespace wfs::storage

@@ -1,0 +1,61 @@
+#include "storage/base/wb_cache.hpp"
+
+#include <algorithm>
+
+namespace wfs::storage {
+
+WriteBackCache::WriteBackCache(sim::Simulator& sim, blk::BlockStore& backing, const Config& cfg)
+    : sim_{&sim}, backing_{&backing}, cfg_{cfg}, spaceFreed_{sim}, allClean_{sim} {}
+
+sim::Task<void> WriteBackCache::write(Bytes size) {
+  if (size > 0) pendingFiles_.push_back(size);
+  Bytes left = size;
+  while (left > 0) {
+    const Bytes room = cfg_.dirtyLimit - dirty_;
+    const Bytes admit = std::min(left, room);
+    if (admit > 0) {
+      dirty_ += admit;
+      left -= admit;
+      ensureFlusher();
+      // Memory-speed landing of the admitted portion.
+      co_await sim_->delay(
+          sim::Duration::fromSeconds(static_cast<double>(admit) / cfg_.memRate));
+    } else {
+      ++stalls_;
+      co_await spaceFreed_.wait();
+    }
+  }
+}
+
+sim::Task<void> WriteBackCache::drain() {
+  while (dirty_ > 0) co_await allClean_.wait();
+}
+
+void WriteBackCache::ensureFlusher() {
+  if (flusherRunning_) return;
+  flusherRunning_ = true;
+  sim_->spawn(flusherLoop());
+}
+
+sim::Task<void> WriteBackCache::flusherLoop() {
+  while (dirty_ > 0) {
+    // Write back at most one file (or flushChunk of a big one) per device
+    // operation, so small files each pay the positioning cost.
+    Bytes chunk = pendingFiles_.empty() ? dirty_ : pendingFiles_.front();
+    chunk = std::min({chunk, dirty_, cfg_.flushChunk});
+    co_await backing_->write(chunk);
+    dirty_ -= chunk;
+    if (!pendingFiles_.empty()) {
+      if (pendingFiles_.front() <= chunk) {
+        pendingFiles_.pop_front();
+      } else {
+        pendingFiles_.front() -= chunk;
+      }
+    }
+    spaceFreed_.fire();
+  }
+  flusherRunning_ = false;
+  allClean_.fire();
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,76 @@
+#include "storage/ebs/ebs_fs.hpp"
+
+#include <stdexcept>
+
+namespace wfs::storage {
+
+EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
+             const Config& cfg)
+    : StorageSystem{std::move(nodes)}, sim_{&sim}, net_{&net}, cfg_{cfg} {
+  volumes_.reserve(nodes_.size());
+  pageCache_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    volumes_.push_back(
+        std::make_unique<net::Capacity>(net, cfg.volumeRate, n.host + ".ebs"));
+    pageCache_.push_back(std::make_unique<LruCache>(static_cast<Bytes>(
+        static_cast<double>(n.memoryBytes) * cfg.scratch.pageCacheFraction)));
+  }
+}
+
+sim::Task<void> EbsFs::volumeIo(int nodeIdx, Bytes size) {
+  ioRequests_ += static_cast<std::uint64_t>((size + cfg_.ioUnit - 1) / cfg_.ioUnit);
+  co_await sim_->delay(cfg_.requestLatency);
+  net::Capacity* vol = volumes_[static_cast<std::size_t>(nodeIdx)].get();
+  net::Path path;
+  path.push_back(net::Hop{vol, 1.0});
+  // The volume is network-attached: traffic also crosses the node's NIC.
+  if (node(nodeIdx).nic != nullptr) {
+    path.push_back(net::Hop{&node(nodeIdx).nic->rx(), 1.0});
+  }
+  co_await net_->transfer(std::move(path), size);
+}
+
+sim::Task<void> EbsFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  co_await volumeIo(nodeIdx, size);  // no first-write penalty on EBS
+  pageCache_[static_cast<std::size_t>(nodeIdx)]->put(path, size);
+}
+
+sim::Task<void> EbsFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  if (meta.creator != -1 && meta.creator != nodeIdx) {
+    throw std::logic_error("ebs volume is attached to one instance: " + path);
+  }
+  ++metrics_.readOps;
+  ++metrics_.localReads;
+  metrics_.bytesRead += meta.size;
+  if (pageCache_[static_cast<std::size_t>(nodeIdx)]->touch(path)) {
+    ++metrics_.cacheHits;
+    co_await sim_->delay(memCopyTime(meta.size, cfg_.scratch.memRate));
+    co_return;
+  }
+  ++metrics_.cacheMisses;
+  co_await volumeIo(nodeIdx, meta.size);
+  pageCache_[static_cast<std::size_t>(nodeIdx)]->put(path, meta.size);
+}
+
+void EbsFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+}
+
+void EbsFs::discard(int nodeIdx, const std::string& path) {
+  pageCache_[static_cast<std::size_t>(nodeIdx)]->erase(path);
+}
+
+Bytes EbsFs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path)) return 0;
+  const FileMeta& meta = catalog_.lookup(path);
+  return (meta.creator == -1 || meta.creator == nodeIdx) ? meta.size : 0;
+}
+
+EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
+    : EbsFs{sim, net, std::move(nodes), Config{}} {}
+
+}  // namespace wfs::storage

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/base/node_scratch.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::storage {
+
+/// EBS-backed node storage — an extension experiment. The paper stores VM
+/// images and inputs in S3/EBS (§VI) but runs workflows on ephemeral
+/// disks; this option asks how the study would have looked on EBS volumes:
+/// network-attached block storage with *no first-write penalty* but lower,
+/// network-bound throughput and per-GB-month + per-I/O fees (2010 EBS:
+/// $0.10/GB-month, $0.10 per million I/O requests).
+///
+/// Like the local option it shares nothing between nodes, so it appears in
+/// extension benches rather than the paper's figures.
+class EbsFs : public StorageSystem {
+ public:
+  struct Config {
+    /// Sustained throughput of one 2010 EBS volume (network-attached).
+    Rate volumeRate = MBps(70);
+    /// Average request latency to the EBS service.
+    sim::Duration requestLatency = sim::Duration::millis(3);
+    /// I/O accounting granularity for the per-million-request fee.
+    Bytes ioUnit = 128_KiB;
+    NodeScratch::Config scratch{};  // page cache still applies
+  };
+
+  EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
+        const Config& cfg);
+  EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes);
+
+  [[nodiscard]] std::string name() const override { return "ebs"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  void discard(int node, const std::string& path) override;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+  [[nodiscard]] std::uint64_t ioRequests() const { return ioRequests_; }
+  /// 2010 fee: $0.10 per million I/O requests.
+  [[nodiscard]] double ioRequestCost() const {
+    return static_cast<double>(ioRequests_) / 1e6 * 0.10;
+  }
+
+ private:
+  [[nodiscard]] sim::Task<void> volumeIo(int node, Bytes size);
+
+  sim::Simulator* sim_;
+  net::FlowNetwork* net_;
+  Config cfg_;
+  /// One volume capacity per node (attached storage is per-instance).
+  std::vector<std::unique_ptr<net::Capacity>> volumes_;
+  std::vector<std::unique_ptr<LruCache>> pageCache_;
+  std::uint64_t ioRequests_ = 0;
+};
+
+}  // namespace wfs::storage

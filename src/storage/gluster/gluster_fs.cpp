@@ -1,0 +1,75 @@
+#include "storage/gluster/gluster_fs.hpp"
+
+namespace wfs::storage {
+
+GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+                     GlusterMode mode, const Config& cfg)
+    : StorageSystem{std::move(nodes)}, sim_{&sim}, fabric_{&fabric}, mode_{mode}, cfg_{cfg} {
+  const int n = nodeCount();
+  layout_ = (mode == GlusterMode::kNufa)
+                ? std::unique_ptr<LayoutPolicy>{std::make_unique<NufaLayout>(n)}
+                : std::unique_ptr<LayoutPolicy>{std::make_unique<DistributeLayout>(n)};
+  bricks_.reserve(static_cast<std::size_t>(n));
+  for (const auto& nd : nodes_) {
+    bricks_.push_back(std::make_unique<PosixBrick>(sim, nd, cfg.brick));
+  }
+  // Every client mounts the volume through its own translator stack.
+  std::vector<PosixBrick*> brickPtrs;
+  std::vector<const StorageNode*> nodePtrs;
+  for (int i = 0; i < n; ++i) {
+    brickPtrs.push_back(bricks_[static_cast<std::size_t>(i)].get());
+    nodePtrs.push_back(&node(i));
+  }
+  stacks_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::unique_ptr<Xlator>> layers;
+    layers.push_back(
+        std::make_unique<IoCacheXlator>(sim, cfg.ioCacheBytes, cfg.memRate, metrics_));
+    layers.push_back(std::make_unique<DhtXlator>(sim, fabric, *layout_, brickPtrs, nodePtrs,
+                                                 cfg.lookupLatency, metrics_));
+    stacks_.push_back(std::make_unique<XlatorStack>(std::move(layers)));
+  }
+}
+
+sim::Task<void> GlusterFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  // Materialize the call before awaiting: GCC 12 double-destroys
+  // non-trivial temporaries inside co_await operands.
+  auto op = clientStack(nodeIdx).write(FileOp{nodeIdx, std::move(path), size});
+  co_await std::move(op);
+}
+
+sim::Task<void> GlusterFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  ++metrics_.readOps;
+  metrics_.bytesRead += meta.size;
+  auto op = clientStack(nodeIdx).read(FileOp{nodeIdx, std::move(path), meta.size});
+  co_await std::move(op);
+}
+
+void GlusterFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+  const int owner = layout_->place(path, -1);
+  bricks_[static_cast<std::size_t>(owner)]->adopt(path);
+}
+
+void GlusterFs::discard(int nodeIdx, const std::string& path) {
+  ioCache(nodeIdx).evict(path);
+  bricks_[static_cast<std::size_t>(layout_->locate(path))]->evict(path);
+}
+
+Bytes GlusterFs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path)) return 0;
+  if (ioCache(nodeIdx).cached(path) || layout_->locate(path) == nodeIdx) {
+    return catalog_.lookup(path).size;
+  }
+  return 0;
+}
+
+GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric,
+                     std::vector<StorageNode> nodes, GlusterMode mode)
+    : GlusterFs{sim, fabric, std::move(nodes), mode, Config{}} {}
+
+}  // namespace wfs::storage

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/base/storage_system.hpp"
+#include "storage/gluster/layouts.hpp"
+#include "storage/gluster/translator.hpp"
+#include "storage/gluster/xlator.hpp"
+
+namespace wfs::storage {
+
+enum class GlusterMode { kNufa, kDistribute };
+
+/// The GlusterFS option (paper §IV.C): every node is both client and
+/// server; each exports a local brick merged into one volume. Each client
+/// mounts the volume through a translator stack —
+///
+///   performance/io-cache  ->  cluster/dht (nufa | distribute)  ->  bricks
+///
+/// — and the paper's two configurations differ only in the placement
+/// layout the dht translator uses.
+class GlusterFs : public StorageSystem {
+ public:
+  struct Config {
+    PosixBrick::Config brick{};
+    /// Per-file lookup RPC to the owning brick (DHT hash is local math;
+    /// the latency covers the open/stat exchange).
+    sim::Duration lookupLatency = sim::Duration::micros(300);
+    /// performance/io-cache translator capacity per client (the 2010-era
+    /// default was small; reads mostly rely on brick page caches).
+    Bytes ioCacheBytes = 64_MiB;
+    Rate memRate = GBps(1);
+  };
+
+  GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+            GlusterMode mode, const Config& cfg);
+  GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+            GlusterMode mode);
+
+  [[nodiscard]] std::string name() const override {
+    return mode_ == GlusterMode::kNufa ? "gluster-nufa" : "gluster-dist";
+  }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  void discard(int node, const std::string& path) override;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+  [[nodiscard]] GlusterMode mode() const { return mode_; }
+  [[nodiscard]] const LayoutPolicy& layout() const { return *layout_; }
+  /// The translator stack a client mounts (top layer first).
+  [[nodiscard]] XlatorStack& clientStack(int node) {
+    return *stacks_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  [[nodiscard]] IoCacheXlator& ioCache(int node) const {
+    return static_cast<IoCacheXlator&>(
+        *stacks_.at(static_cast<std::size_t>(node))->layer(0));
+  }
+
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  GlusterMode mode_;
+  Config cfg_;
+  std::unique_ptr<LayoutPolicy> layout_;
+  std::vector<std::unique_ptr<PosixBrick>> bricks_;
+  std::vector<std::unique_ptr<XlatorStack>> stacks_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,37 @@
+#include "storage/gluster/layouts.hpp"
+
+#include <stdexcept>
+
+#include "storage/base/path.hpp"
+
+namespace wfs::storage {
+
+int DistributeLayout::place(const std::string& path, int creator) {
+  (void)creator;
+  return locate(path);
+}
+
+int DistributeLayout::locate(const std::string& path) const {
+  return static_cast<int>(pathHash(path) % static_cast<std::uint64_t>(bricks_));
+}
+
+int NufaLayout::place(const std::string& path, int creator) {
+  // Pre-staged inputs (creator == -1) are spread by hash, as copying a data
+  // set into the volume from one mount point would otherwise pile every
+  // input onto a single brick.
+  const int brick = creator >= 0
+                        ? creator
+                        : static_cast<int>(pathHash(path) % static_cast<std::uint64_t>(bricks_));
+  placement_.emplace(path, brick);
+  return brick;
+}
+
+int NufaLayout::locate(const std::string& path) const {
+  auto it = placement_.find(path);
+  if (it == placement_.end()) {
+    throw std::out_of_range("nufa layout: unknown file: " + path);
+  }
+  return it->second;
+}
+
+}  // namespace wfs::storage

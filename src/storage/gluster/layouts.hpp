@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace wfs::storage {
+
+/// File-placement policy of a GlusterFS volume (paper §IV.C). Files are
+/// write-once, so locate() is stable after place().
+class LayoutPolicy {
+ public:
+  virtual ~LayoutPolicy() = default;
+
+  /// Chooses the brick for a new file. `creator` is the writing node, or
+  /// -1 for pre-staged input data.
+  virtual int place(const std::string& path, int creator) = 0;
+
+  /// Brick currently holding `path`.
+  [[nodiscard]] virtual int locate(const std::string& path) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// cluster/distribute: DHT placement by path hash — uniform spread of reads
+/// and writes across the virtual cluster.
+class DistributeLayout final : public LayoutPolicy {
+ public:
+  explicit DistributeLayout(int bricks) : bricks_{bricks} {}
+  int place(const std::string& path, int creator) override;
+  [[nodiscard]] int locate(const std::string& path) const override;
+  [[nodiscard]] std::string name() const override { return "distribute"; }
+
+ private:
+  int bricks_;
+};
+
+/// cluster/nufa: non-uniform file access — new files are written to the
+/// creating node's own brick, so chained transformations (Broadband's
+/// mini-workflows) find their intermediates locally.
+class NufaLayout final : public LayoutPolicy {
+ public:
+  explicit NufaLayout(int bricks) : bricks_{bricks} {}
+  int place(const std::string& path, int creator) override;
+  [[nodiscard]] int locate(const std::string& path) const override;
+  [[nodiscard]] std::string name() const override { return "nufa"; }
+
+ private:
+  int bricks_;
+  std::unordered_map<std::string, int> placement_;
+};
+
+}  // namespace wfs::storage

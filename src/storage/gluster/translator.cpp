@@ -1,0 +1,38 @@
+#include "storage/gluster/translator.hpp"
+
+namespace wfs::storage {
+
+PosixBrick::PosixBrick(sim::Simulator& sim, const StorageNode& node, const Config& cfg)
+    : sim_{&sim},
+      node_{&node},
+      cfg_{cfg},
+      pageCache_{static_cast<Bytes>(static_cast<double>(node.memoryBytes) *
+                                    cfg.pageCacheFraction)} {
+  WriteBackCache::Config wb;
+  wb.dirtyLimit = static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.dirtyFraction);
+  wb.memRate = cfg.memRate;
+  wb_ = std::make_unique<WriteBackCache>(sim, *node.disk, wb);
+}
+
+sim::Task<void> PosixBrick::read(const std::string& key, Bytes size, net::Fabric& fabric,
+                                 net::Nic* client) {
+  const bool local = (client == node_->nic);
+  if (pageCache_.touch(key)) {
+    if (local) {
+      co_await sim_->delay(memCopyTime(size, cfg_.memRate));
+    } else {
+      co_await fabric.network().transfer(fabric.path(node_->nic, client), size);
+    }
+    co_return;
+  }
+  // Disk service pipelined with the network leg (empty path when local).
+  co_await node_->disk->read(size, fabric.path(node_->nic, client));
+  pageCache_.put(key, size);
+}
+
+sim::Task<void> PosixBrick::write(const std::string& key, Bytes size) {
+  co_await wb_->write(size);
+  pageCache_.put(key, size);
+}
+
+}  // namespace wfs::storage

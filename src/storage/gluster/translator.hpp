@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/base/wb_cache.hpp"
+
+namespace wfs::storage {
+
+/// GlusterFS composes file systems from stackable translators (paper §IV.C).
+/// This model keeps the three that matter for workflow I/O:
+///
+///  * storage/posix  — PosixBrick below: the brick's on-disk store with the
+///    kernel page cache and write-back buffer behind it;
+///  * performance/io-cache + write-behind — client-side read cache and
+///    asynchronous write absorption, folded into GlusterFs;
+///  * protocol/client+server — the RPC hop and streaming data path taken
+///    when the brick is remote, expressed here as the extra flow hops the
+///    PosixBrick operations accept.
+class PosixBrick {
+ public:
+  struct Config {
+    double pageCacheFraction = 0.4;
+    double dirtyFraction = 0.2;
+    Rate memRate = GBps(1);
+  };
+
+  PosixBrick(sim::Simulator& sim, const StorageNode& node, const Config& cfg);
+
+  /// Serves `key` to `client` (may be this brick's own node). Page-cache
+  /// hits ship from RAM; misses stream disk -> network as one flow.
+  [[nodiscard]] sim::Task<void> read(const std::string& key, Bytes size, net::Fabric& fabric,
+                                     net::Nic* client);
+
+  /// Stores `key`; the payload has already reached this node. Lands in the
+  /// write-back buffer (GlusterFS write-behind + kernel async writes).
+  [[nodiscard]] sim::Task<void> write(const std::string& key, Bytes size);
+
+  /// Registers pre-staged data as resident on disk (cold cache).
+  void adopt(const std::string& key) { (void)key; }
+
+  /// Drops `key` from the brick's page cache (file deleted).
+  void evict(const std::string& key) { pageCache_.erase(key); }
+
+  [[nodiscard]] const StorageNode& node() const { return *node_; }
+  [[nodiscard]] bool pageCached(const std::string& key) const {
+    return pageCache_.contains(key);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  const StorageNode* node_;
+  Config cfg_;
+  LruCache pageCache_;
+  std::unique_ptr<WriteBackCache> wb_;
+};
+
+}  // namespace wfs::storage

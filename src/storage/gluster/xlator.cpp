@@ -1,0 +1,65 @@
+#include "storage/gluster/xlator.hpp"
+
+#include <cassert>
+
+namespace wfs::storage {
+
+sim::Task<void> IoCacheXlator::read(FileOp op) {
+  if (cache_.touch(op.path)) {
+    ++metrics_->cacheHits;
+    ++metrics_->localReads;
+    co_await sim_->delay(memCopyTime(op.size, memRate_));
+    co_return;
+  }
+  ++metrics_->cacheMisses;
+  assert(next_ != nullptr);
+  const std::string path = op.path;
+  const Bytes size = op.size;
+  co_await next_->read(std::move(op));
+  cache_.put(path, size);
+}
+
+sim::Task<void> IoCacheXlator::write(FileOp op) {
+  assert(next_ != nullptr);
+  const std::string path = op.path;
+  const Bytes size = op.size;
+  co_await next_->write(std::move(op));
+  cache_.put(path, size);
+}
+
+sim::Task<void> DhtXlator::read(FileOp op) {
+  const int owner = layout_->locate(op.path);
+  net::Nic* client = nodes_.at(static_cast<std::size_t>(op.client))->nic;
+  net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
+  if (owner == op.client) {
+    ++metrics_->localReads;
+  } else {
+    ++metrics_->remoteReads;
+    co_await sim_->delay(lookupLatency_ + fabric_->oneWayLatency(client, ownerNic));
+  }
+  co_await bricks_.at(static_cast<std::size_t>(owner))->read(op.path, op.size, *fabric_,
+                                                             client);
+}
+
+sim::Task<void> DhtXlator::write(FileOp op) {
+  const int owner = layout_->place(op.path, op.client);
+  net::Nic* client = nodes_.at(static_cast<std::size_t>(op.client))->nic;
+  net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
+  if (owner != op.client) {
+    // protocol/client hop: the payload crosses the network to the brick.
+    co_await sim_->delay(lookupLatency_ + fabric_->oneWayLatency(client, ownerNic));
+    co_await fabric_->network().transfer(fabric_->path(client, ownerNic), op.size);
+  }
+  co_await bricks_.at(static_cast<std::size_t>(owner))->write(op.path, op.size);
+}
+
+XlatorStack::XlatorStack(std::vector<std::unique_ptr<Xlator>> layers)
+    : layers_{std::move(layers)} {
+  assert(!layers_.empty());
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    layers_[i]->setNext(layers_[i + 1].get());
+  }
+  top_ = layers_.front().get();
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "simcore/task.hpp"
+#include "storage/base/metrics.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/gluster/layouts.hpp"
+#include "storage/gluster/translator.hpp"
+
+namespace wfs::storage {
+
+/// One whole-file operation descending a translator stack.
+struct FileOp {
+  int client = -1;   // worker node issuing the call
+  std::string path;  // logical name
+  Bytes size = 0;
+};
+
+/// GlusterFS translator (paper §IV.C): "components ... that can be composed
+/// to create novel file system configurations. All translators support a
+/// common API and can be stacked on top of each other in layers. The
+/// translator at each layer can decide to service the call, or pass it to a
+/// lower-level translator."
+class Xlator {
+ public:
+  virtual ~Xlator() = default;
+
+  [[nodiscard]] virtual sim::Task<void> read(FileOp op) = 0;
+  [[nodiscard]] virtual sim::Task<void> write(FileOp op) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  void setNext(Xlator* next) { next_ = next; }
+  [[nodiscard]] Xlator* next() const { return next_; }
+
+ protected:
+  Xlator* next_ = nullptr;
+};
+
+/// performance/io-cache: serves repeated reads from a small client-side
+/// cache; passes misses (and all writes) down, caching on the way back up.
+class IoCacheXlator final : public Xlator {
+ public:
+  IoCacheXlator(sim::Simulator& sim, Bytes capacity, Rate memRate, StorageMetrics& metrics)
+      : sim_{&sim}, cache_{capacity}, memRate_{memRate}, metrics_{&metrics} {}
+
+  [[nodiscard]] sim::Task<void> read(FileOp op) override;
+  [[nodiscard]] sim::Task<void> write(FileOp op) override;
+  [[nodiscard]] std::string name() const override { return "performance/io-cache"; }
+
+  void evict(const std::string& path) { cache_.erase(path); }
+  [[nodiscard]] bool cached(const std::string& path) const { return cache_.contains(path); }
+
+ private:
+  sim::Simulator* sim_;
+  LruCache cache_;
+  Rate memRate_;
+  StorageMetrics* metrics_;
+};
+
+/// cluster/distribute (or nufa): routes each file to its brick by the
+/// layout policy; remote bricks cost a lookup RPC and, for writes, the
+/// payload transfer (protocol/client + protocol/server in one hop).
+class DhtXlator final : public Xlator {
+ public:
+  DhtXlator(sim::Simulator& sim, net::Fabric& fabric, LayoutPolicy& layout,
+            std::vector<PosixBrick*> bricks, std::vector<const StorageNode*> nodes,
+            sim::Duration lookupLatency, StorageMetrics& metrics)
+      : sim_{&sim},
+        fabric_{&fabric},
+        layout_{&layout},
+        bricks_{std::move(bricks)},
+        nodes_{std::move(nodes)},
+        lookupLatency_{lookupLatency},
+        metrics_{&metrics} {}
+
+  [[nodiscard]] sim::Task<void> read(FileOp op) override;
+  [[nodiscard]] sim::Task<void> write(FileOp op) override;
+  [[nodiscard]] std::string name() const override { return "cluster/dht"; }
+
+ private:
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  LayoutPolicy* layout_;
+  std::vector<PosixBrick*> bricks_;
+  std::vector<const StorageNode*> nodes_;
+  sim::Duration lookupLatency_;
+  StorageMetrics* metrics_;
+};
+
+/// A client's view of the volume: translators chained top to bottom.
+class XlatorStack {
+ public:
+  /// Composes the stack; `layers` is ordered top-first and must be
+  /// non-empty. Ownership of the layers moves into the stack.
+  explicit XlatorStack(std::vector<std::unique_ptr<Xlator>> layers);
+
+  [[nodiscard]] sim::Task<void> read(FileOp op) { return top_->read(std::move(op)); }
+  [[nodiscard]] sim::Task<void> write(FileOp op) { return top_->write(std::move(op)); }
+
+  /// Layer lookup for tests and cache maintenance.
+  [[nodiscard]] Xlator* layer(std::size_t i) { return layers_.at(i).get(); }
+  [[nodiscard]] std::size_t depth() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Xlator>> layers_;
+  Xlator* top_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,50 @@
+#include "storage/local/local_fs.hpp"
+
+#include <stdexcept>
+
+namespace wfs::storage {
+
+LocalFs::LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
+                 const NodeScratch::Config& cfg)
+    : StorageSystem{std::move(nodes)} {
+  scratch_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg));
+  }
+}
+
+sim::Task<void> LocalFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  co_await scratch(nodeIdx).write(path, size);
+}
+
+sim::Task<void> LocalFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  if (meta.creator != -1 && meta.creator != nodeIdx) {
+    throw std::logic_error("local storage cannot serve '" + path + "' on node " +
+                           std::to_string(nodeIdx) + ": created on node " +
+                           std::to_string(meta.creator));
+  }
+  ++metrics_.readOps;
+  ++metrics_.localReads;
+  metrics_.bytesRead += meta.size;
+  co_await scratch(nodeIdx).read(path, meta.size);
+}
+
+void LocalFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+}
+
+void LocalFs::discard(int nodeIdx, const std::string& path) {
+  scratch(nodeIdx).pageCache().erase(path);
+}
+
+Bytes LocalFs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path)) return 0;
+  const FileMeta& meta = catalog_.lookup(path);
+  return (meta.creator == -1 || meta.creator == nodeIdx) ? meta.size : 0;
+}
+
+}  // namespace wfs::storage

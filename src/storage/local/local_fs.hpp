@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/base/node_scratch.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::storage {
+
+/// "Local" option of the paper: each node's RAID-0 ephemeral array, no
+/// sharing. Usable only when every consumer of a file runs on the node that
+/// produced it — in the paper this is the single-node configuration, plotted
+/// as a lone point in Figs 2-4.
+///
+/// Pre-staged input data is considered present on every node (the paper
+/// stages inputs before the measured window).
+class LocalFs : public StorageSystem {
+ public:
+  LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
+          const NodeScratch::Config& cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "local"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  void discard(int node, const std::string& path) override;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+  [[nodiscard]] NodeScratch& scratch(int node) {
+    return *scratch_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  std::vector<std::unique_ptr<NodeScratch>> scratch_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,105 @@
+#include "storage/nfs/nfs_fs.hpp"
+
+#include "storage/base/lru_cache.hpp"
+
+namespace wfs::storage {
+
+NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
+             StorageNode serverNode, const Config& cfg)
+    : StorageSystem{std::move(workers)},
+      sim_{&sim},
+      fabric_{&fabric},
+      server_{std::make_unique<NfsServer>(sim, fabric.network(), std::move(serverNode),
+                                          cfg.server)},
+      cfg_{cfg} {
+  clientCache_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    clientCache_.push_back(std::make_unique<LruCache>(static_cast<Bytes>(
+        static_cast<double>(n.memoryBytes) * cfg.clientCacheFraction)));
+  }
+}
+
+sim::Task<void> NfsFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  net::Nic* client = node(nodeIdx).nic;
+  net::Nic* serverNic = server_->node().nic;
+
+  // CREATE/OPEN round trip plus server CPU.
+  co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
+  co_await server_->serveOp();
+  // Data crosses the network into server memory; `async` means the reply
+  // does not wait for the disk, but a full dirty buffer blocks admission.
+  server_->streamStarted(size);
+  net::Path wirePath = fabric_->path(client, serverNic);
+  wirePath.push_back(net::Hop{&server_->backplane(), 1.0});
+  co_await fabric_->network().transfer(std::move(wirePath), size);
+  server_->streamFinished(size);
+  co_await server_->writeBack().write(size);
+  server_->pageCache().put(path, size);
+  // The writer's own page cache also holds the data it just wrote.
+  clientCache_[static_cast<std::size_t>(nodeIdx)]->put(path, size);
+}
+
+sim::Task<void> NfsFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  ++metrics_.readOps;
+  metrics_.bytesRead += meta.size;
+  net::Nic* client = node(nodeIdx).nic;
+  net::Nic* serverNic = server_->node().nic;
+
+  // Client page cache hit: revalidation is a single GETATTR round trip.
+  if (clientCache_[static_cast<std::size_t>(nodeIdx)]->touch(path)) {
+    ++metrics_.cacheHits;
+    ++metrics_.localReads;
+    co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
+    co_await sim_->delay(memCopyTime(meta.size, cfg_.memRate));
+    co_return;
+  }
+  ++metrics_.remoteReads;
+
+  // LOOKUP/GETATTR round trip plus server CPU.
+  co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
+  co_await server_->serveOp();
+
+  server_->streamStarted(meta.size);
+  if (server_->pageCache().touch(path)) {
+    ++metrics_.cacheHits;
+    // Served from server RAM at network speed.
+    net::Path p = fabric_->path(serverNic, client);
+    p.push_back(net::Hop{&server_->backplane(), 1.0});
+    co_await fabric_->network().transfer(std::move(p), meta.size);
+  } else {
+    ++metrics_.cacheMisses;
+    // Disk read pipelined with the network transfer (one streaming flow).
+    net::Path p = fabric_->path(serverNic, client);
+    p.push_back(net::Hop{&server_->backplane(), 1.0});
+    co_await server_->node().disk->read(meta.size, std::move(p));
+    server_->pageCache().put(path, meta.size);
+  }
+  server_->streamFinished(meta.size);
+  clientCache_[static_cast<std::size_t>(nodeIdx)]->put(path, meta.size);
+}
+
+void NfsFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);  // on the server's disk, cold cache
+}
+
+void NfsFs::discard(int nodeIdx, const std::string& path) {
+  clientCache_[static_cast<std::size_t>(nodeIdx)]->erase(path);
+  server_->pageCache().erase(path);
+}
+
+Bytes NfsFs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path)) return 0;
+  return clientCache_[static_cast<std::size_t>(nodeIdx)]->contains(path)
+             ? catalog_.lookup(path).size
+             : 0;
+}
+
+NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
+             StorageNode serverNode)
+    : NfsFs{sim, fabric, std::move(workers), std::move(serverNode), Config{}} {}
+
+}  // namespace wfs::storage

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/nfs/nfs_server.hpp"
+
+namespace wfs::storage {
+
+/// The NFS data-sharing option (paper §IV.B): a single dedicated server
+/// node exports the shared file system to every worker.
+///
+/// Centralization is the defining property: every byte a worker reads or
+/// writes crosses the server's one NIC, and every operation costs an RPC —
+/// fine with few clients or light I/O, degrading as the cluster grows
+/// (Broadband's 2->4 node regression in Fig 4).
+class NfsFs : public StorageSystem {
+ public:
+  struct Config {
+    NfsServer::Config server{};
+    /// Client-observed latency per metadata/issue RPC (async, noatime
+    /// configuration keeps this small).
+    sim::Duration rpcLatency = sim::Duration::micros(400);
+    /// Linux NFS clients cache read data in the local page cache
+    /// (close-to-open consistency). Slightly larger than the local-disk
+    /// option's page-cache share because dirty data leaves the box quickly
+    /// instead of occupying RAM behind the write-back throttle.
+    double clientCacheFraction = 0.6;
+    Rate memRate = GBps(1);
+  };
+
+  /// `workers` excludes the server node; `serverNode` is the dedicated host.
+  NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
+        StorageNode serverNode, const Config& cfg);
+  NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
+        StorageNode serverNode);
+
+  [[nodiscard]] std::string name() const override { return "nfs"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  void discard(int node, const std::string& path) override;
+
+  [[nodiscard]] NfsServer& server() { return *server_; }
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+ private:
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  std::unique_ptr<NfsServer> server_;
+  Config cfg_;
+  std::vector<std::unique_ptr<LruCache>> clientCache_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,61 @@
+#include "storage/nfs/nfs_server.hpp"
+
+#include <algorithm>
+
+namespace wfs::storage {
+
+namespace {
+WriteBackCache::Config wbConfig(const StorageNode& node, const NfsServer::Config& cfg) {
+  WriteBackCache::Config wb;
+  wb.dirtyLimit = static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.dirtyFraction);
+  wb.memRate = cfg.memRate;
+  return wb;
+}
+}  // namespace
+
+NfsServer::NfsServer(sim::Simulator& sim, net::FlowNetwork& net, StorageNode node,
+                     const Config& cfg)
+    : sim_{&sim},
+      node_{std::move(node)},
+      cfg_{cfg},
+      threads_{sim, cfg.threads, "nfsd"},
+      pageCache_{static_cast<Bytes>(static_cast<double>(node_.memoryBytes) *
+                                    cfg.pageCacheFraction)},
+      wb_{std::make_unique<WriteBackCache>(sim, *node_.disk, wbConfig(node_, cfg))},
+      // Full-duplex internal capacity: reads and writes each ride their own
+      // NIC direction, so the nominal backplane is 2x the link rate.
+      backplane_{net, node_.nic != nullptr ? 2.0 * node_.nic->tx().rate() : GBps(2),
+                 node_.host + ".nfs-backplane"},
+      nominalBackplane_{backplane_.rate()} {}
+
+sim::Task<void> NfsServer::serveOp() {
+  auto thread = co_await threads_.scoped(1);
+  co_await sim_->delay(cfg_.opService);
+}
+
+void NfsServer::streamStarted(Bytes size) {
+  if (size >= cfg_.largeStreamBytes) {
+    ++largeStreams_;
+    updateBackplane();
+  }
+}
+
+void NfsServer::streamFinished(Bytes size) {
+  if (size >= cfg_.largeStreamBytes) {
+    --largeStreams_;
+    updateBackplane();
+  }
+}
+
+void NfsServer::updateBackplane() {
+  // Readahead interference sets in once large streams outnumber half the
+  // nfsd pool; a bigger server (more threads) both raises the knee and
+  // flattens the slope.
+  const int excess = std::max(0, largeStreams_ - cfg_.threads / 2);
+  const double eff = std::max(
+      cfg_.efficiencyFloor,
+      1.0 / (1.0 + cfg_.interferenceAlpha * excess / static_cast<double>(cfg_.threads)));
+  backplane_.setRate(nominalBackplane_ * eff);
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+
+#include "simcore/resource.hpp"
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/base/wb_cache.hpp"
+
+namespace wfs::storage {
+
+/// Server half of the NFS option: one dedicated node (m1.xlarge in the
+/// paper — chosen for its 16 GB of RAM, §IV.B) exporting its RAID array
+/// with `async` and `noatime`.
+class NfsServer {
+ public:
+  struct Config {
+    /// nfsd thread pool (Linux default of 8).
+    int threads = 8;
+    /// Server CPU per RPC (lookup/getattr/read/write issue).
+    sim::Duration opService = sim::Duration::micros(150);
+    /// Page cache share of server RAM (a dedicated file server caches
+    /// aggressively).
+    double pageCacheFraction = 0.8;
+    /// Dirty-buffer share of server RAM; large because of `async`.
+    double dirtyFraction = 0.5;
+    Rate memRate = GBps(1);
+
+    /// Large-stream interference. The paper measured a repeatable NFS
+    /// regression from 2 to 4 Broadband nodes that no parameter change
+    /// fixed (§V.C); we attribute it to concurrent large sequential
+    /// streams defeating server readahead and batching. Service efficiency
+    /// is 1/(1 + alpha * excess / threads) with excess = max(0,
+    /// largeStreams - threads/2), floored at `efficiencyFloor`; a beefier
+    /// server (more nfsd threads) tolerates more streams, and small-file
+    /// workloads (Montage) never trigger it.
+    Bytes largeStreamBytes = 128_MB;
+    double interferenceAlpha = 4.0;
+    double efficiencyFloor = 0.20;
+  };
+
+  NfsServer(sim::Simulator& sim, net::FlowNetwork& net, StorageNode node, const Config& cfg);
+
+  /// Occupies one nfsd thread for the fixed op service time.
+  [[nodiscard]] sim::Task<void> serveOp();
+
+  /// All served data passes through this capacity; its rate degrades while
+  /// many large streams are active (see Config).
+  [[nodiscard]] net::Capacity& backplane() { return backplane_; }
+
+  /// RAII-style accounting of an active data stream of `size` bytes.
+  void streamStarted(Bytes size);
+  void streamFinished(Bytes size);
+
+  [[nodiscard]] StorageNode& node() { return node_; }
+  [[nodiscard]] LruCache& pageCache() { return pageCache_; }
+  [[nodiscard]] WriteBackCache& writeBack() { return *wb_; }
+  [[nodiscard]] Rate memRate() const { return cfg_.memRate; }
+  [[nodiscard]] int activeLargeStreams() const { return largeStreams_; }
+
+ private:
+  void updateBackplane();
+
+  sim::Simulator* sim_;
+  StorageNode node_;
+  Config cfg_;
+  sim::Resource threads_;
+  LruCache pageCache_;
+  std::unique_ptr<WriteBackCache> wb_;
+  net::Capacity backplane_;
+  Rate nominalBackplane_;
+  int largeStreams_ = 0;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,109 @@
+#include "storage/p2p/p2p_fs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfs::storage {
+
+P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+             const Config& cfg)
+    : StorageSystem{std::move(nodes)}, sim_{&sim}, fabric_{&fabric}, cfg_{cfg} {
+  scratch_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg.scratch));
+  }
+}
+
+bool P2pFs::hasReplica(int nodeIdx, const std::string& path) const {
+  auto it = where_.find(path);
+  if (it == where_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), nodeIdx) != it->second.end();
+}
+
+const std::vector<int>& P2pFs::replicas(const std::string& path) const {
+  static const std::vector<int> kEmpty;
+  auto it = where_.find(path);
+  return it == where_.end() ? kEmpty : it->second;
+}
+
+sim::Task<void> P2pFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  co_await scratch_[static_cast<std::size_t>(nodeIdx)]->write(path, size);
+  where_[path].push_back(nodeIdx);
+}
+
+sim::Task<void> P2pFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  ++metrics_.readOps;
+  metrics_.bytesRead += meta.size;
+
+  if (hasReplica(nodeIdx, path)) {
+    ++metrics_.localReads;
+    ++metrics_.cacheHits;
+    co_await scratch_[static_cast<std::size_t>(nodeIdx)]->read(path, meta.size);
+    co_return;
+  }
+  ++metrics_.remoteReads;
+  ++metrics_.cacheMisses;
+  ++pulls_;
+  const auto& holders = replicas(path);
+  if (holders.empty()) {
+    throw std::logic_error("p2p: no replica of " + path);
+  }
+  // Pull from the first holder (the producer): handshake, then a streaming
+  // flow producer-disk -> producer-NIC -> consumer-NIC, landing in the
+  // consumer's write-back cache.
+  const int src = holders.front();
+  StorageNode& producer = node(src);
+  StorageNode& consumer = node(nodeIdx);
+  co_await sim_->delay(cfg_.handshake +
+                       fabric_->oneWayLatency(consumer.nic, producer.nic));
+  NodeScratch& srcScratch = *scratch_[static_cast<std::size_t>(src)];
+  if (srcScratch.cached(path)) {
+    // Producer page cache -> wire.
+    co_await fabric_->network().transfer(fabric_->path(producer.nic, consumer.nic),
+                                         meta.size);
+  } else {
+    co_await producer.disk->read(meta.size, fabric_->path(producer.nic, consumer.nic));
+  }
+  if (cfg_.keepPulledCopies) {
+    co_await scratch_[static_cast<std::size_t>(nodeIdx)]->write(path, meta.size);
+    where_[path].push_back(nodeIdx);
+  }
+  // Program reads the landed copy (page-cache hot).
+  co_await scratch_[static_cast<std::size_t>(nodeIdx)]->read(path, meta.size);
+}
+
+void P2pFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+  auto& holders = where_[path];
+  for (int i = 0; i < nodeCount(); ++i) holders.push_back(i);  // staged everywhere
+}
+
+sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  ++metrics_.readOps;
+  ++metrics_.localReads;
+  metrics_.bytesWritten += size;
+  metrics_.bytesRead += size;
+  NodeScratch& local = *scratch_[static_cast<std::size_t>(nodeIdx)];
+  co_await local.write(path, size);
+  co_await local.read(path, size);
+}
+
+void P2pFs::discard(int nodeIdx, const std::string& path) {
+  scratch_[static_cast<std::size_t>(nodeIdx)]->pageCache().erase(path);
+}
+
+Bytes P2pFs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path) || !hasReplica(nodeIdx, path)) return 0;
+  return catalog_.lookup(path).size;
+}
+
+P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
+    : P2pFs{sim, fabric, std::move(nodes), Config{}} {}
+
+}  // namespace wfs::storage

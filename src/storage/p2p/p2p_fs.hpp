@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/node_scratch.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::storage {
+
+/// Peer-to-peer data sharing — the configuration the paper names as future
+/// work (§VIII): no shared file system; every output stays on the disk of
+/// the node that produced it, and a consumer scheduled elsewhere pulls the
+/// file directly from the producer (Condor-style file transfer).
+///
+/// Compared with GlusterFS NUFA this removes the distributed-volume
+/// machinery (lookups, bricks, io-cache) but gives up transparent POSIX
+/// access: the workflow system must track locations — modeled by the
+/// location map below, which Pegasus would carry in its replica catalog.
+class P2pFs : public StorageSystem {
+ public:
+  struct Config {
+    NodeScratch::Config scratch{};
+    /// Control-message exchange to negotiate a transfer.
+    sim::Duration handshake = sim::Duration::millis(1);
+    /// Pulled files are kept (cached) on the consumer's disk for reuse.
+    bool keepPulledCopies = true;
+  };
+
+  P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+        const Config& cfg);
+  P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
+
+  [[nodiscard]] std::string name() const override { return "p2p"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
+                                                 Bytes size) override;
+  void discard(int node, const std::string& path) override;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+  /// Nodes currently holding a replica of `path`.
+  [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const;
+  [[nodiscard]] std::uint64_t pullCount() const { return pulls_; }
+
+ private:
+  [[nodiscard]] bool hasReplica(int node, const std::string& path) const;
+
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  Config cfg_;
+  std::vector<std::unique_ptr<NodeScratch>> scratch_;
+  /// path -> nodes holding it (-1 never appears; preloads replicate
+  /// everywhere like the paper's pre-staged inputs).
+  std::unordered_map<std::string, std::vector<int>> where_;
+  std::uint64_t pulls_ = 0;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::storage {
+
+/// The PVFS option (paper §IV.D): a parallel file system striping file data
+/// across every node; each node is both client and I/O server, and metadata
+/// is distributed across all nodes.
+///
+/// The model matches the 2.6.3 release the authors had to fall back to:
+/// no small-file optimizations, so every file create performs a metadata
+/// round trip plus a serialized datafile handshake with *each* I/O server,
+/// and every transfer is synchronous to the server disks (no client or
+/// server caching layer) — the mechanism behind PVFS's poor Montage and
+/// Broadband results (Figs 2, 4).
+class PvfsFs : public StorageSystem {
+ public:
+  struct Config {
+    /// Stripe unit (PVFS default 64 KiB).
+    Bytes stripeSize = 64_KiB;
+    /// Metadata RPC to the (hashed) metadata server.
+    sim::Duration metaRpc = sim::Duration::micros(600);
+    /// Per-I/O-server handshake when creating the datafiles of a new file;
+    /// serialized in 2.6.x — the small-file killer.
+    sim::Duration datafileHandshake = sim::Duration::micros(500);
+    /// Request setup per server per transfer.
+    sim::Duration ioRequestOverhead = sim::Duration::micros(300);
+    /// Flow-control window: each server serves a file as a sequence of
+    /// requests of this size, and with dozens of clients interleaving,
+    /// every request repositions the disk (2.6.x did no server-side
+    /// request coalescing). This is the small-file killer's other half:
+    /// a 3 MB Montage file becomes two dozen seek-bound 128 KiB accesses.
+    Bytes requestSize = 128_KiB;
+  };
+
+  PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+         const Config& cfg);
+  PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
+
+  [[nodiscard]] std::string name() const override { return "pvfs"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+
+ private:
+  /// Servers touched by a file of `size` bytes (round-robin striping).
+  [[nodiscard]] int serversFor(Bytes size) const;
+  [[nodiscard]] sim::Task<void> stripedTransfer(int clientIdx, Bytes size, bool isWrite);
+
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  Config cfg_;
+};
+
+}  // namespace wfs::storage

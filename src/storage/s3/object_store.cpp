@@ -1,0 +1,33 @@
+#include "storage/s3/object_store.hpp"
+
+namespace wfs::storage {
+
+ObjectStore::ObjectStore(net::FlowNetwork& net, const Config& cfg)
+    : net_{&net}, cfg_{cfg}, service_{net, cfg.aggregateRate, "s3.service"} {}
+
+sim::Task<void> ObjectStore::get(net::Nic* client, Bytes size) {
+  ++gets_;
+  co_await request(client, size, /*upload=*/false);
+}
+
+sim::Task<void> ObjectStore::put(net::Nic* client, Bytes size) {
+  ++puts_;
+  bytesStored_ += size;
+  co_await request(client, size, /*upload=*/true);
+}
+
+sim::Task<void> ObjectStore::request(net::Nic* client, Bytes size, bool upload) {
+  co_await net_->simulator().delay(cfg_.requestLatency);
+  if (size <= 0) co_return;
+  // The connection ceiling lives in the coroutine frame: one Capacity per
+  // in-flight request, destroyed when the transfer finishes.
+  net::Capacity connection{*net_, cfg_.perConnectionRate, "s3.conn"};
+  net::Path path;
+  if (upload && client != nullptr) path.push_back(net::Hop{&client->tx(), 1.0});
+  path.push_back(net::Hop{&connection, 1.0});
+  path.push_back(net::Hop{&service_, 1.0});
+  if (!upload && client != nullptr) path.push_back(net::Hop{&client->rx(), 1.0});
+  co_await net_->transfer(std::move(path), size);
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/flow_network.hpp"
+#include "simcore/task.hpp"
+
+namespace wfs::storage {
+
+/// The Amazon S3 service endpoint (paper §IV.A): a distributed object store
+/// reached through a REST interface.
+///
+/// The service itself scales far beyond one virtual cluster, so the model is
+/// an aggregate service capacity plus a *per-connection* throughput ceiling
+/// and a fixed per-request latency — the two parameters that actually hurt
+/// workflows with thousands of small files.
+class ObjectStore {
+ public:
+  struct Config {
+    /// REST round-trip before the first payload byte.
+    sim::Duration requestLatency = sim::Duration::millis(60);
+    /// Single-connection throughput ceiling.
+    Rate perConnectionRate = MBps(25);
+    /// Aggregate capacity of the service frontend as seen by one cluster.
+    Rate aggregateRate = GBps(5);
+  };
+
+  ObjectStore(net::FlowNetwork& net, const Config& cfg);
+
+  /// Downloads `size` bytes to `client`; counts one GET request.
+  [[nodiscard]] sim::Task<void> get(net::Nic* client, Bytes size);
+
+  /// Uploads `size` bytes from `client`; counts one PUT request.
+  [[nodiscard]] sim::Task<void> put(net::Nic* client, Bytes size);
+
+  [[nodiscard]] std::uint64_t getCount() const { return gets_; }
+  [[nodiscard]] std::uint64_t putCount() const { return puts_; }
+  [[nodiscard]] Bytes bytesStored() const { return bytesStored_; }
+  void noteStored(Bytes size) { bytesStored_ += size; }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> request(net::Nic* client, Bytes size, bool upload);
+
+  net::FlowNetwork* net_;
+  Config cfg_;
+  net::Capacity service_;
+  std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+  Bytes bytesStored_ = 0;
+};
+
+}  // namespace wfs::storage

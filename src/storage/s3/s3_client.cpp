@@ -1,0 +1,38 @@
+#include "storage/s3/s3_client.hpp"
+
+namespace wfs::storage {
+
+S3Client::S3Client(ObjectStore& store, NodeScratch& scratch, net::Nic* nic,
+                   Bytes cacheCapacity)
+    : store_{&store}, scratch_{&scratch}, nic_{nic}, cache_{cacheCapacity} {}
+
+sim::Task<void> S3Client::fetchAndRead(const std::string& path, Bytes size,
+                                       StorageMetrics& metrics) {
+  if (cache_.touch(path)) {
+    ++metrics.cacheHits;
+    ++metrics.localReads;
+  } else {
+    ++metrics.cacheMisses;
+    ++metrics.remoteReads;
+    ++metrics.getRequests;
+    // S3 -> local disk: the first of the paper's "read twice" pair.
+    co_await store_->get(nic_, size);
+    co_await scratch_->write(path, size);
+    cache_.put(path, size);
+  }
+  // Local disk -> program: the second read (page-cache hot after a GET).
+  co_await scratch_->read(path, size);
+}
+
+sim::Task<void> S3Client::writeAndStore(const std::string& path, Bytes size,
+                                        StorageMetrics& metrics) {
+  // Program -> local disk ("written twice": disk now, S3 next).
+  co_await scratch_->write(path, size);
+  cache_.put(path, size);
+  // Local disk -> S3 (page-cache hot, so the cost is the upload).
+  co_await scratch_->read(path, size);
+  ++metrics.putRequests;
+  co_await store_->put(nic_, size);
+}
+
+}  // namespace wfs::storage

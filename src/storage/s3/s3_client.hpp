@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/metrics.hpp"
+#include "storage/base/node_scratch.hpp"
+#include "storage/s3/object_store.hpp"
+
+namespace wfs::storage {
+
+/// Per-node S3 client with the paper's whole-file cache (§IV.A).
+///
+/// GET copies the object onto the node's scratch disk before the program
+/// reads it; PUT copies the program's output from scratch disk to S3. The
+/// cache records which objects already live on this node's disk — valid
+/// because the workloads are strictly write-once — so each file is fetched
+/// at most once per node and locally-produced outputs are never re-fetched.
+class S3Client {
+ public:
+  S3Client(ObjectStore& store, NodeScratch& scratch, net::Nic* nic, Bytes cacheCapacity);
+
+  /// Ensures `path` is on the local disk (GET on miss), then lets the
+  /// program read it. Returns through `metrics` whether it was a hit.
+  [[nodiscard]] sim::Task<void> fetchAndRead(const std::string& path, Bytes size,
+                                             StorageMetrics& metrics);
+
+  /// Program writes `path` locally, then the wrapper PUTs it to S3.
+  [[nodiscard]] sim::Task<void> writeAndStore(const std::string& path, Bytes size,
+                                              StorageMetrics& metrics);
+
+  [[nodiscard]] bool cached(const std::string& path) const { return cache_.contains(path); }
+  [[nodiscard]] const LruCache& cache() const { return cache_; }
+
+ private:
+  ObjectStore* store_;
+  NodeScratch* scratch_;
+  net::Nic* nic_;
+  LruCache cache_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,62 @@
+#include "storage/s3/s3_fs.hpp"
+
+namespace wfs::storage {
+
+S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
+           const Config& cfg)
+    : StorageSystem{std::move(nodes)}, store_{std::make_unique<ObjectStore>(net, cfg.store)} {
+  scratch_.reserve(nodes_.size());
+  clients_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg.scratch));
+    clients_.push_back(std::make_unique<S3Client>(*store_, *scratch_.back(), n.nic,
+                                                  cfg.clientCacheBytes));
+  }
+}
+
+sim::Task<void> S3Fs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  co_await client(nodeIdx).writeAndStore(path, size, metrics_);
+}
+
+sim::Task<void> S3Fs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  ++metrics_.readOps;
+  metrics_.bytesRead += meta.size;
+  co_await client(nodeIdx).fetchAndRead(path, meta.size, metrics_);
+}
+
+sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  ++metrics_.readOps;
+  ++metrics_.localReads;
+  metrics_.bytesWritten += size;
+  metrics_.bytesRead += size;
+  NodeScratch& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
+  co_await local.write(path, size);
+  co_await local.read(path, size);
+}
+
+void S3Fs::discard(int nodeIdx, const std::string& path) {
+  scratch_.at(static_cast<std::size_t>(nodeIdx))->pageCache().erase(path);
+}
+
+void S3Fs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+  store_->noteStored(size);  // staged into a bucket before the run
+}
+
+Bytes S3Fs::localityHint(int nodeIdx, const std::string& path) const {
+  if (!catalog_.exists(path)) return 0;
+  return clients_.at(static_cast<std::size_t>(nodeIdx))->cached(path)
+             ? catalog_.lookup(path).size
+             : 0;
+}
+
+S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
+    : S3Fs{sim, net, std::move(nodes), Config{}} {}
+
+}  // namespace wfs::storage

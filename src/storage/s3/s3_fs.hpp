@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/base/node_scratch.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/s3/s3_client.hpp"
+
+namespace wfs::storage {
+
+/// The S3 data-sharing option: every node runs an S3 client with a
+/// whole-file cache; jobs are wrapped with GET/PUT staging (paper §IV.A).
+class S3Fs : public StorageSystem {
+ public:
+  struct Config {
+    ObjectStore::Config store{};
+    NodeScratch::Config scratch{};
+    /// Client cache capacity per node; effectively the scratch disk.
+    Bytes clientCacheBytes = 1500_GB;
+  };
+
+  /// `net` must be the flow network the node NICs are registered in.
+  S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
+       const Config& cfg);
+  S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes);
+
+  [[nodiscard]] std::string name() const override { return "s3"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+  /// S3 jobs run against the local disk; scratch never touches S3 (no GET,
+  /// no PUT, no request fees) — a structural advantage of the wrapper.
+  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
+                                                 Bytes size) override;
+  void discard(int node, const std::string& path) override;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+  [[nodiscard]] ObjectStore& objectStore() { return *store_; }
+  [[nodiscard]] const ObjectStore& objectStore() const { return *store_; }
+  [[nodiscard]] S3Client& client(int node) {
+    return *clients_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  std::unique_ptr<ObjectStore> store_;
+  std::vector<std::unique_ptr<NodeScratch>> scratch_;
+  std::vector<std::unique_ptr<S3Client>> clients_;
+};
+
+}  // namespace wfs::storage

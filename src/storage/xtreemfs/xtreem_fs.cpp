@@ -1,0 +1,55 @@
+#include "storage/xtreemfs/xtreem_fs.hpp"
+
+namespace wfs::storage {
+
+XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+                   const Config& cfg)
+    : StorageSystem{std::move(nodes)},
+      sim_{&sim},
+      fabric_{&fabric},
+      cfg_{cfg},
+      osdLayout_{nodeCount()} {}
+
+sim::Task<void> XtreemFs::transfer(int clientIdx, int osdIdx, Bytes size, bool isWrite) {
+  co_await sim_->delay(cfg_.perOpLatency);
+  if (size <= 0) co_return;
+  StorageNode& osd = node(osdIdx);
+  net::Nic* client = node(clientIdx).nic;
+  // The per-connection ceiling lives in the coroutine frame for the
+  // duration of the transfer.
+  net::Capacity connection{fabric_->network(), cfg_.perConnectionRate, "xtreemfs.conn"};
+  if (isWrite) {
+    net::Path path = fabric_->path(client, osd.nic);
+    path.push_back(net::Hop{&connection, 1.0});
+    co_await osd.disk->write(size, std::move(path));
+  } else {
+    net::Path path = fabric_->path(osd.nic, client);
+    path.push_back(net::Hop{&connection, 1.0});
+    co_await osd.disk->read(size, std::move(path));
+  }
+}
+
+sim::Task<void> XtreemFs::write(int nodeIdx, std::string path, Bytes size) {
+  catalog_.create(path, size, nodeIdx);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  co_await transfer(nodeIdx, osdLayout_.place(path, nodeIdx), size, /*isWrite=*/true);
+}
+
+sim::Task<void> XtreemFs::read(int nodeIdx, std::string path) {
+  const FileMeta& meta = catalog_.lookup(path);
+  ++metrics_.readOps;
+  ++metrics_.remoteReads;
+  metrics_.bytesRead += meta.size;
+  co_await transfer(nodeIdx, osdLayout_.locate(path), meta.size, /*isWrite=*/false);
+}
+
+void XtreemFs::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+  osdLayout_.place(path, -1);
+}
+
+XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
+    : XtreemFs{sim, fabric, std::move(nodes), Config{}} {}
+
+}  // namespace wfs::storage

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/gluster/layouts.hpp"
+
+namespace wfs::storage {
+
+/// XtreemFS (paper §IV): an object-based file system designed for wide-area
+/// deployments. The paper ran a few experiments with it, found workflows
+/// took more than twice as long as on the other systems, and dropped it.
+///
+/// Its WAN heritage is modeled as heavy per-operation cost (directory +
+/// metadata + capability round trips through MRC/OSD services) and a modest
+/// per-connection streaming rate, with objects placed on OSDs by hash and
+/// no client-side caching of workflow data.
+class XtreemFs : public StorageSystem {
+ public:
+  struct Config {
+    /// Combined MRC metadata + capability + OSD setup latency per open.
+    sim::Duration perOpLatency = sim::Duration::millis(35);
+    /// Per-connection streaming ceiling.
+    Rate perConnectionRate = MBps(12);
+  };
+
+  XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+           const Config& cfg);
+  XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
+
+  [[nodiscard]] std::string name() const override { return "xtreemfs"; }
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
+  void preload(const std::string& path, Bytes size) override;
+
+ private:
+  [[nodiscard]] sim::Task<void> transfer(int clientIdx, int osdIdx, Bytes size, bool isWrite);
+
+  sim::Simulator* sim_;
+  net::Fabric* fabric_;
+  Config cfg_;
+  DistributeLayout osdLayout_;
+};
+
+}  // namespace wfs::storage

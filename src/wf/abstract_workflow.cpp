@@ -1,0 +1,22 @@
+#include "wf/abstract_workflow.hpp"
+
+#include <unordered_set>
+
+namespace wfs::wf {
+
+Bytes AbstractWorkflow::finalOutputBytes() const {
+  std::unordered_set<std::string> consumed;
+  for (JobId id = 0; id < dag.jobCount(); ++id) {
+    for (const auto& f : dag.job(id).inputs) consumed.insert(f.lfn);
+  }
+  const std::unordered_set<std::string> marked{finalProducts.begin(), finalProducts.end()};
+  Bytes total = 0;
+  for (JobId id = 0; id < dag.jobCount(); ++id) {
+    for (const auto& f : dag.job(id).outputs) {
+      if (!consumed.contains(f.lfn) || marked.contains(f.lfn)) total += f.size;
+    }
+  }
+  return total;
+}
+
+}  // namespace wfs::wf

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wf/dag.hpp"
+
+namespace wfs::wf {
+
+/// Resource-independent workflow description, as handed to the Pegasus
+/// mapper: jobs named by logical transformation, files by logical name,
+/// plus the externally supplied input data set.
+struct AbstractWorkflow {
+  std::string name;
+  Dag dag;
+  std::vector<FileSpec> externalInputs;
+  /// Logical names of science products that are *also* consumed downstream
+  /// (e.g. Montage's mosaic, which mShrink reads). Never-consumed outputs
+  /// are products implicitly.
+  std::vector<std::string> finalProducts;
+
+  /// Derives dependency edges from file flow; call once after generation.
+  void finalize() { dag.connectByFiles(externalInputs); }
+
+  /// Bytes of non-temporary output: never-consumed files plus the marked
+  /// final products — the paper's "output data (excluding temporary)".
+  [[nodiscard]] Bytes finalOutputBytes() const;
+};
+
+}  // namespace wfs::wf

@@ -1,0 +1,28 @@
+#include "wf/catalogs.hpp"
+
+#include <stdexcept>
+
+namespace wfs::wf {
+
+void TransformationCatalog::add(Entry e) {
+  entries_[e.transformation] = std::move(e);
+}
+
+bool TransformationCatalog::has(const std::string& transformation) const {
+  return entries_.contains(transformation);
+}
+
+const TransformationCatalog::Entry& TransformationCatalog::get(
+    const std::string& transformation) const {
+  auto it = entries_.find(transformation);
+  if (it == entries_.end()) {
+    throw std::out_of_range("transformation not in catalog: " + transformation);
+  }
+  return it->second;
+}
+
+void ReplicaCatalog::registerReplica(const std::string& lfn, const std::string& site) {
+  replicas_[lfn] = site;
+}
+
+}  // namespace wfs::wf

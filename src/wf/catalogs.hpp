@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace wfs::wf {
+
+/// Pegasus transformation catalog: which logical executables exist at the
+/// execution site and how they behave there.
+class TransformationCatalog {
+ public:
+  struct Entry {
+    std::string transformation;
+    /// Multiplier on a job's cpuSeconds at this site (1.0 = reference core).
+    double cpuFactor = 1.0;
+  };
+
+  void add(Entry e);
+  [[nodiscard]] bool has(const std::string& transformation) const;
+  [[nodiscard]] const Entry& get(const std::string& transformation) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Pegasus replica catalog: where logical files already exist. For these
+/// experiments inputs are pre-staged into the chosen storage system.
+class ReplicaCatalog {
+ public:
+  void registerReplica(const std::string& lfn, const std::string& site);
+  [[nodiscard]] bool has(const std::string& lfn) const { return replicas_.contains(lfn); }
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> replicas_;
+};
+
+/// Pegasus site catalog entry for the (single) cloud execution site.
+struct SiteCatalog {
+  std::string siteName = "ec2";
+  int workerNodes = 1;
+  int coresPerNode = 8;
+  Bytes memoryPerNode = 0;
+  std::string storageSystem;
+};
+
+}  // namespace wfs::wf

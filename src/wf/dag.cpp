@@ -1,0 +1,129 @@
+#include "wf/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wfs::wf {
+
+JobId Dag::addJob(JobSpec spec) {
+  const JobId id = static_cast<JobId>(jobs_.size());
+  spec.id = id;
+  jobs_.push_back(std::move(spec));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+void Dag::addEdge(JobId parent, JobId child) {
+  if (parent == child) throw std::logic_error("self-edge in DAG");
+  auto& kids = children_.at(static_cast<std::size_t>(parent));
+  if (std::find(kids.begin(), kids.end(), child) != kids.end()) return;  // dedupe
+  kids.push_back(child);
+  parents_.at(static_cast<std::size_t>(child)).push_back(parent);
+}
+
+const JobSpec& Dag::job(JobId id) const { return jobs_.at(static_cast<std::size_t>(id)); }
+JobSpec& Dag::job(JobId id) { return jobs_.at(static_cast<std::size_t>(id)); }
+
+const std::vector<JobId>& Dag::children(JobId id) const {
+  return children_.at(static_cast<std::size_t>(id));
+}
+const std::vector<JobId>& Dag::parents(JobId id) const {
+  return parents_.at(static_cast<std::size_t>(id));
+}
+
+std::vector<JobId> Dag::topologicalOrder() const {
+  std::vector<int> indegree(jobs_.size(), 0);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    indegree[i] = static_cast<int>(parents_[i].size());
+  }
+  std::deque<JobId> ready;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<JobId>(i));
+  }
+  std::vector<JobId> order;
+  order.reserve(jobs_.size());
+  while (!ready.empty()) {
+    const JobId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const JobId c : children_[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != jobs_.size()) throw std::logic_error("workflow DAG has a cycle");
+  return order;
+}
+
+bool Dag::isAcyclic() const {
+  try {
+    (void)topologicalOrder();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void Dag::connectByFiles(const std::vector<FileSpec>& externalInputs) {
+  externalInputs_ = externalInputs;
+  std::unordered_map<std::string, JobId> producer;
+  for (const auto& j : jobs_) {
+    for (const auto& f : j.outputs) {
+      auto [it, inserted] = producer.emplace(f.lfn, j.id);
+      if (!inserted) {
+        throw std::logic_error("two jobs produce the same file: " + f.lfn);
+      }
+      (void)it;
+    }
+  }
+  std::unordered_set<std::string> external;
+  for (const auto& f : externalInputs) external.insert(f.lfn);
+  for (const auto& j : jobs_) {
+    for (const auto& f : j.inputs) {
+      if (auto it = producer.find(f.lfn); it != producer.end()) {
+        addEdge(it->second, j.id);
+      } else if (!external.contains(f.lfn)) {
+        throw std::logic_error("input file has no producer and is not external: " + f.lfn);
+      }
+    }
+  }
+}
+
+Bytes Dag::totalInputBytes() const {
+  Bytes total = 0;
+  for (const auto& f : externalInputs_) total += f.size;
+  return total;
+}
+
+Bytes Dag::totalOutputBytes() const {
+  std::unordered_set<std::string> consumed;
+  for (const auto& j : jobs_) {
+    for (const auto& f : j.inputs) consumed.insert(f.lfn);
+  }
+  Bytes total = 0;
+  for (const auto& j : jobs_) {
+    for (const auto& f : j.outputs) {
+      if (!consumed.contains(f.lfn)) total += f.size;
+    }
+  }
+  return total;
+}
+
+std::size_t Dag::distinctFileCount() const {
+  std::unordered_set<std::string> files;
+  for (const auto& f : externalInputs_) files.insert(f.lfn);
+  for (const auto& j : jobs_) {
+    for (const auto& f : j.outputs) files.insert(f.lfn);
+  }
+  return files.size();
+}
+
+double Dag::totalCpuSeconds() const {
+  double total = 0;
+  for (const auto& j : jobs_) total += j.cpuSeconds;
+  return total;
+}
+
+}  // namespace wfs::wf

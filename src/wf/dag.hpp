@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace wfs::wf {
+
+using JobId = int;
+
+/// A logical file flowing between jobs.
+struct FileSpec {
+  std::string lfn;  // logical file name
+  Bytes size = 0;
+
+  friend bool operator==(const FileSpec&, const FileSpec&) = default;
+};
+
+/// One executable task of a workflow.
+struct JobSpec {
+  JobId id = -1;
+  std::string name;            // unique instance name, e.g. "mProjectPP_0042"
+  std::string transformation;  // logical executable, e.g. "mProjectPP"
+  double cpuSeconds = 0.0;     // pure compute demand on one core
+  Bytes peakMemory = 0;        // resident set the scheduler must reserve
+  std::vector<FileSpec> inputs;
+  std::vector<FileSpec> outputs;
+  /// Intra-job intermediates: several Broadband transformations are "mini
+  /// workflows" of executables run in sequence (paper §V.C), writing files
+  /// that the next executable of the SAME job immediately re-reads. On a
+  /// shared file system these hit the shared store (NUFA keeps them on the
+  /// local brick — its whole advantage); in S3 mode the wrapper leaves
+  /// them on the local disk and never uploads them.
+  std::vector<FileSpec> scratchFiles;
+};
+
+/// Directed acyclic graph of jobs. Edges mean "parent must finish first";
+/// most are derived from producer -> consumer file pairs.
+class Dag {
+ public:
+  JobId addJob(JobSpec spec);
+  void addEdge(JobId parent, JobId child);
+
+  [[nodiscard]] const JobSpec& job(JobId id) const;
+  [[nodiscard]] JobSpec& job(JobId id);
+  [[nodiscard]] int jobCount() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] const std::vector<JobId>& children(JobId id) const;
+  [[nodiscard]] const std::vector<JobId>& parents(JobId id) const;
+
+  /// True if the graph is acyclic (Kahn's algorithm).
+  [[nodiscard]] bool isAcyclic() const;
+
+  /// Jobs in a valid topological order; throws std::logic_error on a cycle.
+  [[nodiscard]] std::vector<JobId> topologicalOrder() const;
+
+  /// Derives edges from file producer/consumer relationships. Every input
+  /// not produced by some job must appear in `externalInputs` (throws
+  /// std::logic_error otherwise). Call once after all jobs are added.
+  void connectByFiles(const std::vector<FileSpec>& externalInputs);
+
+  // Aggregate statistics (paper §II reports these per application).
+  [[nodiscard]] Bytes totalInputBytes() const;   // external inputs read
+  [[nodiscard]] Bytes totalOutputBytes() const;  // files never consumed
+  [[nodiscard]] std::size_t distinctFileCount() const;
+  [[nodiscard]] double totalCpuSeconds() const;
+
+ private:
+  std::vector<JobSpec> jobs_;
+  std::vector<std::vector<JobId>> children_;
+  std::vector<std::vector<JobId>> parents_;
+  std::vector<FileSpec> externalInputs_;
+};
+
+}  // namespace wfs::wf

@@ -1,0 +1,152 @@
+#include "wf/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfs::wf {
+
+DagmanEngine::DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workflow,
+                           storage::StorageSystem& storage, Scheduler& scheduler,
+                           std::vector<sim::Resource*> nodeMemory, prof::WfProf* prof,
+                           const Options& opt)
+    : sim_{&sim},
+      wf_{&workflow},
+      storage_{&storage},
+      scheduler_{&scheduler},
+      nodeMemory_{std::move(nodeMemory)},
+      prof_{prof},
+      opt_{opt} {
+  allDone_ = std::make_unique<sim::OneShotEvent>(sim);
+  faultRng_ = sim::Rng{opt.faultSeed};
+  indegree_.resize(static_cast<std::size_t>(workflow.dag.jobCount()));
+  done_.resize(static_cast<std::size_t>(workflow.dag.jobCount()), false);
+  for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
+    indegree_[static_cast<std::size_t>(id)] =
+        static_cast<int>(workflow.dag.parents(id).size());
+  }
+}
+
+std::vector<JobId> DagmanEngine::rescueDag() const {
+  std::vector<JobId> pending;
+  for (const JobId id : wf_->dag.topologicalOrder()) {
+    if (!done_[static_cast<std::size_t>(id)]) pending.push_back(id);
+  }
+  return pending;
+}
+
+sim::Task<void> DagmanEngine::execute() {
+  startedAt_ = sim_->now();
+  const int total = wf_->dag.jobCount();
+  if (total == 0) {
+    finishedAt_ = sim_->now();
+    co_return;
+  }
+  for (JobId id = 0; id < total; ++id) {
+    if (indegree_[static_cast<std::size_t>(id)] == 0) {
+      sim_->spawn(runJob(id));
+    }
+  }
+  co_await allDone_->wait();
+  finishedAt_ = sim_->now();
+}
+
+void DagmanEngine::submitReadyChildren(JobId finished) {
+  for (const JobId c : wf_->dag.children(finished)) {
+    if (--indegree_[static_cast<std::size_t>(c)] == 0) {
+      sim_->spawn(runJob(c));
+    }
+  }
+}
+
+sim::Task<void> DagmanEngine::runJob(JobId id) {
+  const JobSpec& job = wf_->dag.job(id);
+  const double computeSeconds = job.cpuSeconds / opt_.coreSpeed;
+  prof::TaskTrace trace;
+  int node = -1;
+  sim::Lease memLease;  // held across output writes, released at the end
+
+  for (int attempt = 0;; ++attempt) {
+    node = co_await scheduler_->claimSlot(job);
+
+    // Reserve resident memory on the node (Broadband's >1 GB tasks cap the
+    // effective parallelism of a 7 GB c1.xlarge below its 8 cores).
+    sim::Resource& mem = *nodeMemory_.at(static_cast<std::size_t>(node));
+    if (job.peakMemory > mem.capacity()) {
+      throw std::runtime_error("job " + job.name + " needs more memory than node has");
+    }
+    if (job.peakMemory > 0) {
+      memLease = co_await mem.scoped(job.peakMemory);
+    }
+
+    trace = prof::TaskTrace{};
+    trace.jobId = id;
+    trace.transformation = job.transformation;
+    trace.node = node;
+    trace.startSeconds = sim_->now().asSeconds();
+    trace.peakMemory = job.peakMemory;
+
+    // Stage/read every input through the storage system (re-done on a
+    // retry, just as a resubmitted Condor job would).
+    for (const auto& f : job.inputs) {
+      const double t0 = sim_->now().asSeconds();
+      co_await storage_->read(node, f.lfn);
+      trace.ioSeconds += sim_->now().asSeconds() - t0;
+      trace.bytesRead += storage_->sizeOf(f.lfn);  // authoritative catalog size
+    }
+
+    // Intra-job intermediates: the chained executables of a transformation
+    // write and immediately re-read scratch files (Broadband §V.C).
+    // Unique per attempt so the write-once catalog is respected.
+    for (const auto& f : job.scratchFiles) {
+      const std::string lfn =
+          attempt == 0 ? f.lfn : f.lfn + ".retry" + std::to_string(attempt);
+      const double t0 = sim_->now().asSeconds();
+      co_await storage_->scratchRoundTrip(node, lfn, f.size);
+      storage_->discard(node, lfn);  // jobs delete their temporaries
+      trace.ioSeconds += sim_->now().asSeconds() - t0;
+      trace.bytesRead += f.size;
+      trace.bytesWritten += f.size;
+    }
+
+    // Compute — possibly crashing partway through (transient failure,
+    // e.g. the kind of instability the paper saw with PVFS 2.8).
+    if (opt_.transientFailureProb > 0 &&
+        faultRng_.nextDouble() < opt_.transientFailureProb) {
+      co_await sim_->delay(
+          sim::Duration::fromSeconds(computeSeconds * faultRng_.nextDouble()));
+      memLease.release();
+      scheduler_->releaseSlot(node);
+      ++retries_;
+      if (attempt >= opt_.maxRetries) {
+        // DAGMan gives up on this job; the run fails and a rescue DAG is
+        // left behind. Jobs already running continue to completion.
+        failed_ = true;
+        allDone_->fire();
+        co_return;
+      }
+      continue;
+    }
+    co_await sim_->delay(sim::Duration::fromSeconds(computeSeconds));
+    break;
+  }
+
+  // Write every output.
+  for (const auto& f : job.outputs) {
+    const double t0 = sim_->now().asSeconds();
+    co_await storage_->write(node, f.lfn, f.size);
+    trace.ioSeconds += sim_->now().asSeconds() - t0;
+    trace.bytesWritten += f.size;
+  }
+
+  trace.endSeconds = sim_->now().asSeconds();
+  trace.cpuSeconds = computeSeconds;
+  memLease.release();
+  scheduler_->releaseSlot(node);
+  if (prof_ != nullptr) prof_->record(std::move(trace));
+
+  done_[static_cast<std::size_t>(id)] = true;
+  if (!failed_) submitReadyChildren(id);
+  if (++completed_ == wf_->dag.jobCount()) allDone_->fire();
+}
+
+}  // namespace wfs::wf

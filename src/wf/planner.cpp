@@ -1,0 +1,109 @@
+#include "wf/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wfs::wf {
+
+Planner::Planner(const TransformationCatalog& tc, const ReplicaCatalog& rc, SiteCatalog site)
+    : tc_{&tc}, rc_{&rc}, site_{std::move(site)} {}
+
+ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract, const Options& opt) const {
+  // Validate transformations against the site's catalog.
+  for (JobId id = 0; id < abstract.dag.jobCount(); ++id) {
+    const JobSpec& j = abstract.dag.job(id);
+    if (!tc_->has(j.transformation)) {
+      throw std::logic_error("planner: transformation not available at site '" +
+                             site_.siteName + "': " + j.transformation);
+    }
+  }
+  // Validate that every external input has a registered replica.
+  for (const auto& f : abstract.externalInputs) {
+    if (!rc_->has(f.lfn)) {
+      throw std::logic_error("planner: no replica registered for input: " + f.lfn);
+    }
+  }
+  if (!abstract.dag.isAcyclic()) {
+    throw std::logic_error("planner: abstract workflow has a cycle");
+  }
+
+  ExecutableWorkflow exec;
+  exec.name = abstract.name;
+  exec.externalInputs = abstract.externalInputs;
+  exec.clusterFactor = std::max(1, opt.clusterFactor);
+  if (exec.clusterFactor == 1) {
+    exec.dag = abstract.dag;
+    // Apply the site's cpu factor per transformation.
+    for (JobId id = 0; id < exec.dag.jobCount(); ++id) {
+      JobSpec& j = exec.dag.job(id);
+      j.cpuSeconds *= tc_->get(j.transformation).cpuFactor;
+    }
+    exec.dag.connectByFiles(exec.externalInputs);
+    return exec;
+  }
+  exec.dag = clusterDag(abstract.dag, exec.clusterFactor);
+  for (JobId id = 0; id < exec.dag.jobCount(); ++id) {
+    JobSpec& j = exec.dag.job(id);
+    j.cpuSeconds *= tc_->get(j.transformation).cpuFactor;
+  }
+  exec.dag.connectByFiles(exec.externalInputs);
+  return exec;
+}
+
+Dag Planner::clusterDag(const Dag& dag, int factor) const {
+  // Horizontal clustering: merge up to `factor` same-transformation jobs of
+  // the same topological level. Level = longest path from a root, so merged
+  // jobs can never depend on each other.
+  const auto order = dag.topologicalOrder();
+  std::vector<int> level(static_cast<std::size_t>(dag.jobCount()), 0);
+  for (const JobId id : order) {
+    for (const JobId c : dag.children(id)) {
+      level[static_cast<std::size_t>(c)] =
+          std::max(level[static_cast<std::size_t>(c)], level[static_cast<std::size_t>(id)] + 1);
+    }
+  }
+  std::map<std::pair<std::string, int>, std::vector<JobId>> buckets;
+  for (const JobId id : order) {
+    const JobSpec& j = dag.job(id);
+    buckets[{j.transformation, level[static_cast<std::size_t>(id)]}].push_back(id);
+  }
+
+  Dag out;
+  for (const auto& [key, ids] : buckets) {
+    for (std::size_t base = 0; base < ids.size(); base += static_cast<std::size_t>(factor)) {
+      const std::size_t end = std::min(ids.size(), base + static_cast<std::size_t>(factor));
+      JobSpec merged;
+      merged.transformation = key.first;
+      merged.name = "cluster_" + key.first + "_l" + std::to_string(key.second) + "_" +
+                    std::to_string(base / static_cast<std::size_t>(factor));
+      std::unordered_set<std::string> inSet, outSet;
+      for (std::size_t k = base; k < end; ++k) {
+        const JobSpec& j = dag.job(ids[k]);
+        merged.cpuSeconds += j.cpuSeconds;
+        merged.peakMemory = std::max(merged.peakMemory, j.peakMemory);
+        for (const auto& f : j.inputs) {
+          if (inSet.insert(f.lfn).second) merged.inputs.push_back(f);
+        }
+        for (const auto& f : j.outputs) {
+          if (outSet.insert(f.lfn).second) merged.outputs.push_back(f);
+        }
+        // Every constituent task still produces its own temporaries.
+        merged.scratchFiles.insert(merged.scratchFiles.end(), j.scratchFiles.begin(),
+                                   j.scratchFiles.end());
+      }
+      // A file produced inside the cluster is not an input of the cluster.
+      std::erase_if(merged.inputs,
+                    [&outSet](const FileSpec& f) { return outSet.contains(f.lfn); });
+      out.addJob(std::move(merged));
+    }
+  }
+  return out;
+}
+
+ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract) const {
+  return plan(abstract, Options{});
+}
+
+}  // namespace wfs::wf

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wf/abstract_workflow.hpp"
+#include "wf/catalogs.hpp"
+
+namespace wfs::wf {
+
+/// Concrete plan: the executable DAG after mapping, plus bookkeeping the
+/// engine needs.
+struct ExecutableWorkflow {
+  std::string name;
+  Dag dag;
+  std::vector<FileSpec> externalInputs;
+  /// Jobs per horizontal cluster (1 = no clustering).
+  int clusterFactor = 1;
+};
+
+/// The Pegasus mapper (paper §III.A): validates the abstract workflow
+/// against the catalogs and emits the executable workflow.
+///
+/// Because the experiments pre-stage all input data and keep outputs in the
+/// cloud (§III.C), the plan contains no stage-in/stage-out jobs; the
+/// S3-mode GET/PUT job wrapping lives in the storage layer.
+class Planner {
+ public:
+  struct Options {
+    /// Horizontal clustering: merge up to `clusterFactor` sibling jobs of
+    /// the same transformation into one scheduled job. Pegasus uses this
+    /// to amortize scheduling overhead for workflows like Montage with
+    /// thousands of short tasks; 1 disables it (the paper's setup).
+    int clusterFactor = 1;
+  };
+
+  Planner(const TransformationCatalog& tc, const ReplicaCatalog& rc, SiteCatalog site);
+
+  /// Throws std::logic_error if a transformation or input replica is
+  /// missing, or the DAG is malformed.
+  [[nodiscard]] ExecutableWorkflow plan(const AbstractWorkflow& abstract,
+                                        const Options& opt) const;
+  [[nodiscard]] ExecutableWorkflow plan(const AbstractWorkflow& abstract) const;
+
+ private:
+  [[nodiscard]] Dag clusterDag(const Dag& dag, int factor) const;
+
+  const TransformationCatalog* tc_;
+  const ReplicaCatalog* rc_;
+  SiteCatalog site_;
+};
+
+}  // namespace wfs::wf

@@ -1,0 +1,75 @@
+#include "wf/scheduler.hpp"
+
+#include <cassert>
+
+namespace wfs::wf {
+
+Scheduler::Scheduler(sim::Simulator& sim, std::vector<int> slotsPerNode, Policy policy,
+                     const storage::StorageSystem* storage)
+    : sim_{&sim},
+      free_{std::move(slotsPerNode)},
+      dispatched_(free_.size(), 0),
+      policy_{policy},
+      storage_{storage} {
+  assert(!free_.empty());
+  assert(policy != Policy::kDataAware || storage != nullptr);
+}
+
+int Scheduler::pickNode(const JobSpec& job) const {
+  const int n = static_cast<int>(free_.size());
+  if (policy_ == Policy::kDataAware) {
+    // Rank free nodes by the input bytes they can serve locally; fall back
+    // to round-robin among the best.
+    int best = -1;
+    Bytes bestScore = -1;
+    for (int k = 0; k < n; ++k) {
+      const int i = (rotor_ + k) % n;
+      if (free_[static_cast<std::size_t>(i)] <= 0) continue;
+      Bytes score = 0;
+      for (const auto& f : job.inputs) score += storage_->localityHint(i, f.lfn);
+      if (score > bestScore) {
+        bestScore = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Locality-blind FIFO: first free node in round-robin order.
+  for (int k = 0; k < n; ++k) {
+    const int i = (rotor_ + k) % n;
+    if (free_[static_cast<std::size_t>(i)] > 0) return i;
+  }
+  return -1;
+}
+
+int Scheduler::tryClaim(const JobSpec& job) {
+  if (!queue_.empty()) return -1;  // strict FIFO: wait behind earlier jobs
+  const int node = pickNode(job);
+  if (node < 0) return -1;
+  --free_[static_cast<std::size_t>(node)];
+  ++dispatched_[static_cast<std::size_t>(node)];
+  rotor_ = (node + 1) % static_cast<int>(free_.size());
+  return node;
+}
+
+void Scheduler::enqueue(const JobSpec* job, int* nodeOut, std::coroutine_handle<> h) {
+  queue_.push_back(Awaiting{job, nodeOut, h});
+}
+
+void Scheduler::releaseSlot(int node) {
+  ++free_[static_cast<std::size_t>(node)];
+  // Match head-of-queue jobs while slots remain (usually just the freed one).
+  while (!queue_.empty()) {
+    const int chosen = pickNode(*queue_.front().job);
+    if (chosen < 0) break;
+    Awaiting w = queue_.front();
+    queue_.pop_front();
+    --free_[static_cast<std::size_t>(chosen)];
+    ++dispatched_[static_cast<std::size_t>(chosen)];
+    rotor_ = (chosen + 1) % static_cast<int>(free_.size());
+    *w.nodeOut = chosen;
+    sim_->schedule(sim::Duration::zero(), [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace wfs::wf

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "storage/base/storage_system.hpp"
+#include "wf/dag.hpp"
+
+namespace wfs::wf {
+
+/// Condor-style matchmaker: one queue of idle jobs, one slot per core on
+/// every worker.
+///
+/// The default policy reproduces the paper's setup (§IV.A): the scheduler
+/// "does not consider data locality or parent-child affinity", so a file
+/// cached on one node regularly gets consumed on another. The data-aware
+/// policy implements the improvement the paper conjectures: rank candidate
+/// nodes by how many input bytes they can serve locally.
+class Scheduler {
+ public:
+  enum class Policy { kFifo, kDataAware };
+
+  Scheduler(sim::Simulator& sim, std::vector<int> slotsPerNode, Policy policy,
+            const storage::StorageSystem* storage = nullptr);
+
+  /// Claims one slot; resumes with the chosen node index. Strict FIFO among
+  /// waiting jobs.
+  [[nodiscard]] auto claimSlot(const JobSpec& job) {
+    struct Awaiter {
+      Scheduler* s;
+      const JobSpec* job;
+      int node = -1;
+      [[nodiscard]] bool await_ready() {
+        node = s->tryClaim(*job);
+        return node >= 0;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s->enqueue(job, &node, h); }
+      [[nodiscard]] int await_resume() const { return node; }
+    };
+    return Awaiter{this, &job};
+  }
+
+  void releaseSlot(int node);
+
+  [[nodiscard]] int freeSlots(int node) const {
+    return free_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] std::size_t queueLength() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t dispatched(int node) const {
+    return dispatched_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] Policy policy() const { return policy_; }
+
+ private:
+  struct Awaiting {
+    const JobSpec* job;
+    int* nodeOut;
+    std::coroutine_handle<> handle;
+  };
+
+  /// Returns the chosen node or -1 if the job must wait.
+  int tryClaim(const JobSpec& job);
+  void enqueue(const JobSpec* job, int* nodeOut, std::coroutine_handle<> h);
+  /// Picks the best free node for `job`, or -1. FIFO policy round-robins;
+  /// data-aware ranks by storage locality.
+  [[nodiscard]] int pickNode(const JobSpec& job) const;
+
+  sim::Simulator* sim_;
+  std::vector<int> free_;
+  std::vector<std::uint64_t> dispatched_;
+  Policy policy_;
+  const storage::StorageSystem* storage_;
+  std::deque<Awaiting> queue_;
+  mutable int rotor_ = 0;
+};
+
+}  // namespace wfs::wf

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Umbrella header for the wfcloudsim library: a discrete-event simulation
+/// of data-sharing options for scientific workflows on Amazon EC2,
+/// reproducing Juve et al., "Data Sharing Options for Scientific Workflows
+/// on Amazon EC2" (SC 2010).
+///
+/// Layers, bottom-up:
+///  - wfs::sim      coroutine discrete-event kernel
+///  - wfs::net      flow-level network with max-min fair sharing
+///  - wfs::blk      ephemeral disks (first-write penalty) and RAID-0
+///  - wfs::storage  the data-sharing options: local, S3, NFS, GlusterFS
+///                  (NUFA / distribute), PVFS, XtreemFS
+///  - wfs::cloud    EC2 instances, provisioning, billing
+///  - wfs::wf       Pegasus-style planner + DAGMan engine + Condor-style
+///                  scheduler
+///  - wfs::prof     wfprof-style application profiling (Table I)
+///  - wfs::apps     Montage / Broadband / Epigenome workload generators
+///  - wfs::analysis one-call experiment driver and table rendering
+
+#include "analysis/experiment.hpp"
+#include "analysis/export.hpp"
+#include "analysis/repeat.hpp"
+#include "analysis/report.hpp"
+#include "apps/broadband.hpp"
+#include "apps/epigenome.hpp"
+#include "apps/montage.hpp"
+#include "cloud/billing.hpp"
+#include "cloud/context_broker.hpp"
+#include "cloud/instance_types.hpp"
+#include "cloud/pricing.hpp"
+#include "cloud/provisioner.hpp"
+#include "cloud/vm.hpp"
+#include "prof/wfprof.hpp"
+#include "wf/engine.hpp"
+#include "wf/planner.hpp"
+#include "wf/scheduler.hpp"

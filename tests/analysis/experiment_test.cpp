@@ -1,0 +1,101 @@
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+
+#include <cmath>
+
+namespace wfs::analysis {
+namespace {
+
+ExperimentConfig quick(App app, StorageKind kind, int nodes, double scale) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.storage = kind;
+  cfg.workerNodes = nodes;
+  cfg.appScale = scale;
+  return cfg;
+}
+
+TEST(Experiment, MontageLocalSmokes) {
+  const auto r = runExperiment(quick(App::kMontage, StorageKind::kLocal, 1, 0.02));
+  EXPECT_GT(r.makespanSeconds, 0.0);
+  EXPECT_GT(r.tasks, 100);
+  EXPECT_GT(r.cost.totalHourly(), 0.0);
+  EXPECT_GE(r.cost.totalHourly(), r.cost.totalPerSecond());
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto a = runExperiment(quick(App::kEpigenome, StorageKind::kS3, 2, 0.05));
+  const auto b = runExperiment(quick(App::kEpigenome, StorageKind::kS3, 2, 0.05));
+  EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+  EXPECT_EQ(a.storageMetrics.getRequests, b.storageMetrics.getRequests);
+}
+
+TEST(Experiment, EveryStorageKindRuns) {
+  for (const StorageKind kind :
+       {StorageKind::kS3, StorageKind::kNfs, StorageKind::kGlusterNufa,
+        StorageKind::kGlusterDist, StorageKind::kPvfs, StorageKind::kXtreemFs}) {
+    const auto r = runExperiment(quick(App::kBroadband, StorageKind{kind}, 2, 0.1));
+    EXPECT_GT(r.makespanSeconds, 0.0) << toString(kind);
+    EXPECT_EQ(r.storageName, toString(kind));
+  }
+}
+
+TEST(Experiment, LocalRejectsMultiNode) {
+  EXPECT_THROW((void)runExperiment(quick(App::kMontage, StorageKind::kLocal, 2, 0.02)),
+               std::invalid_argument);
+}
+
+TEST(Experiment, GlusterRejectsSingleNode) {
+  EXPECT_THROW(
+      (void)runExperiment(quick(App::kMontage, StorageKind::kGlusterNufa, 1, 0.02)),
+      std::invalid_argument);
+}
+
+TEST(Experiment, NfsChargesForExtraNode) {
+  const auto nfs = runExperiment(quick(App::kEpigenome, StorageKind::kNfs, 1, 0.05));
+  const auto s3 = runExperiment(quick(App::kEpigenome, StorageKind::kS3, 1, 0.05));
+  // Same worker count, but NFS pays for the dedicated m1.xlarge server.
+  const double nfsRate = nfs.cost.resourceCostPerSecond / nfs.makespanSeconds;
+  const double s3Rate = s3.cost.resourceCostPerSecond / s3.makespanSeconds;
+  EXPECT_NEAR(nfsRate / s3Rate, 2.0, 0.01);  // 2 x $0.68 vs 1 x $0.68
+}
+
+TEST(Experiment, S3RequestFeesAppear) {
+  const auto r = runExperiment(quick(App::kMontage, StorageKind::kS3, 2, 0.02));
+  EXPECT_GT(r.cost.s3RequestCost, 0.0);
+  EXPECT_GT(r.storageMetrics.putRequests, 0u);
+}
+
+TEST(Experiment, AddingNodesSpeedsUpCpuBoundApp) {
+  const auto n1 = runExperiment(quick(App::kEpigenome, StorageKind::kNfs, 1, 0.5));
+  const auto n4 = runExperiment(quick(App::kEpigenome, StorageKind::kNfs, 4, 0.5));
+  EXPECT_LT(n4.makespanSeconds, n1.makespanSeconds * 0.5);
+}
+
+TEST(Experiment, FirstWritePenaltyAblationMatters) {
+  // Large enough that the mosaic write overruns the dirty buffer and the
+  // flusher's first-write rate becomes the bottleneck.
+  auto with = quick(App::kMontage, StorageKind::kGlusterNufa, 2, 0.5);
+  auto without = with;
+  without.firstWritePenalty = false;
+  const auto a = runExperiment(with);
+  const auto b = runExperiment(without);
+  EXPECT_LT(b.makespanSeconds, a.makespanSeconds * 0.98);
+}
+
+TEST(Report, RenderTableAndCsv) {
+  std::vector<Series> series;
+  series.push_back(Series{"s3", {10.0, 20.0}});
+  series.push_back(Series{"nfs", {15.0, std::nan("")}});
+  const auto table = renderTable("Fig X", {"1", "2"}, series, "seconds");
+  EXPECT_NE(table.find("s3"), std::string::npos);
+  EXPECT_NE(table.find("-"), std::string::npos);
+  const auto csv = renderCsv({"1", "2"}, series);
+  EXPECT_NE(csv.find("s3,10.000,20.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfs::analysis

@@ -1,0 +1,83 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfs::analysis {
+namespace {
+
+wf::Dag tinyDag() {
+  wf::Dag d;
+  wf::JobSpec a;
+  a.name = "prep";
+  a.transformation = "prep";
+  a.cpuSeconds = 2.5;
+  a.outputs = {{"f", 1}};
+  d.addJob(std::move(a));
+  wf::JobSpec b;
+  b.name = "use \"quoted\"";
+  b.transformation = "use";
+  b.inputs = {{"f", 1}};
+  d.addJob(std::move(b));
+  d.connectByFiles({});
+  return d;
+}
+
+TEST(Export, DotContainsNodesAndEdges) {
+  const auto dot = toDot(tinyDag(), "mini");
+  EXPECT_NE(dot.find("digraph \"mini\""), std::string::npos);
+  EXPECT_NE(dot.find("j0 [label=\"prep\\n2.5s cpu\"]"), std::string::npos);
+  EXPECT_NE(dot.find("j0 -> j1;"), std::string::npos);
+  // Quotes in names are escaped.
+  EXPECT_NE(dot.find("use \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(dot.find("j1 -> j0"), std::string::npos);
+}
+
+prof::WfProf sampleProf() {
+  prof::WfProf p;
+  prof::TaskTrace t1;
+  t1.jobId = 0;
+  t1.transformation = "a";
+  t1.node = 1;
+  t1.startSeconds = 5;
+  t1.endSeconds = 9;
+  t1.cpuSeconds = 3;
+  t1.ioSeconds = 1;
+  t1.bytesRead = 100;
+  t1.bytesWritten = 50;
+  t1.peakMemory = 1024;
+  prof::TaskTrace t2;
+  t2.jobId = 1;
+  t2.transformation = "b";
+  t2.node = 0;
+  t2.startSeconds = 1;
+  t2.endSeconds = 2;
+  p.record(t1);
+  p.record(t2);
+  return p;
+}
+
+TEST(Export, TraceCsvHasHeaderAndRows) {
+  const auto csv = traceCsv(sampleProf());
+  EXPECT_NE(csv.find("job,transformation,node,start,end"), std::string::npos);
+  EXPECT_NE(csv.find("0,a,1,5.000,9.000,3.000,1.000,100,50,1024"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Export, GanttCsvSortedByNodeThenStart) {
+  const auto csv = ganttCsv(sampleProf());
+  const auto posNode0 = csv.find("0,1.000");
+  const auto posNode1 = csv.find("1,5.000");
+  ASSERT_NE(posNode0, std::string::npos);
+  ASSERT_NE(posNode1, std::string::npos);
+  EXPECT_LT(posNode0, posNode1);
+}
+
+TEST(Export, EmptyProfStillHasHeader) {
+  prof::WfProf p;
+  EXPECT_EQ(traceCsv(p), std::string{
+      "job,transformation,node,start,end,cpu,io,bytes_read,bytes_written,peak_mem\n"});
+  EXPECT_EQ(ganttCsv(p), std::string{"node,start,end,job,transformation\n"});
+}
+
+}  // namespace
+}  // namespace wfs::analysis

@@ -1,0 +1,80 @@
+#include "analysis/repeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfs::analysis {
+namespace {
+
+ExperimentConfig quickCfg() {
+  ExperimentConfig cfg;
+  cfg.app = App::kEpigenome;
+  cfg.storage = StorageKind::kNfs;
+  cfg.workerNodes = 2;
+  cfg.appScale = 0.05;
+  return cfg;
+}
+
+TEST(Repeat, AggregatesAcrossSeeds) {
+  const auto agg = repeatExperiment(quickCfg(), {1, 2, 3, 4});
+  EXPECT_EQ(agg.runs.size(), 4u);
+  EXPECT_EQ(agg.makespan.count(), 4u);
+  EXPECT_GT(agg.makespan.mean(), 0.0);
+  EXPECT_GE(agg.makespan.max(), agg.makespan.min());
+  // Different seeds resample task jitter, so some spread is expected.
+  EXPECT_GT(agg.makespan.stddev(), 0.0);
+}
+
+TEST(Repeat, IdenticalSeedListsReproduce) {
+  const auto a = repeatExperiment(quickCfg(), {7, 8});
+  const auto b = repeatExperiment(quickCfg(), {7, 8});
+  EXPECT_DOUBLE_EQ(a.makespan.mean(), b.makespan.mean());
+  EXPECT_DOUBLE_EQ(a.costPerSecond.mean(), b.costPerSecond.mean());
+}
+
+TEST(Repeat, SpreadIsModest) {
+  // Workload jitter is +-10% per task; aggregate makespan spread should be
+  // well within +-15% of the mean.
+  const auto agg = repeatExperiment(quickCfg(), {1, 2, 3, 4, 5});
+  EXPECT_LT(agg.makespan.max() - agg.makespan.min(), agg.makespan.mean() * 0.3);
+}
+
+TEST(Experiment, P2pKindRunsThroughDriver) {
+  ExperimentConfig cfg;
+  cfg.app = App::kBroadband;
+  cfg.storage = StorageKind::kP2p;
+  cfg.workerNodes = 4;
+  cfg.appScale = 0.1;
+  const auto r = runExperiment(cfg);
+  EXPECT_GT(r.makespanSeconds, 0.0);
+  EXPECT_EQ(r.storageName, "p2p");
+}
+
+TEST(Experiment, ClusteringReducesSchedulerLoadNotWork) {
+  ExperimentConfig cfg;
+  cfg.app = App::kMontage;
+  cfg.storage = StorageKind::kGlusterNufa;
+  cfg.workerNodes = 2;
+  cfg.appScale = 0.05;
+  const auto plain = runExperiment(cfg);
+  cfg.clusterFactor = 8;
+  const auto clustered = runExperiment(cfg);
+  EXPECT_LT(clustered.tasks, plain.tasks);
+  // Same data and compute move through the system either way.
+  EXPECT_NEAR(static_cast<double>(clustered.storageMetrics.bytesWritten),
+              static_cast<double>(plain.storageMetrics.bytesWritten),
+              static_cast<double>(plain.storageMetrics.bytesWritten) * 0.05);
+}
+
+TEST(Experiment, XtreemKindRunsThroughDriver) {
+  ExperimentConfig cfg;
+  cfg.app = App::kEpigenome;
+  cfg.storage = StorageKind::kXtreemFs;
+  cfg.workerNodes = 2;
+  cfg.appScale = 0.05;
+  const auto r = runExperiment(cfg);
+  EXPECT_EQ(r.storageName, "xtreemfs");
+  EXPECT_GT(r.makespanSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace wfs::analysis

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "apps/broadband.hpp"
+#include "apps/epigenome.hpp"
+#include "apps/montage.hpp"
+
+namespace wfs::apps {
+namespace {
+
+TEST(Montage, FullScaleMatchesPublishedNumbers) {
+  sim::Rng rng{1};
+  const auto awf = makeMontage(MontageConfig{}, rng);
+  // Paper §II: 10,429 tasks, 4.2 GB input, 7.9 GB output.
+  EXPECT_EQ(awf.dag.jobCount(), 10429);
+  EXPECT_NEAR(static_cast<double>(awf.dag.totalInputBytes()) / 1e9, 4.2, 0.25);
+  EXPECT_NEAR(static_cast<double>(awf.finalOutputBytes()) / 1e9, 7.9, 0.6);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(Montage, ScaledWorkflowIsProportional) {
+  sim::Rng rng{1};
+  MontageConfig cfg;
+  cfg.scale = 0.1;
+  const auto awf = makeMontage(cfg, rng);
+  EXPECT_NEAR(awf.dag.jobCount(), 1043, 15);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(Montage, DeterministicForSameSeed) {
+  sim::Rng a{7}, b{7};
+  MontageConfig cfg;
+  cfg.scale = 0.02;
+  const auto w1 = makeMontage(cfg, a);
+  const auto w2 = makeMontage(cfg, b);
+  ASSERT_EQ(w1.dag.jobCount(), w2.dag.jobCount());
+  for (wf::JobId i = 0; i < w1.dag.jobCount(); ++i) {
+    EXPECT_EQ(w1.dag.job(i).name, w2.dag.job(i).name);
+    EXPECT_DOUBLE_EQ(w1.dag.job(i).cpuSeconds, w2.dag.job(i).cpuSeconds);
+  }
+}
+
+TEST(Broadband, FullScaleMatchesPublishedNumbers) {
+  sim::Rng rng{1};
+  const auto awf = makeBroadband(BroadbandConfig{}, rng);
+  // Paper §II: 768 tasks, ~6 GB input, ~303 MB output.
+  EXPECT_EQ(awf.dag.jobCount(), 768);
+  EXPECT_NEAR(static_cast<double>(awf.dag.totalInputBytes()) / 1e9, 6.0, 0.3);
+  EXPECT_NEAR(static_cast<double>(awf.finalOutputBytes()) / 1e6, 303.0, 150.0);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(Broadband, MemoryHeavyTasksDominateRuntimeBudget) {
+  sim::Rng rng{1};
+  const auto awf = makeBroadband(BroadbandConfig{}, rng);
+  double heavyCpu = 0, totalCpu = 0;
+  for (wf::JobId i = 0; i < awf.dag.jobCount(); ++i) {
+    const auto& j = awf.dag.job(i);
+    totalCpu += j.cpuSeconds;
+    if (j.peakMemory > 1_GB) heavyCpu += j.cpuSeconds;
+  }
+  // Paper: >75 % of runtime in tasks requiring more than 1 GB.
+  EXPECT_GT(heavyCpu / totalCpu, 0.75);
+}
+
+TEST(Broadband, InputReuseIsHigh) {
+  sim::Rng rng{1};
+  const auto awf = makeBroadband(BroadbandConfig{}, rng);
+  // Count how many tasks consume each external input; velocity models must
+  // be consumed many times (S3 cache effectiveness, paper §V.C).
+  std::size_t velocityReads = 0;
+  for (wf::JobId i = 0; i < awf.dag.jobCount(); ++i) {
+    for (const auto& f : awf.dag.job(i).inputs) {
+      if (f.lfn.starts_with("vel/")) ++velocityReads;
+    }
+  }
+  EXPECT_GT(velocityReads, 200u);  // 288 simulation tasks read a model each
+}
+
+TEST(Epigenome, FullScaleMatchesPublishedNumbers) {
+  sim::Rng rng{1};
+  const auto awf = makeEpigenome(EpigenomeConfig{}, rng);
+  // Paper §II: 529 tasks, 1.9 GB input, ~300 MB output.
+  EXPECT_EQ(awf.dag.jobCount(), 529);
+  EXPECT_NEAR(static_cast<double>(awf.dag.totalInputBytes()) / 1e9, 1.9, 0.1);
+  EXPECT_NEAR(static_cast<double>(awf.finalOutputBytes()) / 1e6, 300.0, 120.0);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(Epigenome, CpuDominates) {
+  sim::Rng rng{1};
+  const auto awf = makeEpigenome(EpigenomeConfig{}, rng);
+  // Mapping tasks carry the overwhelming majority of compute.
+  double mapCpu = 0, totalCpu = 0;
+  for (wf::JobId i = 0; i < awf.dag.jobCount(); ++i) {
+    const auto& j = awf.dag.job(i);
+    totalCpu += j.cpuSeconds;
+    if (j.transformation == "maq_map") mapCpu += j.cpuSeconds;
+  }
+  EXPECT_GT(mapCpu / totalCpu, 0.6);
+}
+
+TEST(AllApps, TransformationCatalogsCoverEveryJob) {
+  sim::Rng rng{1};
+  wf::TransformationCatalog tc;
+  registerMontageTransformations(tc);
+  registerBroadbandTransformations(tc);
+  registerEpigenomeTransformations(tc);
+  MontageConfig mc;
+  mc.scale = 0.01;
+  BroadbandConfig bc;
+  bc.scale = 0.1;
+  EpigenomeConfig ec;
+  ec.scale = 0.1;
+  for (const auto& awf :
+       {makeMontage(mc, rng), makeBroadband(bc, rng), makeEpigenome(ec, rng)}) {
+    for (wf::JobId i = 0; i < awf.dag.jobCount(); ++i) {
+      EXPECT_TRUE(tc.has(awf.dag.job(i).transformation))
+          << awf.dag.job(i).transformation;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfs::apps

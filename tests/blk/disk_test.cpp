@@ -1,0 +1,238 @@
+#include "blk/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blk/raid0.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::blk {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+
+Disk::Config fastOpConfig() {
+  Disk::Config cfg;
+  cfg.perOpLatency = Duration::zero();  // isolate bandwidth behaviour
+  cfg.seekTime = Duration::zero();
+  return cfg;
+}
+
+double runTimed(Simulator& sim, Task<void> t) {
+  double finish = -1;
+  sim.spawn([](Simulator& s, Task<void> inner, double& out) -> Task<void> {
+    co_await std::move(inner);
+    out = s.now().asSeconds();
+  }(sim, std::move(t), finish));
+  sim.run();
+  return finish;
+}
+
+TEST(Disk, FirstWriteIsSlow) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  // 100 MB first write at 20 MB/s -> 5 s.
+  EXPECT_NEAR(runTimed(sim, d.write(100_MB)), 5.0, 1e-6);
+}
+
+TEST(Disk, RewriteIsFast) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  const double t1 = runTimed(sim, d.writeAt(0, 100_MB));
+  EXPECT_NEAR(t1, 5.0, 1e-6);
+  // Rewriting the same blocks runs at 100 MB/s -> 1 s more.
+  const double t2 = runTimed(sim, d.writeAt(0, 100_MB));
+  EXPECT_NEAR(t2 - t1, 1.0, 1e-6);
+}
+
+TEST(Disk, PartialOverlapBlendsCost) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  // 52 MB = 13 whole init chunks -> 2.6 s at the 20 MB/s first-write rate.
+  const double t1 = runTimed(sim, d.writeAt(0, 52_MB));
+  EXPECT_NEAR(t1, 2.6, 1e-6);
+  // Next write over [0, 100 MB): 48 MB of fresh chunks (2.4 s) plus 52 MB
+  // rewriting warm chunks (0.52 s).
+  const double t2 = runTimed(sim, d.writeAt(0, 100_MB));
+  EXPECT_NEAR(t2 - t1, 2.92, 1e-6);
+}
+
+TEST(Disk, SmallWriteInitializesWholeChunk) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  // 1 MB into a fresh 4 MB chunk: the whole chunk is initialized at
+  // 20 MB/s -> 0.2 s, the amplification behind small-file slowness.
+  const double t = runTimed(sim, d.writeAt(0, 1_MB));
+  EXPECT_NEAR(t, 0.2, 1e-6);
+  EXPECT_EQ(d.initializedBytes(), 4_MB);
+}
+
+TEST(Disk, InitializeAllRemovesPenalty) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  d.initializeAll();
+  EXPECT_NEAR(runTimed(sim, d.write(100_MB)), 1.0, 1e-6);
+}
+
+TEST(Disk, ReadRate) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  // 110 MB at 110 MB/s -> 1 s.
+  EXPECT_NEAR(runTimed(sim, d.read(110_MB)), 1.0, 1e-6);
+}
+
+TEST(Disk, PerOpLatencyApplies) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk::Config cfg = fastOpConfig();
+  cfg.perOpLatency = Duration::millis(4);
+  Disk d{net, cfg, "d"};
+  EXPECT_NEAR(runTimed(sim, d.read(110_MB)), 1.004, 1e-6);
+}
+
+TEST(Disk, SeekServiceOccupiesDevice) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk::Config cfg = fastOpConfig();
+  cfg.seekTime = Duration::millis(5);
+  Disk d{net, cfg, "d"};
+  // A lone 1.1 MB read: 10 ms transfer + 5 ms seek service = 15 ms.
+  const double t1 = runTimed(sim, d.read(1100_KB));
+  EXPECT_NEAR(t1, 0.015, 1e-4);
+  // 100 concurrent small reads saturate the device with seek service:
+  // total service = 100 * 15 ms = 1.5 s of device time.
+  std::vector<double> fin(100, -1);
+  auto timed = [](Simulator& s, Task<void> t, double& out) -> Task<void> {
+    co_await std::move(t);
+    out = s.now().asSeconds();
+  };
+  for (auto& f : fin) sim.spawn(timed(sim, d.read(1100_KB), f));
+  sim.run();
+  double last = 0;
+  for (double f : fin) last = std::max(last, f);
+  EXPECT_NEAR(last - t1, 1.5, 0.01);
+}
+
+TEST(Disk, ConcurrentReadsShareDevice) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  double f1 = -1, f2 = -1;
+  auto timed = [](Simulator& s, Task<void> t, double& out) -> Task<void> {
+    co_await std::move(t);
+    out = s.now().asSeconds();
+  };
+  sim.spawn(timed(sim, d.read(55_MB), f1));
+  sim.spawn(timed(sim, d.read(55_MB), f2));
+  sim.run();
+  EXPECT_NEAR(f1, 1.0, 1e-6);
+  EXPECT_NEAR(f2, 1.0, 1e-6);
+}
+
+TEST(Disk, MixedReadAndWriteShareProportionally) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  d.initializeAll();
+  double fr = -1, fw = -1;
+  auto timed = [](Simulator& s, Task<void> t, double& out) -> Task<void> {
+    co_await std::move(t);
+    out = s.now().asSeconds();
+  };
+  // Read weight 1/110e6, write weight 1/100e6. Equal fair rates r satisfy
+  // r*(1/110e6 + 1/100e6) = 1 -> r = 52.38 MB/s each.
+  sim.spawn(timed(sim, d.read(52380952), fr));
+  sim.spawn(timed(sim, d.writeAt(0, 52380952), fw));
+  sim.run();
+  EXPECT_NEAR(fr, 1.0, 1e-3);
+  EXPECT_NEAR(fw, 1.0, 1e-3);
+}
+
+TEST(Disk, AllocateScattersChunkAlignedWithinCapacity) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk::Config cfg = fastOpConfig();
+  cfg.capacityBytes = 1_GB;
+  Disk d{net, cfg, "d"};
+  bool sawDistinct = false;
+  Bytes first = -1;
+  for (int i = 0; i < 32; ++i) {
+    const Bytes off = d.allocate(2_MB);
+    EXPECT_GE(off, 0);
+    EXPECT_LE(off + 2_MB, cfg.capacityBytes);
+    EXPECT_EQ(off % cfg.initChunk, 0) << "allocations are chunk aligned";
+    if (first < 0) first = off;
+    if (off != first) sawDistinct = true;
+  }
+  EXPECT_TRUE(sawDistinct) << "allocations scatter across block groups";
+}
+
+TEST(Raid0, AggregateFirstWriteMatchesPaperEnvelope) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Raid0::Config cfg;
+  cfg.member = fastOpConfig();
+  Raid0 r{net, cfg, "md0"};
+  // 4 x 20 MB/s = 80 MB/s first write (paper: 80-100 MB/s).
+  const double t = runTimed(sim, r.write(800_MB));
+  EXPECT_NEAR(t, 10.0, 1e-3);
+}
+
+TEST(Raid0, SubsequentWritesHitCeiling) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Raid0::Config cfg;
+  cfg.member = fastOpConfig();
+  Raid0 r{net, cfg, "md0"};
+  r.initializeAll();
+  // 4 x 100 = 400 MB/s capped at 400 -> 400 MB/s (paper: 350-400 MB/s).
+  const double t = runTimed(sim, r.write(800_MB));
+  EXPECT_NEAR(t, 2.0, 1e-3);
+}
+
+TEST(Raid0, ReadCeilingAppliesBelowMemberSum) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Raid0::Config cfg;
+  cfg.member = fastOpConfig();
+  Raid0 r{net, cfg, "md0"};
+  // 4 x 110 = 440 but controller caps at 310 MB/s (paper: ~310 MB/s).
+  const double t = runTimed(sim, r.read(620_MB));
+  EXPECT_NEAR(t, 2.0, 1e-3);
+}
+
+TEST(Raid0, CapacityAndInitializedAggregate) {
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Raid0::Config cfg;
+  cfg.member = fastOpConfig();
+  cfg.member.capacityBytes = 100_MB;
+  Raid0 r{net, cfg, "md0"};
+  EXPECT_EQ(r.capacity(), 400_MB);
+  EXPECT_EQ(r.initializedBytes(), 0);
+  runTimed(sim, r.write(40_MB));
+  // 10 MB per member, rounded up to whole 4 MB init chunks (12 MB each).
+  EXPECT_GE(r.initializedBytes(), 40_MB);
+  EXPECT_LE(r.initializedBytes(), 48_MB);
+}
+
+TEST(Raid0, ZeroInitOf50GBTakesRoughly42Minutes) {
+  // Paper §III.C: initializing 50 GB of ephemeral storage takes ~42 min,
+  // i.e. a single device zero-filled at the ~20 MB/s first-write rate:
+  // 50e9 / 20e6 = 2500 s ~= 42 min. We reproduce that single-disk figure.
+  Simulator sim;
+  net::FlowNetwork net{sim};
+  Disk d{net, fastOpConfig(), "d"};
+  const double t = runTimed(sim, d.writeAt(0, 50_GB));
+  EXPECT_NEAR(t / 60.0, 41.7, 0.2);  // minutes
+}
+
+}  // namespace
+}  // namespace wfs::blk

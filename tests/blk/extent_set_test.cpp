@@ -1,0 +1,148 @@
+#include "blk/extent_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/rng.hpp"
+
+namespace wfs::blk {
+namespace {
+
+TEST(ExtentSet, EmptyCoversNothing) {
+  ExtentSet s;
+  EXPECT_EQ(s.totalCovered(), 0);
+  EXPECT_EQ(s.coveredWithin(0, 1000), 0);
+  EXPECT_EQ(s.uncoveredWithin(0, 1000), 1000);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ExtentSet, SingleInsert) {
+  ExtentSet s;
+  s.insert(100, 200);
+  EXPECT_EQ(s.totalCovered(), 100);
+  EXPECT_EQ(s.coveredWithin(0, 1000), 100);
+  EXPECT_EQ(s.coveredWithin(150, 160), 10);
+  EXPECT_TRUE(s.contains(100));
+  EXPECT_TRUE(s.contains(199));
+  EXPECT_FALSE(s.contains(200));
+}
+
+TEST(ExtentSet, InsertMergesOverlap) {
+  ExtentSet s;
+  s.insert(100, 200);
+  s.insert(150, 300);
+  EXPECT_EQ(s.totalCovered(), 200);
+  EXPECT_EQ(s.extentCount(), 1u);
+}
+
+TEST(ExtentSet, InsertMergesTouching) {
+  ExtentSet s;
+  s.insert(0, 100);
+  s.insert(100, 200);
+  EXPECT_EQ(s.extentCount(), 1u);
+  EXPECT_EQ(s.totalCovered(), 200);
+}
+
+TEST(ExtentSet, InsertBridgesGap) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(5, 25);
+  EXPECT_EQ(s.extentCount(), 1u);
+  EXPECT_EQ(s.totalCovered(), 30);
+}
+
+TEST(ExtentSet, DisjointInsertsStaySeparate) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.extentCount(), 2u);
+  EXPECT_EQ(s.coveredWithin(0, 30), 20);
+  EXPECT_EQ(s.uncoveredWithin(0, 30), 10);
+}
+
+TEST(ExtentSet, EmptyRangeIsNoop) {
+  ExtentSet s;
+  s.insert(5, 5);
+  EXPECT_EQ(s.totalCovered(), 0);
+  EXPECT_EQ(s.extentCount(), 0u);
+}
+
+TEST(ExtentSet, IdempotentInsert) {
+  ExtentSet s;
+  s.insert(10, 50);
+  s.insert(10, 50);
+  s.insert(15, 40);
+  EXPECT_EQ(s.totalCovered(), 40);
+  EXPECT_EQ(s.extentCount(), 1u);
+}
+
+TEST(ExtentSet, EraseSplitsExtent) {
+  ExtentSet s;
+  s.insert(0, 100);
+  s.erase(40, 60);
+  EXPECT_EQ(s.extentCount(), 2u);
+  EXPECT_EQ(s.totalCovered(), 80);
+  EXPECT_EQ(s.coveredWithin(40, 60), 0);
+  EXPECT_TRUE(s.contains(39));
+  EXPECT_TRUE(s.contains(60));
+}
+
+TEST(ExtentSet, EraseAcrossMultipleExtents) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  s.erase(5, 45);
+  EXPECT_EQ(s.totalCovered(), 10);
+  EXPECT_EQ(s.coveredWithin(0, 5), 5);
+  EXPECT_EQ(s.coveredWithin(45, 50), 5);
+}
+
+TEST(ExtentSet, ClearResets) {
+  ExtentSet s;
+  s.insert(0, 1000);
+  s.clear();
+  EXPECT_EQ(s.totalCovered(), 0);
+  EXPECT_EQ(s.extentCount(), 0u);
+}
+
+// Property test: the set agrees with a brute-force bitmap under a random
+// operation sequence.
+class ExtentSetRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentSetRandomized, MatchesBitmapOracle) {
+  constexpr Bytes kSpace = 512;
+  sim::Rng rng{GetParam()};
+  ExtentSet s;
+  std::vector<bool> oracle(kSpace, false);
+  for (int step = 0; step < 400; ++step) {
+    const Bytes a = rng.uniformInt(0, kSpace - 1);
+    const Bytes b = rng.uniformInt(a, kSpace);
+    if (rng.nextDouble() < 0.7) {
+      s.insert(a, b);
+      for (Bytes i = a; i < b; ++i) oracle[static_cast<std::size_t>(i)] = true;
+    } else {
+      s.erase(a, b);
+      for (Bytes i = a; i < b; ++i) oracle[static_cast<std::size_t>(i)] = false;
+    }
+    // Check a few random queries plus the whole range.
+    for (int q = 0; q < 3; ++q) {
+      const Bytes qa = rng.uniformInt(0, kSpace - 1);
+      const Bytes qb = rng.uniformInt(qa, kSpace);
+      Bytes expect = 0;
+      for (Bytes i = qa; i < qb; ++i) expect += oracle[static_cast<std::size_t>(i)];
+      ASSERT_EQ(s.coveredWithin(qa, qb), expect) << "seed=" << GetParam() << " step=" << step;
+    }
+    Bytes expectTotal = 0;
+    for (bool v : oracle) expectTotal += v;
+    ASSERT_EQ(s.totalCovered(), expectTotal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentSetRandomized,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace wfs::blk

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "cloud/instance_types.hpp"
+#include "cloud/provisioner.hpp"
+#include "net/flow_network.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::cloud {
+namespace {
+
+const InstanceType& c1() { return instanceCatalog().get("c1.xlarge"); }
+
+TEST(BillingEdge, OneSecondCostsAFullHour) {
+  BillingEngine b;
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1(), t0, t0 + sim::Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(b.report().resourceCostHourly, 0.68);
+  EXPECT_NEAR(b.report().resourceCostPerSecond, 0.68 / 3600.0, 1e-12);
+}
+
+TEST(BillingEdge, OneSecondOverTheHourAddsAnHour) {
+  BillingEngine b;
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1(), t0, t0 + sim::Duration::seconds(3601));
+  EXPECT_DOUBLE_EQ(b.report().resourceCostHourly, 2 * 0.68);
+}
+
+TEST(BillingEdge, ZeroDurationCostsNothing) {
+  BillingEngine b;
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1(), t0, t0);
+  EXPECT_DOUBLE_EQ(b.report().resourceCostHourly, 0.0);
+}
+
+TEST(BillingEdge, MixedFleetSums) {
+  BillingEngine b;
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1(), t0, t0 + sim::Duration::minutes(30));
+  b.recordInstance(instanceCatalog().get("m2.4xlarge"), t0, t0 + sim::Duration::minutes(30));
+  EXPECT_DOUBLE_EQ(b.report().resourceCostHourly, 0.68 + 2.40);
+}
+
+TEST(BillingEdge, ExtraFeesFlowIntoTotals) {
+  BillingEngine b;
+  b.recordExtraFee(0.25);
+  b.recordExtraFee(0.05);
+  const auto r = b.report();
+  EXPECT_DOUBLE_EQ(r.extraFees, 0.30);
+  EXPECT_DOUBLE_EQ(r.totalHourly(), 0.30);
+  EXPECT_DOUBLE_EQ(r.totalPerSecond(), 0.30);
+}
+
+TEST(Provisioner, BootTimesWithinPaperEnvelope) {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  BillingEngine billing;
+  Provisioner prov{sim, net, billing};
+  sim::Rng rng{17};
+  for (int i = 0; i < 200; ++i) {
+    const auto boot = prov.sampleBootTime(rng);
+    EXPECT_GE(boot.asSeconds(), 70.0);
+    EXPECT_LE(boot.asSeconds(), 90.0);
+  }
+}
+
+TEST(Provisioner, SettleBillingCoversRequestToNow) {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  BillingEngine billing;
+  Provisioner prov{sim, net, billing};
+  auto vm = prov.request("c1.xlarge", "w0");
+  sim.schedule(sim::Duration::seconds(100), [] {});
+  sim.run();
+  prov.settleBilling();
+  EXPECT_NEAR(billing.report().resourceCostPerSecond, 100.0 / 3600.0 * 0.68, 1e-9);
+  // Settling twice must not double-charge.
+  prov.settleBilling();
+  EXPECT_NEAR(billing.report().resourceCostPerSecond, 100.0 / 3600.0 * 0.68, 1e-9);
+}
+
+TEST(InstanceCatalog, AllEntriesSane) {
+  for (const auto& t : instanceCatalog().all()) {
+    EXPECT_GT(t.cores, 0);
+    EXPECT_GT(t.memory, 0);
+    EXPECT_GT(t.ephemeralDisks, 0);
+    EXPECT_GT(t.pricePerHour, 0.0);
+    EXPECT_GT(t.nicRate, 0.0);
+    EXPECT_GT(t.coreSpeed, 0.0);
+    EXPECT_TRUE(instanceCatalog().has(t.name));
+  }
+  EXPECT_FALSE(instanceCatalog().has("nonexistent.type"));
+}
+
+}  // namespace
+}  // namespace wfs::cloud

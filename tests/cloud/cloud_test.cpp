@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "cloud/context_broker.hpp"
+#include "cloud/instance_types.hpp"
+#include "cloud/provisioner.hpp"
+#include "net/flow_network.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::cloud {
+namespace {
+
+TEST(InstanceCatalog, PaperTypesPresent) {
+  const auto& cat = instanceCatalog();
+  const auto& c1 = cat.get("c1.xlarge");
+  EXPECT_EQ(c1.cores, 8);
+  EXPECT_EQ(c1.memory, 7_GB);
+  EXPECT_EQ(c1.ephemeralDisks, 4);
+  EXPECT_DOUBLE_EQ(c1.pricePerHour, 0.68);
+  const auto& m1 = cat.get("m1.xlarge");
+  EXPECT_EQ(m1.memory, 16_GB);
+  const auto& m2 = cat.get("m2.4xlarge");
+  EXPECT_EQ(m2.memory, 64_GB);
+  EXPECT_DOUBLE_EQ(m2.pricePerHour, 2.40);
+  EXPECT_THROW((void)cat.get("t2.nano"), std::out_of_range);
+}
+
+TEST(Billing, HourlyRoundsUpPerSecondDoesNot) {
+  BillingEngine b;
+  const auto& c1 = instanceCatalog().get("c1.xlarge");
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1, t0, t0 + sim::Duration::seconds(3700));  // 1h 100s
+  const auto r = b.report();
+  EXPECT_DOUBLE_EQ(r.resourceCostHourly, 2 * 0.68);
+  EXPECT_NEAR(r.resourceCostPerSecond, 3700.0 / 3600.0 * 0.68, 1e-9);
+}
+
+TEST(Billing, ExactHourIsNotRoundedUp) {
+  BillingEngine b;
+  const auto& c1 = instanceCatalog().get("c1.xlarge");
+  const auto t0 = sim::SimTime::origin();
+  b.recordInstance(c1, t0, t0 + sim::Duration::hours(2));
+  EXPECT_DOUBLE_EQ(b.report().resourceCostHourly, 2 * 0.68);
+}
+
+TEST(Billing, S3RequestFeesMatchSchedule) {
+  BillingEngine b;
+  b.recordS3Requests(/*puts=*/25000, /*gets=*/100000);
+  const auto r = b.report();
+  // 25k PUTs -> $0.25; 100k GETs -> $0.10 (paper: Montage extra ~ $0.28).
+  EXPECT_NEAR(r.s3RequestCost, 0.35, 1e-9);
+}
+
+TEST(Billing, S3StorageCostTiny) {
+  BillingEngine b;
+  b.recordS3Storage(10_GB, 3600.0);
+  // 10 GB for an hour at $0.15/GB-month << $0.01 (paper's observation).
+  EXPECT_LT(b.report().s3StorageCost, 0.01);
+}
+
+TEST(Vm, StorageNodeViewMatchesType) {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  Vm vm{sim, net, instanceCatalog().get("c1.xlarge"), "host0", Vm::Options{}};
+  const auto node = vm.storageNode();
+  EXPECT_EQ(node.host, "host0");
+  EXPECT_EQ(node.memoryBytes, 7_GB);
+  EXPECT_EQ(vm.cores().capacity(), 8);
+  EXPECT_EQ(vm.disk().memberCount(), 4);
+}
+
+TEST(ContextBroker, DeploysClusterWithinBootEnvelope) {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  BillingEngine billing;
+  Provisioner prov{sim, net, billing};
+  VirtualCluster cluster;
+  for (int i = 0; i < 4; ++i) {
+    cluster.workers.push_back(prov.request("c1.xlarge", "w" + std::to_string(i)));
+  }
+  ContextBroker broker{sim, prov};
+  sim::Rng rng{3};
+  sim.spawn([](ContextBroker& cb, VirtualCluster& vc, sim::Rng& r) -> sim::Task<void> {
+    co_await cb.deploy(vc, r);
+  }(broker, cluster, rng));
+  sim.run();
+  // Boot 70-90 s + 8 s contextualization, in parallel across nodes.
+  EXPECT_GE(broker.readyAt().asSeconds(), 78.0);
+  EXPECT_LE(broker.readyAt().asSeconds(), 98.0);
+  for (auto& vm : cluster.workers) {
+    EXPECT_GT(vm->bootedAt().asSeconds(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wfs::cloud

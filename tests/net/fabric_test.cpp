@@ -1,0 +1,110 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/simulator.hpp"
+
+namespace wfs::net {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+
+struct TwoHosts {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Nic a{net, MBps(100), MBps(100), Duration::micros(50), "a"};
+  Nic b{net, MBps(100), MBps(100), Duration::micros(50), "b"};
+  Fabric fabric{net, Fabric::Config{.coreRate = 0, .hopLatency = Duration::micros(100)}};
+};
+
+TEST(Fabric, PathIncludesBothNicDirections) {
+  TwoHosts w;
+  const Path p = w.fabric.path(&w.a, &w.b);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].cap, &w.a.tx());
+  EXPECT_EQ(p[1].cap, &w.b.rx());
+}
+
+TEST(Fabric, LoopbackPathIsEmptyAndFree) {
+  TwoHosts w;
+  EXPECT_TRUE(w.fabric.path(&w.a, &w.a).empty());
+  EXPECT_EQ(w.fabric.oneWayLatency(&w.a, &w.a), Duration::zero());
+  double finish = -1;
+  w.sim.spawn([](TwoHosts& t, double& f) -> Task<void> {
+    co_await t.fabric.send(&t.a, &t.a, 1000_MB);
+    f = t.sim.now().asSeconds();
+  }(w, finish));
+  w.sim.run();
+  EXPECT_NEAR(finish, 0.0, 1e-9);
+}
+
+TEST(Fabric, SendTakesLatencyPlusBandwidthTime) {
+  TwoHosts w;
+  double finish = -1;
+  w.sim.spawn([](TwoHosts& t, double& f) -> Task<void> {
+    co_await t.fabric.send(&t.a, &t.b, 100_MB);
+    f = t.sim.now().asSeconds();
+  }(w, finish));
+  w.sim.run();
+  // 200us of latency (50+100+50) + 1 s at 100 MB/s.
+  EXPECT_NEAR(finish, 1.0002, 1e-5);
+}
+
+TEST(Fabric, RpcRoundTrip) {
+  TwoHosts w;
+  double finish = -1;
+  w.sim.spawn([](TwoHosts& t, double& f) -> Task<void> {
+    co_await t.fabric.rpc(&t.a, &t.b, 1_KB, 1_KB, Duration::millis(2));
+    f = t.sim.now().asSeconds();
+  }(w, finish));
+  w.sim.run();
+  // Two one-way latencies (200us each) + 2ms service + tiny transfer times.
+  EXPECT_GT(finish, 0.0024);
+  EXPECT_LT(finish, 0.0030);
+}
+
+TEST(Fabric, CoreCapacityThrottlesAggregate) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Nic a{net, MBps(100), MBps(100), Duration::zero(), "a"};
+  Nic b{net, MBps(100), MBps(100), Duration::zero(), "b"};
+  Nic c{net, MBps(100), MBps(100), Duration::zero(), "c"};
+  Nic d{net, MBps(100), MBps(100), Duration::zero(), "d"};
+  Fabric fabric{net, Fabric::Config{.coreRate = MBps(100), .hopLatency = Duration::zero()}};
+  double f1 = -1, f2 = -1;
+  sim.spawn([](Fabric& fab, Nic& s, Nic& t, double& f) -> Task<void> {
+    co_await fab.send(&s, &t, 100_MB);
+    f = fab.network().simulator().now().asSeconds();
+  }(fabric, a, b, f1));
+  sim.spawn([](Fabric& fab, Nic& s, Nic& t, double& f) -> Task<void> {
+    co_await fab.send(&s, &t, 100_MB);
+    f = fab.network().simulator().now().asSeconds();
+  }(fabric, c, d, f2));
+  sim.run();
+  // Without the core each pair would run at 100 MB/s (1 s); the shared
+  // 100 MB/s core halves both.
+  EXPECT_NEAR(f1, 2.0, 1e-6);
+  EXPECT_NEAR(f2, 2.0, 1e-6);
+}
+
+TEST(Fabric, ConcurrentSendsToOneReceiverShareItsRxNic) {
+  TwoHosts w;
+  Nic c{w.net, MBps(100), MBps(100), Duration::micros(50), "c"};
+  double f1 = -1, f2 = -1;
+  w.sim.spawn([](TwoHosts& t, Nic&, double& f) -> Task<void> {
+    co_await t.fabric.send(&t.a, &t.b, 100_MB);
+    f = t.sim.now().asSeconds();
+  }(w, c, f1));
+  w.sim.spawn([](TwoHosts& t, Nic& src, double& f) -> Task<void> {
+    co_await t.fabric.send(&src, &t.b, 100_MB);
+    f = t.sim.now().asSeconds();
+  }(w, c, f2));
+  w.sim.run();
+  EXPECT_NEAR(f1, 2.0, 1e-3);
+  EXPECT_NEAR(f2, 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace wfs::net

@@ -1,0 +1,185 @@
+#include "net/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace wfs::net {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::SimTime;
+using sim::Task;
+
+double seconds(SimTime t) { return t.asSeconds(); }
+
+/// Runs one transfer and records its completion time.
+Task<void> timedTransfer(Simulator& sim, FlowNetwork& net, Path path, Bytes bytes,
+                         double& finishSec) {
+  co_await net.transfer(std::move(path), bytes);
+  finishSec = seconds(sim.now());
+}
+
+TEST(FlowNetwork, SingleFlowUsesFullCapacity) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double finish = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 1000_MB, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 10.0, 1e-6);
+  EXPECT_EQ(net.completedFlows(), 1u);
+}
+
+TEST(FlowNetwork, TwoFlowsShareEqually) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double f1 = -1, f2 = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 500_MB, f1));
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 500_MB, f2));
+  sim.run();
+  // Both at 50 MB/s -> 10 s each.
+  EXPECT_NEAR(f1, 10.0, 1e-6);
+  EXPECT_NEAR(f2, 10.0, 1e-6);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double shortF = -1, longF = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 100_MB, shortF));
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 1000_MB, longF));
+  sim.run();
+  // Short: 100 MB at 50 MB/s -> 2 s. Long: 100 MB done at t=2 (50 MB/s),
+  // remaining 900 MB at 100 MB/s -> 2 + 9 = 11 s.
+  EXPECT_NEAR(shortF, 2.0, 1e-6);
+  EXPECT_NEAR(longF, 11.0, 1e-6);
+}
+
+TEST(FlowNetwork, MaxMinRespectsSecondBottleneck) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity wide{net, MBps(100), "wide"};
+  Capacity narrow{net, MBps(20), "narrow"};
+  double through = -1, solo = -1;
+  // Flow A is limited to 20 by the narrow link; flow B should get the
+  // remaining 80 of the wide link (max-min), not a naive 50.
+  sim.spawn(timedTransfer(sim, net, {{&wide, 1.0}, {&narrow, 1.0}}, 20_MB, through));
+  sim.spawn(timedTransfer(sim, net, {{&wide, 1.0}}, 80_MB, solo));
+  sim.run();
+  EXPECT_NEAR(through, 1.0, 1e-6);
+  EXPECT_NEAR(solo, 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, WeightedHopConsumesScaledCapacity) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity disk{net, MBps(100), "disk"};
+  double finish = -1;
+  // Weight 5 models a first-write penalty: 100 MB of flow consume 500 MB of
+  // disk service -> effective 20 MB/s.
+  sim.spawn(timedTransfer(sim, net, {{&disk, 5.0}}, 100_MB, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 5.0, 1e-6);
+}
+
+TEST(FlowNetwork, EmptyPathCompletesImmediately) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  double finish = -1;
+  sim.spawn(timedTransfer(sim, net, {}, 500_MB, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 0.0, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroByteTransferCompletes) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double finish = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 0, finish));
+  sim.run();
+  EXPECT_NEAR(finish, 0.0, 1e-9);
+}
+
+TEST(FlowNetwork, SetRateMidFlowChangesCompletion) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double finish = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 1000_MB, finish));
+  sim.spawn([](Simulator& s, Capacity& c) -> Task<void> {
+    co_await s.delay(Duration::seconds(5));
+    c.setRate(MBps(50));  // halve after 500 MB done
+  }(sim, link));
+  sim.run();
+  // 5 s at 100 MB/s + 10 s at 50 MB/s.
+  EXPECT_NEAR(finish, 15.0, 1e-6);
+}
+
+TEST(FlowNetwork, ServiceBytesAccountsUtilization) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  double finish = -1;
+  sim.spawn(timedTransfer(sim, net, {{&link, 2.0}}, 100_MB, finish));
+  sim.run();
+  EXPECT_NEAR(link.serviceBytes(), 200e6, 1e3);
+}
+
+TEST(FlowNetwork, ManyConcurrentFlowsAllComplete) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "link"};
+  std::vector<double> finishes(200, -1);
+  for (int i = 0; i < 200; ++i) {
+    sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, 10_MB, finishes[i]));
+  }
+  sim.run();
+  for (double f : finishes) EXPECT_GT(f, 0.0);
+  // 200 x 10 MB at 100 MB/s aggregate -> 20 s.
+  EXPECT_NEAR(seconds(sim.now()), 20.0, 0.01);
+}
+
+// ---- Property-style sweep: work conservation & bottleneck saturation ----
+
+struct FairShareCase {
+  int nFlows;
+  double capMBps;
+  Bytes flowBytes;
+};
+
+class FairShareSweep : public ::testing::TestWithParam<FairShareCase> {};
+
+TEST_P(FairShareSweep, AggregateThroughputEqualsCapacityWhileBacklogged) {
+  const auto p = GetParam();
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(p.capMBps), "link"};
+  std::vector<double> finishes(p.nFlows, -1);
+  for (int i = 0; i < p.nFlows; ++i) {
+    sim.spawn(timedTransfer(sim, net, {{&link, 1.0}}, p.flowBytes, finishes[i]));
+  }
+  sim.run();
+  // Identical flows must finish simultaneously at total/capacity.
+  const double expected =
+      static_cast<double>(p.flowBytes) * p.nFlows / (p.capMBps * 1e6);
+  for (double f : finishes) EXPECT_NEAR(f, expected, expected * 1e-6 + 1e-6);
+  // Work conservation: the link serviced exactly the bytes injected.
+  EXPECT_NEAR(link.serviceBytes(), static_cast<double>(p.flowBytes) * p.nFlows,
+              static_cast<double>(p.flowBytes) * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FairShareSweep,
+    ::testing::Values(FairShareCase{1, 100, 100_MB}, FairShareCase{2, 100, 100_MB},
+                      FairShareCase{7, 100, 100_MB}, FairShareCase{16, 250, 64_MB},
+                      FairShareCase{3, 10, 1_MB}, FairShareCase{32, 1000, 512_MB}));
+
+}  // namespace
+}  // namespace wfs::net

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::net {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+
+TEST(Latency, OneWayComposesNicAndHop) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Nic a{net, MBps(100), MBps(100), Duration::micros(40), "a"};
+  Nic b{net, MBps(100), MBps(100), Duration::micros(60), "b"};
+  Fabric f{net, Fabric::Config{.coreRate = 0, .hopLatency = Duration::micros(100)}};
+  EXPECT_EQ(f.oneWayLatency(&a, &b), Duration::micros(200));
+  EXPECT_EQ(f.oneWayLatency(&b, &a), Duration::micros(200));
+}
+
+TEST(Latency, RpcServiceTimeAdds) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Nic a{net, MBps(100), MBps(100), Duration::zero(), "a"};
+  Nic b{net, MBps(100), MBps(100), Duration::zero(), "b"};
+  Fabric f{net, Fabric::Config{.coreRate = 0, .hopLatency = Duration::millis(1)}};
+  double finish = -1;
+  sim.spawn([](Simulator& s, Fabric& fab, Nic& x, Nic& y, double& out) -> Task<void> {
+    co_await fab.rpc(&x, &y, 0, 0, Duration::millis(5));
+    out = s.now().asSeconds();
+  }(sim, f, a, b, finish));
+  sim.run();
+  // 1 ms out + 5 ms service + 1 ms back (zero-byte payloads round to one
+  // scheduling tick each).
+  EXPECT_NEAR(finish, 0.007, 1e-4);
+}
+
+TEST(Capacity, SetRateRejectsNothingAndReshapesFairly) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "l"};
+  double f1 = -1, f2 = -1;
+  auto timed = [](Simulator& s, FlowNetwork& n, Capacity& c, Bytes b,
+                  double& out) -> Task<void> {
+    Path p;
+    p.push_back(Hop{&c, 1.0});
+    co_await n.transfer(std::move(p), b);
+    out = s.now().asSeconds();
+  };
+  sim.spawn(timed(sim, net, link, 100_MB, f1));
+  sim.spawn(timed(sim, net, link, 100_MB, f2));
+  sim.spawn([](Simulator& s, Capacity& c) -> Task<void> {
+    co_await s.delay(sim::Duration::seconds(1));
+    c.setRate(MBps(200));  // mid-flight upgrade
+  }(sim, link));
+  sim.run();
+  // 1 s at 50 MB/s each (50 MB done), then 100 MB/s each -> +0.5 s.
+  EXPECT_NEAR(f1, 1.5, 1e-3);
+  EXPECT_NEAR(f2, 1.5, 1e-3);
+}
+
+TEST(FlowNetwork, CompletedFlowCounterAndBytes) {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Capacity link{net, MBps(100), "l"};
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](FlowNetwork& n, Capacity& c) -> Task<void> {
+      Path p;
+      p.push_back(Hop{&c, 1.0});
+      co_await n.transfer(std::move(p), 10_MB);
+    }(net, link));
+  }
+  sim.run();
+  EXPECT_EQ(net.completedFlows(), 5u);
+  EXPECT_NEAR(net.totalBytesMoved(), 50e6, 1.0);
+  EXPECT_EQ(net.activeFlows(), 0u);
+}
+
+TEST(FlowNetwork, DeterministicAcrossRuns) {
+  auto runOnce = [] {
+    Simulator sim;
+    FlowNetwork net{sim};
+    Capacity a{net, MBps(73), "a"};
+    Capacity b{net, MBps(41), "b"};
+    std::vector<double> finishes(20, -1);
+    for (int i = 0; i < 20; ++i) {
+      Path p;
+      p.push_back({&a, 1.0});
+      if (i % 3 == 0) p.push_back({&b, 1.0 + i * 0.01});
+      sim.spawn([](Simulator& s, FlowNetwork& n, Path path, Bytes bytes,
+                   double& out) -> Task<void> {
+        co_await n.transfer(std::move(path), bytes);
+        out = s.now().asSeconds();
+      }(sim, net, p, (i + 1) * 1_MB, finishes[static_cast<std::size_t>(i)]));
+    }
+    sim.run();
+    return finishes;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace wfs::net

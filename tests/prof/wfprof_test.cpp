@@ -1,0 +1,70 @@
+#include "prof/wfprof.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfs::prof {
+namespace {
+
+TaskTrace trace(double start, double end, double cpu, double io, Bytes mem) {
+  TaskTrace t;
+  t.startSeconds = start;
+  t.endSeconds = end;
+  t.cpuSeconds = cpu;
+  t.ioSeconds = io;
+  t.peakMemory = mem;
+  return t;
+}
+
+TEST(WfProf, EmptyProfileIsAllZero) {
+  WfProf p;
+  const auto prof = p.profile();
+  EXPECT_EQ(prof.taskCount, 0u);
+  EXPECT_DOUBLE_EQ(prof.cpuFraction, 0.0);
+}
+
+TEST(WfProf, IoBoundClassifiedHigh) {
+  WfProf p;
+  for (int i = 0; i < 10; ++i) p.record(trace(0, 10, 0.4, 9.5, 50_MB));
+  const auto prof = p.profile();
+  EXPECT_EQ(prof.ioLevel, UsageLevel::kHigh);
+  EXPECT_EQ(prof.cpuLevel, UsageLevel::kLow);
+  EXPECT_EQ(prof.memoryLevel, UsageLevel::kLow);
+}
+
+TEST(WfProf, CpuBoundClassifiedHigh) {
+  WfProf p;
+  for (int i = 0; i < 10; ++i) p.record(trace(0, 100, 99, 1, 500_MB));
+  const auto prof = p.profile();
+  EXPECT_EQ(prof.cpuLevel, UsageLevel::kHigh);
+  EXPECT_EQ(prof.ioLevel, UsageLevel::kLow);
+  EXPECT_EQ(prof.memoryLevel, UsageLevel::kMedium);  // 500 MB peak
+}
+
+TEST(WfProf, MemoryHeavyRuntimeClassifiedHigh) {
+  WfProf p;
+  // 80 % of runtime in >1 GB tasks.
+  p.record(trace(0, 80, 40, 30, 3_GB));
+  p.record(trace(0, 20, 10, 5, 100_MB));
+  const auto prof = p.profile();
+  EXPECT_EQ(prof.memoryLevel, UsageLevel::kHigh);
+  EXPECT_NEAR(prof.memHeavyRuntimeFraction, 0.8, 1e-9);
+}
+
+TEST(WfProf, FractionsComputedOverTaskRuntime) {
+  WfProf p;
+  p.record(trace(0, 10, 6, 3, 0));
+  p.record(trace(10, 20, 2, 7, 0));
+  const auto prof = p.profile();
+  EXPECT_NEAR(prof.cpuFraction, 0.4, 1e-9);
+  EXPECT_NEAR(prof.ioFraction, 0.5, 1e-9);
+  EXPECT_EQ(prof.taskCount, 2u);
+}
+
+TEST(WfProf, LevelToString) {
+  EXPECT_STREQ(toString(UsageLevel::kLow), "Low");
+  EXPECT_STREQ(toString(UsageLevel::kMedium), "Medium");
+  EXPECT_STREQ(toString(UsageLevel::kHigh), "High");
+}
+
+}  // namespace
+}  // namespace wfs::prof

@@ -1,0 +1,77 @@
+#include "simcore/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wfs::sim {
+namespace {
+
+SimTime at(std::int64_t s) { return SimTime::origin() + Duration::seconds(s); }
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(3), [&] { order.push_back(3); });
+  q.schedule(at(1), [&] { order.push_back(1); });
+  q.schedule(at(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.runNext();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  int ran = 0;
+  auto id = q.schedule(at(1), [&] { ++ran; });
+  q.schedule(at(2), [&] { ++ran; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsIdempotent) {
+  EventQueue q;
+  auto id = q.schedule(at(1), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(at(1), [&] {
+    q.schedule(at(2), [&] { ++ran; });
+  });
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto id = q.schedule(at(1), [] {});
+  q.schedule(at(7), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.nextTime(), at(7));
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(at(9), [] {});
+  EXPECT_EQ(q.runNext(), at(9));
+}
+
+}  // namespace
+}  // namespace wfs::sim

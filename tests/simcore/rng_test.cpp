@@ -1,0 +1,94 @@
+#include "simcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wfs::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.nextU64() == b.nextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng a{7};
+  Rng child = a.fork();
+  const auto c0 = child.nextU64();
+  Rng b{7};
+  Rng child2 = b.fork();
+  EXPECT_EQ(child2.nextU64(), c0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r{42};
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    lo |= (v == 3);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r{42};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+  Rng r{42};
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalRespectsFloor) {
+  Rng r{42};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.truncatedNormal(1.0, 2.0, 0.25), 0.25);
+  }
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng r{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.boundedPareto(1.0, 100.0, 1.2);
+    EXPECT_GE(v, 1.0 - 1e-9);
+    EXPECT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wfs::sim

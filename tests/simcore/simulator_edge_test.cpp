@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "simcore/signal.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::sim {
+namespace {
+
+TEST(SimulatorEdge, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(Duration::seconds(5), [&] { ++ran; });
+  sim.schedule(Duration::seconds(10), [&] { ++ran; });
+  sim.schedule(Duration::seconds(15), [&] { ++ran; });
+  const auto n = sim.runUntil(SimTime::origin() + Duration::seconds(10));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), SimTime::origin() + Duration::seconds(10));
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorEdge, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.runUntil(SimTime::origin() + Duration::seconds(42));
+  EXPECT_EQ(sim.now(), SimTime::origin() + Duration::seconds(42));
+}
+
+TEST(SimulatorEdge, CancelledTimerNeverFires) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule(Duration::seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorEdge, NestedSpawnFromRunningProcess) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn([](Simulator& s, std::vector<int>& log) -> Task<void> {
+    log.push_back(1);
+    s.spawn([](Simulator& s2, std::vector<int>& l2) -> Task<void> {
+      l2.push_back(2);
+      co_await s2.delay(Duration::seconds(1));
+      l2.push_back(4);
+    }(s, log));
+    co_await s.delay(Duration::millis(500));
+    log.push_back(3);
+  }(sim, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+TEST(SimulatorEdge, ManyProcessesAllReclaimed) {
+  Simulator sim;
+  for (int i = 0; i < 2000; ++i) {
+    sim.spawn([](Simulator& s, int delayMs) -> Task<void> {
+      co_await s.delay(Duration::millis(delayMs % 50));
+    }(sim, i));
+  }
+  EXPECT_EQ(sim.liveProcesses(), 2000u);
+  sim.run();
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+TEST(SimulatorEdge, OneShotFireIsIdempotent) {
+  Simulator sim;
+  OneShotEvent ev{sim};
+  int wakeups = 0;
+  sim.spawn([](OneShotEvent& e, int& n) -> Task<void> {
+    co_await e.wait();
+    ++n;
+  }(ev, wakeups));
+  sim.spawn([](Simulator& s, OneShotEvent& e) -> Task<void> {
+    co_await s.delay(Duration::seconds(1));
+    e.fire();
+    e.fire();
+    e.fire();
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(wakeups, 1);
+}
+
+TEST(SimulatorEdge, ZeroDelayPreservesFifoAmongSpawns) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](Simulator& s, std::vector<int>& log, int id) -> Task<void> {
+      co_await s.yield();
+      log.push_back(id);
+    }(sim, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace wfs::sim

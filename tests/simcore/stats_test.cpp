@@ -1,0 +1,81 @@
+#include "simcore/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+
+namespace wfs::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassOnRandomData) {
+  Rng rng{5};
+  OnlineStats s;
+  std::vector<double> vals;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal(100.0, 15.0);
+    vals.push_back(v);
+    s.add(v);
+  }
+  double mean = 0;
+  for (double v : vals) mean += v;
+  mean /= static_cast<double>(vals.size());
+  double var = 0;
+  for (double v : vals) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(vals.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Percentiles, ExactOrderStatistics) {
+  Percentiles p;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(p.median(), 30.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(p.percentile(12.5), 15.0);  // interpolated
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace wfs::sim

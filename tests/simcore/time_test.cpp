@@ -1,0 +1,59 @@
+#include "simcore/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/units.hpp"
+
+namespace wfs::sim {
+namespace {
+
+TEST(Duration, FactoryUnitsCompose) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1500).ns(), Duration::nanos(1'500'000'000).ns());
+  EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  const auto a = Duration::seconds(3);
+  const auto b = Duration::millis(500);
+  EXPECT_EQ((a + b).ns(), 3'500'000'000);
+  EXPECT_EQ((a - b).ns(), 2'500'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a * 2, Duration::seconds(6));
+}
+
+TEST(Duration, FromSecondsRoundsUpSoPositiveNeverZero) {
+  EXPECT_EQ(Duration::fromSeconds(1.0), Duration::seconds(1));
+  EXPECT_GT(Duration::fromSeconds(1e-12).ns(), 0);
+  EXPECT_EQ(Duration::fromSeconds(0.0), Duration::zero());
+}
+
+TEST(Duration, AsSecondsRoundTrips) {
+  EXPECT_DOUBLE_EQ(Duration::millis(250).asSeconds(), 0.25);
+}
+
+TEST(SimTime, OffsetAndDifference) {
+  const auto t0 = SimTime::origin();
+  const auto t1 = t0 + Duration::seconds(10);
+  EXPECT_EQ(t1 - t0, Duration::seconds(10));
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(SimTime::fromNanos(42).ns(), 42);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KB, 1000);
+  EXPECT_EQ(1_MB, 1'000'000);
+  EXPECT_EQ(4_GB, 4'000'000'000);
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1048576);
+  EXPECT_EQ(2_GiB, 2147483648LL);
+}
+
+TEST(Units, RateHelpers) {
+  EXPECT_DOUBLE_EQ(MBps(100), 1e8);
+  EXPECT_DOUBLE_EQ(Gbps(1), 1.25e8);
+}
+
+}  // namespace
+}  // namespace wfs::sim

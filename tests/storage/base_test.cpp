@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/path.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/base/node_scratch.hpp"
+#include "storage/base/wb_cache.hpp"
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+// ---------------- path utils ----------------
+
+TEST(PathUtils, HashIsStableAndSpreads) {
+  EXPECT_EQ(pathHash("a/b/c"), pathHash("a/b/c"));
+  EXPECT_NE(pathHash("a/b/c"), pathHash("a/b/d"));
+  // Rough spread check over 4 buckets.
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    buckets[pathHash("file_" + std::to_string(i) + ".dat") % 4]++;
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+TEST(PathUtils, BaseAndDirName) {
+  EXPECT_EQ(baseName("a/b/c.fits"), "c.fits");
+  EXPECT_EQ(baseName("plain.txt"), "plain.txt");
+  EXPECT_EQ(dirName("a/b/c.fits"), "a/b");
+  EXPECT_EQ(dirName("plain.txt"), "");
+  EXPECT_EQ(joinPath("a/b", "c"), "a/b/c");
+  EXPECT_EQ(joinPath("a/b/", "c"), "a/b/c");
+  EXPECT_EQ(joinPath("", "c"), "c");
+}
+
+// ---------------- LRU cache ----------------
+
+TEST(LruCache, BasicPutTouch) {
+  LruCache c{100};
+  c.put("a", 40);
+  c.put("b", 40);
+  EXPECT_TRUE(c.touch("a"));
+  EXPECT_FALSE(c.touch("zzz"));
+  EXPECT_EQ(c.used(), 80);
+  EXPECT_EQ(c.entryCount(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecent) {
+  LruCache c{100};
+  c.put("a", 40);
+  c.put("b", 40);
+  c.touch("a");     // b is now LRU
+  c.put("c", 40);   // must evict b
+  EXPECT_TRUE(c.contains("a"));
+  EXPECT_FALSE(c.contains("b"));
+  EXPECT_TRUE(c.contains("c"));
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCache, OversizedObjectNotCached) {
+  LruCache c{100};
+  c.put("big", 200);
+  EXPECT_FALSE(c.contains("big"));
+  EXPECT_EQ(c.used(), 0);
+}
+
+TEST(LruCache, ReputUpdatesSize) {
+  LruCache c{100};
+  c.put("a", 10);
+  c.put("a", 60);
+  EXPECT_EQ(c.used(), 60);
+  EXPECT_EQ(c.entryCount(), 1u);
+}
+
+TEST(LruCache, EraseAndClear) {
+  LruCache c{100};
+  c.put("a", 10);
+  c.put("b", 10);
+  c.erase("a");
+  EXPECT_FALSE(c.contains("a"));
+  EXPECT_EQ(c.used(), 10);
+  c.clear();
+  EXPECT_EQ(c.used(), 0);
+  EXPECT_EQ(c.entryCount(), 0u);
+}
+
+// ---------------- file catalog ----------------
+
+TEST(FileCatalog, WriteOnceEnforced) {
+  FileCatalog cat;
+  cat.create("x", 100, 0);
+  EXPECT_TRUE(cat.exists("x"));
+  EXPECT_EQ(cat.lookup("x").size, 100);
+  EXPECT_THROW(cat.create("x", 100, 1), std::logic_error);
+  EXPECT_THROW((void)cat.lookup("missing"), std::out_of_range);
+}
+
+// ---------------- write-back cache ----------------
+
+TEST(WriteBackCache, SmallWriteLandsAtMemorySpeed) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  WriteBackCache::Config cfg;
+  cfg.dirtyLimit = 1_GB;
+  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
+  // 100 MB at 1 GB/s memRate = 0.1 s; the flush happens in background.
+  const double t = w.run(wb.write(100_MB));
+  EXPECT_NEAR(t, 0.1, 1e-3);
+  EXPECT_EQ(wb.stallCount(), 0u);
+}
+
+TEST(WriteBackCache, BlocksWhenDirtyLimitReached) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  WriteBackCache::Config cfg;
+  cfg.dirtyLimit = 100_MB;
+  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
+  // 800 MB >> dirty limit: overall progress is bounded by the disk
+  // (initialized RAID-0 at 400 MB/s -> ~2 s), not by memRate (0.8 s).
+  const double t = w.run(wb.write(800_MB));
+  EXPECT_GT(t, 1.5);
+  EXPECT_GT(wb.stallCount(), 0u);
+}
+
+TEST(WriteBackCache, DrainWaitsForAllFlushes) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  WriteBackCache::Config cfg;
+  cfg.dirtyLimit = 1_GB;
+  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
+  const double t = w.run([](WriteBackCache& c) -> sim::Task<void> {
+    co_await c.write(400_MB);
+    co_await c.drain();
+  }(wb));
+  // Write returns at 0.4 s but drain waits for the 400 MB/s flush (~1 s).
+  EXPECT_GT(t, 0.99);
+  EXPECT_EQ(wb.dirty(), 0);
+}
+
+// ---------------- node scratch ----------------
+
+TEST(NodeScratch, ReadMissHitsDiskThenCaches) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  NodeScratch scratch{w.sim, w.nodes[0], NodeScratch::Config{}};
+  // Miss: 310 MB/s RAID read of 310 MB -> 1 s.
+  const double t1 = w.run(scratch.read("f", 310_MB));
+  EXPECT_NEAR(t1, 1.0, 1e-3);
+  EXPECT_EQ(scratch.cacheMisses(), 1u);
+  // Hit: memory speed (1 GB/s) -> 0.31 s.
+  const double t2 = w.run(scratch.read("f", 310_MB));
+  EXPECT_NEAR(t2 - t1, 0.31, 1e-3);
+  EXPECT_EQ(scratch.cacheHits(), 1u);
+}
+
+TEST(NodeScratch, WriteIsCachedForReadBack) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  NodeScratch scratch{w.sim, w.nodes[0], NodeScratch::Config{}};
+  const double t = w.run([](NodeScratch& s) -> sim::Task<void> {
+    co_await s.write("out", 100_MB);
+    co_await s.read("out", 100_MB);
+  }(scratch));
+  // 0.1 s write admit + 0.1 s cached read; no disk read.
+  EXPECT_NEAR(t, 0.2, 1e-2);
+  EXPECT_EQ(scratch.cacheMisses(), 0u);
+}
+
+}  // namespace
+}  // namespace wfs::storage

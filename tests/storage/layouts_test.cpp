@@ -1,0 +1,72 @@
+#include "storage/gluster/layouts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace wfs::storage {
+namespace {
+
+TEST(DistributeLayout, PlacementIsStable) {
+  DistributeLayout l{4};
+  for (int i = 0; i < 100; ++i) {
+    const std::string p = "file_" + std::to_string(i);
+    const int a = l.place(p, 0);
+    const int b = l.place(p, 3);  // creator is irrelevant
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, l.locate(p));
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+}
+
+TEST(DistributeLayout, UsesAllBricks) {
+  DistributeLayout l{4};
+  std::set<int> used;
+  for (int i = 0; i < 200; ++i) used.insert(l.locate("f" + std::to_string(i)));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(NufaLayout, PlacesOnCreator) {
+  NufaLayout l{4};
+  EXPECT_EQ(l.place("x", 2), 2);
+  EXPECT_EQ(l.locate("x"), 2);
+}
+
+TEST(NufaLayout, PreStagedSpreadByHash) {
+  NufaLayout l{4};
+  std::set<int> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(l.place("in_" + std::to_string(i), -1));
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(NufaLayout, LocateUnknownThrows) {
+  NufaLayout l{4};
+  EXPECT_THROW((void)l.locate("never-placed"), std::out_of_range);
+}
+
+class LayoutBrickCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutBrickCount, DistributeBalancesWithinFactorTwo) {
+  const int n = GetParam();
+  DistributeLayout l{n};
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  const int files = 400 * n;
+  for (int i = 0; i < files; ++i) {
+    counts[static_cast<std::size_t>(l.locate("f" + std::to_string(i)))]++;
+  }
+  const int expect = files / n;
+  for (int c : counts) {
+    EXPECT_GT(c, expect / 2);
+    EXPECT_LT(c, expect * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LayoutBrickCount, ::testing::Values(2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace wfs::storage

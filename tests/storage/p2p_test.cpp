@@ -1,0 +1,91 @@
+#include "storage/p2p/p2p_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+using testing::MiniCluster;
+
+struct P2pWorld {
+  MiniCluster w{{.nodes = 4, .zeroDiskOverheads = true}};
+  P2pFs fs{w.sim, w.fabric, w.nodes};
+};
+
+TEST(P2p, OutputStaysOnProducer) {
+  P2pWorld p;
+  p.w.run(p.fs.write(2, "out.dat", 10_MB));
+  ASSERT_EQ(p.fs.replicas("out.dat").size(), 1u);
+  EXPECT_EQ(p.fs.replicas("out.dat").front(), 2);
+  EXPECT_EQ(p.fs.localityHint(2, "out.dat"), 10_MB);
+  EXPECT_EQ(p.fs.localityHint(0, "out.dat"), 0);
+}
+
+TEST(P2p, LocalReadNeedsNoTransfer) {
+  P2pWorld p;
+  p.w.run([](P2pFs& f) -> sim::Task<void> {
+    co_await f.write(1, "x", 10_MB);
+    co_await f.read(1, "x");
+  }(p.fs));
+  EXPECT_EQ(p.fs.pullCount(), 0u);
+  EXPECT_EQ(p.fs.metrics().localReads, 1u);
+}
+
+TEST(P2p, RemoteReadPullsDirectlyFromProducer) {
+  P2pWorld p;
+  const double t = p.w.run([](P2pFs& f) -> sim::Task<void> {
+    co_await f.write(0, "big", 100_MB);
+    co_await f.read(3, "big");
+  }(p.fs));
+  EXPECT_EQ(p.fs.pullCount(), 1u);
+  // 100 MB over the 100 MB/s NICs plus staging: comfortably over 1 s.
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 1.6);
+}
+
+TEST(P2p, PulledCopyIsReusedLocally) {
+  P2pWorld p;
+  p.w.run([](P2pFs& f) -> sim::Task<void> {
+    co_await f.write(0, "shared", 50_MB);
+    co_await f.read(3, "shared");
+    co_await f.read(3, "shared");  // second read is local
+  }(p.fs));
+  EXPECT_EQ(p.fs.pullCount(), 1u);
+  EXPECT_EQ(p.fs.replicas("shared").size(), 2u);
+}
+
+TEST(P2p, PreloadedInputsAvailableEverywhere) {
+  P2pWorld p;
+  p.fs.preload("in.dat", 10_MB);
+  p.w.run([](P2pFs& f) -> sim::Task<void> {
+    co_await f.read(0, "in.dat");
+    co_await f.read(3, "in.dat");
+  }(p.fs));
+  EXPECT_EQ(p.fs.pullCount(), 0u);
+}
+
+TEST(P2p, MissingReplicaIsAnError) {
+  P2pWorld p;
+  bool threw = false;
+  p.w.run([](P2pFs& f, bool& flag) -> sim::Task<void> {
+    try {
+      co_await f.read(0, "never-written");
+    } catch (const std::out_of_range&) {
+      flag = true;  // not even in the catalog
+    }
+  }(p.fs, threw));
+  EXPECT_TRUE(threw);
+}
+
+TEST(P2p, ScratchStaysLocalAndIsDiscardable) {
+  P2pWorld p;
+  p.w.run(p.fs.scratchRoundTrip(1, "tmp1", 20_MB));
+  p.fs.discard(1, "tmp1");
+  EXPECT_EQ(p.fs.pullCount(), 0u);
+  EXPECT_EQ(p.fs.metrics().localReads, 1u);
+}
+
+}  // namespace
+}  // namespace wfs::storage

@@ -1,0 +1,73 @@
+#include "storage/s3/object_store.hpp"
+
+#include "storage/s3/s3_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+using testing::MiniCluster;
+
+TEST(ObjectStore, RequestLatencyFloorsSmallGets) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  ObjectStore store{w.net, ObjectStore::Config{}};
+  const double t = w.run(store.get(w.nodes[0].nic, 1_KB));
+  EXPECT_GE(t, 0.060);
+  EXPECT_LT(t, 0.075);
+  EXPECT_EQ(store.getCount(), 1u);
+}
+
+TEST(ObjectStore, PerConnectionCeilingLimitsOneTransfer) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  ObjectStore store{w.net, ObjectStore::Config{}};
+  // 50 MB at the 25 MB/s connection ceiling, though the NIC could do 100.
+  const double t = w.run(store.get(w.nodes[0].nic, 50_MB));
+  EXPECT_NEAR(t, 2.06, 0.05);
+}
+
+TEST(ObjectStore, ParallelConnectionsAggregateUpToNic) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  ObjectStore store{w.net, ObjectStore::Config{}};
+  // Four parallel GETs of 25 MB each: 4 x 25 MB/s = the 100 MB/s NIC, so
+  // all finish in ~1.06 s instead of 4 sequential seconds.
+  std::vector<sim::Task<void>> gets;
+  for (int i = 0; i < 4; ++i) gets.push_back(store.get(w.nodes[0].nic, 25_MB));
+  const double t = w.run(sim::allOf(w.sim, std::move(gets)));
+  EXPECT_NEAR(t, 1.06, 0.05);
+  EXPECT_EQ(store.getCount(), 4u);
+}
+
+TEST(ObjectStore, PutCountsAndBytesStored) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  ObjectStore store{w.net, ObjectStore::Config{}};
+  w.run(store.put(w.nodes[0].nic, 10_MB));
+  w.run(store.put(w.nodes[0].nic, 5_MB));
+  EXPECT_EQ(store.putCount(), 2u);
+  EXPECT_EQ(store.bytesStored(), 15_MB);
+}
+
+TEST(ObjectStore, ZeroByteRequestStillCostsLatency) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  ObjectStore store{w.net, ObjectStore::Config{}};
+  const double t = w.run(store.get(w.nodes[0].nic, 0));
+  EXPECT_NEAR(t, 0.060, 1e-3);
+}
+
+TEST(S3Client, CacheEvictionForcesRefetch) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  S3Fs::Config cfg;
+  cfg.clientCacheBytes = 30_MB;  // tiny client cache
+  S3Fs fs{w.sim, w.net, w.nodes, cfg};
+  fs.preload("a", 20_MB);
+  fs.preload("b", 20_MB);
+  w.run(fs.read(0, "a"));
+  w.run(fs.read(0, "b"));  // evicts a
+  w.run(fs.read(0, "a"));  // must GET again
+  EXPECT_EQ(fs.objectStore().getCount(), 3u);
+}
+
+}  // namespace
+}  // namespace wfs::storage

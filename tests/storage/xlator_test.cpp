@@ -1,0 +1,114 @@
+#include "storage/gluster/xlator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storage/gluster/gluster_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+using testing::MiniCluster;
+
+/// Test translator that records traversal and forwards.
+class RecordingXlator final : public Xlator {
+ public:
+  RecordingXlator(std::string tag, std::vector<std::string>& log)
+      : tag_{std::move(tag)}, log_{&log} {}
+
+  sim::Task<void> read(FileOp op) override {
+    log_->push_back(tag_ + ":read:" + op.path);
+    if (next_ != nullptr) {
+      auto fwd = next_->read(std::move(op));
+      co_await std::move(fwd);
+    }
+  }
+  sim::Task<void> write(FileOp op) override {
+    log_->push_back(tag_ + ":write:" + op.path);
+    if (next_ != nullptr) {
+      auto fwd = next_->write(std::move(op));
+      co_await std::move(fwd);
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "test/" + tag_; }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST(XlatorStack, CallsDescendTopToBottom) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Xlator>> layers;
+  layers.push_back(std::make_unique<RecordingXlator>("top", log));
+  layers.push_back(std::make_unique<RecordingXlator>("mid", log));
+  layers.push_back(std::make_unique<RecordingXlator>("bot", log));
+  XlatorStack stack{std::move(layers)};
+  EXPECT_EQ(stack.depth(), 3u);
+  w.run(stack.write(FileOp{0, "f", 1_MB}));
+  w.run(stack.read(FileOp{0, "f", 1_MB}));
+  EXPECT_EQ(log, (std::vector<std::string>{"top:write:f", "mid:write:f", "bot:write:f",
+                                           "top:read:f", "mid:read:f", "bot:read:f"}));
+}
+
+TEST(XlatorStack, LayerCanServiceWithoutForwarding) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Xlator>> layers;
+  layers.push_back(std::make_unique<IoCacheXlator>(w.sim, 64_MiB, GBps(1), metrics));
+  layers.push_back(std::make_unique<RecordingXlator>("below", log));
+  XlatorStack stack{std::move(layers)};
+  // Write passes through (and caches); first read after a write is a hit
+  // and must NOT reach the lower layer.
+  w.run(stack.write(FileOp{0, "x", 1_MB}));
+  w.run(stack.read(FileOp{0, "x", 1_MB}));
+  EXPECT_EQ(log, (std::vector<std::string>{"below:write:x"}));
+  EXPECT_EQ(metrics.cacheHits, 1u);
+}
+
+TEST(XlatorStack, IoCacheMissForwardsThenCaches) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Xlator>> layers;
+  layers.push_back(std::make_unique<IoCacheXlator>(w.sim, 64_MiB, GBps(1), metrics));
+  layers.push_back(std::make_unique<RecordingXlator>("below", log));
+  XlatorStack stack{std::move(layers)};
+  w.run(stack.read(FileOp{0, "cold", 1_MB}));
+  w.run(stack.read(FileOp{0, "cold", 1_MB}));
+  // One miss reaching the lower layer, then a hit served above.
+  EXPECT_EQ(log, (std::vector<std::string>{"below:read:cold"}));
+  EXPECT_EQ(metrics.cacheMisses, 1u);
+  EXPECT_EQ(metrics.cacheHits, 1u);
+}
+
+TEST(XlatorStack, NamesIdentifyLayers) {
+  MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  GlusterFs fs{w.sim, w.fabric, w.nodes, GlusterMode::kDistribute};
+  auto& stack = fs.clientStack(0);
+  ASSERT_EQ(stack.depth(), 2u);
+  EXPECT_EQ(stack.layer(0)->name(), "performance/io-cache");
+  EXPECT_EQ(stack.layer(1)->name(), "cluster/dht");
+  EXPECT_EQ(stack.layer(0)->next(), stack.layer(1));
+  EXPECT_EQ(stack.layer(1)->next(), nullptr);
+}
+
+TEST(XlatorStack, OversizedFileBypassesIoCache) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Xlator>> layers;
+  layers.push_back(std::make_unique<IoCacheXlator>(w.sim, 4_MiB, GBps(1), metrics));
+  layers.push_back(std::make_unique<RecordingXlator>("below", log));
+  XlatorStack stack{std::move(layers)};
+  w.run(stack.read(FileOp{0, "huge", 100_MB}));
+  w.run(stack.read(FileOp{0, "huge", 100_MB}));
+  // Never fits the 4 MiB io-cache: both reads reach the lower layer.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(metrics.cacheHits, 0u);
+}
+
+}  // namespace
+}  // namespace wfs::storage

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blk/raid0.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "simcore/simulator.hpp"
+#include "storage/base/storage_system.hpp"
+
+namespace wfs::testing {
+
+/// Minimal virtual cluster for storage-layer tests: N hosts, each with a
+/// gigabit NIC and a 4-disk RAID-0 array, pre-initialized by default so
+/// bandwidth math in expectations is simple (the first-write penalty has
+/// its own dedicated tests).
+struct ClusterOptions {
+  int nodes = 2;
+  Bytes memory = 7_GB;
+  Rate nicRate = MBps(100);
+  bool initializeDisks = true;
+  bool zeroDiskOverheads = false;  // no seek / per-op latency
+};
+
+struct MiniCluster {
+  explicit MiniCluster(const ClusterOptions& opt = ClusterOptions{}) {
+    blk::Raid0::Config rc;
+    if (opt.zeroDiskOverheads) {
+      rc.member.perOpLatency = sim::Duration::zero();
+      rc.member.seekTime = sim::Duration::zero();
+    }
+    for (int i = 0; i < opt.nodes; ++i) {
+      const std::string host = "node" + std::to_string(i);
+      nics.push_back(std::make_unique<net::Nic>(net, opt.nicRate, opt.nicRate,
+                                                sim::Duration::micros(50), host));
+      disks.push_back(std::make_unique<blk::Raid0>(net, rc, host + ".md0"));
+      if (opt.initializeDisks) disks.back()->initializeAll();
+      nodes.push_back(storage::StorageNode{host, nics.back().get(), disks.back().get(),
+                                           opt.memory});
+    }
+  }
+
+  /// Makes an extra host (e.g. a dedicated NFS server) outside `nodes`.
+  storage::StorageNode makeHost(const std::string& host, Bytes memory, Rate nicRate,
+                                bool initialize = true) {
+    nics.push_back(
+        std::make_unique<net::Nic>(net, nicRate, nicRate, sim::Duration::micros(50), host));
+    blk::Raid0::Config rc;
+    disks.push_back(std::make_unique<blk::Raid0>(net, rc, host + ".md0"));
+    if (initialize) disks.back()->initializeAll();
+    return storage::StorageNode{host, nics.back().get(), disks.back().get(), memory};
+  }
+
+  double run(sim::Task<void> t) {
+    double finish = -1;
+    sim.spawn([](sim::Simulator& s, sim::Task<void> inner, double& out) -> sim::Task<void> {
+      co_await std::move(inner);
+      out = s.now().asSeconds();
+    }(sim, std::move(t), finish));
+    sim.run();
+    return finish;
+  }
+
+  sim::Simulator sim;
+  net::FlowNetwork net{sim};
+  net::Fabric fabric{net, net::Fabric::Config{}};
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  std::vector<std::unique_ptr<blk::Raid0>> disks;
+  std::vector<storage::StorageNode> nodes;
+};
+
+}  // namespace wfs::testing

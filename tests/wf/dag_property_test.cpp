@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "simcore/rng.hpp"
+#include "wf/dag.hpp"
+#include "wf/planner.hpp"
+
+namespace wfs::wf {
+namespace {
+
+/// Builds a random layered workflow: files flow only from lower to higher
+/// layers, so connectByFiles must always yield a DAG whose topological
+/// order respects layers.
+AbstractWorkflow randomWorkflow(sim::Rng& rng, int layers, int width) {
+  AbstractWorkflow awf;
+  awf.name = "random";
+  std::vector<std::vector<std::string>> produced(static_cast<std::size_t>(layers));
+  awf.externalInputs.push_back({"seed.dat", 1_MB});
+  for (int l = 0; l < layers; ++l) {
+    const int jobs = 1 + static_cast<int>(rng.uniformInt(0, width - 1));
+    for (int j = 0; j < jobs; ++j) {
+      JobSpec spec;
+      spec.name = "L" + std::to_string(l) + "_" + std::to_string(j);
+      spec.transformation = "t";
+      spec.cpuSeconds = rng.uniform(0.1, 5.0);
+      // Inputs from any earlier layer (or the external seed).
+      const int nIn = 1 + static_cast<int>(rng.uniformInt(0, 2));
+      for (int k = 0; k < nIn; ++k) {
+        if (l == 0) {
+          spec.inputs.push_back({"seed.dat", 1_MB});
+        } else {
+          const auto& pool =
+              produced[static_cast<std::size_t>(rng.uniformInt(0, l - 1))];
+          if (pool.empty()) {
+            spec.inputs.push_back({"seed.dat", 1_MB});
+          } else {
+            spec.inputs.push_back(
+                {pool[static_cast<std::size_t>(rng.uniformInt(
+                     0, static_cast<std::int64_t>(pool.size()) - 1))],
+                 1_MB});
+          }
+        }
+      }
+      const std::string out = spec.name + ".out";
+      spec.outputs.push_back({out, 1_MB});
+      produced[static_cast<std::size_t>(l)].push_back(out);
+      awf.dag.addJob(std::move(spec));
+    }
+  }
+  awf.finalize();
+  return awf;
+}
+
+class RandomDag : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDag, ConnectByFilesYieldsValidDag) {
+  sim::Rng rng{GetParam()};
+  const auto awf = randomWorkflow(rng, 6, 8);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+  // Every edge respects the topological order.
+  const auto order = awf.dag.topologicalOrder();
+  std::vector<int> pos(static_cast<std::size_t>(awf.dag.jobCount()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (JobId id = 0; id < awf.dag.jobCount(); ++id) {
+    for (const JobId c : awf.dag.children(id)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(id)], pos[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST_P(RandomDag, ClusteringPreservesWorkAndAcyclicity) {
+  sim::Rng rng{GetParam()};
+  const auto awf = randomWorkflow(rng, 6, 8);
+  TransformationCatalog tc;
+  tc.add({"t", 1.0});
+  ReplicaCatalog rc;
+  rc.registerReplica("seed.dat", "fs");
+  Planner planner{tc, rc, SiteCatalog{}};
+  for (const int factor : {1, 2, 4, 16}) {
+    Planner::Options opt;
+    opt.clusterFactor = factor;
+    const auto exec = planner.plan(awf, opt);
+    EXPECT_TRUE(exec.dag.isAcyclic()) << "factor " << factor;
+    EXPECT_LE(exec.dag.jobCount(), awf.dag.jobCount());
+    EXPECT_NEAR(exec.dag.totalCpuSeconds(), awf.dag.totalCpuSeconds(), 1e-9)
+        << "clustering must conserve total compute";
+  }
+}
+
+TEST_P(RandomDag, ParentsAndChildrenAreConsistent) {
+  sim::Rng rng{GetParam()};
+  const auto awf = randomWorkflow(rng, 5, 6);
+  for (JobId id = 0; id < awf.dag.jobCount(); ++id) {
+    for (const JobId c : awf.dag.children(id)) {
+      const auto& parents = awf.dag.parents(c);
+      EXPECT_NE(std::find(parents.begin(), parents.end(), id), parents.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDag,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u));
+
+}  // namespace
+}  // namespace wfs::wf

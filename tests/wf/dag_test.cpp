@@ -1,0 +1,199 @@
+#include "wf/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wf/planner.hpp"
+
+namespace wfs::wf {
+namespace {
+
+Dag diamond() {
+  Dag d;
+  JobSpec a;
+  a.name = "a";
+  a.transformation = "t";
+  a.outputs = {{"fa", 1}};
+  JobSpec b;
+  b.name = "b";
+  b.transformation = "t";
+  b.inputs = {{"fa", 1}};
+  b.outputs = {{"fb", 1}};
+  JobSpec c;
+  c.name = "c";
+  c.transformation = "t";
+  c.inputs = {{"fa", 1}};
+  c.outputs = {{"fc", 1}};
+  JobSpec e;
+  e.name = "e";
+  e.transformation = "t";
+  e.inputs = {{"fb", 1}, {"fc", 1}};
+  e.outputs = {{"fe", 1}};
+  d.addJob(std::move(a));
+  d.addJob(std::move(b));
+  d.addJob(std::move(c));
+  d.addJob(std::move(e));
+  return d;
+}
+
+TEST(Dag, ConnectByFilesBuildsDiamond) {
+  Dag d = diamond();
+  d.connectByFiles({});
+  EXPECT_EQ(d.children(0).size(), 2u);
+  EXPECT_EQ(d.parents(3).size(), 2u);
+  EXPECT_TRUE(d.isAcyclic());
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d = diamond();
+  d.connectByFiles({});
+  const auto order = d.topologicalOrder();
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Dag, MissingProducerIsError) {
+  Dag d;
+  JobSpec j;
+  j.name = "x";
+  j.transformation = "t";
+  j.inputs = {{"nowhere.dat", 1}};
+  d.addJob(std::move(j));
+  EXPECT_THROW(d.connectByFiles({}), std::logic_error);
+  Dag d2;
+  JobSpec j2;
+  j2.name = "x";
+  j2.transformation = "t";
+  j2.inputs = {{"staged.dat", 1}};
+  d2.addJob(std::move(j2));
+  EXPECT_NO_THROW(d2.connectByFiles({{"staged.dat", 1}}));
+}
+
+TEST(Dag, DoubleProducerIsError) {
+  Dag d;
+  JobSpec a;
+  a.name = "a";
+  a.transformation = "t";
+  a.outputs = {{"same", 1}};
+  JobSpec b;
+  b.name = "b";
+  b.transformation = "t";
+  b.outputs = {{"same", 1}};
+  d.addJob(std::move(a));
+  d.addJob(std::move(b));
+  EXPECT_THROW(d.connectByFiles({}), std::logic_error);
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d;
+  JobSpec a;
+  a.name = "a";
+  a.transformation = "t";
+  d.addJob(std::move(a));
+  JobSpec b;
+  b.name = "b";
+  b.transformation = "t";
+  d.addJob(std::move(b));
+  d.addEdge(0, 1);
+  d.addEdge(1, 0);
+  EXPECT_FALSE(d.isAcyclic());
+  EXPECT_THROW(d.topologicalOrder(), std::logic_error);
+}
+
+TEST(Dag, AggregateStats) {
+  Dag d = diamond();
+  d.job(0).cpuSeconds = 1;
+  d.job(1).cpuSeconds = 2;
+  d.job(2).cpuSeconds = 3;
+  d.job(3).cpuSeconds = 4;
+  d.connectByFiles({});
+  EXPECT_DOUBLE_EQ(d.totalCpuSeconds(), 10.0);
+  EXPECT_EQ(d.totalOutputBytes(), 1);  // only fe is never consumed
+  EXPECT_EQ(d.distinctFileCount(), 4u);
+}
+
+TEST(Planner, ValidatesCatalogs) {
+  AbstractWorkflow awf;
+  awf.name = "w";
+  JobSpec j;
+  j.name = "a";
+  j.transformation = "known";
+  j.inputs = {{"in.dat", 5}};
+  j.outputs = {{"out.dat", 5}};
+  awf.dag.addJob(std::move(j));
+  awf.externalInputs = {{"in.dat", 5}};
+  awf.finalize();
+
+  TransformationCatalog tc;
+  ReplicaCatalog rc;
+  SiteCatalog site;
+  Planner p{tc, rc, site};
+  EXPECT_THROW((void)p.plan(awf), std::logic_error);  // no transformation
+  tc.add({"known", 1.0});
+  Planner p2{tc, rc, site};
+  EXPECT_THROW((void)p2.plan(awf), std::logic_error);  // no replica
+  rc.registerReplica("in.dat", "fs");
+  Planner p3{tc, rc, site};
+  const auto exec = p3.plan(awf);
+  EXPECT_EQ(exec.dag.jobCount(), 1);
+}
+
+TEST(Planner, CpuFactorApplied) {
+  AbstractWorkflow awf;
+  awf.name = "w";
+  JobSpec j;
+  j.name = "a";
+  j.transformation = "slow";
+  j.cpuSeconds = 10.0;
+  awf.dag.addJob(std::move(j));
+  awf.finalize();
+  TransformationCatalog tc;
+  tc.add({"slow", 2.5});
+  ReplicaCatalog rc;
+  Planner p{tc, rc, SiteCatalog{}};
+  EXPECT_DOUBLE_EQ(p.plan(awf).dag.job(0).cpuSeconds, 25.0);
+}
+
+TEST(Planner, HorizontalClusteringMergesSiblings) {
+  AbstractWorkflow awf;
+  awf.name = "w";
+  for (int i = 0; i < 10; ++i) {
+    JobSpec j;
+    j.name = "map_" + std::to_string(i);
+    j.transformation = "map";
+    j.cpuSeconds = 1.0;
+    j.inputs = {{"in.dat", 5}};
+    j.outputs = {{"out_" + std::to_string(i), 1}};
+    awf.dag.addJob(std::move(j));
+  }
+  JobSpec r;
+  r.name = "reduce";
+  r.transformation = "reduce";
+  for (int i = 0; i < 10; ++i) r.inputs.push_back({"out_" + std::to_string(i), 1});
+  r.outputs = {{"final", 1}};
+  awf.dag.addJob(std::move(r));
+  awf.externalInputs = {{"in.dat", 5}};
+  awf.finalize();
+
+  TransformationCatalog tc;
+  tc.add({"map", 1.0});
+  tc.add({"reduce", 1.0});
+  ReplicaCatalog rc;
+  rc.registerReplica("in.dat", "fs");
+  Planner p{tc, rc, SiteCatalog{}};
+  Planner::Options opt;
+  opt.clusterFactor = 4;
+  const auto exec = p.plan(awf, opt);
+  // 10 maps -> ceil(10/4)=3 clustered jobs, + 1 reduce.
+  EXPECT_EQ(exec.dag.jobCount(), 4);
+  EXPECT_TRUE(exec.dag.isAcyclic());
+  double cpu = 0;
+  for (JobId id = 0; id < exec.dag.jobCount(); ++id) cpu += exec.dag.job(id).cpuSeconds;
+  EXPECT_DOUBLE_EQ(cpu, 10.0);
+}
+
+}  // namespace
+}  // namespace wfs::wf

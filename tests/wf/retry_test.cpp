@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "storage/local/local_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+#include "wf/engine.hpp"
+#include "wf/planner.hpp"
+
+namespace wfs::wf {
+namespace {
+
+using testing::MiniCluster;
+
+ExecutableWorkflow chainWorkflow(int n) {
+  AbstractWorkflow awf;
+  awf.name = "chain";
+  for (int i = 0; i < n; ++i) {
+    JobSpec j;
+    j.name = "step_" + std::to_string(i);
+    j.transformation = "step";
+    j.cpuSeconds = 10;
+    if (i > 0) j.inputs = {{"f" + std::to_string(i - 1), 1_MB}};
+    j.outputs = {{"f" + std::to_string(i), 1_MB}};
+    j.scratchFiles = {{"s" + std::to_string(i), 1_MB}};
+    awf.dag.addJob(std::move(j));
+  }
+  awf.finalize();
+  TransformationCatalog tc;
+  tc.add({"step", 1.0});
+  ReplicaCatalog rc;
+  Planner p{tc, rc, SiteCatalog{}};
+  return p.plan(awf);
+}
+
+struct Rig {
+  explicit Rig(int jobs) : exec{chainWorkflow(jobs)} {}
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  storage::LocalFs fs{w.sim, w.nodes};
+  ExecutableWorkflow exec;
+  Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
+  sim::Resource mem{w.sim, 7_GB, "mem"};
+};
+
+TEST(Retry, TransientFailuresAreRetriedToCompletion) {
+  Rig r{10};
+  DagmanEngine::Options opt;
+  opt.transientFailureProb = 0.3;
+  opt.maxRetries = 25;  // effectively unlimited for p=0.3
+  DagmanEngine engine{r.w.sim, r.exec, r.fs, r.sched, {&r.mem}, nullptr, opt};
+  r.w.run(engine.execute());
+  EXPECT_FALSE(engine.failed());
+  EXPECT_EQ(engine.completedJobs(), 10);
+  EXPECT_GT(engine.retryCount(), 0u);
+  EXPECT_TRUE(engine.rescueDag().empty());
+}
+
+TEST(Retry, RetriesCostTime) {
+  Rig a{10};
+  DagmanEngine::Options clean;
+  DagmanEngine e1{a.w.sim, a.exec, a.fs, a.sched, {&a.mem}, nullptr, clean};
+  a.w.run(e1.execute());
+
+  Rig b{10};
+  DagmanEngine::Options flaky;
+  flaky.transientFailureProb = 0.4;
+  flaky.maxRetries = 50;
+  DagmanEngine e2{b.w.sim, b.exec, b.fs, b.sched, {&b.mem}, nullptr, flaky};
+  b.w.run(e2.execute());
+
+  EXPECT_GT(e2.makespan().asSeconds(), e1.makespan().asSeconds());
+}
+
+TEST(Retry, ExhaustedRetriesFailRunAndEmitRescueDag) {
+  Rig r{10};
+  DagmanEngine::Options opt;
+  opt.transientFailureProb = 1.0;  // every attempt crashes
+  opt.maxRetries = 2;
+  DagmanEngine engine{r.w.sim, r.exec, r.fs, r.sched, {&r.mem}, nullptr, opt};
+  r.w.run(engine.execute());
+  EXPECT_TRUE(engine.failed());
+  EXPECT_LT(engine.completedJobs(), 10);
+  const auto rescue = engine.rescueDag();
+  EXPECT_FALSE(rescue.empty());
+  // The rescue DAG is everything that did not finish, in topological order.
+  EXPECT_EQ(static_cast<int>(rescue.size()) + engine.completedJobs(), 10);
+  for (std::size_t i = 1; i < rescue.size(); ++i) {
+    EXPECT_LT(rescue[i - 1], rescue[i]);  // chain order == id order here
+  }
+}
+
+TEST(Retry, FaultSeedIsDeterministic) {
+  auto runOnce = [] {
+    Rig r{10};
+    DagmanEngine::Options opt;
+    opt.transientFailureProb = 0.3;
+    opt.maxRetries = 25;
+    opt.faultSeed = 99;
+    DagmanEngine engine{r.w.sim, r.exec, r.fs, r.sched, {&r.mem}, nullptr, opt};
+    r.w.run(engine.execute());
+    return std::make_pair(engine.retryCount(), engine.makespan().asSeconds());
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace wfs::wf

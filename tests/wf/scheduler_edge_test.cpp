@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "storage/p2p/p2p_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+#include "wf/engine.hpp"
+#include "wf/planner.hpp"
+#include "wf/scheduler.hpp"
+
+namespace wfs::wf {
+namespace {
+
+using testing::MiniCluster;
+
+TEST(SchedulerEdge, QueueLengthAndDispatchCounters) {
+  sim::Simulator sim;
+  Scheduler s{sim, {1, 1}, Scheduler::Policy::kFifo};
+  JobSpec j;
+  std::vector<int> got;
+  auto worker = [](sim::Simulator& si, Scheduler& sch, const JobSpec& job,
+                   std::vector<int>& out) -> sim::Task<void> {
+    const int node = co_await sch.claimSlot(job);
+    out.push_back(node);
+    co_await si.delay(sim::Duration::seconds(1));
+    sch.releaseSlot(node);
+  };
+  for (int i = 0; i < 6; ++i) sim.spawn(worker(sim, s, j, got));
+  sim.runUntil(sim::SimTime::origin());
+  EXPECT_EQ(s.queueLength(), 4u);  // 2 running, 4 waiting
+  sim.run();
+  EXPECT_EQ(got.size(), 6u);
+  EXPECT_EQ(s.dispatched(0) + s.dispatched(1), 6u);
+  EXPECT_EQ(s.queueLength(), 0u);
+}
+
+TEST(SchedulerEdge, DataAwareFallsBackWhenNoLocalityInfo) {
+  MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  storage::P2pFs fs{w.sim, w.fabric, w.nodes};
+  Scheduler s{w.sim, {1, 1}, Scheduler::Policy::kDataAware, &fs};
+  JobSpec j;  // no inputs -> all scores zero -> round-robin order
+  std::vector<int> got;
+  w.sim.spawn([](Scheduler& sch, const JobSpec& job, std::vector<int>& out) -> sim::Task<void> {
+    out.push_back(co_await sch.claimSlot(job));
+    out.push_back(co_await sch.claimSlot(job));
+  }(s, j, got));
+  w.sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1}));
+}
+
+TEST(SchedulerEdge, DataAwareRoutesConsumersToProducers) {
+  // End-to-end: on p2p storage with data-aware scheduling, each consumer
+  // should land on its producer's node and pull nothing over the network.
+  MiniCluster w{{.nodes = 4, .zeroDiskOverheads = true}};
+  storage::P2pFs fs{w.sim, w.fabric, w.nodes};
+
+  AbstractWorkflow awf;
+  awf.name = "pairs";
+  for (int i = 0; i < 8; ++i) {
+    JobSpec prod;
+    prod.name = "produce_" + std::to_string(i);
+    prod.transformation = "produce";
+    prod.cpuSeconds = 10 + i;  // staggered so consumers schedule one by one
+    prod.outputs = {{"d" + std::to_string(i), 200_MB}};
+    awf.dag.addJob(std::move(prod));
+    JobSpec cons;
+    cons.name = "consume_" + std::to_string(i);
+    cons.transformation = "consume";
+    cons.cpuSeconds = 5;
+    cons.inputs = {{"d" + std::to_string(i), 200_MB}};
+    cons.outputs = {{"r" + std::to_string(i), 1_MB}};
+    awf.dag.addJob(std::move(cons));
+  }
+  awf.finalize();
+  TransformationCatalog tc;
+  tc.add({"produce", 1.0});
+  tc.add({"consume", 1.0});
+  ReplicaCatalog rc;
+  Planner planner{tc, rc, SiteCatalog{}};
+  const auto exec = planner.plan(awf);
+
+  Scheduler sched{w.sim, {2, 2, 2, 2}, Scheduler::Policy::kDataAware, &fs};
+  std::vector<sim::Resource*> mems;
+  std::vector<std::unique_ptr<sim::Resource>> owned;
+  for (int i = 0; i < 4; ++i) {
+    owned.push_back(std::make_unique<sim::Resource>(w.sim, 7_GB, "m"));
+    mems.push_back(owned.back().get());
+  }
+  DagmanEngine engine{w.sim, exec, fs, sched, mems, nullptr, DagmanEngine::Options{}};
+  w.run(engine.execute());
+  EXPECT_EQ(engine.completedJobs(), 16);
+  // Every consumer found its input locally.
+  EXPECT_EQ(fs.pullCount(), 0u);
+}
+
+TEST(SchedulerEdge, BlindSchedulingCausesPulls) {
+  // Same workflow, locality-blind: consumers land anywhere, so most inputs
+  // cross the network — the contrast the paper's §IV.A conjecture is about.
+  MiniCluster w{{.nodes = 4, .zeroDiskOverheads = true}};
+  storage::P2pFs fs{w.sim, w.fabric, w.nodes};
+  AbstractWorkflow awf;
+  awf.name = "pairs";
+  for (int i = 0; i < 8; ++i) {
+    JobSpec prod;
+    prod.name = "produce_" + std::to_string(i);
+    prod.transformation = "produce";
+    prod.cpuSeconds = 10;  // all finish together
+    prod.outputs = {{"d" + std::to_string(i), 200_MB}};
+    awf.dag.addJob(std::move(prod));
+  }
+  for (int i = 0; i < 8; ++i) {
+    JobSpec cons;
+    cons.name = "consume_" + std::to_string(i);
+    cons.transformation = "consume";
+    cons.cpuSeconds = 5;
+    // Two inputs from different producers: no single placement can be
+    // local to both, so the blind scheduler must pull at least one.
+    cons.inputs = {{"d" + std::to_string(i), 200_MB},
+                   {"d" + std::to_string((i + 1) % 8), 200_MB}};
+    cons.outputs = {{"r" + std::to_string(i), 1_MB}};
+    awf.dag.addJob(std::move(cons));
+  }
+  awf.finalize();
+  TransformationCatalog tc;
+  tc.add({"produce", 1.0});
+  tc.add({"consume", 1.0});
+  ReplicaCatalog rc;
+  Planner planner{tc, rc, SiteCatalog{}};
+  const auto exec = planner.plan(awf);
+  Scheduler sched{w.sim, {2, 2, 2, 2}, Scheduler::Policy::kFifo};
+  std::vector<sim::Resource*> mems;
+  std::vector<std::unique_ptr<sim::Resource>> owned;
+  for (int i = 0; i < 4; ++i) {
+    owned.push_back(std::make_unique<sim::Resource>(w.sim, 7_GB, "m"));
+    mems.push_back(owned.back().get());
+  }
+  DagmanEngine engine{w.sim, exec, fs, sched, mems, nullptr, DagmanEngine::Options{}};
+  w.run(engine.execute());
+  EXPECT_EQ(engine.completedJobs(), 16);
+  EXPECT_GT(fs.pullCount(), 0u);
+}
+
+}  // namespace
+}  // namespace wfs::wf

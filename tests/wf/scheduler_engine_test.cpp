@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "storage/local/local_fs.hpp"
+#include "storage/s3/s3_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+#include "wf/engine.hpp"
+#include "wf/planner.hpp"
+#include "wf/scheduler.hpp"
+
+namespace wfs::wf {
+namespace {
+
+using testing::MiniCluster;
+
+TEST(Scheduler, RoundRobinsAcrossFreeNodes) {
+  sim::Simulator sim;
+  Scheduler s{sim, {2, 2}, Scheduler::Policy::kFifo};
+  JobSpec j;
+  std::vector<int> got;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Scheduler& sch, const JobSpec& job, std::vector<int>& out) -> sim::Task<void> {
+      out.push_back(co_await sch.claimSlot(job));
+    }(s, j, got));
+  }
+  sim.run();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 1);
+}
+
+TEST(Scheduler, QueuesWhenFullAndResumesOnRelease) {
+  sim::Simulator sim;
+  Scheduler s{sim, {1}, Scheduler::Policy::kFifo};
+  JobSpec j;
+  std::vector<int> order;
+  auto worker = [](sim::Simulator& si, Scheduler& sch, const JobSpec& job,
+                   std::vector<int>& out, int id) -> sim::Task<void> {
+    const int node = co_await sch.claimSlot(job);
+    out.push_back(id);
+    co_await si.delay(sim::Duration::seconds(1));
+    sch.releaseSlot(node);
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(worker(sim, s, j, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.freeSlots(0), 1);
+}
+
+TEST(Scheduler, DataAwarePrefersNodeWithCachedInput) {
+  MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  storage::S3Fs fs{w.sim, w.net, w.nodes};
+  // Produce a file on node 1 so it is client-cached there.
+  w.run(fs.write(1, "hot.dat", 50_MB));
+  Scheduler s{w.sim, {8, 8}, Scheduler::Policy::kDataAware, &fs};
+  JobSpec j;
+  j.inputs = {{"hot.dat", 50_MB}};
+  int chosen = -1;
+  w.run([](Scheduler& sch, const JobSpec& job, int& out) -> sim::Task<void> {
+    out = co_await sch.claimSlot(job);
+  }(s, j, chosen));
+  EXPECT_EQ(chosen, 1);
+}
+
+// ---- Engine integration on a small diamond ----
+
+ExecutableWorkflow smallWorkflow() {
+  AbstractWorkflow awf;
+  awf.name = "mini";
+  JobSpec a;
+  a.name = "prep";
+  a.transformation = "t";
+  a.cpuSeconds = 10;
+  a.inputs = {{"in.dat", 100_MB}};
+  a.outputs = {{"mid1.dat", 50_MB}, {"mid2.dat", 50_MB}};
+  awf.dag.addJob(std::move(a));
+  for (int i = 0; i < 2; ++i) {
+    JobSpec b;
+    b.name = "work_" + std::to_string(i);
+    b.transformation = "t";
+    b.cpuSeconds = 20;
+    b.inputs = {{"mid" + std::to_string(i + 1) + ".dat", 50_MB}};
+    b.outputs = {{"out" + std::to_string(i) + ".dat", 10_MB}};
+    awf.dag.addJob(std::move(b));
+  }
+  JobSpec c;
+  c.name = "final";
+  c.transformation = "t";
+  c.cpuSeconds = 5;
+  c.inputs = {{"out0.dat", 10_MB}, {"out1.dat", 10_MB}};
+  c.outputs = {{"result.dat", 5_MB}};
+  awf.dag.addJob(std::move(c));
+  awf.externalInputs = {{"in.dat", 100_MB}};
+  awf.finalize();
+
+  TransformationCatalog tc;
+  tc.add({"t", 1.0});
+  ReplicaCatalog rc;
+  rc.registerReplica("in.dat", "fs");
+  Planner p{tc, rc, SiteCatalog{}};
+  return p.plan(awf);
+}
+
+TEST(Engine, ExecutesDagRespectingDependenciesAndSlots) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  storage::LocalFs fs{w.sim, w.nodes};
+  fs.preload("in.dat", 100_MB);
+  const auto exec = smallWorkflow();
+  Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
+  sim::Resource mem{w.sim, 7_GB, "mem"};
+  prof::WfProf prof;
+  DagmanEngine engine{w.sim, exec, fs, sched, {&mem}, &prof, DagmanEngine::Options{}};
+  w.run(engine.execute());
+  EXPECT_EQ(engine.completedJobs(), 4);
+  // Critical path is prep(10) -> work(20) -> final(5) = 35 s of CPU plus I/O.
+  EXPECT_GT(engine.makespan().asSeconds(), 35.0);
+  EXPECT_LT(engine.makespan().asSeconds(), 40.0);
+  EXPECT_EQ(prof.traces().size(), 4u);
+  EXPECT_TRUE(fs.exists("result.dat"));
+}
+
+TEST(Engine, MemoryLimitThrottlesParallelism) {
+  // 8 identical 60s tasks, each needing 3 GB on a 7 GB node: only 2 run
+  // at once even though 8 slots are free -> makespan ~ 4 x 60 s.
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  storage::LocalFs fs{w.sim, w.nodes};
+  AbstractWorkflow awf;
+  awf.name = "memhog";
+  for (int i = 0; i < 8; ++i) {
+    JobSpec j;
+    j.name = "hog_" + std::to_string(i);
+    j.transformation = "hog";
+    j.cpuSeconds = 60;
+    j.peakMemory = 3_GB;
+    awf.dag.addJob(std::move(j));
+  }
+  awf.finalize();
+  TransformationCatalog tc;
+  tc.add({"hog", 1.0});
+  ReplicaCatalog rc;
+  Planner p{tc, rc, SiteCatalog{}};
+  const auto exec = p.plan(awf);
+  Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
+  sim::Resource mem{w.sim, 7_GB, "mem"};
+  DagmanEngine engine{w.sim, exec, fs, sched, {&mem}, nullptr, DagmanEngine::Options{}};
+  w.run(engine.execute());
+  EXPECT_NEAR(engine.makespan().asSeconds(), 240.0, 1.0);
+}
+
+TEST(Engine, FasterCoresShortenCompute) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  storage::LocalFs fs{w.sim, w.nodes};
+  fs.preload("in.dat", 100_MB);
+  const auto exec = smallWorkflow();
+  Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
+  sim::Resource mem{w.sim, 7_GB, "mem"};
+  DagmanEngine::Options opt;
+  opt.coreSpeed = 2.0;
+  DagmanEngine engine{w.sim, exec, fs, sched, {&mem}, nullptr, opt};
+  w.run(engine.execute());
+  EXPECT_LT(engine.makespan().asSeconds(), 20.0);
+}
+
+}  // namespace
+}  // namespace wfs::wf

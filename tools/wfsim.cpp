@@ -1,0 +1,244 @@
+// wfsim — command-line front end to the simulator.
+//
+//   wfsim run    <app> <storage> <nodes> [--scale S] [--seed N]
+//                [--data-aware] [--no-first-write-penalty] [--cluster K]
+//                [--nfs-server TYPE]
+//   wfsim sweep  <app> [--scale S]          reproduce one performance figure
+//   wfsim repeat <app> <storage> <nodes> [--scale S] [--reps R]
+//   wfsim table1 [--scale S]                reproduce Table I
+//   wfsim list                              storage systems & instance types
+//
+// Examples:
+//   wfsim run broadband s3 4 --scale 0.25
+//   wfsim sweep montage --scale 0.1
+//   wfsim repeat epigenome nfs 4 --reps 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/repeat.hpp"
+#include "wfcloudsim.hpp"
+
+namespace {
+
+using namespace wfs::analysis;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wfsim run    <app> <storage> <nodes> [options]\n"
+               "  wfsim sweep  <app> [options]\n"
+               "  wfsim repeat <app> <storage> <nodes> [--reps R] [options]\n"
+               "  wfsim table1 [options]\n"
+               "  wfsim list\n"
+               "\n"
+               "apps:     montage | broadband | epigenome\n"
+               "storage:  local | s3 | nfs | gluster-nufa | gluster-dist | pvfs |\n"
+               "          xtreemfs | p2p\n"
+               "options:  --scale S  --seed N  --reps R  --cluster K  --data-aware\n"
+               "          --no-first-write-penalty  --nfs-server TYPE\n");
+  std::exit(2);
+}
+
+App parseApp(const std::string& s) {
+  if (s == "montage") return App::kMontage;
+  if (s == "broadband") return App::kBroadband;
+  if (s == "epigenome") return App::kEpigenome;
+  usage(("unknown app: " + s).c_str());
+}
+
+StorageKind parseStorage(const std::string& s) {
+  for (const StorageKind k :
+       {StorageKind::kLocal, StorageKind::kS3, StorageKind::kNfs, StorageKind::kGlusterNufa,
+        StorageKind::kGlusterDist, StorageKind::kPvfs, StorageKind::kXtreemFs,
+        StorageKind::kP2p}) {
+    if (s == toString(k)) return k;
+  }
+  usage(("unknown storage system: " + s).c_str());
+}
+
+struct Cli {
+  std::vector<std::string> positional;
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  int reps = 5;
+  int clusterFactor = 1;
+  bool dataAware = false;
+  bool firstWritePenalty = true;
+  std::string nfsServer = "m1.xlarge";
+};
+
+Cli parseArgs(int argc, char** argv) {
+  Cli cli;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--scale") {
+      cli.scale = std::atof(next().c_str());
+    } else if (a == "--seed") {
+      cli.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--reps") {
+      cli.reps = std::atoi(next().c_str());
+    } else if (a == "--cluster") {
+      cli.clusterFactor = std::atoi(next().c_str());
+    } else if (a == "--data-aware") {
+      cli.dataAware = true;
+    } else if (a == "--no-first-write-penalty") {
+      cli.firstWritePenalty = false;
+    } else if (a == "--nfs-server") {
+      cli.nfsServer = next();
+    } else if (a.rfind("--", 0) == 0) {
+      usage(("unknown option: " + a).c_str());
+    } else {
+      cli.positional.push_back(a);
+    }
+  }
+  return cli;
+}
+
+ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.storage = kind;
+  cfg.workerNodes = nodes;
+  cfg.appScale = cli.scale;
+  cfg.seed = cli.seed;
+  cfg.clusterFactor = cli.clusterFactor;
+  cfg.dataAwareScheduling = cli.dataAware;
+  cfg.firstWritePenalty = cli.firstWritePenalty;
+  cfg.nfsServerType = cli.nfsServer;
+  return cfg;
+}
+
+void printResult(const ExperimentResult& r) {
+  std::printf("workflow   : %s (%d tasks)\n", r.workflowName.c_str(), r.tasks);
+  std::printf("storage    : %s\n", r.storageName.c_str());
+  std::printf("makespan   : %.0f s (%.2f h)\n", r.makespanSeconds,
+              r.makespanSeconds / 3600.0);
+  std::printf("cost       : $%.2f per-hour billed, $%.3f per-second\n",
+              r.cost.totalHourly(), r.cost.totalPerSecond());
+  if (r.cost.s3RequestCost > 0) {
+    std::printf("             incl. $%.3f S3 request fees\n", r.cost.s3RequestCost);
+  }
+  std::printf("io         : %s\n", r.storageMetrics.summary().c_str());
+  std::printf("profile    : I/O %s, Memory %s, CPU %s\n", toString(r.profile.ioLevel),
+              toString(r.profile.memoryLevel), toString(r.profile.cpuLevel));
+}
+
+int cmdRun(const Cli& cli) {
+  if (cli.positional.size() != 3) usage("run needs <app> <storage> <nodes>");
+  const auto r = runExperiment(toConfig(cli, parseApp(cli.positional[0]),
+                                        parseStorage(cli.positional[1]),
+                                        std::atoi(cli.positional[2].c_str())));
+  printResult(r);
+  return 0;
+}
+
+int cmdSweep(const Cli& cli) {
+  if (cli.positional.size() != 1) usage("sweep needs <app>");
+  const App app = parseApp(cli.positional[0]);
+  std::vector<Series> series;
+  const StorageKind kinds[] = {StorageKind::kLocal,       StorageKind::kS3,
+                               StorageKind::kNfs,         StorageKind::kGlusterNufa,
+                               StorageKind::kGlusterDist, StorageKind::kPvfs};
+  const int nodeCounts[] = {1, 2, 4, 8};
+  for (const StorageKind kind : kinds) {
+    Series s;
+    s.label = toString(kind);
+    for (const int n : nodeCounts) {
+      const bool valid =
+          !(kind == StorageKind::kLocal && n != 1) &&
+          !((kind == StorageKind::kGlusterNufa || kind == StorageKind::kGlusterDist ||
+             kind == StorageKind::kPvfs) &&
+            n < 2);
+      if (!valid) {
+        s.values.push_back(std::nan(""));
+        continue;
+      }
+      std::fprintf(stderr, "running %s x %d...\n", toString(kind), n);
+      s.values.push_back(runExperiment(toConfig(cli, app, kind, n)).makespanSeconds);
+    }
+    series.push_back(std::move(s));
+  }
+  std::printf("%s", renderTable(std::string(toString(app)) + " runtime",
+                                {"1 node", "2 nodes", "4 nodes", "8 nodes"}, series,
+                                "seconds")
+                        .c_str());
+  return 0;
+}
+
+int cmdRepeat(const Cli& cli) {
+  if (cli.positional.size() != 3) usage("repeat needs <app> <storage> <nodes>");
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < cli.reps; ++i) seeds.push_back(cli.seed + static_cast<unsigned>(i));
+  const auto agg = repeatExperiment(toConfig(cli, parseApp(cli.positional[0]),
+                                             parseStorage(cli.positional[1]),
+                                             std::atoi(cli.positional[2].c_str())),
+                                    seeds);
+  std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
+              static_cast<unsigned long long>(seeds.front()),
+              static_cast<unsigned long long>(seeds.back()));
+  std::printf("makespan   : %.0f s +- %.0f (95%% CI), range [%.0f, %.0f]\n",
+              agg.makespan.mean(), agg.makespan.ci95(), agg.makespan.min(),
+              agg.makespan.max());
+  std::printf("cost/hourly: $%.2f +- %.3f\n", agg.costHourly.mean(), agg.costHourly.ci95());
+  std::printf("cost/second: $%.3f +- %.3f\n", agg.costPerSecond.mean(),
+              agg.costPerSecond.ci95());
+  return 0;
+}
+
+int cmdTable1(const Cli& cli) {
+  std::printf("%-12s %-8s %-8s %-8s\n", "Application", "I/O", "Memory", "CPU");
+  for (const App app : {App::kMontage, App::kBroadband, App::kEpigenome}) {
+    ExperimentConfig cfg = toConfig(cli, app, StorageKind::kLocal, 1);
+    std::fprintf(stderr, "profiling %s...\n", toString(app));
+    const auto r = runExperiment(cfg);
+    std::printf("%-12s %-8s %-8s %-8s\n", toString(app), toString(r.profile.ioLevel),
+                toString(r.profile.memoryLevel), toString(r.profile.cpuLevel));
+  }
+  return 0;
+}
+
+int cmdList() {
+  std::printf("storage systems:\n");
+  for (const StorageKind k :
+       {StorageKind::kLocal, StorageKind::kS3, StorageKind::kNfs, StorageKind::kGlusterNufa,
+        StorageKind::kGlusterDist, StorageKind::kPvfs, StorageKind::kXtreemFs,
+        StorageKind::kP2p}) {
+    std::printf("  %s\n", toString(k));
+  }
+  std::printf("instance types:\n");
+  for (const auto& t : wfs::cloud::instanceCatalog().all()) {
+    std::printf("  %-11s %d cores, %4.0f GB RAM, %d disks, $%.2f/h\n", t.name.c_str(),
+                t.cores, static_cast<double>(t.memory) / 1e9, t.ephemeralDisks,
+                t.pricePerHour);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Cli cli = parseArgs(argc, argv);
+  try {
+    if (cmd == "run") return cmdRun(cli);
+    if (cmd == "sweep") return cmdSweep(cli);
+    if (cmd == "repeat") return cmdRepeat(cli);
+    if (cmd == "table1") return cmdTable1(cli);
+    if (cmd == "list") return cmdList();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command: " + cmd).c_str());
+}
