@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_data_aware.dir/bench_abl_data_aware.cpp.o"
+  "CMakeFiles/bench_abl_data_aware.dir/bench_abl_data_aware.cpp.o.d"
+  "bench_abl_data_aware"
+  "bench_abl_data_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_data_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_fairshare.dir/bench_abl_fairshare.cpp.o"
+  "CMakeFiles/bench_abl_fairshare.dir/bench_abl_fairshare.cpp.o.d"
+  "bench_abl_fairshare"
+  "bench_abl_fairshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_first_write.dir/bench_abl_first_write.cpp.o"
+  "CMakeFiles/bench_abl_first_write.dir/bench_abl_first_write.cpp.o.d"
+  "bench_abl_first_write"
+  "bench_abl_first_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_first_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ebs.dir/bench_ext_ebs.cpp.o"
+  "CMakeFiles/bench_ext_ebs.dir/bench_ext_ebs.cpp.o.d"
+  "bench_ext_ebs"
+  "bench_ext_ebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_epigenome_perf.cpp" "bench/CMakeFiles/bench_fig3_epigenome_perf.dir/bench_fig3_epigenome_perf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_epigenome_perf.dir/bench_fig3_epigenome_perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

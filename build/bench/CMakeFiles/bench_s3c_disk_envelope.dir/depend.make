@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s3c_disk_envelope.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s4_xtreemfs.dir/bench_s4_xtreemfs.cpp.o"
+  "CMakeFiles/bench_s4_xtreemfs.dir/bench_s4_xtreemfs.cpp.o.d"
+  "bench_s4_xtreemfs"
+  "bench_s4_xtreemfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_xtreemfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

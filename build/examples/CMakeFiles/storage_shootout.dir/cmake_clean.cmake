@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_shootout.dir/storage_shootout.cpp.o"
+  "CMakeFiles/storage_shootout.dir/storage_shootout.cpp.o.d"
+  "storage_shootout"
+  "storage_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_analysis.dir/analysis/experiment.cpp.o"
+  "CMakeFiles/wfs_analysis.dir/analysis/experiment.cpp.o.d"
+  "CMakeFiles/wfs_analysis.dir/analysis/export.cpp.o"
+  "CMakeFiles/wfs_analysis.dir/analysis/export.cpp.o.d"
+  "CMakeFiles/wfs_analysis.dir/analysis/repeat.cpp.o"
+  "CMakeFiles/wfs_analysis.dir/analysis/repeat.cpp.o.d"
+  "CMakeFiles/wfs_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/wfs_analysis.dir/analysis/report.cpp.o.d"
+  "libwfs_analysis.a"
+  "libwfs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

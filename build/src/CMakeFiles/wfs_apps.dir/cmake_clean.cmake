@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_apps.dir/apps/broadband.cpp.o"
+  "CMakeFiles/wfs_apps.dir/apps/broadband.cpp.o.d"
+  "CMakeFiles/wfs_apps.dir/apps/epigenome.cpp.o"
+  "CMakeFiles/wfs_apps.dir/apps/epigenome.cpp.o.d"
+  "CMakeFiles/wfs_apps.dir/apps/montage.cpp.o"
+  "CMakeFiles/wfs_apps.dir/apps/montage.cpp.o.d"
+  "libwfs_apps.a"
+  "libwfs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blk/disk.cpp" "src/CMakeFiles/wfs_blk.dir/blk/disk.cpp.o" "gcc" "src/CMakeFiles/wfs_blk.dir/blk/disk.cpp.o.d"
+  "/root/repo/src/blk/extent_set.cpp" "src/CMakeFiles/wfs_blk.dir/blk/extent_set.cpp.o" "gcc" "src/CMakeFiles/wfs_blk.dir/blk/extent_set.cpp.o.d"
+  "/root/repo/src/blk/raid0.cpp" "src/CMakeFiles/wfs_blk.dir/blk/raid0.cpp.o" "gcc" "src/CMakeFiles/wfs_blk.dir/blk/raid0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_blk.dir/blk/disk.cpp.o"
+  "CMakeFiles/wfs_blk.dir/blk/disk.cpp.o.d"
+  "CMakeFiles/wfs_blk.dir/blk/extent_set.cpp.o"
+  "CMakeFiles/wfs_blk.dir/blk/extent_set.cpp.o.d"
+  "CMakeFiles/wfs_blk.dir/blk/raid0.cpp.o"
+  "CMakeFiles/wfs_blk.dir/blk/raid0.cpp.o.d"
+  "libwfs_blk.a"
+  "libwfs_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/billing.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/billing.cpp.o.d"
+  "/root/repo/src/cloud/context_broker.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/context_broker.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/context_broker.cpp.o.d"
+  "/root/repo/src/cloud/instance_types.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/instance_types.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/instance_types.cpp.o.d"
+  "/root/repo/src/cloud/pricing.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/pricing.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/pricing.cpp.o.d"
+  "/root/repo/src/cloud/provisioner.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/provisioner.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/provisioner.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/CMakeFiles/wfs_cloud.dir/cloud/vm.cpp.o" "gcc" "src/CMakeFiles/wfs_cloud.dir/cloud/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

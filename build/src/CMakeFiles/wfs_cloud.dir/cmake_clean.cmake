@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_cloud.dir/cloud/billing.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/billing.cpp.o.d"
+  "CMakeFiles/wfs_cloud.dir/cloud/context_broker.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/context_broker.cpp.o.d"
+  "CMakeFiles/wfs_cloud.dir/cloud/instance_types.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/instance_types.cpp.o.d"
+  "CMakeFiles/wfs_cloud.dir/cloud/pricing.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/pricing.cpp.o.d"
+  "CMakeFiles/wfs_cloud.dir/cloud/provisioner.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/provisioner.cpp.o.d"
+  "CMakeFiles/wfs_cloud.dir/cloud/vm.cpp.o"
+  "CMakeFiles/wfs_cloud.dir/cloud/vm.cpp.o.d"
+  "libwfs_cloud.a"
+  "libwfs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

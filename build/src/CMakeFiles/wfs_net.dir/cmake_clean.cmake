@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/wfs_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/wfs_net.dir/net/flow_network.cpp.o"
+  "CMakeFiles/wfs_net.dir/net/flow_network.cpp.o.d"
+  "CMakeFiles/wfs_net.dir/net/nic.cpp.o"
+  "CMakeFiles/wfs_net.dir/net/nic.cpp.o.d"
+  "libwfs_net.a"
+  "libwfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_prof.dir/prof/wfprof.cpp.o"
+  "CMakeFiles/wfs_prof.dir/prof/wfprof.cpp.o.d"
+  "libwfs_prof.a"
+  "libwfs_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

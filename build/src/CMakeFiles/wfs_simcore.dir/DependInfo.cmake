@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cpp" "src/CMakeFiles/wfs_simcore.dir/simcore/event_queue.cpp.o" "gcc" "src/CMakeFiles/wfs_simcore.dir/simcore/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/resource.cpp" "src/CMakeFiles/wfs_simcore.dir/simcore/resource.cpp.o" "gcc" "src/CMakeFiles/wfs_simcore.dir/simcore/resource.cpp.o.d"
+  "/root/repo/src/simcore/rng.cpp" "src/CMakeFiles/wfs_simcore.dir/simcore/rng.cpp.o" "gcc" "src/CMakeFiles/wfs_simcore.dir/simcore/rng.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/CMakeFiles/wfs_simcore.dir/simcore/simulator.cpp.o" "gcc" "src/CMakeFiles/wfs_simcore.dir/simcore/simulator.cpp.o.d"
+  "/root/repo/src/simcore/trace.cpp" "src/CMakeFiles/wfs_simcore.dir/simcore/trace.cpp.o" "gcc" "src/CMakeFiles/wfs_simcore.dir/simcore/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

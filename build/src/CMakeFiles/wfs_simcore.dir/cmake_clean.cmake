@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_simcore.dir/simcore/event_queue.cpp.o"
+  "CMakeFiles/wfs_simcore.dir/simcore/event_queue.cpp.o.d"
+  "CMakeFiles/wfs_simcore.dir/simcore/resource.cpp.o"
+  "CMakeFiles/wfs_simcore.dir/simcore/resource.cpp.o.d"
+  "CMakeFiles/wfs_simcore.dir/simcore/rng.cpp.o"
+  "CMakeFiles/wfs_simcore.dir/simcore/rng.cpp.o.d"
+  "CMakeFiles/wfs_simcore.dir/simcore/simulator.cpp.o"
+  "CMakeFiles/wfs_simcore.dir/simcore/simulator.cpp.o.d"
+  "CMakeFiles/wfs_simcore.dir/simcore/trace.cpp.o"
+  "CMakeFiles/wfs_simcore.dir/simcore/trace.cpp.o.d"
+  "libwfs_simcore.a"
+  "libwfs_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

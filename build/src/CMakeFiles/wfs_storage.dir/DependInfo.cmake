@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/base/lru_cache.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/lru_cache.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/lru_cache.cpp.o.d"
+  "/root/repo/src/storage/base/metrics.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/metrics.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/metrics.cpp.o.d"
+  "/root/repo/src/storage/base/node_scratch.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/node_scratch.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/node_scratch.cpp.o.d"
+  "/root/repo/src/storage/base/path.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/path.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/path.cpp.o.d"
+  "/root/repo/src/storage/base/storage_system.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/storage_system.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/storage_system.cpp.o.d"
+  "/root/repo/src/storage/base/wb_cache.cpp" "src/CMakeFiles/wfs_storage.dir/storage/base/wb_cache.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/base/wb_cache.cpp.o.d"
+  "/root/repo/src/storage/ebs/ebs_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/ebs/ebs_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/ebs/ebs_fs.cpp.o.d"
+  "/root/repo/src/storage/gluster/gluster_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/gluster/gluster_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/gluster/gluster_fs.cpp.o.d"
+  "/root/repo/src/storage/gluster/layouts.cpp" "src/CMakeFiles/wfs_storage.dir/storage/gluster/layouts.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/gluster/layouts.cpp.o.d"
+  "/root/repo/src/storage/gluster/translator.cpp" "src/CMakeFiles/wfs_storage.dir/storage/gluster/translator.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/gluster/translator.cpp.o.d"
+  "/root/repo/src/storage/gluster/xlator.cpp" "src/CMakeFiles/wfs_storage.dir/storage/gluster/xlator.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/gluster/xlator.cpp.o.d"
+  "/root/repo/src/storage/local/local_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/local/local_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/local/local_fs.cpp.o.d"
+  "/root/repo/src/storage/nfs/nfs_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/nfs/nfs_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/nfs/nfs_fs.cpp.o.d"
+  "/root/repo/src/storage/nfs/nfs_server.cpp" "src/CMakeFiles/wfs_storage.dir/storage/nfs/nfs_server.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/nfs/nfs_server.cpp.o.d"
+  "/root/repo/src/storage/p2p/p2p_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/p2p/p2p_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/p2p/p2p_fs.cpp.o.d"
+  "/root/repo/src/storage/pvfs/pvfs_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/pvfs/pvfs_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/pvfs/pvfs_fs.cpp.o.d"
+  "/root/repo/src/storage/s3/object_store.cpp" "src/CMakeFiles/wfs_storage.dir/storage/s3/object_store.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/s3/object_store.cpp.o.d"
+  "/root/repo/src/storage/s3/s3_client.cpp" "src/CMakeFiles/wfs_storage.dir/storage/s3/s3_client.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/s3/s3_client.cpp.o.d"
+  "/root/repo/src/storage/s3/s3_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/s3/s3_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/s3/s3_fs.cpp.o.d"
+  "/root/repo/src/storage/xtreemfs/xtreem_fs.cpp" "src/CMakeFiles/wfs_storage.dir/storage/xtreemfs/xtreem_fs.cpp.o" "gcc" "src/CMakeFiles/wfs_storage.dir/storage/xtreemfs/xtreem_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wf/abstract_workflow.cpp" "src/CMakeFiles/wfs_wf.dir/wf/abstract_workflow.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/abstract_workflow.cpp.o.d"
+  "/root/repo/src/wf/catalogs.cpp" "src/CMakeFiles/wfs_wf.dir/wf/catalogs.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/catalogs.cpp.o.d"
+  "/root/repo/src/wf/dag.cpp" "src/CMakeFiles/wfs_wf.dir/wf/dag.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/dag.cpp.o.d"
+  "/root/repo/src/wf/engine.cpp" "src/CMakeFiles/wfs_wf.dir/wf/engine.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/engine.cpp.o.d"
+  "/root/repo/src/wf/planner.cpp" "src/CMakeFiles/wfs_wf.dir/wf/planner.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/planner.cpp.o.d"
+  "/root/repo/src/wf/scheduler.cpp" "src/CMakeFiles/wfs_wf.dir/wf/scheduler.cpp.o" "gcc" "src/CMakeFiles/wfs_wf.dir/wf/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_wf.dir/wf/abstract_workflow.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/abstract_workflow.cpp.o.d"
+  "CMakeFiles/wfs_wf.dir/wf/catalogs.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/catalogs.cpp.o.d"
+  "CMakeFiles/wfs_wf.dir/wf/dag.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/dag.cpp.o.d"
+  "CMakeFiles/wfs_wf.dir/wf/engine.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/engine.cpp.o.d"
+  "CMakeFiles/wfs_wf.dir/wf/planner.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/planner.cpp.o.d"
+  "CMakeFiles/wfs_wf.dir/wf/scheduler.cpp.o"
+  "CMakeFiles/wfs_wf.dir/wf/scheduler.cpp.o.d"
+  "libwfs_wf.a"
+  "libwfs_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blk/disk_test.cpp" "tests/CMakeFiles/test_blk.dir/blk/disk_test.cpp.o" "gcc" "tests/CMakeFiles/test_blk.dir/blk/disk_test.cpp.o.d"
+  "/root/repo/tests/blk/extent_set_test.cpp" "tests/CMakeFiles/test_blk.dir/blk/extent_set_test.cpp.o" "gcc" "tests/CMakeFiles/test_blk.dir/blk/extent_set_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wfs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk.dir/blk/disk_test.cpp.o"
+  "CMakeFiles/test_blk.dir/blk/disk_test.cpp.o.d"
+  "CMakeFiles/test_blk.dir/blk/extent_set_test.cpp.o"
+  "CMakeFiles/test_blk.dir/blk/extent_set_test.cpp.o.d"
+  "test_blk"
+  "test_blk.pdb"
+  "test_blk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/backends_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/backends_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/base_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/base_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/ebs_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/ebs_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/layouts_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/layouts_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/p2p_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/p2p_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/s3_object_store_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/s3_object_store_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/xlator_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/xlator_test.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

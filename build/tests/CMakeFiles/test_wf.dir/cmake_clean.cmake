@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wf.dir/wf/dag_property_test.cpp.o"
+  "CMakeFiles/test_wf.dir/wf/dag_property_test.cpp.o.d"
+  "CMakeFiles/test_wf.dir/wf/dag_test.cpp.o"
+  "CMakeFiles/test_wf.dir/wf/dag_test.cpp.o.d"
+  "CMakeFiles/test_wf.dir/wf/retry_test.cpp.o"
+  "CMakeFiles/test_wf.dir/wf/retry_test.cpp.o.d"
+  "CMakeFiles/test_wf.dir/wf/scheduler_edge_test.cpp.o"
+  "CMakeFiles/test_wf.dir/wf/scheduler_edge_test.cpp.o.d"
+  "CMakeFiles/test_wf.dir/wf/scheduler_engine_test.cpp.o"
+  "CMakeFiles/test_wf.dir/wf/scheduler_engine_test.cpp.o.d"
+  "test_wf"
+  "test_wf.pdb"
+  "test_wf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

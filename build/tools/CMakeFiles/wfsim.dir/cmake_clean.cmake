@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsim.dir/wfsim.cpp.o"
+  "CMakeFiles/wfsim.dir/wfsim.cpp.o.d"
+  "wfsim"
+  "wfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
