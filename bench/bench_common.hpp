@@ -9,6 +9,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
 
 namespace wfs::bench {
 
@@ -54,6 +55,14 @@ inline double benchScale() {
   return 1.0;
 }
 
+/// Sweep worker threads from WFS_BENCH_JOBS (default/<=0 = all hardware
+/// threads). Results are byte-identical for any value — cells are isolated
+/// simulators merged by grid index.
+inline int benchJobs() {
+  if (const char* env = std::getenv("WFS_BENCH_JOBS")) return std::atoi(env);
+  return 0;
+}
+
 struct SweepResult {
   std::map<std::pair<int, int>, ExperimentResult> cells;  // (kindIdx, nodes)
 
@@ -63,10 +72,13 @@ struct SweepResult {
   }
 };
 
-/// Runs app x {systems} x {node counts}; skips invalid cells.
+/// Runs app x {systems} x {node counts} on a SweepRunner pool
+/// (WFS_BENCH_JOBS workers); skips invalid cells. Exits the bench on a
+/// failed cell — a figure with holes would pass/fail meaninglessly.
 inline SweepResult runSweep(App app, double scale) {
-  SweepResult out;
   const auto& kinds = figureSystems();
+  std::vector<ExperimentConfig> cells;
+  std::vector<std::pair<int, int>> keys;
   for (std::size_t k = 0; k < kinds.size(); ++k) {
     for (const int n : figureNodeCounts()) {
       if (!validCell(kinds[k], n)) continue;
@@ -75,11 +87,29 @@ inline SweepResult runSweep(App app, double scale) {
       cfg.storage = kinds[k];
       cfg.workerNodes = n;
       cfg.appScale = scale;
-      std::fprintf(stderr, "  running %s / %s / %d nodes...\n", toString(app),
-                   toString(kinds[k]), n);
-      out.cells.emplace(std::make_pair(static_cast<int>(k), n),
-                        analysis::runExperiment(cfg));
+      cells.push_back(cfg);
+      keys.emplace_back(static_cast<int>(k), n);
     }
+  }
+
+  analysis::SweepRunner::Options opt;
+  opt.threads = benchJobs();
+  opt.progress = [](std::size_t done, std::size_t total,
+                    const analysis::SweepCellResult& cell) {
+    std::fprintf(stderr, "  [%zu/%zu] %s / %s / %d nodes%s\n", done, total,
+                 toString(cell.config.app), toString(cell.config.storage),
+                 cell.config.workerNodes, cell.ok ? "" : " FAILED");
+  };
+  auto results = analysis::SweepRunner{opt}.run(std::move(cells));
+
+  SweepResult out;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      std::fprintf(stderr, "cell %s failed: %s\n", results[i].label().c_str(),
+                   results[i].error.c_str());
+      std::exit(1);
+    }
+    out.cells.emplace(keys[i], std::move(results[i].result));
   }
   return out;
 }

@@ -91,6 +91,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   }
 
   sim::Simulator sim;
+  sim.trace().enable(cfg.trace);
   net::FlowNetwork net{sim};
   net::Fabric fabric{net, net::Fabric::Config{}};
   sim::Rng rng{cfg.seed};

@@ -46,6 +46,10 @@ struct ExperimentConfig {
   /// Scales workload size for affordable runs; 1.0 = published workload.
   double appScale = 1.0;
   std::uint64_t seed = 42;
+  /// Enables the run's simulator-local event trace (stderr). Leave off in
+  /// parallel sweeps: each cell's lines are internally ordered but cells
+  /// interleave on the shared stream.
+  bool trace = false;
 };
 
 struct ExperimentResult {

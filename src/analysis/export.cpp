@@ -14,6 +14,32 @@ std::string escapeDot(const std::string& s) {
   }
   return out;
 }
+
+std::string jsonString(const std::string& s) {
+  std::string out = "\"";
+  char buf[8];
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Shortest round-trippable decimal; %.17g digits beyond what's needed
+/// would still be deterministic but make the files unreadable.
+std::string jsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
 }  // namespace
 
 std::string toDot(const wf::Dag& dag, const std::string& graphName) {
@@ -65,6 +91,57 @@ std::string ganttCsv(const prof::WfProf& prof) {
     std::snprintf(buf, sizeof buf, "%d,%.3f,%.3f,%d,%s\n", t->node, t->startSeconds,
                   t->endSeconds, t->jobId, t->transformation.c_str());
     out += buf;
+  }
+  return out;
+}
+
+std::string cellJson(const SweepCellResult& cell) {
+  const ExperimentConfig& cfg = cell.config;
+  std::string out = "{";
+  auto field = [&out](const char* key, std::string value) {
+    if (out.size() > 1) out += ",";
+    out += "\"";
+    out += key;
+    out += "\":";
+    out += value;
+  };
+  field("app", jsonString(toString(cfg.app)));
+  field("storage", jsonString(toString(cfg.storage)));
+  field("nodes", std::to_string(cfg.workerNodes));
+  field("worker_type", jsonString(cfg.workerType));
+  if (cfg.storage == StorageKind::kNfs) field("nfs_server", jsonString(cfg.nfsServerType));
+  field("scale", jsonNumber(cfg.appScale));
+  field("seed", std::to_string(cfg.seed));
+  field("cluster_factor", std::to_string(cfg.clusterFactor));
+  field("data_aware", cfg.dataAwareScheduling ? "true" : "false");
+  field("first_write_penalty", cfg.firstWritePenalty ? "true" : "false");
+  if (!cell.ok) {
+    field("error", jsonString(cell.error));
+    return out + "}";
+  }
+  const ExperimentResult& r = cell.result;
+  field("workflow", jsonString(r.workflowName));
+  field("tasks", std::to_string(r.tasks));
+  field("makespan_s", jsonNumber(r.makespanSeconds));
+  field("cost_hourly", jsonNumber(r.cost.totalHourly()));
+  field("cost_per_second", jsonNumber(r.cost.totalPerSecond()));
+  field("s3_request_cost", jsonNumber(r.cost.s3RequestCost));
+  field("read_ops", std::to_string(r.storageMetrics.readOps));
+  field("write_ops", std::to_string(r.storageMetrics.writeOps));
+  field("bytes_read", std::to_string(r.storageMetrics.bytesRead));
+  field("bytes_written", std::to_string(r.storageMetrics.bytesWritten));
+  field("cache_hit_rate", jsonNumber(r.storageMetrics.cacheHitRate()));
+  field("io_level", jsonString(prof::toString(r.profile.ioLevel)));
+  field("mem_level", jsonString(prof::toString(r.profile.memoryLevel)));
+  field("cpu_level", jsonString(prof::toString(r.profile.cpuLevel)));
+  return out + "}";
+}
+
+std::string sweepJsonl(const std::vector<SweepCellResult>& cells) {
+  std::string out;
+  for (const auto& c : cells) {
+    out += cellJson(c);
+    out += "\n";
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "analysis/sweep.hpp"
 #include "prof/wfprof.hpp"
 #include "wf/dag.hpp"
 
@@ -20,5 +21,16 @@ namespace wfs::analysis {
 /// Host utilization Gantt as CSV rows (node,start,end,job,transformation),
 /// sorted by node then start time — loadable into any plotting tool.
 [[nodiscard]] std::string ganttCsv(const prof::WfProf& prof);
+
+/// One sweep cell as a single-line JSON object (no trailing newline).
+/// Key order and number formatting are fixed, so equal results serialize
+/// to equal bytes — the basis of the cross-thread-count determinism checks
+/// and of diffing sweep outputs across PRs. Failed cells carry an "error"
+/// key instead of the result keys.
+[[nodiscard]] std::string cellJson(const SweepCellResult& cell);
+
+/// Whole sweep as JSONL: one cellJson line per cell, in grid order,
+/// each line newline-terminated.
+[[nodiscard]] std::string sweepJsonl(const std::vector<SweepCellResult>& cells);
 
 }  // namespace wfs::analysis

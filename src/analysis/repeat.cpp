@@ -1,18 +1,34 @@
 #include "analysis/repeat.hpp"
 
+#include <stdexcept>
+
+#include "analysis/sweep.hpp"
+
 namespace wfs::analysis {
 
 RepeatedResult repeatExperiment(ExperimentConfig cfg,
-                                const std::vector<std::uint64_t>& seeds) {
-  RepeatedResult out;
-  out.runs.reserve(seeds.size());
+                                const std::vector<std::uint64_t>& seeds, int jobs) {
+  std::vector<ExperimentConfig> cells;
+  cells.reserve(seeds.size());
   for (const std::uint64_t seed : seeds) {
     cfg.seed = seed;
-    ExperimentResult r = runExperiment(cfg);
-    out.makespan.add(r.makespanSeconds);
-    out.costHourly.add(r.cost.totalHourly());
-    out.costPerSecond.add(r.cost.totalPerSecond());
-    out.runs.push_back(std::move(r));
+    cells.push_back(cfg);
+  }
+
+  SweepRunner::Options opt;
+  opt.threads = jobs;
+  std::vector<SweepCellResult> ran = SweepRunner{opt}.run(std::move(cells));
+
+  RepeatedResult out;
+  out.runs.reserve(ran.size());
+  for (SweepCellResult& cell : ran) {
+    if (!cell.ok) {
+      throw std::runtime_error("repeat cell " + cell.label() + " failed: " + cell.error);
+    }
+    out.makespan.add(cell.result.makespanSeconds);
+    out.costHourly.add(cell.result.cost.totalHourly());
+    out.costPerSecond.add(cell.result.cost.totalPerSecond());
+    out.runs.push_back(std::move(cell.result));
   }
   return out;
 }

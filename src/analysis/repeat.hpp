@@ -22,7 +22,13 @@ struct RepeatedResult {
 /// per seed (task runtime/file-size jitter), so the spread reflects
 /// workload variability, not nondeterminism — identical seed lists always
 /// reproduce identical aggregates.
+///
+/// Runs fan out over a SweepRunner pool (`jobs` threads, <= 0 = hardware
+/// concurrency); aggregation is in seed-list order regardless of which
+/// worker finishes first, so the result is independent of `jobs`.
+/// Throws if any seed's run fails.
 [[nodiscard]] RepeatedResult repeatExperiment(ExperimentConfig cfg,
-                                              const std::vector<std::uint64_t>& seeds);
+                                              const std::vector<std::uint64_t>& seeds,
+                                              int jobs = 1);
 
 }  // namespace wfs::analysis

@@ -1,0 +1,108 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace wfs::analysis {
+
+std::string SweepCellResult::label() const {
+  return std::string(toString(config.app)) + "/" + toString(config.storage) + "/" +
+         std::to_string(config.workerNodes) + "n/seed" + std::to_string(config.seed);
+}
+
+namespace {
+
+/// One worker's queue of cell indices. The owner pops from the front;
+/// thieves steal from the back, so stolen cells are the ones the owner
+/// would have reached last.
+struct WorkQueue {
+  std::mutex m;
+  std::deque<std::size_t> q;
+
+  bool popFront(std::size_t& out) {
+    std::lock_guard lk{m};
+    if (q.empty()) return false;
+    out = q.front();
+    q.pop_front();
+    return true;
+  }
+  bool stealBack(std::size_t& out) {
+    std::lock_guard lk{m};
+    if (q.empty()) return false;
+    out = q.back();
+    q.pop_back();
+    return true;
+  }
+};
+
+void runCell(SweepCellResult& slot) {
+  try {
+    slot.result = runExperiment(slot.config);
+    slot.ok = true;
+  } catch (const std::exception& e) {
+    slot.error = e.what();
+  } catch (...) {
+    slot.error = "unknown error";
+  }
+}
+
+}  // namespace
+
+int SweepRunner::resolveThreads(std::size_t cells) const {
+  std::size_t n = opt_.threads > 0 ? static_cast<std::size_t>(opt_.threads)
+                                   : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(std::clamp<std::size_t>(cells, 1, n));
+}
+
+std::vector<SweepCellResult> SweepRunner::run(std::vector<ExperimentConfig> cells) const {
+  std::vector<SweepCellResult> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) results[i].config = std::move(cells[i]);
+  if (results.empty()) return results;
+
+  const int workers = resolveThreads(results.size());
+  if (workers == 1) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      runCell(results[i]);
+      if (opt_.progress) opt_.progress(i + 1, results.size(), results[i]);
+    }
+    return results;
+  }
+
+  // Deal cells round-robin: the expensive large-node-count cells sit next
+  // to each other in a typical grid, and round-robin spreads them across
+  // workers; stealing mops up whatever imbalance remains.
+  std::vector<WorkQueue> queues(static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    queues[i % static_cast<std::size_t>(workers)].q.push_back(i);
+  }
+
+  std::mutex progressMutex;
+  std::size_t done = 0;
+  auto work = [&](int self) {
+    std::size_t idx = 0;
+    for (;;) {
+      bool have = queues[static_cast<std::size_t>(self)].popFront(idx);
+      for (int off = 1; off < workers && !have; ++off) {
+        have = queues[static_cast<std::size_t>((self + off) % workers)].stealBack(idx);
+      }
+      // Cells are only ever removed from the queues, so one empty scan
+      // means this worker is permanently out of work.
+      if (!have) return;
+      runCell(results[idx]);
+      if (opt_.progress) {
+        std::lock_guard lk{progressMutex};
+        opt_.progress(++done, results.size(), results[idx]);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(work, w);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace wfs::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace wfs::analysis {
+
+/// Outcome of one grid cell. Cells that throw (e.g. an invalid
+/// storage/node-count combination) are recorded in place rather than
+/// aborting the sweep, so a grid's result vector always has one entry per
+/// input cell, in input order.
+struct SweepCellResult {
+  ExperimentConfig config;
+  bool ok = false;
+  std::string error;        // set when !ok
+  ExperimentResult result;  // valid when ok
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Work-stealing thread-pool executor for experiment grids.
+///
+/// The paper's result set (Figs 2–7, Table I) is a grid of independent
+/// deterministic simulations — app × storage × nodes × seed. SweepRunner
+/// fans a grid out over worker threads, one fully isolated Simulator per
+/// cell, and merges results by cell index.
+///
+/// Invariants (see docs/ARCHITECTURE.md "Parallelism & isolation"):
+///  * each cell builds its own Simulator, RNG, storage and cloud world on
+///    the worker thread that claimed it — no mutable state is shared
+///    between cells;
+///  * results land in the slot of their input index, so the merged vector
+///    (and anything rendered from it, e.g. sweepJsonl) is bit-identical
+///    for any thread count, including 1.
+class SweepRunner {
+ public:
+  /// Called after each finished cell, serialized by an internal mutex, so
+  /// it may freely write to stderr or mutate caller state.
+  using Progress =
+      std::function<void(std::size_t done, std::size_t total, const SweepCellResult& cell)>;
+
+  struct Options {
+    /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+    int threads = 0;
+    Progress progress;
+  };
+
+  SweepRunner() = default;
+  explicit SweepRunner(Options opt) : opt_{std::move(opt)} {}
+
+  /// Runs every cell and returns one result per cell, in input order.
+  [[nodiscard]] std::vector<SweepCellResult> run(std::vector<ExperimentConfig> cells) const;
+
+  /// The worker count `run` would use for a grid of `cells` cells.
+  [[nodiscard]] int resolveThreads(std::size_t cells) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace wfs::analysis

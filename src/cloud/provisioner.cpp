@@ -1,5 +1,7 @@
 #include "cloud/provisioner.hpp"
 
+#include "simcore/trace.hpp"
+
 namespace wfs::cloud {
 
 Provisioner::Provisioner(sim::Simulator& sim, net::FlowNetwork& net, BillingEngine& billing,
@@ -11,6 +13,7 @@ std::unique_ptr<Vm> Provisioner::request(const std::string& typeName,
   const InstanceType& type = instanceCatalog().get(typeName);
   auto vm = std::make_unique<Vm>(*sim_, *net_, type, hostname, cfg_.vmOptions);
   open_.push_back(Pending{&type, sim_->now()});
+  WFS_TRACE(sim::TraceCat::kCloud, *sim_, "provision " + typeName + " as " + hostname);
   return vm;
 }
 

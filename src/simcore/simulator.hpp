@@ -8,6 +8,7 @@
 #include "simcore/event_queue.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
+#include "simcore/trace.hpp"
 
 namespace wfs::sim {
 
@@ -76,6 +77,11 @@ class Simulator {
   /// Number of live root processes (spawned, not yet finished).
   [[nodiscard]] std::size_t liveProcesses() const { return detached_.size(); }
 
+  /// This simulation world's log sink (see WFS_TRACE). Simulator-local so
+  /// concurrent simulators (SweepRunner workers) never share mutable state.
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
  private:
   friend struct detail::DetachedHandle;
   void unregisterDetached(void* addr) { detached_.erase(addr); }
@@ -83,6 +89,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = SimTime::origin();
   std::unordered_set<void*> detached_;
+  Trace trace_;
 };
 
 /// Runs all tasks as root processes and completes when every one has

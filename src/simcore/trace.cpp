@@ -1,14 +1,10 @@
 #include "simcore/trace.hpp"
 
+#include <cstdio>
+
 namespace wfs::sim {
 
-Trace& Trace::instance() {
-  static Trace t;
-  return t;
-}
-
-namespace {
-const char* catName(TraceCat c) {
+const char* toString(TraceCat c) {
   switch (c) {
     case TraceCat::kKernel: return "kernel";
     case TraceCat::kNet: return "net";
@@ -20,10 +16,15 @@ const char* catName(TraceCat c) {
   }
   return "?";
 }
-}  // namespace
 
 void Trace::log(TraceCat cat, SimTime t, const std::string& msg) const {
-  std::fprintf(stderr, "[%12.6f] %-7s %s\n", t.asSeconds(), catName(cat), msg.c_str());
+  char head[48];
+  std::snprintf(head, sizeof head, "[%12.6f] %-7s ", t.asSeconds(), toString(cat));
+  if (sink_) {
+    sink_(head + msg);
+  } else {
+    std::fprintf(stderr, "%s%s\n", head, msg.c_str());
+  }
 }
 
 }  // namespace wfs::sim

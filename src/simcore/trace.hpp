@@ -1,6 +1,6 @@
 #pragma once
 
-#include <cstdio>
+#include <functional>
 #include <string>
 
 #include "simcore/time.hpp"
@@ -10,27 +10,44 @@ namespace wfs::sim {
 /// Trace categories roughly follow the subsystems.
 enum class TraceCat { kKernel, kNet, kDisk, kStorage, kCloud, kWorkflow, kApp };
 
-/// Minimal logging sink. Disabled by default; experiments enable it for
-/// debugging. Not a metrics system — quantitative counters live in each
-/// subsystem's metrics structs.
+[[nodiscard]] const char* toString(TraceCat cat);
+
+/// Minimal logging sink, owned by a Simulator (one per simulation world).
+/// Disabled by default; experiments enable it for debugging.
+///
+/// There is deliberately no process-global instance: SweepRunner executes
+/// many Simulators concurrently, and a shared sink would interleave their
+/// output (and race). Each Simulator owns its Trace; redirect it with
+/// `setSink` to capture one world's log in isolation.
+///
+/// Not a metrics system — quantitative counters live in each subsystem's
+/// metrics structs.
 class Trace {
  public:
-  static Trace& instance();
+  /// Receives one formatted line (no trailing newline).
+  using Sink = std::function<void(const std::string& line)>;
+
+  Trace() = default;
 
   void enable(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Redirects output; an empty function restores the default (stderr).
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+
   void log(TraceCat cat, SimTime t, const std::string& msg) const;
 
  private:
-  Trace() = default;
   bool enabled_ = false;
+  Sink sink_;
 };
 
+/// `sim` is anything exposing `trace()` and `now()` — in practice a
+/// Simulator (or a reference to one).
 #define WFS_TRACE(cat, sim, msg)                                             \
   do {                                                                       \
-    if (::wfs::sim::Trace::instance().enabled()) {                           \
-      ::wfs::sim::Trace::instance().log((cat), (sim).now(), (msg));          \
+    if ((sim).trace().enabled()) {                                           \
+      (sim).trace().log((cat), (sim).now(), (msg));                          \
     }                                                                        \
   } while (0)
 

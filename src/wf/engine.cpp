@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simcore/trace.hpp"
+
 namespace wfs::wf {
 
 DagmanEngine::DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workflow,
@@ -78,6 +80,10 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
       memLease = co_await mem.scoped(job.peakMemory);
     }
 
+    WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+              "job " + job.name + " starts on node " + std::to_string(node) +
+                  (attempt > 0 ? " (attempt " + std::to_string(attempt + 1) + ")" : ""));
+
     trace = prof::TaskTrace{};
     trace.jobId = id;
     trace.transformation = job.transformation;
@@ -114,6 +120,8 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
         faultRng_.nextDouble() < opt_.transientFailureProb) {
       co_await sim_->delay(
           sim::Duration::fromSeconds(computeSeconds * faultRng_.nextDouble()));
+      WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+                "job " + job.name + " failed transiently on node " + std::to_string(node));
       memLease.release();
       scheduler_->releaseSlot(node);
       ++retries_;
@@ -143,6 +151,8 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
   memLease.release();
   scheduler_->releaseSlot(node);
   if (prof_ != nullptr) prof_->record(std::move(trace));
+
+  WFS_TRACE(sim::TraceCat::kWorkflow, *sim_, "job " + job.name + " done");
 
   done_[static_cast<std::size_t>(id)] = true;
   if (!failed_) submitReadyChildren(id);

@@ -16,12 +16,14 @@
 ///                  scheduler
 ///  - wfs::prof     wfprof-style application profiling (Table I)
 ///  - wfs::apps     Montage / Broadband / Epigenome workload generators
-///  - wfs::analysis one-call experiment driver and table rendering
+///  - wfs::analysis one-call experiment driver, parallel sweep executor,
+///                  and table/JSONL rendering
 
 #include "analysis/experiment.hpp"
 #include "analysis/export.hpp"
 #include "analysis/repeat.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
 #include "apps/broadband.hpp"
 #include "apps/epigenome.hpp"
 #include "apps/montage.hpp"

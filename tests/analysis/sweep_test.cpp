@@ -1,0 +1,172 @@
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "analysis/repeat.hpp"
+
+namespace wfs::analysis {
+namespace {
+
+/// A small but heterogeneous Montage grid — the Fig 2 axes at toy scale.
+std::vector<ExperimentConfig> smallMontageGrid() {
+  std::vector<ExperimentConfig> cells;
+  for (const StorageKind kind : {StorageKind::kLocal, StorageKind::kS3, StorageKind::kNfs,
+                                 StorageKind::kGlusterNufa}) {
+    for (const int nodes : {1, 2, 4}) {
+      if (kind == StorageKind::kLocal && nodes != 1) continue;
+      if (kind == StorageKind::kGlusterNufa && nodes < 2) continue;
+      ExperimentConfig cfg;
+      cfg.app = App::kMontage;
+      cfg.storage = kind;
+      cfg.workerNodes = nodes;
+      cfg.appScale = 0.05;
+      cells.push_back(cfg);
+    }
+  }
+  return cells;
+}
+
+TEST(SweepRunnerTest, ByteIdenticalJsonlAcrossThreadCounts) {
+  const std::vector<ExperimentConfig> grid = smallMontageGrid();
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    SweepRunner::Options opt;
+    opt.threads = threads;
+    const auto results = SweepRunner{opt}.run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    for (const auto& cell : results) EXPECT_TRUE(cell.ok) << cell.label() << ": " << cell.error;
+    const std::string jsonl = sweepJsonl(results);
+    if (threads == 1) {
+      reference = jsonl;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      // Byte-identical merge: results land by cell index, not completion
+      // order, so thread count must not show up in the output.
+      EXPECT_EQ(jsonl, reference) << "with " << threads << " threads";
+    }
+  }
+}
+
+TEST(SweepRunnerTest, RecordsFailedCellsInPlace) {
+  std::vector<ExperimentConfig> cells(3);
+  cells[0].storage = StorageKind::kLocal;
+  cells[0].workerNodes = 1;
+  cells[1].storage = StorageKind::kLocal;
+  cells[1].workerNodes = 4;  // invalid: node-attached storage is single-node
+  cells[2].storage = StorageKind::kNfs;
+  cells[2].workerNodes = 2;
+  for (auto& c : cells) c.appScale = 0.05;
+
+  SweepRunner::Options opt;
+  opt.threads = 2;
+  const auto results = SweepRunner{opt}.run(cells);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("node-attached"), std::string::npos) << results[1].error;
+  EXPECT_TRUE(results[2].ok);
+
+  // The failed cell serializes with an error key, valid neighbours normally.
+  const std::string line = cellJson(results[1]);
+  EXPECT_NE(line.find("\"error\":"), std::string::npos);
+  EXPECT_EQ(line.find("makespan_s"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, ProgressSeesEveryCellExactlyOnce) {
+  const std::vector<ExperimentConfig> grid = smallMontageGrid();
+  std::atomic<std::size_t> calls{0};
+  std::size_t lastDone = 0;
+  bool monotone = true;
+  SweepRunner::Options opt;
+  opt.threads = 4;
+  opt.progress = [&](std::size_t done, std::size_t total, const SweepCellResult&) {
+    // The callback is serialized, so `done` must tick 1..total in order.
+    calls.fetch_add(1);
+    if (done != lastDone + 1 || total != grid.size()) monotone = false;
+    lastDone = done;
+  };
+  const auto results = SweepRunner{opt}.run(grid);
+  EXPECT_EQ(calls.load(), grid.size());
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(lastDone, results.size());
+}
+
+TEST(SweepRunnerTest, EmptyGridAndThreadResolution) {
+  SweepRunner::Options opt;
+  opt.threads = 8;
+  EXPECT_TRUE(SweepRunner{opt}.run({}).empty());
+  EXPECT_EQ(SweepRunner{opt}.resolveThreads(3), 3);  // never more threads than cells
+  EXPECT_EQ(SweepRunner{opt}.resolveThreads(100), 8);
+  SweepRunner::Options one;
+  one.threads = 1;
+  EXPECT_EQ(SweepRunner{one}.resolveThreads(100), 1);
+  SweepRunner::Options autoThreads;  // 0 = hardware concurrency, at least 1
+  EXPECT_GE(SweepRunner{autoThreads}.resolveThreads(100), 1);
+}
+
+TEST(SweepRunnerTest, MatchesSerialRunExperiment) {
+  ExperimentConfig cfg;
+  cfg.app = App::kEpigenome;
+  cfg.storage = StorageKind::kS3;
+  cfg.workerNodes = 2;
+  cfg.appScale = 0.05;
+  const ExperimentResult serial = runExperiment(cfg);
+
+  SweepRunner::Options opt;
+  opt.threads = 2;
+  const auto viaPool = SweepRunner{opt}.run({cfg, cfg});
+  for (const auto& cell : viaPool) {
+    ASSERT_TRUE(cell.ok) << cell.error;
+    EXPECT_EQ(cell.result.makespanSeconds, serial.makespanSeconds);
+    EXPECT_EQ(cell.result.cost.totalHourly(), serial.cost.totalHourly());
+    EXPECT_EQ(cell.result.storageMetrics.bytesWritten, serial.storageMetrics.bytesWritten);
+  }
+}
+
+TEST(RepeatExperimentTest, ParallelAggregateMatchesSerial) {
+  ExperimentConfig cfg;
+  cfg.app = App::kMontage;
+  cfg.storage = StorageKind::kNfs;
+  cfg.workerNodes = 2;
+  cfg.appScale = 0.05;
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+  const RepeatedResult serial = repeatExperiment(cfg, seeds, 1);
+  const RepeatedResult parallel = repeatExperiment(cfg, seeds, 4);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  EXPECT_EQ(serial.makespan.mean(), parallel.makespan.mean());
+  EXPECT_EQ(serial.costHourly.mean(), parallel.costHourly.mean());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].makespanSeconds, parallel.runs[i].makespanSeconds) << i;
+  }
+}
+
+TEST(SweepJsonlTest, OneLinePerCellWithStableKeys) {
+  std::vector<ExperimentConfig> cells(2);
+  cells[0].app = App::kEpigenome;
+  cells[0].storage = StorageKind::kLocal;
+  cells[0].workerNodes = 1;
+  cells[0].appScale = 0.05;
+  cells[1] = cells[0];
+  cells[1].storage = StorageKind::kNfs;
+  cells[1].workerNodes = 2;
+  const auto results = SweepRunner{}.run(cells);
+  const std::string jsonl = sweepJsonl(results);
+
+  std::size_t lines = 0;
+  for (const char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.find("\"app\":\"epigenome\""), jsonl.find('{') + 1);
+  EXPECT_NE(jsonl.find("\"storage\":\"nfs\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"nfs_server\":\"m1.xlarge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"makespan_s\":"), std::string::npos);
+  // nfs_server only appears on the NFS cell.
+  EXPECT_EQ(jsonl.find("\"nfs_server\""), jsonl.rfind("\"nfs_server\""));
+}
+
+}  // namespace
+}  // namespace wfs::analysis

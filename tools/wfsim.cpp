@@ -1,26 +1,34 @@
 // wfsim — command-line front end to the simulator.
 //
-//   wfsim run    <app> <storage> <nodes> [--scale S] [--seed N]
+//   wfsim run    <app> <storage> <nodes> [--scale S] [--seed N] [--trace]
 //                [--data-aware] [--no-first-write-penalty] [--cluster K]
 //                [--nfs-server TYPE]
-//   wfsim sweep  <app> [--scale S]          reproduce one performance figure
-//   wfsim repeat <app> <storage> <nodes> [--scale S] [--reps R]
-//   wfsim table1 [--scale S]                reproduce Table I
-//   wfsim list                              storage systems & instance types
+//   wfsim sweep  <app> [--jobs N] [--jsonl FILE]   reproduce one performance figure
+//   wfsim repeat <app> <storage> <nodes> [--reps R] [--jobs N]
+//   wfsim table1 [--scale S]                       reproduce Table I
+//   wfsim list                                     storage systems & instance types
+//
+// Sweeps fan out over a work-stealing thread pool (analysis::SweepRunner),
+// one isolated simulator per grid cell; results are merged by cell index,
+// so stdout and --jsonl output are byte-identical for any --jobs value.
 //
 // Examples:
 //   wfsim run broadband s3 4 --scale 0.25
-//   wfsim sweep montage --scale 0.1
-//   wfsim repeat epigenome nfs 4 --reps 5
+//   wfsim sweep montage --jobs $(nproc) --jsonl montage.jsonl
+//   wfsim repeat epigenome nfs 4 --reps 5 --jobs 2
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/repeat.hpp"
+#include "analysis/sweep.hpp"
 #include "wfcloudsim.hpp"
 
 namespace {
@@ -40,8 +48,9 @@ using namespace wfs::analysis;
                "apps:     montage | broadband | epigenome\n"
                "storage:  local | s3 | nfs | gluster-nufa | gluster-dist | pvfs |\n"
                "          xtreemfs | p2p\n"
-               "options:  --scale S  --seed N  --reps R  --cluster K  --data-aware\n"
-               "          --no-first-write-penalty  --nfs-server TYPE\n");
+               "options:  --jobs N   --jsonl FILE  --scale S  --seed N  --reps R\n"
+               "          --cluster K  --data-aware  --no-first-write-penalty\n"
+               "          --nfs-server TYPE  --trace\n");
   std::exit(2);
 }
 
@@ -68,9 +77,14 @@ struct Cli {
   std::uint64_t seed = 42;
   int reps = 5;
   int clusterFactor = 1;
+  /// Sweep worker threads; 0 = all hardware threads.
+  int jobs = 0;
   bool dataAware = false;
   bool firstWritePenalty = true;
+  bool trace = false;
   std::string nfsServer = "m1.xlarge";
+  /// JSONL sweep output; empty = none, "-" = stdout.
+  std::string jsonl;
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -89,10 +103,16 @@ Cli parseArgs(int argc, char** argv) {
       cli.reps = std::atoi(next().c_str());
     } else if (a == "--cluster") {
       cli.clusterFactor = std::atoi(next().c_str());
+    } else if (a == "--jobs") {
+      cli.jobs = std::atoi(next().c_str());
+    } else if (a == "--jsonl") {
+      cli.jsonl = next();
     } else if (a == "--data-aware") {
       cli.dataAware = true;
     } else if (a == "--no-first-write-penalty") {
       cli.firstWritePenalty = false;
+    } else if (a == "--trace") {
+      cli.trace = true;
     } else if (a == "--nfs-server") {
       cli.nfsServer = next();
     } else if (a.rfind("--", 0) == 0) {
@@ -118,6 +138,30 @@ ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) 
   return cfg;
 }
 
+SweepRunner makeRunner(const Cli& cli) {
+  SweepRunner::Options opt;
+  opt.threads = cli.jobs;
+  opt.progress = [](std::size_t done, std::size_t total, const SweepCellResult& cell) {
+    std::fprintf(stderr, "[%zu/%zu] %s%s\n", done, total, cell.label().c_str(),
+                 cell.ok ? "" : (" FAILED: " + cell.error).c_str());
+  };
+  return SweepRunner{opt};
+}
+
+void writeJsonl(const Cli& cli, const std::vector<SweepCellResult>& cells) {
+  if (cli.jsonl.empty()) return;
+  const std::string out = sweepJsonl(cells);
+  if (cli.jsonl == "-") {
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(cli.jsonl.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + cli.jsonl);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu cells to %s\n", cells.size(), cli.jsonl.c_str());
+}
+
 void printResult(const ExperimentResult& r) {
   std::printf("workflow   : %s (%d tasks)\n", r.workflowName.c_str(), r.tasks);
   std::printf("storage    : %s\n", r.storageName.c_str());
@@ -135,9 +179,11 @@ void printResult(const ExperimentResult& r) {
 
 int cmdRun(const Cli& cli) {
   if (cli.positional.size() != 3) usage("run needs <app> <storage> <nodes>");
-  const auto r = runExperiment(toConfig(cli, parseApp(cli.positional[0]),
-                                        parseStorage(cli.positional[1]),
-                                        std::atoi(cli.positional[2].c_str())));
+  ExperimentConfig cfg = toConfig(cli, parseApp(cli.positional[0]),
+                                  parseStorage(cli.positional[1]),
+                                  std::atoi(cli.positional[2].c_str()));
+  cfg.trace = cli.trace;
+  const auto r = runExperiment(cfg);
   printResult(r);
   return 0;
 }
@@ -145,33 +191,49 @@ int cmdRun(const Cli& cli) {
 int cmdSweep(const Cli& cli) {
   if (cli.positional.size() != 1) usage("sweep needs <app>");
   const App app = parseApp(cli.positional[0]);
-  std::vector<Series> series;
   const StorageKind kinds[] = {StorageKind::kLocal,       StorageKind::kS3,
                                StorageKind::kNfs,         StorageKind::kGlusterNufa,
                                StorageKind::kGlusterDist, StorageKind::kPvfs};
   const int nodeCounts[] = {1, 2, 4, 8};
+
+  // Flatten the valid cells of the grid; (kind, node) indices to refold
+  // the index-ordered results into the figure's series.
+  std::vector<ExperimentConfig> cells;
+  std::vector<std::pair<std::size_t, std::size_t>> keys;
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    for (std::size_t ni = 0; ni < std::size(nodeCounts); ++ni) {
+      const int n = nodeCounts[ni];
+      const bool valid =
+          !(kinds[k] == StorageKind::kLocal && n != 1) &&
+          !((kinds[k] == StorageKind::kGlusterNufa || kinds[k] == StorageKind::kGlusterDist ||
+             kinds[k] == StorageKind::kPvfs) &&
+            n < 2);
+      if (!valid) continue;
+      cells.push_back(toConfig(cli, app, kinds[k], n));
+      keys.emplace_back(k, ni);
+    }
+  }
+
+  const auto results = makeRunner(cli).run(std::move(cells));
+
+  std::vector<Series> series;
   for (const StorageKind kind : kinds) {
     Series s;
     s.label = toString(kind);
-    for (const int n : nodeCounts) {
-      const bool valid =
-          !(kind == StorageKind::kLocal && n != 1) &&
-          !((kind == StorageKind::kGlusterNufa || kind == StorageKind::kGlusterDist ||
-             kind == StorageKind::kPvfs) &&
-            n < 2);
-      if (!valid) {
-        s.values.push_back(std::nan(""));
-        continue;
-      }
-      std::fprintf(stderr, "running %s x %d...\n", toString(kind), n);
-      s.values.push_back(runExperiment(toConfig(cli, app, kind, n)).makespanSeconds);
-    }
+    s.values.assign(std::size(nodeCounts), std::nan(""));
     series.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      throw std::runtime_error("cell " + results[i].label() + ": " + results[i].error);
+    }
+    series[keys[i].first].values[keys[i].second] = results[i].result.makespanSeconds;
   }
   std::printf("%s", renderTable(std::string(toString(app)) + " runtime",
                                 {"1 node", "2 nodes", "4 nodes", "8 nodes"}, series,
                                 "seconds")
                         .c_str());
+  writeJsonl(cli, results);
   return 0;
 }
 
@@ -182,7 +244,7 @@ int cmdRepeat(const Cli& cli) {
   const auto agg = repeatExperiment(toConfig(cli, parseApp(cli.positional[0]),
                                              parseStorage(cli.positional[1]),
                                              std::atoi(cli.positional[2].c_str())),
-                                    seeds);
+                                    seeds, cli.jobs);
   std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
               static_cast<unsigned long long>(seeds.front()),
               static_cast<unsigned long long>(seeds.back()));
@@ -196,14 +258,20 @@ int cmdRepeat(const Cli& cli) {
 }
 
 int cmdTable1(const Cli& cli) {
-  std::printf("%-12s %-8s %-8s %-8s\n", "Application", "I/O", "Memory", "CPU");
+  std::vector<ExperimentConfig> cells;
   for (const App app : {App::kMontage, App::kBroadband, App::kEpigenome}) {
-    ExperimentConfig cfg = toConfig(cli, app, StorageKind::kLocal, 1);
-    std::fprintf(stderr, "profiling %s...\n", toString(app));
-    const auto r = runExperiment(cfg);
-    std::printf("%-12s %-8s %-8s %-8s\n", toString(app), toString(r.profile.ioLevel),
-                toString(r.profile.memoryLevel), toString(r.profile.cpuLevel));
+    cells.push_back(toConfig(cli, app, StorageKind::kLocal, 1));
   }
+  const auto results = makeRunner(cli).run(std::move(cells));
+  std::printf("%-12s %-8s %-8s %-8s\n", "Application", "I/O", "Memory", "CPU");
+  for (const auto& cell : results) {
+    if (!cell.ok) throw std::runtime_error("cell " + cell.label() + ": " + cell.error);
+    const auto& r = cell.result;
+    std::printf("%-12s %-8s %-8s %-8s\n", toString(cell.config.app),
+                toString(r.profile.ioLevel), toString(r.profile.memoryLevel),
+                toString(r.profile.cpuLevel));
+  }
+  writeJsonl(cli, results);
   return 0;
 }
 
