@@ -146,4 +146,61 @@ std::string sweepJsonl(const std::vector<SweepCellResult>& cells) {
   return out;
 }
 
+std::string metricsJsonl(const SweepCellResult& cell) {
+  if (!cell.ok) return "";
+  const ExperimentConfig& cfg = cell.config;
+  std::string out;
+  auto field = [](std::string& line, const char* key, std::string value) {
+    if (line.size() > 1) line += ",";
+    line += "\"";
+    line += key;
+    line += "\":";
+    line += value;
+  };
+  auto cellKeys = [&cfg, &field](std::string& line) {
+    field(line, "app", jsonString(toString(cfg.app)));
+    field(line, "storage", jsonString(toString(cfg.storage)));
+    field(line, "nodes", std::to_string(cfg.workerNodes));
+    field(line, "scale", jsonNumber(cfg.appScale));
+    field(line, "seed", std::to_string(cfg.seed));
+  };
+  const storage::StorageMetrics& m = cell.result.storageMetrics;
+  for (const storage::LayerMetrics& lm : m.layers) {
+    std::string line = "{";
+    cellKeys(line);
+    field(line, "layer", jsonString(lm.name));
+    field(line, "read_ops", std::to_string(lm.readOps));
+    field(line, "write_ops", std::to_string(lm.writeOps));
+    field(line, "scratch_ops", std::to_string(lm.scratchOps));
+    field(line, "discard_ops", std::to_string(lm.discardOps));
+    field(line, "preload_ops", std::to_string(lm.preloadOps));
+    field(line, "bytes_read", std::to_string(lm.bytesRead));
+    field(line, "bytes_written", std::to_string(lm.bytesWritten));
+    field(line, "cache_hits", std::to_string(lm.cacheHits));
+    field(line, "cache_misses", std::to_string(lm.cacheMisses));
+    field(line, "busy_s", jsonNumber(lm.busySeconds));
+    field(line, "self_s", jsonNumber(lm.selfSeconds));
+    field(line, "queue_s", jsonNumber(lm.queueSeconds));
+    out += line + "}\n";
+  }
+  for (std::size_t n = 0; n < m.nodes.size(); ++n) {
+    const storage::NodeIoMetrics& io = m.nodes[n];
+    std::string line = "{";
+    cellKeys(line);
+    field(line, "node", std::to_string(n));
+    field(line, "from_cache_bytes", std::to_string(io.fromCache));
+    field(line, "from_disk_bytes", std::to_string(io.fromDisk));
+    field(line, "from_network_bytes", std::to_string(io.fromNetwork));
+    field(line, "bytes_written", std::to_string(io.written));
+    out += line + "}\n";
+  }
+  return out;
+}
+
+std::string sweepMetricsJsonl(const std::vector<SweepCellResult>& cells) {
+  std::string out;
+  for (const auto& c : cells) out += metricsJsonl(c);
+  return out;
+}
+
 }  // namespace wfs::analysis

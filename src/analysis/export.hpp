@@ -33,4 +33,14 @@ namespace wfs::analysis {
 /// each line newline-terminated.
 [[nodiscard]] std::string sweepJsonl(const std::vector<SweepCellResult>& cells);
 
+/// Per-layer ledger and per-node read-source breakdown of one cell as
+/// JSONL (newline-terminated lines; empty for failed cells). Layer lines
+/// carry a "layer" key, node lines a "node" key; key order and number
+/// formatting are fixed so equal runs serialize to equal bytes, making the
+/// ledger diffable the same way the sweep JSONL is.
+[[nodiscard]] std::string metricsJsonl(const SweepCellResult& cell);
+
+/// metricsJsonl over every cell, in grid order.
+[[nodiscard]] std::string sweepMetricsJsonl(const std::vector<SweepCellResult>& cells);
+
 }  // namespace wfs::analysis

@@ -4,6 +4,28 @@
 
 namespace wfs::storage {
 
+std::size_t StorageMetrics::layerSlot(const std::string& name) {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].name == name) return i;
+  }
+  layers.push_back(LayerMetrics{});
+  layers.back().name = name;
+  return layers.size() - 1;
+}
+
+NodeIoMetrics& StorageMetrics::nodeIo(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (idx >= nodes.size()) nodes.resize(idx + 1);
+  return nodes[idx];
+}
+
+const LayerMetrics* StorageMetrics::findLayer(std::string_view name) const {
+  for (const auto& l : layers) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
 std::string StorageMetrics::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,

@@ -2,10 +2,48 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "simcore/units.hpp"
 
 namespace wfs::storage {
+
+/// Per-layer ledger slot of the composable I/O pipeline (storage/stack).
+///
+/// Every IoLayer::submit/control records the op here before processing, and
+/// submit additionally books wall-clock: `busySeconds` is inclusive (this
+/// layer plus everything below it), `selfSeconds` is exclusive (inclusive
+/// minus the time spent in layers this one forwarded into), and
+/// `queueSeconds` is time spent blocked on admission (dirty-limit stalls).
+struct LayerMetrics {
+  std::string name;
+  std::uint64_t readOps = 0;
+  std::uint64_t writeOps = 0;
+  std::uint64_t scratchOps = 0;
+  std::uint64_t discardOps = 0;
+  std::uint64_t preloadOps = 0;
+  Bytes bytesRead = 0;
+  Bytes bytesWritten = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  double busySeconds = 0.0;
+  double selfSeconds = 0.0;
+  double queueSeconds = 0.0;
+};
+
+/// Where a node's read bytes were served from. The serving layer attributes
+/// each payload movement to the *requesting* node: cache layers that ship
+/// data count `fromCache`, device/stripe layers count `fromDisk`, transport
+/// layers whose payload crosses the wire count `fromNetwork`. Staged
+/// backends (S3, p2p pulls) move the same logical bytes more than once, so
+/// the three read columns can sum to more than `StorageMetrics::bytesRead`.
+struct NodeIoMetrics {
+  Bytes fromCache = 0;
+  Bytes fromDisk = 0;
+  Bytes fromNetwork = 0;
+  Bytes written = 0;
+};
 
 /// Counters common to all storage systems; derived systems add their own
 /// (e.g. S3 request counts feed the billing engine).
@@ -26,6 +64,21 @@ struct StorageMetrics {
   /// S3-style request accounting (zero elsewhere).
   std::uint64_t getRequests = 0;
   std::uint64_t putRequests = 0;
+
+  /// One ledger slot per distinct layer name, in first-registration order.
+  /// Per-node stacks sharing a layer name (e.g. every worker's page cache)
+  /// aggregate into one slot.
+  std::vector<LayerMetrics> layers;
+  /// Read-source breakdown per requesting node, indexed by node.
+  std::vector<NodeIoMetrics> nodes;
+
+  /// Find-or-create the ledger slot for `name`; returns its index (stable:
+  /// slots are never removed).
+  [[nodiscard]] std::size_t layerSlot(const std::string& name);
+  /// Per-node counters for `node`, growing the vector as needed.
+  [[nodiscard]] NodeIoMetrics& nodeIo(int node);
+  /// Ledger slot by name, or nullptr if no layer registered it.
+  [[nodiscard]] const LayerMetrics* findLayer(std::string_view name) const;
 
   [[nodiscard]] double cacheHitRate() const {
     const auto total = cacheHits + cacheMisses;

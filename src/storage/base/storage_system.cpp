@@ -1,22 +1,67 @@
 #include "storage/base/storage_system.hpp"
 
+#include "storage/stack/layer_stack.hpp"
+
 namespace wfs::storage {
 
 void FileCatalog::create(const std::string& path, Bytes size, int creator) {
   auto [it, inserted] = files_.emplace(path, FileMeta{size, creator});
   if (!inserted) {
-    throw std::logic_error("write-once violation: file already exists: " + path);
+    const FileMeta& existing = it->second;
+    throw std::logic_error("write-once violation: file already exists: " + path + " (" +
+                           std::to_string(existing.size) + " bytes, created by node " +
+                           std::to_string(existing.creator) + "; rejected re-create from node " +
+                           std::to_string(creator) + ")");
   }
-  (void)it;
   totalBytes_ += size;
 }
 
 const FileMeta& FileCatalog::lookup(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) {
-    throw std::out_of_range("no such file in storage catalog: " + path);
+    throw std::out_of_range("no such file in storage catalog: " + path + " (catalog holds " +
+                            std::to_string(files_.size()) + " files)");
   }
   return it->second;
+}
+
+sim::Task<void> StorageSystem::write(int node, std::string path, Bytes size) {
+  catalog_.create(path, size, node);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  metrics_.nodeIo(node).written += size;
+  // Materialize the call before awaiting: GCC 12 double-destroys
+  // non-trivial temporaries inside co_await operands.
+  auto body = doWrite(node, std::move(path), size);
+  co_await std::move(body);
+}
+
+sim::Task<void> StorageSystem::read(int node, std::string path) {
+  const Bytes size = catalog_.lookup(path).size;
+  ++metrics_.readOps;
+  metrics_.bytesRead += size;
+  auto body = doRead(node, std::move(path), size);
+  co_await std::move(body);
+}
+
+void StorageSystem::preload(const std::string& path, Bytes size) {
+  catalog_.create(path, size, /*creator=*/-1);
+  doPreload(path, size);
+}
+
+void StorageSystem::doPreload(const std::string& path, Bytes size) {
+  if (!nodeStacks_.empty()) nodeStacks_.front()->preload(path, size);
+}
+
+void StorageSystem::discard(int node, const std::string& path) {
+  if (nodeStacks_.empty()) return;
+  nodeStack(node)->discard(node, path);
+}
+
+Bytes StorageSystem::localityHint(int node, const std::string& path) const {
+  if (nodeStacks_.empty() || !catalog_.exists(path)) return 0;
+  return nodeStacks_.at(static_cast<std::size_t>(node))
+      ->locality(node, path, catalog_.lookup(path).size);
 }
 
 sim::Duration memCopyTime(Bytes size, Rate memRate) {

@@ -14,6 +14,8 @@
 
 namespace wfs::storage {
 
+class LayerStack;
+
 /// What a storage system needs to know about each host of the virtual
 /// cluster (provided by cloud::Vm).
 struct StorageNode {
@@ -55,6 +57,11 @@ class FileCatalog {
 /// read inputs before computing and write outputs after, exactly as the
 /// Pegasus-launched executables do through POSIX (or through the S3 client
 /// wrapper).
+///
+/// The base owns the cross-backend invariants — catalog bookkeeping,
+/// write-once enforcement, the shared op/byte counters — and each backend
+/// supplies only its LayerStack composition plus the doWrite/doRead hooks
+/// that enter it.
 class StorageSystem {
  public:
   explicit StorageSystem(std::vector<StorageNode> nodes) : nodes_{std::move(nodes)} {}
@@ -64,20 +71,21 @@ class StorageSystem {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Creates `path` of `size` bytes from worker `node`.
+  /// Creates `path` of `size` bytes from worker `node`: catalog entry,
+  /// shared counters, then the backend's doWrite().
   ///
   /// Paths are taken by value throughout this interface: these are
   /// coroutines, and a reference parameter would dangle once the returned
   /// Task is awaited after the caller's argument expression has ended.
-  [[nodiscard]] virtual sim::Task<void> write(int node, std::string path, Bytes size) = 0;
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size);
 
   /// Reads the whole of `path` at worker `node`.
-  [[nodiscard]] virtual sim::Task<void> read(int node, std::string path) = 0;
+  [[nodiscard]] sim::Task<void> read(int node, std::string path);
 
   /// Registers pre-staged input data with zero simulated cost. The paper
   /// excludes input staging time from every experiment (§III.C); data is
   /// placed as the system's own layout would place it.
-  virtual void preload(const std::string& path, Bytes size) = 0;
+  void preload(const std::string& path, Bytes size);
 
   /// Intra-job scratch round trip: a job writes `path` and immediately
   /// re-reads it (the next executable of a chained transformation). On a
@@ -90,19 +98,14 @@ class StorageSystem {
   }
 
   /// Drops `path` from any caches (the job deleted its temporary file).
-  /// The catalog entry stays: logical names are never reused.
-  virtual void discard(int node, const std::string& path) {
-    (void)node;
-    (void)path;
-  }
+  /// The catalog entry stays: logical names are never reused. Default sends
+  /// a discard control op down the node's stack.
+  virtual void discard(int node, const std::string& path);
 
   /// Bytes of `path` that `node` could serve without network traffic;
-  /// the data-aware scheduler ranks candidate nodes with this.
-  [[nodiscard]] virtual Bytes localityHint(int node, const std::string& path) const {
-    (void)node;
-    (void)path;
-    return 0;
-  }
+  /// the data-aware scheduler ranks candidate nodes with this. Default asks
+  /// the node's stack.
+  [[nodiscard]] virtual Bytes localityHint(int node, const std::string& path) const;
 
   [[nodiscard]] bool exists(const std::string& path) const { return catalog_.exists(path); }
   [[nodiscard]] Bytes sizeOf(const std::string& path) const {
@@ -114,6 +117,25 @@ class StorageSystem {
   [[nodiscard]] int nodeCount() const { return static_cast<int>(nodes_.size()); }
 
  protected:
+  /// Backend hook: move `size` bytes of the freshly cataloged `path` from
+  /// worker `node` into the system.
+  [[nodiscard]] virtual sim::Task<void> doWrite(int node, std::string path, Bytes size) = 0;
+
+  /// Backend hook: deliver `size` bytes of `path` to worker `node`.
+  [[nodiscard]] virtual sim::Task<void> doRead(int node, std::string path, Bytes size) = 0;
+
+  /// Backend hook for preload placement; default sends a preload control op
+  /// down the first node stack (the layout decides where data lands).
+  virtual void doPreload(const std::string& path, Bytes size);
+
+  /// One client-side stack per node (a shared stack may be repeated); the
+  /// base's default discard/localityHint route through these.
+  void setNodeStacks(std::vector<LayerStack*> stacks) { nodeStacks_ = std::move(stacks); }
+
+  [[nodiscard]] LayerStack* nodeStack(int i) const {
+    return nodeStacks_.at(static_cast<std::size_t>(i));
+  }
+
   [[nodiscard]] StorageNode& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] const StorageNode& node(int i) const {
     return nodes_.at(static_cast<std::size_t>(i));
@@ -122,6 +144,9 @@ class StorageSystem {
   std::vector<StorageNode> nodes_;
   FileCatalog catalog_;
   StorageMetrics metrics_;
+
+ private:
+  std::vector<LayerStack*> nodeStacks_;
 };
 
 /// Memory-copy time for cache-served data (page cache hit, dirty buffer).

@@ -2,66 +2,75 @@
 
 #include <stdexcept>
 
+#include "storage/stack/lru_cache_layer.hpp"
+#include "storage/stack/rpc_transport_layer.hpp"
+
 namespace wfs::storage {
 
 EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
              const Config& cfg)
-    : StorageSystem{std::move(nodes)}, sim_{&sim}, net_{&net}, cfg_{cfg} {
+    : StorageSystem{std::move(nodes)}, cfg_{cfg} {
   volumes_.reserve(nodes_.size());
-  pageCache_.reserve(nodes_.size());
+  stacks_.reserve(nodes_.size());
+  std::vector<LayerStack*> stackPtrs;
   for (const auto& n : nodes_) {
     volumes_.push_back(
         std::make_unique<net::Capacity>(net, cfg.volumeRate, n.host + ".ebs"));
-    pageCache_.push_back(std::make_unique<LruCache>(static_cast<Bytes>(
-        static_cast<double>(n.memoryBytes) * cfg.scratch.pageCacheFraction)));
+
+    LruCacheLayer::Config cache;
+    cache.name = "ebs/page-cache";
+    cache.capacity = static_cast<Bytes>(static_cast<double>(n.memoryBytes) *
+                                        cfg.scratch.pageCacheFraction);
+    cache.memRate = cfg.scratch.memRate;
+    cache.hitCountsCacheHit = true;
+    cache.missCountsCacheMiss = true;
+
+    RpcTransportLayer::Config vol;
+    vol.name = "ebs/volume";
+    vol.net = &net;
+    vol.onIssue = [this](const Op& op) {
+      ioRequests_ += static_cast<std::uint64_t>((op.size + cfg_.ioUnit - 1) / cfg_.ioUnit);
+    };
+    vol.latency = [this](const Op&) { return cfg_.requestLatency; };
+    vol.route = [this](const Op& op) {
+      net::Path path;
+      path.push_back(net::Hop{volumes_[static_cast<std::size_t>(op.node)].get(), 1.0});
+      // The volume is network-attached: traffic also crosses the node's NIC.
+      if (node(op.node).nic != nullptr) {
+        path.push_back(net::Hop{&node(op.node).nic->rx(), 1.0});
+      }
+      return path;
+    };
+    // The "wire" here is the instance's own attachment, not cross-node
+    // sharing: reads come off the network fabric all the same.
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<LruCacheLayer>(cache));
+    layers.push_back(std::make_unique<RpcTransportLayer>(vol));
+    stacks_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
+    stackPtrs.push_back(stacks_.back().get());
   }
+  setNodeStacks(std::move(stackPtrs));
 }
 
-sim::Task<void> EbsFs::volumeIo(int nodeIdx, Bytes size) {
-  ioRequests_ += static_cast<std::uint64_t>((size + cfg_.ioUnit - 1) / cfg_.ioUnit);
-  co_await sim_->delay(cfg_.requestLatency);
-  net::Capacity* vol = volumes_[static_cast<std::size_t>(nodeIdx)].get();
-  net::Path path;
-  path.push_back(net::Hop{vol, 1.0});
-  // The volume is network-attached: traffic also crosses the node's NIC.
-  if (node(nodeIdx).nic != nullptr) {
-    path.push_back(net::Hop{&node(nodeIdx).nic->rx(), 1.0});
-  }
-  co_await net_->transfer(std::move(path), size);
+EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
+    : EbsFs{sim, net, std::move(nodes), Config{}} {}
+
+sim::Task<void> EbsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  // no first-write penalty on EBS
+  return stacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, std::move(path), size);
 }
 
-sim::Task<void> EbsFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  co_await volumeIo(nodeIdx, size);  // no first-write penalty on EBS
-  pageCache_[static_cast<std::size_t>(nodeIdx)]->put(path, size);
-}
-
-sim::Task<void> EbsFs::read(int nodeIdx, std::string path) {
+sim::Task<void> EbsFs::doRead(int nodeIdx, std::string path, Bytes size) {
   const FileMeta& meta = catalog_.lookup(path);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
-    throw std::logic_error("ebs volume is attached to one instance: " + path);
+    throw std::logic_error("ebs volume is attached to one instance: " + path +
+                           " (created on node " + std::to_string(meta.creator) +
+                           ", read from node " + std::to_string(nodeIdx) + ")");
   }
-  ++metrics_.readOps;
   ++metrics_.localReads;
-  metrics_.bytesRead += meta.size;
-  if (pageCache_[static_cast<std::size_t>(nodeIdx)]->touch(path)) {
-    ++metrics_.cacheHits;
-    co_await sim_->delay(memCopyTime(meta.size, cfg_.scratch.memRate));
-    co_return;
-  }
-  ++metrics_.cacheMisses;
-  co_await volumeIo(nodeIdx, meta.size);
-  pageCache_[static_cast<std::size_t>(nodeIdx)]->put(path, meta.size);
-}
-
-void EbsFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-}
-
-void EbsFs::discard(int nodeIdx, const std::string& path) {
-  pageCache_[static_cast<std::size_t>(nodeIdx)]->erase(path);
+  auto body = stacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, std::move(path), size);
+  co_await std::move(body);
 }
 
 Bytes EbsFs::localityHint(int nodeIdx, const std::string& path) const {
@@ -69,8 +78,5 @@ Bytes EbsFs::localityHint(int nodeIdx, const std::string& path) const {
   const FileMeta& meta = catalog_.lookup(path);
   return (meta.creator == -1 || meta.creator == nodeIdx) ? meta.size : 0;
 }
-
-EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
-    : EbsFs{sim, net, std::move(nodes), Config{}} {}
 
 }  // namespace wfs::storage

@@ -3,8 +3,8 @@
 #include <memory>
 #include <vector>
 
-#include "storage/base/node_scratch.hpp"
 #include "storage/base/storage_system.hpp"
+#include "storage/stack/node_stack.hpp"
 
 namespace wfs::storage {
 
@@ -17,6 +17,8 @@ namespace wfs::storage {
 ///
 /// Like the local option it shares nothing between nodes, so it appears in
 /// extension benches rather than the paper's figures.
+///
+/// Stack (per node): ebs/page-cache -> ebs/volume.
 class EbsFs : public StorageSystem {
  public:
   struct Config {
@@ -26,7 +28,7 @@ class EbsFs : public StorageSystem {
     sim::Duration requestLatency = sim::Duration::millis(3);
     /// I/O accounting granularity for the per-million-request fee.
     Bytes ioUnit = 128_KiB;
-    NodeScratch::Config scratch{};  // page cache still applies
+    NodeStackConfig scratch{};  // page cache still applies
   };
 
   EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
@@ -34,10 +36,6 @@ class EbsFs : public StorageSystem {
   EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "ebs"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
-  void discard(int node, const std::string& path) override;
   [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
 
   [[nodiscard]] std::uint64_t ioRequests() const { return ioRequests_; }
@@ -46,15 +44,15 @@ class EbsFs : public StorageSystem {
     return static_cast<double>(ioRequests_) / 1e6 * 0.10;
   }
 
- private:
-  [[nodiscard]] sim::Task<void> volumeIo(int node, Bytes size);
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
-  sim::Simulator* sim_;
-  net::FlowNetwork* net_;
+ private:
   Config cfg_;
   /// One volume capacity per node (attached storage is per-instance).
   std::vector<std::unique_ptr<net::Capacity>> volumes_;
-  std::vector<std::unique_ptr<LruCache>> pageCache_;
+  std::vector<std::unique_ptr<LayerStack>> stacks_;
   std::uint64_t ioRequests_ = 0;
 };
 

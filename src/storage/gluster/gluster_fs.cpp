@@ -1,75 +1,89 @@
 #include "storage/gluster/gluster_fs.hpp"
 
+#include "storage/stack/device_layer.hpp"
+#include "storage/stack/lru_cache_layer.hpp"
+#include "storage/stack/placement_layer.hpp"
+#include "storage/stack/write_behind_layer.hpp"
+
 namespace wfs::storage {
 
 GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                      GlusterMode mode, const Config& cfg)
-    : StorageSystem{std::move(nodes)}, sim_{&sim}, fabric_{&fabric}, mode_{mode}, cfg_{cfg} {
+    : StorageSystem{std::move(nodes)}, mode_{mode}, cfg_{cfg} {
   const int n = nodeCount();
   layout_ = (mode == GlusterMode::kNufa)
                 ? std::unique_ptr<LayoutPolicy>{std::make_unique<NufaLayout>(n)}
                 : std::unique_ptr<LayoutPolicy>{std::make_unique<DistributeLayout>(n)};
-  bricks_.reserve(static_cast<std::size_t>(n));
-  for (const auto& nd : nodes_) {
-    bricks_.push_back(std::make_unique<PosixBrick>(sim, nd, cfg.brick));
-  }
-  // Every client mounts the volume through its own translator stack.
-  std::vector<PosixBrick*> brickPtrs;
+
+  // storage/posix bricks: the on-disk store with the kernel page cache and
+  // write-back buffer behind it.
+  std::vector<LayerStack*> brickPtrs;
   std::vector<const StorageNode*> nodePtrs;
+  brickStacks_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    brickPtrs.push_back(bricks_[static_cast<std::size_t>(i)].get());
-    nodePtrs.push_back(&node(i));
+    const StorageNode& nd = node(i);
+    nodePtrs.push_back(&nd);
+
+    LruCacheLayer::Config cache;
+    cache.name = "brick/page-cache";
+    cache.capacity = static_cast<Bytes>(static_cast<double>(nd.memoryBytes) *
+                                        cfg.brickPageCacheFraction);
+    cache.memRate = cfg.brickMemRate;
+    // Page-cache hits ship from RAM over the resolved route (a memory copy
+    // when the client is the brick's own node).
+    cache.hitCost = LruCacheLayer::HitCost::kRoute;
+    cache.net = &fabric.network();
+
+    WriteBehindLayer::Config wb;
+    wb.name = "brick/write-behind";
+    wb.dirtyLimit =
+        static_cast<Bytes>(static_cast<double>(nd.memoryBytes) * cfg.brickDirtyFraction);
+    wb.memRate = cfg.brickMemRate;
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<LruCacheLayer>(cache));
+    layers.push_back(std::make_unique<WriteBehindLayer>(sim, *nd.disk, wb));
+    layers.push_back(std::make_unique<DeviceLayer>(*nd.disk, "brick/device"));
+    brickStacks_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
+    brickPtrs.push_back(brickStacks_.back().get());
   }
-  stacks_.reserve(static_cast<std::size_t>(n));
+
+  // Every client mounts the volume through its own translator stack.
+  clientStacks_.reserve(static_cast<std::size_t>(n));
+  std::vector<LayerStack*> stackPtrs;
   for (int i = 0; i < n; ++i) {
-    std::vector<std::unique_ptr<Xlator>> layers;
-    layers.push_back(
-        std::make_unique<IoCacheXlator>(sim, cfg.ioCacheBytes, cfg.memRate, metrics_));
-    layers.push_back(std::make_unique<DhtXlator>(sim, fabric, *layout_, brickPtrs, nodePtrs,
-                                                 cfg.lookupLatency, metrics_));
-    stacks_.push_back(std::make_unique<XlatorStack>(std::move(layers)));
+    LruCacheLayer::Config ioCache;
+    ioCache.name = "performance/io-cache";
+    ioCache.capacity = cfg.ioCacheBytes;
+    ioCache.memRate = cfg.memRate;
+    ioCache.hitCountsCacheHit = true;
+    ioCache.hitCountsLocalRead = true;
+    ioCache.missCountsCacheMiss = true;
+
+    PlacementLayer::Config dht;
+    dht.lookupLatency = cfg.lookupLatency;
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<LruCacheLayer>(ioCache));
+    auto placement = std::make_unique<PlacementLayer>(fabric, *layout_, nodePtrs, dht);
+    placement->setTargets(brickPtrs);
+    layers.push_back(std::move(placement));
+    clientStacks_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
+    stackPtrs.push_back(clientStacks_.back().get());
   }
-}
-
-sim::Task<void> GlusterFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  // Materialize the call before awaiting: GCC 12 double-destroys
-  // non-trivial temporaries inside co_await operands.
-  auto op = clientStack(nodeIdx).write(FileOp{nodeIdx, std::move(path), size});
-  co_await std::move(op);
-}
-
-sim::Task<void> GlusterFs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  metrics_.bytesRead += meta.size;
-  auto op = clientStack(nodeIdx).read(FileOp{nodeIdx, std::move(path), meta.size});
-  co_await std::move(op);
-}
-
-void GlusterFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-  const int owner = layout_->place(path, -1);
-  bricks_[static_cast<std::size_t>(owner)]->adopt(path);
-}
-
-void GlusterFs::discard(int nodeIdx, const std::string& path) {
-  ioCache(nodeIdx).evict(path);
-  bricks_[static_cast<std::size_t>(layout_->locate(path))]->evict(path);
-}
-
-Bytes GlusterFs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path)) return 0;
-  if (ioCache(nodeIdx).cached(path) || layout_->locate(path) == nodeIdx) {
-    return catalog_.lookup(path).size;
-  }
-  return 0;
+  setNodeStacks(std::move(stackPtrs));
 }
 
 GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric,
                      std::vector<StorageNode> nodes, GlusterMode mode)
     : GlusterFs{sim, fabric, std::move(nodes), mode, Config{}} {}
+
+sim::Task<void> GlusterFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return clientStack(nodeIdx).write(nodeIdx, std::move(path), size);
+}
+
+sim::Task<void> GlusterFs::doRead(int nodeIdx, std::string path, Bytes size) {
+  return clientStack(nodeIdx).read(nodeIdx, std::move(path), size);
+}
 
 }  // namespace wfs::storage

@@ -4,9 +4,8 @@
 #include <vector>
 
 #include "storage/base/storage_system.hpp"
-#include "storage/gluster/layouts.hpp"
-#include "storage/gluster/translator.hpp"
-#include "storage/gluster/xlator.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/layouts.hpp"
 
 namespace wfs::storage {
 
@@ -19,11 +18,16 @@ enum class GlusterMode { kNufa, kDistribute };
 ///   performance/io-cache  ->  cluster/dht (nufa | distribute)  ->  bricks
 ///
 /// — and the paper's two configurations differ only in the placement
-/// layout the dht translator uses.
+/// layout the dht translator uses. The bricks themselves are stacks too:
+/// brick/page-cache -> brick/write-behind -> brick/device (storage/posix
+/// with the kernel page cache and async write-back behind it).
 class GlusterFs : public StorageSystem {
  public:
   struct Config {
-    PosixBrick::Config brick{};
+    /// Brick-side sizing (storage/posix + kernel caches).
+    double brickPageCacheFraction = 0.4;
+    double brickDirtyFraction = 0.2;
+    Rate brickMemRate = GBps(1);
     /// Per-file lookup RPC to the owning brick (DHT hash is local math;
     /// the latency covers the open/stat exchange).
     sim::Duration lookupLatency = sim::Duration::micros(300);
@@ -41,32 +45,24 @@ class GlusterFs : public StorageSystem {
   [[nodiscard]] std::string name() const override {
     return mode_ == GlusterMode::kNufa ? "gluster-nufa" : "gluster-dist";
   }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
-  void discard(int node, const std::string& path) override;
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
 
   [[nodiscard]] GlusterMode mode() const { return mode_; }
   [[nodiscard]] const LayoutPolicy& layout() const { return *layout_; }
   /// The translator stack a client mounts (top layer first).
-  [[nodiscard]] XlatorStack& clientStack(int node) {
-    return *stacks_.at(static_cast<std::size_t>(node));
+  [[nodiscard]] LayerStack& clientStack(int node) {
+    return *clientStacks_.at(static_cast<std::size_t>(node));
   }
+
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
  private:
-  [[nodiscard]] IoCacheXlator& ioCache(int node) const {
-    return static_cast<IoCacheXlator&>(
-        *stacks_.at(static_cast<std::size_t>(node))->layer(0));
-  }
-
-  sim::Simulator* sim_;
-  net::Fabric* fabric_;
   GlusterMode mode_;
   Config cfg_;
   std::unique_ptr<LayoutPolicy> layout_;
-  std::vector<std::unique_ptr<PosixBrick>> bricks_;
-  std::vector<std::unique_ptr<XlatorStack>> stacks_;
+  std::vector<std::unique_ptr<LayerStack>> brickStacks_;
+  std::vector<std::unique_ptr<LayerStack>> clientStacks_;
 };
 
 }  // namespace wfs::storage

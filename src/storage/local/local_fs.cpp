@@ -5,40 +5,31 @@
 namespace wfs::storage {
 
 LocalFs::LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
-                 const NodeScratch::Config& cfg)
+                 const NodeStackConfig& cfg)
     : StorageSystem{std::move(nodes)} {
   scratch_.reserve(nodes_.size());
+  std::vector<LayerStack*> stacks;
   for (const auto& n : nodes_) {
-    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg));
+    scratch_.push_back(makeNodeStack(sim, metrics_, n, cfg));
+    stacks.push_back(scratch_.back().get());
   }
+  setNodeStacks(std::move(stacks));
 }
 
-sim::Task<void> LocalFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  co_await scratch(nodeIdx).write(path, size);
+sim::Task<void> LocalFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return scratch(nodeIdx).write(nodeIdx, std::move(path), size);
 }
 
-sim::Task<void> LocalFs::read(int nodeIdx, std::string path) {
+sim::Task<void> LocalFs::doRead(int nodeIdx, std::string path, Bytes size) {
   const FileMeta& meta = catalog_.lookup(path);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
     throw std::logic_error("local storage cannot serve '" + path + "' on node " +
                            std::to_string(nodeIdx) + ": created on node " +
                            std::to_string(meta.creator));
   }
-  ++metrics_.readOps;
   ++metrics_.localReads;
-  metrics_.bytesRead += meta.size;
-  co_await scratch(nodeIdx).read(path, meta.size);
-}
-
-void LocalFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-}
-
-void LocalFs::discard(int nodeIdx, const std::string& path) {
-  scratch(nodeIdx).pageCache().erase(path);
+  auto body = scratch(nodeIdx).read(nodeIdx, std::move(path), size);
+  co_await std::move(body);
 }
 
 Bytes LocalFs::localityHint(int nodeIdx, const std::string& path) const {

@@ -3,8 +3,8 @@
 #include <memory>
 #include <vector>
 
-#include "storage/base/node_scratch.hpp"
 #include "storage/base/storage_system.hpp"
+#include "storage/stack/node_stack.hpp"
 
 namespace wfs::storage {
 
@@ -15,24 +15,26 @@ namespace wfs::storage {
 ///
 /// Pre-staged input data is considered present on every node (the paper
 /// stages inputs before the measured window).
+///
+/// Stack (per node): node/page-cache -> node/write-behind -> node/device.
 class LocalFs : public StorageSystem {
  public:
   LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
-          const NodeScratch::Config& cfg = {});
+          const NodeStackConfig& cfg = {});
 
   [[nodiscard]] std::string name() const override { return "local"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
-  void discard(int node, const std::string& path) override;
   [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
 
-  [[nodiscard]] NodeScratch& scratch(int node) {
+  [[nodiscard]] LayerStack& scratch(int node) {
     return *scratch_.at(static_cast<std::size_t>(node));
   }
 
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+
  private:
-  std::vector<std::unique_ptr<NodeScratch>> scratch_;
+  std::vector<std::unique_ptr<LayerStack>> scratch_;
 };
 
 }  // namespace wfs::storage

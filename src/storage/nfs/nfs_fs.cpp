@@ -1,105 +1,149 @@
 #include "storage/nfs/nfs_fs.hpp"
 
-#include "storage/base/lru_cache.hpp"
+#include "storage/stack/device_layer.hpp"
+#include "storage/stack/lru_cache_layer.hpp"
+#include "storage/stack/write_behind_layer.hpp"
 
 namespace wfs::storage {
+namespace {
+
+/// The wire between an NFS client and the server: per-op RPC round trip,
+/// an nfsd thread, stream accounting, then the payload — writes cross the
+/// network before entering the server stack, reads descend with a
+/// server->client route for the serving layer to stream over.
+class NfsRpcLayer final : public IoLayer {
+ public:
+  NfsRpcLayer(net::Fabric& fabric, NfsServer& server, LayerStack& serverStack,
+              net::Nic* clientNic, sim::Duration rpcLatency)
+      : fabric_{&fabric},
+        server_{&server},
+        serverStack_{&serverStack},
+        clientNic_{clientNic},
+        rpc_{rpcLatency} {}
+
+  [[nodiscard]] std::string name() const override { return "nfs/rpc"; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;  // everything beyond the client cache is a network away
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override {
+    net::Nic* client = clientNic_;
+    net::Nic* serverNic = server_->node().nic;
+    // LOOKUP/GETATTR (reads) or CREATE/OPEN (writes) round trip plus
+    // server CPU.
+    co_await sim_->delay(rpc_ + fabric_->oneWayLatency(client, serverNic));
+    co_await server_->serveOp();
+    server_->streamStarted(op.size);
+    if (op.kind == OpKind::kRead) {
+      // The serving server layer (cache or disk) streams straight back to
+      // the client over this route.
+      op.route = fabric_->path(serverNic, client);
+      op.route.push_back(net::Hop{&server_->backplane(), 1.0});
+      auto below = serverStack_->submit(op);
+      co_await std::move(below);
+      server_->streamFinished(op.size);
+      co_return;
+    }
+    // Data crosses the network into server memory; `async` means the reply
+    // does not wait for the disk, but a full dirty buffer blocks admission.
+    net::Path wirePath = fabric_->path(client, serverNic);
+    wirePath.push_back(net::Hop{&server_->backplane(), 1.0});
+    auto flow = fabric_->network().transfer(std::move(wirePath), op.size);
+    co_await std::move(flow);
+    server_->streamFinished(op.size);
+    op.route = {};
+    auto below = serverStack_->submit(op);
+    co_await std::move(below);
+  }
+
+  void handle(Op& op) override { serverStack_->control(op); }
+
+ private:
+  net::Fabric* fabric_;
+  NfsServer* server_;
+  LayerStack* serverStack_;
+  net::Nic* clientNic_;
+  sim::Duration rpc_;
+};
+
+}  // namespace
 
 NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
              StorageNode serverNode, const Config& cfg)
     : StorageSystem{std::move(workers)},
-      sim_{&sim},
-      fabric_{&fabric},
       server_{std::make_unique<NfsServer>(sim, fabric.network(), std::move(serverNode),
                                           cfg.server)},
       cfg_{cfg} {
-  clientCache_.reserve(nodes_.size());
+  const StorageNode& sv = server_->node();
+  {
+    LruCacheLayer::Config cache;
+    cache.name = "nfs/server-cache";
+    cache.capacity = static_cast<Bytes>(static_cast<double>(sv.memoryBytes) *
+                                        cfg.server.pageCacheFraction);
+    cache.memRate = cfg.server.memRate;
+    // Hits are served from server RAM at network speed, over the route the
+    // rpc layer resolved.
+    cache.hitCost = LruCacheLayer::HitCost::kRoute;
+    cache.net = &fabric.network();
+    cache.hitCountsCacheHit = true;
+    cache.missCountsCacheMiss = true;
+
+    WriteBehindLayer::Config wb;
+    wb.name = "nfs/write-behind";
+    wb.dirtyLimit =
+        static_cast<Bytes>(static_cast<double>(sv.memoryBytes) * cfg.server.dirtyFraction);
+    wb.memRate = cfg.server.memRate;
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<LruCacheLayer>(cache));
+    layers.push_back(std::make_unique<WriteBehindLayer>(sim, *sv.disk, wb));
+    layers.push_back(std::make_unique<DeviceLayer>(*sv.disk, "nfs/device"));
+    serverStack_ = std::make_unique<LayerStack>(sim, metrics_, std::move(layers));
+  }
+
+  clientStacks_.reserve(nodes_.size());
+  std::vector<LayerStack*> stackPtrs;
   for (const auto& n : nodes_) {
-    clientCache_.push_back(std::make_unique<LruCache>(static_cast<Bytes>(
-        static_cast<double>(n.memoryBytes) * cfg.clientCacheFraction)));
+    LruCacheLayer::Config cache;
+    cache.name = "nfs/client-cache";
+    cache.capacity = static_cast<Bytes>(static_cast<double>(n.memoryBytes) *
+                                        cfg.clientCacheFraction);
+    cache.memRate = cfg.memRate;
+    // Client page cache hit: revalidation is a single GETATTR round trip.
+    cache.hitLatency = [this, &fabric, nic = n.nic](const Op&) {
+      return cfg_.rpcLatency + fabric.oneWayLatency(nic, server_->node().nic);
+    };
+    cache.hitCountsCacheHit = true;
+    cache.hitCountsLocalRead = true;
+    cache.missCountsRemoteRead = true;
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<LruCacheLayer>(cache));
+    layers.push_back(std::make_unique<NfsRpcLayer>(fabric, *server_, *serverStack_, n.nic,
+                                                   cfg.rpcLatency));
+    clientStacks_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
+    stackPtrs.push_back(clientStacks_.back().get());
   }
-}
-
-sim::Task<void> NfsFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  net::Nic* client = node(nodeIdx).nic;
-  net::Nic* serverNic = server_->node().nic;
-
-  // CREATE/OPEN round trip plus server CPU.
-  co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
-  co_await server_->serveOp();
-  // Data crosses the network into server memory; `async` means the reply
-  // does not wait for the disk, but a full dirty buffer blocks admission.
-  server_->streamStarted(size);
-  net::Path wirePath = fabric_->path(client, serverNic);
-  wirePath.push_back(net::Hop{&server_->backplane(), 1.0});
-  co_await fabric_->network().transfer(std::move(wirePath), size);
-  server_->streamFinished(size);
-  co_await server_->writeBack().write(size);
-  server_->pageCache().put(path, size);
-  // The writer's own page cache also holds the data it just wrote.
-  clientCache_[static_cast<std::size_t>(nodeIdx)]->put(path, size);
-}
-
-sim::Task<void> NfsFs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  metrics_.bytesRead += meta.size;
-  net::Nic* client = node(nodeIdx).nic;
-  net::Nic* serverNic = server_->node().nic;
-
-  // Client page cache hit: revalidation is a single GETATTR round trip.
-  if (clientCache_[static_cast<std::size_t>(nodeIdx)]->touch(path)) {
-    ++metrics_.cacheHits;
-    ++metrics_.localReads;
-    co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
-    co_await sim_->delay(memCopyTime(meta.size, cfg_.memRate));
-    co_return;
-  }
-  ++metrics_.remoteReads;
-
-  // LOOKUP/GETATTR round trip plus server CPU.
-  co_await sim_->delay(cfg_.rpcLatency + fabric_->oneWayLatency(client, serverNic));
-  co_await server_->serveOp();
-
-  server_->streamStarted(meta.size);
-  if (server_->pageCache().touch(path)) {
-    ++metrics_.cacheHits;
-    // Served from server RAM at network speed.
-    net::Path p = fabric_->path(serverNic, client);
-    p.push_back(net::Hop{&server_->backplane(), 1.0});
-    co_await fabric_->network().transfer(std::move(p), meta.size);
-  } else {
-    ++metrics_.cacheMisses;
-    // Disk read pipelined with the network transfer (one streaming flow).
-    net::Path p = fabric_->path(serverNic, client);
-    p.push_back(net::Hop{&server_->backplane(), 1.0});
-    co_await server_->node().disk->read(meta.size, std::move(p));
-    server_->pageCache().put(path, meta.size);
-  }
-  server_->streamFinished(meta.size);
-  clientCache_[static_cast<std::size_t>(nodeIdx)]->put(path, meta.size);
-}
-
-void NfsFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);  // on the server's disk, cold cache
-}
-
-void NfsFs::discard(int nodeIdx, const std::string& path) {
-  clientCache_[static_cast<std::size_t>(nodeIdx)]->erase(path);
-  server_->pageCache().erase(path);
-}
-
-Bytes NfsFs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path)) return 0;
-  return clientCache_[static_cast<std::size_t>(nodeIdx)]->contains(path)
-             ? catalog_.lookup(path).size
-             : 0;
+  setNodeStacks(std::move(stackPtrs));
 }
 
 NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
              StorageNode serverNode)
     : NfsFs{sim, fabric, std::move(workers), std::move(serverNode), Config{}} {}
+
+sim::Task<void> NfsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, std::move(path),
+                                                                 size);
+}
+
+sim::Task<void> NfsFs::doRead(int nodeIdx, std::string path, Bytes size) {
+  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, std::move(path),
+                                                                size);
+}
 
 }  // namespace wfs::storage

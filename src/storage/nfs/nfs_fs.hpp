@@ -6,6 +6,7 @@
 #include "net/fabric.hpp"
 #include "storage/base/storage_system.hpp"
 #include "storage/nfs/nfs_server.hpp"
+#include "storage/stack/layer_stack.hpp"
 
 namespace wfs::storage {
 
@@ -16,6 +17,10 @@ namespace wfs::storage {
 /// writes crosses the server's one NIC, and every operation costs an RPC —
 /// fine with few clients or light I/O, degrading as the cluster grows
 /// (Broadband's 2->4 node regression in Fig 4).
+///
+/// Stack (per client): nfs/client-cache -> nfs/rpc, where nfs/rpc crosses
+/// the wire into the shared server stack nfs/server-cache ->
+/// nfs/write-behind -> nfs/device.
 class NfsFs : public StorageSystem {
  public:
   struct Config {
@@ -38,20 +43,18 @@ class NfsFs : public StorageSystem {
         StorageNode serverNode);
 
   [[nodiscard]] std::string name() const override { return "nfs"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
-  void discard(int node, const std::string& path) override;
 
   [[nodiscard]] NfsServer& server() { return *server_; }
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
  private:
-  sim::Simulator* sim_;
-  net::Fabric* fabric_;
   std::unique_ptr<NfsServer> server_;
   Config cfg_;
-  std::vector<std::unique_ptr<LruCache>> clientCache_;
+  std::unique_ptr<LayerStack> serverStack_;
+  std::vector<std::unique_ptr<LayerStack>> clientStacks_;
 };
 
 }  // namespace wfs::storage

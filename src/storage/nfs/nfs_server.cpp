@@ -4,24 +4,12 @@
 
 namespace wfs::storage {
 
-namespace {
-WriteBackCache::Config wbConfig(const StorageNode& node, const NfsServer::Config& cfg) {
-  WriteBackCache::Config wb;
-  wb.dirtyLimit = static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.dirtyFraction);
-  wb.memRate = cfg.memRate;
-  return wb;
-}
-}  // namespace
-
 NfsServer::NfsServer(sim::Simulator& sim, net::FlowNetwork& net, StorageNode node,
                      const Config& cfg)
     : sim_{&sim},
       node_{std::move(node)},
       cfg_{cfg},
       threads_{sim, cfg.threads, "nfsd"},
-      pageCache_{static_cast<Bytes>(static_cast<double>(node_.memoryBytes) *
-                                    cfg.pageCacheFraction)},
-      wb_{std::make_unique<WriteBackCache>(sim, *node_.disk, wbConfig(node_, cfg))},
       // Full-duplex internal capacity: reads and writes each ride their own
       // NIC direction, so the nominal backplane is 2x the link rate.
       backplane_{net, node_.nic != nullptr ? 2.0 * node_.nic->tx().rate() : GBps(2),

@@ -1,17 +1,18 @@
 #pragma once
 
-#include <memory>
-
 #include "simcore/resource.hpp"
-#include "storage/base/lru_cache.hpp"
 #include "storage/base/storage_system.hpp"
-#include "storage/base/wb_cache.hpp"
 
 namespace wfs::storage {
 
 /// Server half of the NFS option: one dedicated node (m1.xlarge in the
 /// paper — chosen for its 16 GB of RAM, §IV.B) exporting its RAID array
 /// with `async` and `noatime`.
+///
+/// Holds what is genuinely server-machine state — the nfsd thread pool,
+/// the backplane capacity and the large-stream interference model; the
+/// server's page cache and dirty-buffer write-behind live in NfsFs's
+/// server-side LayerStack.
 class NfsServer {
  public:
   struct Config {
@@ -53,8 +54,6 @@ class NfsServer {
   void streamFinished(Bytes size);
 
   [[nodiscard]] StorageNode& node() { return node_; }
-  [[nodiscard]] LruCache& pageCache() { return pageCache_; }
-  [[nodiscard]] WriteBackCache& writeBack() { return *wb_; }
   [[nodiscard]] Rate memRate() const { return cfg_.memRate; }
   [[nodiscard]] int activeLargeStreams() const { return largeStreams_; }
 
@@ -65,8 +64,6 @@ class NfsServer {
   StorageNode node_;
   Config cfg_;
   sim::Resource threads_;
-  LruCache pageCache_;
-  std::unique_ptr<WriteBackCache> wb_;
   net::Capacity backplane_;
   Rate nominalBackplane_;
   int largeStreams_ = 0;

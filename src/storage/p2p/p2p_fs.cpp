@@ -5,81 +5,122 @@
 
 namespace wfs::storage {
 
-P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
-             const Config& cfg)
-    : StorageSystem{std::move(nodes)}, sim_{&sim}, fabric_{&fabric}, cfg_{cfg} {
-  scratch_.reserve(nodes_.size());
-  for (const auto& n : nodes_) {
-    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg.scratch));
-  }
-}
-
-bool P2pFs::hasReplica(int nodeIdx, const std::string& path) const {
+bool P2pReplicaLayer::hasReplica(int nodeIdx, const std::string& path) const {
   auto it = where_.find(path);
   if (it == where_.end()) return false;
   return std::find(it->second.begin(), it->second.end(), nodeIdx) != it->second.end();
 }
 
-const std::vector<int>& P2pFs::replicas(const std::string& path) const {
+const std::vector<int>& P2pReplicaLayer::replicas(const std::string& path) const {
   static const std::vector<int> kEmpty;
   auto it = where_.find(path);
   return it == where_.end() ? kEmpty : it->second;
 }
 
-sim::Task<void> P2pFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  co_await scratch_[static_cast<std::size_t>(nodeIdx)]->write(path, size);
-  where_[path].push_back(nodeIdx);
-}
-
-sim::Task<void> P2pFs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  metrics_.bytesRead += meta.size;
-
-  if (hasReplica(nodeIdx, path)) {
-    ++metrics_.localReads;
-    ++metrics_.cacheHits;
-    co_await scratch_[static_cast<std::size_t>(nodeIdx)]->read(path, meta.size);
+sim::Task<void> P2pReplicaLayer::process(Op& op) {
+  LayerStack& local = *scratch_.at(static_cast<std::size_t>(op.node));
+  if (isWriteLike(op.kind)) {
+    Op store{op.kind, op.node, op.path, op.size};
+    store.parentClock = op.parentClock;
+    auto wr = local.submit(store);
+    co_await std::move(wr);
+    where_[op.path].push_back(op.node);
     co_return;
   }
-  ++metrics_.remoteReads;
-  ++metrics_.cacheMisses;
+
+  if (hasReplica(op.node, op.path)) {
+    ++metrics_->localReads;
+    ++metrics_->cacheHits;
+    ++ledger().cacheHits;
+    Op rd{OpKind::kRead, op.node, op.path, op.size};
+    rd.parentClock = op.parentClock;
+    auto body = local.submit(rd);
+    co_await std::move(body);
+    co_return;
+  }
+  ++metrics_->remoteReads;
+  ++metrics_->cacheMisses;
+  ++ledger().cacheMisses;
   ++pulls_;
-  const auto& holders = replicas(path);
+  const auto& holders = replicas(op.path);
   if (holders.empty()) {
-    throw std::logic_error("p2p: no replica of " + path);
+    throw std::logic_error("p2p: no replica of " + op.path);
   }
   // Pull from the first holder (the producer): handshake, then a streaming
   // flow producer-disk -> producer-NIC -> consumer-NIC, landing in the
   // consumer's write-back cache.
   const int src = holders.front();
-  StorageNode& producer = node(src);
-  StorageNode& consumer = node(nodeIdx);
+  const StorageNode& producer = *nodes_.at(static_cast<std::size_t>(src));
+  const StorageNode& consumer = *nodes_.at(static_cast<std::size_t>(op.node));
   co_await sim_->delay(cfg_.handshake +
                        fabric_->oneWayLatency(consumer.nic, producer.nic));
-  NodeScratch& srcScratch = *scratch_[static_cast<std::size_t>(src)];
-  if (srcScratch.cached(path)) {
+  if (op.node >= 0) metrics_->nodeIo(op.node).fromNetwork += op.size;
+  if (pageCacheOf(*scratch_.at(static_cast<std::size_t>(src))).cached(op.path)) {
     // Producer page cache -> wire.
-    co_await fabric_->network().transfer(fabric_->path(producer.nic, consumer.nic),
-                                         meta.size);
+    auto flow = fabric_->network().transfer(fabric_->path(producer.nic, consumer.nic),
+                                            op.size);
+    co_await std::move(flow);
   } else {
-    co_await producer.disk->read(meta.size, fabric_->path(producer.nic, consumer.nic));
+    auto disk = producer.disk->read(op.size, fabric_->path(producer.nic, consumer.nic));
+    co_await std::move(disk);
   }
   if (cfg_.keepPulledCopies) {
-    co_await scratch_[static_cast<std::size_t>(nodeIdx)]->write(path, meta.size);
-    where_[path].push_back(nodeIdx);
+    Op store{OpKind::kWrite, op.node, op.path, op.size};
+    store.parentClock = op.parentClock;
+    auto wr = local.submit(store);
+    co_await std::move(wr);
+    where_[op.path].push_back(op.node);
   }
   // Program reads the landed copy (page-cache hot).
-  co_await scratch_[static_cast<std::size_t>(nodeIdx)]->read(path, meta.size);
+  Op rd{OpKind::kRead, op.node, op.path, op.size};
+  rd.parentClock = op.parentClock;
+  auto body = local.submit(rd);
+  co_await std::move(body);
 }
 
-void P2pFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-  auto& holders = where_[path];
-  for (int i = 0; i < nodeCount(); ++i) holders.push_back(i);  // staged everywhere
+void P2pReplicaLayer::handle(Op& op) {
+  if (op.kind == OpKind::kPreload) {
+    auto& holders = where_[op.path];
+    for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+      holders.push_back(i);  // staged everywhere
+    }
+    return;
+  }
+  // Discard: only the consumer's page cache drops; replicas stay on disk.
+  scratch_.at(static_cast<std::size_t>(op.node))->control(op);
+}
+
+P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
+             const Config& cfg)
+    : StorageSystem{std::move(nodes)} {
+  scratch_.reserve(nodes_.size());
+  std::vector<LayerStack*> scratchPtrs;
+  std::vector<const StorageNode*> nodePtrs;
+  for (const auto& n : nodes_) {
+    scratch_.push_back(makeNodeStack(sim, metrics_, n, cfg.scratch));
+    scratchPtrs.push_back(scratch_.back().get());
+    nodePtrs.push_back(&n);
+  }
+  P2pReplicaLayer::Config replica;
+  replica.handshake = cfg.handshake;
+  replica.keepPulledCopies = cfg.keepPulledCopies;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(std::make_unique<P2pReplicaLayer>(fabric, std::move(nodePtrs),
+                                                     std::move(scratchPtrs), replica));
+  stack_ = std::make_unique<LayerStack>(sim, metrics_, std::move(layers));
+  replica_ = static_cast<P2pReplicaLayer*>(stack_->layer(0));
+  setNodeStacks(std::vector<LayerStack*>(nodes_.size(), stack_.get()));
+}
+
+P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
+    : P2pFs{sim, fabric, std::move(nodes), Config{}} {}
+
+sim::Task<void> P2pFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return stack_->write(nodeIdx, std::move(path), size);
+}
+
+sim::Task<void> P2pFs::doRead(int nodeIdx, std::string path, Bytes size) {
+  return stack_->read(nodeIdx, std::move(path), size);
 }
 
 sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
@@ -89,21 +130,12 @@ sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes siz
   ++metrics_.localReads;
   metrics_.bytesWritten += size;
   metrics_.bytesRead += size;
-  NodeScratch& local = *scratch_[static_cast<std::size_t>(nodeIdx)];
-  co_await local.write(path, size);
-  co_await local.read(path, size);
+  metrics_.nodeIo(nodeIdx).written += size;
+  LayerStack& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
+  auto wr = local.scratchWrite(nodeIdx, path, size);
+  co_await std::move(wr);
+  auto rd = local.read(nodeIdx, std::move(path), size);
+  co_await std::move(rd);
 }
-
-void P2pFs::discard(int nodeIdx, const std::string& path) {
-  scratch_[static_cast<std::size_t>(nodeIdx)]->pageCache().erase(path);
-}
-
-Bytes P2pFs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path) || !hasReplica(nodeIdx, path)) return 0;
-  return catalog_.lookup(path).size;
-}
-
-P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
-    : P2pFs{sim, fabric, std::move(nodes), Config{}} {}
 
 }  // namespace wfs::storage

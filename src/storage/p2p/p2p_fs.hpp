@@ -1,14 +1,58 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/fabric.hpp"
-#include "storage/base/node_scratch.hpp"
 #include "storage/base/storage_system.hpp"
+#include "storage/stack/node_stack.hpp"
 
 namespace wfs::storage {
+
+/// The replica-tracking layer of the p2p option: every output stays on the
+/// disk of the node that produced it (in that node's scratch stack), and a
+/// consumer scheduled elsewhere pulls the file directly from the producer.
+/// The location map is what Pegasus would carry in its replica catalog.
+class P2pReplicaLayer final : public IoLayer {
+ public:
+  struct Config {
+    /// Control-message exchange to negotiate a transfer.
+    sim::Duration handshake = sim::Duration::millis(1);
+    /// Pulled files are kept (cached) on the consumer's disk for reuse.
+    bool keepPulledCopies = true;
+  };
+
+  P2pReplicaLayer(net::Fabric& fabric, std::vector<const StorageNode*> nodes,
+                  std::vector<LayerStack*> scratch, Config cfg)
+      : cfg_{cfg}, fabric_{&fabric}, nodes_{std::move(nodes)}, scratch_{std::move(scratch)} {}
+
+  [[nodiscard]] std::string name() const override { return "p2p/replica"; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    return hasReplica(node, path) ? size : 0;
+  }
+
+  /// Nodes currently holding a replica of `path`.
+  [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const;
+  [[nodiscard]] bool hasReplica(int node, const std::string& path) const;
+  [[nodiscard]] std::uint64_t pullCount() const { return pulls_; }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+  void handle(Op& op) override;
+
+ private:
+  Config cfg_;
+  net::Fabric* fabric_;
+  std::vector<const StorageNode*> nodes_;
+  std::vector<LayerStack*> scratch_;
+  /// path -> nodes holding it (-1 never appears; preloads replicate
+  /// everywhere like the paper's pre-staged inputs).
+  std::unordered_map<std::string, std::vector<int>> where_;
+  std::uint64_t pulls_ = 0;
+};
 
 /// Peer-to-peer data sharing — the configuration the paper names as future
 /// work (§VIII): no shared file system; every output stays on the disk of
@@ -17,12 +61,14 @@ namespace wfs::storage {
 ///
 /// Compared with GlusterFS NUFA this removes the distributed-volume
 /// machinery (lookups, bricks, io-cache) but gives up transparent POSIX
-/// access: the workflow system must track locations — modeled by the
-/// location map below, which Pegasus would carry in its replica catalog.
+/// access: the workflow system must track locations.
+///
+/// Stack (shared): p2p/replica over per-node scratch stacks
+/// (node/page-cache -> node/write-behind -> node/device).
 class P2pFs : public StorageSystem {
  public:
   struct Config {
-    NodeScratch::Config scratch{};
+    NodeStackConfig scratch{};
     /// Control-message exchange to negotiate a transfer.
     sim::Duration handshake = sim::Duration::millis(1);
     /// Pulled files are kept (cached) on the consumer's disk for reuse.
@@ -34,29 +80,23 @@ class P2pFs : public StorageSystem {
   P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "p2p"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
   [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
                                                  Bytes size) override;
-  void discard(int node, const std::string& path) override;
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
 
   /// Nodes currently holding a replica of `path`.
-  [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const;
-  [[nodiscard]] std::uint64_t pullCount() const { return pulls_; }
+  [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const {
+    return replica_->replicas(path);
+  }
+  [[nodiscard]] std::uint64_t pullCount() const { return replica_->pullCount(); }
+
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
  private:
-  [[nodiscard]] bool hasReplica(int node, const std::string& path) const;
-
-  sim::Simulator* sim_;
-  net::Fabric* fabric_;
-  Config cfg_;
-  std::vector<std::unique_ptr<NodeScratch>> scratch_;
-  /// path -> nodes holding it (-1 never appears; preloads replicate
-  /// everywhere like the paper's pre-staged inputs).
-  std::unordered_map<std::string, std::vector<int>> where_;
-  std::uint64_t pulls_ = 0;
+  std::vector<std::unique_ptr<LayerStack>> scratch_;
+  std::unique_ptr<LayerStack> stack_;
+  P2pReplicaLayer* replica_ = nullptr;
 };
 
 }  // namespace wfs::storage

@@ -1,88 +1,71 @@
 #include "storage/pvfs/pvfs_fs.hpp"
 
-#include <algorithm>
-
-#include "storage/base/path.hpp"
+#include "storage/stack/stripe_layer.hpp"
 
 namespace wfs::storage {
+namespace {
+
+/// PVFS 2.6.x metadata path: a metadata RPC per op, plus — on create — one
+/// serialized datafile handshake per I/O server regardless of file size.
+class PvfsMetaLayer final : public IoLayer {
+ public:
+  PvfsMetaLayer(sim::Duration metaRpc, sim::Duration datafileHandshake, int servers)
+      : metaRpc_{metaRpc}, datafileHandshake_{datafileHandshake}, servers_{servers} {}
+
+  [[nodiscard]] std::string name() const override { return "pvfs/meta"; }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override {
+    // Metadata create/lookup on the hashed metadata server.
+    co_await sim_->delay(metaRpc_);
+    if (isWriteLike(op.kind)) {
+      // 2.6.x datafile creation: one serialized handshake per I/O server.
+      for (int i = 0; i < servers_; ++i) {
+        co_await sim_->delay(datafileHandshake_);
+      }
+    }
+    auto below = forward(op);
+    co_await std::move(below);
+  }
+
+ private:
+  sim::Duration metaRpc_;
+  sim::Duration datafileHandshake_;
+  int servers_;
+};
+
+}  // namespace
 
 PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                const Config& cfg)
-    : StorageSystem{std::move(nodes)}, sim_{&sim}, fabric_{&fabric}, cfg_{cfg} {}
+    : StorageSystem{std::move(nodes)}, cfg_{cfg} {
+  std::vector<const StorageNode*> servers;
+  servers.reserve(nodes_.size());
+  for (const auto& n : nodes_) servers.push_back(&n);
 
-int PvfsFs::serversFor(Bytes size) const {
-  const Bytes stripes = std::max<Bytes>(1, (size + cfg_.stripeSize - 1) / cfg_.stripeSize);
-  return static_cast<int>(std::min<Bytes>(nodeCount(), stripes));
-}
+  StripeLayer::Config stripe;
+  stripe.stripeSize = cfg.stripeSize;
+  stripe.ioRequestOverhead = cfg.ioRequestOverhead;
+  stripe.requestSize = cfg.requestSize;
 
-sim::Task<void> PvfsFs::stripedTransfer(int clientIdx, Bytes size, bool isWrite) {
-  const int k = serversFor(size);
-  const Bytes chunk = size / k;
-  const Bytes last = size - chunk * (k - 1);
-  
-
-  std::vector<sim::Task<void>> parts;
-  parts.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    const Bytes part = (i == k - 1) ? last : chunk;
-    if (part <= 0) continue;
-    auto serverIo = [](PvfsFs& fs, int server, int clientNode, Bytes bytes,
-                       bool wr) -> sim::Task<void> {
-      StorageNode& sv = fs.node(server);
-      net::Nic* cli = fs.node(clientNode).nic;
-      co_await fs.sim_->delay(fs.cfg_.ioRequestOverhead +
-                              fs.fabric_->oneWayLatency(cli, sv.nic));
-      // Flow-controlled requests, serial per server: each repositions the
-      // disk because concurrent clients interleave between requests. The
-      // server's datafile is contiguous, so chunk initialization is paid
-      // once per file, not once per request.
-      const Bytes base = wr ? sv.disk->allocate(bytes) : 0;
-      Bytes done = 0;
-      while (done < bytes) {
-        const Bytes req = std::min(bytes - done, fs.cfg_.requestSize);
-        if (wr) {
-          // Client -> server NIC -> synchronous disk write, pipelined flow.
-          co_await sv.disk->writeAt(base + done, req, fs.fabric_->path(cli, sv.nic));
-        } else {
-          // Disk read -> server NIC -> client, pipelined flow.
-          co_await sv.disk->read(req, fs.fabric_->path(sv.nic, cli));
-        }
-        done += req;
-      }
-    };
-    parts.push_back(serverIo(*this, i, clientIdx, part, isWrite));
-  }
-  co_await sim::allOf(fabric_->network().simulator(), std::move(parts));
-}
-
-sim::Task<void> PvfsFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  // Metadata create on the hashed metadata server.
-  co_await sim_->delay(cfg_.metaRpc);
-  // 2.6.x datafile creation: one serialized handshake per I/O server,
-  // regardless of file size.
-  for (int i = 0; i < nodeCount(); ++i) {
-    co_await sim_->delay(cfg_.datafileHandshake);
-  }
-  co_await stripedTransfer(nodeIdx, size, /*isWrite=*/true);
-}
-
-sim::Task<void> PvfsFs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  ++metrics_.remoteReads;  // stripes always reach other servers
-  metrics_.bytesRead += meta.size;
-  co_await sim_->delay(cfg_.metaRpc);
-  co_await stripedTransfer(nodeIdx, meta.size, /*isWrite=*/false);
-}
-
-void PvfsFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(
+      std::make_unique<PvfsMetaLayer>(cfg.metaRpc, cfg.datafileHandshake, nodeCount()));
+  layers.push_back(std::make_unique<StripeLayer>(fabric, std::move(servers), stripe));
+  stack_ = std::make_unique<LayerStack>(sim, metrics_, std::move(layers));
+  setNodeStacks(std::vector<LayerStack*>(nodes_.size(), stack_.get()));
 }
 
 PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
     : PvfsFs{sim, fabric, std::move(nodes), Config{}} {}
+
+sim::Task<void> PvfsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return stack_->write(nodeIdx, std::move(path), size);
+}
+
+sim::Task<void> PvfsFs::doRead(int nodeIdx, std::string path, Bytes size) {
+  ++metrics_.remoteReads;  // stripes always reach other servers
+  return stack_->read(nodeIdx, std::move(path), size);
+}
 
 }  // namespace wfs::storage

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "storage/base/storage_system.hpp"
+#include "storage/stack/layer_stack.hpp"
 
 namespace wfs::storage {
 
@@ -17,6 +19,8 @@ namespace wfs::storage {
 /// and every transfer is synchronous to the server disks (no client or
 /// server caching layer) — the mechanism behind PVFS's poor Montage and
 /// Broadband results (Figs 2, 4).
+///
+/// Stack (shared): pvfs/meta -> cluster/stripe.
 class PvfsFs : public StorageSystem {
  public:
   struct Config {
@@ -42,18 +46,14 @@ class PvfsFs : public StorageSystem {
   PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "pvfs"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
+
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
  private:
-  /// Servers touched by a file of `size` bytes (round-robin striping).
-  [[nodiscard]] int serversFor(Bytes size) const;
-  [[nodiscard]] sim::Task<void> stripedTransfer(int clientIdx, Bytes size, bool isWrite);
-
-  sim::Simulator* sim_;
-  net::Fabric* fabric_;
   Config cfg_;
+  std::unique_ptr<LayerStack> stack_;
 };
 
 }  // namespace wfs::storage

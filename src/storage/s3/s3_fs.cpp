@@ -1,31 +1,138 @@
 #include "storage/s3/s3_fs.hpp"
 
 namespace wfs::storage {
+namespace {
+
+/// Top of the S3 pipeline — the GET/PUT job wrapper's disk side. Writes
+/// land on the scratch disk before the lower layers cache/upload them;
+/// reads resolve below first (cache check, GET staging on miss), then the
+/// program reads the file off the local disk.
+class S3StageLayer final : public IoLayer {
+ public:
+  explicit S3StageLayer(LayerStack& scratch) : scratch_{&scratch} {}
+
+  [[nodiscard]] std::string name() const override { return "s3/stage"; }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override {
+    if (op.kind == OpKind::kRead) {
+      auto below = forward(op);
+      co_await std::move(below);
+      // Local disk -> program: the second read (page-cache hot after a GET).
+      Op local{OpKind::kRead, op.node, op.path, op.size};
+      local.parentClock = op.parentClock;
+      auto rd = scratch_->submit(local);
+      co_await std::move(rd);
+      co_return;
+    }
+    // Program -> local disk ("written twice": disk now, S3 next).
+    Op local{op.kind, op.node, op.path, op.size};
+    local.parentClock = op.parentClock;
+    auto wr = scratch_->submit(local);
+    co_await std::move(wr);
+    auto below = forward(op);
+    co_await std::move(below);
+  }
+
+ private:
+  LayerStack* scratch_;
+};
+
+/// Bottom of the S3 pipeline — the actual GET/PUT requests. Reads are
+/// misses of the whole-file cache above: GET the object and stage it onto
+/// the scratch disk. Writes re-read scratch (page-cache hot) and PUT.
+class S3TransportLayer final : public IoLayer {
+ public:
+  S3TransportLayer(ObjectStore& store, LayerStack& scratch, net::Nic* nic)
+      : store_{&store}, scratch_{&scratch}, nic_{nic} {}
+
+  [[nodiscard]] std::string name() const override { return "s3/transport"; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;  // the object lives in S3, not on any node
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override {
+    if (op.kind == OpKind::kRead) {
+      ++metrics_->getRequests;
+      if (op.node >= 0) metrics_->nodeIo(op.node).fromNetwork += op.size;
+      // S3 -> local disk: the first of the paper's "read twice" pair.
+      auto get = store_->get(nic_, op.size);
+      co_await std::move(get);
+      Op stage{OpKind::kWrite, op.node, op.path, op.size};
+      stage.parentClock = op.parentClock;
+      auto wr = scratch_->submit(stage);
+      co_await std::move(wr);
+      co_return;
+    }
+    // Local disk -> S3 (page-cache hot, so the cost is the upload).
+    Op reread{OpKind::kRead, op.node, op.path, op.size};
+    reread.parentClock = op.parentClock;
+    auto rd = scratch_->submit(reread);
+    co_await std::move(rd);
+    ++metrics_->putRequests;
+    auto put = store_->put(nic_, op.size);
+    co_await std::move(put);
+  }
+
+ private:
+  ObjectStore* store_;
+  LayerStack* scratch_;
+  net::Nic* nic_;
+};
+
+}  // namespace
 
 S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
            const Config& cfg)
     : StorageSystem{std::move(nodes)}, store_{std::make_unique<ObjectStore>(net, cfg.store)} {
   scratch_.reserve(nodes_.size());
-  clients_.reserve(nodes_.size());
+  pipelines_.reserve(nodes_.size());
+  std::vector<LayerStack*> stackPtrs;
   for (const auto& n : nodes_) {
-    scratch_.push_back(std::make_unique<NodeScratch>(sim, n, cfg.scratch));
-    clients_.push_back(std::make_unique<S3Client>(*store_, *scratch_.back(), n.nic,
-                                                  cfg.clientCacheBytes));
+    scratch_.push_back(makeNodeStack(sim, metrics_, n, cfg.scratch));
+
+    // The whole-file cache records which objects already live on this
+    // node's disk — valid because the workloads are strictly write-once —
+    // so each file is fetched at most once per node and locally-produced
+    // outputs are never re-fetched. Hits are free here: the scratch stack
+    // pays the actual local read.
+    LruCacheLayer::Config cache;
+    cache.name = "s3/whole-file-cache";
+    cache.capacity = cfg.clientCacheBytes;
+    cache.hitCost = LruCacheLayer::HitCost::kFree;
+    cache.putBeforeForwardOnWrite = true;  // warm before the PUT re-reads scratch
+    cache.hitCountsCacheHit = true;
+    cache.hitCountsLocalRead = true;
+    cache.missCountsCacheMiss = true;
+    cache.missCountsRemoteRead = true;
+
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<S3StageLayer>(*scratch_.back()));
+    layers.push_back(std::make_unique<LruCacheLayer>(cache));
+    layers.push_back(std::make_unique<S3TransportLayer>(*store_, *scratch_.back(), n.nic));
+    pipelines_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
+    wholeFile_.push_back(static_cast<LruCacheLayer*>(pipelines_.back()->layer(1)));
+    stackPtrs.push_back(pipelines_.back().get());
   }
+  setNodeStacks(std::move(stackPtrs));
 }
 
-sim::Task<void> S3Fs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  co_await client(nodeIdx).writeAndStore(path, size, metrics_);
+S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
+    : S3Fs{sim, net, std::move(nodes), Config{}} {}
+
+S3Fs::~S3Fs() = default;
+
+sim::Task<void> S3Fs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return pipeline(nodeIdx).write(nodeIdx, std::move(path), size);
 }
 
-sim::Task<void> S3Fs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  metrics_.bytesRead += meta.size;
-  co_await client(nodeIdx).fetchAndRead(path, meta.size, metrics_);
+sim::Task<void> S3Fs::doRead(int nodeIdx, std::string path, Bytes size) {
+  return pipeline(nodeIdx).read(nodeIdx, std::move(path), size);
 }
 
 sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
@@ -35,28 +142,21 @@ sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size
   ++metrics_.localReads;
   metrics_.bytesWritten += size;
   metrics_.bytesRead += size;
-  NodeScratch& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
-  co_await local.write(path, size);
-  co_await local.read(path, size);
+  metrics_.nodeIo(nodeIdx).written += size;
+  LayerStack& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
+  auto wr = local.scratchWrite(nodeIdx, path, size);
+  co_await std::move(wr);
+  auto rd = local.read(nodeIdx, std::move(path), size);
+  co_await std::move(rd);
 }
 
 void S3Fs::discard(int nodeIdx, const std::string& path) {
-  scratch_.at(static_cast<std::size_t>(nodeIdx))->pageCache().erase(path);
+  scratch_.at(static_cast<std::size_t>(nodeIdx))->discard(nodeIdx, path);
 }
 
-void S3Fs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
+void S3Fs::doPreload(const std::string& path, Bytes size) {
+  (void)path;
   store_->noteStored(size);  // staged into a bucket before the run
 }
-
-Bytes S3Fs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path)) return 0;
-  return clients_.at(static_cast<std::size_t>(nodeIdx))->cached(path)
-             ? catalog_.lookup(path).size
-             : 0;
-}
-
-S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
-    : S3Fs{sim, net, std::move(nodes), Config{}} {}
 
 }  // namespace wfs::storage

@@ -3,19 +3,25 @@
 #include <memory>
 #include <vector>
 
-#include "storage/base/node_scratch.hpp"
 #include "storage/base/storage_system.hpp"
-#include "storage/s3/s3_client.hpp"
+#include "storage/s3/object_store.hpp"
+#include "storage/stack/lru_cache_layer.hpp"
+#include "storage/stack/node_stack.hpp"
 
 namespace wfs::storage {
 
 /// The S3 data-sharing option: every node runs an S3 client with a
 /// whole-file cache; jobs are wrapped with GET/PUT staging (paper §IV.A).
+///
+/// Stack (per node): s3/stage -> s3/whole-file-cache -> s3/transport, with
+/// a node-local scratch stack (node/page-cache -> node/write-behind ->
+/// node/device) on the side — GET lands objects on the scratch disk before
+/// the program reads them, PUT re-reads scratch before uploading.
 class S3Fs : public StorageSystem {
  public:
   struct Config {
     ObjectStore::Config store{};
-    NodeScratch::Config scratch{};
+    NodeStackConfig scratch{};
     /// Client cache capacity per node; effectively the scratch disk.
     Bytes clientCacheBytes = 1500_GB;
   };
@@ -24,28 +30,39 @@ class S3Fs : public StorageSystem {
   S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
        const Config& cfg);
   S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes);
+  ~S3Fs() override;
 
   [[nodiscard]] std::string name() const override { return "s3"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
   /// S3 jobs run against the local disk; scratch never touches S3 (no GET,
   /// no PUT, no request fees) — a structural advantage of the wrapper.
   [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
                                                  Bytes size) override;
+  /// Only the scratch page cache drops; the whole-file cache records disk
+  /// residency, which deleting page-cache entries does not change.
   void discard(int node, const std::string& path) override;
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
 
   [[nodiscard]] ObjectStore& objectStore() { return *store_; }
   [[nodiscard]] const ObjectStore& objectStore() const { return *store_; }
-  [[nodiscard]] S3Client& client(int node) {
-    return *clients_.at(static_cast<std::size_t>(node));
+  /// Whether `node`'s whole-file cache holds `path` (i.e. it is on that
+  /// node's scratch disk).
+  [[nodiscard]] bool cached(int node, const std::string& path) const {
+    return wholeFile_.at(static_cast<std::size_t>(node))->cached(path);
   }
 
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  void doPreload(const std::string& path, Bytes size) override;
+
  private:
+  [[nodiscard]] LayerStack& pipeline(int node) {
+    return *pipelines_.at(static_cast<std::size_t>(node));
+  }
+
   std::unique_ptr<ObjectStore> store_;
-  std::vector<std::unique_ptr<NodeScratch>> scratch_;
-  std::vector<std::unique_ptr<S3Client>> clients_;
+  std::vector<std::unique_ptr<LayerStack>> scratch_;
+  std::vector<std::unique_ptr<LayerStack>> pipelines_;
+  std::vector<LruCacheLayer*> wholeFile_;
 };
 
 }  // namespace wfs::storage

@@ -1,0 +1,16 @@
+#include "storage/stack/device_layer.hpp"
+
+namespace wfs::storage {
+
+sim::Task<void> DeviceLayer::process(Op& op) {
+  if (op.kind == OpKind::kRead) {
+    if (op.node >= 0) metrics_->nodeIo(op.node).fromDisk += op.size;
+    auto io = disk_->read(op.size, op.route);
+    co_await std::move(io);
+  } else {
+    auto io = disk_->write(op.size, op.route);
+    co_await std::move(io);
+  }
+}
+
+}  // namespace wfs::storage

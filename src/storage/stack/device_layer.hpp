@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "blk/disk.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// Terminal layer over a block store (GlusterFS storage/posix): reads and
+/// writes hit the device, streaming over the op's route (disk -> network
+/// as one pipelined flow) when a routing layer above set one.
+class DeviceLayer final : public IoLayer {
+ public:
+  explicit DeviceLayer(blk::BlockStore& disk, std::string name = "storage/device")
+      : disk_{&disk}, name_{std::move(name)} {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+
+ private:
+  blk::BlockStore* disk_;
+  std::string name_;
+};
+
+}  // namespace wfs::storage

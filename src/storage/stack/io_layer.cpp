@@ -1,0 +1,74 @@
+#include "storage/stack/io_layer.hpp"
+
+#include <cassert>
+
+namespace wfs::storage {
+
+const char* toString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kScratch: return "scratch";
+    case OpKind::kDiscard: return "discard";
+    case OpKind::kPreload: return "preload";
+  }
+  return "?";
+}
+
+void IoLayer::attach(sim::Simulator& sim, StorageMetrics& metrics, IoLayer* next) {
+  sim_ = &sim;
+  metrics_ = &metrics;
+  next_ = next;
+  ledgerSlot_ = metrics.layerSlot(name());
+  onAttach();
+}
+
+void IoLayer::record(const Op& op) {
+  LayerMetrics& lm = ledger();
+  switch (op.kind) {
+    case OpKind::kRead:
+      ++lm.readOps;
+      lm.bytesRead += op.size;
+      break;
+    case OpKind::kWrite:
+      ++lm.writeOps;
+      lm.bytesWritten += op.size;
+      break;
+    case OpKind::kScratch:
+      ++lm.scratchOps;
+      lm.bytesWritten += op.size;
+      break;
+    case OpKind::kDiscard: ++lm.discardOps; break;
+    case OpKind::kPreload: ++lm.preloadOps; break;
+  }
+}
+
+sim::Task<void> IoLayer::submit(Op& op) {
+  record(op);
+  const double start = sim_->now().asSeconds();
+  double below = 0.0;
+  double* parent = op.parentClock;
+  op.parentClock = &below;
+  // Materialize the call before awaiting: GCC 12 double-destroys
+  // non-trivial temporaries inside co_await operands.
+  auto body = process(op);
+  co_await std::move(body);
+  op.parentClock = parent;
+  const double dt = sim_->now().asSeconds() - start;
+  LayerMetrics& lm = ledger();
+  lm.busySeconds += dt;
+  lm.selfSeconds += dt - below;
+  if (parent != nullptr) *parent += dt;
+}
+
+void IoLayer::control(Op& op) {
+  record(op);
+  handle(op);
+}
+
+sim::Task<void> IoLayer::forward(Op& op) {
+  assert(next_ != nullptr);
+  return next_->submit(op);
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "storage/base/metrics.hpp"
+#include "storage/stack/op.hpp"
+
+namespace wfs::storage {
+
+/// One layer of a composable storage pipeline — the repo-wide form of a
+/// GlusterFS translator (paper §IV.C): "components ... that can be composed
+/// to create novel file system configurations. All translators support a
+/// common API and can be stacked on top of each other in layers. The
+/// translator at each layer can decide to service the call, or pass it to a
+/// lower-level translator."
+///
+/// Layers are wired into a LayerStack, which assigns each one its simulator,
+/// the owning backend's StorageMetrics, a ledger slot (shared across layers
+/// of the same name, so per-node stacks aggregate), and its `next` pointer.
+class IoLayer {
+ public:
+  IoLayer() = default;
+  virtual ~IoLayer() = default;
+  IoLayer(const IoLayer&) = delete;
+  IoLayer& operator=(const IoLayer&) = delete;
+
+  /// Ledger key; layers sharing a name share a LayerMetrics slot.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Entry point for timed ops (read/write/scratch): records the op in this
+  /// layer's ledger, then runs process(). Non-virtual so instrumentation
+  /// cannot be skipped by a subclass.
+  [[nodiscard]] sim::Task<void> submit(Op& op);
+
+  /// Entry point for synchronous control ops (discard/preload): records,
+  /// then runs handle().
+  void control(Op& op);
+
+  /// Bytes of `path` that `node` could serve without network traffic; the
+  /// default asks the next layer. Layers that sit on the far side of a wire
+  /// (transports) override this to return 0.
+  [[nodiscard]] virtual Bytes locality(int node, const std::string& path, Bytes size) const {
+    return next_ != nullptr ? next_->locality(node, path, size) : 0;
+  }
+
+  [[nodiscard]] IoLayer* next() const { return next_; }
+
+  /// Wires the layer into a stack (called by LayerStack).
+  void attach(sim::Simulator& sim, StorageMetrics& metrics, IoLayer* next);
+
+ protected:
+  /// The layer's behavior for timed ops: service the call, forward it, or
+  /// both. `op` outlives the coroutine (owned by the stack-entry frame).
+  [[nodiscard]] virtual sim::Task<void> process(Op& op) = 0;
+
+  /// The layer's behavior for control ops; default passes the op down.
+  virtual void handle(Op& op) {
+    if (next_ != nullptr) next_->control(op);
+  }
+
+  /// Hands the op to the next layer's submit(); requires a next layer.
+  [[nodiscard]] sim::Task<void> forward(Op& op);
+
+  /// Called after attach() wired sim/metrics/next.
+  virtual void onAttach() {}
+
+  [[nodiscard]] LayerMetrics& ledger() const { return metrics_->layers[ledgerSlot_]; }
+
+  sim::Simulator* sim_ = nullptr;
+  StorageMetrics* metrics_ = nullptr;
+  IoLayer* next_ = nullptr;
+
+ private:
+  void record(const Op& op);
+
+  std::size_t ledgerSlot_ = 0;
+};
+
+}  // namespace wfs::storage

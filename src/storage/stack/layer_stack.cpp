@@ -1,0 +1,75 @@
+#include "storage/stack/layer_stack.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wfs::storage {
+
+LayerStack::LayerStack(sim::Simulator& sim, StorageMetrics& metrics,
+                       std::vector<std::unique_ptr<IoLayer>> layers)
+    : layers_{std::move(layers)} {
+  assert(!layers_.empty());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    IoLayer* next = i + 1 < layers_.size() ? layers_[i + 1].get() : nullptr;
+    layers_[i]->attach(sim, metrics, next);
+  }
+  top_ = layers_.front().get();
+}
+
+sim::Task<void> LayerStack::run(Op op) {
+  // The Op lives in this frame while layers below mutate and reference it.
+  auto body = top_->submit(op);
+  co_await std::move(body);
+}
+
+sim::Task<void> LayerStack::read(int node, std::string path, Bytes size) {
+  Op op;
+  op.kind = OpKind::kRead;
+  op.node = node;
+  op.path = std::move(path);
+  op.size = size;
+  return run(std::move(op));
+}
+
+sim::Task<void> LayerStack::write(int node, std::string path, Bytes size) {
+  Op op;
+  op.kind = OpKind::kWrite;
+  op.node = node;
+  op.path = std::move(path);
+  op.size = size;
+  return run(std::move(op));
+}
+
+sim::Task<void> LayerStack::scratchWrite(int node, std::string path, Bytes size) {
+  Op op;
+  op.kind = OpKind::kScratch;
+  op.node = node;
+  op.path = std::move(path);
+  op.size = size;
+  return run(std::move(op));
+}
+
+void LayerStack::discard(int node, const std::string& path) {
+  Op op;
+  op.kind = OpKind::kDiscard;
+  op.node = node;
+  op.path = path;
+  top_->control(op);
+}
+
+void LayerStack::preload(const std::string& path, Bytes size) {
+  Op op;
+  op.kind = OpKind::kPreload;
+  op.path = path;
+  op.size = size;
+  top_->control(op);
+}
+
+IoLayer* LayerStack::find(std::string_view name) {
+  for (auto& l : layers_) {
+    if (l->name() == name) return l.get();
+  }
+  return nullptr;
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// An ordered composition of IoLayers (top first), the client's view of a
+/// storage volume. Owns the layers, wires their `next` pointers, and hands
+/// each its simulator, metrics sink and ledger slot.
+class LayerStack {
+ public:
+  /// `layers` is top-first and must be non-empty.
+  LayerStack(sim::Simulator& sim, StorageMetrics& metrics,
+             std::vector<std::unique_ptr<IoLayer>> layers);
+  LayerStack(const LayerStack&) = delete;
+  LayerStack& operator=(const LayerStack&) = delete;
+
+  /// Timed entry with a caller-owned Op (for layers nesting sub-stacks).
+  [[nodiscard]] sim::Task<void> submit(Op& op) { return top_->submit(op); }
+  /// Control entry with a caller-owned Op.
+  void control(Op& op) { top_->control(op); }
+
+  /// Convenience entries that own the Op for the duration of the call.
+  [[nodiscard]] sim::Task<void> read(int node, std::string path, Bytes size);
+  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size);
+  /// A write of intra-job temporary data (ledgered as scratch).
+  [[nodiscard]] sim::Task<void> scratchWrite(int node, std::string path, Bytes size);
+  void discard(int node, const std::string& path);
+  void preload(const std::string& path, Bytes size);
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const {
+    return top_->locality(node, path, size);
+  }
+
+  [[nodiscard]] IoLayer* layer(std::size_t i) { return layers_.at(i).get(); }
+  [[nodiscard]] const IoLayer* layer(std::size_t i) const { return layers_.at(i).get(); }
+  /// First layer with the given ledger name, or nullptr.
+  [[nodiscard]] IoLayer* find(std::string_view name);
+  [[nodiscard]] std::size_t depth() const { return layers_.size(); }
+
+ private:
+  [[nodiscard]] sim::Task<void> run(Op op);
+
+  std::vector<std::unique_ptr<IoLayer>> layers_;
+  IoLayer* top_;
+};
+
+}  // namespace wfs::storage

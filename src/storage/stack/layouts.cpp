@@ -1,4 +1,4 @@
-#include "storage/gluster/layouts.hpp"
+#include "storage/stack/layouts.hpp"
 
 #include <stdexcept>
 

@@ -1,0 +1,60 @@
+#include "storage/stack/lru_cache_layer.hpp"
+
+namespace wfs::storage {
+
+sim::Task<void> LruCacheLayer::process(Op& op) {
+  if (op.kind == OpKind::kRead) {
+    if (cache_.touch(op.path)) {
+      ++ledger().cacheHits;
+      if (cfg_.hitCountsCacheHit) ++metrics_->cacheHits;
+      if (cfg_.hitCountsLocalRead) ++metrics_->localReads;
+      if (cfg_.hitLatency) co_await sim_->delay(cfg_.hitLatency(op));
+      switch (cfg_.hitCost) {
+        case HitCost::kMemCopy:
+          if (op.node >= 0) metrics_->nodeIo(op.node).fromCache += op.size;
+          co_await sim_->delay(memCopyTime(op.size, cfg_.memRate));
+          break;
+        case HitCost::kRoute:
+          if (op.node >= 0) metrics_->nodeIo(op.node).fromCache += op.size;
+          if (op.route.empty()) {
+            co_await sim_->delay(memCopyTime(op.size, cfg_.memRate));
+          } else {
+            // Served from this tier's RAM at wire speed.
+            auto flow = cfg_.net->transfer(op.route, op.size);
+            co_await std::move(flow);
+          }
+          break;
+        case HitCost::kFree:
+          // Residency-only cache: a lower layer serves the payload.
+          break;
+      }
+      co_return;
+    }
+    ++ledger().cacheMisses;
+    if (cfg_.missCountsCacheMiss) ++metrics_->cacheMisses;
+    if (cfg_.missCountsRemoteRead) ++metrics_->remoteReads;
+    auto below = forward(op);
+    co_await std::move(below);
+    cache_.put(op.path, op.size);
+    co_return;
+  }
+  // Write/scratch: the data this layer just saw is cached either side of
+  // the descent, matching each legacy backend's put ordering (ordering
+  // matters: concurrent ops on the same stack observe eviction state).
+  if (cfg_.putBeforeForwardOnWrite) {
+    cache_.put(op.path, op.size);
+    auto below = forward(op);
+    co_await std::move(below);
+  } else {
+    auto below = forward(op);
+    co_await std::move(below);
+    cache_.put(op.path, op.size);
+  }
+}
+
+void LruCacheLayer::handle(Op& op) {
+  if (op.kind == OpKind::kDiscard) cache_.erase(op.path);
+  IoLayer::handle(op);
+}
+
+}  // namespace wfs::storage

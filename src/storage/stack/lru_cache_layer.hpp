@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "storage/base/lru_cache.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// A byte-capacity LRU cache as a stack layer — the one mechanism behind
+/// the GlusterFS io-cache translator, node/NFS-server/brick page caches,
+/// the NFS client cache and the S3 whole-file cache; the Config picks the
+/// hit cost model and which legacy StorageMetrics counters each outcome
+/// feeds (they must match what the pre-stack backends counted, since fig2's
+/// cache_hit_rate is derived from them).
+///
+/// Reads: hit serves at this layer (optional `hitLatency`, then the hit
+/// cost); miss forwards, then caches on the way back up. Writes/scratch:
+/// forward, then cache (or cache first with `putBeforeForwardOnWrite`, for
+/// caches that must be warm while the layer below re-reads the data — the
+/// S3 wrapper). Discard control evicts; preload control passes through
+/// (pre-staged data is cold, §III.C).
+class LruCacheLayer : public IoLayer {
+ public:
+  /// How a hit is served: a memory copy at `memRate`; a flow over the op's
+  /// route (falling back to a memory copy when the route is empty, i.e. the
+  /// requester is local); or free (the layer only tracks residency — the
+  /// S3 whole-file cache, where a lower staging layer pays the actual read).
+  enum class HitCost { kMemCopy, kRoute, kFree };
+
+  struct Config {
+    std::string name = "performance/page-cache";
+    Bytes capacity = 0;
+    Rate memRate = GBps(1);
+    HitCost hitCost = HitCost::kMemCopy;
+    /// Required for HitCost::kRoute.
+    net::FlowNetwork* net = nullptr;
+    /// Client-observed delay before a hit is served (NFS GETATTR
+    /// revalidation round trip).
+    std::function<sim::Duration(const Op&)> hitLatency;
+    bool putBeforeForwardOnWrite = false;
+    // Legacy StorageMetrics wiring (behavior-preservation contract).
+    bool hitCountsCacheHit = false;
+    bool hitCountsLocalRead = false;
+    bool missCountsCacheMiss = false;
+    bool missCountsRemoteRead = false;
+  };
+
+  explicit LruCacheLayer(Config cfg) : cfg_{std::move(cfg)}, cache_{cfg_.capacity} {}
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  [[nodiscard]] bool cached(const std::string& path) const { return cache_.contains(path); }
+  void evict(const std::string& path) { cache_.erase(path); }
+  [[nodiscard]] LruCache& cache() { return cache_; }
+  [[nodiscard]] const LruCache& cache() const { return cache_; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    if (cache_.contains(path)) return size;
+    return next_ != nullptr ? next_->locality(node, path, size) : 0;
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+  void handle(Op& op) override;
+
+ private:
+  Config cfg_;
+  LruCache cache_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,36 @@
+#include "storage/stack/node_stack.hpp"
+
+#include <vector>
+
+#include "storage/stack/device_layer.hpp"
+#include "storage/stack/write_behind_layer.hpp"
+
+namespace wfs::storage {
+
+std::unique_ptr<LayerStack> makeNodeStack(sim::Simulator& sim, StorageMetrics& metrics,
+                                          const StorageNode& node, const NodeStackConfig& cfg,
+                                          const std::string& prefix) {
+  LruCacheLayer::Config cache;
+  cache.name = prefix + "/page-cache";
+  cache.capacity =
+      static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.pageCacheFraction);
+  cache.memRate = cfg.memRate;
+
+  WriteBehindLayer::Config wb;
+  wb.name = prefix + "/write-behind";
+  wb.dirtyLimit =
+      static_cast<Bytes>(static_cast<double>(node.memoryBytes) * cfg.dirtyFraction);
+  wb.memRate = cfg.memRate;
+
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(std::make_unique<LruCacheLayer>(cache));
+  layers.push_back(std::make_unique<WriteBehindLayer>(sim, *node.disk, wb));
+  layers.push_back(std::make_unique<DeviceLayer>(*node.disk, prefix + "/device"));
+  return std::make_unique<LayerStack>(sim, metrics, std::move(layers));
+}
+
+LruCacheLayer& pageCacheOf(LayerStack& stack) {
+  return static_cast<LruCacheLayer&>(*stack.layer(0));
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/lru_cache_layer.hpp"
+
+namespace wfs::storage {
+
+/// Sizing of the canonical node-local stack (page cache over the RAID
+/// array plus a dirty-page write-back buffer) — the local-disk view a node
+/// has of its own data. Shared by the local-disk option, the S3 option's
+/// staging disk, and p2p scratch space.
+struct NodeStackConfig {
+  /// Page cache bytes, as a fraction of node RAM.
+  double pageCacheFraction = 0.42;
+  /// Dirty limit, as a fraction of node RAM (Linux dirty_ratio ~ 0.2-0.4;
+  /// workflow nodes mostly do I/O, so the effective share is higher).
+  double dirtyFraction = 0.2;
+  Rate memRate = GBps(1);
+};
+
+/// Builds `prefix`/page-cache -> `prefix`/write-behind -> `prefix`/device
+/// over the node's disk.
+[[nodiscard]] std::unique_ptr<LayerStack> makeNodeStack(sim::Simulator& sim,
+                                                        StorageMetrics& metrics,
+                                                        const StorageNode& node,
+                                                        const NodeStackConfig& cfg,
+                                                        const std::string& prefix = "node");
+
+/// The page-cache layer of a stack whose top layer is an LruCacheLayer
+/// (true for makeNodeStack products).
+[[nodiscard]] LruCacheLayer& pageCacheOf(LayerStack& stack);
+
+}  // namespace wfs::storage

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "simcore/units.hpp"
+
+namespace wfs::storage {
+
+/// What a layer-stack operation does. `kScratch` is a write whose data is
+/// intra-job temporary (ledgered separately from durable writes); `kDiscard`
+/// and `kPreload` ride the synchronous control path (IoLayer::control).
+enum class OpKind { kRead, kWrite, kScratch, kDiscard, kPreload };
+
+[[nodiscard]] const char* toString(OpKind kind);
+
+[[nodiscard]] constexpr bool isWriteLike(OpKind kind) {
+  return kind == OpKind::kWrite || kind == OpKind::kScratch;
+}
+
+/// One whole-file operation descending a layer stack (the generalization of
+/// the GlusterFS FileOp, paper §IV.C). An Op is owned by the coroutine
+/// frame that entered the stack and mutated in place as layers route it.
+struct Op {
+  OpKind kind = OpKind::kRead;
+  /// Worker node issuing the call; -1 for node-less control ops (preload).
+  int node = -1;
+  std::string path;
+  Bytes size = 0;
+  /// Owner node resolved by a PlacementLayer; -1 until resolved.
+  int owner = -1;
+  /// Flow hops the payload rides below this point. Routing layers set it
+  /// (e.g. server NIC -> client NIC + backplane); cache and device layers
+  /// consume it to stream data as one pipelined flow.
+  net::Path route{};
+  /// Ledger plumbing: the enclosing layer's accumulator of time spent in
+  /// layers below it (IoLayer::submit maintains the chain).
+  double* parentClock = nullptr;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,61 @@
+#include "storage/stack/placement_layer.hpp"
+
+namespace wfs::storage {
+
+sim::Task<void> PlacementLayer::descend(Op& op) {
+  if (!targets_.empty()) {
+    return targets_.at(static_cast<std::size_t>(op.owner))->submit(op);
+  }
+  return forward(op);
+}
+
+sim::Task<void> PlacementLayer::process(Op& op) {
+  net::Nic* client = nodes_.at(static_cast<std::size_t>(op.node))->nic;
+  if (op.kind == OpKind::kRead) {
+    const int owner = layout_->locate(op.path);
+    op.owner = owner;
+    net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
+    if (owner == op.node) {
+      if (cfg_.countLocalRemote) ++metrics_->localReads;
+    } else {
+      if (cfg_.countLocalRemote) ++metrics_->remoteReads;
+      if (cfg_.remoteLookup) {
+        co_await sim_->delay(cfg_.lookupLatency + fabric_->oneWayLatency(client, ownerNic));
+      }
+    }
+    if (cfg_.routeReadsFromOwner) op.route = fabric_->path(ownerNic, client);
+    auto below = descend(op);
+    co_await std::move(below);
+    co_return;
+  }
+  // Write/scratch.
+  const int owner = layout_->place(op.path, op.node);
+  op.owner = owner;
+  net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
+  if (owner != op.node) {
+    if (cfg_.remoteLookup) {
+      co_await sim_->delay(cfg_.lookupLatency + fabric_->oneWayLatency(client, ownerNic));
+    }
+    if (cfg_.remoteWritePayload) {
+      // protocol/client hop: the payload crosses the network to the owner.
+      auto flow = fabric_->network().transfer(fabric_->path(client, ownerNic), op.size);
+      co_await std::move(flow);
+    }
+  }
+  op.route = {};  // payload is at the owner now
+  auto below = descend(op);
+  co_await std::move(below);
+}
+
+void PlacementLayer::handle(Op& op) {
+  const int owner = op.kind == OpKind::kPreload ? layout_->place(op.path, /*creator=*/-1)
+                                                : layout_->locate(op.path);
+  op.owner = owner;
+  if (!targets_.empty()) {
+    targets_.at(static_cast<std::size_t>(owner))->control(op);
+    return;
+  }
+  IoLayer::handle(op);
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/io_layer.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/layouts.hpp"
+
+namespace wfs::storage {
+
+/// Routing layer over a LayoutPolicy (GlusterFS cluster/dht-or-nufa,
+/// XtreemFS OSD selection): resolves the op's owner node, optionally pays
+/// the lookup RPC and remote-write payload transfer, then descends into the
+/// owner's substack — or, with no targets configured, forwards to the next
+/// layer with `op.owner` resolved for it (resolve-only form).
+class PlacementLayer final : public IoLayer {
+ public:
+  struct Config {
+    std::string name = "cluster/dht";
+    /// Per-file lookup RPC to the owning node when it is remote; paired
+    /// with the fabric's one-way latency. Disabled when `remoteLookup` is
+    /// false (XtreemFS folds all latency into its own transport).
+    sim::Duration lookupLatency = sim::Duration::micros(300);
+    bool remoteLookup = true;
+    /// Reads count localReads/remoteReads in the legacy metrics.
+    bool countLocalRemote = true;
+    /// Remote writes move the payload to the owner before descending
+    /// (protocol/client hop).
+    bool remoteWritePayload = true;
+    /// Reads descend with op.route = path(owner -> client), so the serving
+    /// layer streams straight back to the requester.
+    bool routeReadsFromOwner = true;
+    /// locality(): owning the file on-node counts as full locality.
+    bool localityFromOwner = true;
+  };
+
+  PlacementLayer(net::Fabric& fabric, LayoutPolicy& layout,
+                 std::vector<const StorageNode*> nodes, Config cfg)
+      : cfg_{std::move(cfg)}, fabric_{&fabric}, layout_{&layout}, nodes_{std::move(nodes)} {}
+
+  /// Per-owner substacks (e.g. one brick stack per node). When empty, ops
+  /// forward to the next layer instead.
+  void setTargets(std::vector<LayerStack*> targets) { targets_ = std::move(targets); }
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    if (cfg_.localityFromOwner && layout_->locate(path) == node) return size;
+    return 0;
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+  void handle(Op& op) override;
+
+ private:
+  [[nodiscard]] sim::Task<void> descend(Op& op);
+
+  Config cfg_;
+  net::Fabric* fabric_;
+  LayoutPolicy* layout_;
+  std::vector<const StorageNode*> nodes_;
+  std::vector<LayerStack*> targets_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,22 @@
+#include "storage/stack/rpc_transport_layer.hpp"
+
+namespace wfs::storage {
+
+sim::Task<void> RpcTransportLayer::process(Op& op) {
+  if (cfg_.onIssue) cfg_.onIssue(op);
+  if (cfg_.latency) co_await sim_->delay(cfg_.latency(op));
+  if (cfg_.transferPayload) {
+    if (op.kind == OpKind::kRead && cfg_.readsFromNetwork && op.node >= 0) {
+      metrics_->nodeIo(op.node).fromNetwork += op.size;
+    }
+    net::Path path = cfg_.route ? cfg_.route(op) : net::Path{};
+    auto flow = cfg_.net->transfer(std::move(path), op.size);
+    co_await std::move(flow);
+  }
+  if (cfg_.forwardAfter) {
+    auto below = forward(op);
+    co_await std::move(below);
+  }
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "net/flow_network.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// Generic request/response transport: per-op accounting hook, fixed
+/// pre-payload latency, then the payload as one flow over a caller-supplied
+/// path (EBS volume service, simple RPC services). Terminal by default;
+/// set `forwardAfter` for transports that front a deeper stack.
+class RpcTransportLayer final : public IoLayer {
+ public:
+  struct Config {
+    std::string name = "protocol/rpc";
+    /// Request accounting, called before any simulated time passes.
+    std::function<void(const Op&)> onIssue;
+    /// Fixed pre-payload latency per op (issue/request round trip).
+    std::function<sim::Duration(const Op&)> latency;
+    /// Builds the payload flow path for the op.
+    std::function<net::Path(const Op&)> route;
+    net::FlowNetwork* net = nullptr;
+    bool transferPayload = true;
+    bool forwardAfter = false;
+    /// Payload reads crossed a wire (per-node fromNetwork attribution).
+    bool readsFromNetwork = true;
+  };
+
+  explicit RpcTransportLayer(Config cfg) : cfg_{std::move(cfg)} {}
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  /// The wire starts here: nothing below is local to any node.
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,56 @@
+#include "storage/stack/stripe_layer.hpp"
+
+#include <algorithm>
+
+namespace wfs::storage {
+
+int StripeLayer::serversFor(Bytes size) const {
+  const Bytes stripes = std::max<Bytes>(1, (size + cfg_.stripeSize - 1) / cfg_.stripeSize);
+  return static_cast<int>(
+      std::min<Bytes>(static_cast<Bytes>(servers_.size()), stripes));
+}
+
+sim::Task<void> StripeLayer::serverIo(int server, int clientNode, Bytes bytes, bool wr) {
+  const StorageNode& sv = *servers_.at(static_cast<std::size_t>(server));
+  net::Nic* cli = servers_.at(static_cast<std::size_t>(clientNode))->nic;
+  co_await sim_->delay(cfg_.ioRequestOverhead + fabric_->oneWayLatency(cli, sv.nic));
+  // Flow-controlled requests, serial per server: each repositions the
+  // disk because concurrent clients interleave between requests. The
+  // server's datafile is contiguous, so chunk initialization is paid
+  // once per file, not once per request.
+  const Bytes base = wr ? sv.disk->allocate(bytes) : 0;
+  Bytes done = 0;
+  while (done < bytes) {
+    const Bytes req = std::min(bytes - done, cfg_.requestSize);
+    if (wr) {
+      // Client -> server NIC -> synchronous disk write, pipelined flow.
+      co_await sv.disk->writeAt(base + done, req, fabric_->path(cli, sv.nic));
+    } else {
+      // Disk read -> server NIC -> client, pipelined flow.
+      co_await sv.disk->read(req, fabric_->path(sv.nic, cli));
+    }
+    done += req;
+  }
+}
+
+sim::Task<void> StripeLayer::process(Op& op) {
+  const bool wr = isWriteLike(op.kind);
+  const int k = serversFor(op.size);
+  const Bytes chunk = op.size / k;
+  const Bytes last = op.size - chunk * (k - 1);
+
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const Bytes part = (i == k - 1) ? last : chunk;
+    if (part <= 0) continue;
+    if (op.kind == OpKind::kRead && op.node >= 0) {
+      auto& io = metrics_->nodeIo(op.node);
+      (i == op.node ? io.fromDisk : io.fromNetwork) += part;
+    }
+    parts.push_back(serverIo(i, op.node, part, wr));
+  }
+  co_await sim::allOf(*sim_, std::move(parts));
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// Terminal striping layer (PVFS, paper §IV.D): file data is spread over
+/// every server in `stripeSize` units and moved as flow-controlled
+/// `requestSize` requests, serial per server, parallel across servers.
+/// Each request repositions the disk (2.6.x did no server-side request
+/// coalescing) — the small-file killer's other half.
+class StripeLayer final : public IoLayer {
+ public:
+  struct Config {
+    std::string name = "cluster/stripe";
+    /// Stripe unit (PVFS default 64 KiB).
+    Bytes stripeSize = 64_KiB;
+    /// Request setup per server per transfer.
+    sim::Duration ioRequestOverhead = sim::Duration::micros(300);
+    /// Flow-control window per request.
+    Bytes requestSize = 128_KiB;
+  };
+
+  StripeLayer(net::Fabric& fabric, std::vector<const StorageNode*> servers, Config cfg)
+      : cfg_{std::move(cfg)}, fabric_{&fabric}, servers_{std::move(servers)} {}
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  /// Servers touched by a file of `size` bytes (round-robin striping).
+  [[nodiscard]] int serversFor(Bytes size) const;
+
+  /// Stripes always reach other servers.
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+
+ private:
+  [[nodiscard]] sim::Task<void> serverIo(int server, int clientNode, Bytes bytes, bool wr);
+
+  Config cfg_;
+  net::Fabric* fabric_;
+  std::vector<const StorageNode*> servers_;
+};
+
+}  // namespace wfs::storage

@@ -1,13 +1,20 @@
-#include "storage/base/wb_cache.hpp"
+#include "storage/stack/write_behind_layer.hpp"
 
 #include <algorithm>
 
 namespace wfs::storage {
 
-WriteBackCache::WriteBackCache(sim::Simulator& sim, blk::BlockStore& backing, const Config& cfg)
-    : sim_{&sim}, backing_{&backing}, cfg_{cfg}, spaceFreed_{sim}, allClean_{sim} {}
+sim::Task<void> WriteBehindLayer::process(Op& op) {
+  if (op.kind == OpKind::kRead) {
+    auto below = forward(op);
+    co_await std::move(below);
+    co_return;
+  }
+  auto landed = absorb(op.size);
+  co_await std::move(landed);
+}
 
-sim::Task<void> WriteBackCache::write(Bytes size) {
+sim::Task<void> WriteBehindLayer::absorb(Bytes size) {
   if (size > 0) pendingFiles_.push_back(size);
   Bytes left = size;
   while (left > 0) {
@@ -18,26 +25,30 @@ sim::Task<void> WriteBackCache::write(Bytes size) {
       left -= admit;
       ensureFlusher();
       // Memory-speed landing of the admitted portion.
-      co_await sim_->delay(
+      co_await wbSim_->delay(
           sim::Duration::fromSeconds(static_cast<double>(admit) / cfg_.memRate));
     } else {
       ++stalls_;
+      const double stallStart = wbSim_->now().asSeconds();
       co_await spaceFreed_.wait();
+      if (metrics_ != nullptr) {
+        ledger().queueSeconds += wbSim_->now().asSeconds() - stallStart;
+      }
     }
   }
 }
 
-sim::Task<void> WriteBackCache::drain() {
+sim::Task<void> WriteBehindLayer::drain() {
   while (dirty_ > 0) co_await allClean_.wait();
 }
 
-void WriteBackCache::ensureFlusher() {
+void WriteBehindLayer::ensureFlusher() {
   if (flusherRunning_) return;
   flusherRunning_ = true;
-  sim_->spawn(flusherLoop());
+  wbSim_->spawn(flusherLoop());
 }
 
-sim::Task<void> WriteBackCache::flusherLoop() {
+sim::Task<void> WriteBehindLayer::flusherLoop() {
   while (dirty_ > 0) {
     // Write back at most one file (or flushChunk of a big one) per device
     // operation, so small files each pay the positioning cost.

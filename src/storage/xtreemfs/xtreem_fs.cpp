@@ -1,55 +1,101 @@
 #include "storage/xtreemfs/xtreem_fs.hpp"
 
+#include "storage/stack/placement_layer.hpp"
+
 namespace wfs::storage {
+namespace {
+
+/// The OSD data path: per-open MRC/capability latency, then the object
+/// streamed over a fresh connection with its own rate ceiling. Expects
+/// `op.owner` resolved by the placement layer above.
+class XtreemOsdLayer final : public IoLayer {
+ public:
+  XtreemOsdLayer(net::Fabric& fabric, std::vector<const StorageNode*> nodes,
+                 sim::Duration perOpLatency, Rate perConnectionRate)
+      : fabric_{&fabric},
+        nodes_{std::move(nodes)},
+        perOpLatency_{perOpLatency},
+        perConnectionRate_{perConnectionRate} {}
+
+  [[nodiscard]] std::string name() const override { return "xtreemfs/osd"; }
+
+  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+    (void)node;
+    (void)path;
+    (void)size;
+    return 0;  // no client-side caching of workflow data
+  }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override {
+    co_await sim_->delay(perOpLatency_);
+    if (op.size <= 0) co_return;
+    const StorageNode& osd = *nodes_.at(static_cast<std::size_t>(op.owner));
+    net::Nic* client = nodes_.at(static_cast<std::size_t>(op.node))->nic;
+    // The per-connection ceiling lives in the coroutine frame for the
+    // duration of the transfer.
+    net::Capacity connection{fabric_->network(), perConnectionRate_, "xtreemfs.conn"};
+    if (isWriteLike(op.kind)) {
+      net::Path path = fabric_->path(client, osd.nic);
+      path.push_back(net::Hop{&connection, 1.0});
+      co_await osd.disk->write(op.size, std::move(path));
+    } else {
+      if (op.node >= 0) {
+        auto& io = metrics_->nodeIo(op.node);
+        (op.owner == op.node ? io.fromDisk : io.fromNetwork) += op.size;
+      }
+      net::Path path = fabric_->path(osd.nic, client);
+      path.push_back(net::Hop{&connection, 1.0});
+      co_await osd.disk->read(op.size, std::move(path));
+    }
+  }
+
+ private:
+  net::Fabric* fabric_;
+  std::vector<const StorageNode*> nodes_;
+  sim::Duration perOpLatency_;
+  Rate perConnectionRate_;
+};
+
+}  // namespace
 
 XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                    const Config& cfg)
-    : StorageSystem{std::move(nodes)},
-      sim_{&sim},
-      fabric_{&fabric},
-      cfg_{cfg},
-      osdLayout_{nodeCount()} {}
+    : StorageSystem{std::move(nodes)}, cfg_{cfg}, osdLayout_{nodeCount()} {
+  std::vector<const StorageNode*> nodePtrs;
+  nodePtrs.reserve(nodes_.size());
+  for (const auto& n : nodes_) nodePtrs.push_back(&n);
 
-sim::Task<void> XtreemFs::transfer(int clientIdx, int osdIdx, Bytes size, bool isWrite) {
-  co_await sim_->delay(cfg_.perOpLatency);
-  if (size <= 0) co_return;
-  StorageNode& osd = node(osdIdx);
-  net::Nic* client = node(clientIdx).nic;
-  // The per-connection ceiling lives in the coroutine frame for the
-  // duration of the transfer.
-  net::Capacity connection{fabric_->network(), cfg_.perConnectionRate, "xtreemfs.conn"};
-  if (isWrite) {
-    net::Path path = fabric_->path(client, osd.nic);
-    path.push_back(net::Hop{&connection, 1.0});
-    co_await osd.disk->write(size, std::move(path));
-  } else {
-    net::Path path = fabric_->path(osd.nic, client);
-    path.push_back(net::Hop{&connection, 1.0});
-    co_await osd.disk->read(size, std::move(path));
-  }
-}
+  // Resolve-only placement: the OSD layer pays all latency itself, and
+  // owning an object's OSD confers no locality (reads still open a
+  // connection through the full MRC/OSD path).
+  PlacementLayer::Config placement;
+  placement.name = "cluster/osd-placement";
+  placement.remoteLookup = false;
+  placement.countLocalRemote = false;
+  placement.remoteWritePayload = false;
+  placement.routeReadsFromOwner = false;
+  placement.localityFromOwner = false;
 
-sim::Task<void> XtreemFs::write(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
-  ++metrics_.writeOps;
-  metrics_.bytesWritten += size;
-  co_await transfer(nodeIdx, osdLayout_.place(path, nodeIdx), size, /*isWrite=*/true);
-}
-
-sim::Task<void> XtreemFs::read(int nodeIdx, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
-  ++metrics_.readOps;
-  ++metrics_.remoteReads;
-  metrics_.bytesRead += meta.size;
-  co_await transfer(nodeIdx, osdLayout_.locate(path), meta.size, /*isWrite=*/false);
-}
-
-void XtreemFs::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-  osdLayout_.place(path, -1);
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(
+      std::make_unique<PlacementLayer>(fabric, osdLayout_, nodePtrs, placement));
+  layers.push_back(std::make_unique<XtreemOsdLayer>(fabric, nodePtrs, cfg.perOpLatency,
+                                                    cfg.perConnectionRate));
+  stack_ = std::make_unique<LayerStack>(sim, metrics_, std::move(layers));
+  setNodeStacks(std::vector<LayerStack*>(nodes_.size(), stack_.get()));
 }
 
 XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
     : XtreemFs{sim, fabric, std::move(nodes), Config{}} {}
+
+sim::Task<void> XtreemFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+  return stack_->write(nodeIdx, std::move(path), size);
+}
+
+sim::Task<void> XtreemFs::doRead(int nodeIdx, std::string path, Bytes size) {
+  ++metrics_.remoteReads;
+  return stack_->read(nodeIdx, std::move(path), size);
+}
 
 }  // namespace wfs::storage

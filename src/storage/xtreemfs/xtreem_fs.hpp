@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "storage/base/storage_system.hpp"
-#include "storage/gluster/layouts.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/layouts.hpp"
 
 namespace wfs::storage {
 
@@ -16,6 +18,8 @@ namespace wfs::storage {
 /// metadata + capability round trips through MRC/OSD services) and a modest
 /// per-connection streaming rate, with objects placed on OSDs by hash and
 /// no client-side caching of workflow data.
+///
+/// Stack (shared): cluster/osd-placement (resolve-only) -> xtreemfs/osd.
 class XtreemFs : public StorageSystem {
  public:
   struct Config {
@@ -30,17 +34,15 @@ class XtreemFs : public StorageSystem {
   XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "xtreemfs"; }
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> read(int node, std::string path) override;
-  void preload(const std::string& path, Bytes size) override;
+
+ protected:
+  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
  private:
-  [[nodiscard]] sim::Task<void> transfer(int clientIdx, int osdIdx, Bytes size, bool isWrite);
-
-  sim::Simulator* sim_;
-  net::Fabric* fabric_;
   Config cfg_;
   DistributeLayout osdLayout_;
+  std::unique_ptr<LayerStack> stack_;
 };
 
 }  // namespace wfs::storage

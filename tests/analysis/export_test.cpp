@@ -79,5 +79,50 @@ TEST(Export, EmptyProfStillHasHeader) {
   EXPECT_EQ(ganttCsv(p), std::string{"node,start,end,job,transformation\n"});
 }
 
+SweepCellResult sampleCell() {
+  SweepCellResult cell;
+  cell.config.app = App::kMontage;
+  cell.config.storage = StorageKind::kNfs;
+  cell.config.workerNodes = 2;
+  cell.config.appScale = 0.5;
+  cell.config.seed = 7;
+  cell.ok = true;
+  storage::LayerMetrics lm;
+  lm.name = "nfs/client-cache";
+  lm.readOps = 3;
+  lm.writeOps = 2;
+  lm.bytesRead = 300;
+  lm.bytesWritten = 200;
+  lm.cacheHits = 1;
+  lm.cacheMisses = 2;
+  lm.busySeconds = 1.5;
+  lm.selfSeconds = 0.25;
+  cell.result.storageMetrics.layers.push_back(lm);
+  cell.result.storageMetrics.nodeIo(0).fromCache = 100;
+  cell.result.storageMetrics.nodeIo(0).fromNetwork = 200;
+  return cell;
+}
+
+TEST(Export, MetricsJsonlFixedKeyOrder) {
+  const auto out = metricsJsonl(sampleCell());
+  EXPECT_EQ(out,
+            "{\"app\":\"montage\",\"storage\":\"nfs\",\"nodes\":2,\"scale\":0.5,"
+            "\"seed\":7,\"layer\":\"nfs/client-cache\",\"read_ops\":3,\"write_ops\":2,"
+            "\"scratch_ops\":0,\"discard_ops\":0,\"preload_ops\":0,\"bytes_read\":300,"
+            "\"bytes_written\":200,\"cache_hits\":1,\"cache_misses\":2,\"busy_s\":1.5,"
+            "\"self_s\":0.25,\"queue_s\":0}\n"
+            "{\"app\":\"montage\",\"storage\":\"nfs\",\"nodes\":2,\"scale\":0.5,"
+            "\"seed\":7,\"node\":0,\"from_cache_bytes\":100,\"from_disk_bytes\":0,"
+            "\"from_network_bytes\":200,\"bytes_written\":0}\n");
+}
+
+TEST(Export, MetricsJsonlEmptyForFailedCell) {
+  SweepCellResult cell = sampleCell();
+  cell.ok = false;
+  cell.error = "boom";
+  EXPECT_EQ(metricsJsonl(cell), "");
+  EXPECT_EQ(sweepMetricsJsonl({cell}), "");
+}
+
 }  // namespace
 }  // namespace wfs::analysis

@@ -69,8 +69,8 @@ TEST(S3, WriteCountsPutAndCaches) {
   S3World s;
   s.w.run(s.fs.write(0, "out.dat", 25_MB));
   EXPECT_EQ(s.fs.objectStore().putCount(), 1u);
-  EXPECT_TRUE(s.fs.client(0).cached("out.dat"));
-  EXPECT_FALSE(s.fs.client(1).cached("out.dat"));
+  EXPECT_TRUE(s.fs.cached(0, "out.dat"));
+  EXPECT_FALSE(s.fs.cached(1, "out.dat"));
 }
 
 TEST(S3, ReadMissDoesGetThenCaches) {

@@ -3,8 +3,9 @@
 #include "storage/base/lru_cache.hpp"
 #include "storage/base/path.hpp"
 #include "storage/base/storage_system.hpp"
-#include "storage/base/node_scratch.hpp"
-#include "storage/base/wb_cache.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/node_stack.hpp"
+#include "storage/stack/write_behind_layer.hpp"
 #include "testing/cluster_fixture.hpp"
 
 namespace wfs::storage {
@@ -98,70 +99,115 @@ TEST(FileCatalog, WriteOnceEnforced) {
   EXPECT_THROW((void)cat.lookup("missing"), std::out_of_range);
 }
 
-// ---------------- write-back cache ----------------
-
-TEST(WriteBackCache, SmallWriteLandsAtMemorySpeed) {
-  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
-  WriteBackCache::Config cfg;
-  cfg.dirtyLimit = 1_GB;
-  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
-  // 100 MB at 1 GB/s memRate = 0.1 s; the flush happens in background.
-  const double t = w.run(wb.write(100_MB));
-  EXPECT_NEAR(t, 0.1, 1e-3);
-  EXPECT_EQ(wb.stallCount(), 0u);
+TEST(FileCatalog, ErrorsNameTheOffendingPath) {
+  FileCatalog cat;
+  cat.create("data/m101.fits", 100, 0);
+  try {
+    cat.create("data/m101.fits", 100, 1);
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("data/m101.fits"), std::string::npos) << e.what();
+  }
+  try {
+    (void)cat.lookup("missing.dat");
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string{e.what()}.find("missing.dat"), std::string::npos) << e.what();
+  }
 }
 
-TEST(WriteBackCache, BlocksWhenDirtyLimitReached) {
+// ---------------- write-behind layer ----------------
+
+/// A WriteBehindLayer alone in a stack: writes never forward, reads would.
+struct WriteBehindRig {
+  explicit WriteBehindRig(testing::MiniCluster& w, Bytes dirtyLimit)
+      : stack{w.sim, metrics, makeLayers(w, dirtyLimit)},
+        wb{static_cast<WriteBehindLayer*>(stack.layer(0))} {}
+
+  static std::vector<std::unique_ptr<IoLayer>> makeLayers(testing::MiniCluster& w,
+                                                          Bytes dirtyLimit) {
+    WriteBehindLayer::Config cfg;
+    cfg.dirtyLimit = dirtyLimit;
+    std::vector<std::unique_ptr<IoLayer>> layers;
+    layers.push_back(std::make_unique<WriteBehindLayer>(w.sim, *w.nodes[0].disk, cfg));
+    return layers;
+  }
+
+  StorageMetrics metrics;
+  LayerStack stack;
+  WriteBehindLayer* wb;
+};
+
+TEST(WriteBehindLayer, SmallWriteLandsAtMemorySpeed) {
   testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
-  WriteBackCache::Config cfg;
-  cfg.dirtyLimit = 100_MB;
-  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
+  WriteBehindRig rig{w, 1_GB};
+  // 100 MB at 1 GB/s memRate = 0.1 s; the flush happens in background.
+  const double t = w.run(rig.stack.write(0, "f", 100_MB));
+  EXPECT_NEAR(t, 0.1, 1e-3);
+  EXPECT_EQ(rig.wb->stallCount(), 0u);
+}
+
+TEST(WriteBehindLayer, BlocksWhenDirtyLimitReached) {
+  testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  WriteBehindRig rig{w, 100_MB};
   // 800 MB >> dirty limit: overall progress is bounded by the disk
   // (initialized RAID-0 at 400 MB/s -> ~2 s), not by memRate (0.8 s).
-  const double t = w.run(wb.write(800_MB));
+  const double t = w.run(rig.stack.write(0, "f", 800_MB));
   EXPECT_GT(t, 1.5);
-  EXPECT_GT(wb.stallCount(), 0u);
+  EXPECT_GT(rig.wb->stallCount(), 0u);
+  // Dirty-limit stalls are booked as queue time in the layer ledger.
+  const LayerMetrics* lm = rig.metrics.findLayer("performance/write-behind");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_GT(lm->queueSeconds, 0.0);
 }
 
-TEST(WriteBackCache, DrainWaitsForAllFlushes) {
+TEST(WriteBehindLayer, DrainWaitsForAllFlushes) {
   testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
-  WriteBackCache::Config cfg;
-  cfg.dirtyLimit = 1_GB;
-  WriteBackCache wb{w.sim, *w.nodes[0].disk, cfg};
-  const double t = w.run([](WriteBackCache& c) -> sim::Task<void> {
-    co_await c.write(400_MB);
-    co_await c.drain();
-  }(wb));
+  WriteBehindRig rig{w, 1_GB};
+  const double t = w.run([](LayerStack& s, WriteBehindLayer& c) -> sim::Task<void> {
+    auto wr = s.write(0, "f", 400_MB);
+    co_await std::move(wr);
+    auto drained = c.drain();
+    co_await std::move(drained);
+  }(rig.stack, *rig.wb));
   // Write returns at 0.4 s but drain waits for the 400 MB/s flush (~1 s).
   EXPECT_GT(t, 0.99);
-  EXPECT_EQ(wb.dirty(), 0);
+  EXPECT_EQ(rig.wb->dirty(), 0);
 }
 
-// ---------------- node scratch ----------------
+// ---------------- node stack ----------------
 
-TEST(NodeScratch, ReadMissHitsDiskThenCaches) {
+TEST(NodeStack, ReadMissHitsDiskThenCaches) {
   testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
-  NodeScratch scratch{w.sim, w.nodes[0], NodeScratch::Config{}};
+  StorageMetrics metrics;
+  auto scratch = makeNodeStack(w.sim, metrics, w.nodes[0], NodeStackConfig{});
   // Miss: 310 MB/s RAID read of 310 MB -> 1 s.
-  const double t1 = w.run(scratch.read("f", 310_MB));
+  const double t1 = w.run(scratch->read(0, "f", 310_MB));
   EXPECT_NEAR(t1, 1.0, 1e-3);
-  EXPECT_EQ(scratch.cacheMisses(), 1u);
+  const LayerMetrics* pc = metrics.findLayer("node/page-cache");
+  ASSERT_NE(pc, nullptr);
+  EXPECT_EQ(pc->cacheMisses, 1u);
   // Hit: memory speed (1 GB/s) -> 0.31 s.
-  const double t2 = w.run(scratch.read("f", 310_MB));
+  const double t2 = w.run(scratch->read(0, "f", 310_MB));
   EXPECT_NEAR(t2 - t1, 0.31, 1e-3);
-  EXPECT_EQ(scratch.cacheHits(), 1u);
+  EXPECT_EQ(pc->cacheHits, 1u);
 }
 
-TEST(NodeScratch, WriteIsCachedForReadBack) {
+TEST(NodeStack, WriteIsCachedForReadBack) {
   testing::MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
-  NodeScratch scratch{w.sim, w.nodes[0], NodeScratch::Config{}};
-  const double t = w.run([](NodeScratch& s) -> sim::Task<void> {
-    co_await s.write("out", 100_MB);
-    co_await s.read("out", 100_MB);
-  }(scratch));
+  StorageMetrics metrics;
+  auto scratch = makeNodeStack(w.sim, metrics, w.nodes[0], NodeStackConfig{});
+  const double t = w.run([](LayerStack& s) -> sim::Task<void> {
+    auto wr = s.write(0, "out", 100_MB);
+    co_await std::move(wr);
+    auto rd = s.read(0, "out", 100_MB);
+    co_await std::move(rd);
+  }(*scratch));
   // 0.1 s write admit + 0.1 s cached read; no disk read.
   EXPECT_NEAR(t, 0.2, 1e-2);
-  EXPECT_EQ(scratch.cacheMisses(), 0u);
+  const LayerMetrics* pc = metrics.findLayer("node/page-cache");
+  ASSERT_NE(pc, nullptr);
+  EXPECT_EQ(pc->cacheMisses, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "storage/base/storage_system.hpp"
+#include "storage/ebs/ebs_fs.hpp"
+#include "storage/gluster/gluster_fs.hpp"
+#include "storage/local/local_fs.hpp"
+#include "storage/nfs/nfs_fs.hpp"
+#include "storage/p2p/p2p_fs.hpp"
+#include "storage/pvfs/pvfs_fs.hpp"
+#include "storage/s3/s3_fs.hpp"
+#include "storage/xtreemfs/xtreem_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+/// Every data-sharing option must honor the same contract regardless of
+/// its layer composition: write-once names with the offending path in the
+/// error, honest discard (a dropped file costs at least a warm read to get
+/// back), free preload, and a locality hint bounded by the file size.
+struct BackendCase {
+  const char* label;
+  std::unique_ptr<StorageSystem> (*make)(testing::MiniCluster&);
+};
+
+const BackendCase kBackends[] = {
+    {"local",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<LocalFs>(w.sim, w.nodes);
+     }},
+    {"s3",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<S3Fs>(w.sim, w.net, w.nodes);
+     }},
+    {"nfs",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<NfsFs>(w.sim, w.fabric, w.nodes,
+                                      w.makeHost("nfs-server", 16_GB, MBps(100)));
+     }},
+    {"gluster_nufa",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes, GlusterMode::kNufa);
+     }},
+    {"gluster_dist",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes,
+                                          GlusterMode::kDistribute);
+     }},
+    {"pvfs",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<PvfsFs>(w.sim, w.fabric, w.nodes);
+     }},
+    {"xtreemfs",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<XtreemFs>(w.sim, w.fabric, w.nodes);
+     }},
+    {"p2p",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<P2pFs>(w.sim, w.fabric, w.nodes);
+     }},
+    {"ebs",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       return std::make_unique<EbsFs>(w.sim, w.net, w.nodes);
+     }},
+};
+
+class StackContract : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  StackContract() : fs{GetParam().make(w)} {}
+
+  testing::MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  std::unique_ptr<StorageSystem> fs;
+};
+
+TEST_P(StackContract, WriteOnceRejectsRecreateNamingThePath) {
+  std::string msg;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    auto first = f.write(0, "dup.dat", 20_MB);
+    co_await std::move(first);
+    try {
+      auto again = f.write(0, "dup.dat", 20_MB);
+      co_await std::move(again);
+    } catch (const std::logic_error& e) {
+      out = e.what();
+    }
+  }(*fs, msg));
+  EXPECT_NE(msg.find("dup.dat"), std::string::npos) << "message was: " << msg;
+}
+
+TEST_P(StackContract, LookupMissNamesThePath) {
+  std::string msg;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    try {
+      auto rd = f.read(0, "never-written.dat");
+      co_await std::move(rd);
+    } catch (const std::out_of_range& e) {
+      out = e.what();
+    }
+  }(*fs, msg));
+  EXPECT_NE(msg.find("never-written.dat"), std::string::npos) << "message was: " << msg;
+}
+
+TEST_P(StackContract, DiscardedFileReadPaysAtLeastWarmCost) {
+  double warm = -1.0;
+  double cold = -1.0;
+  w.run([](testing::MiniCluster& cl, StorageSystem& f, double& warmOut,
+           double& coldOut) -> sim::Task<void> {
+    auto wr = f.write(0, "tmp.dat", 20_MB);
+    co_await std::move(wr);
+    double mark = cl.sim.now().asSeconds();
+    auto r1 = f.read(0, "tmp.dat");
+    co_await std::move(r1);
+    warmOut = cl.sim.now().asSeconds() - mark;
+    f.discard(0, "tmp.dat");
+    mark = cl.sim.now().asSeconds();
+    auto r2 = f.read(0, "tmp.dat");
+    co_await std::move(r2);
+    coldOut = cl.sim.now().asSeconds() - mark;
+  }(w, *fs, warm, cold));
+  ASSERT_GE(warm, 0.0);
+  ASSERT_GE(cold, 0.0);
+  // Caches may not pretend the discarded data is still resident: the
+  // re-read must pay at least as much as the warm read did.
+  EXPECT_GE(cold + 1e-9, warm);
+}
+
+TEST_P(StackContract, PreloadIsFreeAndCataloged) {
+  const double before = w.sim.now().asSeconds();
+  fs->preload("input/staged.dat", 30_MB);
+  EXPECT_EQ(w.sim.now().asSeconds(), before);
+  EXPECT_TRUE(fs->exists("input/staged.dat"));
+  EXPECT_EQ(fs->sizeOf("input/staged.dat"), 30_MB);
+  // Pre-staged data is readable from any node at finite simulated cost.
+  const double t = w.run(fs->read(0, "input/staged.dat"));
+  EXPECT_GE(t, before);
+}
+
+TEST_P(StackContract, LocalityHintBoundedByFileSize) {
+  EXPECT_EQ(fs->localityHint(0, "unknown.dat"), 0);
+  w.run(fs->write(0, "loc.dat", 20_MB));
+  for (int nodeIdx = 0; nodeIdx < fs->nodeCount(); ++nodeIdx) {
+    const Bytes hint = fs->localityHint(nodeIdx, "loc.dat");
+    EXPECT_GE(hint, 0) << "node " << nodeIdx;
+    EXPECT_LE(hint, 20_MB) << "node " << nodeIdx;
+  }
+}
+
+TEST_P(StackContract, ScratchRoundTripRegistersWriteOnce) {
+  std::string msg;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    auto rt = f.scratchRoundTrip(0, "job/scratch.tmp", 10_MB);
+    co_await std::move(rt);
+    try {
+      auto again = f.write(0, "job/scratch.tmp", 10_MB);
+      co_await std::move(again);
+    } catch (const std::logic_error& e) {
+      out = e.what();
+    }
+  }(*fs, msg));
+  EXPECT_TRUE(fs->exists("job/scratch.tmp"));
+  EXPECT_NE(msg.find("job/scratch.tmp"), std::string::npos) << "message was: " << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StackContract, ::testing::ValuesIn(kBackends),
+                         [](const ::testing::TestParamInfo<BackendCase>& info) {
+                           return std::string{info.param.label};
+                         });
+
+}  // namespace
+}  // namespace wfs::storage

@@ -1,0 +1,154 @@
+#include "storage/stack/layer_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/gluster/gluster_fs.hpp"
+#include "storage/stack/lru_cache_layer.hpp"
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+using testing::MiniCluster;
+
+/// Test layer that records traversal and forwards.
+class RecordingLayer final : public IoLayer {
+ public:
+  RecordingLayer(std::string tag, std::vector<std::string>& log)
+      : tag_{std::move(tag)}, log_{&log} {}
+
+  [[nodiscard]] std::string name() const override { return "test/" + tag_; }
+
+ protected:
+  sim::Task<void> process(Op& op) override {
+    log_->push_back(tag_ + (op.kind == OpKind::kRead ? ":read:" : ":write:") + op.path);
+    if (next_ != nullptr) {
+      auto fwd = forward(op);
+      co_await std::move(fwd);
+    }
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+[[nodiscard]] std::unique_ptr<LruCacheLayer> makeIoCache(Bytes capacity) {
+  LruCacheLayer::Config cfg;
+  cfg.name = "performance/io-cache";
+  cfg.capacity = capacity;
+  cfg.memRate = GBps(1);
+  cfg.hitCountsCacheHit = true;
+  cfg.hitCountsLocalRead = true;
+  cfg.missCountsCacheMiss = true;
+  return std::make_unique<LruCacheLayer>(cfg);
+}
+
+TEST(LayerStackOrder, CallsDescendTopToBottom) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(std::make_unique<RecordingLayer>("top", log));
+  layers.push_back(std::make_unique<RecordingLayer>("mid", log));
+  layers.push_back(std::make_unique<RecordingLayer>("bot", log));
+  LayerStack stack{w.sim, metrics, std::move(layers)};
+  EXPECT_EQ(stack.depth(), 3u);
+  w.run(stack.write(0, "f", 1_MB));
+  w.run(stack.read(0, "f", 1_MB));
+  EXPECT_EQ(log, (std::vector<std::string>{"top:write:f", "mid:write:f", "bot:write:f",
+                                           "top:read:f", "mid:read:f", "bot:read:f"}));
+}
+
+TEST(LayerStackOrder, LayerCanServiceWithoutForwarding) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(makeIoCache(64_MiB));
+  layers.push_back(std::make_unique<RecordingLayer>("below", log));
+  LayerStack stack{w.sim, metrics, std::move(layers)};
+  // Write passes through (and caches); first read after a write is a hit
+  // and must NOT reach the lower layer.
+  w.run(stack.write(0, "x", 1_MB));
+  w.run(stack.read(0, "x", 1_MB));
+  EXPECT_EQ(log, (std::vector<std::string>{"below:write:x"}));
+  EXPECT_EQ(metrics.cacheHits, 1u);
+}
+
+TEST(LayerStackOrder, IoCacheMissForwardsThenCaches) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(makeIoCache(64_MiB));
+  layers.push_back(std::make_unique<RecordingLayer>("below", log));
+  LayerStack stack{w.sim, metrics, std::move(layers)};
+  w.run(stack.read(0, "cold", 1_MB));
+  w.run(stack.read(0, "cold", 1_MB));
+  // One miss reaching the lower layer, then a hit served above.
+  EXPECT_EQ(log, (std::vector<std::string>{"below:read:cold"}));
+  EXPECT_EQ(metrics.cacheMisses, 1u);
+  EXPECT_EQ(metrics.cacheHits, 1u);
+  // The same outcomes land in the io-cache's own ledger slot.
+  const LayerMetrics* lm = metrics.findLayer("performance/io-cache");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_EQ(lm->cacheMisses, 1u);
+  EXPECT_EQ(lm->cacheHits, 1u);
+  EXPECT_EQ(lm->readOps, 2u);
+}
+
+TEST(LayerStackOrder, NamesIdentifyLayers) {
+  MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  GlusterFs fs{w.sim, w.fabric, w.nodes, GlusterMode::kDistribute};
+  auto& stack = fs.clientStack(0);
+  ASSERT_EQ(stack.depth(), 2u);
+  EXPECT_EQ(stack.layer(0)->name(), "performance/io-cache");
+  EXPECT_EQ(stack.layer(1)->name(), "cluster/dht");
+  EXPECT_EQ(stack.layer(0)->next(), stack.layer(1));
+  EXPECT_EQ(stack.layer(1)->next(), nullptr);
+  EXPECT_EQ(stack.find("cluster/dht"), stack.layer(1));
+  EXPECT_EQ(stack.find("no/such/layer"), nullptr);
+}
+
+TEST(LayerStackOrder, OversizedFileBypassesIoCache) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(makeIoCache(4_MiB));
+  layers.push_back(std::make_unique<RecordingLayer>("below", log));
+  LayerStack stack{w.sim, metrics, std::move(layers)};
+  w.run(stack.read(0, "huge", 100_MB));
+  w.run(stack.read(0, "huge", 100_MB));
+  // Never fits the 4 MiB io-cache: both reads reach the lower layer.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(metrics.cacheHits, 0u);
+}
+
+TEST(LayerStackOrder, DiscardControlEvictsCachedEntry) {
+  MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
+  StorageMetrics metrics;
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<IoLayer>> layers;
+  layers.push_back(makeIoCache(64_MiB));
+  layers.push_back(std::make_unique<RecordingLayer>("below", log));
+  LayerStack stack{w.sim, metrics, std::move(layers)};
+  w.run(stack.write(0, "x", 1_MB));
+  auto& cache = static_cast<LruCacheLayer&>(*stack.layer(0));
+  EXPECT_TRUE(cache.cached("x"));
+  stack.discard(0, "x");
+  EXPECT_FALSE(cache.cached("x"));
+  // The discard itself is ledgered on every layer it traversed.
+  const LayerMetrics* lm = metrics.findLayer("performance/io-cache");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_EQ(lm->discardOps, 1u);
+}
+
+}  // namespace
+}  // namespace wfs::storage

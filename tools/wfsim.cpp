@@ -2,8 +2,8 @@
 //
 //   wfsim run    <app> <storage> <nodes> [--scale S] [--seed N] [--trace]
 //                [--data-aware] [--no-first-write-penalty] [--cluster K]
-//                [--nfs-server TYPE]
-//   wfsim sweep  <app> [--jobs N] [--jsonl FILE]   reproduce one performance figure
+//                [--nfs-server TYPE] [--metrics FILE]
+//   wfsim sweep  <app> [--jobs N] [--jsonl FILE] [--metrics FILE]
 //   wfsim repeat <app> <storage> <nodes> [--reps R] [--jobs N]
 //   wfsim table1 [--scale S]                       reproduce Table I
 //   wfsim list                                     storage systems & instance types
@@ -17,6 +17,7 @@
 //   wfsim sweep montage --jobs $(nproc) --jsonl montage.jsonl
 //   wfsim repeat epigenome nfs 4 --reps 5 --jobs 2
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -48,9 +49,9 @@ using namespace wfs::analysis;
                "apps:     montage | broadband | epigenome\n"
                "storage:  local | s3 | nfs | gluster-nufa | gluster-dist | pvfs |\n"
                "          xtreemfs | p2p\n"
-               "options:  --jobs N   --jsonl FILE  --scale S  --seed N  --reps R\n"
-               "          --cluster K  --data-aware  --no-first-write-penalty\n"
-               "          --nfs-server TYPE  --trace\n");
+               "options:  --jobs N   --jsonl FILE  --metrics FILE  --scale S\n"
+               "          --seed N  --reps R  --cluster K  --data-aware\n"
+               "          --no-first-write-penalty  --nfs-server TYPE  --trace\n");
   std::exit(2);
 }
 
@@ -85,6 +86,8 @@ struct Cli {
   std::string nfsServer = "m1.xlarge";
   /// JSONL sweep output; empty = none, "-" = stdout.
   std::string jsonl;
+  /// Per-layer/per-node metrics ledger JSONL; empty = none, "-" = stdout.
+  std::string metrics;
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -107,6 +110,8 @@ Cli parseArgs(int argc, char** argv) {
       cli.jobs = std::atoi(next().c_str());
     } else if (a == "--jsonl") {
       cli.jsonl = next();
+    } else if (a == "--metrics") {
+      cli.metrics = next();
     } else if (a == "--data-aware") {
       cli.dataAware = true;
     } else if (a == "--no-first-write-penalty") {
@@ -148,18 +153,26 @@ SweepRunner makeRunner(const Cli& cli) {
   return SweepRunner{opt};
 }
 
-void writeJsonl(const Cli& cli, const std::vector<SweepCellResult>& cells) {
-  if (cli.jsonl.empty()) return;
-  const std::string out = sweepJsonl(cells);
-  if (cli.jsonl == "-") {
+void writeFileOrStdout(const std::string& target, const std::string& out,
+                       const char* what, std::size_t count) {
+  if (target == "-") {
     std::fwrite(out.data(), 1, out.size(), stdout);
     return;
   }
-  std::FILE* f = std::fopen(cli.jsonl.c_str(), "w");
-  if (f == nullptr) throw std::runtime_error("cannot open " + cli.jsonl);
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + target);
   std::fwrite(out.data(), 1, out.size(), f);
   std::fclose(f);
-  std::fprintf(stderr, "wrote %zu cells to %s\n", cells.size(), cli.jsonl.c_str());
+  std::fprintf(stderr, "wrote %zu %s to %s\n", count, what, target.c_str());
+}
+
+void writeJsonl(const Cli& cli, const std::vector<SweepCellResult>& cells) {
+  if (!cli.jsonl.empty()) {
+    writeFileOrStdout(cli.jsonl, sweepJsonl(cells), "cells", cells.size());
+  }
+  if (!cli.metrics.empty()) {
+    writeFileOrStdout(cli.metrics, sweepMetricsJsonl(cells), "cell ledgers", cells.size());
+  }
 }
 
 void printResult(const ExperimentResult& r) {
@@ -185,6 +198,16 @@ int cmdRun(const Cli& cli) {
   cfg.trace = cli.trace;
   const auto r = runExperiment(cfg);
   printResult(r);
+  if (!cli.metrics.empty()) {
+    SweepCellResult cell;
+    cell.config = cfg;
+    cell.ok = true;
+    cell.result = r;
+    const std::string out = metricsJsonl(cell);
+    const auto lines = static_cast<std::size_t>(
+        std::count(out.begin(), out.end(), '\n'));
+    writeFileOrStdout(cli.metrics, out, "ledger lines", lines);
+  }
   return 0;
 }
 
