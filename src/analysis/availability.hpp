@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+
+namespace wfs::analysis {
+
+/// One backend of the availability sweep: a fault-free baseline run paired
+/// with a twin that crash-stops one worker mid-run and recovers.
+struct AvailabilityCell {
+  SweepCellResult clean;
+  SweepCellResult faulted;
+  /// Where the crash was injected (workflow-relative seconds; a fraction of
+  /// the clean makespan) and on which worker.
+  double crashAtSeconds = 0.0;
+  int crashNode = 0;
+};
+
+/// Availability sweep: for every backend, run the cell clean, then re-run it
+/// with a deterministic crash-stop of one worker at `crashFrac` of the clean
+/// makespan (plus any rate-driven faults from `faults`), and report the
+/// makespan/cost inflation recovery paid. Both phases fan out through
+/// SweepRunner, so results are byte-identical for any thread count.
+struct AvailabilityOptions {
+  App app = App::kMontage;
+  double appScale = 0.02;
+  /// Worker count for shared backends; node-attached backends run with 1
+  /// and two-brick backends with at least 2.
+  int nodes = 4;
+  std::uint64_t seed = 42;
+  /// Crash time as a fraction of the clean makespan, in (0, 1).
+  double crashFrac = 0.5;
+  /// Which worker to kill.
+  int crashNode = 0;
+  int threads = 0;
+  /// Extra fault machinery for the faulted phase (op faults, outages, retry
+  /// policy, fault seed). `enabled`/`explicitCrashes` are set internally.
+  fault::Spec faults;
+  std::vector<StorageKind> backends = {
+      StorageKind::kLocal,       StorageKind::kS3,
+      StorageKind::kNfs,         StorageKind::kGlusterNufa,
+      StorageKind::kGlusterDist, StorageKind::kPvfs,
+  };
+};
+
+[[nodiscard]] std::vector<AvailabilityCell> runAvailabilitySweep(
+    const AvailabilityOptions& opt);
+
+/// One line per backend, fixed key order and number formatting (same
+/// byte-determinism contract as sweepJsonl).
+[[nodiscard]] std::string availabilityJsonl(const std::vector<AvailabilityCell>& cells);
+
+}  // namespace wfs::analysis

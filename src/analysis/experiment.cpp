@@ -9,6 +9,7 @@
 #include "apps/montage.hpp"
 #include "cloud/context_broker.hpp"
 #include "cloud/provisioner.hpp"
+#include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "simcore/rng.hpp"
 #include "storage/ebs/ebs_fs.hpp"
@@ -153,6 +154,19 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
       break;
   }
 
+  // --- Faults: materialize the schedule and arm the storage stacks --------
+  const fault::FaultPlan plan = cfg.faults.materialize(cfg.workerNodes);
+  const bool faultsOn = cfg.faults.active() && !plan.empty();
+  if (faultsOn) {
+    storage::FaultArming arming;
+    arming.seed = cfg.faults.seed;
+    arming.opFaultProb = plan.opFaultProb;
+    arming.outages = plan.outageWindows();
+    arming.maxOpAttempts = cfg.faults.maxOpRetries;
+    arming.retryBackoffSeconds = cfg.faults.retryBackoffSeconds;
+    store->armFaults(arming);
+  }
+
   // --- Plan the workflow ---------------------------------------------------
   wf::TransformationCatalog tc;
   sim::Rng appRng = rng.fork();
@@ -192,14 +206,29 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   engineOpt.coreSpeed = cluster.workers.front()->type().coreSpeed;
   wf::DagmanEngine engine{sim, exec, *store, scheduler, memories, &prof, engineOpt};
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (faultsOn && !plan.crashes.empty()) {
+    fault::FaultInjector::Config injCfg;
+    injCfg.bootMinSeconds = provCfg.bootMin.asSeconds();
+    injCfg.bootMaxSeconds = provCfg.bootMax.asSeconds();
+    injCfg.seed = cfg.faults.seed + 1;  // distinct stream from the FaultLayer rngs
+    injector = std::make_unique<fault::FaultInjector>(sim, plan, engine, scheduler,
+                                                      *store, injCfg);
+  }
+
   sim.spawn([](cloud::ContextBroker& cb, cloud::VirtualCluster& vc, sim::Rng& r,
-               wf::DagmanEngine& eng) -> sim::Task<void> {
+               wf::DagmanEngine& eng, fault::FaultInjector* inj,
+               sim::Simulator& s) -> sim::Task<void> {
     co_await cb.deploy(vc, r);
+    // The injector's clock starts with the workflow, so crash times line up
+    // with makespan-relative fractions.
+    if (inj != nullptr) s.spawn(inj->run());
     co_await eng.execute();
-  }(broker, cluster, rng, engine));
+  }(broker, cluster, rng, engine, injector.get(), sim));
   sim.run();
 
-  if (engine.completedJobs() != exec.dag.jobCount()) {
+  const bool gaveUp = cfg.faults.active() && engine.failed();
+  if (engine.completedJobs() != exec.dag.jobCount() && !gaveUp) {
     throw std::logic_error("workflow did not complete: " +
                            std::to_string(engine.completedJobs()) + "/" +
                            std::to_string(exec.dag.jobCount()));
@@ -211,8 +240,24 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   const double makespan = engine.makespan().asSeconds();
   const auto start = sim::SimTime::origin();
   const auto end = start + sim::Duration::fromSeconds(makespan);
-  for (auto& vm : cluster.workers) {
-    billing.recordInstance(vm->type(), start, end);
+  for (std::size_t w = 0; w < cluster.workers.size(); ++w) {
+    auto& vm = cluster.workers[w];
+    // A crashed worker's meter stops at the crash and the replacement's
+    // starts there (Amazon bills the partial hour of each instance, rounded
+    // up), so every crash splits the billing interval.
+    std::vector<double> cuts;
+    if (injector != nullptr) {
+      for (const auto& [node, at] : injector->report().crashTimes) {
+        if (node == static_cast<int>(w) && at > 0.0 && at < makespan) cuts.push_back(at);
+      }
+    }
+    double prev = 0.0;
+    for (const double cut : cuts) {
+      billing.recordInstance(vm->type(), start + sim::Duration::fromSeconds(prev),
+                             start + sim::Duration::fromSeconds(cut));
+      prev = cut;
+    }
+    billing.recordInstance(vm->type(), start + sim::Duration::fromSeconds(prev), end);
   }
   if (cluster.auxiliary) {
     billing.recordInstance(cluster.auxiliary->type(), start, end);
@@ -234,6 +279,29 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   res.tasks = exec.dag.jobCount();
   res.storageName = store->name();
   res.workflowName = abstract.name;
+  res.fault.enabled = cfg.faults.active();
+  if (res.fault.enabled) {
+    res.fault.failed = engine.failed();
+    res.fault.retries = engine.retryCount();
+    res.fault.crashAborts = engine.crashAborts();
+    res.fault.recomputedJobs = engine.recomputedJobs();
+    res.fault.rescueJobs = engine.failed() ? engine.rescueDag().size() : 0;
+    if (injector != nullptr) {
+      const fault::InjectionReport& rep = injector->report();
+      res.fault.crashes = rep.crashes;
+      res.fault.lostFiles = rep.lostFiles;
+      res.fault.replacementVms = rep.replacementVms;
+      res.fault.restagedInputs = rep.restagedInputs;
+    }
+    if (const auto* fl = store->metrics().findLayer("fault/inject")) {
+      res.fault.opFaultsInjected = fl->faultsInjected;
+      res.fault.outageStalls = fl->outageStalls;
+    }
+    if (const auto* rl = store->metrics().findLayer("fault/retry")) {
+      res.fault.opFaultsRetried = rl->faultsRetried;
+      res.fault.opFaultsExhausted = rl->faultsExhausted;
+    }
+  }
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cloud/billing.hpp"
+#include "fault/plan.hpp"
 #include "prof/wfprof.hpp"
 #include "storage/base/metrics.hpp"
 
@@ -50,6 +51,29 @@ struct ExperimentConfig {
   /// parallel sweeps: each cell's lines are internally ordered but cells
   /// interleave on the shared stream.
   bool trace = false;
+  /// Fault injection (crash-stop nodes, storage-op faults, outages);
+  /// inactive by default — the zero-fault path is event-identical to a
+  /// build without the fault subsystem.
+  fault::Spec faults;
+};
+
+/// What fault injection did to one run; all-zero when faults are off.
+struct FaultOutcome {
+  bool enabled = false;
+  /// Some job exhausted its DAGMan retry budget; the run did not complete.
+  bool failed = false;
+  std::uint64_t retries = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t crashAborts = 0;
+  std::uint64_t lostFiles = 0;
+  std::uint64_t recomputedJobs = 0;
+  std::uint64_t replacementVms = 0;
+  std::uint64_t restagedInputs = 0;
+  std::uint64_t rescueJobs = 0;
+  std::uint64_t opFaultsInjected = 0;
+  std::uint64_t opFaultsRetried = 0;
+  std::uint64_t opFaultsExhausted = 0;
+  std::uint64_t outageStalls = 0;
 };
 
 struct ExperimentResult {
@@ -60,6 +84,7 @@ struct ExperimentResult {
   int tasks = 0;
   std::string storageName;
   std::string workflowName;
+  FaultOutcome fault;
 };
 
 /// Builds the full simulated world (cloud, network, storage, WMS), runs the

@@ -134,6 +134,23 @@ std::string cellJson(const SweepCellResult& cell) {
   field("io_level", jsonString(prof::toString(r.profile.ioLevel)));
   field("mem_level", jsonString(prof::toString(r.profile.memoryLevel)));
   field("cpu_level", jsonString(prof::toString(r.profile.cpuLevel)));
+  // Fault keys appear only for fault-enabled cells, so zero-fault sweeps
+  // stay byte-identical to the pre-fault reference outputs.
+  if (r.fault.enabled) {
+    field("failed", r.fault.failed ? "true" : "false");
+    field("retries", std::to_string(r.fault.retries));
+    field("crashes", std::to_string(r.fault.crashes));
+    field("crash_aborts", std::to_string(r.fault.crashAborts));
+    field("lost_files", std::to_string(r.fault.lostFiles));
+    field("recomputed_jobs", std::to_string(r.fault.recomputedJobs));
+    field("replacement_vms", std::to_string(r.fault.replacementVms));
+    field("restaged_inputs", std::to_string(r.fault.restagedInputs));
+    field("rescue_jobs", std::to_string(r.fault.rescueJobs));
+    field("op_faults_injected", std::to_string(r.fault.opFaultsInjected));
+    field("op_faults_retried", std::to_string(r.fault.opFaultsRetried));
+    field("op_faults_exhausted", std::to_string(r.fault.opFaultsExhausted));
+    field("outage_stalls", std::to_string(r.fault.outageStalls));
+  }
   return out + "}";
 }
 
@@ -181,6 +198,10 @@ std::string metricsJsonl(const SweepCellResult& cell) {
     field(line, "busy_s", jsonNumber(lm.busySeconds));
     field(line, "self_s", jsonNumber(lm.selfSeconds));
     field(line, "queue_s", jsonNumber(lm.queueSeconds));
+    field(line, "faults_injected", std::to_string(lm.faultsInjected));
+    field(line, "faults_retried", std::to_string(lm.faultsRetried));
+    field(line, "faults_exhausted", std::to_string(lm.faultsExhausted));
+    field(line, "outage_stalls", std::to_string(lm.outageStalls));
     out += line + "}\n";
   }
   for (std::size_t n = 0; n < m.nodes.size(); ++n) {

@@ -1,0 +1,46 @@
+#include "fault/injector.hpp"
+
+#include <string>
+
+#include "simcore/trace.hpp"
+
+namespace wfs::fault {
+
+sim::Task<void> FaultInjector::run() {
+  // Plan times are relative to run() start (= workflow start when spawned
+  // right after cluster deployment), matching how makespans exclude boot.
+  const double t0 = sim_->now().asSeconds();
+  for (const NodeCrash& crash : plan_->crashes) {
+    const double now = sim_->now().asSeconds();
+    if (t0 + crash.atSeconds > now) {
+      co_await sim_->delay(sim::Duration::fromSeconds(t0 + crash.atSeconds - now));
+    }
+    if (engine_->finished()) co_return;
+    if (crash.node < 0 || crash.node >= storage_->nodeCount()) continue;
+
+    WFS_TRACE(sim::TraceCat::kCloud, *sim_,
+              "node " + std::to_string(crash.node) + " crash-stops");
+    scheduler_->failNode(crash.node);
+    engine_->onNodeCrash(crash.node);
+    const std::vector<std::string> lost = storage_->failNode(crash.node);
+    engine_->onFilesLost(lost);
+    ++report_.crashes;
+    report_.lostFiles += lost.size();
+    report_.crashTimes.emplace_back(crash.node, sim_->now().asSeconds() - t0);
+
+    // Acquire and contextualize the replacement VM, then re-join it.
+    const double boot = rng_.uniform(cfg_.bootMinSeconds, cfg_.bootMaxSeconds);
+    co_await sim_->delay(sim::Duration::fromSeconds(boot + cfg_.setupSeconds));
+    if (engine_->finished()) co_return;
+    const int restaged = storage_->restoreNode(crash.node);
+    report_.restagedInputs += static_cast<std::uint64_t>(restaged);
+    ++report_.replacementVms;
+    scheduler_->reviveNode(crash.node);
+    engine_->notifyFilesChanged();
+    WFS_TRACE(sim::TraceCat::kCloud, *sim_,
+              "node " + std::to_string(crash.node) + " replaced (" +
+                  std::to_string(restaged) + " inputs re-staged)");
+  }
+}
+
+}  // namespace wfs::fault

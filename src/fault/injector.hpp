@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "storage/base/storage_system.hpp"
+#include "wf/engine.hpp"
+#include "wf/scheduler.hpp"
+
+namespace wfs::fault {
+
+/// What the injector did to one run — folded into the experiment result and
+/// the availability-sweep JSONL.
+struct InjectionReport {
+  std::uint64_t crashes = 0;
+  std::uint64_t replacementVms = 0;
+  std::uint64_t lostFiles = 0;
+  std::uint64_t restagedInputs = 0;
+  /// (node, atSeconds) per executed crash, in execution order — the billing
+  /// split points for replacement-VM accounting.
+  std::vector<std::pair<int, double>> crashTimes;
+};
+
+/// Executes a FaultPlan's crash-stop schedule against a live run: at each
+/// crash time it kills the node in the scheduler, bumps the engine's node
+/// epoch, sweeps the storage catalog for files that died with the VM, hands
+/// the loss to the engine for recompute-on-loss, then models acquiring and
+/// contextualizing a replacement VM before re-joining the node to the pool.
+///
+/// Outage windows and per-op faults are not handled here — they live in the
+/// FaultLayer armed onto the storage stacks (StorageSystem::armFaults).
+///
+/// Crashes are executed sequentially in schedule order; a crash whose time
+/// falls inside the previous replacement window is served right after it
+/// (the schedule stays deterministic either way).
+class FaultInjector {
+ public:
+  struct Config {
+    /// Replacement-VM boot latency range (the paper's c1.xlarge boots are
+    /// uniformly sampled by the Provisioner; mirror its defaults).
+    double bootMinSeconds = 70.0;
+    double bootMaxSeconds = 90.0;
+    /// Contextualization on top of boot (per-node setup + service start).
+    double setupSeconds = 8.0;
+    std::uint64_t seed = 1;
+  };
+
+  FaultInjector(sim::Simulator& sim, const FaultPlan& plan, wf::DagmanEngine& engine,
+                wf::Scheduler& scheduler, storage::StorageSystem& storage,
+                const Config& cfg)
+      : sim_{&sim},
+        plan_{&plan},
+        engine_{&engine},
+        scheduler_{&scheduler},
+        storage_{&storage},
+        cfg_{cfg},
+        rng_{cfg.seed} {}
+
+  /// Spawn alongside engine.execute(); finishes when the schedule is drained
+  /// or the workflow ends.
+  [[nodiscard]] sim::Task<void> run();
+
+  [[nodiscard]] const InjectionReport& report() const { return report_; }
+
+ private:
+  sim::Simulator* sim_;
+  const FaultPlan* plan_;
+  wf::DagmanEngine* engine_;
+  wf::Scheduler* scheduler_;
+  storage::StorageSystem* storage_;
+  Config cfg_;
+  sim::Rng rng_;
+  InjectionReport report_;
+};
+
+}  // namespace wfs::fault

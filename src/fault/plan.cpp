@@ -1,0 +1,60 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+namespace wfs::fault {
+
+std::vector<std::pair<double, double>> FaultPlan::outageWindows() const {
+  std::vector<std::pair<double, double>> windows;
+  windows.reserve(outages.size());
+  for (const Outage& o : outages) windows.emplace_back(o.startSeconds, o.endSeconds);
+  return windows;
+}
+
+FaultPlan Spec::materialize(int workerNodes) const {
+  FaultPlan plan;
+  if (!active()) return plan;
+  plan.opFaultProb = opFaultProb;
+  plan.opFaultSeed = seed;
+
+  sim::Rng root{seed};
+  // Fork one stream per concern in a fixed order, so adding crashes never
+  // changes which outage times are drawn and vice versa.
+  sim::Rng crashRng = root.fork();
+  sim::Rng outageRng = root.fork();
+
+  plan.crashes = explicitCrashes;
+  if (crashRatePerNodeHour > 0.0) {
+    const double meanGap = 3600.0 / crashRatePerNodeHour;
+    for (int n = 0; n < workerNodes; ++n) {
+      sim::Rng nodeRng = crashRng.fork();
+      double t = nodeRng.exponential(meanGap);
+      while (t < horizonSeconds) {
+        plan.crashes.push_back(NodeCrash{t, n});
+        t += nodeRng.exponential(meanGap);
+      }
+    }
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end(), [](const NodeCrash& a, const NodeCrash& b) {
+    if (a.atSeconds != b.atSeconds) return a.atSeconds < b.atSeconds;
+    return a.node < b.node;
+  });
+
+  plan.outages = explicitOutages;
+  if (outageRatePerHour > 0.0) {
+    const double meanGap = 3600.0 / outageRatePerHour;
+    double t = outageRng.exponential(meanGap);
+    while (t < horizonSeconds) {
+      const double len = std::max(1.0, outageRng.exponential(outageMeanSeconds));
+      plan.outages.push_back(Outage{t, t + len});
+      t = t + len + outageRng.exponential(meanGap);
+    }
+  }
+  std::sort(plan.outages.begin(), plan.outages.end(), [](const Outage& a, const Outage& b) {
+    return a.startSeconds < b.startSeconds;
+  });
+
+  return plan;
+}
+
+}  // namespace wfs::fault

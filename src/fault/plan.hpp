@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simcore/rng.hpp"
+
+namespace wfs::fault {
+
+/// One crash-stop node failure: the worker VM terminates at `atSeconds`
+/// (spot reclaim / hardware loss), taking its local media with it. A
+/// replacement VM is then acquired and contextualized.
+struct NodeCrash {
+  double atSeconds = 0.0;
+  int node = 0;
+};
+
+/// One service-outage window: the backend's shared service (NFS server,
+/// PVFS daemons, Gluster volume) is unresponsive for [startSeconds,
+/// endSeconds); ops that arrive in the window stall until it closes.
+struct Outage {
+  double startSeconds = 0.0;
+  double endSeconds = 0.0;
+};
+
+/// A fully materialized fault schedule for one experiment cell. Derived
+/// from a seed — never from wall clock — so every run of the same cell at
+/// any `--jobs` level draws the identical schedule.
+struct FaultPlan {
+  std::vector<NodeCrash> crashes;  // sorted by (atSeconds, node)
+  std::vector<Outage> outages;     // sorted, non-overlapping
+  double opFaultProb = 0.0;
+  std::uint64_t opFaultSeed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && outages.empty() && opFaultProb <= 0.0;
+  }
+
+  [[nodiscard]] std::vector<std::pair<double, double>> outageWindows() const;
+};
+
+/// User-facing fault specification: either rates (Poisson arrivals drawn
+/// from `seed`) or explicit event lists, plus the storage retry policy.
+/// Embedded in analysis::ExperimentConfig; `enabled == false` is the
+/// paper-faithful zero-fault path and must not perturb a single event.
+struct Spec {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  /// Poisson crash-stop rate per worker node, in crashes per node-hour.
+  double crashRatePerNodeHour = 0.0;
+  /// Per-op storage fault probability (FaultLayer).
+  double opFaultProb = 0.0;
+  /// Poisson service-outage rate per hour and mean outage length.
+  double outageRatePerHour = 0.0;
+  double outageMeanSeconds = 30.0;
+  /// Sampling horizon for rate-derived events.
+  double horizonSeconds = 4.0 * 3600.0;
+
+  /// Explicit events, merged with (and sorted against) rate-derived ones.
+  std::vector<NodeCrash> explicitCrashes;
+  std::vector<Outage> explicitOutages;
+
+  /// Storage-op retry policy (RetryLayer).
+  int maxOpRetries = 4;
+  double retryBackoffSeconds = 0.5;
+
+  /// Whether this spec produces any fault machinery at all.
+  [[nodiscard]] bool active() const {
+    return enabled && (crashRatePerNodeHour > 0.0 || opFaultProb > 0.0 ||
+                       outageRatePerHour > 0.0 || !explicitCrashes.empty() ||
+                       !explicitOutages.empty());
+  }
+
+  /// Draws the concrete schedule for a cluster of `workerNodes` workers.
+  [[nodiscard]] FaultPlan materialize(int workerNodes) const;
+};
+
+}  // namespace wfs::fault

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wfs::storage {
+
+/// A storage op errored out of the stack — raised by FaultLayer when the
+/// injector trips, and surfaced to the caller once the RetryLayer's budget
+/// (if one is armed) is exhausted. The simulated equivalent of an I/O error
+/// reaching the task.
+class StorageFaultError : public std::runtime_error {
+ public:
+  explicit StorageFaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Every copy of a cataloged file was on media destroyed by a crash-stop
+/// node failure; reads fail until the file is recomputed (intermediate
+/// outputs) or re-staged (pre-loaded inputs, once a replacement VM is up).
+class FileLostError : public std::runtime_error {
+ public:
+  explicit FileLostError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace wfs::storage

@@ -30,6 +30,15 @@ struct LayerMetrics {
   double busySeconds = 0.0;
   double selfSeconds = 0.0;
   double queueSeconds = 0.0;
+
+  /// Fault-injection ledger (zero unless a FaultLayer/RetryLayer pair is
+  /// armed on the stack): ops errored by the injector, ops re-driven by the
+  /// retry policy, ops whose retry budget ran out (error surfaced to the
+  /// caller), and ops that stalled in a service-outage window.
+  std::uint64_t faultsInjected = 0;
+  std::uint64_t faultsRetried = 0;
+  std::uint64_t faultsExhausted = 0;
+  std::uint64_t outageStalls = 0;
 };
 
 /// Where a node's read bytes were served from. The serving layer attributes

@@ -1,17 +1,30 @@
 #include "storage/base/storage_system.hpp"
 
+#include <algorithm>
+#include <memory>
+
+#include "simcore/rng.hpp"
+#include "storage/stack/fault_layer.hpp"
 #include "storage/stack/layer_stack.hpp"
+#include "storage/stack/retry_layer.hpp"
 
 namespace wfs::storage {
 
-void FileCatalog::create(const std::string& path, Bytes size, int creator) {
-  auto [it, inserted] = files_.emplace(path, FileMeta{size, creator});
+void FileCatalog::create(const std::string& path, Bytes size, int creator, bool scratch) {
+  auto [it, inserted] = files_.emplace(path, FileMeta{size, creator, scratch});
   if (!inserted) {
-    const FileMeta& existing = it->second;
-    throw std::logic_error("write-once violation: file already exists: " + path + " (" +
-                           std::to_string(existing.size) + " bytes, created by node " +
-                           std::to_string(existing.creator) + "; rejected re-create from node " +
-                           std::to_string(creator) + ")");
+    FileMeta& existing = it->second;
+    // Recovery reuses names: a crash-lost file is recomputed under its own
+    // LFN, and a retried attempt regenerates its discarded scratch files.
+    const bool reusable = existing.lost || (existing.scratch && existing.discarded);
+    if (!reusable) {
+      throw std::logic_error("write-once violation: file already exists: " + path + " (" +
+                             std::to_string(existing.size) + " bytes, created by node " +
+                             std::to_string(existing.creator) +
+                             "; rejected re-create from node " + std::to_string(creator) + ")");
+    }
+    totalBytes_ -= existing.size;
+    existing = FileMeta{size, creator, scratch};
   }
   totalBytes_ += size;
 }
@@ -23,6 +36,21 @@ const FileMeta& FileCatalog::lookup(const std::string& path) const {
                             std::to_string(files_.size()) + " files)");
   }
   return it->second;
+}
+
+void FileCatalog::markDiscarded(const std::string& path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) it->second.discarded = true;
+}
+
+void FileCatalog::markLost(const std::string& path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) it->second.lost = true;
+}
+
+void FileCatalog::clearLost(const std::string& path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) it->second.lost = false;
 }
 
 sim::Task<void> StorageSystem::write(int node, std::string path, Bytes size) {
@@ -37,11 +65,32 @@ sim::Task<void> StorageSystem::write(int node, std::string path, Bytes size) {
 }
 
 sim::Task<void> StorageSystem::read(int node, std::string path) {
-  const Bytes size = catalog_.lookup(path).size;
+  const FileMeta& meta = catalog_.lookup(path);
+  if (meta.lost) {
+    throw FileLostError("file lost to node failure: " + path + " (created by node " +
+                        std::to_string(meta.creator) + ")");
+  }
+  const Bytes size = meta.size;
   ++metrics_.readOps;
   metrics_.bytesRead += size;
   auto body = doRead(node, std::move(path), size);
   co_await std::move(body);
+}
+
+sim::Task<void> StorageSystem::scratchRoundTrip(int node, std::string path, Bytes size) {
+  // Same counters and same doWrite/doRead event sequence as write()+read(),
+  // but the entry is flagged scratch so a retried attempt can re-create it
+  // after its discard.
+  catalog_.create(path, size, node, /*scratch=*/true);
+  ++metrics_.writeOps;
+  metrics_.bytesWritten += size;
+  metrics_.nodeIo(node).written += size;
+  auto wr = doWrite(node, path, size);
+  co_await std::move(wr);
+  ++metrics_.readOps;
+  metrics_.bytesRead += size;
+  auto rd = doRead(node, std::move(path), size);
+  co_await std::move(rd);
 }
 
 void StorageSystem::preload(const std::string& path, Bytes size) {
@@ -54,8 +103,71 @@ void StorageSystem::doPreload(const std::string& path, Bytes size) {
 }
 
 void StorageSystem::discard(int node, const std::string& path) {
+  catalog_.markDiscarded(path);
+  doDiscard(node, path);
+}
+
+void StorageSystem::doDiscard(int node, const std::string& path) {
   if (nodeStacks_.empty()) return;
   nodeStack(node)->discard(node, path);
+}
+
+bool StorageSystem::available(const std::string& path) const {
+  if (!catalog_.exists(path)) return false;
+  return !catalog_.lookup(path).lost;
+}
+
+const FileMeta* StorageSystem::meta(const std::string& path) const {
+  auto it = catalog_.entries().find(path);
+  return it == catalog_.entries().end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> StorageSystem::failNode(int node) {
+  std::vector<std::string> lost;
+  for (const auto& [path, fileMeta] : catalog_.entries()) {
+    if (fileMeta.lost || fileMeta.discarded) continue;
+    if (losesDataOnCrash(node, path, fileMeta)) lost.push_back(path);
+  }
+  // The catalog map is unordered; sort so recovery processes losses in a
+  // reproducible order.
+  std::sort(lost.begin(), lost.end());
+  for (const auto& p : lost) catalog_.markLost(p);
+  onNodeFail(node, lost);
+  return lost;
+}
+
+int StorageSystem::restoreNode(int node) {
+  onNodeRestore(node);
+  std::vector<std::string> restage;
+  for (const auto& [path, fileMeta] : catalog_.entries()) {
+    if (fileMeta.lost && fileMeta.creator == -1) restage.push_back(path);
+  }
+  std::sort(restage.begin(), restage.end());
+  for (const auto& p : restage) {
+    catalog_.clearLost(p);
+    doPreload(p, catalog_.lookup(p).size);
+  }
+  return static_cast<int>(restage.size());
+}
+
+void StorageSystem::armFaults(const FaultArming& arming) {
+  std::vector<LayerStack*> unique;
+  for (LayerStack* s : nodeStacks_) {
+    if (s != nullptr && std::find(unique.begin(), unique.end(), s) == unique.end()) {
+      unique.push_back(s);
+    }
+  }
+  sim::Rng seeder{arming.seed};
+  for (LayerStack* s : unique) {
+    FaultLayer::Config fault;
+    fault.opFaultProb = arming.opFaultProb;
+    fault.outages = arming.outages;
+    s->pushFront(std::make_unique<FaultLayer>(fault, seeder.fork()));
+    RetryLayer::Config retry;
+    retry.maxAttempts = arming.maxOpAttempts;
+    retry.backoffSeconds = arming.retryBackoffSeconds;
+    s->pushFront(std::make_unique<RetryLayer>(retry));
+  }
 }
 
 Bytes StorageSystem::localityHint(int node, const std::string& path) const {

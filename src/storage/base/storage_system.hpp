@@ -1,15 +1,18 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blk/disk.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "simcore/task.hpp"
+#include "storage/base/errors.hpp"
 #include "storage/base/metrics.hpp"
 
 namespace wfs::storage {
@@ -30,24 +33,58 @@ struct FileMeta {
   Bytes size = 0;
   /// Node index that created the file; -1 for pre-staged input data.
   int creator = -1;
+  /// Intra-job temporary (registered by scratchRoundTrip, deleted by the
+  /// job via discard before the attempt ends).
+  bool scratch = false;
+  /// The owning job deleted its temporary; caches were told to drop it.
+  bool discarded = false;
+  /// Every copy died with a crashed node; reads throw FileLostError until
+  /// the file is recomputed or re-staged.
+  bool lost = false;
 };
 
 /// Write-once namespace shared by every backend.
 ///
 /// All three paper applications obey strict write-once semantics (§IV.A);
 /// the catalog enforces it — an update-in-place is a simulation bug, since
-/// the S3 cache and the NUFA placement map both rely on immutability.
+/// the S3 cache and the NUFA placement map both rely on immutability. Two
+/// deliberate exceptions keep recovery sound without weakening the check:
+/// a `lost` entry may be re-created (recompute-on-loss writes the same LFN
+/// again) and a `scratch && discarded` entry may be re-created (a retried
+/// attempt regenerates its temporaries under their original names).
 class FileCatalog {
  public:
-  void create(const std::string& path, Bytes size, int creator);
+  void create(const std::string& path, Bytes size, int creator, bool scratch = false);
   [[nodiscard]] const FileMeta& lookup(const std::string& path) const;
   [[nodiscard]] bool exists(const std::string& path) const { return files_.contains(path); }
   [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
   [[nodiscard]] Bytes totalBytes() const { return totalBytes_; }
 
+  /// Flag transitions used by discard and crash recovery; all are no-ops on
+  /// paths the catalog doesn't hold.
+  void markDiscarded(const std::string& path);
+  void markLost(const std::string& path);
+  void clearLost(const std::string& path);
+
+  [[nodiscard]] const std::unordered_map<std::string, FileMeta>& entries() const {
+    return files_;
+  }
+
  private:
   std::unordered_map<std::string, FileMeta> files_;
   Bytes totalBytes_ = 0;
+};
+
+/// Parameters for arming fault injection on a backend's client stacks (see
+/// StorageSystem::armFaults): a RetryLayer/FaultLayer pair is prepended to
+/// each distinct node stack.
+struct FaultArming {
+  std::uint64_t seed = 1;
+  double opFaultProb = 0.0;
+  /// Service-outage windows [startSeconds, endSeconds).
+  std::vector<std::pair<double, double>> outages;
+  int maxOpAttempts = 4;
+  double retryBackoffSeconds = 0.5;
 };
 
 /// A data-sharing option for the virtual cluster: the five systems of the
@@ -91,16 +128,12 @@ class StorageSystem {
   /// re-reads it (the next executable of a chained transformation). On a
   /// mounted shared file system this is an ordinary write + read; the S3
   /// client wrapper keeps scratch entirely on the node's local disk.
-  [[nodiscard]] virtual sim::Task<void> scratchRoundTrip(int node, std::string path,
-                                                         Bytes size) {
-    co_await write(node, path, size);
-    co_await read(node, std::move(path));
-  }
+  [[nodiscard]] virtual sim::Task<void> scratchRoundTrip(int node, std::string path, Bytes size);
 
   /// Drops `path` from any caches (the job deleted its temporary file).
-  /// The catalog entry stays: logical names are never reused. Default sends
-  /// a discard control op down the node's stack.
-  virtual void discard(int node, const std::string& path);
+  /// The catalog entry stays, flagged discarded: only a retried attempt may
+  /// reuse the name. Marks the catalog, then the backend's doDiscard().
+  void discard(int node, const std::string& path);
 
   /// Bytes of `path` that `node` could serve without network traffic;
   /// the data-aware scheduler ranks candidate nodes with this. Default asks
@@ -111,6 +144,35 @@ class StorageSystem {
   [[nodiscard]] Bytes sizeOf(const std::string& path) const {
     return catalog_.lookup(path).size;
   }
+  /// Cataloged and readable (not crash-lost).
+  [[nodiscard]] bool available(const std::string& path) const;
+  /// Catalog entry for `path`, or nullptr if the catalog never saw it.
+  [[nodiscard]] const FileMeta* meta(const std::string& path) const;
+
+  /// Retracts an output a failed job attempt managed to write: the entry is
+  /// marked lost, so no consumer reads the partial result and the retry's
+  /// re-write is accepted by the write-once catalog. No-op on unknown paths.
+  void retractFile(const std::string& path) { catalog_.markLost(path); }
+
+  // --- Crash-stop fault surface -------------------------------------------
+
+  /// Worker `node`'s VM terminated: everything that lived only on its local
+  /// media (per the backend's losesDataOnCrash policy, including unflushed
+  /// write-behind data) is marked lost. Returns the lost paths, sorted.
+  std::vector<std::string> failNode(int node);
+
+  /// A replacement VM for `node` is up and its storage daemon re-joined.
+  /// Pre-staged inputs (creator == -1) that were lost are re-staged via the
+  /// backend's own placement, at zero simulated cost, mirroring preload();
+  /// lost intermediates stay lost until recomputed. Returns the re-stage
+  /// count.
+  int restoreNode(int node);
+
+  /// Prepends a RetryLayer/FaultLayer pair to every distinct node stack
+  /// (shared stacks are armed once). With a zero-probability, zero-outage
+  /// arming the pair is a provable no-op; call at most once, before the
+  /// workload runs.
+  void armFaults(const FaultArming& arming);
 
   [[nodiscard]] const StorageMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const std::vector<StorageNode>& nodes() const { return nodes_; }
@@ -127,6 +189,33 @@ class StorageSystem {
   /// Backend hook for preload placement; default sends a preload control op
   /// down the first node stack (the layout decides where data lands).
   virtual void doPreload(const std::string& path, Bytes size);
+
+  /// Backend hook behind discard(); default sends a discard control op down
+  /// the node's stack.
+  virtual void doDiscard(int node, const std::string& path);
+
+  /// Crash policy: does `path` (cataloged as `meta`) die with worker
+  /// `node`? Default: nothing does — right for network-attached backends
+  /// (EBS) and durable object stores (S3); local/NUFA/striped backends
+  /// override.
+  [[nodiscard]] virtual bool losesDataOnCrash(int node, const std::string& path,
+                                              const FileMeta& meta) const {
+    (void)node;
+    (void)path;
+    (void)meta;
+    return false;
+  }
+
+  /// Backend hook run by failNode() after the catalog sweep: wipe the
+  /// node's volatile state (page caches, write-behind buffers, client
+  /// caches of the `lost` paths).
+  virtual void onNodeFail(int node, const std::vector<std::string>& lost) {
+    (void)node;
+    (void)lost;
+  }
+
+  /// Backend hook run by restoreNode() before inputs are re-staged.
+  virtual void onNodeRestore(int node) { (void)node; }
 
   /// One client-side stack per node (a shared stack may be repeated); the
   /// base's default discard/localityHint route through these.

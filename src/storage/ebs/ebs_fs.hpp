@@ -48,6 +48,13 @@ class EbsFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// The volume is network-attached and survives the instance; a crash only
+  /// costs the replacement VM its warm page cache (the volume re-attaches).
+  void onNodeFail(int node, const std::vector<std::string>& lost) override {
+    (void)lost;
+    wipeStackCaches(*stacks_.at(static_cast<std::size_t>(node)));
+  }
+
  private:
   Config cfg_;
   /// One volume capacity per node (attached storage is per-instance).

@@ -1,7 +1,10 @@
 #include "storage/gluster/gluster_fs.hpp"
 
+#include <stdexcept>
+
 #include "storage/stack/device_layer.hpp"
 #include "storage/stack/lru_cache_layer.hpp"
+#include "storage/stack/node_stack.hpp"
 #include "storage/stack/placement_layer.hpp"
 #include "storage/stack/write_behind_layer.hpp"
 
@@ -84,6 +87,28 @@ sim::Task<void> GlusterFs::doWrite(int nodeIdx, std::string path, Bytes size) {
 
 sim::Task<void> GlusterFs::doRead(int nodeIdx, std::string path, Bytes size) {
   return clientStack(nodeIdx).read(nodeIdx, std::move(path), size);
+}
+
+bool GlusterFs::losesDataOnCrash(int nodeIdx, const std::string& path,
+                                 const FileMeta& meta) const {
+  (void)meta;
+  try {
+    return layout_->locate(path) == nodeIdx;
+  } catch (const std::out_of_range&) {
+    return false;  // never placed on any brick — nothing to lose
+  }
+}
+
+void GlusterFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+  // The brick's page cache and unflushed write-behind data die with the VM.
+  wipeStackCaches(*brickStacks_.at(static_cast<std::size_t>(nodeIdx)));
+  // Every client's io-cache copy of a lost file is stale (the recomputed
+  // file may land on a different brick with different bytes).
+  for (auto& client : clientStacks_) {
+    if (auto* ioCache = dynamic_cast<LruCacheLayer*>(client->find("performance/io-cache"))) {
+      for (const auto& p : lost) ioCache->evict(p);
+    }
+  }
 }
 
 }  // namespace wfs::storage

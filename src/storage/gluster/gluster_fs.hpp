@@ -57,6 +57,12 @@ class GlusterFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// A file dies with the brick the layout placed it on (no replication in
+  /// the paper's NUFA/distribute volumes).
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override;
+  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+
  private:
   GlusterMode mode_;
   Config cfg_;

@@ -33,6 +33,18 @@ class LocalFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// Everything the node itself produced dies with its ephemeral array;
+  /// pre-staged inputs (creator == -1) are considered present everywhere.
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override {
+    (void)path;
+    return meta.creator == node;
+  }
+  void onNodeFail(int node, const std::vector<std::string>& lost) override {
+    (void)lost;
+    wipeStackCaches(scratch(node));
+  }
+
  private:
   std::vector<std::unique_ptr<LayerStack>> scratch_;
 };

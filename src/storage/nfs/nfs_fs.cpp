@@ -146,4 +146,12 @@ sim::Task<void> NfsFs::doRead(int nodeIdx, std::string path, Bytes size) {
                                                                 size);
 }
 
+void NfsFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+  (void)lost;
+  LayerStack& client = *clientStacks_.at(static_cast<std::size_t>(nodeIdx));
+  for (std::size_t i = 0; i < client.depth(); ++i) {
+    if (auto* cache = dynamic_cast<LruCacheLayer*>(client.layer(i))) cache->cache().clear();
+  }
+}
+
 }  // namespace wfs::storage

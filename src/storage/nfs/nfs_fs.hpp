@@ -50,6 +50,10 @@ class NfsFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// All data lives on the dedicated server, which worker crashes don't
+  /// touch; the worker only loses its client cache.
+  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+
  private:
   std::unique_ptr<NfsServer> server_;
   Config cfg_;

@@ -17,6 +17,12 @@ const std::vector<int>& P2pReplicaLayer::replicas(const std::string& path) const
   return it == where_.end() ? kEmpty : it->second;
 }
 
+void P2pReplicaLayer::dropNode(int nodeIdx) {
+  for (auto& [path, holders] : where_) {
+    holders.erase(std::remove(holders.begin(), holders.end(), nodeIdx), holders.end());
+  }
+}
+
 sim::Task<void> P2pReplicaLayer::process(Op& op) {
   LayerStack& local = *scratch_.at(static_cast<std::size_t>(op.node));
   if (isWriteLike(op.kind)) {
@@ -123,8 +129,22 @@ sim::Task<void> P2pFs::doRead(int nodeIdx, std::string path, Bytes size) {
   return stack_->read(nodeIdx, std::move(path), size);
 }
 
+bool P2pFs::losesDataOnCrash(int nodeIdx, const std::string& path, const FileMeta& meta) const {
+  if (meta.scratch) return meta.creator == nodeIdx;
+  const std::vector<int>& holders = replica_->replicas(path);
+  if (holders.empty()) return false;
+  return std::all_of(holders.begin(), holders.end(),
+                     [nodeIdx](int h) { return h == nodeIdx; });
+}
+
+void P2pFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+  (void)lost;
+  replica_->dropNode(nodeIdx);
+  wipeStackCaches(*scratch_.at(static_cast<std::size_t>(nodeIdx)));
+}
+
 sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
+  catalog_.create(path, size, nodeIdx, /*scratch=*/true);
   ++metrics_.writeOps;
   ++metrics_.readOps;
   ++metrics_.localReads;

@@ -38,6 +38,8 @@ class P2pReplicaLayer final : public IoLayer {
   [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const;
   [[nodiscard]] bool hasReplica(int node, const std::string& path) const;
   [[nodiscard]] std::uint64_t pullCount() const { return pulls_; }
+  /// Crash-stop: forget every replica `node` held (its disk is gone).
+  void dropNode(int node);
 
  protected:
   [[nodiscard]] sim::Task<void> process(Op& op) override;
@@ -92,6 +94,12 @@ class P2pFs : public StorageSystem {
  protected:
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+
+  /// A file dies when its only replicas sat on the crashed node's disk
+  /// (scratch always does; outputs survive if a consumer pulled a copy).
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override;
+  void onNodeFail(int node, const std::vector<std::string>& lost) override;
 
  private:
   std::vector<std::unique_ptr<LayerStack>> scratch_;

@@ -51,6 +51,17 @@ class PvfsFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// Every file is striped across every I/O server with no redundancy: one
+  /// node crash loses the whole namespace — matching the operational
+  /// fragility that forced the paper's authors off PVFS 2.8.
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override {
+    (void)node;
+    (void)path;
+    (void)meta;
+    return true;
+  }
+
  private:
   Config cfg_;
   std::unique_ptr<LayerStack> stack_;

@@ -136,7 +136,7 @@ sim::Task<void> S3Fs::doRead(int nodeIdx, std::string path, Bytes size) {
 }
 
 sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx);
+  catalog_.create(path, size, nodeIdx, /*scratch=*/true);
   ++metrics_.writeOps;
   ++metrics_.readOps;
   ++metrics_.localReads;
@@ -150,8 +150,14 @@ sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size
   co_await std::move(rd);
 }
 
-void S3Fs::discard(int nodeIdx, const std::string& path) {
+void S3Fs::doDiscard(int nodeIdx, const std::string& path) {
   scratch_.at(static_cast<std::size_t>(nodeIdx))->discard(nodeIdx, path);
+}
+
+void S3Fs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+  (void)lost;
+  wholeFile_.at(static_cast<std::size_t>(nodeIdx))->cache().clear();
+  wipeStackCaches(*scratch_.at(static_cast<std::size_t>(nodeIdx)));
 }
 
 void S3Fs::doPreload(const std::string& path, Bytes size) {

@@ -37,9 +37,6 @@ class S3Fs : public StorageSystem {
   /// no PUT, no request fees) — a structural advantage of the wrapper.
   [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
                                                  Bytes size) override;
-  /// Only the scratch page cache drops; the whole-file cache records disk
-  /// residency, which deleting page-cache entries does not change.
-  void discard(int node, const std::string& path) override;
 
   [[nodiscard]] ObjectStore& objectStore() { return *store_; }
   [[nodiscard]] const ObjectStore& objectStore() const { return *store_; }
@@ -53,6 +50,19 @@ class S3Fs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
   void doPreload(const std::string& path, Bytes size) override;
+  /// Only the scratch page cache drops; the whole-file cache records disk
+  /// residency, which deleting page-cache entries does not change.
+  void doDiscard(int node, const std::string& path) override;
+
+  /// Uploaded objects are durable in S3; only node-local scratch dies.
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override {
+    (void)path;
+    return meta.scratch && meta.creator == node;
+  }
+  /// The replacement VM starts with a cold whole-file cache: every object
+  /// it reads must be GET-staged again, even ones this node uploaded.
+  void onNodeFail(int node, const std::vector<std::string>& lost) override;
 
  private:
   [[nodiscard]] LayerStack& pipeline(int node) {

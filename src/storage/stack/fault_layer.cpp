@@ -1,0 +1,33 @@
+#include "storage/stack/fault_layer.hpp"
+
+#include "storage/base/errors.hpp"
+
+namespace wfs::storage {
+
+double FaultLayer::outageEnd(double now) const {
+  for (const auto& [start, end] : cfg_.outages) {
+    if (now >= start && now < end) return end;
+  }
+  return now;
+}
+
+sim::Task<void> FaultLayer::process(Op& op) {
+  if (!cfg_.outages.empty()) {
+    const double now = sim_->now().asSeconds();
+    const double resume = outageEnd(now);
+    if (resume > now) {
+      ++ledger().outageStalls;
+      ledger().queueSeconds += resume - now;
+      co_await sim_->delay(sim::Duration::fromSeconds(resume - now));
+    }
+  }
+  if (cfg_.opFaultProb > 0.0 && rng_.nextDouble() < cfg_.opFaultProb) {
+    ++ledger().faultsInjected;
+    throw StorageFaultError("injected fault on " + op.path + " (node " +
+                            std::to_string(op.node) + ")");
+  }
+  auto below = forward(op);
+  co_await std::move(below);
+}
+
+}  // namespace wfs::storage

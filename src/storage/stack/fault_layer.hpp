@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// Deterministic per-op fault injector for any LayerStack composition.
+///
+/// Sits near the top of a stack (normally directly under a RetryLayer) and
+/// models two failure classes from the paper's operational record (PVFS 2.8
+/// "could not run without crashes or loss of data", §V):
+///   - op faults: each timed op independently errors with `opFaultProb`,
+///     drawn from the layer's own seeded Rng — never from wall clock — so a
+///     sweep is bit-identical at any `--jobs` level;
+///   - service outages: timed ops that arrive inside an outage window stall
+///     until the window closes (an unresponsive NFS/PVFS/Gluster daemon),
+///     booking the wait as queueSeconds.
+///
+/// Ledger: `faultsInjected` counts ops errored here, `outageStalls` counts
+/// ops that hit a window. With `opFaultProb == 0` and no windows the layer
+/// never draws from its Rng and adds no events: a provable no-op.
+class FaultLayer final : public IoLayer {
+ public:
+  struct Config {
+    /// Probability that a timed op (read/write/scratch) errors.
+    double opFaultProb = 0.0;
+    /// Outage windows [startSeconds, endSeconds), non-overlapping.
+    std::vector<std::pair<double, double>> outages;
+  };
+
+  FaultLayer(Config cfg, sim::Rng rng) : cfg_{std::move(cfg)}, rng_{rng} {}
+
+  [[nodiscard]] std::string name() const override { return "fault/inject"; }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+
+ private:
+  [[nodiscard]] double outageEnd(double now) const;
+
+  Config cfg_;
+  sim::Rng rng_;
+};
+
+}  // namespace wfs::storage

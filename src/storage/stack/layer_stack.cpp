@@ -7,13 +7,19 @@ namespace wfs::storage {
 
 LayerStack::LayerStack(sim::Simulator& sim, StorageMetrics& metrics,
                        std::vector<std::unique_ptr<IoLayer>> layers)
-    : layers_{std::move(layers)} {
+    : sim_{&sim}, metrics_{&metrics}, layers_{std::move(layers)} {
   assert(!layers_.empty());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     IoLayer* next = i + 1 < layers_.size() ? layers_[i + 1].get() : nullptr;
     layers_[i]->attach(sim, metrics, next);
   }
   top_ = layers_.front().get();
+}
+
+void LayerStack::pushFront(std::unique_ptr<IoLayer> layer) {
+  layer->attach(*sim_, *metrics_, top_);
+  top_ = layer.get();
+  layers_.insert(layers_.begin(), std::move(layer));
 }
 
 sim::Task<void> LayerStack::run(Op op) {

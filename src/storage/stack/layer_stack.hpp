@@ -17,6 +17,9 @@ class LayerStack {
   /// `layers` is top-first and must be non-empty.
   LayerStack(sim::Simulator& sim, StorageMetrics& metrics,
              std::vector<std::unique_ptr<IoLayer>> layers);
+  /// Prepend `layer` as the new top of the stack (used to arm fault
+  /// injection on an already-wired composition).
+  void pushFront(std::unique_ptr<IoLayer> layer);
   LayerStack(const LayerStack&) = delete;
   LayerStack& operator=(const LayerStack&) = delete;
 
@@ -46,6 +49,8 @@ class LayerStack {
  private:
   [[nodiscard]] sim::Task<void> run(Op op);
 
+  sim::Simulator* sim_;
+  StorageMetrics* metrics_;
   std::vector<std::unique_ptr<IoLayer>> layers_;
   IoLayer* top_;
 };

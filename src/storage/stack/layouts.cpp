@@ -22,7 +22,9 @@ int NufaLayout::place(const std::string& path, int creator) {
   const int brick = creator >= 0
                         ? creator
                         : static_cast<int>(pathHash(path) % static_cast<std::uint64_t>(bricks_));
-  placement_.emplace(path, brick);
+  // Assignment, not emplace: a file recomputed after a brick loss lands on
+  // the brick of whichever node re-created it.
+  placement_[path] = brick;
   return brick;
 }
 

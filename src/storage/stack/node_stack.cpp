@@ -30,7 +30,23 @@ std::unique_ptr<LayerStack> makeNodeStack(sim::Simulator& sim, StorageMetrics& m
 }
 
 LruCacheLayer& pageCacheOf(LayerStack& stack) {
-  return static_cast<LruCacheLayer&>(*stack.layer(0));
+  // Scan rather than index: an armed fault/retry pair may sit above the
+  // cache layer.
+  for (std::size_t i = 0; i < stack.depth(); ++i) {
+    if (auto* cache = dynamic_cast<LruCacheLayer*>(stack.layer(i))) return *cache;
+  }
+  throw std::logic_error("pageCacheOf: stack has no LruCacheLayer");
+}
+
+void wipeStackCaches(LayerStack& stack) {
+  for (std::size_t i = 0; i < stack.depth(); ++i) {
+    IoLayer* layer = stack.layer(i);
+    if (auto* cache = dynamic_cast<LruCacheLayer*>(layer)) {
+      cache->cache().clear();
+    } else if (auto* wb = dynamic_cast<WriteBehindLayer*>(layer)) {
+      wb->dropDirty();
+    }
+  }
 }
 
 }  // namespace wfs::storage

@@ -34,4 +34,9 @@ struct NodeStackConfig {
 /// (true for makeNodeStack products).
 [[nodiscard]] LruCacheLayer& pageCacheOf(LayerStack& stack);
 
+/// Drops every volatile byte a stack's layers hold — LRU cache contents and
+/// unflushed write-behind data. What a crash-stop power loss destroys on the
+/// node that owned the stack.
+void wipeStackCaches(LayerStack& stack);
+
 }  // namespace wfs::storage

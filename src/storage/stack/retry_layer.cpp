@@ -1,0 +1,35 @@
+#include "storage/stack/retry_layer.hpp"
+
+#include <algorithm>
+
+#include "storage/base/errors.hpp"
+
+namespace wfs::storage {
+
+sim::Task<void> RetryLayer::process(Op& op) {
+  for (int attempt = 0;; ++attempt) {
+    // IoLayer::submit restores op.parentClock only on the success path; a
+    // throwing subtree leaves it aimed at a frame that dies with the
+    // propagating exception, so save and re-aim it ourselves.
+    double* const parentClock = op.parentClock;
+    bool faulted = false;
+    try {
+      auto below = forward(op);
+      co_await std::move(below);
+    } catch (const StorageFaultError&) {
+      op.parentClock = parentClock;
+      if (attempt + 1 >= cfg_.maxAttempts) {
+        ++ledger().faultsExhausted;
+        throw;
+      }
+      ++ledger().faultsRetried;
+      faulted = true;
+    }
+    if (!faulted) co_return;
+    const double backoff = std::min(
+        cfg_.backoffSeconds * static_cast<double>(1ULL << attempt), cfg_.maxBackoffSeconds);
+    co_await sim_->delay(sim::Duration::fromSeconds(backoff));
+  }
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// Exponential-backoff retry policy over a faulting subtree (normally the
+/// FaultLayer directly below). Each timed op gets `maxAttempts` tries; a
+/// StorageFaultError from below is swallowed, the op waits
+/// `backoffSeconds * 2^attempt` (capped), and is re-driven. When the budget
+/// runs out the last fault is re-thrown to the caller — DagmanEngine then
+/// treats it like a failed task attempt and spends a DAGMan retry.
+///
+/// Ledger: `faultsRetried` counts re-driven ops, `faultsExhausted` counts
+/// ops whose budget ran out.
+class RetryLayer final : public IoLayer {
+ public:
+  struct Config {
+    /// Total tries per op (>= 1); 1 disables retrying.
+    int maxAttempts = 4;
+    /// Base of the exponential backoff between tries.
+    double backoffSeconds = 0.5;
+    double maxBackoffSeconds = 30.0;
+  };
+
+  explicit RetryLayer(Config cfg) : cfg_{cfg} {}
+
+  [[nodiscard]] std::string name() const override { return "fault/retry"; }
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace wfs::storage

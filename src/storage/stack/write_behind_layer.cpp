@@ -42,6 +42,14 @@ sim::Task<void> WriteBehindLayer::drain() {
   while (dirty_ > 0) co_await allClean_.wait();
 }
 
+void WriteBehindLayer::dropDirty() {
+  if (dirty_ == 0 && pendingFiles_.empty()) return;
+  dirty_ = 0;
+  pendingFiles_.clear();
+  spaceFreed_.fire();
+  allClean_.fire();
+}
+
 void WriteBehindLayer::ensureFlusher() {
   if (flusherRunning_) return;
   flusherRunning_ = true;
@@ -55,7 +63,9 @@ sim::Task<void> WriteBehindLayer::flusherLoop() {
     Bytes chunk = pendingFiles_.empty() ? dirty_ : pendingFiles_.front();
     chunk = std::min({chunk, dirty_, cfg_.flushChunk});
     co_await backing_->write(chunk);
-    dirty_ -= chunk;
+    // dropDirty() may have zeroed the buffer while this chunk was in
+    // flight on the device; don't let the counter go negative.
+    dirty_ -= std::min(chunk, dirty_);
     if (!pendingFiles_.empty()) {
       if (pendingFiles_.front() <= chunk) {
         pendingFiles_.pop_front();

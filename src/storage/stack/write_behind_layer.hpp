@@ -45,6 +45,12 @@ class WriteBehindLayer final : public IoLayer {
   /// Completes once every dirty byte has reached the block store.
   [[nodiscard]] sim::Task<void> drain();
 
+  /// Crash-stop power loss: every unflushed dirty byte is gone. Waiters
+  /// stalled on the dirty limit are released (their data "lands" on a
+  /// device that no longer remembers it); a mid-write flusher finds nothing
+  /// left to do.
+  void dropDirty();
+
   [[nodiscard]] Bytes dirty() const { return dirty_; }
   [[nodiscard]] std::uint64_t stallCount() const { return stalls_; }
 

@@ -39,6 +39,13 @@ class XtreemFs : public StorageSystem {
   [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
 
+  /// Objects live on the OSD the hash placed them on, unreplicated.
+  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+                                      const FileMeta& meta) const override {
+    (void)meta;
+    return osdLayout_.locate(path) == node;
+  }
+
  private:
   Config cfg_;
   DistributeLayout osdLayout_;

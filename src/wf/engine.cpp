@@ -19,12 +19,19 @@ DagmanEngine::DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workfl
       prof_{prof},
       opt_{opt} {
   allDone_ = std::make_unique<sim::OneShotEvent>(sim);
+  filesChanged_ = std::make_unique<sim::Broadcast>(sim);
   faultRng_ = sim::Rng{opt.faultSeed};
-  indegree_.resize(static_cast<std::size_t>(workflow.dag.jobCount()));
-  done_.resize(static_cast<std::size_t>(workflow.dag.jobCount()), false);
+  const auto jobCount = static_cast<std::size_t>(workflow.dag.jobCount());
+  indegree_.resize(jobCount);
+  done_.resize(jobCount, false);
+  active_.resize(jobCount, false);
+  nodeEpoch_.resize(nodeMemory_.size(), 0);
   for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
     indegree_[static_cast<std::size_t>(id)] =
         static_cast<int>(workflow.dag.parents(id).size());
+    const JobSpec& job = workflow.dag.job(id);
+    for (const auto& f : job.outputs) producerOf_[f.lfn] = id;
+    for (const auto& f : job.inputs) consumersOf_[f.lfn].push_back(id);
   }
 }
 
@@ -44,19 +51,96 @@ sim::Task<void> DagmanEngine::execute() {
     co_return;
   }
   for (JobId id = 0; id < total; ++id) {
-    if (indegree_[static_cast<std::size_t>(id)] == 0) {
-      sim_->spawn(runJob(id));
-    }
+    if (indegree_[static_cast<std::size_t>(id)] == 0) spawnJob(id);
   }
   co_await allDone_->wait();
   finishedAt_ = sim_->now();
 }
 
+void DagmanEngine::spawnJob(JobId id) {
+  active_[static_cast<std::size_t>(id)] = true;
+  sim_->spawn(runJob(id));
+}
+
 void DagmanEngine::submitReadyChildren(JobId finished) {
   for (const JobId c : wf_->dag.children(finished)) {
-    if (--indegree_[static_cast<std::size_t>(c)] == 0) {
-      sim_->spawn(runJob(c));
+    const auto ci = static_cast<std::size_t>(c);
+    if (done_[ci] || active_[ci]) continue;  // recovery re-finish of a parent
+    if (--indegree_[ci] == 0) spawnJob(c);
+  }
+}
+
+bool DagmanEngine::inputsAvailable(const JobSpec& job) const {
+  return std::all_of(job.inputs.begin(), job.inputs.end(),
+                     [this](const auto& f) { return storage_->available(f.lfn); });
+}
+
+void DagmanEngine::onNodeCrash(int node) {
+  ++nodeEpoch_.at(static_cast<std::size_t>(node));
+}
+
+void DagmanEngine::onFilesLost(const std::vector<std::string>& lost) {
+  const auto jobCount = static_cast<std::size_t>(wf_->dag.jobCount());
+  std::vector<bool> resub(jobCount, false);
+
+  // Fixpoint: a done producer of a lost file must rerun if any consumer of
+  // that file is unfinished (or is itself being resubmitted — which can make
+  // further producers needed, hence the loop).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& path : lost) {
+      const auto pit = producerOf_.find(path);
+      if (pit == producerOf_.end()) continue;  // pre-staged input: re-staged on restore
+      const JobId p = pit->second;
+      const auto pi = static_cast<std::size_t>(p);
+      if (!done_[pi] || resub[pi]) continue;
+      bool needed = false;
+      const auto cit = consumersOf_.find(path);
+      if (cit == consumersOf_.end() || cit->second.empty()) {
+        needed = true;  // final workflow output
+      } else {
+        for (const JobId c : cit->second) {
+          const auto ci = static_cast<std::size_t>(c);
+          if (!done_[ci] || resub[ci]) {
+            needed = true;
+            break;
+          }
+        }
+      }
+      if (needed) {
+        resub[pi] = true;
+        changed = true;
+      }
     }
+  }
+
+  for (JobId p = 0; p < wf_->dag.jobCount(); ++p) {
+    if (!resub[static_cast<std::size_t>(p)]) continue;
+    done_[static_cast<std::size_t>(p)] = false;
+    --completed_;
+    ++recomputedJobs_;
+    WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+              "job " + wf_->dag.job(p).name + " resubmitted to recompute lost output");
+  }
+  // Pending children of a resubmitted job must wait for the fresh output:
+  // restore the dependency edge its earlier completion had released.
+  for (JobId p = 0; p < wf_->dag.jobCount(); ++p) {
+    if (!resub[static_cast<std::size_t>(p)]) continue;
+    for (const JobId c : wf_->dag.children(p)) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (!done_[ci] && !active_[ci] && !resub[ci]) ++indegree_[ci];
+    }
+  }
+  for (JobId p = 0; p < wf_->dag.jobCount(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (!resub[pi]) continue;
+    int deg = 0;
+    for (const JobId par : wf_->dag.parents(p)) {
+      if (!done_[static_cast<std::size_t>(par)]) ++deg;
+    }
+    indegree_[pi] = deg;
+    if (deg == 0 && !active_[pi]) spawnJob(p);
   }
 }
 
@@ -64,11 +148,15 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
   const JobSpec& job = wf_->dag.job(id);
   const double computeSeconds = job.cpuSeconds / opt_.coreSpeed;
   prof::TaskTrace trace;
-  int node = -1;
-  sim::Lease memLease;  // held across output writes, released at the end
+  int budgetUsed = 0;
 
   for (int attempt = 0;; ++attempt) {
-    node = co_await scheduler_->claimSlot(job);
+    // Recovery can mark this job's inputs lost after it became ready; park
+    // until recompute/re-stage delivers them. Fault-free this never waits.
+    while (!inputsAvailable(job)) co_await filesChanged_->wait();
+
+    const int node = co_await scheduler_->claimSlot(job);
+    const std::uint64_t epochAtClaim = nodeEpoch_[static_cast<std::size_t>(node)];
 
     // Reserve resident memory on the node (Broadband's >1 GB tasks cap the
     // effective parallelism of a 7 GB c1.xlarge below its 8 cores).
@@ -76,6 +164,7 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
     if (job.peakMemory > mem.capacity()) {
       throw std::runtime_error("job " + job.name + " needs more memory than node has");
     }
+    sim::Lease memLease;
     if (job.peakMemory > 0) {
       memLease = co_await mem.scoped(job.peakMemory);
     }
@@ -91,72 +180,134 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
     trace.startSeconds = sim_->now().asSeconds();
     trace.peakMemory = job.peakMemory;
 
-    // Stage/read every input through the storage system (re-done on a
-    // retry, just as a resubmitted Condor job would).
-    for (const auto& f : job.inputs) {
-      const double t0 = sim_->now().asSeconds();
-      co_await storage_->read(node, f.lfn);
-      trace.ioSeconds += sim_->now().asSeconds() - t0;
-      trace.bytesRead += storage_->sizeOf(f.lfn);  // authoritative catalog size
+    // Which outputs already exist (survivors of an earlier completion being
+    // partially recomputed) — these must not be retracted if this attempt
+    // dies, and must not be re-written if it succeeds.
+    std::vector<char> outputPreexisted(job.outputs.size(), 0);
+    for (std::size_t i = 0; i < job.outputs.size(); ++i) {
+      outputPreexisted[i] = storage_->available(job.outputs[i].lfn) ? 1 : 0;
     }
 
-    // Intra-job intermediates: the chained executables of a transformation
-    // write and immediately re-read scratch files (Broadband §V.C).
-    // Unique per attempt so the write-once catalog is respected.
-    for (const auto& f : job.scratchFiles) {
-      const std::string lfn =
-          attempt == 0 ? f.lfn : f.lfn + ".retry" + std::to_string(attempt);
-      const double t0 = sim_->now().asSeconds();
-      co_await storage_->scratchRoundTrip(node, lfn, f.size);
-      storage_->discard(node, lfn);  // jobs delete their temporaries
-      trace.ioSeconds += sim_->now().asSeconds() - t0;
-      trace.bytesRead += f.size;
-      trace.bytesWritten += f.size;
+    bool inputLost = false;
+    bool ioFailed = false;
+    bool transient = false;
+    try {
+      // Stage/read every input through the storage system (re-done on a
+      // retry, just as a resubmitted Condor job would).
+      for (const auto& f : job.inputs) {
+        const double t0 = sim_->now().asSeconds();
+        co_await storage_->read(node, f.lfn);
+        trace.ioSeconds += sim_->now().asSeconds() - t0;
+        trace.bytesRead += storage_->sizeOf(f.lfn);  // authoritative catalog size
+      }
+
+      // Intra-job intermediates: the chained executables of a transformation
+      // write and immediately re-read scratch files (Broadband §V.C). A
+      // retried attempt regenerates them under the same names — the catalog
+      // admits re-creation of a discarded scratch entry.
+      for (const auto& f : job.scratchFiles) {
+        const double t0 = sim_->now().asSeconds();
+        co_await storage_->scratchRoundTrip(node, f.lfn, f.size);
+        storage_->discard(node, f.lfn);  // jobs delete their temporaries
+        trace.ioSeconds += sim_->now().asSeconds() - t0;
+        trace.bytesRead += f.size;
+        trace.bytesWritten += f.size;
+      }
+
+      // Compute — possibly crashing partway through (transient failure,
+      // e.g. the kind of instability the paper saw with PVFS 2.8).
+      if (opt_.transientFailureProb > 0 &&
+          faultRng_.nextDouble() < opt_.transientFailureProb) {
+        transient = true;
+        co_await sim_->delay(
+            sim::Duration::fromSeconds(computeSeconds * faultRng_.nextDouble()));
+      } else {
+        co_await sim_->delay(sim::Duration::fromSeconds(computeSeconds));
+
+        // Write every output (skipping survivors of a partial recompute).
+        for (std::size_t i = 0; i < job.outputs.size(); ++i) {
+          if (outputPreexisted[i] != 0) continue;
+          const auto& f = job.outputs[i];
+          const double t0 = sim_->now().asSeconds();
+          co_await storage_->write(node, f.lfn, f.size);
+          trace.ioSeconds += sim_->now().asSeconds() - t0;
+          trace.bytesWritten += f.size;
+        }
+      }
+    } catch (const storage::FileLostError&) {
+      inputLost = true;
+    } catch (const storage::StorageFaultError&) {
+      ioFailed = true;
     }
 
-    // Compute — possibly crashing partway through (transient failure,
-    // e.g. the kind of instability the paper saw with PVFS 2.8).
-    if (opt_.transientFailureProb > 0 &&
-        faultRng_.nextDouble() < opt_.transientFailureProb) {
-      co_await sim_->delay(
-          sim::Duration::fromSeconds(computeSeconds * faultRng_.nextDouble()));
-      WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
-                "job " + job.name + " failed transiently on node " + std::to_string(node));
+    const bool crashed = nodeEpoch_[static_cast<std::size_t>(node)] != epochAtClaim;
+
+    if (!crashed && !inputLost && !ioFailed && !transient) {
+      trace.endSeconds = sim_->now().asSeconds();
+      trace.cpuSeconds = computeSeconds;
       memLease.release();
       scheduler_->releaseSlot(node);
-      ++retries_;
-      if (attempt >= opt_.maxRetries) {
-        // DAGMan gives up on this job; the run fails and a rescue DAG is
-        // left behind. Jobs already running continue to completion.
-        failed_ = true;
-        allDone_->fire();
-        co_return;
+      if (prof_ != nullptr) prof_->record(std::move(trace));
+
+      WFS_TRACE(sim::TraceCat::kWorkflow, *sim_, "job " + job.name + " done");
+
+      done_[static_cast<std::size_t>(id)] = true;
+      active_[static_cast<std::size_t>(id)] = false;
+      if (!failed_) submitReadyChildren(id);
+      filesChanged_->fire();  // recovery waiters may feed on these outputs
+      if (++completed_ == wf_->dag.jobCount()) allDone_->fire();
+      co_return;
+    }
+
+    // --- Failed attempt: undo its partial footprint -----------------------
+    // Scratch temporaries an aborted attempt left behind are deleted, and
+    // outputs it managed to write are retracted so consumers never see a
+    // partial result — the catalog accepts the retry's clean re-write.
+    for (const auto& f : job.scratchFiles) {
+      const storage::FileMeta* m = storage_->meta(f.lfn);
+      if (m != nullptr && m->scratch && !m->discarded) storage_->discard(node, f.lfn);
+    }
+    for (std::size_t i = 0; i < job.outputs.size(); ++i) {
+      if (outputPreexisted[i] == 0 && storage_->available(job.outputs[i].lfn)) {
+        storage_->retractFile(job.outputs[i].lfn);
       }
+    }
+
+    memLease.release();
+
+    if (crashed) {
+      // The VM died under the attempt; its slot no longer exists, so it is
+      // deliberately not released. Crash retries cost no DAGMan budget.
+      WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+                "job " + job.name + " aborted by crash of node " + std::to_string(node));
+      ++crashAborts_;
       continue;
     }
-    co_await sim_->delay(sim::Duration::fromSeconds(computeSeconds));
-    break;
+
+    scheduler_->releaseSlot(node);
+
+    if (inputLost) {
+      // An input died mid-read; its producer is being resubmitted (or its
+      // pre-staged copy re-staged). Wait at the top of the loop.
+      WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+                "job " + job.name + " lost an input on node " + std::to_string(node));
+      continue;
+    }
+
+    WFS_TRACE(sim::TraceCat::kWorkflow, *sim_,
+              "job " + job.name + " failed " + (transient ? "transiently" : "on storage") +
+                  " on node " + std::to_string(node));
+    ++retries_;
+    if (budgetUsed >= opt_.maxRetries) {
+      // DAGMan gives up on this job; the run fails and a rescue DAG is
+      // left behind. Jobs already running continue to completion.
+      active_[static_cast<std::size_t>(id)] = false;
+      failed_ = true;
+      allDone_->fire();
+      co_return;
+    }
+    ++budgetUsed;
   }
-
-  // Write every output.
-  for (const auto& f : job.outputs) {
-    const double t0 = sim_->now().asSeconds();
-    co_await storage_->write(node, f.lfn, f.size);
-    trace.ioSeconds += sim_->now().asSeconds() - t0;
-    trace.bytesWritten += f.size;
-  }
-
-  trace.endSeconds = sim_->now().asSeconds();
-  trace.cpuSeconds = computeSeconds;
-  memLease.release();
-  scheduler_->releaseSlot(node);
-  if (prof_ != nullptr) prof_->record(std::move(trace));
-
-  WFS_TRACE(sim::TraceCat::kWorkflow, *sim_, "job " + job.name + " done");
-
-  done_[static_cast<std::size_t>(id)] = true;
-  if (!failed_) submitReadyChildren(id);
-  if (++completed_ == wf_->dag.jobCount()) allDone_->fire();
 }
 
 }  // namespace wfs::wf

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "prof/wfprof.hpp"
@@ -19,6 +21,12 @@ namespace wfs::wf {
 /// as read-inputs -> compute -> write-outputs against the chosen storage
 /// system. Job wrapping for S3 (GET/PUT staging) lives inside the S3
 /// storage backend, mirroring the paper's modified Pegasus.
+///
+/// Recovery model: a fault::FaultInjector drives the crash-stop hooks
+/// (onNodeCrash / onFilesLost / notifyFilesChanged). A job attempt whose
+/// node died is detected at its next await boundary and re-queued without
+/// spending DAGMan retry budget; intermediates that died with the node are
+/// recomputed by resubmitting their (already done) producer jobs.
 class DagmanEngine {
  public:
   struct Options {
@@ -29,7 +37,8 @@ class DagmanEngine {
     /// "could not run without crashes or loss of data").
     double transientFailureProb = 0.0;
     /// DAGMan-style retry budget per job; a job exceeding it fails the
-    /// run and the engine emits a rescue DAG.
+    /// run and the engine emits a rescue DAG. Crash-stop aborts and
+    /// lost-input waits do not consume this budget.
     int maxRetries = 3;
     std::uint64_t faultSeed = 7;
   };
@@ -53,9 +62,36 @@ class DagmanEngine {
   /// valid execution order — resubmitting them resumes the workflow.
   [[nodiscard]] std::vector<JobId> rescueDag() const;
 
+  // --- Crash-stop recovery hooks (driven by fault::FaultInjector) ---------
+
+  /// Worker `node`'s VM terminated. Attempts running there notice the epoch
+  /// change at their next await and abort; their slots died with the VM.
+  void onNodeCrash(int node);
+
+  /// Files died with a crashed node (StorageSystem::failNode's sweep).
+  /// Resubmits the done producers of every lost intermediate some unfinished
+  /// consumer still needs — recursively, so a lost chain recomputes from the
+  /// deepest ancestor whose output survives.
+  void onFilesLost(const std::vector<std::string>& lost);
+
+  /// Wakes jobs parked on lost inputs (call after restoreNode re-staged
+  /// pre-staged data). No-op when nothing waits.
+  void notifyFilesChanged() { filesChanged_->fire(); }
+
+  /// Whether execute() has run to completion (success or failed run).
+  [[nodiscard]] bool finished() const { return allDone_->fired(); }
+
+  /// Attempts aborted because their node crashed underneath them.
+  [[nodiscard]] std::uint64_t crashAborts() const { return crashAborts_; }
+  /// Done jobs resubmitted to regenerate crash-lost outputs.
+  [[nodiscard]] std::uint64_t recomputedJobs() const { return recomputedJobs_; }
+
  private:
   [[nodiscard]] sim::Task<void> runJob(JobId id);
   void submitReadyChildren(JobId finished);
+  /// Marks `id` active and spawns its runJob coroutine.
+  void spawnJob(JobId id);
+  [[nodiscard]] bool inputsAvailable(const JobSpec& job) const;
 
   sim::Simulator* sim_;
   const ExecutableWorkflow* wf_;
@@ -67,13 +103,25 @@ class DagmanEngine {
 
   std::vector<int> indegree_;
   std::vector<bool> done_;
+  /// A runJob coroutine is in flight for the job (guards double-submit
+  /// during recovery).
+  std::vector<bool> active_;
+  /// Bumped per crash; an attempt compares against its claim-time value to
+  /// learn its VM died under it.
+  std::vector<std::uint64_t> nodeEpoch_;
+  /// Reverse maps for recompute-on-loss: LFN -> producing job / consumers.
+  std::unordered_map<std::string, JobId> producerOf_;
+  std::unordered_map<std::string, std::vector<JobId>> consumersOf_;
   int completed_ = 0;
   bool failed_ = false;
   std::uint64_t retries_ = 0;
+  std::uint64_t crashAborts_ = 0;
+  std::uint64_t recomputedJobs_ = 0;
   sim::Rng faultRng_{7};
   sim::SimTime startedAt_{};
   sim::SimTime finishedAt_{};
   std::unique_ptr<sim::OneShotEvent> allDone_;
+  std::unique_ptr<sim::Broadcast> filesChanged_;
 };
 
 }  // namespace wfs::wf

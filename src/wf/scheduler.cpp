@@ -8,6 +8,7 @@ Scheduler::Scheduler(sim::Simulator& sim, std::vector<int> slotsPerNode, Policy 
                      const storage::StorageSystem* storage)
     : sim_{&sim},
       free_{std::move(slotsPerNode)},
+      total_{free_},
       dispatched_(free_.size(), 0),
       policy_{policy},
       storage_{storage} {
@@ -58,6 +59,10 @@ void Scheduler::enqueue(const JobSpec* job, int* nodeOut, std::coroutine_handle<
 
 void Scheduler::releaseSlot(int node) {
   ++free_[static_cast<std::size_t>(node)];
+  drainQueue();
+}
+
+void Scheduler::drainQueue() {
   // Match head-of-queue jobs while slots remain (usually just the freed one).
   while (!queue_.empty()) {
     const int chosen = pickNode(*queue_.front().job);
@@ -70,6 +75,16 @@ void Scheduler::releaseSlot(int node) {
     *w.nodeOut = chosen;
     sim_->schedule(sim::Duration::zero(), [h = w.handle] { h.resume(); });
   }
+}
+
+void Scheduler::failNode(int node) {
+  free_[static_cast<std::size_t>(node)] = 0;
+}
+
+void Scheduler::reviveNode(int node) {
+  const auto i = static_cast<std::size_t>(node);
+  free_[i] = total_[i];
+  drainQueue();
 }
 
 }  // namespace wfs::wf

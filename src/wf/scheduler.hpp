@@ -45,6 +45,15 @@ class Scheduler {
 
   void releaseSlot(int node);
 
+  /// Crash-stop: `node`'s slots vanish — idle ones immediately, held ones
+  /// by never being released (the engine drops the slot of an attempt whose
+  /// node died instead of calling releaseSlot).
+  void failNode(int node);
+
+  /// A replacement VM for `node` joined the pool with its full slot count;
+  /// drains the queue onto it.
+  void reviveNode(int node);
+
   [[nodiscard]] int freeSlots(int node) const {
     return free_.at(static_cast<std::size_t>(node));
   }
@@ -67,9 +76,13 @@ class Scheduler {
   /// Picks the best free node for `job`, or -1. FIFO policy round-robins;
   /// data-aware ranks by storage locality.
   [[nodiscard]] int pickNode(const JobSpec& job) const;
+  /// Matches head-of-queue jobs to free slots (the releaseSlot drain loop).
+  void drainQueue();
 
   sim::Simulator* sim_;
   std::vector<int> free_;
+  /// Full slot complement per node (what reviveNode restores).
+  std::vector<int> total_;
   std::vector<std::uint64_t> dispatched_;
   Policy policy_;
   const storage::StorageSystem* storage_;

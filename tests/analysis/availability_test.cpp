@@ -1,0 +1,91 @@
+#include "analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace wfs::analysis {
+namespace {
+
+/// Epigenome is the right probe workload here: its makespan is dominated by
+/// one wide map phase, so killing a worker mid-run always costs wall-clock
+/// time (montage's serial tail can absorb a crash for free).
+AvailabilityOptions testOptions(int threads) {
+  AvailabilityOptions opt;
+  opt.app = App::kEpigenome;
+  opt.appScale = 0.05;
+  opt.nodes = 2;
+  opt.seed = 42;
+  opt.crashFrac = 0.5;
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(AvailabilitySweep, CrashStopInflatesMakespanAndCostOnEveryBackend) {
+  const std::vector<AvailabilityCell> cells = runAvailabilitySweep(testOptions(2));
+  ASSERT_EQ(cells.size(), testOptions(2).backends.size());
+  for (const AvailabilityCell& c : cells) {
+    const std::string label = c.clean.label();
+    ASSERT_TRUE(c.clean.ok) << label << ": " << c.clean.error;
+    ASSERT_TRUE(c.faulted.ok) << label << ": " << c.faulted.error;
+    const ExperimentResult& base = c.clean.result;
+    const ExperimentResult& hurt = c.faulted.result;
+    EXPECT_FALSE(base.fault.enabled) << label;
+    EXPECT_TRUE(hurt.fault.enabled) << label;
+    EXPECT_FALSE(hurt.fault.failed) << label;
+    EXPECT_EQ(hurt.fault.crashes, 1u) << label;
+    // Recovery is never free: the crash-stop twin pays strictly more
+    // wall-clock AND strictly more money than the clean baseline.
+    EXPECT_GT(hurt.makespanSeconds, base.makespanSeconds) << label;
+    EXPECT_GT(hurt.cost.totalHourly(), base.cost.totalHourly()) << label;
+    // The crash was injected mid-run, not before or after it.
+    EXPECT_GT(c.crashAtSeconds, 0.0) << label;
+    EXPECT_LT(c.crashAtSeconds, base.makespanSeconds) << label;
+  }
+}
+
+TEST(AvailabilitySweep, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const std::string one = availabilityJsonl(runAvailabilitySweep(testOptions(1)));
+  const std::string two = availabilityJsonl(runAvailabilitySweep(testOptions(2)));
+  const std::string eight = availabilityJsonl(runAvailabilitySweep(testOptions(8)));
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(AvailabilitySweep, JsonlCarriesTheRecoveryCounters) {
+  const std::string out = availabilityJsonl(runAvailabilitySweep(testOptions(2)));
+  // One line per backend, each reporting the full recovery ledger.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            static_cast<long>(testOptions(2).backends.size()));
+  EXPECT_NE(out.find("\"storage\":\"local\""), std::string::npos);
+  EXPECT_NE(out.find("\"storage\":\"pvfs\""), std::string::npos);
+  EXPECT_NE(out.find("\"crashes\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"makespan_inflation\":"), std::string::npos);
+  EXPECT_NE(out.find("\"cost_inflation\":"), std::string::npos);
+  EXPECT_NE(out.find("\"recomputed_jobs\":"), std::string::npos);
+  EXPECT_NE(out.find("\"outage_stalls\":"), std::string::npos);
+  EXPECT_EQ(out.find("\"error\""), std::string::npos);
+}
+
+TEST(AvailabilitySweep, NodeAttachedBackendsLoseAndRecomputeIntermediates) {
+  const std::vector<AvailabilityCell> cells = runAvailabilitySweep(testOptions(2));
+  bool sawRecompute = false;
+  for (const AvailabilityCell& c : cells) {
+    ASSERT_TRUE(c.faulted.ok);
+    const FaultOutcome& f = c.faulted.result.fault;
+    if (c.clean.config.storage == StorageKind::kLocal ||
+        c.clean.config.storage == StorageKind::kGlusterNufa ||
+        c.clean.config.storage == StorageKind::kPvfs) {
+      EXPECT_GT(f.lostFiles, 0u) << c.clean.label();
+      EXPECT_GT(f.recomputedJobs, 0u) << c.clean.label();
+    }
+    sawRecompute = sawRecompute || f.recomputedJobs > 0;
+  }
+  EXPECT_TRUE(sawRecompute);
+}
+
+}  // namespace
+}  // namespace wfs::analysis

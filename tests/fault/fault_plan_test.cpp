@@ -1,0 +1,145 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfs::fault {
+namespace {
+
+Spec rateSpec() {
+  Spec s;
+  s.enabled = true;
+  s.seed = 11;
+  s.crashRatePerNodeHour = 2.0;
+  s.outageRatePerHour = 6.0;
+  s.outageMeanSeconds = 45.0;
+  s.horizonSeconds = 2 * 3600.0;
+  return s;
+}
+
+TEST(FaultPlan, DisabledOrEmptySpecMaterializesNothing) {
+  Spec off = rateSpec();
+  off.enabled = false;
+  EXPECT_FALSE(off.active());
+  EXPECT_TRUE(off.materialize(4).empty());
+
+  Spec enabledButBare;
+  enabledButBare.enabled = true;
+  EXPECT_FALSE(enabledButBare.active());
+  EXPECT_TRUE(enabledButBare.materialize(4).empty());
+}
+
+TEST(FaultPlan, OpFaultProbAloneIsActive) {
+  Spec s;
+  s.enabled = true;
+  s.opFaultProb = 0.01;
+  ASSERT_TRUE(s.active());
+  const FaultPlan p = s.materialize(4);
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.opFaultProb, 0.01);
+  EXPECT_TRUE(p.crashes.empty());
+  EXPECT_TRUE(p.outages.empty());
+}
+
+TEST(FaultPlan, SameSeedDrawsIdenticalSchedule) {
+  const FaultPlan a = rateSpec().materialize(4);
+  const FaultPlan b = rateSpec().materialize(4);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  ASSERT_FALSE(a.crashes.empty());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.crashes[i].atSeconds, b.crashes[i].atSeconds);
+    EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+  }
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  ASSERT_FALSE(a.outages.empty());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outages[i].startSeconds, b.outages[i].startSeconds);
+    EXPECT_DOUBLE_EQ(a.outages[i].endSeconds, b.outages[i].endSeconds);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDrawDifferentSchedules) {
+  const FaultPlan a = rateSpec().materialize(4);
+  Spec other = rateSpec();
+  other.seed = 12;
+  const FaultPlan b = other.materialize(4);
+  ASSERT_FALSE(a.crashes.empty());
+  ASSERT_FALSE(b.crashes.empty());
+  EXPECT_NE(a.crashes.front().atSeconds, b.crashes.front().atSeconds);
+}
+
+TEST(FaultPlan, CrashesSortedByTimeThenNodeWithinHorizon) {
+  const FaultPlan p = rateSpec().materialize(4);
+  ASSERT_FALSE(p.crashes.empty());
+  for (std::size_t i = 1; i < p.crashes.size(); ++i) {
+    const NodeCrash& prev = p.crashes[i - 1];
+    const NodeCrash& cur = p.crashes[i];
+    EXPECT_TRUE(prev.atSeconds < cur.atSeconds ||
+                (prev.atSeconds == cur.atSeconds && prev.node <= cur.node));
+  }
+  for (const NodeCrash& c : p.crashes) {
+    EXPECT_GE(c.atSeconds, 0.0);
+    EXPECT_LT(c.atSeconds, rateSpec().horizonSeconds);
+    EXPECT_GE(c.node, 0);
+    EXPECT_LT(c.node, 4);
+  }
+}
+
+TEST(FaultPlan, OutagesSortedAndNonOverlapping) {
+  const FaultPlan p = rateSpec().materialize(4);
+  ASSERT_FALSE(p.outages.empty());
+  for (const Outage& o : p.outages) EXPECT_LT(o.startSeconds, o.endSeconds);
+  for (std::size_t i = 1; i < p.outages.size(); ++i) {
+    EXPECT_GE(p.outages[i].startSeconds, p.outages[i - 1].endSeconds);
+  }
+  const auto windows = p.outageWindows();
+  ASSERT_EQ(windows.size(), p.outages.size());
+  EXPECT_DOUBLE_EQ(windows.front().first, p.outages.front().startSeconds);
+  EXPECT_DOUBLE_EQ(windows.front().second, p.outages.front().endSeconds);
+}
+
+TEST(FaultPlan, ExplicitEventsMergeSortedWithRateDrawn) {
+  Spec s = rateSpec();
+  s.explicitCrashes = {NodeCrash{9999.0, 1}, NodeCrash{1.0, 0}};
+  s.explicitOutages = {Outage{0.25, 0.5}};
+  const FaultPlan p = s.materialize(4);
+  // Both explicit crashes are present and the merged list stays sorted.
+  EXPECT_DOUBLE_EQ(p.crashes.front().atSeconds, 1.0);
+  bool sawLate = false;
+  for (const NodeCrash& c : p.crashes) sawLate = sawLate || c.atSeconds == 9999.0;
+  EXPECT_TRUE(sawLate);
+  for (std::size_t i = 1; i < p.crashes.size(); ++i) {
+    EXPECT_LE(p.crashes[i - 1].atSeconds, p.crashes[i].atSeconds);
+  }
+  EXPECT_DOUBLE_EQ(p.outages.front().startSeconds, 0.25);
+}
+
+TEST(FaultPlan, ConcernStreamsAreIndependent) {
+  // Turning crashes on must not change which outage times are drawn.
+  Spec outagesOnly = rateSpec();
+  outagesOnly.crashRatePerNodeHour = 0.0;
+  const FaultPlan a = outagesOnly.materialize(4);
+  const FaultPlan b = rateSpec().materialize(4);
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outages[i].startSeconds, b.outages[i].startSeconds);
+  }
+}
+
+TEST(FaultPlan, CrashScheduleScalesWithClusterSize) {
+  const FaultPlan small = rateSpec().materialize(1);
+  const FaultPlan big = rateSpec().materialize(8);
+  EXPECT_GT(big.crashes.size(), small.crashes.size());
+  // The single node's schedule is the first fork either way.
+  ASSERT_FALSE(small.crashes.empty());
+  double firstNode0Big = -1.0;
+  for (const NodeCrash& c : big.crashes) {
+    if (c.node == 0) {
+      firstNode0Big = c.atSeconds;
+      break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(small.crashes.front().atSeconds, firstNode0Big);
+}
+
+}  // namespace
+}  // namespace wfs::fault

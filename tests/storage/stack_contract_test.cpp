@@ -166,6 +166,43 @@ TEST_P(StackContract, ScratchRoundTripRegistersWriteOnce) {
   EXPECT_NE(msg.find("job/scratch.tmp"), std::string::npos) << "message was: " << msg;
 }
 
+TEST_P(StackContract, ZeroFaultArmingIsANoOp) {
+  // Twin cluster, same backend, no fault layers at all.
+  testing::MiniCluster bare{{.nodes = 2, .zeroDiskOverheads = true}};
+  std::unique_ptr<StorageSystem> plain = GetParam().make(bare);
+  // Arm the fixture's backend with a zero-probability, zero-outage plan:
+  // the RetryLayer/FaultLayer pair must not shift a single event.
+  fs->armFaults(FaultArming{.seed = 123,
+                            .opFaultProb = 0.0,
+                            .outages = {},
+                            .maxOpAttempts = 4,
+                            .retryBackoffSeconds = 0.5});
+  auto workload = [](StorageSystem& f) -> sim::Task<void> {
+    auto w0 = f.write(0, "noop/a.dat", 20_MB);
+    co_await std::move(w0);
+    auto w1 = f.write(1, "noop/b.dat", 8_MB);
+    co_await std::move(w1);
+    auto r0 = f.read(0, "noop/a.dat");
+    co_await std::move(r0);
+    auto r1 = f.read(0, "noop/a.dat");  // warm re-read (cache path)
+    co_await std::move(r1);
+    auto rt = f.scratchRoundTrip(0, "noop/tmp.dat", 4_MB);
+    co_await std::move(rt);
+    f.discard(0, "noop/tmp.dat");
+    auto r2 = f.read(1, "noop/b.dat");
+    co_await std::move(r2);
+  };
+  const double armed = w.run(workload(*fs));
+  const double unarmed = bare.run(workload(*plain));
+  EXPECT_EQ(armed, unarmed);  // byte-identical timing, not just close
+  EXPECT_EQ(fs->metrics().bytesRead, plain->metrics().bytesRead);
+  EXPECT_EQ(fs->metrics().bytesWritten, plain->metrics().bytesWritten);
+  const LayerMetrics* inject = fs->metrics().findLayer("fault/inject");
+  ASSERT_NE(inject, nullptr);
+  EXPECT_EQ(inject->faultsInjected, 0u);
+  EXPECT_EQ(inject->outageStalls, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, StackContract, ::testing::ValuesIn(kBackends),
                          [](const ::testing::TestParamInfo<BackendCase>& info) {
                            return std::string{info.param.label};

@@ -87,6 +87,31 @@ TEST(Retry, ExhaustedRetriesFailRunAndEmitRescueDag) {
   }
 }
 
+TEST(Retry, RetriedScratchReusesItsLfnWithoutOrphans) {
+  Rig r{10};
+  DagmanEngine::Options opt;
+  opt.transientFailureProb = 0.5;
+  opt.maxRetries = 50;
+  DagmanEngine engine{r.w.sim, r.exec, r.fs, r.sched, {&r.mem}, nullptr, opt};
+  r.w.run(engine.execute());
+  ASSERT_FALSE(engine.failed());
+  ASSERT_GT(engine.retryCount(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    // Every retried attempt regenerated its temporary under the planned
+    // LFN; downstream consumers resolve that exact name and the catalog
+    // holds no attempt-suffixed duplicates.
+    ASSERT_TRUE(r.fs.exists(s)) << s;
+    const storage::FileMeta* m = r.fs.meta(s);
+    ASSERT_NE(m, nullptr) << s;
+    EXPECT_TRUE(m->scratch) << s;
+    EXPECT_TRUE(m->discarded) << s;
+    for (int attempt = 1; attempt <= 5; ++attempt) {
+      EXPECT_FALSE(r.fs.exists(s + ".retry" + std::to_string(attempt))) << s;
+    }
+  }
+}
+
 TEST(Retry, FaultSeedIsDeterministic) {
   auto runOnce = [] {
     Rig r{10};

@@ -2,11 +2,18 @@
 //
 //   wfsim run    <app> <storage> <nodes> [--scale S] [--seed N] [--trace]
 //                [--data-aware] [--no-first-write-penalty] [--cluster K]
-//                [--nfs-server TYPE] [--metrics FILE]
+//                [--nfs-server TYPE] [--metrics FILE] [--faults ...]
 //   wfsim sweep  <app> [--jobs N] [--jsonl FILE] [--metrics FILE]
 //   wfsim repeat <app> <storage> <nodes> [--reps R] [--jobs N]
+//   wfsim avail  <app> [nodes] [--crash-frac F] [--jobs N] [--jsonl FILE]
 //   wfsim table1 [--scale S]                       reproduce Table I
 //   wfsim list                                     storage systems & instance types
+//
+// Fault injection (wfs::fault): --faults turns it on for run/sweep/repeat;
+// the tuning flags below shape the schedule, which is drawn from
+// --fault-seed, never from wall clock. `avail` runs the availability sweep:
+// every backend fault-free, then again with one worker crash-stopped at
+// --crash-frac of the clean makespan, reporting makespan/cost inflation.
 //
 // Sweeps fan out over a work-stealing thread pool (analysis::SweepRunner),
 // one isolated simulator per grid cell; results are merged by cell index,
@@ -28,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/availability.hpp"
 #include "analysis/repeat.hpp"
 #include "analysis/sweep.hpp"
 #include "wfcloudsim.hpp"
@@ -43,6 +51,7 @@ using namespace wfs::analysis;
                "  wfsim run    <app> <storage> <nodes> [options]\n"
                "  wfsim sweep  <app> [options]\n"
                "  wfsim repeat <app> <storage> <nodes> [--reps R] [options]\n"
+               "  wfsim avail  <app> [nodes] [options]\n"
                "  wfsim table1 [options]\n"
                "  wfsim list\n"
                "\n"
@@ -51,8 +60,46 @@ using namespace wfs::analysis;
                "          xtreemfs | p2p\n"
                "options:  --jobs N   --jsonl FILE  --metrics FILE  --scale S\n"
                "          --seed N  --reps R  --cluster K  --data-aware\n"
-               "          --no-first-write-penalty  --nfs-server TYPE  --trace\n");
+               "          --no-first-write-penalty  --nfs-server TYPE  --trace\n"
+               "faults:   --faults  --crash-rate PER_NODE_HOUR  --crash-at T:NODE\n"
+               "          --op-fault-prob P  --outage-rate PER_HOUR  --outage-mean S\n"
+               "          --fault-seed N  --max-op-retries N  --retry-backoff S\n"
+               "          --crash-frac F (avail only)\n");
   std::exit(2);
+}
+
+/// Actionable one-line CLI error (distinct from structural misuse, which
+/// gets the full usage text).
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+double parseDouble(const std::string& flag, const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    die(flag + " expects a number, got '" + v + "'");
+  }
+  return x;
+}
+
+long parseLong(const std::string& flag, const std::string& v) {
+  char* end = nullptr;
+  const long x = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    die(flag + " expects an integer, got '" + v + "'");
+  }
+  return x;
+}
+
+std::uint64_t parseU64(const std::string& flag, const std::string& v) {
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (v.empty() || v.front() == '-' || end != v.c_str() + v.size()) {
+    die(flag + " expects a non-negative integer, got '" + v + "'");
+  }
+  return x;
 }
 
 App parseApp(const std::string& s) {
@@ -88,6 +135,20 @@ struct Cli {
   std::string jsonl;
   /// Per-layer/per-node metrics ledger JSONL; empty = none, "-" = stdout.
   std::string metrics;
+
+  // Fault injection.
+  bool faults = false;
+  /// Any fault-tuning flag was given (to reject tuning without --faults).
+  std::string firstFaultFlag;
+  double crashRate = 0.0;
+  double opFaultProb = 0.0;
+  double outageRate = 0.0;
+  double outageMean = 30.0;
+  std::uint64_t faultSeed = 1;
+  std::vector<wfs::fault::NodeCrash> crashAt;
+  double crashFrac = 0.5;
+  int maxOpRetries = 4;
+  double retryBackoff = 0.5;
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -98,16 +159,19 @@ Cli parseArgs(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + a).c_str());
       return argv[++i];
     };
+    auto faultFlag = [&] {
+      if (cli.firstFaultFlag.empty()) cli.firstFaultFlag = a;
+    };
     if (a == "--scale") {
-      cli.scale = std::atof(next().c_str());
+      cli.scale = parseDouble(a, next());
     } else if (a == "--seed") {
-      cli.seed = std::strtoull(next().c_str(), nullptr, 10);
+      cli.seed = parseU64(a, next());
     } else if (a == "--reps") {
-      cli.reps = std::atoi(next().c_str());
+      cli.reps = static_cast<int>(parseLong(a, next()));
     } else if (a == "--cluster") {
-      cli.clusterFactor = std::atoi(next().c_str());
+      cli.clusterFactor = static_cast<int>(parseLong(a, next()));
     } else if (a == "--jobs") {
-      cli.jobs = std::atoi(next().c_str());
+      cli.jobs = static_cast<int>(parseLong(a, next()));
     } else if (a == "--jsonl") {
       cli.jsonl = next();
     } else if (a == "--metrics") {
@@ -120,6 +184,43 @@ Cli parseArgs(int argc, char** argv) {
       cli.trace = true;
     } else if (a == "--nfs-server") {
       cli.nfsServer = next();
+    } else if (a == "--faults") {
+      cli.faults = true;
+    } else if (a == "--crash-rate") {
+      faultFlag();
+      cli.crashRate = parseDouble(a, next());
+    } else if (a == "--op-fault-prob") {
+      faultFlag();
+      cli.opFaultProb = parseDouble(a, next());
+    } else if (a == "--outage-rate") {
+      faultFlag();
+      cli.outageRate = parseDouble(a, next());
+    } else if (a == "--outage-mean") {
+      faultFlag();
+      cli.outageMean = parseDouble(a, next());
+    } else if (a == "--fault-seed") {
+      faultFlag();
+      cli.faultSeed = parseU64(a, next());
+    } else if (a == "--crash-at") {
+      faultFlag();
+      const std::string v = next();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        die("--crash-at expects T:NODE (e.g. 120.5:0), got '" + v + "'");
+      }
+      wfs::fault::NodeCrash c;
+      c.atSeconds = parseDouble(a, v.substr(0, colon));
+      c.node = static_cast<int>(parseLong(a, v.substr(colon + 1)));
+      cli.crashAt.push_back(c);
+    } else if (a == "--crash-frac") {
+      faultFlag();
+      cli.crashFrac = parseDouble(a, next());
+    } else if (a == "--max-op-retries") {
+      faultFlag();
+      cli.maxOpRetries = static_cast<int>(parseLong(a, next()));
+    } else if (a == "--retry-backoff") {
+      faultFlag();
+      cli.retryBackoff = parseDouble(a, next());
     } else if (a.rfind("--", 0) == 0) {
       usage(("unknown option: " + a).c_str());
     } else {
@@ -127,6 +228,48 @@ Cli parseArgs(int argc, char** argv) {
     }
   }
   return cli;
+}
+
+/// Cross-flag consistency checks, done once the command is known so errors
+/// come out as one actionable line instead of a stack trace mid-sweep.
+void validateCli(const Cli& cli, const std::string& cmd) {
+  if (cli.scale <= 0) die("--scale must be > 0");
+  if (cli.reps < 1) die("--reps must be >= 1");
+  if (cli.clusterFactor < 1) die("--cluster must be >= 1");
+  if (cli.jobs < 0) die("--jobs must be >= 0 (0 = all hardware threads)");
+  if (!cli.faults && cmd != "avail" && !cli.firstFaultFlag.empty()) {
+    die(cli.firstFaultFlag + " has no effect without --faults (or the avail command)");
+  }
+  if (cli.faults && cmd == "avail") {
+    die("avail injects its own crash; drop --faults (tuning flags still apply)");
+  }
+  if (cli.opFaultProb < 0.0 || cli.opFaultProb > 1.0) {
+    die("--op-fault-prob must be a probability in [0,1]");
+  }
+  if (cli.crashRate < 0.0) die("--crash-rate must be >= 0");
+  if (cli.outageRate < 0.0) die("--outage-rate must be >= 0");
+  if (cli.outageMean <= 0.0) die("--outage-mean must be > 0 seconds");
+  if (cli.crashFrac <= 0.0 || cli.crashFrac >= 1.0) {
+    die("--crash-frac must be in (0,1): a fraction of the clean makespan");
+  }
+  if (cli.maxOpRetries < 1) die("--max-op-retries must be >= 1");
+  if (cli.retryBackoff < 0.0) die("--retry-backoff must be >= 0 seconds");
+  for (const auto& c : cli.crashAt) {
+    if (c.atSeconds < 0.0) die("--crash-at time must be >= 0");
+    if (c.node < 0) die("--crash-at node must be >= 0");
+  }
+  if (cli.faults && cli.crashRate == 0.0 && cli.opFaultProb == 0.0 &&
+      cli.outageRate == 0.0 && cli.crashAt.empty()) {
+    die("--faults given but no fault source; add --crash-rate, --crash-at, "
+        "--op-fault-prob or --outage-rate");
+  }
+  // Fail on unwritable output targets before burning sweep time.
+  for (const std::string& target : {cli.jsonl, cli.metrics}) {
+    if (target.empty() || target == "-") continue;
+    std::FILE* f = std::fopen(target.c_str(), "a");
+    if (f == nullptr) die("cannot open " + target + " for writing");
+    std::fclose(f);
+  }
 }
 
 ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) {
@@ -140,6 +283,17 @@ ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) 
   cfg.dataAwareScheduling = cli.dataAware;
   cfg.firstWritePenalty = cli.firstWritePenalty;
   cfg.nfsServerType = cli.nfsServer;
+  if (cli.faults) {
+    cfg.faults.enabled = true;
+    cfg.faults.seed = cli.faultSeed;
+    cfg.faults.crashRatePerNodeHour = cli.crashRate;
+    cfg.faults.opFaultProb = cli.opFaultProb;
+    cfg.faults.outageRatePerHour = cli.outageRate;
+    cfg.faults.outageMeanSeconds = cli.outageMean;
+    cfg.faults.explicitCrashes = cli.crashAt;
+    cfg.faults.maxOpRetries = cli.maxOpRetries;
+    cfg.faults.retryBackoffSeconds = cli.retryBackoff;
+  }
   return cfg;
 }
 
@@ -190,14 +344,37 @@ void printResult(const ExperimentResult& r) {
               toString(r.profile.memoryLevel), toString(r.profile.cpuLevel));
 }
 
+void printFaultOutcome(const FaultOutcome& f) {
+  if (!f.enabled) return;
+  std::printf("faults     : %llu crashes, %llu crash aborts, %llu files lost, "
+              "%llu jobs recomputed\n",
+              static_cast<unsigned long long>(f.crashes),
+              static_cast<unsigned long long>(f.crashAborts),
+              static_cast<unsigned long long>(f.lostFiles),
+              static_cast<unsigned long long>(f.recomputedJobs));
+  std::printf("             %llu replacement VMs, %llu inputs re-staged, "
+              "%llu op faults (%llu retried, %llu exhausted), %llu outage stalls\n",
+              static_cast<unsigned long long>(f.replacementVms),
+              static_cast<unsigned long long>(f.restagedInputs),
+              static_cast<unsigned long long>(f.opFaultsInjected),
+              static_cast<unsigned long long>(f.opFaultsRetried),
+              static_cast<unsigned long long>(f.opFaultsExhausted),
+              static_cast<unsigned long long>(f.outageStalls));
+  if (f.failed) {
+    std::printf("             RUN FAILED: retry budget exhausted, %llu rescue jobs\n",
+                static_cast<unsigned long long>(f.rescueJobs));
+  }
+}
+
 int cmdRun(const Cli& cli) {
   if (cli.positional.size() != 3) usage("run needs <app> <storage> <nodes>");
-  ExperimentConfig cfg = toConfig(cli, parseApp(cli.positional[0]),
-                                  parseStorage(cli.positional[1]),
-                                  std::atoi(cli.positional[2].c_str()));
+  ExperimentConfig cfg =
+      toConfig(cli, parseApp(cli.positional[0]), parseStorage(cli.positional[1]),
+               static_cast<int>(parseLong("<nodes>", cli.positional[2])));
   cfg.trace = cli.trace;
   const auto r = runExperiment(cfg);
   printResult(r);
+  printFaultOutcome(r.fault);
   if (!cli.metrics.empty()) {
     SweepCellResult cell;
     cell.config = cfg;
@@ -264,10 +441,10 @@ int cmdRepeat(const Cli& cli) {
   if (cli.positional.size() != 3) usage("repeat needs <app> <storage> <nodes>");
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < cli.reps; ++i) seeds.push_back(cli.seed + static_cast<unsigned>(i));
-  const auto agg = repeatExperiment(toConfig(cli, parseApp(cli.positional[0]),
-                                             parseStorage(cli.positional[1]),
-                                             std::atoi(cli.positional[2].c_str())),
-                                    seeds, cli.jobs);
+  const auto agg = repeatExperiment(
+      toConfig(cli, parseApp(cli.positional[0]), parseStorage(cli.positional[1]),
+               static_cast<int>(parseLong("<nodes>", cli.positional[2]))),
+      seeds, cli.jobs);
   std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
               static_cast<unsigned long long>(seeds.front()),
               static_cast<unsigned long long>(seeds.back()));
@@ -277,6 +454,52 @@ int cmdRepeat(const Cli& cli) {
   std::printf("cost/hourly: $%.2f +- %.3f\n", agg.costHourly.mean(), agg.costHourly.ci95());
   std::printf("cost/second: $%.3f +- %.3f\n", agg.costPerSecond.mean(),
               agg.costPerSecond.ci95());
+  return 0;
+}
+
+int cmdAvail(const Cli& cli) {
+  if (cli.positional.empty() || cli.positional.size() > 2) {
+    usage("avail needs <app> [nodes]");
+  }
+  AvailabilityOptions opt;
+  opt.app = parseApp(cli.positional[0]);
+  if (cli.positional.size() == 2) {
+    opt.nodes = static_cast<int>(parseLong("<nodes>", cli.positional[1]));
+    if (opt.nodes < 1) die("<nodes> must be >= 1");
+  }
+  opt.appScale = cli.scale;
+  opt.seed = cli.seed;
+  opt.crashFrac = cli.crashFrac;
+  opt.threads = cli.jobs;
+  opt.faults.seed = cli.faultSeed;
+  opt.faults.opFaultProb = cli.opFaultProb;
+  opt.faults.outageRatePerHour = cli.outageRate;
+  opt.faults.outageMeanSeconds = cli.outageMean;
+  opt.faults.maxOpRetries = cli.maxOpRetries;
+  opt.faults.retryBackoffSeconds = cli.retryBackoff;
+
+  const auto cells = runAvailabilitySweep(opt);
+  std::printf("%-14s %13s %13s %10s %10s %6s %6s\n", "storage", "clean_s", "faulted_s",
+              "infl", "cost_infl", "recomp", "lost");
+  for (const auto& c : cells) {
+    const char* name = toString(c.clean.config.storage);
+    if (!c.clean.ok || !c.faulted.ok) {
+      std::printf("%-14s FAILED: %s\n", name,
+                  (!c.clean.ok ? c.clean.error : c.faulted.error).c_str());
+      continue;
+    }
+    const auto& base = c.clean.result;
+    const auto& hurt = c.faulted.result;
+    std::printf("%-14s %13.1f %13.1f %9.3fx %9.3fx %6llu %6llu\n", name,
+                base.makespanSeconds, hurt.makespanSeconds,
+                hurt.makespanSeconds / base.makespanSeconds,
+                hurt.cost.totalHourly() / base.cost.totalHourly(),
+                static_cast<unsigned long long>(hurt.fault.recomputedJobs),
+                static_cast<unsigned long long>(hurt.fault.lostFiles));
+  }
+  if (!cli.jsonl.empty()) {
+    writeFileOrStdout(cli.jsonl, availabilityJsonl(cells), "backends", cells.size());
+  }
   return 0;
 }
 
@@ -321,10 +544,12 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Cli cli = parseArgs(argc, argv);
+  validateCli(cli, cmd);
   try {
     if (cmd == "run") return cmdRun(cli);
     if (cmd == "sweep") return cmdSweep(cli);
     if (cmd == "repeat") return cmdRepeat(cli);
+    if (cmd == "avail") return cmdAvail(cli);
     if (cmd == "table1") return cmdTable1(cli);
     if (cmd == "list") return cmdList();
   } catch (const std::exception& e) {
