@@ -56,12 +56,14 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * nextDouble()
 double Rng::exponential(double mean) {
   assert(mean > 0);
   double u = nextDouble();
+  // wfslint: allow(float-eq) rejection-samples the one exact value log() cannot take
   while (u == 0.0) u = nextDouble();
   return -mean * std::log(u);
 }
 
 double Rng::normal(double mean, double stddev) {
   double u1 = nextDouble();
+  // wfslint: allow(float-eq) rejection-samples the one exact value log() cannot take
   while (u1 == 0.0) u1 = nextDouble();
   const double u2 = nextDouble();
   const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);

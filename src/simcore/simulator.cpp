@@ -89,6 +89,7 @@ Simulator::~Simulator() {
   // so the whole tree is reclaimed.
   auto leftovers = std::move(detached_);
   detached_.clear();
+  // wfslint: allow(unordered-iter) destruction order of independent root frames is unobservable: the simulation is over and no event can run
   for (void* addr : leftovers) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }

@@ -124,13 +124,12 @@ const FileMeta* StorageSystem::meta(const std::string& path) const {
 
 std::vector<std::string> StorageSystem::failNode(int node) {
   std::vector<std::string> lost;
+  // The catalog is an ordered map, so this sweep emits losses in sorted
+  // path order by construction and recovery replays identically everywhere.
   for (const auto& [path, fileMeta] : catalog_.entries()) {
     if (fileMeta.lost || fileMeta.discarded) continue;
     if (losesDataOnCrash(node, path, fileMeta)) lost.push_back(path);
   }
-  // The catalog map is unordered; sort so recovery processes losses in a
-  // reproducible order.
-  std::sort(lost.begin(), lost.end());
   for (const auto& p : lost) catalog_.markLost(p);
   onNodeFail(node, lost);
   return lost;
@@ -142,7 +141,6 @@ int StorageSystem::restoreNode(int node) {
   for (const auto& [path, fileMeta] : catalog_.entries()) {
     if (fileMeta.lost && fileMeta.creator == -1) restage.push_back(path);
   }
-  std::sort(restage.begin(), restage.end());
   for (const auto& p : restage) {
     catalog_.clearLost(p);
     doPreload(p, catalog_.lookup(p).size);

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -66,12 +66,13 @@ class FileCatalog {
   void markLost(const std::string& path);
   void clearLost(const std::string& path);
 
-  [[nodiscard]] const std::unordered_map<std::string, FileMeta>& entries() const {
-    return files_;
-  }
+  /// Ordered on purpose: failNode()/restoreNode() sweep the catalog and the
+  /// loss/re-stage order they produce reaches recovery traces, so iteration
+  /// must be reproducible across standard libraries (wfslint D2).
+  [[nodiscard]] const std::map<std::string, FileMeta>& entries() const { return files_; }
 
  private:
-  std::unordered_map<std::string, FileMeta> files_;
+  std::map<std::string, FileMeta> files_;
   Bytes totalBytes_ = 0;
 };
 

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -51,8 +51,10 @@ class P2pReplicaLayer final : public IoLayer {
   std::vector<const StorageNode*> nodes_;
   std::vector<LayerStack*> scratch_;
   /// path -> nodes holding it (-1 never appears; preloads replicate
-  /// everywhere like the paper's pre-staged inputs).
-  std::unordered_map<std::string, std::vector<int>> where_;
+  /// everywhere like the paper's pre-staged inputs). Ordered so the
+  /// dropNode() crash sweep walks the replica catalog reproducibly
+  /// (wfslint D2).
+  std::map<std::string, std::vector<int>> where_;
   std::uint64_t pulls_ = 0;
 };
 

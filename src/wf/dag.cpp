@@ -112,12 +112,15 @@ Bytes Dag::totalOutputBytes() const {
 }
 
 std::size_t Dag::distinctFileCount() const {
-  std::unordered_set<std::string> files;
-  for (const auto& f : externalInputs_) files.insert(f.lfn);
+  // Named distinctLfns (not `files`): wfslint's D2 index is token-based and
+  // repo-wide, so unordered members deserve names that don't collide with
+  // ordered locals elsewhere.
+  std::unordered_set<std::string> distinctLfns;
+  for (const auto& f : externalInputs_) distinctLfns.insert(f.lfn);
   for (const auto& j : jobs_) {
-    for (const auto& f : j.outputs) files.insert(f.lfn);
+    for (const auto& f : j.outputs) distinctLfns.insert(f.lfn);
   }
-  return files.size();
+  return distinctLfns.size();
 }
 
 double Dag::totalCpuSeconds() const {

@@ -117,7 +117,9 @@ class DagmanEngine {
   std::uint64_t retries_ = 0;
   std::uint64_t crashAborts_ = 0;
   std::uint64_t recomputedJobs_ = 0;
-  sim::Rng faultRng_{7};
+  /// Placeholder stream only: the constructor re-seeds from
+  /// Options::faultSeed before any draw (wfslint D3 bans literal seeds).
+  sim::Rng faultRng_{};
   sim::SimTime startedAt_{};
   sim::SimTime finishedAt_{};
   std::unique_ptr<sim::OneShotEvent> allDone_;

@@ -105,6 +105,7 @@ TEST(FaultPlan, ExplicitEventsMergeSortedWithRateDrawn) {
   // Both explicit crashes are present and the merged list stays sorted.
   EXPECT_DOUBLE_EQ(p.crashes.front().atSeconds, 1.0);
   bool sawLate = false;
+  // wfslint: allow(float-eq) 9999.0 is the exactly-representable sentinel this test planted above
   for (const NodeCrash& c : p.crashes) sawLate = sawLate || c.atSeconds == 9999.0;
   EXPECT_TRUE(sawLate);
   for (std::size_t i = 1; i < p.crashes.size(); ++i) {

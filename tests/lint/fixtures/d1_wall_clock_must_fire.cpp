@@ -1,0 +1,19 @@
+// wfslint fixture — D1-wall-clock MUST fire on every ambient time/entropy
+// read below. Never compiled; consumed by the lint_d1_* ctest cases.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double ambientSeconds() {
+  const auto t = std::chrono::system_clock::now();   // fires: wall clock
+  const auto s = std::chrono::steady_clock::now();   // fires: monotonic host clock
+  (void)t;
+  (void)s;
+  return static_cast<double>(time(nullptr));         // fires: time()
+}
+
+unsigned ambientEntropy() {
+  std::random_device rd;                             // fires: fresh entropy
+  return rd() + static_cast<unsigned>(std::rand());  // fires: C rand
+}

@@ -1,0 +1,20 @@
+// wfslint fixture — D1-wall-clock must stay silent: simulated time comes
+// from the event queue, and near-miss tokens must not trip the regexes.
+struct Sim {
+  double nowSeconds = 0.0;
+  double now() const { return nowSeconds; }
+};
+
+struct TaskTrace {
+  double startSeconds = 0.0;
+  double endSeconds = 0.0;
+  // `runtime()` contains the letters of time( but is simulation arithmetic.
+  double runtime() const { return endSeconds - startSeconds; }
+};
+
+double simulatedClock(const Sim& sim, const TaskTrace& t) {
+  const char* label = "system_clock";  // string literal, not a clock read
+  (void)label;
+  double downtime(0.0);  // identifier ending in `time` followed by (
+  return sim.now() + t.runtime() + downtime;
+}

@@ -1,0 +1,30 @@
+// wfslint fixture — D2-unordered-iter MUST fire: all three iterations feed
+// an export-shaped sink and their order is platform-defined.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+struct Exporter {
+  std::unordered_map<std::string, int> counters;
+  std::unordered_set<std::string> seenPaths;
+
+  std::vector<std::string> dumpJsonl() const {
+    std::vector<std::string> lines;
+    for (const auto& [key, value] : counters) {  // fires: member map
+      lines.push_back(key + ":" + std::to_string(value));
+    }
+    for (const auto& path : seenPaths) {  // fires: member set
+      lines.push_back(path);
+    }
+    return lines;
+  }
+};
+
+int drain(Exporter e) {
+  auto grabbed = std::move(e.counters);
+  int total = 0;
+  for (const auto& kv : grabbed) total += kv.second;  // fires: moved alias
+  return total;
+}

@@ -1,0 +1,32 @@
+// wfslint fixture — D2-unordered-iter must stay silent: membership lookups
+// on unordered containers are fine, ordered containers iterate freely, and
+// a justified annotation suppresses a deliberate order-free sweep.
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+struct Catalog {
+  std::map<std::string, int> ordered;
+  std::unordered_set<std::string> membership;
+
+  int sumOrdered() const {
+    int total = 0;
+    for (const auto& [key, value] : ordered) total += value;  // ordered: fine
+    (void)total;
+    std::vector<int> sizes{1, 2, 3};
+    for (int s : sizes) total += s;  // vector: fine
+    return total;
+  }
+
+  bool contains(const std::string& key) const {
+    return membership.contains(key);  // lookup, not iteration: fine
+  }
+
+  int clearAll() {
+    int dropped = 0;
+    // wfslint: allow(unordered-iter) every element is mutated identically; no order can escape
+    for (const auto& key : membership) dropped += static_cast<int>(key.size());
+    return dropped;
+  }
+};

@@ -1,0 +1,23 @@
+// wfslint fixture — D3-rng-seed MUST fire: libstdc++ engines/distributions
+// and literal-seeded project streams all bypass per-concern forking.
+// (Run with --all-rules: D3 scopes to library code in normal operation.)
+#include <random>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : s_{seed} {}
+  unsigned long long s_;
+};
+}  // namespace sim
+
+double sample() {
+  std::mt19937 gen(42);                            // fires: libstdc++ engine
+  std::uniform_real_distribution<double> u(0, 1);  // fires: distribution
+  return u(gen);
+}
+
+sim::Rng hiddenStream() {
+  sim::Rng rng{12345};  // fires: literal seed
+  return rng;
+}

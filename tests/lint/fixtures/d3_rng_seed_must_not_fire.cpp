@@ -1,0 +1,22 @@
+// wfslint fixture — D3-rng-seed must stay silent: streams seeded from
+// config and forked per concern are exactly the sanctioned pattern.
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : s_{seed} {}
+  Rng fork() { return Rng{next()}; }
+  unsigned long long next() { return ++s_; }
+  unsigned long long s_;
+};
+}  // namespace sim
+
+struct Config {
+  unsigned long long seed = 0;
+};
+
+double drive(const Config& cfg) {
+  sim::Rng root{cfg.seed};        // seeded from config: fine
+  sim::Rng crashStream = root.fork();   // forked per concern: fine
+  sim::Rng outageStream = root.fork();  // forked per concern: fine
+  return static_cast<double>(crashStream.next() + outageStream.next());
+}

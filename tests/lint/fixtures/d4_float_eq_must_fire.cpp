@@ -1,0 +1,17 @@
+// wfslint fixture — D4-float-eq MUST fire: exact comparisons against float
+// literals, and accumulation over an unordered range into a double.
+#include <numeric>
+#include <unordered_set>
+
+bool converged(double residual) {
+  return residual == 0.0;  // fires: exact float compare
+}
+
+bool notDone(double progress) {
+  return 1.0 != progress;  // fires: literal on the left
+}
+
+double total(const std::unordered_set<int>& samples) {
+  // fires: fold order over an unordered range is platform-defined
+  return std::accumulate(samples.begin(), samples.end(), 0.0);
+}

@@ -1,0 +1,23 @@
+// wfslint fixture — D4-float-eq must stay silent: integer compares,
+// epsilon compares, and accumulation over ordered ranges are all fine.
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+bool emptyLedger(std::uint64_t ops) {
+  return ops == 0;  // integer compare: fine
+}
+
+bool closeEnough(double a, double b) {
+  return std::abs(a - b) < 1e-9;  // epsilon compare: fine
+}
+
+double total(const std::vector<double>& samples) {
+  return std::accumulate(samples.begin(), samples.end(), 0.0);  // ordered: fine
+}
+
+double assignNotCompare() {
+  double x = 0.0;  // assignment, not comparison: fine
+  return x <= 0.5 ? 0.25 : x;  // relational, not equality: fine
+}

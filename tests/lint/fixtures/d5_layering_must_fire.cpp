@@ -1,0 +1,35 @@
+// wfslint fixture — D5-layering MUST fire: a resurrected Trace::instance()
+// global and a write-once catalog mutated outside src/storage.
+#include <string>
+
+namespace wfs::sim {
+class Trace {
+ public:
+  static Trace* instance();  // the global this repo deleted in PR 1
+  void log(const std::string& line);
+};
+}  // namespace wfs::sim
+
+namespace wfs {
+
+struct Meta {
+  bool lost = false;
+};
+
+class FileCatalog {
+ public:
+  void markLost(const std::string& path);
+};
+
+class Rogue {
+ public:
+  void scribble(const std::string& path) {
+    sim::Trace::instance()->log(path);  // fires: Trace::instance()
+    catalog_.markLost(path);            // fires: catalog mutation outside src/storage
+  }
+
+ private:
+  FileCatalog catalog_;
+};
+
+}  // namespace wfs

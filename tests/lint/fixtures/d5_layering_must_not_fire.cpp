@@ -1,0 +1,33 @@
+// wfslint fixture — D5-layering must stay silent: tracing through the
+// owning simulator and mutating files through the StorageSystem surface.
+#include <string>
+
+namespace wfs {
+
+class Simulator {
+ public:
+  void trace(const std::string& line);
+};
+
+class StorageSystem {
+ public:
+  void retractFile(const std::string& path);
+  void preload(const std::string& path, unsigned long long size);
+};
+
+class WellBehaved {
+ public:
+  WellBehaved(Simulator& sim, StorageSystem& storage) : sim_{&sim}, storage_{&storage} {}
+
+  void recover(const std::string& path) {
+    sim_->trace("retracting " + path);  // per-simulator trace: fine
+    storage_->retractFile(path);        // catalog mutated via the API: fine
+    storage_->preload(path, 1024);
+  }
+
+ private:
+  Simulator* sim_;
+  StorageSystem* storage_;
+};
+
+}  // namespace wfs

@@ -1,0 +1,10 @@
+// wfslint fixture — D5-layering MUST fire when this file is classified as
+// living in src/simcore (the ctest case passes --treat-as src/simcore/x.cpp):
+// the bottom layer may not include anything stacked above it.
+#include "storage/base/storage_system.hpp"  // fires under src/simcore
+#include "wf/engine.hpp"                    // fires under src/simcore
+
+// A commented-out include must stay dead:
+// #include "analysis/sweep.hpp"
+
+int bottomLayer() { return 0; }

@@ -1,0 +1,30 @@
+// wfslint fixture — WFS-bad-suppression MUST fire twice: an allow() with no
+// justification, and an allow() naming a rule that does not exist. The
+// well-formed suppression at the bottom must NOT leave a finding.
+#include <string>
+#include <unordered_set>
+
+struct Sweeper {
+  std::unordered_set<std::string> paths;
+
+  int reasonless() {
+    int n = 0;
+    // wfslint: allow(unordered-iter)
+    for (const auto& p : paths) n += static_cast<int>(p.size());  // stays flagged
+    return n;
+  }
+
+  int unknownRule() {
+    int n = 0;
+    // wfslint: allow(made-up-rule) this rule id does not exist
+    for (const auto& p : paths) n += static_cast<int>(p.size());  // stays flagged
+    return n;
+  }
+
+  int justified() {
+    int n = 0;
+    // wfslint: allow(unordered-iter) order-free count; nothing escapes but the sum
+    for (const auto& p : paths) n += static_cast<int>(p.size());
+    return n;
+  }
+};

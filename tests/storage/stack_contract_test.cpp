@@ -204,8 +204,8 @@ TEST_P(StackContract, ZeroFaultArmingIsANoOp) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StackContract, ::testing::ValuesIn(kBackends),
-                         [](const ::testing::TestParamInfo<BackendCase>& info) {
-                           return std::string{info.param.label};
+                         [](const ::testing::TestParamInfo<BackendCase>& paramInfo) {
+                           return std::string{paramInfo.param.label};
                          });
 
 }  // namespace

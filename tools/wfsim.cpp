@@ -258,7 +258,9 @@ void validateCli(const Cli& cli, const std::string& cmd) {
     if (c.atSeconds < 0.0) die("--crash-at time must be >= 0");
     if (c.node < 0) die("--crash-at node must be >= 0");
   }
+  // wfslint: allow(float-eq) flag-sentinel test: 0.0 is the parse default, not a computed value
   if (cli.faults && cli.crashRate == 0.0 && cli.opFaultProb == 0.0 &&
+      // wfslint: allow(float-eq) flag-sentinel test continued
       cli.outageRate == 0.0 && cli.crashAt.empty()) {
     die("--faults given but no fault source; add --crash-rate, --crash-at, "
         "--op-fault-prob or --outage-rate");

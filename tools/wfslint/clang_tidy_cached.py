@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database, skipping unchanged files.
+
+CI calls this instead of bare clang-tidy so that warm runs only re-analyze
+what moved. The cache is a directory of stamp files, one per translation
+unit, named by a digest of everything that could change the verdict:
+
+  * the translation unit's own bytes,
+  * every project header it could include (one concatenated digest — cheap,
+    coarse, and safe: any header edit invalidates every stamp),
+  * the .clang-tidy configuration,
+  * the clang-tidy version string.
+
+A stamp is written only after clang-tidy exits clean, so a failing file is
+always re-analyzed on the next run. The stamp directory is restored and
+saved by actions/cache; deleting it simply makes the next run cold.
+
+Usage:
+  clang_tidy_cached.py -p build/compile_commands.json \
+      --cache .clang-tidy-cache [--clang-tidy clang-tidy] [prefix ...]
+
+Positional prefixes (e.g. "src tools") keep only database entries whose
+source path, relative to the repo root, starts with one of them.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+
+def sha256_file(path, chunk=1 << 16):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def headers_digest(root):
+    """One digest over every project header, in sorted path order."""
+    h = hashlib.sha256()
+    for top in ("src", "tools"):
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        paths = []
+        for dirpath, _, names in os.walk(base):
+            for name in names:
+                if name.endswith((".hpp", ".h")):
+                    paths.append(os.path.join(dirpath, name))
+        for path in sorted(paths):
+            h.update(os.path.relpath(path, root).encode())
+            h.update(sha256_file(path).encode())
+    return h.hexdigest()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-p", "--database", required=True,
+                    help="path to compile_commands.json")
+    ap.add_argument("--cache", required=True, help="stamp directory")
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("prefixes", nargs="*", default=[],
+                    help="repo-relative path prefixes to keep (default: all)")
+    args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"error: {args.clang_tidy} not found on PATH", file=sys.stderr)
+        return 2
+
+    root = os.getcwd()
+    with open(args.database) as f:
+        db = json.load(f)
+
+    files = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue  # system / third-party TU
+        if args.prefixes and not any(
+                rel == p or rel.startswith(p.rstrip("/") + "/")
+                for p in args.prefixes):
+            continue
+        files.append((rel, path))
+    files = sorted(set(files))
+    if not files:
+        print("clang-tidy-cached: no translation units matched", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.cache, exist_ok=True)
+    version = subprocess.run([args.clang_tidy, "--version"],
+                             capture_output=True, text=True).stdout
+    config = sha256_file(os.path.join(root, ".clang-tidy"))
+    headers = headers_digest(root)
+
+    def stamp_for(rel, path):
+        h = hashlib.sha256()
+        for part in (rel, sha256_file(path), headers, config, version):
+            h.update(part.encode())
+        return os.path.join(args.cache, h.hexdigest())
+
+    def analyze(item):
+        rel, path = item
+        stamp = stamp_for(rel, path)
+        if os.path.exists(stamp):
+            return rel, True, "(cached)"
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", os.path.dirname(args.database),
+             "--quiet", path],
+            capture_output=True, text=True)
+        ok = proc.returncode == 0 and "warning:" not in proc.stdout \
+            and "error:" not in proc.stdout
+        if ok:
+            with open(stamp, "w") as f:
+                f.write(rel + "\n")
+        return rel, ok, (proc.stdout + proc.stderr).strip()
+
+    failed = 0
+    cached = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for rel, ok, output in pool.map(analyze, files):
+            if output == "(cached)":
+                cached += 1
+            elif ok:
+                print(f"clang-tidy: {rel}: clean")
+            else:
+                failed += 1
+                print(f"clang-tidy: {rel}: FAILED\n{output}")
+
+    print(f"clang-tidy-cached: {len(files)} files, {cached} cached, "
+          f"{failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

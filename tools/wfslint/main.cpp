@@ -1,0 +1,215 @@
+// wfslint — project-specific determinism & invariant lint for wfcloudsim.
+//
+// Every number this repo publishes (the Fig 2–7 curves, the availability
+// sweeps) is gated on byte-identical replay across --jobs 1/2/8 and across
+// machines. wfslint makes the properties that gate depends on *statically*
+// checked instead of discovered when the CI diff flickers:
+//
+//   D1-wall-clock      no ambient time/entropy reads in simulation code
+//   D2-unordered-iter  no iteration over std::unordered_{map,set}
+//   D3-rng-seed        RNG streams forked per concern, never literal-seeded
+//   D4-float-eq        no exact float compares / unordered accumulation
+//   D5-layering        simcore at the bottom, no Trace::instance(),
+//                      catalog mutations only inside src/storage
+//
+// It is a token/regex tier (comment- and string-aware), so it needs no
+// libclang and runs in milliseconds; the generic tier (clang-tidy, -Werror)
+// rides in CI next to it. File lists come from directories, explicit paths,
+// or -p build/compile_commands.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "source_file.hpp"
+
+namespace fs = std::filesystem;
+using wfs::lint::Finding;
+using wfs::lint::SourceFile;
+using wfs::lint::UnorderedIndex;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::string compileCommands;
+  std::string root;     // repo root for display-path classification
+  std::string treatAs;  // classify a single input as if at this path
+  bool allRules = false;
+  bool listRules = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [path...]\n"
+               "  path                 file or directory (recursed: .cpp .cc .hpp .h)\n"
+               "  -p FILE              take the file list from compile_commands.json\n"
+               "  --root DIR           repo root used to classify paths (default: cwd)\n"
+               "  --treat-as PATH      classify the single input file as if it were at\n"
+               "                       PATH relative to the root (fixture testing)\n"
+               "  --all-rules          ignore the per-path rule policy (fixture testing)\n"
+               "  --list-rules         print the rule table and exit\n",
+               argv0);
+  return 2;
+}
+
+bool hasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+/// The fixture corpus is full of deliberate violations; directory walks skip
+/// it so linting tests/ stays clean. Explicit file arguments still reach it.
+bool isFixturePath(const std::string& p) {
+  return p.find("tests/lint/fixtures") != std::string::npos;
+}
+
+/// Scrapes the "file" entries out of compile_commands.json. The format is
+/// stable enough (CMake writes it) that a full JSON parser buys nothing.
+std::vector<std::string> filesFromCompileCommands(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "wfslint: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::size_t open = text.find('"', text.find(':', pos));
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    files.push_back(text.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string displayPathFor(const std::string& file, const std::string& root) {
+  std::error_code ec;
+  const fs::path abs = fs::weakly_canonical(fs::path(file), ec);
+  const fs::path rootAbs = fs::weakly_canonical(fs::path(root), ec);
+  const std::string absStr = abs.generic_string();
+  const std::string rootStr = rootAbs.generic_string();
+  if (!rootStr.empty() && absStr.rfind(rootStr + "/", 0) == 0) {
+    return absStr.substr(rootStr.size() + 1);
+  }
+  return fs::path(file).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.root = fs::current_path().generic_string();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-p" && i + 1 < argc) {
+      opt.compileCommands = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--treat-as" && i + 1 < argc) {
+      opt.treatAs = argv[++i];
+    } else if (arg == "--all-rules") {
+      opt.allRules = true;
+    } else if (arg == "--list-rules") {
+      opt.listRules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wfslint: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      opt.inputs.push_back(arg);
+    }
+  }
+
+  if (opt.listRules) {
+    for (const auto& [id, summary] : wfs::lint::ruleTable()) {
+      std::printf("%-22s %s\n", id.c_str(), summary.c_str());
+    }
+    return 0;
+  }
+
+  // Assemble the file list: explicit files, recursed directories, then the
+  // compilation database. Sorted + deduplicated so output order (and the
+  // tool's own exit behaviour) is deterministic regardless of filesystem
+  // enumeration order — a lint tool about determinism had better be.
+  std::vector<std::string> files;
+  for (const std::string& input : opt.inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input, ec)) {
+        if (!entry.is_regular_file(ec) || !hasSourceExtension(entry.path())) continue;
+        const std::string p = entry.path().generic_string();
+        if (isFixturePath(p)) continue;
+        files.push_back(p);
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "wfslint: no such file or directory: %s\n", input.c_str());
+      return 2;
+    }
+  }
+  if (!opt.compileCommands.empty()) {
+    for (std::string& f : filesFromCompileCommands(opt.compileCommands)) {
+      if (!isFixturePath(f) && hasSourceExtension(fs::path(f))) files.push_back(std::move(f));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "wfslint: no input files\n");
+    return usage(argv[0]);
+  }
+  if (!opt.treatAs.empty() && files.size() != 1) {
+    std::fprintf(stderr, "wfslint: --treat-as needs exactly one input file\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  UnorderedIndex unordered;
+  for (const std::string& f : files) {
+    const std::string display =
+        !opt.treatAs.empty() ? opt.treatAs : displayPathFor(f, opt.root);
+    SourceFile sf = wfs::lint::loadSource(f, display);
+    if (sf.loadFailed) {
+      std::fprintf(stderr, "wfslint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    unordered.collect(sf);
+    sources.push_back(std::move(sf));
+  }
+  unordered.finalize();
+
+  std::size_t findingCount = 0;
+  for (const SourceFile& sf : sources) {
+    for (const Finding& finding : wfs::lint::runRules(sf, unordered, opt.allRules)) {
+      std::printf("%s\n", finding.format().c_str());
+      ++findingCount;
+    }
+  }
+
+  if (findingCount == 0) {
+    std::printf("wfslint: no findings (%zu files scanned)\n", files.size());
+    return 0;
+  }
+  std::printf("wfslint: %zu finding(s) across %zu files scanned\n", findingCount,
+              files.size());
+  return 1;
+}

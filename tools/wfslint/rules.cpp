@@ -1,0 +1,425 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace wfs::lint {
+
+namespace {
+
+constexpr const char* kD1 = "D1-wall-clock";
+constexpr const char* kD2 = "D2-unordered-iter";
+constexpr const char* kD3 = "D3-rng-seed";
+constexpr const char* kD4 = "D4-float-eq";
+constexpr const char* kD5 = "D5-layering";
+constexpr const char* kBadSuppression = "WFS-bad-suppression";
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string s) {
+  const auto notSpace = [](char c) { return std::isspace(static_cast<unsigned char>(c)) == 0; };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
+  s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
+  return s;
+}
+
+/// Matches `text[open]` (one of `([{<`) to its closing bracket, honouring
+/// nesting of all four kinds. Returns npos when unbalanced.
+std::size_t matchBracket(const std::string& text, std::size_t open) {
+  const std::string opens = "([{<";
+  const std::string closes = ")]}>";
+  const auto kind = opens.find(text[open]);
+  if (kind == std::string::npos) return std::string::npos;
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == opens[kind]) {
+      ++depth;
+    } else if (c == closes[kind]) {
+      if (--depth == 0) return i;
+    }
+    // `->` and `>>` would confuse angle matching; the only caller that
+    // matches `<` is the unordered-declaration scan, where template
+    // argument lists contain neither.
+  }
+  return std::string::npos;
+}
+
+/// Reduces a range/argument expression to the identifier that names the
+/// container: strips a std::move() wrapper, a trailing call, and leading
+/// object paths (`catalog_.entries()` -> `entries`, `*foo.bar` -> `bar`).
+std::string tailIdentifier(std::string expr) {
+  expr = trim(std::move(expr));
+  if (startsWith(expr, "std::move(") && expr.back() == ')') {
+    expr = trim(expr.substr(10, expr.size() - 11));
+  }
+  while (!expr.empty() && (expr.front() == '*' || expr.front() == '&' || expr.front() == '(')) {
+    expr.erase(expr.begin());
+  }
+  if (expr.size() >= 2 && expr.compare(expr.size() - 2, 2, "()") == 0) {
+    expr.erase(expr.size() - 2);
+  }
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i + 1 < expr.size(); ++i) {
+    if (expr[i] == '.' || (expr[i] == '-' && expr[i + 1] == '>') ||
+        (expr[i] == ':' && expr[i + 1] == ':')) {
+      cut = i + (expr[i] == '.' ? 1 : 2);
+    }
+  }
+  expr = expr.substr(cut);
+  if (expr.size() >= 2 && expr.compare(expr.size() - 2, 2, "()") == 0) {
+    expr.erase(expr.size() - 2);
+  }
+  expr = trim(std::move(expr));
+  // Anything that is not a plain identifier (arithmetic, braced init, ...)
+  // cannot be looked up in the index.
+  if (expr.empty() || !std::all_of(expr.begin(), expr.end(), isIdentChar)) return {};
+  return expr;
+}
+
+struct RegexRule {
+  std::regex pattern;
+  const char* id;
+  const char* message;
+  const char* fixit;
+};
+
+const char* kD1Fix =
+    "derive time from sim::Simulator::now() and entropy from a forked sim::Rng stream";
+const char* kD2Fix =
+    "iterate sorted keys or switch to std::map/std::set; if order provably cannot "
+    "escape, annotate `// wfslint: allow(unordered-iter) <reason>`";
+const char* kD3Fix =
+    "construct from the experiment config seed or parent.fork() (see fault::FaultPlan)";
+const char* kD4Fix =
+    "compare against an epsilon, or sum over a deterministically ordered range";
+
+const std::vector<RegexRule>& d1Rules() {
+  static const std::vector<RegexRule> rules = [] {
+    std::vector<RegexRule> r;
+    const auto add = [&r](const char* re, const char* msg) {
+      r.push_back({std::regex(re), kD1, msg, kD1Fix});
+    };
+    add(R"(\b(?:std::chrono::)?(?:system_clock|steady_clock|high_resolution_clock)\s*::)",
+        "wall-clock read is invisible to the event queue and differs per run");
+    add(R"(\bstd::(?:rand|srand)\b|\bsrand\s*\(|\brand\s*\(\s*\))",
+        "C rand() draws from ambient global state");
+    add(R"(\bstd::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0|&)\s*\w*\s*\))",
+        "time() reads the host clock, not the simulation clock");
+    add(R"(\b(?:gettimeofday|clock_gettime|localtime|gmtime)\s*\(|\bclock\s*\(\s*\))",
+        "host-clock syscall in simulation code");
+    add(R"(\b(?:std::)?random_device\b)",
+        "random_device is fresh entropy on every run (fault::Spec seeds are the one "
+        "sanctioned entropy root)");
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<RegexRule>& d3Rules() {
+  static const std::vector<RegexRule> rules = [] {
+    std::vector<RegexRule> r;
+    const auto add = [&r](const char* re, const char* msg) {
+      r.push_back({std::regex(re), kD3, msg, kD3Fix});
+    };
+    add(R"(\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|knuth_b|ranlux(?:24|48)(?:_base)?)\b)",
+        "libstdc++ engines are not stream-splittable and differ across standard libraries; "
+        "use sim::Rng");
+    add(R"(\bstd::[a-z_]+_distribution\b)",
+        "libstdc++ distributions are implementation-defined; use the sim::Rng samplers");
+    add(R"(\bRng(?:\s+\w+)?\s*[({]\s*(?:0[xX][0-9a-fA-F']+|[0-9][0-9']*)[uUlL']*\s*[)}])",
+        "Rng seeded from a literal is a hidden global stream");
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<RegexRule>& d4Rules() {
+  static const std::vector<RegexRule> rules = [] {
+    std::vector<RegexRule> r;
+    const auto add = [&r](const char* re, const char* msg) {
+      r.push_back({std::regex(re), kD4, msg, kD4Fix});
+    };
+    add(R"([=!]=\s*[-+]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+[eE][-+]?[0-9]+)[fFlL]?)",
+        "exact comparison against a floating-point literal");
+    add(R"((?:[0-9]+\.[0-9]*|\.[0-9]+)[fFlL]?\s*[=!]=[^=])",
+        "exact comparison against a floating-point literal");
+    return r;
+  }();
+  return rules;
+}
+
+/// Layer prefixes `src/simcore` may never include: everything above it.
+const std::vector<std::string>& bannedSimcoreIncludes() {
+  static const std::vector<std::string> banned = {
+      "storage/", "wf/", "cloud/", "analysis/", "apps/",
+      "fault/",   "net/", "blk/",   "prof/"};
+  return banned;
+}
+
+/// Does suppression token `rule` cover finding id `id` (e.g. both
+/// "unordered-iter" and "D2-unordered-iter" and "D2" cover kD2)?
+bool ruleTokenCovers(const std::string& rule, const std::string& id) {
+  if (rule == id) return true;
+  if (id.size() > 3 && rule == id.substr(3)) return true;  // short name
+  if (rule.size() == 2 && id.compare(0, 2, rule) == 0) return true;  // "D2"
+  return false;
+}
+
+bool knownRuleToken(const std::string& rule) {
+  for (const auto& [id, unused] : ruleTable()) {
+    (void)unused;
+    if (ruleTokenCovers(rule, id)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Finding::format() const {
+  return file + ":" + std::to_string(line) + ": [" + ruleId + "] " + message +
+         "; fix: " + fixit;
+}
+
+void UnorderedIndex::add(std::string name) {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) names_.insert(it, std::move(name));
+}
+
+bool UnorderedIndex::contains(const std::string& name) const {
+  return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+void UnorderedIndex::collect(const SourceFile& sf) {
+  const std::string& text = sf.stripped;
+  for (const char* needle : {"unordered_map", "unordered_set"}) {
+    const std::string n = needle;
+    std::size_t pos = 0;
+    while ((pos = text.find(n, pos)) != std::string::npos) {
+      const std::size_t found = pos;
+      const std::size_t after = pos + n.size();
+      pos = after;
+      if (found > 0 && isIdentChar(text[found - 1])) continue;  // my_unordered_map
+      if (after >= text.size() || text[after] != '<') continue;
+      const std::size_t close = matchBracket(text, after);
+      if (close == std::string::npos) continue;
+      // `std::unordered_map<...>::iterator` etc. is a nested-name use, not a
+      // declaration of an iterable object.
+      std::size_t i = close + 1;
+      while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+                                 text[i] == '&' || text[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < text.size() && isIdentChar(text[i])) name.push_back(text[i++]);
+      if (name.empty() || name == "const") continue;
+      // Either a variable/member (`files_;`, `consumed{...}`) or a function
+      // returning the container (`entries() const`): both iterate unordered.
+      add(std::move(name));
+    }
+  }
+  // `auto leftovers = std::move(detached_);` aliases an unordered member.
+  static const std::regex aliasRe(
+      R"(\bauto\s+(\w+)\s*=\s*std::move\(\s*([\w.:>()*&-]+?)\s*\))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), aliasRe);
+       it != std::sregex_iterator(); ++it) {
+    aliases_.emplace_back((*it)[1].str(), tailIdentifier((*it)[2].str()));
+  }
+}
+
+void UnorderedIndex::finalize() {
+  // Two rounds cover alias-of-alias chains without a full fixpoint.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [alias, source] : aliases_) {
+      if (!source.empty() && contains(source)) add(alias);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ruleTable() {
+  return {
+      {kD1, "no wall-clock or ambient entropy in simulation code"},
+      {kD2, "no iteration over std::unordered_map/std::unordered_set"},
+      {kD3, "RNG streams must be forked per concern, never literal-seeded"},
+      {kD4, "no exact floating-point comparison or unordered accumulation"},
+      {kD5, "layering: simcore includes nothing above it; no Trace::instance(); "
+            "catalog mutations only inside src/storage"},
+      {kBadSuppression, "wfslint: allow(<rule>) needs a known rule and a non-empty reason"},
+  };
+}
+
+std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unordered,
+                              bool allRules) {
+  std::vector<Finding> findings;
+  const std::string& path = sf.displayPath;
+  const std::string& text = sf.stripped;
+
+  const bool libraryCode = startsWith(path, "src/") || startsWith(path, "tools/");
+  const bool storageCode = startsWith(path, "src/storage/") ||
+                           startsWith(path, "tests/storage/");
+  const bool simcoreCode = startsWith(path, "src/simcore/");
+
+  const auto suppressed = [&sf](int line, const std::string& id) {
+    for (const Suppression& s : sf.suppressions) {
+      if (s.appliesToLine == line && !s.reason.empty() && ruleTokenCovers(s.rule, id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto emit = [&](int line, const char* id, std::string message, const char* fixit) {
+    if (suppressed(line, id)) return;
+    findings.push_back({path, line, id, std::move(message), fixit});
+  };
+  const auto scanRegexRules = [&](const std::vector<RegexRule>& rules) {
+    for (const RegexRule& rule : rules) {
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), rule.pattern);
+           it != std::sregex_iterator(); ++it) {
+        emit(sf.lineOf(static_cast<std::size_t>(it->position())), rule.id, rule.message,
+             rule.fixit);
+      }
+    }
+  };
+
+  // D1 — ambient nondeterminism.
+  scanRegexRules(d1Rules());
+
+  // D3 — RNG discipline (library code only: tests/benches/examples pin
+  // experiment-root seeds by design, which IS the documented seeding root).
+  if (allRules || libraryCode) scanRegexRules(d3Rules());
+
+  // D4 — float-literal comparisons.
+  scanRegexRules(d4Rules());
+
+  // D2 — range-for over an unordered container, plus the D4 variant
+  // std::accumulate over one.
+  {
+    std::size_t pos = 0;
+    while ((pos = text.find("for", pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += 3;
+      if (at > 0 && isIdentChar(text[at - 1])) continue;
+      std::size_t i = at + 3;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+      if (i >= text.size() || text[i] != '(') continue;
+      const std::size_t close = matchBracket(text, i);
+      if (close == std::string::npos) continue;
+      const std::string head = text.substr(i + 1, close - i - 1);
+      // Find the range-for ':' at paren depth 0, skipping '::'.
+      std::size_t colon = std::string::npos;
+      int depth = 0;
+      bool classicFor = false;
+      for (std::size_t k = 0; k < head.size(); ++k) {
+        const char c = head[k];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') --depth;
+        if (depth != 0) continue;
+        if (c == ';') {
+          classicFor = true;
+          break;
+        }
+        if (c == ':' && (k + 1 >= head.size() || head[k + 1] != ':') &&
+            (k == 0 || head[k - 1] != ':')) {
+          colon = k;
+          break;
+        }
+      }
+      if (classicFor || colon == std::string::npos) continue;
+      const std::string name = tailIdentifier(head.substr(colon + 1));
+      if (!name.empty() && unordered.contains(name)) {
+        emit(sf.lineOf(at), kD2,
+             "range-for over unordered container `" + name +
+                 "` has platform-dependent order",
+             kD2Fix);
+      }
+    }
+
+    static const std::regex accumulateRe(
+        R"(\bstd::accumulate\s*\(\s*([A-Za-z_][\w.>:()*&-]*?)\s*\.\s*c?begin\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), accumulateRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = tailIdentifier((*it)[1].str());
+      if (!name.empty() && unordered.contains(name)) {
+        emit(sf.lineOf(static_cast<std::size_t>(it->position())), kD4,
+             "std::accumulate over unordered container `" + name +
+                 "` folds doubles in platform-dependent order",
+             kD4Fix);
+      }
+    }
+  }
+
+  // D5 — layering.
+  {
+    static const std::regex traceRe(R"(\bTrace\s*::\s*instance\b)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), traceRe);
+         it != std::sregex_iterator(); ++it) {
+      emit(sf.lineOf(static_cast<std::size_t>(it->position())), kD5,
+           "Trace::instance() global was removed for per-simulator trace isolation",
+           "trace through the owning sim::Simulator (WFS_TRACE macro)");
+    }
+
+    if (allRules || !storageCode) {
+      static const std::regex catalogRe(
+          R"(\bcatalog_\s*\.\s*(?:create|markLost|markDiscarded|clearLost)\s*\(|\bFileCatalog\s+\w+)");
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), catalogRe);
+           it != std::sregex_iterator(); ++it) {
+        emit(sf.lineOf(static_cast<std::size_t>(it->position())), kD5,
+             "write-once catalog mutated outside src/storage",
+             "route through StorageSystem::write/preload/retractFile so write-once "
+             "invariants stay enforced in one place");
+      }
+    }
+
+    if (allRules || simcoreCode) {
+      static const std::regex includeRe(R"re(#\s*include\s*"([^"]+)")re");
+      // Include paths live inside string literals, which the lexer blanks;
+      // scan the raw text but only on lines that are preprocessor directives
+      // in the stripped view (so commented-out includes stay dead).
+      for (auto it = std::sregex_iterator(sf.raw.begin(), sf.raw.end(), includeRe);
+           it != std::sregex_iterator(); ++it) {
+        const int line = sf.lineOf(static_cast<std::size_t>(it->position()));
+        const auto [b, e] = sf.lineRange(line);
+        const std::string strippedLine = trim(text.substr(b, e - b));
+        if (strippedLine.empty() || strippedLine[0] != '#') continue;
+        const std::string target = (*it)[1].str();
+        for (const std::string& banned : bannedSimcoreIncludes()) {
+          if (startsWith(target, banned.c_str())) {
+            emit(line, kD5,
+                 "src/simcore may not depend on `" + target +
+                     "` (simcore is the bottom layer)",
+                 "invert the dependency or move the code out of simcore");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Suppression hygiene: every annotation needs a known rule and a reason.
+  for (const Suppression& s : sf.suppressions) {
+    if (!knownRuleToken(s.rule)) {
+      findings.push_back({path, s.line, kBadSuppression,
+                          "unknown rule `" + s.rule + "` in wfslint annotation",
+                          "use one of the ids from `wfslint --list-rules`"});
+    } else if (s.reason.empty()) {
+      findings.push_back({path, s.line, kBadSuppression,
+                          "suppression of `" + s.rule + "` carries no justification",
+                          "write `// wfslint: allow(" + s.rule + ") <why this is safe>`"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.ruleId < b.ruleId;
+  });
+  return findings;
+}
+
+}  // namespace wfs::lint

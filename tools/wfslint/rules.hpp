@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source_file.hpp"
+
+namespace wfs::lint {
+
+/// One rule violation: `file:line: [id] message; fix: ...` on a single line
+/// so CI logs and ctest PASS_REGULAR_EXPRESSION can key on the rule id.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string ruleId;
+  std::string message;
+  std::string fixit;
+
+  [[nodiscard]] std::string format() const;
+};
+
+/// Identifiers known to name unordered containers, gathered in a repo-wide
+/// first pass: variables/members declared `std::unordered_{map,set}<...>`,
+/// functions returning (references to) them, and `auto x = std::move(y)`
+/// aliases of either. Shared across files so `catalog_.entries()` iteration
+/// is caught even though the declaration lives in another header.
+class UnorderedIndex {
+ public:
+  void collect(const SourceFile& sf);
+  /// Resolves collected move-aliases against the collected names; call once
+  /// after every file has been through collect().
+  void finalize();
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;  // kept sorted+unique
+  std::vector<std::pair<std::string, std::string>> aliases_;
+  void add(std::string name);
+};
+
+/// Per-file rule driver. `displayPath` (repo-relative) feeds the path
+/// policy: D3 guards library code (src/, tools/) only — tests, benches and
+/// examples legitimately pin experiment-root seeds; D5's catalog-mutation
+/// check exempts src/storage/ and tests/storage/, its include check applies
+/// inside src/simcore/. `allRules` (fixture mode) disables the policy.
+std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unordered,
+                              bool allRules);
+
+/// Canonical rule ids, for --list-rules and suppression matching.
+std::vector<std::pair<std::string, std::string>> ruleTable();
+
+}  // namespace wfs::lint

@@ -1,0 +1,216 @@
+#include "source_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace wfs::lint {
+
+namespace {
+
+/// Parses one comment's text (without the `//` or `/* */` fences) looking
+/// for a wfslint annotation. Returns true and fills `rule`/`reason` when the
+/// marker is present — even with an empty reason, so the caller can report
+/// a bad suppression instead of silently ignoring it.
+bool parseAnnotation(const std::string& comment, std::string& rule, std::string& reason) {
+  const std::string marker = "wfslint:";
+  const std::size_t m = comment.find(marker);
+  if (m == std::string::npos) return false;
+  std::size_t i = m + marker.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i])) != 0) ++i;
+  const std::string verb = "allow(";
+  if (comment.compare(i, verb.size(), verb) != 0) return false;
+  i += verb.size();
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) return false;
+  rule = comment.substr(i, close - i);
+  // Trim the rule token.
+  while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front())) != 0) {
+    rule.erase(rule.begin());
+  }
+  while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back())) != 0) {
+    rule.pop_back();
+  }
+  reason = comment.substr(close + 1);
+  // The reason is everything after the closing paren, trimmed; `*/` fences
+  // were never included (the lexer hands us comment bodies only).
+  const auto notSpace = [](char c) { return std::isspace(static_cast<unsigned char>(c)) == 0; };
+  reason.erase(reason.begin(), std::find_if(reason.begin(), reason.end(), notSpace));
+  reason.erase(std::find_if(reason.rbegin(), reason.rend(), notSpace).base(), reason.end());
+  return true;
+}
+
+/// True when `stripped[start, lineStart)` holds only whitespace — i.e. the
+/// comment owned its whole line.
+bool onlyWhitespaceBefore(const std::string& text, std::size_t lineStart, std::size_t pos) {
+  for (std::size_t i = lineStart; i < pos; ++i) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int SourceFile::lineOf(std::size_t offset) const {
+  const auto it = std::upper_bound(lineStarts_.begin(), lineStarts_.end(), offset);
+  return static_cast<int>(it - lineStarts_.begin());
+}
+
+std::pair<std::size_t, std::size_t> SourceFile::lineRange(int line) const {
+  const auto idx = static_cast<std::size_t>(line - 1);
+  if (idx >= lineStarts_.size()) return {stripped.size(), stripped.size()};
+  const std::size_t begin = lineStarts_[idx];
+  const std::size_t end =
+      idx + 1 < lineStarts_.size() ? lineStarts_[idx + 1] : stripped.size();
+  return {begin, end};
+}
+
+SourceFile loadSource(const std::string& path, const std::string& displayPath) {
+  SourceFile sf;
+  sf.path = path;
+  sf.displayPath = displayPath;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    sf.loadFailed = true;
+    return sf;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  sf.raw = buf.str();
+  const std::string& text = sf.raw;
+
+  sf.stripped.reserve(text.size());
+  sf.lineStarts_.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string comment;          // Body of the comment currently being read.
+  std::size_t commentStart = 0; // Offset of its first character.
+  std::string rawDelim;         // Delimiter of the raw string in flight.
+
+  auto finishComment = [&sf](const std::string& body, std::size_t startOffset) {
+    std::string rule;
+    std::string reason;
+    if (!parseAnnotation(body, rule, reason)) return;
+    Suppression s;
+    s.line = sf.lineOf(startOffset);
+    const auto [lineBegin, lineEnd] = sf.lineRange(s.line);
+    (void)lineEnd;
+    s.appliesToLine = onlyWhitespaceBefore(sf.stripped, lineBegin, startOffset)
+                          ? s.line + 1
+                          : s.line;
+    s.rule = std::move(rule);
+    s.reason = std::move(reason);
+    sf.suppressions.push_back(std::move(s));
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    char out = c;
+
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          commentStart = i;
+          out = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          commentStart = i;
+          out = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(text[i - 1])) == 0 &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          state = State::kRawString;
+          rawDelim.clear();
+          std::size_t j = i + 2;
+          while (j < text.size() && text[j] != '(') rawDelim.push_back(text[j++]);
+          out = 'R';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(text[i - 1])) == 0 &&
+                               text[i - 1] != '_'))) {
+          // Apostrophes inside numbers (1'000'000) are digit separators, not chars.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          finishComment(comment, commentStart);
+        } else {
+          comment.push_back(c);
+          out = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          finishComment(comment, commentStart);
+          sf.stripped.push_back(' ');
+          sf.stripped.push_back(' ');
+          ++i;
+          continue;
+        }
+        comment.push_back(c);
+        if (c != '\n') out = ' ';
+        break;
+      case State::kString:
+        if (c == '\\') {
+          sf.stripped.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            sf.stripped.push_back(' ');
+            ++i;
+          }
+          continue;
+        }
+        if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          sf.stripped.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            sf.stripped.push_back(' ');
+            ++i;
+          }
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out = ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + rawDelim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) sf.stripped.push_back(' ');
+          i += closer.size() - 1;
+          state = State::kCode;
+          continue;
+        }
+        if (c != '\n') out = ' ';
+        break;
+      }
+    }
+
+    sf.stripped.push_back(out);
+    if (c == '\n') sf.lineStarts_.push_back(sf.stripped.size());
+  }
+  if (state == State::kLineComment) finishComment(comment, commentStart);
+
+  return sf;
+}
+
+}  // namespace wfs::lint

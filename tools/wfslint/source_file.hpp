@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfs::lint {
+
+/// One suppression annotation found in a file: a comment carrying the
+/// `wfslint:` marker followed by `allow(<rule>) <reason>`.
+///
+/// An annotation suppresses findings of `rule` on its own line; when the
+/// comment is the only thing on its line it suppresses the next code line
+/// instead (the idiom for annotating a `for` statement from above).
+struct Suppression {
+  int line = 0;          ///< 1-based line the comment sits on.
+  int appliesToLine = 0; ///< Line whose findings it suppresses.
+  std::string rule;      ///< As written: "unordered-iter" or "D2-unordered-iter".
+  std::string reason;    ///< Trailing comment text; must be non-empty.
+};
+
+/// A source file prepared for the token/regex tier: `stripped` mirrors the
+/// original byte-for-byte in layout (same length, same newlines) but has
+/// comment bodies and string/char literal contents blanked to spaces, so
+/// rule regexes never fire inside a literal or a doc comment.
+struct SourceFile {
+  std::string path;        ///< As passed on the command line.
+  std::string displayPath; ///< Path used for findings + rule scoping.
+  std::string raw;         ///< Original bytes (preprocessor directives keep
+                           ///< their include targets only here).
+  std::string stripped;
+  std::vector<Suppression> suppressions;
+  bool loadFailed = false;
+
+  /// Line (1-based) containing byte `offset` of `stripped`.
+  [[nodiscard]] int lineOf(std::size_t offset) const;
+
+  /// Byte range [begin, end) of 1-based `line` in `stripped`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> lineRange(int line) const;
+
+ private:
+  std::vector<std::size_t> lineStarts_;
+  friend SourceFile loadSource(const std::string& path, const std::string& displayPath);
+};
+
+/// Reads and lexes `path`. Sets `loadFailed` when the file cannot be read.
+SourceFile loadSource(const std::string& path, const std::string& displayPath);
+
+}  // namespace wfs::lint
