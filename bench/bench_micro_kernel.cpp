@@ -62,6 +62,58 @@ void BM_ResourceContention(benchmark::State& state) {
 }
 BENCHMARK(BM_ResourceContention)->Arg(1000);
 
+void BM_EventCancelChurn(benchmark::State& state) {
+  // Timeout-heavy workload: rounds of far-future timers, most of which are
+  // canceled before firing (the retry/IO-timeout pattern). Stresses
+  // cancellation bookkeeping — a queue that keeps dead entries until their
+  // timestamp arrives accumulates 20x the live set here.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids(static_cast<std::size_t>(n));
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < n; ++i) {
+        ids[static_cast<std::size_t>(i)] =
+            sim.schedule(sim::Duration::seconds(3600 + (i * 7 + round) % 97), [] {});
+      }
+      for (int i = 0; i < n; ++i) {
+        if (i % 16 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+      }
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 20);
+}
+BENCHMARK(BM_EventCancelChurn)->Arg(1000)->Arg(10000);
+
+void BM_FlowDisjointChurn(benchmark::State& state) {
+  // Many flows over pairwise-disjoint capacity pairs, completing at
+  // staggered times. Every completion re-shares; a settlement scoped to the
+  // touched connected component pays O(1) per completion instead of
+  // O(active flows).
+  const int flows = static_cast<int>(state.range(0));
+  constexpr int kPairs = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FlowNetwork fn{sim};
+    std::vector<std::unique_ptr<net::Capacity>> caps;
+    for (int i = 0; i < 2 * kPairs; ++i) {
+      caps.push_back(std::make_unique<net::Capacity>(fn, MBps(100), "c"));
+    }
+    for (int i = 0; i < flows; ++i) {
+      const std::size_t pair = static_cast<std::size_t>(i % kPairs);
+      net::Path p{{caps[2 * pair].get(), 1.0}, {caps[2 * pair + 1].get(), 1.0}};
+      const Bytes bytes = static_cast<Bytes>(i + 1) * 1_MB;
+      sim.spawn([](net::FlowNetwork& n, net::Path path, Bytes b) -> sim::Task<void> {
+        co_await n.transfer(std::move(path), b);
+      }(fn, p, bytes));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowDisjointChurn)->Arg(256)->Arg(1024);
+
 void BM_FlowNetworkReshare(benchmark::State& state) {
   // Cost of running F concurrent flows over R shared capacities.
   const int flows = static_cast<int>(state.range(0));

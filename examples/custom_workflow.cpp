@@ -86,7 +86,7 @@ int main() {
   wf::Planner planner{tc, rc, wf::SiteCatalog{}};
   wf::Planner::Options planOpt;
   planOpt.clusterFactor = 4;
-  const wf::ExecutableWorkflow exec = planner.plan(awf, planOpt);
+  wf::ExecutableWorkflow exec = planner.plan(awf, planOpt);
   std::printf("planned %d jobs (from %d abstract tasks, clustering x%d)\n",
               exec.dag.jobCount(), awf.dag.jobCount(), planOpt.clusterFactor);
 

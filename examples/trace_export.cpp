@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   wf::ReplicaCatalog rc;
   for (const auto& f : awf.externalInputs) rc.registerReplica(f.lfn, fs.name());
   wf::Planner planner{tc, rc, wf::SiteCatalog{}};
-  const wf::ExecutableWorkflow exec = planner.plan(awf);
+  wf::ExecutableWorkflow exec = planner.plan(awf);
   for (const auto& f : awf.externalInputs) fs.preload(f.lfn, f.size);
 
   std::vector<int> slots;

@@ -183,7 +183,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   wf::Planner planner{tc, rc, site};
   wf::Planner::Options planOpt;
   planOpt.clusterFactor = cfg.clusterFactor;
-  const wf::ExecutableWorkflow exec = planner.plan(abstract, planOpt);
+  wf::ExecutableWorkflow exec = planner.plan(abstract, planOpt);
 
   // Pre-stage input data (not timed; §III.C).
   for (const auto& f : abstract.externalInputs) {

@@ -22,7 +22,7 @@ sim::Task<void> FaultInjector::run() {
               "node " + std::to_string(crash.node) + " crash-stops");
     scheduler_->failNode(crash.node);
     engine_->onNodeCrash(crash.node);
-    const std::vector<std::string> lost = storage_->failNode(crash.node);
+    const std::vector<sim::FileId> lost = storage_->failNode(crash.node);
     engine_->onFilesLost(lost);
     ++report_.crashes;
     report_.lostFiles += lost.size();

@@ -1,8 +1,12 @@
 #include "net/flow_network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace wfs::net {
@@ -16,6 +20,9 @@ constexpr double kMinRate = 1e-3;
 /// Loads below this are floating-point residue from subtracting frozen
 /// flows' weights, not real demand (legitimate weights are > 1e-9).
 constexpr double kLoadEps = 1e-12;
+/// Component closure is abandoned for a full recompute after this many
+/// passes; real topologies are star-shaped and converge in two or three.
+constexpr int kMaxClosurePasses = 8;
 }  // namespace
 
 Capacity::Capacity(FlowNetwork& net, Rate rate, std::string name)
@@ -34,7 +41,14 @@ void Capacity::setRate(Rate r) {
   if (r == rate_) return;
   net_->settle();
   rate_ = r;
-  net_->reshare();
+  net_->beginReshare();
+  net_->seedCap(this);
+  net_->reshareTouched();
+}
+
+FlowNetwork::FlowNetwork(sim::Simulator& sim) : sim_{&sim} {
+  const char* env = std::getenv("WFS_SETTLE_VERIFY");
+  verifySettle_ = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }
 
 sim::Task<void> FlowNetwork::transfer(Path path, Bytes bytes) {
@@ -63,8 +77,24 @@ void FlowNetwork::addFlow(Path path, double bytes, std::coroutine_handle<> waite
     return;
   }
   settle();
-  flows_.push_back(Flow{std::move(path), bytes, 0.0, waiter});
-  reshare();
+  std::uint32_t slot;
+  if (freeSlots_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  }
+  Flow& f = slab_[slot];
+  f.path = std::move(path);  // reuses the retired path's heap block
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.waiter = waiter;
+  f.mark = 0;
+  order_.push_back(slot);
+  beginReshare();
+  for (const Hop& hop : f.path) seedCap(hop.cap);
+  reshareTouched();
 }
 
 void FlowNetwork::settle() {
@@ -72,7 +102,8 @@ void FlowNetwork::settle() {
   const double dt = (now - lastSettle_).asSeconds();
   lastSettle_ = now;
   if (dt <= 0.0) return;
-  for (auto& f : flows_) {
+  for (const std::uint32_t slot : order_) {
+    Flow& f = slab_[slot];
     f.remaining = std::max(0.0, f.remaining - f.rate * dt);
   }
   for (Capacity* c : capacities_) {
@@ -80,26 +111,95 @@ void FlowNetwork::settle() {
   }
 }
 
-void FlowNetwork::reshare() {
+void FlowNetwork::beginReshare() { ++epoch_; }
+
+void FlowNetwork::seedCap(Capacity* c) { c->mark_ = epoch_; }
+
+void FlowNetwork::reshareTouched() {
+  // Close the seed set under path-sharing: a flow joins the component when
+  // any capacity on its path is marked, then marks the rest of its path.
+  // Cluster topologies are star-shaped around shared fabric/disk
+  // capacities, so this converges in two or three passes (one when the
+  // component turns out to be everything, the common case); pathological
+  // chains fall back to the (always-correct) full recompute.
+  compFlows_.clear();
+  int passes = 0;
+  bool grew = true;
+  while (grew && compFlows_.size() < order_.size()) {
+    grew = false;
+    if (++passes > kMaxClosurePasses) {
+      compFlows_.clear();
+      for (const std::uint32_t slot : order_) {
+        Flow& f = slab_[slot];
+        f.mark = epoch_;
+        compFlows_.push_back(&f);
+        for (const Hop& hop : f.path) hop.cap->mark_ = epoch_;
+      }
+      break;
+    }
+    for (const std::uint32_t slot : order_) {
+      Flow& f = slab_[slot];
+      if (f.mark == epoch_) continue;
+      bool touched = false;
+      for (const Hop& hop : f.path) {
+        if (hop.cap->mark_ == epoch_) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) continue;
+      f.mark = epoch_;
+      compFlows_.push_back(&f);
+      for (const Hop& hop : f.path) {
+        if (hop.cap->mark_ != epoch_) {
+          hop.cap->mark_ = epoch_;
+          grew = true;
+        }
+      }
+    }
+  }
+  // compFlows_ was appended to across passes, so restore admission order —
+  // progressive filling freezes flows in iteration order and floating-point
+  // accumulation is order-sensitive: the component-restricted recompute
+  // must replay exactly the operation sequence the global algorithm would
+  // apply to this component. Single-pass closures are already sorted.
+  if (passes > 1) {
+    compFlows_.clear();
+    for (const std::uint32_t slot : order_) {
+      Flow& f = slab_[slot];
+      if (f.mark == epoch_) compFlows_.push_back(&f);
+    }
+  }
+  compCaps_.clear();
+  for (Capacity* c : capacities_) {
+    if (c->mark_ == epoch_) compCaps_.push_back(c);
+  }
+  fill(compCaps_, compFlows_);
+  if (verifySettle_) verifyAgainstGlobal();
+  scheduleNextCompletion();
+}
+
+void FlowNetwork::fill(const std::vector<Capacity*>& caps,
+                       const std::vector<Flow*>& flows) {
   // Weighted progressive filling. All unfrozen flows rise at a common fill
   // level phi; the capacity with the smallest residual_/load_ saturates
-  // first and freezes its flows at that level.
-  for (Capacity* c : capacities_) {
+  // first and freezes its flows at that level. `caps`/`flows` must be
+  // closed under path-sharing: every capacity on an unfrozen flow's path
+  // is in `caps`.
+  for (Capacity* c : caps) {
     c->residual_ = c->rate_;
     c->load_ = 0.0;
     c->usedRate_ = 0.0;
   }
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& f : flows_) {
-    unfrozen.push_back(&f);
-    for (const Hop& hop : f.path) hop.cap->load_ += hop.weight;
+  unfrozen_.assign(flows.begin(), flows.end());
+  for (const Flow* f : unfrozen_) {
+    for (const Hop& hop : f->path) hop.cap->load_ += hop.weight;
   }
 
-  while (!unfrozen.empty()) {
+  while (!unfrozen_.empty()) {
     Capacity* bottleneck = nullptr;
     double phi = std::numeric_limits<double>::infinity();
-    for (Capacity* c : capacities_) {
+    for (Capacity* c : caps) {
       if (c->load_ <= kLoadEps) continue;
       const double cPhi = std::max(c->residual_, 0.0) / c->load_;
       if (cPhi < phi) {
@@ -107,7 +207,7 @@ void FlowNetwork::reshare() {
         bottleneck = c;
       }
     }
-    assert(bottleneck != nullptr && "every flow has a non-empty path");
+    assert(bottleneck != nullptr && "every flow has a non-empty, closed path");
     phi = std::max(phi, 0.0);
 
     // Freeze every unfrozen flow passing through the bottleneck.
@@ -118,7 +218,7 @@ void FlowNetwork::reshare() {
       return false;
     };
     bool frozeAny = false;
-    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
+    for (auto it = unfrozen_.begin(); it != unfrozen_.end();) {
       Flow* f = *it;
       if (!isThrough(f)) {
         ++it;
@@ -130,7 +230,7 @@ void FlowNetwork::reshare() {
         hop.cap->load_ -= hop.weight;
         hop.cap->usedRate_ += f->rate * hop.weight;
       }
-      it = unfrozen.erase(it);
+      it = unfrozen_.erase(it);
       frozeAny = true;
     }
     if (!frozeAny) {
@@ -139,7 +239,42 @@ void FlowNetwork::reshare() {
       bottleneck->load_ = 0.0;
     }
   }
-  scheduleNextCompletion();
+}
+
+void FlowNetwork::verifyAgainstGlobal() {
+  // Bit-pattern snapshots (not ==) so the check is exact and wfslint-clean.
+  std::vector<std::uint64_t> flowBits;
+  flowBits.reserve(order_.size());
+  std::vector<Flow*> all;
+  all.reserve(order_.size());
+  for (const std::uint32_t slot : order_) {
+    flowBits.push_back(std::bit_cast<std::uint64_t>(slab_[slot].rate));
+    all.push_back(&slab_[slot]);
+  }
+  std::vector<std::uint64_t> capBits;
+  capBits.reserve(capacities_.size());
+  for (const Capacity* c : capacities_) {
+    capBits.push_back(std::bit_cast<std::uint64_t>(c->usedRate_));
+  }
+
+  fill(capacities_, all);
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(all[i]->rate) != flowBits[i]) {
+      throw std::logic_error(
+          "WFS_SETTLE_VERIFY: incremental reshare diverged from global on flow #" +
+          std::to_string(i));
+    }
+  }
+  std::size_t i = 0;
+  for (const Capacity* c : capacities_) {
+    if (std::bit_cast<std::uint64_t>(c->usedRate_) != capBits[i]) {
+      throw std::logic_error(
+          "WFS_SETTLE_VERIFY: incremental reshare diverged from global on capacity '" +
+          c->name_ + "'");
+    }
+    ++i;
+  }
 }
 
 void FlowNetwork::scheduleNextCompletion() {
@@ -147,31 +282,39 @@ void FlowNetwork::scheduleNextCompletion() {
     sim_->cancel(pendingEvent_);
     eventPending_ = false;
   }
-  if (flows_.empty()) return;
+  if (order_.empty()) return;
   double soonest = std::numeric_limits<double>::infinity();
-  for (const auto& f : flows_) {
+  for (const std::uint32_t slot : order_) {
+    const Flow& f = slab_[slot];
     soonest = std::min(soonest, f.remaining / f.rate);
   }
   // fromSeconds rounds up, so the event lands at-or-after true completion.
   pendingEvent_ = sim_->schedule(sim::Duration::fromSeconds(soonest), [this] {
     eventPending_ = false;
     settle();
+    beginReshare();
     completeFinishedFlows();
-    reshare();
+    reshareTouched();
   });
   eventPending_ = true;
 }
 
 void FlowNetwork::completeFinishedFlows() {
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining <= kDoneEps) {
+  // Single compacting pass keeps order_ in admission order and resumes
+  // completions in that same deterministic order.
+  std::size_t out = 0;
+  for (const std::uint32_t slot : order_) {
+    Flow& f = slab_[slot];
+    if (f.remaining <= kDoneEps) {
       ++completedFlows_;
-      sim_->schedule(sim::Duration::zero(), [h = it->waiter] { h.resume(); });
-      it = flows_.erase(it);
+      for (const Hop& hop : f.path) seedCap(hop.cap);
+      sim_->schedule(sim::Duration::zero(), [h = f.waiter] { h.resume(); });
+      freeSlots_.push_back(slot);
     } else {
-      ++it;
+      order_[out++] = slot;
     }
   }
+  order_.resize(out);
 }
 
 }  // namespace wfs::net

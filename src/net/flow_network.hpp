@@ -2,7 +2,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <list>
 #include <string>
 #include <vector>
 
@@ -26,7 +25,8 @@ class Capacity {
   ~Capacity();
 
   [[nodiscard]] Rate rate() const { return rate_; }
-  /// Changing the rate re-shares all active flows (used for degraded modes).
+  /// Changing the rate re-shares the flows sharing a component with this
+  /// capacity (used for degraded modes).
   void setRate(Rate r);
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -46,6 +46,7 @@ class Capacity {
   double residual_ = 0.0;
   double load_ = 0.0;
   double usedRate_ = 0.0;
+  std::uint64_t mark_ = 0;  ///< component-walk epoch stamp
 };
 
 /// One hop of a flow's path. `weight` scales how much of the capacity each
@@ -64,11 +65,19 @@ using Path = std::vector<Hop>;
 ///
 /// Each active flow gets rate r_f such that for every capacity c,
 /// sum_f(r_f * w_{f,c}) <= C_c, rates are max–min fair, and at least one
-/// capacity on every flow's path is saturated (work conservation). Rates are
-/// recomputed whenever a flow starts, finishes, or a capacity changes.
+/// capacity on every flow's path is saturated (work conservation).
+///
+/// Rates are recomputed whenever a flow starts, finishes, or a capacity
+/// changes — but only within the connected component of the touched
+/// capacities (two capacities are connected when some active flow traverses
+/// both). Flows in unrelated components provably keep bit-identical rates,
+/// so a simulation with many independent transfers settles each event in
+/// time proportional to the touched component, not the whole network. Set
+/// `WFS_SETTLE_VERIFY=1` (or call setVerifySettle) to cross-check every
+/// incremental recompute against a full global recompute, bit for bit.
 class FlowNetwork {
  public:
-  explicit FlowNetwork(sim::Simulator& sim) : sim_{&sim} {}
+  explicit FlowNetwork(sim::Simulator& sim);
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
 
@@ -77,9 +86,16 @@ class FlowNetwork {
   /// modeled). Zero-byte transfers complete after one scheduling round.
   [[nodiscard]] sim::Task<void> transfer(Path path, Bytes bytes);
 
-  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t activeFlows() const { return order_.size(); }
   [[nodiscard]] std::uint64_t completedFlows() const { return completedFlows_; }
   [[nodiscard]] double totalBytesMoved() const { return totalBytes_; }
+
+  /// Debug cross-check: after every incremental reshare, recompute all
+  /// rates globally and require bit-identical results (throws
+  /// std::logic_error on divergence). Also enabled by the WFS_SETTLE_VERIFY
+  /// environment variable.
+  void setVerifySettle(bool on) { verifySettle_ = on; }
+  [[nodiscard]] bool verifySettle() const { return verifySettle_; }
 
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 
@@ -88,30 +104,55 @@ class FlowNetwork {
 
   struct Flow {
     Path path;
-    double remaining;
+    double remaining = 0.0;
     double rate = 0.0;
     std::coroutine_handle<> waiter{};
+    std::uint64_t mark = 0;  ///< component-walk epoch stamp
   };
-  using FlowIt = std::list<Flow>::iterator;
 
   void addFlow(Path path, double bytes, std::coroutine_handle<> waiter);
-  void onCapacityChanged();
 
   /// Advances all flow progress to now() using the current rates.
   void settle();
-  /// Recomputes max–min rates and reschedules the next completion event.
-  void reshare();
+  /// Begins a touched-component recompute: bumps the epoch and clears the
+  /// seed set. Follow with seedCap() for each touched capacity, then
+  /// reshareTouched().
+  void beginReshare();
+  /// Marks `c` as touched this epoch (idempotent).
+  void seedCap(Capacity* c);
+  /// Closes the seed set over path-sharing, recomputes max–min rates for
+  /// exactly those flows, and reschedules the next completion.
+  void reshareTouched();
+  /// Weighted progressive filling over an explicit (capacity, flow) subset.
+  /// Both lists must be closed under path-sharing and listed in
+  /// registration/admission order for deterministic tie-breaking.
+  void fill(const std::vector<Capacity*>& caps, const std::vector<Flow*>& flows);
+  /// Recomputes everything globally and throws if any rate or used-rate
+  /// differs from the incremental result by even one bit.
+  void verifyAgainstGlobal();
   void completeFinishedFlows();
   void scheduleNextCompletion();
 
   sim::Simulator* sim_;
-  std::list<Flow> flows_;
+  // Flows live in a slab of reusable slots; `order_` lists the active slots
+  // in admission order (the canonical iteration order every recompute and
+  // resume sequence follows). Contiguous walks, no per-flow allocation.
+  std::vector<Flow> slab_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> freeSlots_;
   std::vector<Capacity*> capacities_;
   sim::SimTime lastSettle_{};
   sim::EventId pendingEvent_{};
   bool eventPending_ = false;
+  bool verifySettle_ = false;
   std::uint64_t completedFlows_ = 0;
+  std::uint64_t epoch_ = 0;
   double totalBytes_ = 0.0;
+
+  // Reused component-walk scratch (kept across events to avoid churn).
+  std::vector<Capacity*> compCaps_;
+  std::vector<Flow*> compFlows_;
+  std::vector<Flow*> unfrozen_;
 };
 
 }  // namespace wfs::net

@@ -1,5 +1,6 @@
 #include "simcore/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <utility>
@@ -28,41 +29,103 @@ std::string SimTime::toString() const {
 }
 
 EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const std::uint64_t seq = nextSeq_++;
-  heap_.push(Entry{at, seq, std::move(cb)});
-  dead_.push_back(false);
-  ++live_;
-  return EventId{seq};
+  std::uint32_t slot;
+  if (freeHead_ != kNoFree) {
+    slot = freeHead_;
+    freeHead_ = slots_[slot].heapPos;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  const std::size_t pos = heap_.size();
+  heap_.push_back(HeapEntry{at, nextSeq_++, slot});
+  slots_[slot].heapPos = static_cast<std::uint32_t>(pos);
+  siftUp(pos);
+  return EventId{(static_cast<std::uint64_t>(slot) + 1) << 32 | slots_[slot].gen};
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id.seq >= dead_.size() || dead_[id.seq]) return;
-  dead_[id.seq] = true;
-  assert(live_ > 0);
-  --live_;
+  if (id.seq == 0) return;
+  const auto slot = static_cast<std::uint32_t>(id.seq >> 32) - 1;
+  const auto gen = static_cast<std::uint32_t>(id.seq & 0xffffffffu);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return;  // stale handle
+  removeAt(slots_[slot].heapPos);
+  release(slot);
 }
 
-void EventQueue::dropDead() const {
-  while (!heap_.empty() && dead_[heap_.top().seq]) heap_.pop();
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();  // drop captured state promptly
+  ++s.gen;       // invalidate any outstanding EventId for this slot
+  s.heapPos = freeHead_;
+  freeHead_ = slot;
+}
+
+void EventQueue::removeAt(std::size_t i) {
+  const std::size_t last = heap_.size() - 1;
+  if (i == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[i] = heap_[last];
+  heap_.pop_back();
+  slots_[heap_[i].slot].heapPos = static_cast<std::uint32_t>(i);
+  if (i > 0 && before(heap_[i], heap_[(i - 1) / 4])) {
+    siftUp(i);
+  } else {
+    siftDown(i);
+  }
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slots_[heap_[i].slot].heapPos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = e;
+  slots_[e.slot].heapPos = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    slots_[heap_[i].slot].heapPos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = e;
+  slots_[e.slot].heapPos = static_cast<std::uint32_t>(i);
 }
 
 SimTime EventQueue::nextTime() const {
-  dropDead();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_[0].at;
 }
 
 SimTime EventQueue::runNext() {
-  dropDead();
   assert(!heap_.empty());
+  const HeapEntry top = heap_[0];
   // Move the callback out before running: the callback may schedule new
-  // events, which would invalidate a reference into the heap.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  dead_[e.seq] = true;
-  --live_;
-  e.cb();
-  return e.at;
+  // events, which can recycle this slot and reallocate the tables.
+  Callback cb = std::move(slots_[top.slot].cb);
+  removeAt(0);
+  release(top.slot);
+  cb();
+  return top.at;
 }
 
 }  // namespace wfs::sim

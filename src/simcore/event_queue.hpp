@@ -1,15 +1,19 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "simcore/inline_function.hpp"
 #include "simcore/time.hpp"
 
 namespace wfs::sim {
 
 /// Handle to a scheduled event; used to cancel timers.
+///
+/// Encodes a slot index plus a generation counter, so a default-constructed
+/// id never matches and a handle kept past its event's execution (or
+/// cancellation) becomes a harmless no-op.
 struct EventId {
   std::uint64_t seq = 0;
   friend constexpr auto operator<=>(EventId, EventId) = default;
@@ -20,42 +24,64 @@ struct EventId {
 /// Ties are broken by insertion sequence number so that execution order is
 /// deterministic and FIFO among simultaneous events — the property every
 /// other component (resources, signals, flow settlement) relies on.
+///
+/// Implementation: a 4-ary implicit heap of (time, seq) keys over a slot
+/// table holding the callbacks. Cancellation removes the entry eagerly
+/// (O(log n)) and recycles its slot, so memory is bounded by the peak number
+/// of simultaneously live events — not by the total ever scheduled. The
+/// callback type stores small captures inline (no allocation ≤ 48 bytes).
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
   EventId schedule(SimTime at, Callback cb);
 
-  /// Marks an event dead; it is dropped when popped. O(1).
+  /// Removes an event from the queue. Stale or already-run ids are ignored.
+  /// O(log n) in the number of live events.
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return live_ == 0; }
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] SimTime nextTime() const;
 
   /// Pops and runs the earliest live event; returns its timestamp.
   /// Precondition: !empty().
   SimTime runNext();
 
+  /// Number of slots ever allocated. Bounded by the peak count of
+  /// simultaneously live events (regression hook for O(live) memory).
+  [[nodiscard]] std::size_t slotCapacity() const { return slots_.size(); }
+
  private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 0;      // bumped on release; stale ids mismatch
+    std::uint32_t heapPos = 0;  // position in heap_; next-free link when free
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  // Comparison keys live in the heap array itself so sifting touches
+  // contiguous memory; the slot table is only consulted on pop/cancel.
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;  // global insertion order: FIFO among equal times
+    std::uint32_t slot;
   };
 
-  void dropDead() const;
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::vector<bool> dead_;  // indexed by seq
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  void removeAt(std::size_t i);
+  void release(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t freeHead_ = kNoFree;
   std::uint64_t nextSeq_ = 0;
-  std::size_t live_ = 0;
 };
 
 }  // namespace wfs::sim

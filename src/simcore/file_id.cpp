@@ -1,0 +1,36 @@
+#include "simcore/file_id.hpp"
+
+namespace wfs::sim {
+
+namespace {
+
+// FNV-1a, 64-bit — kept identical to storage::pathHash so hash-based
+// placement (DHT layouts) is unchanged by interning.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FileId FileIdTable::intern(std::string_view name) {
+  if (const auto it = lookup_.find(name); it != lookup_.end()) {
+    return FileId{it->second};
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  hashes_.push_back(fnv1a(name));
+  lookup_.emplace(std::string_view{names_.back()}, id);
+  return FileId{id};
+}
+
+FileId FileIdTable::find(std::string_view name) const {
+  const auto it = lookup_.find(name);
+  return it == lookup_.end() ? FileId{} : FileId{it->second};
+}
+
+}  // namespace wfs::sim

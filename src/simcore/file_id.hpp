@@ -1,0 +1,59 @@
+#pragma once
+
+// Per-Simulator path intern table.
+//
+// Every file name that enters a simulation world is interned once into a
+// dense FileId (uint32). Hot paths — storage ops descending a LayerStack,
+// catalog lookups, placement, engine dependency maps — key on the id;
+// strings survive only at the DAG-construction boundary and in JSONL/trace
+// export. The table also caches each name's FNV-1a hash (the same function
+// as storage::pathHash), so hash-based placement never re-scans the bytes.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wfs::sim {
+
+/// Dense per-Simulator file identifier. Value-semantic handle; only
+/// meaningful together with the FileIdTable that minted it.
+struct FileId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value = kInvalid;
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const { return value; }
+  friend constexpr auto operator<=>(FileId, FileId) = default;
+};
+
+/// Interns path strings to dense FileIds. Owned by a Simulator, so ids are
+/// world-local and concurrent sweep cells never share mutable state.
+class FileIdTable {
+ public:
+  FileIdTable() = default;
+  FileIdTable(const FileIdTable&) = delete;
+  FileIdTable& operator=(const FileIdTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first sight.
+  FileId intern(std::string_view name);
+
+  /// Returns the id for `name`, or an invalid id if it was never interned.
+  [[nodiscard]] FileId find(std::string_view name) const;
+
+  /// The interned spelling. Precondition: `id` was minted by this table.
+  [[nodiscard]] const std::string& name(FileId id) const { return names_[id.index()]; }
+
+  /// Cached FNV-1a 64-bit hash of the name (== storage::pathHash(name(id))).
+  [[nodiscard]] std::uint64_t hash(FileId id) const { return hashes_[id.index()]; }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::deque<std::string> names_;        // deque: stable references across growth
+  std::deque<std::uint64_t> hashes_;     // parallel to names_
+  std::unordered_map<std::string_view, std::uint32_t> lookup_;  // views into names_
+};
+
+}  // namespace wfs::sim

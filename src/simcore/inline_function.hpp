@@ -1,0 +1,123 @@
+#pragma once
+
+// Move-only callable wrapper with small-buffer optimization.
+//
+// Callables whose captured state fits in the inline buffer (and is nothrow
+// move-constructible) are stored in place, so scheduling an event never
+// allocates for the common case of a handle-sized capture. Larger callables
+// fall back to a single heap allocation, like std::function.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wfs::sim {
+
+/// Inline capture budget for EventQueue callbacks (bytes).
+inline constexpr std::size_t kInlineFunctionBuffer = 48;
+
+template <class Sig, std::size_t N = kInlineFunctionBuffer>
+class InlineFunction;
+
+template <class R, class... Args, std::size_t N>
+class InlineFunction<R(Args...), N> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor) - drop-in for std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { moveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) { return vtable_->invoke(&storage_, std::forward<Args>(args)...); }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(&storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool kFitsInline = sizeof(D) <= N &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  struct InlineOps {
+    static D* self(void* s) noexcept { return std::launder(reinterpret_cast<D*>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*self(s))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      D* from = self(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void destroy(void* s) noexcept { self(s)->~D(); }
+    static constexpr VTable kVt{&invoke, &relocate, &destroy};
+  };
+
+  template <class D>
+  struct HeapOps {
+    static D* self(void* s) noexcept { return *std::launder(reinterpret_cast<D**>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*self(s))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D*(self(src));  // transfer ownership of the heap object
+    }
+    static void destroy(void* s) noexcept { delete self(s); }
+    static constexpr VTable kVt{&invoke, &relocate, &destroy};
+  };
+
+  template <class F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(fn));
+      vtable_ = &InlineOps<D>::kVt;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &HeapOps<D>::kVt;
+    }
+  }
+
+  void moveFrom(InlineFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(&storage_, &other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[N];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace wfs::sim

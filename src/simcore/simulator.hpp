@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "simcore/event_queue.hpp"
+#include "simcore/file_id.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
 #include "simcore/trace.hpp"
@@ -82,6 +83,11 @@ class Simulator {
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
+  /// This world's path intern table (see simcore/file_id.hpp). All file
+  /// names used by storage, engine, and scheduler resolve through it.
+  [[nodiscard]] FileIdTable& files() { return files_; }
+  [[nodiscard]] const FileIdTable& files() const { return files_; }
+
  private:
   friend struct detail::DetachedHandle;
   void unregisterDetached(void* addr) { detached_.erase(addr); }
@@ -90,6 +96,7 @@ class Simulator {
   SimTime now_ = SimTime::origin();
   std::unordered_set<void*> detached_;
   Trace trace_;
+  FileIdTable files_;
 };
 
 /// Runs all tasks as root processes and completes when every one has

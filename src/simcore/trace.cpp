@@ -17,13 +17,16 @@ const char* toString(TraceCat c) {
   return "?";
 }
 
-void Trace::log(TraceCat cat, SimTime t, const std::string& msg) const {
+void Trace::log(TraceCat cat, SimTime t, std::string_view msg) const {
   char head[48];
-  std::snprintf(head, sizeof head, "[%12.6f] %-7s ", t.asSeconds(), toString(cat));
+  const int n =
+      std::snprintf(head, sizeof head, "[%12.6f] %-7s ", t.asSeconds(), toString(cat));
   if (sink_) {
-    sink_(head + msg);
+    buf_.assign(head, static_cast<std::size_t>(n));
+    buf_.append(msg);
+    sink_(buf_);
   } else {
-    std::fprintf(stderr, "%s%s\n", head, msg.c_str());
+    std::fprintf(stderr, "%s%.*s\n", head, static_cast<int>(msg.size()), msg.data());
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "simcore/time.hpp"
 
@@ -24,8 +25,9 @@ enum class TraceCat { kKernel, kNet, kDisk, kStorage, kCloud, kWorkflow, kApp };
 /// metrics structs.
 class Trace {
  public:
-  /// Receives one formatted line (no trailing newline).
-  using Sink = std::function<void(const std::string& line)>;
+  /// Receives one formatted line (no trailing newline). The view is only
+  /// valid for the duration of the call; sinks that keep lines must copy.
+  using Sink = std::function<void(std::string_view line)>;
 
   Trace() = default;
 
@@ -35,11 +37,12 @@ class Trace {
   /// Redirects output; an empty function restores the default (stderr).
   void setSink(Sink sink) { sink_ = std::move(sink); }
 
-  void log(TraceCat cat, SimTime t, const std::string& msg) const;
+  void log(TraceCat cat, SimTime t, std::string_view msg) const;
 
  private:
   bool enabled_ = false;
   Sink sink_;
+  mutable std::string buf_;  // reused line buffer; Trace is simulator-local
 };
 
 /// `sim` is anything exposing `trace()` and `now()` — in practice a

@@ -2,48 +2,78 @@
 
 namespace wfs::storage {
 
-void LruCache::put(const std::string& key, Bytes size) {
-  if (size > capacity_) return;
-  if (auto it = index_.find(key); it != index_.end()) {
-    used_ -= it->second->size;
-    lru_.erase(it->second);
-    index_.erase(it);
+void LruCache::unlink(std::uint32_t i) {
+  Node& n = nodes_[i];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
   }
-  evictToFit(size);
-  lru_.push_front(Entry{key, size});
-  index_[key] = lru_.begin();
-  used_ += size;
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = kNil;
+  n.next = kNil;
 }
 
-bool LruCache::touch(const std::string& key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);
+void LruCache::pushFront(std::uint32_t i) {
+  Node& n = nodes_[i];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+void LruCache::dropEntry(std::uint32_t i) {
+  used_ -= nodes_[i].size;
+  unlink(i);
+  nodes_[i].present = false;
+  --count_;
+}
+
+void LruCache::put(sim::FileId key, Bytes size) {
+  if (size > capacity_ || !key.valid()) return;
+  if (nodes_.size() <= key.index()) nodes_.resize(key.index() + 1);
+  const auto i = static_cast<std::uint32_t>(key.index());
+  if (nodes_[i].present) dropEntry(i);
+  // Evict least-recent entries until the new one fits.
+  while (used_ + size > capacity_ && tail_ != kNil) {
+    dropEntry(tail_);
+    ++evictions_;
+  }
+  nodes_[i].size = size;
+  nodes_[i].present = true;
+  pushFront(i);
+  used_ += size;
+  ++count_;
+}
+
+bool LruCache::touch(sim::FileId key) {
+  if (!contains(key)) return false;
+  const auto i = static_cast<std::uint32_t>(key.index());
+  if (head_ != i) {
+    unlink(i);
+    pushFront(i);
+  }
   return true;
 }
 
-void LruCache::erase(const std::string& key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return;
-  used_ -= it->second->size;
-  lru_.erase(it->second);
-  index_.erase(it);
+void LruCache::erase(sim::FileId key) {
+  if (!contains(key)) return;
+  dropEntry(static_cast<std::uint32_t>(key.index()));
 }
 
 void LruCache::clear() {
-  lru_.clear();
-  index_.clear();
-  used_ = 0;
-}
-
-void LruCache::evictToFit(Bytes need) {
-  while (used_ + need > capacity_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    used_ -= victim.size;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+  while (head_ != kNil) {
+    const std::uint32_t i = head_;
+    unlink(i);
+    nodes_[i].present = false;
   }
+  count_ = 0;
+  used_ = 0;
 }
 
 }  // namespace wfs::storage

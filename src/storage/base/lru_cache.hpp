@@ -1,54 +1,65 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "simcore/file_id.hpp"
 #include "simcore/units.hpp"
 
 namespace wfs::storage {
 
-/// Byte-capacity LRU of named objects (whole files or page runs).
+/// Byte-capacity LRU of interned files (whole files or page runs).
 ///
 /// Backs the S3 client whole-file cache, NFS server page cache, the
 /// GlusterFS io-cache translator, and node page caches.
+///
+/// Keys are dense FileIds, so residency checks and recency updates are O(1)
+/// vector indexing with an intrusive doubly-linked recency list — no
+/// hashing or allocation per operation on the hot path.
 class LruCache {
  public:
   explicit LruCache(Bytes capacity) : capacity_{capacity} {}
 
   /// Inserts (or refreshes) an entry, evicting LRU entries to fit. Objects
   /// larger than the whole capacity are not cached.
-  void put(const std::string& key, Bytes size);
+  void put(sim::FileId key, Bytes size);
 
   /// True if present; refreshes recency.
-  bool touch(const std::string& key);
+  bool touch(sim::FileId key);
 
   /// Presence without recency update.
-  [[nodiscard]] bool contains(const std::string& key) const {
-    return index_.contains(key);
+  [[nodiscard]] bool contains(sim::FileId key) const {
+    return key.valid() && key.index() < nodes_.size() && nodes_[key.index()].present;
   }
 
-  void erase(const std::string& key);
+  void erase(sim::FileId key);
   void clear();
 
   [[nodiscard]] Bytes used() const { return used_; }
   [[nodiscard]] Bytes capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t entryCount() const { return index_.size(); }
+  [[nodiscard]] std::size_t entryCount() const { return count_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
-  struct Entry {
-    std::string key;
-    Bytes size;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  struct Node {
+    Bytes size = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    bool present = false;
   };
-  void evictToFit(Bytes need);
+
+  void unlink(std::uint32_t i);
+  void pushFront(std::uint32_t i);
+  void dropEntry(std::uint32_t i);
 
   Bytes capacity_;
   Bytes used_ = 0;
   std::uint64_t evictions_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t count_ = 0;
+  std::uint32_t head_ = kNil;  // most recent
+  std::uint32_t tail_ = kNil;  // least recent
+  std::vector<Node> nodes_;    // dense, indexed by FileId
 };
 
 }  // namespace wfs::storage

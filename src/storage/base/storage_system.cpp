@@ -10,140 +10,151 @@
 
 namespace wfs::storage {
 
-void FileCatalog::create(const std::string& path, Bytes size, int creator, bool scratch) {
-  auto [it, inserted] = files_.emplace(path, FileMeta{size, creator, scratch});
-  if (!inserted) {
-    FileMeta& existing = it->second;
+void FileCatalog::create(sim::FileId id, Bytes size, int creator, bool scratch) {
+  if (entries_.size() <= id.index()) entries_.resize(id.index() + 1);
+  Entry& e = entries_[id.index()];
+  if (e.present) {
+    FileMeta& existing = e.meta;
     // Recovery reuses names: a crash-lost file is recomputed under its own
     // LFN, and a retried attempt regenerates its discarded scratch files.
     const bool reusable = existing.lost || (existing.scratch && existing.discarded);
     if (!reusable) {
-      throw std::logic_error("write-once violation: file already exists: " + path + " (" +
-                             std::to_string(existing.size) + " bytes, created by node " +
-                             std::to_string(existing.creator) +
+      throw std::logic_error("write-once violation: file already exists: " +
+                             names_->name(id) + " (" + std::to_string(existing.size) +
+                             " bytes, created by node " + std::to_string(existing.creator) +
                              "; rejected re-create from node " + std::to_string(creator) + ")");
     }
     totalBytes_ -= existing.size;
     existing = FileMeta{size, creator, scratch};
+  } else {
+    e.present = true;
+    e.meta = FileMeta{size, creator, scratch};
+    ++count_;
   }
   totalBytes_ += size;
 }
 
-const FileMeta& FileCatalog::lookup(const std::string& path) const {
-  auto it = files_.find(path);
-  if (it == files_.end()) {
-    throw std::out_of_range("no such file in storage catalog: " + path + " (catalog holds " +
-                            std::to_string(files_.size()) + " files)");
+const FileMeta& FileCatalog::lookup(sim::FileId id) const {
+  if (!exists(id)) {
+    const std::string shown = id.valid() && names_ != nullptr ? names_->name(id) : "<unknown>";
+    throw std::out_of_range("no such file in storage catalog: " + shown + " (catalog holds " +
+                            std::to_string(count_) + " files)");
   }
-  return it->second;
+  return entries_[id.index()].meta;
 }
 
-void FileCatalog::markDiscarded(const std::string& path) {
-  auto it = files_.find(path);
-  if (it != files_.end()) it->second.discarded = true;
+void FileCatalog::markDiscarded(sim::FileId id) {
+  if (exists(id)) metaFor(id).discarded = true;
 }
 
-void FileCatalog::markLost(const std::string& path) {
-  auto it = files_.find(path);
-  if (it != files_.end()) it->second.lost = true;
+void FileCatalog::markLost(sim::FileId id) {
+  if (exists(id)) metaFor(id).lost = true;
 }
 
-void FileCatalog::clearLost(const std::string& path) {
-  auto it = files_.find(path);
-  if (it != files_.end()) it->second.lost = false;
+void FileCatalog::clearLost(sim::FileId id) {
+  if (exists(id)) metaFor(id).lost = false;
 }
 
-sim::Task<void> StorageSystem::write(int node, std::string path, Bytes size) {
-  catalog_.create(path, size, node);
+std::vector<sim::FileId> FileCatalog::sortedIds() const {
+  std::vector<sim::FileId> ids;
+  ids.reserve(count_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].present) ids.push_back(sim::FileId{static_cast<std::uint32_t>(i)});
+  }
+  std::sort(ids.begin(), ids.end(), [this](sim::FileId a, sim::FileId b) {
+    return names_->name(a) < names_->name(b);
+  });
+  return ids;
+}
+
+sim::Task<void> StorageSystem::write(int node, sim::FileId file, Bytes size) {
+  catalog_.create(file, size, node);
   ++metrics_.writeOps;
   metrics_.bytesWritten += size;
   metrics_.nodeIo(node).written += size;
   // Materialize the call before awaiting: GCC 12 double-destroys
   // non-trivial temporaries inside co_await operands.
-  auto body = doWrite(node, std::move(path), size);
+  auto body = doWrite(node, file, size);
   co_await std::move(body);
 }
 
-sim::Task<void> StorageSystem::read(int node, std::string path) {
-  const FileMeta& meta = catalog_.lookup(path);
+sim::Task<void> StorageSystem::read(int node, sim::FileId file) {
+  const FileMeta& meta = catalog_.lookup(file);
   if (meta.lost) {
-    throw FileLostError("file lost to node failure: " + path + " (created by node " +
-                        std::to_string(meta.creator) + ")");
+    throw FileLostError("file lost to node failure: " + files_->name(file) +
+                        " (created by node " + std::to_string(meta.creator) + ")");
   }
   const Bytes size = meta.size;
   ++metrics_.readOps;
   metrics_.bytesRead += size;
-  auto body = doRead(node, std::move(path), size);
+  auto body = doRead(node, file, size);
   co_await std::move(body);
 }
 
-sim::Task<void> StorageSystem::scratchRoundTrip(int node, std::string path, Bytes size) {
+sim::Task<void> StorageSystem::scratchRoundTrip(int node, sim::FileId file, Bytes size) {
   // Same counters and same doWrite/doRead event sequence as write()+read(),
   // but the entry is flagged scratch so a retried attempt can re-create it
   // after its discard.
-  catalog_.create(path, size, node, /*scratch=*/true);
+  catalog_.create(file, size, node, /*scratch=*/true);
   ++metrics_.writeOps;
   metrics_.bytesWritten += size;
   metrics_.nodeIo(node).written += size;
-  auto wr = doWrite(node, path, size);
+  auto wr = doWrite(node, file, size);
   co_await std::move(wr);
   ++metrics_.readOps;
   metrics_.bytesRead += size;
-  auto rd = doRead(node, std::move(path), size);
+  auto rd = doRead(node, file, size);
   co_await std::move(rd);
 }
 
-void StorageSystem::preload(const std::string& path, Bytes size) {
-  catalog_.create(path, size, /*creator=*/-1);
-  doPreload(path, size);
+void StorageSystem::preload(sim::FileId file, Bytes size) {
+  catalog_.create(file, size, /*creator=*/-1);
+  doPreload(file, size);
 }
 
-void StorageSystem::doPreload(const std::string& path, Bytes size) {
-  if (!nodeStacks_.empty()) nodeStacks_.front()->preload(path, size);
+void StorageSystem::doPreload(sim::FileId file, Bytes size) {
+  if (!nodeStacks_.empty()) nodeStacks_.front()->preload(file, size);
 }
 
-void StorageSystem::discard(int node, const std::string& path) {
-  catalog_.markDiscarded(path);
-  doDiscard(node, path);
+void StorageSystem::discard(int node, sim::FileId file) {
+  catalog_.markDiscarded(file);
+  doDiscard(node, file);
 }
 
-void StorageSystem::doDiscard(int node, const std::string& path) {
+void StorageSystem::doDiscard(int node, sim::FileId file) {
   if (nodeStacks_.empty()) return;
-  nodeStack(node)->discard(node, path);
+  nodeStack(node)->discard(node, file);
 }
 
-bool StorageSystem::available(const std::string& path) const {
-  if (!catalog_.exists(path)) return false;
-  return !catalog_.lookup(path).lost;
+bool StorageSystem::available(sim::FileId file) const {
+  if (!catalog_.exists(file)) return false;
+  return !catalog_.lookup(file).lost;
 }
 
-const FileMeta* StorageSystem::meta(const std::string& path) const {
-  auto it = catalog_.entries().find(path);
-  return it == catalog_.entries().end() ? nullptr : &it->second;
-}
-
-std::vector<std::string> StorageSystem::failNode(int node) {
-  std::vector<std::string> lost;
-  // The catalog is an ordered map, so this sweep emits losses in sorted
-  // path order by construction and recovery replays identically everywhere.
-  for (const auto& [path, fileMeta] : catalog_.entries()) {
+std::vector<sim::FileId> StorageSystem::failNode(int node) {
+  std::vector<sim::FileId> lost;
+  // sortedIds() spells out the catalog in path order, so losses are emitted
+  // sorted by name and recovery replays identically everywhere.
+  for (const sim::FileId id : catalog_.sortedIds()) {
+    const FileMeta& fileMeta = *catalog_.tryLookup(id);
     if (fileMeta.lost || fileMeta.discarded) continue;
-    if (losesDataOnCrash(node, path, fileMeta)) lost.push_back(path);
+    if (losesDataOnCrash(node, id, fileMeta)) lost.push_back(id);
   }
-  for (const auto& p : lost) catalog_.markLost(p);
+  for (const sim::FileId id : lost) catalog_.markLost(id);
   onNodeFail(node, lost);
   return lost;
 }
 
 int StorageSystem::restoreNode(int node) {
   onNodeRestore(node);
-  std::vector<std::string> restage;
-  for (const auto& [path, fileMeta] : catalog_.entries()) {
-    if (fileMeta.lost && fileMeta.creator == -1) restage.push_back(path);
+  std::vector<sim::FileId> restage;
+  for (const sim::FileId id : catalog_.sortedIds()) {
+    const FileMeta& fileMeta = *catalog_.tryLookup(id);
+    if (fileMeta.lost && fileMeta.creator == -1) restage.push_back(id);
   }
-  for (const auto& p : restage) {
-    catalog_.clearLost(p);
-    doPreload(p, catalog_.lookup(p).size);
+  for (const sim::FileId id : restage) {
+    catalog_.clearLost(id);
+    doPreload(id, catalog_.lookup(id).size);
   }
   return static_cast<int>(restage.size());
 }
@@ -168,10 +179,10 @@ void StorageSystem::armFaults(const FaultArming& arming) {
   }
 }
 
-Bytes StorageSystem::localityHint(int node, const std::string& path) const {
-  if (nodeStacks_.empty() || !catalog_.exists(path)) return 0;
+Bytes StorageSystem::localityHint(int node, sim::FileId file) const {
+  if (nodeStacks_.empty() || !catalog_.exists(file)) return 0;
   return nodeStacks_.at(static_cast<std::size_t>(node))
-      ->locality(node, path, catalog_.lookup(path).size);
+      ->locality(node, file, catalog_.lookup(file).size);
 }
 
 sim::Duration memCopyTime(Bytes size, Rate memRate) {

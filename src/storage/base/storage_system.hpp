@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -11,6 +10,8 @@
 #include "blk/disk.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
+#include "simcore/file_id.hpp"
+#include "simcore/simulator.hpp"
 #include "simcore/task.hpp"
 #include "storage/base/errors.hpp"
 #include "storage/base/metrics.hpp"
@@ -54,25 +55,44 @@ struct FileMeta {
 /// attempt regenerates its temporaries under their original names).
 class FileCatalog {
  public:
-  void create(const std::string& path, Bytes size, int creator, bool scratch = false);
-  [[nodiscard]] const FileMeta& lookup(const std::string& path) const;
-  [[nodiscard]] bool exists(const std::string& path) const { return files_.contains(path); }
-  [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
+  /// Binds the intern table used to spell file names in error messages and
+  /// the sorted recovery sweeps. Must be called before any mutation.
+  void bind(const sim::FileIdTable& names) { names_ = &names; }
+
+  void create(sim::FileId id, Bytes size, int creator, bool scratch = false);
+  [[nodiscard]] const FileMeta& lookup(sim::FileId id) const;
+  [[nodiscard]] bool exists(sim::FileId id) const {
+    return id.valid() && id.index() < entries_.size() && entries_[id.index()].present;
+  }
+  [[nodiscard]] std::size_t fileCount() const { return count_; }
   [[nodiscard]] Bytes totalBytes() const { return totalBytes_; }
 
   /// Flag transitions used by discard and crash recovery; all are no-ops on
-  /// paths the catalog doesn't hold.
-  void markDiscarded(const std::string& path);
-  void markLost(const std::string& path);
-  void clearLost(const std::string& path);
+  /// files the catalog doesn't hold.
+  void markDiscarded(sim::FileId id);
+  void markLost(sim::FileId id);
+  void clearLost(sim::FileId id);
 
-  /// Ordered on purpose: failNode()/restoreNode() sweep the catalog and the
-  /// loss/re-stage order they produce reaches recovery traces, so iteration
-  /// must be reproducible across standard libraries (wfslint D2).
-  [[nodiscard]] const std::map<std::string, FileMeta>& entries() const { return files_; }
+  /// Catalog entry, or nullptr if absent.
+  [[nodiscard]] const FileMeta* tryLookup(sim::FileId id) const {
+    return exists(id) ? &entries_[id.index()].meta : nullptr;
+  }
+
+  /// All cataloged ids sorted by path name — the reproducible order the
+  /// failNode()/restoreNode() recovery sweeps emit (cold path; the hot
+  /// lookups above are O(1) dense-vector indexing).
+  [[nodiscard]] std::vector<sim::FileId> sortedIds() const;
 
  private:
-  std::map<std::string, FileMeta> files_;
+  struct Entry {
+    FileMeta meta{};
+    bool present = false;
+  };
+  FileMeta& metaFor(sim::FileId id) { return entries_[id.index()].meta; }
+
+  const sim::FileIdTable* names_ = nullptr;
+  std::vector<Entry> entries_;  // dense, indexed by FileId
+  std::size_t count_ = 0;
   Bytes totalBytes_ = 0;
 };
 
@@ -102,65 +122,99 @@ struct FaultArming {
 /// that enter it.
 class StorageSystem {
  public:
-  explicit StorageSystem(std::vector<StorageNode> nodes) : nodes_{std::move(nodes)} {}
+  /// `sim` owns the path intern table every file name resolves through.
+  StorageSystem(sim::Simulator& sim, std::vector<StorageNode> nodes)
+      : nodes_{std::move(nodes)}, files_{&sim.files()} {
+    catalog_.bind(*files_);
+  }
   virtual ~StorageSystem() = default;
   StorageSystem(const StorageSystem&) = delete;
   StorageSystem& operator=(const StorageSystem&) = delete;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Creates `path` of `size` bytes from worker `node`: catalog entry,
-  /// shared counters, then the backend's doWrite().
-  ///
-  /// Paths are taken by value throughout this interface: these are
-  /// coroutines, and a reference parameter would dangle once the returned
-  /// Task is awaited after the caller's argument expression has ended.
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size);
+  /// The simulation world's intern table. String overloads below intern
+  /// through it; id overloads are the allocation-free hot path.
+  [[nodiscard]] sim::FileIdTable& files() const { return *files_; }
 
-  /// Reads the whole of `path` at worker `node`.
-  [[nodiscard]] sim::Task<void> read(int node, std::string path);
+  /// Creates `file` of `size` bytes from worker `node`: catalog entry,
+  /// shared counters, then the backend's doWrite().
+  [[nodiscard]] sim::Task<void> write(int node, sim::FileId file, Bytes size);
+  [[nodiscard]] sim::Task<void> write(int node, const std::string& path, Bytes size) {
+    return write(node, files_->intern(path), size);
+  }
+
+  /// Reads the whole of `file` at worker `node`.
+  [[nodiscard]] sim::Task<void> read(int node, sim::FileId file);
+  [[nodiscard]] sim::Task<void> read(int node, const std::string& path) {
+    return read(node, files_->intern(path));
+  }
 
   /// Registers pre-staged input data with zero simulated cost. The paper
   /// excludes input staging time from every experiment (§III.C); data is
   /// placed as the system's own layout would place it.
-  void preload(const std::string& path, Bytes size);
+  void preload(sim::FileId file, Bytes size);
+  void preload(const std::string& path, Bytes size) { preload(files_->intern(path), size); }
 
-  /// Intra-job scratch round trip: a job writes `path` and immediately
+  /// Intra-job scratch round trip: a job writes `file` and immediately
   /// re-reads it (the next executable of a chained transformation). On a
   /// mounted shared file system this is an ordinary write + read; the S3
   /// client wrapper keeps scratch entirely on the node's local disk.
-  [[nodiscard]] virtual sim::Task<void> scratchRoundTrip(int node, std::string path, Bytes size);
+  [[nodiscard]] virtual sim::Task<void> scratchRoundTrip(int node, sim::FileId file,
+                                                         Bytes size);
+  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, const std::string& path,
+                                                 Bytes size) {
+    return scratchRoundTrip(node, files_->intern(path), size);
+  }
 
-  /// Drops `path` from any caches (the job deleted its temporary file).
+  /// Drops `file` from any caches (the job deleted its temporary file).
   /// The catalog entry stays, flagged discarded: only a retried attempt may
   /// reuse the name. Marks the catalog, then the backend's doDiscard().
-  void discard(int node, const std::string& path);
+  void discard(int node, sim::FileId file);
+  void discard(int node, const std::string& path) { discard(node, files_->intern(path)); }
 
-  /// Bytes of `path` that `node` could serve without network traffic;
+  /// Bytes of `file` that `node` could serve without network traffic;
   /// the data-aware scheduler ranks candidate nodes with this. Default asks
   /// the node's stack.
-  [[nodiscard]] virtual Bytes localityHint(int node, const std::string& path) const;
+  [[nodiscard]] virtual Bytes localityHint(int node, sim::FileId file) const;
+  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const {
+    return localityHint(node, files_->intern(path));
+  }
 
-  [[nodiscard]] bool exists(const std::string& path) const { return catalog_.exists(path); }
+  [[nodiscard]] bool exists(sim::FileId file) const { return catalog_.exists(file); }
+  [[nodiscard]] bool exists(const std::string& path) const {
+    return catalog_.exists(files_->find(path));
+  }
+  [[nodiscard]] Bytes sizeOf(sim::FileId file) const { return catalog_.lookup(file).size; }
   [[nodiscard]] Bytes sizeOf(const std::string& path) const {
-    return catalog_.lookup(path).size;
+    return sizeOf(files_->intern(path));
   }
   /// Cataloged and readable (not crash-lost).
-  [[nodiscard]] bool available(const std::string& path) const;
-  /// Catalog entry for `path`, or nullptr if the catalog never saw it.
-  [[nodiscard]] const FileMeta* meta(const std::string& path) const;
+  [[nodiscard]] bool available(sim::FileId file) const;
+  [[nodiscard]] bool available(const std::string& path) const {
+    return available(files_->find(path));
+  }
+  /// Catalog entry for `file`, or nullptr if the catalog never saw it.
+  [[nodiscard]] const FileMeta* meta(sim::FileId file) const {
+    return catalog_.tryLookup(file);
+  }
+  [[nodiscard]] const FileMeta* meta(const std::string& path) const {
+    return meta(files_->find(path));
+  }
 
   /// Retracts an output a failed job attempt managed to write: the entry is
   /// marked lost, so no consumer reads the partial result and the retry's
-  /// re-write is accepted by the write-once catalog. No-op on unknown paths.
-  void retractFile(const std::string& path) { catalog_.markLost(path); }
+  /// re-write is accepted by the write-once catalog. No-op on unknown files.
+  void retractFile(sim::FileId file) { catalog_.markLost(file); }
+  void retractFile(const std::string& path) { retractFile(files_->find(path)); }
 
   // --- Crash-stop fault surface -------------------------------------------
 
   /// Worker `node`'s VM terminated: everything that lived only on its local
   /// media (per the backend's losesDataOnCrash policy, including unflushed
-  /// write-behind data) is marked lost. Returns the lost paths, sorted.
-  std::vector<std::string> failNode(int node);
+  /// write-behind data) is marked lost. Returns the lost files, sorted by
+  /// path name.
+  std::vector<sim::FileId> failNode(int node);
 
   /// A replacement VM for `node` is up and its storage daemon re-joined.
   /// Pre-staged inputs (creator == -1) that were lost are re-staged via the
@@ -180,37 +234,37 @@ class StorageSystem {
   [[nodiscard]] int nodeCount() const { return static_cast<int>(nodes_.size()); }
 
  protected:
-  /// Backend hook: move `size` bytes of the freshly cataloged `path` from
+  /// Backend hook: move `size` bytes of the freshly cataloged `file` from
   /// worker `node` into the system.
-  [[nodiscard]] virtual sim::Task<void> doWrite(int node, std::string path, Bytes size) = 0;
+  [[nodiscard]] virtual sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) = 0;
 
-  /// Backend hook: deliver `size` bytes of `path` to worker `node`.
-  [[nodiscard]] virtual sim::Task<void> doRead(int node, std::string path, Bytes size) = 0;
+  /// Backend hook: deliver `size` bytes of `file` to worker `node`.
+  [[nodiscard]] virtual sim::Task<void> doRead(int node, sim::FileId file, Bytes size) = 0;
 
   /// Backend hook for preload placement; default sends a preload control op
   /// down the first node stack (the layout decides where data lands).
-  virtual void doPreload(const std::string& path, Bytes size);
+  virtual void doPreload(sim::FileId file, Bytes size);
 
   /// Backend hook behind discard(); default sends a discard control op down
   /// the node's stack.
-  virtual void doDiscard(int node, const std::string& path);
+  virtual void doDiscard(int node, sim::FileId file);
 
-  /// Crash policy: does `path` (cataloged as `meta`) die with worker
+  /// Crash policy: does `file` (cataloged as `meta`) die with worker
   /// `node`? Default: nothing does — right for network-attached backends
   /// (EBS) and durable object stores (S3); local/NUFA/striped backends
   /// override.
-  [[nodiscard]] virtual bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] virtual bool losesDataOnCrash(int node, sim::FileId file,
                                               const FileMeta& meta) const {
     (void)node;
-    (void)path;
+    (void)file;
     (void)meta;
     return false;
   }
 
   /// Backend hook run by failNode() after the catalog sweep: wipe the
   /// node's volatile state (page caches, write-behind buffers, client
-  /// caches of the `lost` paths).
-  virtual void onNodeFail(int node, const std::vector<std::string>& lost) {
+  /// caches of the `lost` files).
+  virtual void onNodeFail(int node, const std::vector<sim::FileId>& lost) {
     (void)node;
     (void)lost;
   }
@@ -236,6 +290,7 @@ class StorageSystem {
   StorageMetrics metrics_;
 
  private:
+  sim::FileIdTable* files_;
   std::vector<LayerStack*> nodeStacks_;
 };
 

@@ -9,7 +9,7 @@ namespace wfs::storage {
 
 EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
              const Config& cfg)
-    : StorageSystem{std::move(nodes)}, cfg_{cfg} {
+    : StorageSystem{sim, std::move(nodes)}, cfg_{cfg} {
   volumes_.reserve(nodes_.size());
   stacks_.reserve(nodes_.size());
   std::vector<LayerStack*> stackPtrs;
@@ -56,26 +56,27 @@ EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode
 EbsFs::EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes)
     : EbsFs{sim, net, std::move(nodes), Config{}} {}
 
-sim::Task<void> EbsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
+sim::Task<void> EbsFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
   // no first-write penalty on EBS
-  return stacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, std::move(path), size);
+  return stacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, file, size);
 }
 
-sim::Task<void> EbsFs::doRead(int nodeIdx, std::string path, Bytes size) {
-  const FileMeta& meta = catalog_.lookup(path);
+sim::Task<void> EbsFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  const FileMeta& meta = catalog_.lookup(file);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
-    throw std::logic_error("ebs volume is attached to one instance: " + path +
-                           " (created on node " + std::to_string(meta.creator) +
-                           ", read from node " + std::to_string(nodeIdx) + ")");
+    throw std::logic_error("ebs volume is attached to one instance: " +
+                           files().name(file) + " (created on node " +
+                           std::to_string(meta.creator) + ", read from node " +
+                           std::to_string(nodeIdx) + ")");
   }
   ++metrics_.localReads;
-  auto body = stacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, std::move(path), size);
+  auto body = stacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, file, size);
   co_await std::move(body);
 }
 
-Bytes EbsFs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path)) return 0;
-  const FileMeta& meta = catalog_.lookup(path);
+Bytes EbsFs::localityHint(int nodeIdx, sim::FileId file) const {
+  if (!catalog_.exists(file)) return 0;
+  const FileMeta& meta = catalog_.lookup(file);
   return (meta.creator == -1 || meta.creator == nodeIdx) ? meta.size : 0;
 }
 

@@ -36,7 +36,8 @@ class EbsFs : public StorageSystem {
   EbsFs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "ebs"; }
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+  using StorageSystem::localityHint;
+  [[nodiscard]] Bytes localityHint(int node, sim::FileId file) const override;
 
   [[nodiscard]] std::uint64_t ioRequests() const { return ioRequests_; }
   /// 2010 fee: $0.10 per million I/O requests.
@@ -45,12 +46,12 @@ class EbsFs : public StorageSystem {
   }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// The volume is network-attached and survives the instance; a crash only
   /// costs the replacement VM its warm page cache (the volume re-attaches).
-  void onNodeFail(int node, const std::vector<std::string>& lost) override {
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override {
     (void)lost;
     wipeStackCaches(*stacks_.at(static_cast<std::size_t>(node)));
   }

@@ -12,11 +12,12 @@ namespace wfs::storage {
 
 GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                      GlusterMode mode, const Config& cfg)
-    : StorageSystem{std::move(nodes)}, mode_{mode}, cfg_{cfg} {
+    : StorageSystem{sim, std::move(nodes)}, mode_{mode}, cfg_{cfg} {
   const int n = nodeCount();
   layout_ = (mode == GlusterMode::kNufa)
-                ? std::unique_ptr<LayoutPolicy>{std::make_unique<NufaLayout>(n)}
-                : std::unique_ptr<LayoutPolicy>{std::make_unique<DistributeLayout>(n)};
+                ? std::unique_ptr<LayoutPolicy>{std::make_unique<NufaLayout>(n, sim.files())}
+                : std::unique_ptr<LayoutPolicy>{
+                      std::make_unique<DistributeLayout>(n, sim.files())};
 
   // storage/posix bricks: the on-disk store with the kernel page cache and
   // write-back buffer behind it.
@@ -81,32 +82,31 @@ GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric,
                      std::vector<StorageNode> nodes, GlusterMode mode)
     : GlusterFs{sim, fabric, std::move(nodes), mode, Config{}} {}
 
-sim::Task<void> GlusterFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return clientStack(nodeIdx).write(nodeIdx, std::move(path), size);
+sim::Task<void> GlusterFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return clientStack(nodeIdx).write(nodeIdx, file, size);
 }
 
-sim::Task<void> GlusterFs::doRead(int nodeIdx, std::string path, Bytes size) {
-  return clientStack(nodeIdx).read(nodeIdx, std::move(path), size);
+sim::Task<void> GlusterFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  return clientStack(nodeIdx).read(nodeIdx, file, size);
 }
 
-bool GlusterFs::losesDataOnCrash(int nodeIdx, const std::string& path,
-                                 const FileMeta& meta) const {
+bool GlusterFs::losesDataOnCrash(int nodeIdx, sim::FileId file, const FileMeta& meta) const {
   (void)meta;
   try {
-    return layout_->locate(path) == nodeIdx;
+    return layout_->locate(file) == nodeIdx;
   } catch (const std::out_of_range&) {
     return false;  // never placed on any brick — nothing to lose
   }
 }
 
-void GlusterFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+void GlusterFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
   // The brick's page cache and unflushed write-behind data die with the VM.
   wipeStackCaches(*brickStacks_.at(static_cast<std::size_t>(nodeIdx)));
   // Every client's io-cache copy of a lost file is stale (the recomputed
   // file may land on a different brick with different bytes).
   for (auto& client : clientStacks_) {
     if (auto* ioCache = dynamic_cast<LruCacheLayer*>(client->find("performance/io-cache"))) {
-      for (const auto& p : lost) ioCache->evict(p);
+      for (sim::FileId f : lost) ioCache->evict(f);
     }
   }
 }

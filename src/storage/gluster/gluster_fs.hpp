@@ -54,14 +54,14 @@ class GlusterFs : public StorageSystem {
   }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// A file dies with the brick the layout placed it on (no replication in
   /// the paper's NUFA/distribute volumes).
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override;
-  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
 
  private:
   GlusterMode mode_;

@@ -6,7 +6,7 @@ namespace wfs::storage {
 
 LocalFs::LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
                  const NodeStackConfig& cfg)
-    : StorageSystem{std::move(nodes)} {
+    : StorageSystem{sim, std::move(nodes)} {
   scratch_.reserve(nodes_.size());
   std::vector<LayerStack*> stacks;
   for (const auto& n : nodes_) {
@@ -16,25 +16,25 @@ LocalFs::LocalFs(sim::Simulator& sim, std::vector<StorageNode> nodes,
   setNodeStacks(std::move(stacks));
 }
 
-sim::Task<void> LocalFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return scratch(nodeIdx).write(nodeIdx, std::move(path), size);
+sim::Task<void> LocalFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return scratch(nodeIdx).write(nodeIdx, file, size);
 }
 
-sim::Task<void> LocalFs::doRead(int nodeIdx, std::string path, Bytes size) {
-  const FileMeta& meta = catalog_.lookup(path);
+sim::Task<void> LocalFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  const FileMeta& meta = catalog_.lookup(file);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
-    throw std::logic_error("local storage cannot serve '" + path + "' on node " +
-                           std::to_string(nodeIdx) + ": created on node " +
+    throw std::logic_error("local storage cannot serve '" + files().name(file) +
+                           "' on node " + std::to_string(nodeIdx) + ": created on node " +
                            std::to_string(meta.creator));
   }
   ++metrics_.localReads;
-  auto body = scratch(nodeIdx).read(nodeIdx, std::move(path), size);
+  auto body = scratch(nodeIdx).read(nodeIdx, file, size);
   co_await std::move(body);
 }
 
-Bytes LocalFs::localityHint(int nodeIdx, const std::string& path) const {
-  if (!catalog_.exists(path)) return 0;
-  const FileMeta& meta = catalog_.lookup(path);
+Bytes LocalFs::localityHint(int nodeIdx, sim::FileId file) const {
+  if (!catalog_.exists(file)) return 0;
+  const FileMeta& meta = catalog_.lookup(file);
   return (meta.creator == -1 || meta.creator == nodeIdx) ? meta.size : 0;
 }
 

@@ -23,24 +23,25 @@ class LocalFs : public StorageSystem {
           const NodeStackConfig& cfg = {});
 
   [[nodiscard]] std::string name() const override { return "local"; }
-  [[nodiscard]] Bytes localityHint(int node, const std::string& path) const override;
+  using StorageSystem::localityHint;
+  [[nodiscard]] Bytes localityHint(int node, sim::FileId file) const override;
 
   [[nodiscard]] LayerStack& scratch(int node) {
     return *scratch_.at(static_cast<std::size_t>(node));
   }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// Everything the node itself produced dies with its ephemeral array;
   /// pre-staged inputs (creator == -1) are considered present everywhere.
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override {
-    (void)path;
+    (void)file;
     return meta.creator == node;
   }
-  void onNodeFail(int node, const std::vector<std::string>& lost) override {
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override {
     (void)lost;
     wipeStackCaches(scratch(node));
   }

@@ -23,9 +23,9 @@ class NfsRpcLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return "nfs/rpc"; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;  // everything beyond the client cache is a network away
   }
@@ -75,7 +75,7 @@ class NfsRpcLayer final : public IoLayer {
 
 NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> workers,
              StorageNode serverNode, const Config& cfg)
-    : StorageSystem{std::move(workers)},
+    : StorageSystem{sim, std::move(workers)},
       server_{std::make_unique<NfsServer>(sim, fabric.network(), std::move(serverNode),
                                           cfg.server)},
       cfg_{cfg} {
@@ -136,17 +136,15 @@ NfsFs::NfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> 
              StorageNode serverNode)
     : NfsFs{sim, fabric, std::move(workers), std::move(serverNode), Config{}} {}
 
-sim::Task<void> NfsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, std::move(path),
-                                                                 size);
+sim::Task<void> NfsFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->write(nodeIdx, file, size);
 }
 
-sim::Task<void> NfsFs::doRead(int nodeIdx, std::string path, Bytes size) {
-  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, std::move(path),
-                                                                size);
+sim::Task<void> NfsFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  return clientStacks_[static_cast<std::size_t>(nodeIdx)]->read(nodeIdx, file, size);
 }
 
-void NfsFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+void NfsFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
   (void)lost;
   LayerStack& client = *clientStacks_.at(static_cast<std::size_t>(nodeIdx));
   for (std::size_t i = 0; i < client.depth(); ++i) {

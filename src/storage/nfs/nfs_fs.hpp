@@ -47,12 +47,12 @@ class NfsFs : public StorageSystem {
   [[nodiscard]] NfsServer& server() { return *server_; }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// All data lives on the dedicated server, which worker crashes don't
   /// touch; the worker only loses its client cache.
-  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
 
  private:
   std::unique_ptr<NfsServer> server_;

@@ -5,20 +5,19 @@
 
 namespace wfs::storage {
 
-bool P2pReplicaLayer::hasReplica(int nodeIdx, const std::string& path) const {
-  auto it = where_.find(path);
-  if (it == where_.end()) return false;
-  return std::find(it->second.begin(), it->second.end(), nodeIdx) != it->second.end();
+bool P2pReplicaLayer::hasReplica(int nodeIdx, sim::FileId file) const {
+  const std::vector<int>& holders = replicas(file);
+  return std::find(holders.begin(), holders.end(), nodeIdx) != holders.end();
 }
 
-const std::vector<int>& P2pReplicaLayer::replicas(const std::string& path) const {
+const std::vector<int>& P2pReplicaLayer::replicas(sim::FileId file) const {
   static const std::vector<int> kEmpty;
-  auto it = where_.find(path);
-  return it == where_.end() ? kEmpty : it->second;
+  if (!file.valid() || file.index() >= where_.size()) return kEmpty;
+  return where_[file.index()];
 }
 
 void P2pReplicaLayer::dropNode(int nodeIdx) {
-  for (auto& [path, holders] : where_) {
+  for (auto& holders : where_) {
     holders.erase(std::remove(holders.begin(), holders.end(), nodeIdx), holders.end());
   }
 }
@@ -26,19 +25,19 @@ void P2pReplicaLayer::dropNode(int nodeIdx) {
 sim::Task<void> P2pReplicaLayer::process(Op& op) {
   LayerStack& local = *scratch_.at(static_cast<std::size_t>(op.node));
   if (isWriteLike(op.kind)) {
-    Op store{op.kind, op.node, op.path, op.size};
+    Op store{op.kind, op.node, op.file, op.size};
     store.parentClock = op.parentClock;
     auto wr = local.submit(store);
     co_await std::move(wr);
-    where_[op.path].push_back(op.node);
+    holdersOf(op.file).push_back(op.node);
     co_return;
   }
 
-  if (hasReplica(op.node, op.path)) {
+  if (hasReplica(op.node, op.file)) {
     ++metrics_->localReads;
     ++metrics_->cacheHits;
     ++ledger().cacheHits;
-    Op rd{OpKind::kRead, op.node, op.path, op.size};
+    Op rd{OpKind::kRead, op.node, op.file, op.size};
     rd.parentClock = op.parentClock;
     auto body = local.submit(rd);
     co_await std::move(body);
@@ -48,9 +47,9 @@ sim::Task<void> P2pReplicaLayer::process(Op& op) {
   ++metrics_->cacheMisses;
   ++ledger().cacheMisses;
   ++pulls_;
-  const auto& holders = replicas(op.path);
+  const auto& holders = replicas(op.file);
   if (holders.empty()) {
-    throw std::logic_error("p2p: no replica of " + op.path);
+    throw std::logic_error("p2p: no replica of " + sim_->files().name(op.file));
   }
   // Pull from the first holder (the producer): handshake, then a streaming
   // flow producer-disk -> producer-NIC -> consumer-NIC, landing in the
@@ -61,7 +60,7 @@ sim::Task<void> P2pReplicaLayer::process(Op& op) {
   co_await sim_->delay(cfg_.handshake +
                        fabric_->oneWayLatency(consumer.nic, producer.nic));
   if (op.node >= 0) metrics_->nodeIo(op.node).fromNetwork += op.size;
-  if (pageCacheOf(*scratch_.at(static_cast<std::size_t>(src))).cached(op.path)) {
+  if (pageCacheOf(*scratch_.at(static_cast<std::size_t>(src))).cached(op.file)) {
     // Producer page cache -> wire.
     auto flow = fabric_->network().transfer(fabric_->path(producer.nic, consumer.nic),
                                             op.size);
@@ -71,14 +70,14 @@ sim::Task<void> P2pReplicaLayer::process(Op& op) {
     co_await std::move(disk);
   }
   if (cfg_.keepPulledCopies) {
-    Op store{OpKind::kWrite, op.node, op.path, op.size};
+    Op store{OpKind::kWrite, op.node, op.file, op.size};
     store.parentClock = op.parentClock;
     auto wr = local.submit(store);
     co_await std::move(wr);
-    where_[op.path].push_back(op.node);
+    holdersOf(op.file).push_back(op.node);
   }
   // Program reads the landed copy (page-cache hot).
-  Op rd{OpKind::kRead, op.node, op.path, op.size};
+  Op rd{OpKind::kRead, op.node, op.file, op.size};
   rd.parentClock = op.parentClock;
   auto body = local.submit(rd);
   co_await std::move(body);
@@ -86,7 +85,7 @@ sim::Task<void> P2pReplicaLayer::process(Op& op) {
 
 void P2pReplicaLayer::handle(Op& op) {
   if (op.kind == OpKind::kPreload) {
-    auto& holders = where_[op.path];
+    auto& holders = holdersOf(op.file);
     for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
       holders.push_back(i);  // staged everywhere
     }
@@ -98,7 +97,7 @@ void P2pReplicaLayer::handle(Op& op) {
 
 P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
              const Config& cfg)
-    : StorageSystem{std::move(nodes)} {
+    : StorageSystem{sim, std::move(nodes)} {
   scratch_.reserve(nodes_.size());
   std::vector<LayerStack*> scratchPtrs;
   std::vector<const StorageNode*> nodePtrs;
@@ -121,30 +120,30 @@ P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> 
 P2pFs::P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
     : P2pFs{sim, fabric, std::move(nodes), Config{}} {}
 
-sim::Task<void> P2pFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return stack_->write(nodeIdx, std::move(path), size);
+sim::Task<void> P2pFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return stack_->write(nodeIdx, file, size);
 }
 
-sim::Task<void> P2pFs::doRead(int nodeIdx, std::string path, Bytes size) {
-  return stack_->read(nodeIdx, std::move(path), size);
+sim::Task<void> P2pFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  return stack_->read(nodeIdx, file, size);
 }
 
-bool P2pFs::losesDataOnCrash(int nodeIdx, const std::string& path, const FileMeta& meta) const {
+bool P2pFs::losesDataOnCrash(int nodeIdx, sim::FileId file, const FileMeta& meta) const {
   if (meta.scratch) return meta.creator == nodeIdx;
-  const std::vector<int>& holders = replica_->replicas(path);
+  const std::vector<int>& holders = replica_->replicas(file);
   if (holders.empty()) return false;
   return std::all_of(holders.begin(), holders.end(),
                      [nodeIdx](int h) { return h == nodeIdx; });
 }
 
-void P2pFs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+void P2pFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
   (void)lost;
   replica_->dropNode(nodeIdx);
   wipeStackCaches(*scratch_.at(static_cast<std::size_t>(nodeIdx)));
 }
 
-sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx, /*scratch=*/true);
+sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, sim::FileId file, Bytes size) {
+  catalog_.create(file, size, nodeIdx, /*scratch=*/true);
   ++metrics_.writeOps;
   ++metrics_.readOps;
   ++metrics_.localReads;
@@ -152,9 +151,9 @@ sim::Task<void> P2pFs::scratchRoundTrip(int nodeIdx, std::string path, Bytes siz
   metrics_.bytesRead += size;
   metrics_.nodeIo(nodeIdx).written += size;
   LayerStack& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
-  auto wr = local.scratchWrite(nodeIdx, path, size);
+  auto wr = local.scratchWrite(nodeIdx, file, size);
   co_await std::move(wr);
-  auto rd = local.read(nodeIdx, std::move(path), size);
+  auto rd = local.read(nodeIdx, file, size);
   co_await std::move(rd);
 }
 

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,13 +29,13 @@ class P2pReplicaLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return "p2p/replica"; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
-    return hasReplica(node, path) ? size : 0;
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
+    return hasReplica(node, file) ? size : 0;
   }
 
-  /// Nodes currently holding a replica of `path`.
-  [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const;
-  [[nodiscard]] bool hasReplica(int node, const std::string& path) const;
+  /// Nodes currently holding a replica of `file`.
+  [[nodiscard]] const std::vector<int>& replicas(sim::FileId file) const;
+  [[nodiscard]] bool hasReplica(int node, sim::FileId file) const;
   [[nodiscard]] std::uint64_t pullCount() const { return pulls_; }
   /// Crash-stop: forget every replica `node` held (its disk is gone).
   void dropNode(int node);
@@ -46,15 +45,20 @@ class P2pReplicaLayer final : public IoLayer {
   void handle(Op& op) override;
 
  private:
+  [[nodiscard]] std::vector<int>& holdersOf(sim::FileId file) {
+    if (where_.size() <= file.index()) where_.resize(file.index() + 1);
+    return where_[file.index()];
+  }
+
   Config cfg_;
   net::Fabric* fabric_;
   std::vector<const StorageNode*> nodes_;
   std::vector<LayerStack*> scratch_;
-  /// path -> nodes holding it (-1 never appears; preloads replicate
-  /// everywhere like the paper's pre-staged inputs). Ordered so the
-  /// dropNode() crash sweep walks the replica catalog reproducibly
-  /// (wfslint D2).
-  std::map<std::string, std::vector<int>> where_;
+  /// file -> nodes holding it, dense by FileId (-1 never appears; preloads
+  /// replicate everywhere like the paper's pre-staged inputs). A plain
+  /// vector keeps the dropNode() crash sweep reproducible (wfslint D2) and
+  /// replica lookups allocation-free.
+  std::vector<std::vector<int>> where_;
   std::uint64_t pulls_ = 0;
 };
 
@@ -84,24 +88,28 @@ class P2pFs : public StorageSystem {
   P2pFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes);
 
   [[nodiscard]] std::string name() const override { return "p2p"; }
-  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
+  using StorageSystem::scratchRoundTrip;
+  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, sim::FileId file,
                                                  Bytes size) override;
 
-  /// Nodes currently holding a replica of `path`.
+  /// Nodes currently holding a replica of the file.
+  [[nodiscard]] const std::vector<int>& replicas(sim::FileId file) const {
+    return replica_->replicas(file);
+  }
   [[nodiscard]] const std::vector<int>& replicas(const std::string& path) const {
-    return replica_->replicas(path);
+    return replica_->replicas(files().find(path));
   }
   [[nodiscard]] std::uint64_t pullCount() const { return replica_->pullCount(); }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// A file dies when its only replicas sat on the crashed node's disk
   /// (scratch always does; outputs survive if a consumer pulled a copy).
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override;
-  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
 
  private:
   std::vector<std::unique_ptr<LayerStack>> scratch_;

@@ -38,7 +38,7 @@ class PvfsMetaLayer final : public IoLayer {
 
 PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                const Config& cfg)
-    : StorageSystem{std::move(nodes)}, cfg_{cfg} {
+    : StorageSystem{sim, std::move(nodes)}, cfg_{cfg} {
   std::vector<const StorageNode*> servers;
   servers.reserve(nodes_.size());
   for (const auto& n : nodes_) servers.push_back(&n);
@@ -59,13 +59,13 @@ PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode
 PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
     : PvfsFs{sim, fabric, std::move(nodes), Config{}} {}
 
-sim::Task<void> PvfsFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return stack_->write(nodeIdx, std::move(path), size);
+sim::Task<void> PvfsFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return stack_->write(nodeIdx, file, size);
 }
 
-sim::Task<void> PvfsFs::doRead(int nodeIdx, std::string path, Bytes size) {
+sim::Task<void> PvfsFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
   ++metrics_.remoteReads;  // stripes always reach other servers
-  return stack_->read(nodeIdx, std::move(path), size);
+  return stack_->read(nodeIdx, file, size);
 }
 
 }  // namespace wfs::storage

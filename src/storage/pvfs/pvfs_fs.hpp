@@ -48,16 +48,16 @@ class PvfsFs : public StorageSystem {
   [[nodiscard]] std::string name() const override { return "pvfs"; }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// Every file is striped across every I/O server with no redundancy: one
   /// node crash loses the whole namespace — matching the operational
   /// fragility that forced the paper's authors off PVFS 2.8.
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)meta;
     return true;
   }

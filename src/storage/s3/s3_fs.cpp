@@ -19,14 +19,14 @@ class S3StageLayer final : public IoLayer {
       auto below = forward(op);
       co_await std::move(below);
       // Local disk -> program: the second read (page-cache hot after a GET).
-      Op local{OpKind::kRead, op.node, op.path, op.size};
+      Op local{OpKind::kRead, op.node, op.file, op.size};
       local.parentClock = op.parentClock;
       auto rd = scratch_->submit(local);
       co_await std::move(rd);
       co_return;
     }
     // Program -> local disk ("written twice": disk now, S3 next).
-    Op local{op.kind, op.node, op.path, op.size};
+    Op local{op.kind, op.node, op.file, op.size};
     local.parentClock = op.parentClock;
     auto wr = scratch_->submit(local);
     co_await std::move(wr);
@@ -48,9 +48,9 @@ class S3TransportLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return "s3/transport"; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;  // the object lives in S3, not on any node
   }
@@ -63,14 +63,14 @@ class S3TransportLayer final : public IoLayer {
       // S3 -> local disk: the first of the paper's "read twice" pair.
       auto get = store_->get(nic_, op.size);
       co_await std::move(get);
-      Op stage{OpKind::kWrite, op.node, op.path, op.size};
+      Op stage{OpKind::kWrite, op.node, op.file, op.size};
       stage.parentClock = op.parentClock;
       auto wr = scratch_->submit(stage);
       co_await std::move(wr);
       co_return;
     }
     // Local disk -> S3 (page-cache hot, so the cost is the upload).
-    Op reread{OpKind::kRead, op.node, op.path, op.size};
+    Op reread{OpKind::kRead, op.node, op.file, op.size};
     reread.parentClock = op.parentClock;
     auto rd = scratch_->submit(reread);
     co_await std::move(rd);
@@ -89,7 +89,7 @@ class S3TransportLayer final : public IoLayer {
 
 S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> nodes,
            const Config& cfg)
-    : StorageSystem{std::move(nodes)}, store_{std::make_unique<ObjectStore>(net, cfg.store)} {
+    : StorageSystem{sim, std::move(nodes)}, store_{std::make_unique<ObjectStore>(net, cfg.store)} {
   scratch_.reserve(nodes_.size());
   pipelines_.reserve(nodes_.size());
   std::vector<LayerStack*> stackPtrs;
@@ -127,16 +127,16 @@ S3Fs::S3Fs(sim::Simulator& sim, net::FlowNetwork& net, std::vector<StorageNode> 
 
 S3Fs::~S3Fs() = default;
 
-sim::Task<void> S3Fs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return pipeline(nodeIdx).write(nodeIdx, std::move(path), size);
+sim::Task<void> S3Fs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return pipeline(nodeIdx).write(nodeIdx, file, size);
 }
 
-sim::Task<void> S3Fs::doRead(int nodeIdx, std::string path, Bytes size) {
-  return pipeline(nodeIdx).read(nodeIdx, std::move(path), size);
+sim::Task<void> S3Fs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
+  return pipeline(nodeIdx).read(nodeIdx, file, size);
 }
 
-sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size) {
-  catalog_.create(path, size, nodeIdx, /*scratch=*/true);
+sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, sim::FileId file, Bytes size) {
+  catalog_.create(file, size, nodeIdx, /*scratch=*/true);
   ++metrics_.writeOps;
   ++metrics_.readOps;
   ++metrics_.localReads;
@@ -144,24 +144,24 @@ sim::Task<void> S3Fs::scratchRoundTrip(int nodeIdx, std::string path, Bytes size
   metrics_.bytesRead += size;
   metrics_.nodeIo(nodeIdx).written += size;
   LayerStack& local = *scratch_.at(static_cast<std::size_t>(nodeIdx));
-  auto wr = local.scratchWrite(nodeIdx, path, size);
+  auto wr = local.scratchWrite(nodeIdx, file, size);
   co_await std::move(wr);
-  auto rd = local.read(nodeIdx, std::move(path), size);
+  auto rd = local.read(nodeIdx, file, size);
   co_await std::move(rd);
 }
 
-void S3Fs::doDiscard(int nodeIdx, const std::string& path) {
-  scratch_.at(static_cast<std::size_t>(nodeIdx))->discard(nodeIdx, path);
+void S3Fs::doDiscard(int nodeIdx, sim::FileId file) {
+  scratch_.at(static_cast<std::size_t>(nodeIdx))->discard(nodeIdx, file);
 }
 
-void S3Fs::onNodeFail(int nodeIdx, const std::vector<std::string>& lost) {
+void S3Fs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
   (void)lost;
   wholeFile_.at(static_cast<std::size_t>(nodeIdx))->cache().clear();
   wipeStackCaches(*scratch_.at(static_cast<std::size_t>(nodeIdx)));
 }
 
-void S3Fs::doPreload(const std::string& path, Bytes size) {
-  (void)path;
+void S3Fs::doPreload(sim::FileId file, Bytes size) {
+  (void)file;
   store_->noteStored(size);  // staged into a bucket before the run
 }
 

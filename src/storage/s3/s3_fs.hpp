@@ -35,34 +35,38 @@ class S3Fs : public StorageSystem {
   [[nodiscard]] std::string name() const override { return "s3"; }
   /// S3 jobs run against the local disk; scratch never touches S3 (no GET,
   /// no PUT, no request fees) — a structural advantage of the wrapper.
-  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, std::string path,
+  using StorageSystem::scratchRoundTrip;
+  [[nodiscard]] sim::Task<void> scratchRoundTrip(int node, sim::FileId file,
                                                  Bytes size) override;
 
   [[nodiscard]] ObjectStore& objectStore() { return *store_; }
   [[nodiscard]] const ObjectStore& objectStore() const { return *store_; }
-  /// Whether `node`'s whole-file cache holds `path` (i.e. it is on that
+  /// Whether `node`'s whole-file cache holds the file (i.e. it is on that
   /// node's scratch disk).
+  [[nodiscard]] bool cached(int node, sim::FileId file) const {
+    return wholeFile_.at(static_cast<std::size_t>(node))->cached(file);
+  }
   [[nodiscard]] bool cached(int node, const std::string& path) const {
-    return wholeFile_.at(static_cast<std::size_t>(node))->cached(path);
+    return cached(node, files().find(path));
   }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
-  void doPreload(const std::string& path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
+  void doPreload(sim::FileId file, Bytes size) override;
   /// Only the scratch page cache drops; the whole-file cache records disk
   /// residency, which deleting page-cache entries does not change.
-  void doDiscard(int node, const std::string& path) override;
+  void doDiscard(int node, sim::FileId file) override;
 
   /// Uploaded objects are durable in S3; only node-local scratch dies.
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override {
-    (void)path;
+    (void)file;
     return meta.scratch && meta.creator == node;
   }
   /// The replacement VM starts with a cold whole-file cache: every object
   /// it reads must be GET-staged again, even ones this node uploaded.
-  void onNodeFail(int node, const std::vector<std::string>& lost) override;
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
 
  private:
   [[nodiscard]] LayerStack& pipeline(int node) {

@@ -18,9 +18,9 @@ class DeviceLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return name_; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;
   }

@@ -38,11 +38,11 @@ class IoLayer {
   /// then runs handle().
   void control(Op& op);
 
-  /// Bytes of `path` that `node` could serve without network traffic; the
+  /// Bytes of `file` that `node` could serve without network traffic; the
   /// default asks the next layer. Layers that sit on the far side of a wire
   /// (transports) override this to return 0.
-  [[nodiscard]] virtual Bytes locality(int node, const std::string& path, Bytes size) const {
-    return next_ != nullptr ? next_->locality(node, path, size) : 0;
+  [[nodiscard]] virtual Bytes locality(int node, sim::FileId file, Bytes size) const {
+    return next_ != nullptr ? next_->locality(node, file, size) : 0;
   }
 
   [[nodiscard]] IoLayer* next() const { return next_; }

@@ -28,45 +28,45 @@ sim::Task<void> LayerStack::run(Op op) {
   co_await std::move(body);
 }
 
-sim::Task<void> LayerStack::read(int node, std::string path, Bytes size) {
+sim::Task<void> LayerStack::read(int node, sim::FileId file, Bytes size) {
   Op op;
   op.kind = OpKind::kRead;
   op.node = node;
-  op.path = std::move(path);
+  op.file = file;
   op.size = size;
-  return run(std::move(op));
+  return run(op);
 }
 
-sim::Task<void> LayerStack::write(int node, std::string path, Bytes size) {
+sim::Task<void> LayerStack::write(int node, sim::FileId file, Bytes size) {
   Op op;
   op.kind = OpKind::kWrite;
   op.node = node;
-  op.path = std::move(path);
+  op.file = file;
   op.size = size;
-  return run(std::move(op));
+  return run(op);
 }
 
-sim::Task<void> LayerStack::scratchWrite(int node, std::string path, Bytes size) {
+sim::Task<void> LayerStack::scratchWrite(int node, sim::FileId file, Bytes size) {
   Op op;
   op.kind = OpKind::kScratch;
   op.node = node;
-  op.path = std::move(path);
+  op.file = file;
   op.size = size;
-  return run(std::move(op));
+  return run(op);
 }
 
-void LayerStack::discard(int node, const std::string& path) {
+void LayerStack::discard(int node, sim::FileId file) {
   Op op;
   op.kind = OpKind::kDiscard;
   op.node = node;
-  op.path = path;
+  op.file = file;
   top_->control(op);
 }
 
-void LayerStack::preload(const std::string& path, Bytes size) {
+void LayerStack::preload(sim::FileId file, Bytes size) {
   Op op;
   op.kind = OpKind::kPreload;
-  op.path = path;
+  op.file = file;
   op.size = size;
   top_->control(op);
 }

@@ -29,15 +29,33 @@ class LayerStack {
   void control(Op& op) { top_->control(op); }
 
   /// Convenience entries that own the Op for the duration of the call.
-  [[nodiscard]] sim::Task<void> read(int node, std::string path, Bytes size);
-  [[nodiscard]] sim::Task<void> write(int node, std::string path, Bytes size);
+  [[nodiscard]] sim::Task<void> read(int node, sim::FileId file, Bytes size);
+  [[nodiscard]] sim::Task<void> write(int node, sim::FileId file, Bytes size);
   /// A write of intra-job temporary data (ledgered as scratch).
-  [[nodiscard]] sim::Task<void> scratchWrite(int node, std::string path, Bytes size);
-  void discard(int node, const std::string& path);
-  void preload(const std::string& path, Bytes size);
+  [[nodiscard]] sim::Task<void> scratchWrite(int node, sim::FileId file, Bytes size);
+  void discard(int node, sim::FileId file);
+  void preload(sim::FileId file, Bytes size);
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const {
-    return top_->locality(node, path, size);
+  /// String conveniences (tests, examples): intern through the simulator's
+  /// table, then take the id path.
+  [[nodiscard]] sim::Task<void> read(int node, const std::string& path, Bytes size) {
+    return read(node, sim_->files().intern(path), size);
+  }
+  [[nodiscard]] sim::Task<void> write(int node, const std::string& path, Bytes size) {
+    return write(node, sim_->files().intern(path), size);
+  }
+  [[nodiscard]] sim::Task<void> scratchWrite(int node, const std::string& path, Bytes size) {
+    return scratchWrite(node, sim_->files().intern(path), size);
+  }
+  void discard(int node, const std::string& path) {
+    discard(node, sim_->files().intern(path));
+  }
+  void preload(const std::string& path, Bytes size) {
+    preload(sim_->files().intern(path), size);
+  }
+
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const {
+    return top_->locality(node, file, size);
   }
 
   [[nodiscard]] IoLayer* layer(std::size_t i) { return layers_.at(i).get(); }

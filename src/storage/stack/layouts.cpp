@@ -2,38 +2,38 @@
 
 #include <stdexcept>
 
-#include "storage/base/path.hpp"
-
 namespace wfs::storage {
 
-int DistributeLayout::place(const std::string& path, int creator) {
+int DistributeLayout::place(sim::FileId file, int creator) {
   (void)creator;
-  return locate(path);
+  return locate(file);
 }
 
-int DistributeLayout::locate(const std::string& path) const {
-  return static_cast<int>(pathHash(path) % static_cast<std::uint64_t>(bricks_));
+int DistributeLayout::locate(sim::FileId file) const {
+  return static_cast<int>(files_->hash(file) % static_cast<std::uint64_t>(bricks_));
 }
 
-int NufaLayout::place(const std::string& path, int creator) {
+int NufaLayout::place(sim::FileId file, int creator) {
   // Pre-staged inputs (creator == -1) are spread by hash, as copying a data
   // set into the volume from one mount point would otherwise pile every
   // input onto a single brick.
-  const int brick = creator >= 0
-                        ? creator
-                        : static_cast<int>(pathHash(path) % static_cast<std::uint64_t>(bricks_));
-  // Assignment, not emplace: a file recomputed after a brick loss lands on
-  // the brick of whichever node re-created it.
-  placement_[path] = brick;
+  const int brick =
+      creator >= 0
+          ? creator
+          : static_cast<int>(files_->hash(file) % static_cast<std::uint64_t>(bricks_));
+  // Assignment, not insert-once: a file recomputed after a brick loss lands
+  // on the brick of whichever node re-created it.
+  if (placement_.size() <= file.index()) placement_.resize(file.index() + 1, -1);
+  placement_[file.index()] = brick;
   return brick;
 }
 
-int NufaLayout::locate(const std::string& path) const {
-  auto it = placement_.find(path);
-  if (it == placement_.end()) {
-    throw std::out_of_range("nufa layout: unknown file: " + path);
+int NufaLayout::locate(sim::FileId file) const {
+  if (!file.valid() || file.index() >= placement_.size() || placement_[file.index()] < 0) {
+    throw std::out_of_range("nufa layout: unknown file: " +
+                            (file.valid() ? files_->name(file) : "<unknown>"));
   }
-  return it->second;
+  return placement_[file.index()];
 }
 
 }  // namespace wfs::storage

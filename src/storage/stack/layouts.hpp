@@ -1,7 +1,9 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <vector>
+
+#include "simcore/file_id.hpp"
 
 namespace wfs::storage {
 
@@ -13,25 +15,29 @@ class LayoutPolicy {
 
   /// Chooses the brick for a new file. `creator` is the writing node, or
   /// -1 for pre-staged input data.
-  virtual int place(const std::string& path, int creator) = 0;
+  virtual int place(sim::FileId file, int creator) = 0;
 
-  /// Brick currently holding `path`.
-  [[nodiscard]] virtual int locate(const std::string& path) const = 0;
+  /// Brick currently holding `file`.
+  [[nodiscard]] virtual int locate(sim::FileId file) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// cluster/distribute: DHT placement by path hash — uniform spread of reads
-/// and writes across the virtual cluster.
+/// and writes across the virtual cluster. Uses the intern table's cached
+/// FNV-1a hash (identical to storage::pathHash), so placement is unchanged
+/// by interning and never re-scans the name's bytes.
 class DistributeLayout final : public LayoutPolicy {
  public:
-  explicit DistributeLayout(int bricks) : bricks_{bricks} {}
-  int place(const std::string& path, int creator) override;
-  [[nodiscard]] int locate(const std::string& path) const override;
+  DistributeLayout(int bricks, const sim::FileIdTable& files)
+      : bricks_{bricks}, files_{&files} {}
+  int place(sim::FileId file, int creator) override;
+  [[nodiscard]] int locate(sim::FileId file) const override;
   [[nodiscard]] std::string name() const override { return "distribute"; }
 
  private:
   int bricks_;
+  const sim::FileIdTable* files_;
 };
 
 /// cluster/nufa: non-uniform file access — new files are written to the
@@ -39,14 +45,15 @@ class DistributeLayout final : public LayoutPolicy {
 /// mini-workflows) find their intermediates locally.
 class NufaLayout final : public LayoutPolicy {
  public:
-  explicit NufaLayout(int bricks) : bricks_{bricks} {}
-  int place(const std::string& path, int creator) override;
-  [[nodiscard]] int locate(const std::string& path) const override;
+  NufaLayout(int bricks, const sim::FileIdTable& files) : bricks_{bricks}, files_{&files} {}
+  int place(sim::FileId file, int creator) override;
+  [[nodiscard]] int locate(sim::FileId file) const override;
   [[nodiscard]] std::string name() const override { return "nufa"; }
 
  private:
   int bricks_;
-  std::unordered_map<std::string, int> placement_;
+  const sim::FileIdTable* files_;
+  std::vector<int> placement_;  // dense by FileId; -1 = never placed
 };
 
 }  // namespace wfs::storage

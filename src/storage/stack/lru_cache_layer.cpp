@@ -4,7 +4,7 @@ namespace wfs::storage {
 
 sim::Task<void> LruCacheLayer::process(Op& op) {
   if (op.kind == OpKind::kRead) {
-    if (cache_.touch(op.path)) {
+    if (cache_.touch(op.file)) {
       ++ledger().cacheHits;
       if (cfg_.hitCountsCacheHit) ++metrics_->cacheHits;
       if (cfg_.hitCountsLocalRead) ++metrics_->localReads;
@@ -35,25 +35,25 @@ sim::Task<void> LruCacheLayer::process(Op& op) {
     if (cfg_.missCountsRemoteRead) ++metrics_->remoteReads;
     auto below = forward(op);
     co_await std::move(below);
-    cache_.put(op.path, op.size);
+    cache_.put(op.file, op.size);
     co_return;
   }
   // Write/scratch: the data this layer just saw is cached either side of
   // the descent, matching each legacy backend's put ordering (ordering
   // matters: concurrent ops on the same stack observe eviction state).
   if (cfg_.putBeforeForwardOnWrite) {
-    cache_.put(op.path, op.size);
+    cache_.put(op.file, op.size);
     auto below = forward(op);
     co_await std::move(below);
   } else {
     auto below = forward(op);
     co_await std::move(below);
-    cache_.put(op.path, op.size);
+    cache_.put(op.file, op.size);
   }
 }
 
 void LruCacheLayer::handle(Op& op) {
-  if (op.kind == OpKind::kDiscard) cache_.erase(op.path);
+  if (op.kind == OpKind::kDiscard) cache_.erase(op.file);
   IoLayer::handle(op);
 }
 

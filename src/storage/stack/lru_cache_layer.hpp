@@ -53,14 +53,14 @@ class LruCacheLayer : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return cfg_.name; }
 
-  [[nodiscard]] bool cached(const std::string& path) const { return cache_.contains(path); }
-  void evict(const std::string& path) { cache_.erase(path); }
+  [[nodiscard]] bool cached(sim::FileId file) const { return cache_.contains(file); }
+  void evict(sim::FileId file) { cache_.erase(file); }
   [[nodiscard]] LruCache& cache() { return cache_; }
   [[nodiscard]] const LruCache& cache() const { return cache_; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
-    if (cache_.contains(path)) return size;
-    return next_ != nullptr ? next_->locality(node, path, size) : 0;
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
+    if (cache_.contains(file)) return size;
+    return next_ != nullptr ? next_->locality(node, file, size) : 0;
   }
 
  protected:

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <string>
-
 #include "net/flow_network.hpp"
+#include "simcore/file_id.hpp"
 #include "simcore/units.hpp"
 
 namespace wfs::storage {
@@ -25,7 +24,9 @@ struct Op {
   OpKind kind = OpKind::kRead;
   /// Worker node issuing the call; -1 for node-less control ops (preload).
   int node = -1;
-  std::string path;
+  /// Interned file identity (Simulator::files()); layers resolve the
+  /// spelling only for error messages and traces.
+  sim::FileId file{};
   Bytes size = 0;
   /// Owner node resolved by a PlacementLayer; -1 until resolved.
   int owner = -1;

@@ -12,7 +12,7 @@ sim::Task<void> PlacementLayer::descend(Op& op) {
 sim::Task<void> PlacementLayer::process(Op& op) {
   net::Nic* client = nodes_.at(static_cast<std::size_t>(op.node))->nic;
   if (op.kind == OpKind::kRead) {
-    const int owner = layout_->locate(op.path);
+    const int owner = layout_->locate(op.file);
     op.owner = owner;
     net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
     if (owner == op.node) {
@@ -29,7 +29,7 @@ sim::Task<void> PlacementLayer::process(Op& op) {
     co_return;
   }
   // Write/scratch.
-  const int owner = layout_->place(op.path, op.node);
+  const int owner = layout_->place(op.file, op.node);
   op.owner = owner;
   net::Nic* ownerNic = nodes_.at(static_cast<std::size_t>(owner))->nic;
   if (owner != op.node) {
@@ -48,8 +48,8 @@ sim::Task<void> PlacementLayer::process(Op& op) {
 }
 
 void PlacementLayer::handle(Op& op) {
-  const int owner = op.kind == OpKind::kPreload ? layout_->place(op.path, /*creator=*/-1)
-                                                : layout_->locate(op.path);
+  const int owner = op.kind == OpKind::kPreload ? layout_->place(op.file, /*creator=*/-1)
+                                                : layout_->locate(op.file);
   op.owner = owner;
   if (!targets_.empty()) {
     targets_.at(static_cast<std::size_t>(owner))->control(op);

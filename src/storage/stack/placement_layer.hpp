@@ -48,8 +48,8 @@ class PlacementLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return cfg_.name; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
-    if (cfg_.localityFromOwner && layout_->locate(path) == node) return size;
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
+    if (cfg_.localityFromOwner && layout_->locate(file) == node) return size;
     return 0;
   }
 

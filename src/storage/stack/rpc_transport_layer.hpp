@@ -35,9 +35,9 @@ class RpcTransportLayer final : public IoLayer {
   [[nodiscard]] std::string name() const override { return cfg_.name; }
 
   /// The wire starts here: nothing below is local to any node.
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;
   }

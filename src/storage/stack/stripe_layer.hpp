@@ -36,9 +36,9 @@ class StripeLayer final : public IoLayer {
   [[nodiscard]] int serversFor(Bytes size) const;
 
   /// Stripes always reach other servers.
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;
   }

@@ -19,9 +19,9 @@ class XtreemOsdLayer final : public IoLayer {
 
   [[nodiscard]] std::string name() const override { return "xtreemfs/osd"; }
 
-  [[nodiscard]] Bytes locality(int node, const std::string& path, Bytes size) const override {
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
     (void)node;
-    (void)path;
+    (void)file;
     (void)size;
     return 0;  // no client-side caching of workflow data
   }
@@ -61,7 +61,7 @@ class XtreemOsdLayer final : public IoLayer {
 
 XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
                    const Config& cfg)
-    : StorageSystem{std::move(nodes)}, cfg_{cfg}, osdLayout_{nodeCount()} {
+    : StorageSystem{sim, std::move(nodes)}, cfg_{cfg}, osdLayout_{nodeCount(), sim.files()} {
   std::vector<const StorageNode*> nodePtrs;
   nodePtrs.reserve(nodes_.size());
   for (const auto& n : nodes_) nodePtrs.push_back(&n);
@@ -89,13 +89,13 @@ XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<Storage
 XtreemFs::XtreemFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes)
     : XtreemFs{sim, fabric, std::move(nodes), Config{}} {}
 
-sim::Task<void> XtreemFs::doWrite(int nodeIdx, std::string path, Bytes size) {
-  return stack_->write(nodeIdx, std::move(path), size);
+sim::Task<void> XtreemFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
+  return stack_->write(nodeIdx, file, size);
 }
 
-sim::Task<void> XtreemFs::doRead(int nodeIdx, std::string path, Bytes size) {
+sim::Task<void> XtreemFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
   ++metrics_.remoteReads;
-  return stack_->read(nodeIdx, std::move(path), size);
+  return stack_->read(nodeIdx, file, size);
 }
 
 }  // namespace wfs::storage

@@ -36,14 +36,14 @@ class XtreemFs : public StorageSystem {
   [[nodiscard]] std::string name() const override { return "xtreemfs"; }
 
  protected:
-  [[nodiscard]] sim::Task<void> doWrite(int node, std::string path, Bytes size) override;
-  [[nodiscard]] sim::Task<void> doRead(int node, std::string path, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
+  [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
   /// Objects live on the OSD the hash placed them on, unreplicated.
-  [[nodiscard]] bool losesDataOnCrash(int node, const std::string& path,
+  [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override {
     (void)meta;
-    return osdLayout_.locate(path) == node;
+    return osdLayout_.locate(file) == node;
   }
 
  private:

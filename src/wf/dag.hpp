@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simcore/file_id.hpp"
 #include "simcore/units.hpp"
 
 namespace wfs::wf {
@@ -14,8 +15,15 @@ using JobId = int;
 struct FileSpec {
   std::string lfn;  // logical file name
   Bytes size = 0;
+  /// Interned id of `lfn` in the simulation's FileIdTable; invalid until the
+  /// engine binds the workflow to a simulator. Everything after DAG
+  /// construction (storage ops, locality ranking, recovery maps) runs on
+  /// this id — the string survives only for export and error text.
+  sim::FileId id{};
 
-  friend bool operator==(const FileSpec&, const FileSpec&) = default;
+  friend bool operator==(const FileSpec& a, const FileSpec& b) {
+    return a.lfn == b.lfn && a.size == b.size;
+  }
 };
 
 /// One executable task of a workflow.

@@ -7,7 +7,7 @@
 
 namespace wfs::wf {
 
-DagmanEngine::DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workflow,
+DagmanEngine::DagmanEngine(sim::Simulator& sim, ExecutableWorkflow& workflow,
                            storage::StorageSystem& storage, Scheduler& scheduler,
                            std::vector<sim::Resource*> nodeMemory, prof::WfProf* prof,
                            const Options& opt)
@@ -26,12 +26,27 @@ DagmanEngine::DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workfl
   done_.resize(jobCount, false);
   active_.resize(jobCount, false);
   nodeEpoch_.resize(nodeMemory_.size(), 0);
+  // Intern every logical file name once, up front; the run itself then
+  // never hashes a path string again.
+  sim::FileIdTable& files = sim.files();
+  auto internAll = [&files](std::vector<FileSpec>& specs) {
+    for (FileSpec& f : specs) f.id = files.intern(f.lfn);
+  };
+  for (FileSpec& f : workflow.externalInputs) f.id = files.intern(f.lfn);
   for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
     indegree_[static_cast<std::size_t>(id)] =
         static_cast<int>(workflow.dag.parents(id).size());
+    JobSpec& job = workflow.dag.job(id);
+    internAll(job.inputs);
+    internAll(job.outputs);
+    internAll(job.scratchFiles);
+  }
+  producerOf_.assign(files.size(), -1);
+  consumersOf_.assign(files.size(), {});
+  for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
     const JobSpec& job = workflow.dag.job(id);
-    for (const auto& f : job.outputs) producerOf_[f.lfn] = id;
-    for (const auto& f : job.inputs) consumersOf_[f.lfn].push_back(id);
+    for (const auto& f : job.outputs) producerOf_[f.id.index()] = id;
+    for (const auto& f : job.inputs) consumersOf_[f.id.index()].push_back(id);
   }
 }
 
@@ -72,14 +87,14 @@ void DagmanEngine::submitReadyChildren(JobId finished) {
 
 bool DagmanEngine::inputsAvailable(const JobSpec& job) const {
   return std::all_of(job.inputs.begin(), job.inputs.end(),
-                     [this](const auto& f) { return storage_->available(f.lfn); });
+                     [this](const auto& f) { return storage_->available(f.id); });
 }
 
 void DagmanEngine::onNodeCrash(int node) {
   ++nodeEpoch_.at(static_cast<std::size_t>(node));
 }
 
-void DagmanEngine::onFilesLost(const std::vector<std::string>& lost) {
+void DagmanEngine::onFilesLost(const std::vector<sim::FileId>& lost) {
   const auto jobCount = static_cast<std::size_t>(wf_->dag.jobCount());
   std::vector<bool> resub(jobCount, false);
 
@@ -89,18 +104,18 @@ void DagmanEngine::onFilesLost(const std::vector<std::string>& lost) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const auto& path : lost) {
-      const auto pit = producerOf_.find(path);
-      if (pit == producerOf_.end()) continue;  // pre-staged input: re-staged on restore
-      const JobId p = pit->second;
+    for (const sim::FileId file : lost) {
+      if (!file.valid() || file.index() >= producerOf_.size()) continue;
+      const JobId p = producerOf_[file.index()];
+      if (p < 0) continue;  // pre-staged input: re-staged on restore
       const auto pi = static_cast<std::size_t>(p);
       if (!done_[pi] || resub[pi]) continue;
       bool needed = false;
-      const auto cit = consumersOf_.find(path);
-      if (cit == consumersOf_.end() || cit->second.empty()) {
+      const std::vector<JobId>& consumers = consumersOf_[file.index()];
+      if (consumers.empty()) {
         needed = true;  // final workflow output
       } else {
-        for (const JobId c : cit->second) {
+        for (const JobId c : consumers) {
           const auto ci = static_cast<std::size_t>(c);
           if (!done_[ci] || resub[ci]) {
             needed = true;
@@ -185,7 +200,7 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
     // dies, and must not be re-written if it succeeds.
     std::vector<char> outputPreexisted(job.outputs.size(), 0);
     for (std::size_t i = 0; i < job.outputs.size(); ++i) {
-      outputPreexisted[i] = storage_->available(job.outputs[i].lfn) ? 1 : 0;
+      outputPreexisted[i] = storage_->available(job.outputs[i].id) ? 1 : 0;
     }
 
     bool inputLost = false;
@@ -196,9 +211,9 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
       // retry, just as a resubmitted Condor job would).
       for (const auto& f : job.inputs) {
         const double t0 = sim_->now().asSeconds();
-        co_await storage_->read(node, f.lfn);
+        co_await storage_->read(node, f.id);
         trace.ioSeconds += sim_->now().asSeconds() - t0;
-        trace.bytesRead += storage_->sizeOf(f.lfn);  // authoritative catalog size
+        trace.bytesRead += storage_->sizeOf(f.id);  // authoritative catalog size
       }
 
       // Intra-job intermediates: the chained executables of a transformation
@@ -207,8 +222,8 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
       // admits re-creation of a discarded scratch entry.
       for (const auto& f : job.scratchFiles) {
         const double t0 = sim_->now().asSeconds();
-        co_await storage_->scratchRoundTrip(node, f.lfn, f.size);
-        storage_->discard(node, f.lfn);  // jobs delete their temporaries
+        co_await storage_->scratchRoundTrip(node, f.id, f.size);
+        storage_->discard(node, f.id);  // jobs delete their temporaries
         trace.ioSeconds += sim_->now().asSeconds() - t0;
         trace.bytesRead += f.size;
         trace.bytesWritten += f.size;
@@ -229,7 +244,7 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
           if (outputPreexisted[i] != 0) continue;
           const auto& f = job.outputs[i];
           const double t0 = sim_->now().asSeconds();
-          co_await storage_->write(node, f.lfn, f.size);
+          co_await storage_->write(node, f.id, f.size);
           trace.ioSeconds += sim_->now().asSeconds() - t0;
           trace.bytesWritten += f.size;
         }
@@ -264,12 +279,12 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
     // outputs it managed to write are retracted so consumers never see a
     // partial result — the catalog accepts the retry's clean re-write.
     for (const auto& f : job.scratchFiles) {
-      const storage::FileMeta* m = storage_->meta(f.lfn);
-      if (m != nullptr && m->scratch && !m->discarded) storage_->discard(node, f.lfn);
+      const storage::FileMeta* m = storage_->meta(f.id);
+      if (m != nullptr && m->scratch && !m->discarded) storage_->discard(node, f.id);
     }
     for (std::size_t i = 0; i < job.outputs.size(); ++i) {
-      if (outputPreexisted[i] == 0 && storage_->available(job.outputs[i].lfn)) {
-        storage_->retractFile(job.outputs[i].lfn);
+      if (outputPreexisted[i] == 0 && storage_->available(job.outputs[i].id)) {
+        storage_->retractFile(job.outputs[i].id);
       }
     }
 

@@ -2,7 +2,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "prof/wfprof.hpp"
@@ -43,7 +42,10 @@ class DagmanEngine {
     std::uint64_t faultSeed = 7;
   };
 
-  DagmanEngine(sim::Simulator& sim, const ExecutableWorkflow& workflow,
+  /// Binds the workflow to the simulation: every FileSpec's lfn is interned
+  /// into the simulator's FileIdTable (FileSpec::id), which is why the
+  /// workflow reference is mutable.
+  DagmanEngine(sim::Simulator& sim, ExecutableWorkflow& workflow,
                storage::StorageSystem& storage, Scheduler& scheduler,
                std::vector<sim::Resource*> nodeMemory, prof::WfProf* prof,
                const Options& opt);
@@ -72,7 +74,7 @@ class DagmanEngine {
   /// Resubmits the done producers of every lost intermediate some unfinished
   /// consumer still needs — recursively, so a lost chain recomputes from the
   /// deepest ancestor whose output survives.
-  void onFilesLost(const std::vector<std::string>& lost);
+  void onFilesLost(const std::vector<sim::FileId>& lost);
 
   /// Wakes jobs parked on lost inputs (call after restoreNode re-staged
   /// pre-staged data). No-op when nothing waits.
@@ -109,9 +111,10 @@ class DagmanEngine {
   /// Bumped per crash; an attempt compares against its claim-time value to
   /// learn its VM died under it.
   std::vector<std::uint64_t> nodeEpoch_;
-  /// Reverse maps for recompute-on-loss: LFN -> producing job / consumers.
-  std::unordered_map<std::string, JobId> producerOf_;
-  std::unordered_map<std::string, std::vector<JobId>> consumersOf_;
+  /// Reverse maps for recompute-on-loss, dense by FileId (-1 = no producer,
+  /// i.e. a pre-staged input).
+  std::vector<JobId> producerOf_;
+  std::vector<std::vector<JobId>> consumersOf_;
   int completed_ = 0;
   bool failed_ = false;
   std::uint64_t retries_ = 0;

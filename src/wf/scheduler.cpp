@@ -27,7 +27,12 @@ int Scheduler::pickNode(const JobSpec& job) const {
       const int i = (rotor_ + k) % n;
       if (free_[static_cast<std::size_t>(i)] <= 0) continue;
       Bytes score = 0;
-      for (const auto& f : job.inputs) score += storage_->localityHint(i, f.lfn);
+      for (const auto& f : job.inputs) {
+        // Engine-bound workflows carry interned ids; fall back to the string
+        // path for hand-built JobSpecs in tests.
+        score += f.id.valid() ? storage_->localityHint(i, f.id)
+                              : storage_->localityHint(i, f.lfn);
+      }
       if (score > bestScore) {
         bestScore = score;
         best = i;

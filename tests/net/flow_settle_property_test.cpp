@@ -1,0 +1,154 @@
+// Property test: component-restricted (incremental) flow settlement must be
+// bit-identical to a full global recompute, under randomized churn of flow
+// arrivals, departures, and capacity rate changes.
+//
+// Two mechanisms check this:
+//  * setVerifySettle(true) makes FlowNetwork re-run the global algorithm
+//    after every incremental reshare and throw on any single-bit divergence
+//    in flow rates or capacity used-rates.
+//  * The same scenario is replayed with verification off, and completion
+//    times are compared bit-for-bit — verification overwrites state with the
+//    global result, so agreement proves the pure-incremental trajectory
+//    equals the global one end to end.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace wfs::net {
+namespace {
+
+using sim::Duration;
+using sim::Rng;
+using sim::Simulator;
+using sim::Task;
+
+struct World {
+  Simulator sim;
+  FlowNetwork net{sim};
+  std::vector<std::unique_ptr<Capacity>> caps;
+  std::vector<double> finishes;
+};
+
+/// `clusters` groups of `perCluster` capacities. Flows inside a group form
+/// one connected component; `crossLinks` extra capacities are shared by all
+/// groups so some churn merges components.
+void buildTopology(World& w, int clusters, int perCluster, int crossLinks) {
+  for (int c = 0; c < clusters; ++c) {
+    for (int i = 0; i < perCluster; ++i) {
+      w.caps.push_back(std::make_unique<Capacity>(
+          w.net, MBps(50 + 10 * i), "c" + std::to_string(c) + "/l" + std::to_string(i)));
+    }
+  }
+  for (int i = 0; i < crossLinks; ++i) {
+    w.caps.push_back(
+        std::make_unique<Capacity>(w.net, MBps(200), "core" + std::to_string(i)));
+  }
+}
+
+/// One churn actor: repeatedly waits a random interval and runs a transfer
+/// over a random 1–3 hop path drawn from its cluster (occasionally routed
+/// through a shared core capacity).
+Task<void> churn(World& w, Rng rng, int cluster, int perCluster, int clusters,
+                 int crossLinks, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await w.sim.delay(Duration::fromSeconds(rng.uniform(0.01, 0.4)));
+    Path path;
+    const int hops = static_cast<int>(rng.uniformInt(1, 3));
+    for (int h = 0; h < hops; ++h) {
+      const std::size_t base = static_cast<std::size_t>(cluster * perCluster);
+      const auto pick = static_cast<std::size_t>(rng.uniformInt(0, perCluster - 1));
+      path.push_back(Hop{w.caps[base + pick].get(), rng.nextDouble() < 0.2 ? 5.0 : 1.0});
+    }
+    if (crossLinks > 0 && rng.nextDouble() < 0.25) {
+      const std::size_t core = static_cast<std::size_t>(clusters * perCluster) +
+                               static_cast<std::size_t>(rng.uniformInt(0, crossLinks - 1));
+      path.push_back(Hop{w.caps[core].get(), 1.0});
+    }
+    const auto bytes = static_cast<Bytes>(rng.uniformInt(1, 64)) * 1_MB;
+    co_await w.net.transfer(std::move(path), bytes);
+    w.finishes.push_back(w.sim.now().asSeconds());
+  }
+}
+
+/// Degraded-mode actor: flaps a random capacity's rate now and then.
+Task<void> rateFlapper(World& w, Rng rng, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await w.sim.delay(Duration::fromSeconds(rng.uniform(0.3, 1.1)));
+    const auto pick = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(w.caps.size()) - 1));
+    w.caps[pick]->setRate(MBps(rng.uniform(20.0, 220.0)));
+  }
+}
+
+void runScenario(World& w, std::uint64_t seed, bool verify) {
+  constexpr int kClusters = 4;
+  constexpr int kPerCluster = 3;
+  constexpr int kCrossLinks = 2;
+  constexpr int kActorsPerCluster = 2;
+  constexpr int kRounds = 25;
+  w.net.setVerifySettle(verify);
+  buildTopology(w, kClusters, kPerCluster, kCrossLinks);
+  Rng master{seed};
+  for (int c = 0; c < kClusters; ++c) {
+    for (int a = 0; a < kActorsPerCluster; ++a) {
+      w.sim.spawn(churn(w, master.fork(), c, kPerCluster, kClusters, kCrossLinks, kRounds));
+    }
+  }
+  w.sim.spawn(rateFlapper(w, master.fork(), 12));
+  w.sim.run();
+}
+
+TEST(FlowSettleProperty, IncrementalMatchesGlobalUnderChurn) {
+  // setVerifySettle throws std::logic_error from inside the event loop on
+  // the first diverging bit; completing the run is the assertion.
+  World w;
+  runScenario(w, 0xfeedfacecafeull, /*verify=*/true);
+  EXPECT_EQ(w.finishes.size(), 4u * 2u * 25u);
+  EXPECT_EQ(w.net.activeFlows(), 0u);
+}
+
+TEST(FlowSettleProperty, VerifyModeDoesNotPerturbTrajectory) {
+  // Replay the identical scenario with and without verification and demand
+  // bit-identical completion times: the global recompute that verification
+  // installs after every reshare must equal what incremental-only produced.
+  World a;
+  runScenario(a, 0x5eed5eed5eedull, /*verify=*/true);
+  World b;
+  runScenario(b, 0x5eed5eed5eedull, /*verify=*/false);
+  ASSERT_EQ(a.finishes.size(), b.finishes.size());
+  for (std::size_t i = 0; i < a.finishes.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.finishes[i]),
+              std::bit_cast<std::uint64_t>(b.finishes[i]))
+        << "completion " << i << " diverged";
+  }
+}
+
+TEST(FlowSettleProperty, DisjointComponentsStayIndependent) {
+  // No cross links: every cluster is its own component for the whole run.
+  // Verification still compares against the full global recompute, so this
+  // exercises the "untouched components keep bit-identical rates" claim.
+  World w;
+  constexpr int kClusters = 6;
+  constexpr int kPerCluster = 2;
+  w.net.setVerifySettle(true);
+  buildTopology(w, kClusters, kPerCluster, /*crossLinks=*/0);
+  Rng master{0xd15c0d15c0ull};
+  for (int c = 0; c < kClusters; ++c) {
+    w.sim.spawn(churn(w, master.fork(), c, kPerCluster, kClusters, 0, 20));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.finishes.size(), 6u * 20u);
+}
+
+}  // namespace
+}  // namespace wfs::net

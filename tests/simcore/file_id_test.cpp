@@ -1,0 +1,81 @@
+#include "simcore/file_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/base/path.hpp"
+
+namespace wfs::sim {
+namespace {
+
+TEST(FileId, DefaultIsInvalid) {
+  FileId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FileId{});
+}
+
+TEST(FileIdTable, InternIsIdempotent) {
+  FileIdTable t;
+  const FileId a = t.intern("lfn/region_07.fits");
+  const FileId b = t.intern("lfn/region_07.fits");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FileIdTable, IdsAreDenseInFirstSightOrder) {
+  FileIdTable t;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const FileId id = t.intern("f" + std::to_string(i));
+    EXPECT_EQ(id.index(), i);
+  }
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(FileIdTable, NameRoundTrips) {
+  FileIdTable t;
+  std::vector<FileId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(t.intern("montage/p" + std::to_string(i) + ".img"));
+  }
+  // Interning more names must not invalidate earlier name() references
+  // (the table is deque-backed for reference stability).
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(t.name(ids[static_cast<std::size_t>(i)]),
+              "montage/p" + std::to_string(i) + ".img");
+  }
+}
+
+TEST(FileIdTable, FindDoesNotIntern) {
+  FileIdTable t;
+  EXPECT_FALSE(t.find("never-seen").valid());
+  EXPECT_EQ(t.size(), 0u);
+  const FileId id = t.intern("seen");
+  EXPECT_EQ(t.find("seen"), id);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FileIdTable, CachedHashMatchesPathHash) {
+  // DHT placement keys on the cached hash; it must stay bit-identical to
+  // storage::pathHash or interning would silently move files across bricks.
+  FileIdTable t;
+  const std::vector<std::string> names = {
+      "",  "x", "out.dat", "a/very/long/logical/file/name/with/segments.hdf5",
+      "f0", "f1", "2mass-atlas-990214n-j1440256.fits"};
+  for (const std::string& n : names) {
+    EXPECT_EQ(t.hash(t.intern(n)), storage::pathHash(n)) << n;
+  }
+}
+
+TEST(FileIdTable, StringViewLookupSurvivesGrowth) {
+  FileIdTable t;
+  const FileId first = t.intern("stable");
+  for (int i = 0; i < 4096; ++i) t.intern("churn" + std::to_string(i));
+  EXPECT_EQ(t.find("stable"), first);
+  EXPECT_EQ(t.name(first), "stable");
+}
+
+}  // namespace
+}  // namespace wfs::sim

@@ -22,7 +22,7 @@ Task<void> chatty(Simulator& sim, const std::string& tag, int lines) {
 void runWorld(const std::string& tag, int lines, std::vector<std::string>& out) {
   Simulator sim;
   sim.trace().enable(true);
-  sim.trace().setSink([&out](const std::string& line) { out.push_back(line); });
+  sim.trace().setSink([&out](std::string_view line) { out.emplace_back(line); });
   sim.spawn(chatty(sim, tag, lines));
   sim.run();
 }
@@ -31,7 +31,7 @@ TEST(TraceTest, DisabledByDefaultAndMacroSkipsLog) {
   Simulator sim;
   EXPECT_FALSE(sim.trace().enabled());
   std::vector<std::string> lines;
-  sim.trace().setSink([&lines](const std::string& l) { lines.push_back(l); });
+  sim.trace().setSink([&lines](std::string_view l) { lines.emplace_back(l); });
   sim.spawn(chatty(sim, "quiet", 3));
   sim.run();
   EXPECT_TRUE(lines.empty());

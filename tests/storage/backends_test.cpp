@@ -200,7 +200,7 @@ TEST(Gluster, NufaWritesLocally) {
     w.run(fs.write(i, "out" + std::to_string(i), 10_MB));
   }
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(fs.layout().locate("out" + std::to_string(i)), i);
+    EXPECT_EQ(fs.layout().locate(w.sim.files().find("out" + std::to_string(i))), i);
   }
 }
 
@@ -211,7 +211,7 @@ TEST(Gluster, DistributeSpreadsByHash) {
   for (int i = 0; i < 200; ++i) {
     const std::string p = "f" + std::to_string(i);
     w.run(fs.write(0, p, 1_MB));
-    owners[fs.layout().locate(p)]++;
+    owners[fs.layout().locate(w.sim.files().find(p))]++;
   }
   for (int o : owners) EXPECT_GT(o, 20);
 }

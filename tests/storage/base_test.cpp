@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "simcore/file_id.hpp"
 #include "storage/base/lru_cache.hpp"
 #include "storage/base/path.hpp"
 #include "storage/base/storage_system.hpp"
@@ -39,49 +40,53 @@ TEST(PathUtils, BaseAndDirName) {
 
 // ---------------- LRU cache ----------------
 
+/// Shorthand for a dense FileId in cache unit tests.
+sim::FileId fid(std::uint32_t v) { return sim::FileId{v}; }
+
 TEST(LruCache, BasicPutTouch) {
   LruCache c{100};
-  c.put("a", 40);
-  c.put("b", 40);
-  EXPECT_TRUE(c.touch("a"));
-  EXPECT_FALSE(c.touch("zzz"));
+  c.put(fid(0), 40);
+  c.put(fid(1), 40);
+  EXPECT_TRUE(c.touch(fid(0)));
+  EXPECT_FALSE(c.touch(fid(99)));
+  EXPECT_FALSE(c.touch(sim::FileId{}));  // invalid id is never resident
   EXPECT_EQ(c.used(), 80);
   EXPECT_EQ(c.entryCount(), 2u);
 }
 
 TEST(LruCache, EvictsLeastRecent) {
   LruCache c{100};
-  c.put("a", 40);
-  c.put("b", 40);
-  c.touch("a");     // b is now LRU
-  c.put("c", 40);   // must evict b
-  EXPECT_TRUE(c.contains("a"));
-  EXPECT_FALSE(c.contains("b"));
-  EXPECT_TRUE(c.contains("c"));
+  c.put(fid(0), 40);
+  c.put(fid(1), 40);
+  c.touch(fid(0));    // 1 is now LRU
+  c.put(fid(2), 40);  // must evict 1
+  EXPECT_TRUE(c.contains(fid(0)));
+  EXPECT_FALSE(c.contains(fid(1)));
+  EXPECT_TRUE(c.contains(fid(2)));
   EXPECT_EQ(c.evictions(), 1u);
 }
 
 TEST(LruCache, OversizedObjectNotCached) {
   LruCache c{100};
-  c.put("big", 200);
-  EXPECT_FALSE(c.contains("big"));
+  c.put(fid(0), 200);
+  EXPECT_FALSE(c.contains(fid(0)));
   EXPECT_EQ(c.used(), 0);
 }
 
 TEST(LruCache, ReputUpdatesSize) {
   LruCache c{100};
-  c.put("a", 10);
-  c.put("a", 60);
+  c.put(fid(0), 10);
+  c.put(fid(0), 60);
   EXPECT_EQ(c.used(), 60);
   EXPECT_EQ(c.entryCount(), 1u);
 }
 
 TEST(LruCache, EraseAndClear) {
   LruCache c{100};
-  c.put("a", 10);
-  c.put("b", 10);
-  c.erase("a");
-  EXPECT_FALSE(c.contains("a"));
+  c.put(fid(0), 10);
+  c.put(fid(1), 10);
+  c.erase(fid(0));
+  EXPECT_FALSE(c.contains(fid(0)));
   EXPECT_EQ(c.used(), 10);
   c.clear();
   EXPECT_EQ(c.used(), 0);
@@ -91,25 +96,31 @@ TEST(LruCache, EraseAndClear) {
 // ---------------- file catalog ----------------
 
 TEST(FileCatalog, WriteOnceEnforced) {
+  sim::FileIdTable files;
   FileCatalog cat;
-  cat.create("x", 100, 0);
-  EXPECT_TRUE(cat.exists("x"));
-  EXPECT_EQ(cat.lookup("x").size, 100);
-  EXPECT_THROW(cat.create("x", 100, 1), std::logic_error);
-  EXPECT_THROW((void)cat.lookup("missing"), std::out_of_range);
+  cat.bind(files);
+  const sim::FileId x = files.intern("x");
+  cat.create(x, 100, 0);
+  EXPECT_TRUE(cat.exists(x));
+  EXPECT_EQ(cat.lookup(x).size, 100);
+  EXPECT_THROW(cat.create(x, 100, 1), std::logic_error);
+  EXPECT_THROW((void)cat.lookup(files.intern("missing")), std::out_of_range);
 }
 
 TEST(FileCatalog, ErrorsNameTheOffendingPath) {
+  sim::FileIdTable files;
   FileCatalog cat;
-  cat.create("data/m101.fits", 100, 0);
+  cat.bind(files);
+  const sim::FileId m101 = files.intern("data/m101.fits");
+  cat.create(m101, 100, 0);
   try {
-    cat.create("data/m101.fits", 100, 1);
+    cat.create(m101, 100, 1);
     FAIL() << "expected logic_error";
   } catch (const std::logic_error& e) {
     EXPECT_NE(std::string{e.what()}.find("data/m101.fits"), std::string::npos) << e.what();
   }
   try {
-    (void)cat.lookup("missing.dat");
+    (void)cat.lookup(files.intern("missing.dat"));
     FAIL() << "expected out_of_range";
   } catch (const std::out_of_range& e) {
     EXPECT_NE(std::string{e.what()}.find("missing.dat"), std::string::npos) << e.what();

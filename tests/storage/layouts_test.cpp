@@ -6,60 +6,84 @@
 #include <stdexcept>
 #include <string>
 
+#include "simcore/file_id.hpp"
+
 namespace wfs::storage {
 namespace {
 
 TEST(DistributeLayout, PlacementIsStable) {
-  DistributeLayout l{4};
+  sim::FileIdTable files;
+  DistributeLayout l{4, files};
   for (int i = 0; i < 100; ++i) {
-    const std::string p = "file_" + std::to_string(i);
-    const int a = l.place(p, 0);
-    const int b = l.place(p, 3);  // creator is irrelevant
+    const sim::FileId f = files.intern("file_" + std::to_string(i));
+    const int a = l.place(f, 0);
+    const int b = l.place(f, 3);  // creator is irrelevant
     EXPECT_EQ(a, b);
-    EXPECT_EQ(a, l.locate(p));
+    EXPECT_EQ(a, l.locate(f));
     EXPECT_GE(a, 0);
     EXPECT_LT(a, 4);
   }
 }
 
 TEST(DistributeLayout, UsesAllBricks) {
-  DistributeLayout l{4};
+  sim::FileIdTable files;
+  DistributeLayout l{4, files};
   std::set<int> used;
-  for (int i = 0; i < 200; ++i) used.insert(l.locate("f" + std::to_string(i)));
+  for (int i = 0; i < 200; ++i) {
+    used.insert(l.locate(files.intern("f" + std::to_string(i))));
+  }
   EXPECT_EQ(used.size(), 4u);
 }
 
+TEST(DistributeLayout, PlacementMatchesPathHash) {
+  // DHT placement must keep using the path's FNV-1a hash (cached in the
+  // intern table), so interning cannot move any file to a different brick.
+  sim::FileIdTable files;
+  DistributeLayout l{7, files};
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    const sim::FileId f = files.intern(name);
+    EXPECT_EQ(l.locate(f), static_cast<int>(files.hash(f) % 7u));
+  }
+}
+
 TEST(NufaLayout, PlacesOnCreator) {
-  NufaLayout l{4};
-  EXPECT_EQ(l.place("x", 2), 2);
-  EXPECT_EQ(l.locate("x"), 2);
+  sim::FileIdTable files;
+  NufaLayout l{4, files};
+  const sim::FileId x = files.intern("x");
+  EXPECT_EQ(l.place(x, 2), 2);
+  EXPECT_EQ(l.locate(x), 2);
 }
 
 TEST(NufaLayout, PreStagedSpreadByHash) {
-  NufaLayout l{4};
+  sim::FileIdTable files;
+  NufaLayout l{4, files};
   std::set<int> used;
   for (int i = 0; i < 200; ++i) {
-    used.insert(l.place("in_" + std::to_string(i), -1));
+    used.insert(l.place(files.intern("in_" + std::to_string(i)), -1));
   }
   EXPECT_EQ(used.size(), 4u);
 }
 
 TEST(NufaLayout, LocateUnknownThrows) {
-  NufaLayout l{4};
-  EXPECT_THROW((void)l.locate("never-placed"), std::out_of_range);
+  sim::FileIdTable files;
+  NufaLayout l{4, files};
+  EXPECT_THROW((void)l.locate(files.intern("never-placed")), std::out_of_range);
+  EXPECT_THROW((void)l.locate(sim::FileId{}), std::out_of_range);
 }
 
 class LayoutBrickCount : public ::testing::TestWithParam<int> {};
 
 TEST_P(LayoutBrickCount, DistributeBalancesWithinFactorTwo) {
   const int n = GetParam();
-  DistributeLayout l{n};
+  sim::FileIdTable files;
+  DistributeLayout l{n, files};
   std::vector<int> counts(static_cast<std::size_t>(n), 0);
-  const int files = 400 * n;
-  for (int i = 0; i < files; ++i) {
-    counts[static_cast<std::size_t>(l.locate("f" + std::to_string(i)))]++;
+  const int total = 400 * n;
+  for (int i = 0; i < total; ++i) {
+    counts[static_cast<std::size_t>(l.locate(files.intern("f" + std::to_string(i))))]++;
   }
-  const int expect = files / n;
+  const int expect = total / n;
   for (int c : counts) {
     EXPECT_GT(c, expect / 2);
     EXPECT_LT(c, expect * 2);

@@ -26,7 +26,8 @@ class RecordingLayer final : public IoLayer {
 
  protected:
   sim::Task<void> process(Op& op) override {
-    log_->push_back(tag_ + (op.kind == OpKind::kRead ? ":read:" : ":write:") + op.path);
+    log_->push_back(tag_ + (op.kind == OpKind::kRead ? ":read:" : ":write:") +
+                    sim_->files().name(op.file));
     if (next_ != nullptr) {
       auto fwd = forward(op);
       co_await std::move(fwd);
@@ -141,9 +142,10 @@ TEST(LayerStackOrder, DiscardControlEvictsCachedEntry) {
   LayerStack stack{w.sim, metrics, std::move(layers)};
   w.run(stack.write(0, "x", 1_MB));
   auto& cache = static_cast<LruCacheLayer&>(*stack.layer(0));
-  EXPECT_TRUE(cache.cached("x"));
+  const sim::FileId x = w.sim.files().find("x");
+  EXPECT_TRUE(cache.cached(x));
   stack.discard(0, "x");
-  EXPECT_FALSE(cache.cached("x"));
+  EXPECT_FALSE(cache.cached(x));
   // The discard itself is ledgered on every layer it traversed.
   const LayerMetrics* lm = metrics.findLayer("performance/io-cache");
   ASSERT_NE(lm, nullptr);

@@ -75,7 +75,7 @@ TEST(SchedulerEdge, DataAwareRoutesConsumersToProducers) {
   tc.add({"consume", 1.0});
   ReplicaCatalog rc;
   Planner planner{tc, rc, SiteCatalog{}};
-  const auto exec = planner.plan(awf);
+  auto exec = planner.plan(awf);
 
   Scheduler sched{w.sim, {2, 2, 2, 2}, Scheduler::Policy::kDataAware, &fs};
   std::vector<sim::Resource*> mems;
@@ -124,7 +124,7 @@ TEST(SchedulerEdge, BlindSchedulingCausesPulls) {
   tc.add({"consume", 1.0});
   ReplicaCatalog rc;
   Planner planner{tc, rc, SiteCatalog{}};
-  const auto exec = planner.plan(awf);
+  auto exec = planner.plan(awf);
   Scheduler sched{w.sim, {2, 2, 2, 2}, Scheduler::Policy::kFifo};
   std::vector<sim::Resource*> mems;
   std::vector<std::unique_ptr<sim::Resource>> owned;

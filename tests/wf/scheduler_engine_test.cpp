@@ -106,7 +106,7 @@ TEST(Engine, ExecutesDagRespectingDependenciesAndSlots) {
   MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
   storage::LocalFs fs{w.sim, w.nodes};
   fs.preload("in.dat", 100_MB);
-  const auto exec = smallWorkflow();
+  auto exec = smallWorkflow();
   Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
   sim::Resource mem{w.sim, 7_GB, "mem"};
   prof::WfProf prof;
@@ -140,7 +140,7 @@ TEST(Engine, MemoryLimitThrottlesParallelism) {
   tc.add({"hog", 1.0});
   ReplicaCatalog rc;
   Planner p{tc, rc, SiteCatalog{}};
-  const auto exec = p.plan(awf);
+  auto exec = p.plan(awf);
   Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
   sim::Resource mem{w.sim, 7_GB, "mem"};
   DagmanEngine engine{w.sim, exec, fs, sched, {&mem}, nullptr, DagmanEngine::Options{}};
@@ -152,7 +152,7 @@ TEST(Engine, FasterCoresShortenCompute) {
   MiniCluster w{{.nodes = 1, .zeroDiskOverheads = true}};
   storage::LocalFs fs{w.sim, w.nodes};
   fs.preload("in.dat", 100_MB);
-  const auto exec = smallWorkflow();
+  auto exec = smallWorkflow();
   Scheduler sched{w.sim, {8}, Scheduler::Policy::kFifo};
   sim::Resource mem{w.sim, 7_GB, "mem"};
   DagmanEngine::Options opt;
