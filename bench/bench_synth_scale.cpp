@@ -1,0 +1,48 @@
+// M2: synthetic-workflow scaling (google-benchmark). Guards the two costs
+// the generator was built to keep flat: DAG construction itself (interned
+// FileIds + up-front reserve, so 10^5-10^6 tasks stay allocation-lean) and
+// one full end-to-end simulation of a 10^5-task layered workflow — the
+// "can the engine take an externally-sized workload" probe tracked in
+// BENCH_6.json (see EXPERIMENTS.md §11).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "simcore/rng.hpp"
+#include "wf/synth/generate.hpp"
+#include "wf/synth/spec.hpp"
+
+namespace {
+
+using namespace wfs;
+
+void BM_SynthGenerate(benchmark::State& state) {
+  const wf::synth::SynthSpec spec = wf::synth::SynthSpec::parse(
+      "layered:tasks=" + std::to_string(state.range(0)) + ",fanin=2");
+  for (auto _ : state) {
+    sim::Rng rng;
+    wf::AbstractWorkflow awf = wf::synth::makeSynthetic(spec, rng);
+    benchmark::DoNotOptimize(awf.dag.jobCount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SynthGenerate)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_SynthRunLayered100k(benchmark::State& state) {
+  analysis::ExperimentConfig cfg;
+  cfg.source = analysis::WorkflowSource::kSynthetic;
+  cfg.synthSpec = "layered:tasks=100000,width=317,fanin=2,mix=balanced,cpu=10,file=16MB";
+  cfg.storage = analysis::StorageKind::kNfs;
+  cfg.workerNodes = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::runExperiment(cfg).makespanSeconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);  // tasks simulated
+}
+BENCHMARK(BM_SynthRunLayered100k)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

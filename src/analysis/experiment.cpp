@@ -1,5 +1,6 @@
 #include "analysis/experiment.hpp"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -21,7 +22,9 @@
 #include "storage/s3/s3_fs.hpp"
 #include "storage/xtreemfs/xtreem_fs.hpp"
 #include "wf/engine.hpp"
+#include "wf/import/wfcommons.hpp"
 #include "wf/planner.hpp"
+#include "wf/synth/generate.hpp"
 
 namespace wfs::analysis {
 
@@ -30,6 +33,15 @@ const char* toString(App app) {
     case App::kMontage: return "montage";
     case App::kBroadband: return "broadband";
     case App::kEpigenome: return "epigenome";
+  }
+  return "?";
+}
+
+const char* toString(WorkflowSource source) {
+  switch (source) {
+    case WorkflowSource::kBuiltinApp: return "app";
+    case WorkflowSource::kImportedTrace: return "workflow";
+    case WorkflowSource::kSynthetic: return "synth";
   }
   return "?";
 }
@@ -76,10 +88,37 @@ wf::AbstractWorkflow makeApp(App app, double scale, sim::Rng& rng,
   throw std::logic_error("unknown app");
 }
 
+/// Source dispatch: every path yields an AbstractWorkflow plus a fully
+/// populated transformation catalog (the Planner rejects any job whose
+/// transformation the catalog doesn't know).
+wf::AbstractWorkflow makeWorkflow(const ExperimentConfig& cfg, sim::Rng& rng,
+                                  wf::TransformationCatalog& tc) {
+  switch (cfg.source) {
+    case WorkflowSource::kBuiltinApp:
+      return makeApp(cfg.app, cfg.appScale, rng, tc);
+    case WorkflowSource::kImportedTrace: {
+      wf::AbstractWorkflow awf = wf::import::importWfCommonsFile(cfg.workflowFile);
+      wf::registerWorkflowTransformations(awf, tc);
+      return awf;
+    }
+    case WorkflowSource::kSynthetic: {
+      const wf::synth::SynthSpec spec = wf::synth::SynthSpec::parse(cfg.synthSpec);
+      wf::synth::registerSynthTransformations(tc);
+      return wf::synth::makeSynthetic(spec, rng);
+    }
+  }
+  throw std::logic_error("unknown workflow source");
+}
+
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   if (cfg.workerNodes < 1) throw std::invalid_argument("workerNodes must be >= 1");
+  if (cfg.source != WorkflowSource::kBuiltinApp && std::fabs(cfg.appScale - 1.0) > 0.0) {
+    throw std::invalid_argument(
+        "appScale applies only to built-in apps; imported/synthetic workflows fix "
+        "their own size");
+  }
   if ((cfg.storage == StorageKind::kLocal || cfg.storage == StorageKind::kEbs) &&
       cfg.workerNodes != 1) {
     throw std::invalid_argument("node-attached storage cannot share files across nodes");
@@ -170,7 +209,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   // --- Plan the workflow ---------------------------------------------------
   wf::TransformationCatalog tc;
   sim::Rng appRng = rng.fork();
-  const wf::AbstractWorkflow abstract = makeApp(cfg.app, cfg.appScale, appRng, tc);
+  const wf::AbstractWorkflow abstract = makeWorkflow(cfg, appRng, tc);
   wf::ReplicaCatalog rc;
   for (const auto& f : abstract.externalInputs) {
     rc.registerReplica(f.lfn, store->name());

@@ -11,6 +11,11 @@
 namespace wfs::analysis {
 
 enum class App { kMontage, kBroadband, kEpigenome };
+
+/// Where the workflow DAG comes from: one of the paper's three built-in
+/// applications, a WfCommons trace on disk, or the synthetic generator
+/// (docs/WORKFLOWS.md covers the latter two).
+enum class WorkflowSource { kBuiltinApp, kImportedTrace, kSynthetic };
 enum class StorageKind {
   kLocal,
   kS3,
@@ -27,11 +32,18 @@ enum class StorageKind {
 
 [[nodiscard]] const char* toString(App app);
 [[nodiscard]] const char* toString(StorageKind kind);
+[[nodiscard]] const char* toString(WorkflowSource source);
 
 /// One cell of the paper's experiment matrix: application x storage system
 /// x cluster size (Figs 2-7), plus the ablation knobs from DESIGN.md §3.
 struct ExperimentConfig {
   App app = App::kMontage;
+  /// kBuiltinApp runs `app`; kImportedTrace parses `workflowFile`;
+  /// kSynthetic generates `synthSpec`. The non-builtin sources fix their
+  /// own workload size, so they require appScale == 1.0.
+  WorkflowSource source = WorkflowSource::kBuiltinApp;
+  std::string workflowFile;  // WfCommons JSON trace path (kImportedTrace)
+  std::string synthSpec;     // canonical SPEC string (kSynthetic)
   StorageKind storage = StorageKind::kLocal;
   int workerNodes = 1;
   std::string workerType = "c1.xlarge";

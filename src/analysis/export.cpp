@@ -105,7 +105,18 @@ std::string cellJson(const SweepCellResult& cell) {
     out += "\":";
     out += value;
   };
-  field("app", jsonString(toString(cfg.app)));
+  // Built-in cells keep their historical "app" spelling so the reference
+  // JSONL stays byte-identical; the new sources add their own keys.
+  if (cfg.source == WorkflowSource::kBuiltinApp) {
+    field("app", jsonString(toString(cfg.app)));
+  } else {
+    field("app", jsonString(toString(cfg.source)));
+    if (cfg.source == WorkflowSource::kImportedTrace) {
+      field("workflow_file", jsonString(cfg.workflowFile));
+    } else {
+      field("synth_spec", jsonString(cfg.synthSpec));
+    }
+  }
   field("storage", jsonString(toString(cfg.storage)));
   field("nodes", std::to_string(cfg.workerNodes));
   field("worker_type", jsonString(cfg.workerType));
@@ -175,7 +186,9 @@ std::string metricsJsonl(const SweepCellResult& cell) {
     line += value;
   };
   auto cellKeys = [&cfg, &field](std::string& line) {
-    field(line, "app", jsonString(toString(cfg.app)));
+    field(line, "app",
+          jsonString(cfg.source == WorkflowSource::kBuiltinApp ? toString(cfg.app)
+                                                               : toString(cfg.source)));
     field(line, "storage", jsonString(toString(cfg.storage)));
     field(line, "nodes", std::to_string(cfg.workerNodes));
     field(line, "scale", jsonNumber(cfg.appScale));

@@ -8,7 +8,9 @@
 namespace wfs::analysis {
 
 std::string SweepCellResult::label() const {
-  return std::string(toString(config.app)) + "/" + toString(config.storage) + "/" +
+  const char* head = config.source == WorkflowSource::kBuiltinApp ? toString(config.app)
+                                                                  : toString(config.source);
+  return std::string(head) + "/" + toString(config.storage) + "/" +
          std::to_string(config.workerNodes) + "n/seed" + std::to_string(config.seed);
 }
 

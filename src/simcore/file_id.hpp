@@ -36,6 +36,12 @@ class FileIdTable {
   FileIdTable(const FileIdTable&) = delete;
   FileIdTable& operator=(const FileIdTable&) = delete;
 
+  /// Pre-sizes the lookup index for `expected` names. The deques need no
+  /// reservation (stable growth is their point); this only spares the
+  /// unordered_map its rehash cascade when a bulk builder is about to
+  /// intern 10^5+ paths.
+  void reserve(std::size_t expected) { lookup_.reserve(expected); }
+
   /// Returns the id for `name`, interning it on first sight.
   FileId intern(std::string_view name);
 

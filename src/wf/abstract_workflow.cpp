@@ -2,7 +2,16 @@
 
 #include <unordered_set>
 
+#include "wf/catalogs.hpp"
+
 namespace wfs::wf {
+
+void registerWorkflowTransformations(const AbstractWorkflow& awf, TransformationCatalog& tc) {
+  for (JobId id = 0; id < awf.dag.jobCount(); ++id) {
+    const std::string& tx = awf.dag.job(id).transformation;
+    if (!tc.has(tx)) tc.add({tx, 1.0});
+  }
+}
 
 Bytes AbstractWorkflow::finalOutputBytes() const {
   std::unordered_set<std::string> consumed;

@@ -7,6 +7,8 @@
 
 namespace wfs::wf {
 
+class TransformationCatalog;
+
 /// Resource-independent workflow description, as handed to the Pegasus
 /// mapper: jobs named by logical transformation, files by logical name,
 /// plus the externally supplied input data set.
@@ -26,5 +28,11 @@ struct AbstractWorkflow {
   /// final products — the paper's "output data (excluding temporary)".
   [[nodiscard]] Bytes finalOutputBytes() const;
 };
+
+/// Registers every transformation the workflow references (cpuFactor 1.0)
+/// that `tc` does not already know. The built-in apps hand-list their
+/// catalogs; imported traces name arbitrary executables, so their catalog
+/// is derived from the DAG instead.
+void registerWorkflowTransformations(const AbstractWorkflow& awf, TransformationCatalog& tc);
 
 }  // namespace wfs::wf

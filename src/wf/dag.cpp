@@ -7,6 +7,14 @@
 
 namespace wfs::wf {
 
+void Dag::reserve(int jobCapacity) {
+  if (jobCapacity <= 0) return;
+  const auto n = static_cast<std::size_t>(jobCapacity);
+  jobs_.reserve(n);
+  children_.reserve(n);
+  parents_.reserve(n);
+}
+
 JobId Dag::addJob(JobSpec spec) {
   const JobId id = static_cast<JobId>(jobs_.size());
   spec.id = id;

@@ -51,6 +51,11 @@ class Dag {
   JobId addJob(JobSpec spec);
   void addEdge(JobId parent, JobId child);
 
+  /// Preallocates the job and adjacency tables; bulk builders (trace import,
+  /// synthetic generation at 10^5-10^6 tasks) call this once up front so
+  /// addJob never regrows mid-construction.
+  void reserve(int jobCapacity);
+
   [[nodiscard]] const JobSpec& job(JobId id) const;
   [[nodiscard]] JobSpec& job(JobId id);
   [[nodiscard]] int jobCount() const { return static_cast<int>(jobs_.size()); }

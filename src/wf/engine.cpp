@@ -29,6 +29,9 @@ DagmanEngine::DagmanEngine(sim::Simulator& sim, ExecutableWorkflow& workflow,
   // Intern every logical file name once, up front; the run itself then
   // never hashes a path string again.
   sim::FileIdTable& files = sim.files();
+  // Most jobs mint one distinct output; pre-sizing by job count keeps the
+  // intern index from rehashing during 10^5+-task bulk binds.
+  files.reserve(files.size() + jobCount + workflow.externalInputs.size());
   auto internAll = [&files](std::vector<FileSpec>& specs) {
     for (FileSpec& f : specs) f.id = files.intern(f.lfn);
   };

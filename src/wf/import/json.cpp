@@ -1,0 +1,257 @@
+#include "wf/import/json.hpp"
+
+#include <cstdlib>
+
+namespace wfs::wf::import {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const Member& m : members) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_{doc} {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue(0);
+    skipWs();
+    if (pos_ != doc_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  /// Deep enough for any real trace; bounded so a pathological input dies
+  /// with one line instead of a stack overflow.
+  static constexpr int kMaxDepth = 96;
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < doc_.size(); ++i) {
+      if (doc_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError(line, col, reason);
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= doc_.size(); }
+  [[nodiscard]] char peek() const { return doc_[pos_]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c, const char* what) {
+    skipWs();
+    if (atEnd() || peek() != c) fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (atEnd() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expectLiteral(std::string_view lit) {
+    if (doc_.substr(pos_, lit.size()) != lit) {
+      fail("invalid token (expected '" + std::string(lit) + "')");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue parseValue(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 96 levels");
+    skipWs();
+    if (atEnd()) fail("unexpected end of input");
+    JsonValue v;
+    switch (peek()) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.text = parseString();
+        return v;
+      case 't':
+        expectLiteral("true");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        expectLiteral("false");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        expectLiteral("null");
+        v.kind = JsonValue::Kind::kNull;
+        return v;
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject(int depth) {
+    expect('{', "'{'");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    for (;;) {
+      skipWs();
+      if (atEnd() || peek() != '"') fail("expected object key string");
+      std::string key = parseString();
+      expect(':', "':' after object key");
+      v.members.emplace_back(std::move(key), parseValue(depth + 1));
+      if (consume('}')) return v;
+      expect(',', "',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray(int depth) {
+    expect('[', "'['");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    for (;;) {
+      v.items.push_back(parseValue(depth + 1));
+      if (consume(']')) return v;
+      expect(',', "',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    // Caller guarantees peek() == '"'.
+    ++pos_;
+    std::string out;
+    for (;;) {
+      if (atEnd()) fail("unterminated string");
+      const char c = doc_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (atEnd()) fail("unterminated escape sequence");
+      const char e = doc_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': appendUnicodeEscape(out); break;
+        default: --pos_; fail("unknown escape sequence");
+      }
+    }
+  }
+
+  unsigned parseHex4() {
+    if (pos_ + 4 > doc_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = doc_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void appendUnicodeEscape(std::string& out) {
+    unsigned code = parseHex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: need the pair
+      if (pos_ + 2 > doc_.size() || doc_[pos_] != '\\' || doc_[pos_ + 1] != 'u') {
+        fail("unpaired UTF-16 surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = parseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t n = 0;
+      while (!atEnd() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    if (!atEnd() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digit required after decimal point");
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("digit required in exponent");
+    }
+    // The slice is a valid JSON number by construction; strtod cannot fail
+    // (a NUL-terminated copy keeps it off doc_'s unterminated storage).
+    const std::string slice(doc_.substr(start, pos_ - start));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(slice.c_str(), nullptr);
+    return v;
+  }
+};
+
+}  // namespace
+
+JsonValue parseJson(std::string_view doc) { return Parser{doc}.parseDocument(); }
+
+}  // namespace wfs::wf::import

@@ -1,0 +1,67 @@
+#pragma once
+
+// Minimal deterministic JSON reader for trace ingestion.
+//
+// The repo takes no third-party dependencies, so the WfCommons importer
+// carries its own recursive-descent parser. Two properties matter more
+// than speed here and shaped the representation:
+//  * object members are kept as a *vector* of (key, value) pairs in source
+//    order — never an unordered map — so anything derived from a parsed
+//    document (task order, error messages, JSONL) is byte-deterministic
+//    (wfslint rule D2);
+//  * every parse failure carries the 1-based line:column of the offending
+//    byte, so an importer error is one actionable line, not a stack trace.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wfs::wf::import {
+
+/// Parse failure; `what()` is "<line>:<col>: <reason>".
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(int line, int col, const std::string& reason)
+      : std::runtime_error(std::to_string(line) + ":" + std::to_string(col) + ": " + reason),
+        line_{line},
+        col_{col} {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// One parsed JSON value. Numbers are stored as double (exact for the
+/// integer range |v| <= 2^53 — far beyond any real trace's byte counts;
+/// the importer re-checks integrality where it matters).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;    // kArray
+  std::vector<Member> members;     // kObject, in source order
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool isString() const { return kind == Kind::kString; }
+  [[nodiscard]] bool isNumber() const { return kind == Kind::kNumber; }
+
+  /// First member with `key`, or nullptr. Linear scan: trace objects have
+  /// a handful of members and the importer touches each at most once.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+/// Throws JsonError on malformed input.
+[[nodiscard]] JsonValue parseJson(std::string_view doc);
+
+}  // namespace wfs::wf::import

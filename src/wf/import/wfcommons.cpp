@@ -1,0 +1,337 @@
+#include "wf/import/wfcommons.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "wf/import/json.hpp"
+
+namespace wfs::wf::import {
+
+namespace {
+
+[[noreturn]] void bail(const std::string& source, const std::string& msg) {
+  throw ImportError(source + ": " + msg);
+}
+
+/// Sizes arrive as JSON numbers (doubles). Anything that is not an exact
+/// non-negative byte count is a trace bug we refuse to guess around.
+Bytes byteCount(double v, const std::string& ctx, const std::string& source) {
+  if (!std::isfinite(v) || v < 0.0) {
+    bail(source, ctx + ": size must be a finite non-negative number");
+  }
+  if (v > 9.0e15) {  // beyond double's exact-integer range; also ~9 PB
+    bail(source, ctx + ": size " + std::to_string(v) + " overflows the exact 2^53-byte range");
+  }
+  if (std::fabs(v - std::nearbyint(v)) > 0.0) {
+    bail(source, ctx + ": size must be a whole number of bytes");
+  }
+  return static_cast<Bytes>(v);
+}
+
+std::string stringMember(const JsonValue& obj, const char* key, const std::string& ctx,
+                         const std::string& source) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) bail(source, ctx + ": missing required field '" + key + "'");
+  if (!v->isString()) bail(source, ctx + ": field '" + key + "' must be a string");
+  return v->text;
+}
+
+/// Accumulates one task's file list, cross-checking sizes against every
+/// earlier mention of the same logical name anywhere in the trace.
+class FileTable {
+ public:
+  explicit FileTable(const std::string& source) : source_{source} {}
+
+  FileSpec make(const std::string& lfn, Bytes size, const std::string& ctx) {
+    if (lfn.empty()) bail(source_, ctx + ": file name must be non-empty");
+    auto [slot, inserted] = sizeByLfn_.try_emplace(lfn, size);
+    if (!inserted && slot->second != size) {
+      bail(source_, ctx + ": file '" + lfn + "' declared with conflicting sizes " +
+                        std::to_string(slot->second) + " and " + std::to_string(size));
+    }
+    return FileSpec{lfn, size, {}};
+  }
+
+ private:
+  const std::string& source_;
+  std::map<std::string, Bytes> sizeByLfn_;  // lookup + conflict detection only
+};
+
+/// Context shared by both schema shapes while tasks are being translated.
+struct ImportScratch {
+  const std::string& source;
+  FileTable files;
+  std::map<std::string, Bytes> externalSizeById;     // v1.4 specification.files
+  std::map<std::string, double> runtimeById;         // v1.4 execution.tasks
+  std::map<std::string, JobId> rowByTaskId;
+  std::vector<std::pair<JobId, std::string>> parentRefs;  // (child row, parent task id)
+
+  explicit ImportScratch(const std::string& src) : source{src}, files{src} {}
+};
+
+/// v1.0–1.3 file entry: {"link": "input"|"output", "name"|"id"|"file": lfn,
+/// "size"|"sizeInBytes": bytes}.
+void addLegacyFiles(const JsonValue& task, JobSpec& job, ImportScratch& sc,
+                    const std::string& ctx) {
+  const JsonValue* list = task.find("files");
+  if (list == nullptr) return;
+  if (!list->isArray()) bail(sc.source, ctx + ": field 'files' must be an array");
+  for (std::size_t i = 0; i < list->items.size(); ++i) {
+    const JsonValue& entry = list->items[i];
+    const std::string fctx = ctx + ", files[" + std::to_string(i) + "]";
+    if (!entry.isObject()) bail(sc.source, fctx + ": must be an object");
+    const std::string link = stringMember(entry, "link", fctx, sc.source);
+    const JsonValue* nameV = entry.find("name");
+    if (nameV == nullptr) nameV = entry.find("id");
+    if (nameV == nullptr) nameV = entry.find("file");
+    if (nameV == nullptr || !nameV->isString()) {
+      bail(sc.source, fctx + ": missing file name (need 'name', 'id', or 'file' string)");
+    }
+    const JsonValue* sizeV = entry.find("sizeInBytes");
+    if (sizeV == nullptr) sizeV = entry.find("size");
+    if (sizeV == nullptr || !sizeV->isNumber()) {
+      bail(sc.source, fctx + ": missing numeric 'size' / 'sizeInBytes'");
+    }
+    FileSpec f = sc.files.make(nameV->text, byteCount(sizeV->number, fctx, sc.source), fctx);
+    if (link == "input") {
+      job.inputs.push_back(std::move(f));
+    } else if (link == "output") {
+      job.outputs.push_back(std::move(f));
+    } else {
+      bail(sc.source, fctx + ": link must be 'input' or 'output', got '" + link + "'");
+    }
+  }
+}
+
+/// v1.4+ file references: arrays of string ids resolved against
+/// workflow.specification.files.
+void addReferencedFiles(const JsonValue& task, const char* key, std::vector<FileSpec>& dest,
+                        ImportScratch& sc, const std::string& ctx) {
+  const JsonValue* list = task.find(key);
+  if (list == nullptr) return;
+  if (!list->isArray()) bail(sc.source, ctx + ": field '" + key + "' must be an array");
+  for (const JsonValue& ref : list->items) {
+    if (!ref.isString()) bail(sc.source, ctx + ": entries of '" + key + "' must be file-id strings");
+    const auto sizeIt = sc.externalSizeById.find(ref.text);
+    if (sizeIt == sc.externalSizeById.end()) {
+      bail(sc.source, ctx + ": file '" + ref.text +
+                          "' is not declared in workflow.specification.files");
+    }
+    dest.push_back(sc.files.make(ref.text, sizeIt->second, ctx));
+  }
+}
+
+/// One task object (either shape) -> one Dag job plus pending parent refs.
+void importTask(const JsonValue& task, std::size_t index, Dag& dag, ImportScratch& sc) {
+  std::string ctx = "task [" + std::to_string(index) + "]";
+  if (!task.isObject()) bail(sc.source, ctx + ": must be an object");
+  // Identity: "id" when present (v1.3+ instances, v1.4 spec tasks), else
+  // "name" (early 1.x traces); either alone is enough.
+  std::string taskName;
+  if (const JsonValue* nameV = task.find("name"); nameV != nullptr) {
+    if (!nameV->isString()) bail(sc.source, ctx + ": field 'name' must be a string");
+    taskName = nameV->text;
+  }
+  std::string taskId;
+  if (const JsonValue* idV = task.find("id"); idV != nullptr) {
+    if (!idV->isString()) bail(sc.source, ctx + ": field 'id' must be a string");
+    taskId = idV->text;
+  }
+  if (taskId.empty()) taskId = taskName;
+  if (taskName.empty()) taskName = taskId;
+  if (taskId.empty()) bail(sc.source, ctx + ": missing required field 'name' (or 'id')");
+  ctx = "task '" + taskId + "'";
+
+  JobSpec job;
+  job.name = taskId;
+  const JsonValue* catV = task.find("category");
+  if (catV != nullptr && catV->isString() && !catV->text.empty()) {
+    job.transformation = catV->text;
+  } else {
+    job.transformation = taskName;
+  }
+
+  const JsonValue* rtV = task.find("runtimeInSeconds");
+  if (rtV == nullptr) rtV = task.find("runtime");
+  if (rtV != nullptr) {
+    if (!rtV->isNumber()) bail(sc.source, ctx + ": runtime must be a number");
+    job.cpuSeconds = rtV->number;
+  } else {
+    const auto execIt = sc.runtimeById.find(taskId);
+    if (execIt == sc.runtimeById.end()) {
+      bail(sc.source, ctx + ": no runtime (need task 'runtime'/'runtimeInSeconds' or a "
+                          "workflow.execution.tasks entry)");
+    }
+    job.cpuSeconds = execIt->second;
+  }
+  if (!std::isfinite(job.cpuSeconds) || job.cpuSeconds < 0.0) {
+    bail(sc.source, ctx + ": runtime must be finite and >= 0");
+  }
+
+  const JsonValue* memBytesV = task.find("memoryInBytes");
+  if (memBytesV != nullptr) {
+    if (!memBytesV->isNumber()) bail(sc.source, ctx + ": memoryInBytes must be a number");
+    job.peakMemory = byteCount(memBytesV->number, ctx + " memoryInBytes", sc.source);
+  } else if (const JsonValue* memKbV = task.find("memory"); memKbV != nullptr) {
+    // Legacy schemas record resident set in KB.
+    if (!memKbV->isNumber()) bail(sc.source, ctx + ": memory must be a number");
+    job.peakMemory = byteCount(memKbV->number, ctx + " memory", sc.source) * 1024;
+  }
+
+  addLegacyFiles(task, job, sc, ctx);
+  addReferencedFiles(task, "inputFiles", job.inputs, sc, ctx);
+  addReferencedFiles(task, "outputFiles", job.outputs, sc, ctx);
+
+  const JsonValue* parentsV = task.find("parents");
+  std::vector<std::string> parentIds;
+  if (parentsV != nullptr) {
+    if (!parentsV->isArray()) bail(sc.source, ctx + ": field 'parents' must be an array");
+    for (const JsonValue& p : parentsV->items) {
+      if (!p.isString()) bail(sc.source, ctx + ": parents entries must be task-id strings");
+      if (p.text == taskId) bail(sc.source, ctx + ": lists itself as a parent");
+      parentIds.push_back(p.text);
+    }
+  }
+
+  const JobId row = dag.addJob(std::move(job));
+  if (!sc.rowByTaskId.try_emplace(taskId, row).second) {
+    bail(sc.source, "duplicate task id '" + taskId + "'");
+  }
+  for (std::string& pid : parentIds) sc.parentRefs.emplace_back(row, std::move(pid));
+}
+
+/// workflow.specification.files: [{"id": ..., "sizeInBytes": ...}].
+void loadSpecificationFiles(const JsonValue& spec, ImportScratch& sc) {
+  const JsonValue* list = spec.find("files");
+  if (list == nullptr) return;
+  if (!list->isArray()) bail(sc.source, "workflow.specification.files must be an array");
+  for (std::size_t i = 0; i < list->items.size(); ++i) {
+    const JsonValue& entry = list->items[i];
+    const std::string fctx = "specification.files[" + std::to_string(i) + "]";
+    if (!entry.isObject()) bail(sc.source, fctx + ": must be an object");
+    const std::string fileId = stringMember(entry, "id", fctx, sc.source);
+    const JsonValue* sizeV = entry.find("sizeInBytes");
+    if (sizeV == nullptr) sizeV = entry.find("size");
+    if (sizeV == nullptr || !sizeV->isNumber()) {
+      bail(sc.source, fctx + " ('" + fileId + "'): missing numeric 'sizeInBytes'");
+    }
+    const Bytes size = byteCount(sizeV->number, fctx + " ('" + fileId + "')", sc.source);
+    if (!sc.externalSizeById.try_emplace(fileId, size).second) {
+      bail(sc.source, fctx + ": duplicate file id '" + fileId + "'");
+    }
+  }
+}
+
+/// workflow.execution.tasks: [{"id": ..., "runtimeInSeconds": ...}].
+void loadExecutionRuntimes(const JsonValue& workflow, ImportScratch& sc) {
+  const JsonValue* exec = workflow.find("execution");
+  if (exec == nullptr || !exec->isObject()) return;
+  const JsonValue* list = exec->find("tasks");
+  if (list == nullptr || !list->isArray()) return;
+  for (std::size_t i = 0; i < list->items.size(); ++i) {
+    const JsonValue& entry = list->items[i];
+    const std::string ectx = "execution.tasks[" + std::to_string(i) + "]";
+    if (!entry.isObject()) bail(sc.source, ectx + ": must be an object");
+    const std::string taskRef = stringMember(entry, "id", ectx, sc.source);
+    const JsonValue* rtV = entry.find("runtimeInSeconds");
+    if (rtV == nullptr) rtV = entry.find("runtime");
+    if (rtV == nullptr || !rtV->isNumber()) {
+      bail(sc.source, ectx + " ('" + taskRef + "'): missing numeric 'runtimeInSeconds'");
+    }
+    if (!sc.runtimeById.try_emplace(taskRef, rtV->number).second) {
+      bail(sc.source, ectx + ": duplicate execution entry for task '" + taskRef + "'");
+    }
+  }
+}
+
+}  // namespace
+
+AbstractWorkflow importWfCommons(std::string_view jsonText, const std::string& source) {
+  JsonValue root;
+  try {
+    root = parseJson(jsonText);
+  } catch (const JsonError& e) {
+    bail(source, std::string("invalid JSON at ") + e.what());
+  }
+  if (!root.isObject()) bail(source, "top-level JSON value must be an object");
+  const JsonValue* workflow = root.find("workflow");
+  if (workflow == nullptr || !workflow->isObject()) {
+    bail(source, "missing required 'workflow' object");
+  }
+
+  ImportScratch sc{source};
+  loadExecutionRuntimes(*workflow, sc);
+
+  // Locate the task list: v1.0-1.3 keeps it at workflow.tasks, v1.4+ under
+  // workflow.specification.tasks (with a file table alongside).
+  const JsonValue* taskList = workflow->find("tasks");
+  if (const JsonValue* spec = workflow->find("specification");
+      spec != nullptr && spec->isObject()) {
+    loadSpecificationFiles(*spec, sc);
+    if (taskList == nullptr) taskList = spec->find("tasks");
+  }
+  if (taskList == nullptr || !taskList->isArray()) {
+    bail(source, "no task list (need workflow.tasks or workflow.specification.tasks)");
+  }
+  if (taskList->items.empty()) bail(source, "workflow contains no tasks");
+
+  AbstractWorkflow awf;
+  if (const JsonValue* nameV = root.find("name"); nameV != nullptr && nameV->isString()) {
+    awf.name = nameV->text;
+  } else {
+    awf.name = std::filesystem::path(source).stem().string();
+  }
+
+  for (std::size_t i = 0; i < taskList->items.size(); ++i) {
+    importTask(taskList->items[i], i, awf.dag, sc);
+  }
+
+  // Explicit parent edges, resolved now that every task id is known.
+  for (const auto& [childRow, parentId] : sc.parentRefs) {
+    const auto parentIt = sc.rowByTaskId.find(parentId);
+    if (parentIt == sc.rowByTaskId.end()) {
+      bail(source, "task '" + awf.dag.job(childRow).name + "': unknown parent '" + parentId + "'");
+    }
+    awf.dag.addEdge(parentIt->second, childRow);
+  }
+
+  // External inputs = every input no task produces, in first-appearance
+  // order (deterministic across identical traces).
+  std::map<std::string, bool> produced;  // lookup only
+  for (JobId row = 0; row < awf.dag.jobCount(); ++row) {
+    for (const FileSpec& f : awf.dag.job(row).outputs) produced.try_emplace(f.lfn, true);
+  }
+  std::map<std::string, bool> claimed;  // dedupe across consumers
+  for (JobId row = 0; row < awf.dag.jobCount(); ++row) {
+    for (const FileSpec& f : awf.dag.job(row).inputs) {
+      if (!produced.contains(f.lfn) && claimed.try_emplace(f.lfn, true).second) {
+        awf.externalInputs.push_back(f);
+      }
+    }
+  }
+
+  try {
+    awf.finalize();
+  } catch (const std::logic_error& e) {
+    bail(source, e.what());
+  }
+  if (!awf.dag.isAcyclic()) {
+    bail(source, "tasks form a dependency cycle (check 'parents' lists and file flow)");
+  }
+  return awf;
+}
+
+AbstractWorkflow importWfCommonsFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ImportError(path + ": cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw ImportError(path + ": read error");
+  return importWfCommons(buf.str(), path);
+}
+
+}  // namespace wfs::wf::import

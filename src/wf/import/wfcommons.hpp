@@ -1,0 +1,46 @@
+#pragma once
+
+// WfCommons / WorkflowHub trace ingestion.
+//
+// Parses the WfCommons JSON trace format (schema v1.x, the common
+// interchange format of WorkflowHub 2020 / WfCommons 2021) into a
+// wfs::wf::AbstractWorkflow, so any published execution trace can run
+// through the same planner/engine/storage pipeline as the three built-in
+// paper applications. The exact subset of the schema we honor — and the
+// fields we deliberately ignore — is documented in docs/WORKFLOWS.md.
+//
+// Design rules:
+//  * strict validation with actionable one-line errors (`ImportError`):
+//    every message names the source and the offending task/file/value;
+//  * deterministic output: tasks keep trace order, derived structures are
+//    order-preserving (no unordered iteration), so the same bytes in
+//    always produce the same DAG out;
+//  * both the v1.0–1.3 shape (workflow.tasks[].files[]) and the v1.4+
+//    split shape (workflow.specification.tasks[] + specification.files[]
+//    + execution.tasks[] runtimes) are accepted.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "wf/abstract_workflow.hpp"
+
+namespace wfs::wf::import {
+
+/// Trace rejection; `what()` is one line: "<source>: <problem>".
+class ImportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a WfCommons JSON document. `source` labels error messages
+/// (typically the file name). Throws ImportError on any malformed,
+/// inconsistent, or cyclic input.
+[[nodiscard]] AbstractWorkflow importWfCommons(std::string_view jsonText,
+                                               const std::string& source);
+
+/// Reads `path` and imports it; "cannot open"/read errors also surface as
+/// ImportError so the CLI can report one line.
+[[nodiscard]] AbstractWorkflow importWfCommonsFile(const std::string& path);
+
+}  // namespace wfs::wf::import

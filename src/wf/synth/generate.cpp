@@ -1,0 +1,163 @@
+#include "wf/synth/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wfs::wf::synth {
+
+namespace {
+
+constexpr const char* kSrcTx = "synth_src";
+constexpr const char* kStageTx = "synth_stage";
+constexpr const char* kSinkTx = "synth_sink";
+
+/// Output LFN of task `t`; short on purpose — at 10^6 tasks the intern
+/// table stores every one of these.
+std::string taskFile(int t) { return "synth/f_" + std::to_string(t); }
+
+double drawCpu(const SynthSpec& spec, sim::Rng& cpuRng) {
+  return spec.cpuSeconds * cpuRng.uniform(0.5, 1.5);
+}
+
+Bytes drawSize(const SynthSpec& spec, sim::Rng& sizeRng) {
+  const double v = static_cast<double>(spec.fileBytes) * sizeRng.uniform(0.5, 1.5);
+  return std::max<Bytes>(1, static_cast<Bytes>(std::llround(v)));
+}
+
+JobSpec baseJob(int t, const char* tx, const SynthSpec& spec, sim::Rng& cpuRng) {
+  JobSpec j;
+  j.name = std::string(tx) + "_" + std::to_string(t);
+  j.transformation = tx;
+  j.cpuSeconds = drawCpu(spec, cpuRng);
+  return j;
+}
+
+}  // namespace
+
+AbstractWorkflow makeSynthetic(const SynthSpec& spec, sim::Rng& rng) {
+  // One child stream per concern: topology choices can never shift the
+  // runtime/size draws, so e.g. layered:fanin=2 and fanin=3 agree on every
+  // task's runtime.
+  sim::Rng topoRng = rng.fork();
+  sim::Rng cpuRng = rng.fork();
+  sim::Rng sizeRng = rng.fork();
+
+  AbstractWorkflow awf;
+  awf.name = spec.canonical();
+  const FileSpec stagedInput{"synth/in", spec.fileBytes, {}};
+  awf.externalInputs.push_back(stagedInput);
+
+  Dag& dag = awf.dag;
+  dag.reserve(spec.tasks);
+
+  switch (spec.topology) {
+    case SynthSpec::Topology::kChain: {
+      for (int t = 0; t < spec.tasks; ++t) {
+        const char* tx = t == 0 ? kSrcTx : (t == spec.tasks - 1 ? kSinkTx : kStageTx);
+        JobSpec j = baseJob(t, tx, spec, cpuRng);
+        j.inputs = {t == 0 ? stagedInput : dag.job(t - 1).outputs.front()};
+        j.outputs = {{taskFile(t), drawSize(spec, sizeRng), {}}};
+        dag.addJob(std::move(j));
+      }
+      break;
+    }
+    case SynthSpec::Topology::kFanout: {
+      JobSpec src = baseJob(0, kSrcTx, spec, cpuRng);
+      src.inputs = {stagedInput};
+      src.outputs = {{taskFile(0), drawSize(spec, sizeRng), {}}};
+      const FileSpec rootFile = src.outputs.front();
+      dag.addJob(std::move(src));
+      for (int t = 1; t <= spec.width; ++t) {
+        JobSpec j = baseJob(t, kSinkTx, spec, cpuRng);
+        j.inputs = {rootFile};
+        j.outputs = {{taskFile(t), drawSize(spec, sizeRng), {}}};
+        dag.addJob(std::move(j));
+      }
+      break;
+    }
+    case SynthSpec::Topology::kFanin: {
+      JobSpec sink = baseJob(spec.width, kSinkTx, spec, cpuRng);
+      sink.inputs.reserve(static_cast<std::size_t>(spec.width));
+      for (int t = 0; t < spec.width; ++t) {
+        JobSpec j = baseJob(t, kSrcTx, spec, cpuRng);
+        j.inputs = {stagedInput};
+        j.outputs = {{taskFile(t), drawSize(spec, sizeRng), {}}};
+        sink.inputs.push_back(j.outputs.front());
+        dag.addJob(std::move(j));
+      }
+      sink.outputs = {{taskFile(spec.width), drawSize(spec, sizeRng), {}}};
+      dag.addJob(std::move(sink));
+      break;
+    }
+    case SynthSpec::Topology::kDiamond: {
+      JobSpec src = baseJob(0, kSrcTx, spec, cpuRng);
+      src.inputs = {stagedInput};
+      src.outputs = {{taskFile(0), drawSize(spec, sizeRng), {}}};
+      const FileSpec rootFile = src.outputs.front();
+      dag.addJob(std::move(src));
+      JobSpec sink = baseJob(spec.width + 1, kSinkTx, spec, cpuRng);
+      sink.inputs.reserve(static_cast<std::size_t>(spec.width));
+      for (int t = 1; t <= spec.width; ++t) {
+        JobSpec j = baseJob(t, kStageTx, spec, cpuRng);
+        j.inputs = {rootFile};
+        j.outputs = {{taskFile(t), drawSize(spec, sizeRng), {}}};
+        sink.inputs.push_back(j.outputs.front());
+        dag.addJob(std::move(j));
+      }
+      sink.outputs = {{taskFile(spec.width + 1), drawSize(spec, sizeRng), {}}};
+      dag.addJob(std::move(sink));
+      break;
+    }
+    case SynthSpec::Topology::kLayered: {
+      // Row-major layers of `width`, last layer possibly ragged. Each task
+      // past layer 0 reads one deterministic stride parent plus fanin-1
+      // random draws from the previous layer (deduped).
+      int layerStart = 0;
+      int prevStart = 0;
+      int prevCount = 0;
+      for (int t = 0; t < spec.tasks; ++t) {
+        const int j = t - layerStart;
+        if (j == spec.width) {
+          prevStart = layerStart;
+          prevCount = spec.width;
+          layerStart = t;
+        }
+        const int col = t - layerStart;
+        const bool lastLayer = layerStart + spec.width >= spec.tasks;
+        const char* tx = layerStart == 0 ? kSrcTx : (lastLayer ? kSinkTx : kStageTx);
+        JobSpec job = baseJob(t, tx, spec, cpuRng);
+        if (layerStart == 0) {
+          job.inputs = {stagedInput};
+        } else {
+          std::vector<int> parentRows;
+          parentRows.reserve(static_cast<std::size_t>(spec.fanin));
+          parentRows.push_back(prevStart + col % prevCount);
+          for (int d = 1; d < spec.fanin; ++d) {
+            const int pick =
+                prevStart + static_cast<int>(topoRng.uniformInt(0, prevCount - 1));
+            if (std::find(parentRows.begin(), parentRows.end(), pick) == parentRows.end()) {
+              parentRows.push_back(pick);
+            }
+          }
+          job.inputs.reserve(parentRows.size());
+          for (const int p : parentRows) job.inputs.push_back(dag.job(p).outputs.front());
+        }
+        job.outputs = {{taskFile(t), drawSize(spec, sizeRng), {}}};
+        dag.addJob(std::move(job));
+      }
+      break;
+    }
+  }
+
+  awf.finalize();
+  return awf;
+}
+
+void registerSynthTransformations(TransformationCatalog& tc) {
+  for (const char* tx : {kSrcTx, kStageTx, kSinkTx}) tc.add({tx, 1.0});
+}
+
+}  // namespace wfs::wf::synth

@@ -1,0 +1,32 @@
+#pragma once
+
+// Seeded synthetic DAG generator.
+//
+// Turns a resolved SynthSpec into an AbstractWorkflow the same way the
+// built-in paper apps do: jobs named per instance, transformations drawn
+// from a tiny fixed catalog (synth_src / synth_stage / synth_sink), file
+// flow finalized into dependency edges. Determinism contract: equal
+// (spec.canonical(), seed) pairs generate byte-identical workflows —
+// runtimes and file sizes are jittered from forked child streams so no
+// topology choice can perturb the size draws.
+//
+// Built to scale: Dag::reserve() preallocates the job/adjacency tables, so
+// a layered 10^6-task DAG constructs without vector regrowth (ROADMAP
+// item 5's scale probe; see bench/bench_synth_scale.cpp).
+
+#include "simcore/rng.hpp"
+#include "wf/abstract_workflow.hpp"
+#include "wf/catalogs.hpp"
+#include "wf/synth/spec.hpp"
+
+namespace wfs::wf::synth {
+
+/// Generates the workflow described by `spec`. `rng` is forked per concern
+/// (topology / runtimes / sizes); pass a stream forked from the experiment
+/// seed, never a literal.
+[[nodiscard]] AbstractWorkflow makeSynthetic(const SynthSpec& spec, sim::Rng& rng);
+
+/// Registers the three synthetic transformations in `tc`.
+void registerSynthTransformations(TransformationCatalog& tc);
+
+}  // namespace wfs::wf::synth

@@ -1,0 +1,285 @@
+#include "wf/synth/spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace wfs::wf::synth {
+
+namespace {
+
+constexpr int kMaxTasks = 2'000'000;
+/// Fan hubs get O(width^2) edge-dedup work in Dag::addEdge; layered specs
+/// scale to millions of tasks, so wide one-hub topologies are capped.
+constexpr int kMaxFanWidth = 10'000;
+
+[[noreturn]] void reject(const std::string& msg) { throw SynthError(msg); }
+
+long long parseCount(std::string_view value, const std::string& key) {
+  const std::string copy(value);
+  char* end = nullptr;
+  const long long v = std::strtoll(copy.c_str(), &end, 10);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    reject(key + " expects an integer, got '" + copy + "'");
+  }
+  return v;
+}
+
+double parseSeconds(std::string_view value) {
+  const std::string copy(value);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size() || !std::isfinite(v) || v <= 0.0) {
+    reject("cpu expects a positive number of seconds, got '" + copy + "'");
+  }
+  return v;
+}
+
+Bytes parseSize(std::string_view value) {
+  Bytes unit = 1;
+  std::string_view digits = value;
+  if (value.size() > 2) {
+    const std::string_view suffix = value.substr(value.size() - 2);
+    if (suffix == "KB") unit = 1000;
+    if (suffix == "MB") unit = 1000 * 1000;
+    if (suffix == "GB") unit = 1000 * 1000 * 1000;
+    if (unit != 1) digits = value.substr(0, value.size() - 2);
+  }
+  const std::string copy(digits);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size() || !std::isfinite(v) || v <= 0.0) {
+    reject("file expects a positive size (optionally suffixed KB/MB/GB), got '" +
+           std::string(value) + "'");
+  }
+  const double scaled = v * static_cast<double>(unit);
+  if (scaled > 9.0e15) reject("file size '" + std::string(value) + "' is implausibly large");
+  const Bytes rounded = static_cast<Bytes>(std::llround(scaled));
+  if (rounded < 1) reject("file size '" + std::string(value) + "' rounds below one byte");
+  return rounded;
+}
+
+const char* topologyName(SynthSpec::Topology t) {
+  switch (t) {
+    case SynthSpec::Topology::kChain: return "chain";
+    case SynthSpec::Topology::kFanout: return "fanout";
+    case SynthSpec::Topology::kFanin: return "fanin";
+    case SynthSpec::Topology::kDiamond: return "diamond";
+    case SynthSpec::Topology::kLayered: return "layered";
+  }
+  return "?";
+}
+
+const char* mixName(SynthSpec::Mix m) {
+  switch (m) {
+    case SynthSpec::Mix::kBalanced: return "balanced";
+    case SynthSpec::Mix::kData: return "data";
+    case SynthSpec::Mix::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+std::string formatSize(Bytes b) {
+  const Bytes giga = 1000LL * 1000 * 1000;
+  const Bytes mega = 1000LL * 1000;
+  if (b % giga == 0) return std::to_string(b / giga) + "GB";
+  if (b % mega == 0) return std::to_string(b / mega) + "MB";
+  if (b % 1000 == 0) return std::to_string(b / 1000) + "KB";
+  return std::to_string(b);
+}
+
+std::string formatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", s);
+  return buf;
+}
+
+}  // namespace
+
+SynthSpec SynthSpec::parse(std::string_view text) {
+  if (text.empty()) reject("empty spec (expected topology[:key=value,...])");
+
+  std::string_view head = text;
+  std::string_view params;
+  if (const std::size_t colon = text.find(':'); colon != std::string_view::npos) {
+    head = text.substr(0, colon);
+    params = text.substr(colon + 1);
+  }
+
+  SynthSpec spec;
+  if (head == "chain") {
+    spec.topology = Topology::kChain;
+  } else if (head == "fanout") {
+    spec.topology = Topology::kFanout;
+  } else if (head == "fanin") {
+    spec.topology = Topology::kFanin;
+  } else if (head == "diamond") {
+    spec.topology = Topology::kDiamond;
+  } else if (head == "layered") {
+    spec.topology = Topology::kLayered;
+  } else {
+    reject("unknown topology '" + std::string(head) +
+           "' (expected chain|fanout|fanin|diamond|layered)");
+  }
+
+  const bool isLayered = spec.topology == Topology::kLayered;
+  const bool isChain = spec.topology == Topology::kChain;
+
+  long long tasksGiven = -1;
+  long long widthGiven = -1;
+  long long layersGiven = -1;
+  long long faninGiven = -1;
+  double cpuGiven = -1.0;
+  Bytes fileGiven = -1;
+  std::vector<std::string> seenKeys;
+
+  std::string_view rest = params;
+  while (!rest.empty()) {
+    std::string_view token = rest;
+    if (const std::size_t comma = rest.find(','); comma != std::string_view::npos) {
+      token = rest.substr(0, comma);
+      rest = rest.substr(comma + 1);
+    } else {
+      rest = {};
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      reject("malformed parameter '" + std::string(token) + "' (expected key=value)");
+    }
+    const std::string key(token.substr(0, eq));
+    const std::string_view value = token.substr(eq + 1);
+    for (const std::string& prior : seenKeys) {
+      if (prior == key) reject("duplicate parameter '" + key + "'");
+    }
+    seenKeys.push_back(key);
+
+    if (key == "tasks") {
+      if (!isChain && !isLayered) reject("'tasks' only applies to chain and layered topologies");
+      tasksGiven = parseCount(value, key);
+      if (tasksGiven < 1 || tasksGiven > kMaxTasks) {
+        reject("tasks must be in [1, " + std::to_string(kMaxTasks) + "], got '" +
+               std::string(value) + "'");
+      }
+    } else if (key == "width") {
+      if (isChain) reject("'width' does not apply to the chain topology");
+      widthGiven = parseCount(value, key);
+      const long long cap = isLayered ? kMaxTasks : kMaxFanWidth;
+      if (widthGiven < 1 || widthGiven > cap) {
+        reject("width must be in [1, " + std::to_string(cap) + "], got '" +
+               std::string(value) + "'");
+      }
+    } else if (key == "layers") {
+      if (!isLayered) reject("'layers' only applies to the layered topology");
+      layersGiven = parseCount(value, key);
+      if (layersGiven < 1 || layersGiven > kMaxTasks) {
+        reject("layers must be in [1, " + std::to_string(kMaxTasks) + "], got '" +
+               std::string(value) + "'");
+      }
+    } else if (key == "fanin") {
+      if (!isLayered) reject("'fanin' only applies to the layered topology");
+      faninGiven = parseCount(value, key);
+      if (faninGiven < 1 || faninGiven > 64) {
+        reject("fanin must be in [1, 64], got '" + std::string(value) + "'");
+      }
+    } else if (key == "mix") {
+      if (value == "balanced") {
+        spec.mix = Mix::kBalanced;
+      } else if (value == "data") {
+        spec.mix = Mix::kData;
+      } else if (value == "cpu") {
+        spec.mix = Mix::kCpu;
+      } else {
+        reject("unknown mix '" + std::string(value) + "' (expected balanced|data|cpu)");
+      }
+    } else if (key == "cpu") {
+      cpuGiven = parseSeconds(value);
+    } else if (key == "file") {
+      fileGiven = parseSize(value);
+    } else {
+      reject("unknown parameter '" + key +
+             "' (expected tasks|width|layers|fanin|mix|cpu|file)");
+    }
+  }
+
+  // Mix presets, then explicit overrides.
+  switch (spec.mix) {
+    case Mix::kBalanced:
+      spec.cpuSeconds = 10.0;
+      spec.fileBytes = 16_MB;
+      break;
+    case Mix::kData:  // short tasks pushing big files: stresses storage
+      spec.cpuSeconds = 1.0;
+      spec.fileBytes = 64_MB;
+      break;
+    case Mix::kCpu:  // long tasks, token files: storage nearly idle
+      spec.cpuSeconds = 120.0;
+      spec.fileBytes = 1_MB;
+      break;
+  }
+  if (cpuGiven > 0.0) spec.cpuSeconds = cpuGiven;
+  if (fileGiven > 0) spec.fileBytes = fileGiven;
+
+  // Topology-specific shape resolution.
+  switch (spec.topology) {
+    case Topology::kChain:
+      spec.tasks = static_cast<int>(tasksGiven > 0 ? tasksGiven : 100);
+      break;
+    case Topology::kFanout:
+    case Topology::kFanin:
+      spec.width = static_cast<int>(widthGiven > 0 ? widthGiven : 100);
+      spec.tasks = spec.width + 1;
+      break;
+    case Topology::kDiamond:
+      spec.width = static_cast<int>(widthGiven > 0 ? widthGiven : 100);
+      spec.tasks = spec.width + 2;
+      break;
+    case Topology::kLayered: {
+      spec.tasks = static_cast<int>(tasksGiven > 0 ? tasksGiven : 100);
+      if (widthGiven > 0) {
+        spec.width = static_cast<int>(widthGiven);
+      } else if (layersGiven > 0) {
+        spec.width = static_cast<int>((static_cast<long long>(spec.tasks) + layersGiven - 1) /
+                                      layersGiven);
+        if (spec.width < 1) spec.width = 1;
+      } else {
+        spec.width = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(spec.tasks))));
+      }
+      spec.layers = (spec.tasks + spec.width - 1) / spec.width;
+      if (layersGiven > 0 && layersGiven != spec.layers) {
+        reject("layers=" + std::to_string(layersGiven) + " is inconsistent with tasks=" +
+               std::to_string(spec.tasks) + ",width=" + std::to_string(spec.width) +
+               " (which give " + std::to_string(spec.layers) + " layers)");
+      }
+      if (faninGiven > 0) spec.fanin = static_cast<int>(faninGiven);
+      break;
+    }
+  }
+  return spec;
+}
+
+std::string SynthSpec::canonical() const {
+  std::string out = topologyName(topology);
+  out += ':';
+  switch (topology) {
+    case Topology::kChain:
+      out += "tasks=" + std::to_string(tasks);
+      break;
+    case Topology::kFanout:
+    case Topology::kFanin:
+    case Topology::kDiamond:
+      out += "width=" + std::to_string(width);
+      break;
+    case Topology::kLayered:
+      out += "tasks=" + std::to_string(tasks) + ",width=" + std::to_string(width) +
+             ",fanin=" + std::to_string(fanin);
+      break;
+  }
+  out += ",mix=";
+  out += mixName(mix);
+  out += ",cpu=" + formatSeconds(cpuSeconds);
+  out += ",file=" + formatSize(fileBytes);
+  return out;
+}
+
+}  // namespace wfs::wf::synth

@@ -1,0 +1,61 @@
+#pragma once
+
+// Synthetic-workflow SPEC grammar.
+//
+// A spec is one token: `topology[:key=value,...]`, e.g.
+//   chain:tasks=1000
+//   diamond:width=16,mix=data
+//   layered:tasks=100000,width=500,fanin=3,cpu=2,file=4MB
+//
+// Topologies: chain | fanout | fanin | diamond | layered.
+// Keys (per-topology applicability is enforced):
+//   tasks   total task count            (chain, layered; 1..2000000)
+//   width   breadth of the fan/layer    (fanout, fanin, diamond, layered)
+//   layers  layer count                 (layered; alternative to width)
+//   fanin   parents per layered task    (layered; 1..64, default 2)
+//   mix     balanced | data | cpu       (sets cpu/file defaults)
+//   cpu     mean task runtime, seconds  (overrides the mix default)
+//   file    mean file size, bytes with optional KB/MB/GB suffix
+//
+// parse() resolves every default, so canonical() names the *fully resolved*
+// workflow — that string is what lands in JSONL (`synth_spec`) and must be
+// stable: two specs with equal canonical() generate identical DAGs under
+// equal seeds. The full grammar with examples lives in docs/WORKFLOWS.md.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "simcore/units.hpp"
+
+namespace wfs::wf::synth {
+
+/// Spec rejection; `what()` is one actionable line (no spec prefix — the
+/// CLI prepends the offending flag value verbatim).
+class SynthError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SynthSpec {
+  enum class Topology { kChain, kFanout, kFanin, kDiamond, kLayered };
+  enum class Mix { kBalanced, kData, kCpu };
+
+  Topology topology = Topology::kChain;
+  Mix mix = Mix::kBalanced;
+  int tasks = 0;            // resolved total task count
+  int width = 0;            // resolved breadth (0 where inapplicable: chain)
+  int layers = 0;           // resolved layer count (layered only)
+  int fanin = 2;            // parents per layered task
+  double cpuSeconds = 0.0;  // mean per-task runtime
+  Bytes fileBytes = 0;      // mean per-file size
+
+  /// Parses and fully resolves a spec string; throws SynthError.
+  static SynthSpec parse(std::string_view text);
+
+  /// Normalized spelling with all defaults resolved; deterministic, used as
+  /// the workflow name and the JSONL `synth_spec` value.
+  [[nodiscard]] std::string canonical() const;
+};
+
+}  // namespace wfs::wf::synth

@@ -13,7 +13,8 @@
 ///                  (NUFA / distribute), PVFS, XtreemFS
 ///  - wfs::cloud    EC2 instances, provisioning, billing
 ///  - wfs::wf       Pegasus-style planner + DAGMan engine + Condor-style
-///                  scheduler
+///                  scheduler; wf::import ingests WfCommons traces and
+///                  wf::synth generates parameterized DAGs
 ///  - wfs::prof     wfprof-style application profiling (Table I)
 ///  - wfs::apps     Montage / Broadband / Epigenome workload generators
 ///  - wfs::analysis one-call experiment driver, parallel sweep executor,
@@ -35,5 +36,8 @@
 #include "cloud/vm.hpp"
 #include "prof/wfprof.hpp"
 #include "wf/engine.hpp"
+#include "wf/import/wfcommons.hpp"
 #include "wf/planner.hpp"
 #include "wf/scheduler.hpp"
+#include "wf/synth/generate.hpp"
+#include "wf/synth/spec.hpp"

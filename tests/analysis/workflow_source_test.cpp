@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "analysis/sweep.hpp"
+
+namespace wfs::analysis {
+namespace {
+
+constexpr const char* kDiamondTrace = WFS_SOURCE_DIR "/examples/workflows/diamond_min.json";
+constexpr const char* kEpigenomicsTrace =
+    WFS_SOURCE_DIR "/examples/workflows/epigenomics_sub.json";
+
+ExperimentConfig synthCell(StorageKind storage, int nodes) {
+  ExperimentConfig cfg;
+  cfg.source = WorkflowSource::kSynthetic;
+  cfg.synthSpec = "layered:tasks=120,width=12,fanin=2,mix=balanced,cpu=10,file=16MB";
+  cfg.storage = storage;
+  cfg.workerNodes = nodes;
+  return cfg;
+}
+
+ExperimentConfig traceCell(const char* path, StorageKind storage, int nodes) {
+  ExperimentConfig cfg;
+  cfg.source = WorkflowSource::kImportedTrace;
+  cfg.workflowFile = path;
+  cfg.storage = storage;
+  cfg.workerNodes = nodes;
+  return cfg;
+}
+
+TEST(WorkflowSourceTest, ImportedTraceRunsEndToEnd) {
+  const ExperimentResult r = runExperiment(traceCell(kEpigenomicsTrace, StorageKind::kNfs, 2));
+  EXPECT_EQ(r.tasks, 24);
+  EXPECT_EQ(r.workflowName, "epigenomics-sub");
+  EXPECT_GT(r.makespanSeconds, 0.0);
+  EXPECT_GT(r.storageMetrics.bytesWritten, 0);
+}
+
+TEST(WorkflowSourceTest, SyntheticRunsEndToEnd) {
+  const ExperimentResult r = runExperiment(synthCell(StorageKind::kS3, 2));
+  EXPECT_EQ(r.tasks, 120);
+  EXPECT_EQ(r.workflowName, "layered:tasks=120,width=12,fanin=2,mix=balanced,cpu=10,file=16MB");
+  EXPECT_GT(r.makespanSeconds, 0.0);
+}
+
+TEST(WorkflowSourceTest, ExternalSourcesRejectAppScale) {
+  ExperimentConfig cfg = synthCell(StorageKind::kLocal, 1);
+  cfg.appScale = 0.5;
+  EXPECT_THROW((void)runExperiment(cfg), std::invalid_argument);
+
+  ExperimentConfig trace = traceCell(kDiamondTrace, StorageKind::kLocal, 1);
+  trace.appScale = 2.0;
+  EXPECT_THROW((void)runExperiment(trace), std::invalid_argument);
+}
+
+TEST(WorkflowSourceTest, SweepJsonlByteIdenticalAcrossThreadCounts) {
+  // A mixed grid: synthetic and imported cells in one sweep, as
+  // `wfsim sweep --synth ... --jsonl` produces.
+  std::vector<ExperimentConfig> grid;
+  for (const StorageKind kind : {StorageKind::kLocal, StorageKind::kNfs, StorageKind::kS3}) {
+    const int nodes = kind == StorageKind::kLocal ? 1 : 2;
+    grid.push_back(synthCell(kind, nodes));
+    grid.push_back(traceCell(kDiamondTrace, kind, nodes));
+  }
+
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    SweepRunner::Options opt;
+    opt.threads = threads;
+    const auto results = SweepRunner{opt}.run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    for (const auto& cell : results) EXPECT_TRUE(cell.ok) << cell.label() << ": " << cell.error;
+    const std::string jsonl = sweepJsonl(results);
+    if (threads == 1) {
+      reference = jsonl;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(jsonl, reference) << "with " << threads << " threads";
+    }
+  }
+}
+
+TEST(WorkflowSourceTest, CellJsonNamesTheWorkflowSource) {
+  SweepRunner::Options opt;
+  opt.threads = 1;
+  const auto results = SweepRunner{opt}.run(
+      {synthCell(StorageKind::kLocal, 1), traceCell(kDiamondTrace, StorageKind::kLocal, 1)});
+  ASSERT_EQ(results.size(), 2u);
+
+  const std::string synthLine = cellJson(results[0]);
+  EXPECT_NE(synthLine.find("\"app\":\"synth\""), std::string::npos) << synthLine;
+  EXPECT_NE(synthLine.find("\"synth_spec\":\"layered:tasks=120,"), std::string::npos) << synthLine;
+  EXPECT_EQ(synthLine.find("\"workflow_file\""), std::string::npos) << synthLine;
+
+  const std::string traceLine = cellJson(results[1]);
+  EXPECT_NE(traceLine.find("\"app\":\"workflow\""), std::string::npos) << traceLine;
+  EXPECT_NE(traceLine.find("\"workflow_file\""), std::string::npos) << traceLine;
+  EXPECT_EQ(traceLine.find("\"synth_spec\""), std::string::npos) << traceLine;
+
+  // Labels lead with the source tag so mixed-grid progress lines read well.
+  EXPECT_EQ(results[0].label().rfind("synth", 0), 0u) << results[0].label();
+  EXPECT_EQ(results[1].label().rfind("workflow", 0), 0u) << results[1].label();
+}
+
+TEST(WorkflowSourceTest, BuiltinCellJsonIsUnchanged) {
+  // Regression guard for the fig2_montage.jsonl byte-identity gate: builtin
+  // cells must not grow workflow_file/synth_spec keys.
+  ExperimentConfig cfg;
+  cfg.app = App::kMontage;
+  cfg.storage = StorageKind::kLocal;
+  cfg.workerNodes = 1;
+  cfg.appScale = 0.05;
+  SweepRunner::Options opt;
+  opt.threads = 1;
+  const auto results = SweepRunner{opt}.run({cfg});
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  const std::string line = cellJson(results[0]);
+  EXPECT_NE(line.find("\"app\":\"montage\""), std::string::npos) << line;
+  EXPECT_EQ(line.find("\"workflow_file\""), std::string::npos) << line;
+  EXPECT_EQ(line.find("\"synth_spec\""), std::string::npos) << line;
+}
+
+TEST(WorkflowSourceTest, ImportedSweepFailureIsRecordedInPlace) {
+  // A bad trace path fails its cell without aborting the sweep.
+  std::vector<ExperimentConfig> grid = {
+      synthCell(StorageKind::kLocal, 1),
+      traceCell("/nonexistent/trace.json", StorageKind::kLocal, 1),
+  };
+  SweepRunner::Options opt;
+  opt.threads = 2;
+  const auto results = SweepRunner{opt}.run(grid);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("cannot open file"), std::string::npos) << results[1].error;
+}
+
+}  // namespace
+}  // namespace wfs::analysis

@@ -1,0 +1,208 @@
+#include "wf/import/wfcommons.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wf/import/json.hpp"
+
+namespace wfs::wf::import {
+namespace {
+
+/// gtest-only harness: assert `text` contains `needle`, printing both on
+/// failure.
+::testing::AssertionResult containsSubstr(const std::string& text, const std::string& needle) {
+  if (text.find(needle) != std::string::npos) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "expected substring '" << needle << "' in: " << text;
+}
+
+constexpr const char* kDiamondTrace = WFS_SOURCE_DIR "/examples/workflows/diamond_min.json";
+constexpr const char* kEpigenomicsTrace =
+    WFS_SOURCE_DIR "/examples/workflows/epigenomics_sub.json";
+
+/// The one-line rejection for a given document, or "" if it imported.
+std::string rejectionFor(const std::string& doc) {
+  try {
+    (void)importWfCommons(doc, "trace.json");
+  } catch (const ImportError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(WfCommonsImport, LegacyDiamondRoundTrips) {
+  const AbstractWorkflow awf = importWfCommonsFile(kDiamondTrace);
+  EXPECT_EQ(awf.name, "diamond-min");
+  ASSERT_EQ(awf.dag.jobCount(), 4);
+
+  // Instance identity from "id", transformation from "category".
+  EXPECT_EQ(awf.dag.job(0).name, "split_0");
+  EXPECT_EQ(awf.dag.job(0).transformation, "split");
+  EXPECT_DOUBLE_EQ(awf.dag.job(0).cpuSeconds, 5.0);
+  EXPECT_EQ(awf.dag.job(0).peakMemory, 102400 * Bytes{1024});  // legacy KB field
+
+  // The only unproduced input is the external one.
+  ASSERT_EQ(awf.externalInputs.size(), 1u);
+  EXPECT_EQ(awf.externalInputs[0].lfn, "raw.dat");
+  EXPECT_EQ(awf.externalInputs[0].size, 4000000);
+
+  // Diamond shape: split fans out to both analyzes, merge joins them.
+  EXPECT_EQ(awf.dag.children(0).size(), 2u);
+  EXPECT_EQ(awf.dag.parents(3).size(), 2u);
+  EXPECT_TRUE(awf.dag.isAcyclic());
+  EXPECT_EQ(awf.dag.topologicalOrder().front(), 0);
+}
+
+TEST(WfCommonsImport, V14SpecificationShapeRoundTrips) {
+  const AbstractWorkflow awf = importWfCommonsFile(kEpigenomicsTrace);
+  EXPECT_EQ(awf.name, "epigenomics-sub");
+  ASSERT_EQ(awf.dag.jobCount(), 24);
+
+  // Runtimes come from workflow.execution.tasks, sizes from
+  // workflow.specification.files.
+  EXPECT_EQ(awf.dag.job(0).name, "fastqSplit_0");
+  EXPECT_DOUBLE_EQ(awf.dag.job(0).cpuSeconds, 25.3);
+  ASSERT_EQ(awf.dag.job(0).outputs.size(), 5u);
+  EXPECT_EQ(awf.dag.job(0).outputs[0].size, 36000000);
+
+  // External inputs in first-appearance order: reads, then the reference.
+  ASSERT_EQ(awf.externalInputs.size(), 2u);
+  EXPECT_EQ(awf.externalInputs[0].lfn, "reads.fastq");
+  EXPECT_EQ(awf.externalInputs[1].lfn, "chr21.bfa");
+
+  EXPECT_TRUE(awf.dag.isAcyclic());
+  // fastqSplit fans out to the five filterContams tasks.
+  EXPECT_EQ(awf.dag.children(0).size(), 5u);
+}
+
+TEST(WfCommonsImport, ImportIsDeterministic) {
+  const AbstractWorkflow a = importWfCommonsFile(kDiamondTrace);
+  const AbstractWorkflow b = importWfCommonsFile(kDiamondTrace);
+  ASSERT_EQ(a.dag.jobCount(), b.dag.jobCount());
+  for (JobId id = 0; id < a.dag.jobCount(); ++id) {
+    EXPECT_EQ(a.dag.job(id).name, b.dag.job(id).name);
+    EXPECT_EQ(a.dag.job(id).inputs, b.dag.job(id).inputs);
+    EXPECT_EQ(a.dag.job(id).outputs, b.dag.job(id).outputs);
+    EXPECT_EQ(a.dag.children(id), b.dag.children(id));
+  }
+  EXPECT_EQ(a.externalInputs, b.externalInputs);
+}
+
+// --- rejection table: every malformed input dies with one actionable line --
+
+TEST(WfCommonsImport, RejectsInvalidJson) {
+  EXPECT_TRUE(containsSubstr(rejectionFor("{\"workflow\": "), "invalid JSON at"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("{} trailing"), "trailing characters"));
+}
+
+TEST(WfCommonsImport, RejectsMissingWorkflowObject) {
+  EXPECT_TRUE(containsSubstr(rejectionFor("{}"), "missing required 'workflow' object"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("[1,2]"), "top-level JSON value must be an object"));
+}
+
+TEST(WfCommonsImport, RejectsEmptyOrMissingTaskList) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {}})"), "no task list"));
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": []}})"), "workflow contains no tasks"));
+}
+
+TEST(WfCommonsImport, RejectsTaskWithoutIdentity) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"runtime": 1}]}})"), "missing required field 'name'"));
+}
+
+TEST(WfCommonsImport, RejectsTaskWithoutRuntime) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a"}]}})"), "task 'a': no runtime"));
+}
+
+TEST(WfCommonsImport, RejectsDuplicateTaskIds) {
+  const std::string doc = R"({"workflow": {"tasks": [
+    {"name": "a", "runtime": 1},
+    {"name": "a", "runtime": 2}]}})";
+  EXPECT_TRUE(containsSubstr(rejectionFor(doc), "duplicate task id 'a'"));
+}
+
+TEST(WfCommonsImport, RejectsUnknownAndSelfParents) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1, "parents": ["ghost"]}]}})"), "unknown parent 'ghost'"));
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1, "parents": ["a"]}]}})"), "lists itself as a parent"));
+}
+
+TEST(WfCommonsImport, RejectsDependencyCycles) {
+  const std::string doc = R"({"workflow": {"tasks": [
+    {"name": "a", "runtime": 1, "parents": ["b"]},
+    {"name": "b", "runtime": 1, "parents": ["a"]}]}})";
+  EXPECT_TRUE(containsSubstr(rejectionFor(doc), "dependency cycle"));
+}
+
+TEST(WfCommonsImport, RejectsConflictingFileSizes) {
+  const std::string doc = R"({"workflow": {"tasks": [
+    {"name": "a", "runtime": 1, "files": [{"link": "output", "name": "f", "size": 10}]},
+    {"name": "b", "runtime": 1, "files": [{"link": "input", "name": "f", "size": 20}]}]}})";
+  EXPECT_TRUE(containsSubstr(rejectionFor(doc), "conflicting sizes"));
+}
+
+TEST(WfCommonsImport, RejectsDuplicateProducers) {
+  const std::string doc = R"({"workflow": {"tasks": [
+    {"name": "a", "runtime": 1, "files": [{"link": "output", "name": "f", "size": 10}]},
+    {"name": "b", "runtime": 1, "files": [{"link": "output", "name": "f", "size": 10}]}]}})";
+  EXPECT_TRUE(containsSubstr(rejectionFor(doc), "two jobs produce the same file"));
+}
+
+TEST(WfCommonsImport, RejectsBadSizes) {
+  // Negative, fractional, and beyond-2^53 byte counts are trace bugs.
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1,
+        "files": [{"link": "output", "name": "f", "size": -5}]}]}})"), "finite non-negative"));
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1,
+        "files": [{"link": "output", "name": "f", "size": 1.5}]}]}})"), "whole number of bytes"));
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1,
+        "files": [{"link": "output", "name": "f", "size": 1e17}]}]}})"), "overflows"));
+}
+
+TEST(WfCommonsImport, RejectsBadRuntimeAndLink) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": -1}]}})"), "runtime must be finite and >= 0"));
+  EXPECT_TRUE(containsSubstr(rejectionFor(R"({"workflow": {"tasks": [{"name": "a", "runtime": 1,
+        "files": [{"link": "sideways", "name": "f", "size": 1}]}]}})"), "link must be 'input' or 'output'"));
+}
+
+TEST(WfCommonsImport, RejectsUndeclaredV14FileReference) {
+  const std::string doc = R"({"workflow": {"specification": {
+    "tasks": [{"id": "a", "inputFiles": ["missing.dat"]}],
+    "files": []},
+    "execution": {"tasks": [{"id": "a", "runtimeInSeconds": 1}]}}})";
+  EXPECT_TRUE(containsSubstr(rejectionFor(doc), "not declared in workflow.specification.files"));
+}
+
+TEST(WfCommonsImport, ErrorsNameTheSource) {
+  EXPECT_TRUE(containsSubstr(rejectionFor("{}"), "trace.json: "));
+  try {
+    (void)importWfCommonsFile("/nonexistent/trace.json");
+    FAIL() << "expected ImportError";
+  } catch (const ImportError& e) {
+    EXPECT_TRUE(containsSubstr(e.what(), "/nonexistent/trace.json: cannot open file"));
+  }
+}
+
+TEST(JsonParser, ReportsLineAndColumn) {
+  try {
+    (void)parseJson("{\n  \"a\": nope\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_TRUE(containsSubstr(e.what(), "2:"));
+  }
+}
+
+TEST(JsonParser, HandlesEscapesAndPreservesMemberOrder) {
+  const JsonValue v = parseJson(R"({"z": "aé\n", "a": 1})");
+  ASSERT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.members[0].first, "z");  // source order, not sorted
+  EXPECT_EQ(v.members[0].second.text, "a\xc3\xa9\n");
+  EXPECT_EQ(v.members[1].first, "a");
+}
+
+TEST(JsonParser, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)parseJson(deep), JsonError);
+}
+
+}  // namespace
+}  // namespace wfs::wf::import

@@ -1,0 +1,201 @@
+#include "wf/synth/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simcore/rng.hpp"
+#include "wf/synth/spec.hpp"
+
+namespace wfs::wf::synth {
+namespace {
+
+/// gtest-only harness: assert `text` contains `needle`, printing both on
+/// failure.
+::testing::AssertionResult containsSubstr(const std::string& text, const std::string& needle) {
+  if (text.find(needle) != std::string::npos) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "expected substring '" << needle << "' in: " << text;
+}
+
+/// The one-line rejection for a given spec, or "" if it parsed.
+std::string rejectionFor(const std::string& text) {
+  try {
+    (void)SynthSpec::parse(text);
+  } catch (const SynthError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SynthSpec, ResolvesChainDefaults) {
+  const SynthSpec s = SynthSpec::parse("chain");
+  EXPECT_EQ(s.topology, SynthSpec::Topology::kChain);
+  EXPECT_EQ(s.tasks, 100);
+  EXPECT_DOUBLE_EQ(s.cpuSeconds, 10.0);
+  EXPECT_EQ(s.fileBytes, 16_MB);
+  EXPECT_EQ(s.canonical(), "chain:tasks=100,mix=balanced,cpu=10,file=16MB");
+}
+
+TEST(SynthSpec, ResolvesFanShapes) {
+  const SynthSpec fanout = SynthSpec::parse("fanout:width=8");
+  EXPECT_EQ(fanout.tasks, 9);  // hub + width sinks
+  const SynthSpec diamond = SynthSpec::parse("diamond:width=16,mix=data");
+  EXPECT_EQ(diamond.tasks, 18);  // src + width stages + sink
+  EXPECT_DOUBLE_EQ(diamond.cpuSeconds, 1.0);
+  EXPECT_EQ(diamond.fileBytes, 64_MB);
+  EXPECT_EQ(diamond.canonical(), "diamond:width=16,mix=data,cpu=1,file=64MB");
+}
+
+TEST(SynthSpec, ResolvesLayeredWidthFromLayersOrSqrt) {
+  const SynthSpec byLayers = SynthSpec::parse("layered:tasks=1000,layers=20");
+  EXPECT_EQ(byLayers.width, 50);
+  EXPECT_EQ(byLayers.layers, 20);
+
+  const SynthSpec bySqrt = SynthSpec::parse("layered:tasks=100000");
+  EXPECT_EQ(bySqrt.width, 317);  // ceil(sqrt(100000))
+  EXPECT_EQ(bySqrt.layers, (100000 + 316) / 317);
+
+  const SynthSpec overrides = SynthSpec::parse("layered:tasks=1000,width=50,fanin=3,cpu=2.5,file=4MB");
+  EXPECT_EQ(overrides.fanin, 3);
+  EXPECT_EQ(overrides.canonical(), "layered:tasks=1000,width=50,fanin=3,mix=balanced,cpu=2.5,file=4MB");
+}
+
+TEST(SynthSpec, CanonicalIsAFixpoint) {
+  for (const char* text : {"chain", "fanout:width=3", "fanin:width=7,mix=cpu",
+                           "diamond:width=5,file=1500KB", "layered:tasks=999,fanin=4"}) {
+    const std::string canon = SynthSpec::parse(text).canonical();
+    EXPECT_EQ(SynthSpec::parse(canon).canonical(), canon) << "for spec: " << text;
+  }
+}
+
+TEST(SynthSpec, ParsesSizeSuffixes) {
+  EXPECT_EQ(SynthSpec::parse("chain:file=500KB").fileBytes, 500'000);
+  EXPECT_EQ(SynthSpec::parse("chain:file=2GB").fileBytes, 2'000'000'000);
+  EXPECT_EQ(SynthSpec::parse("chain:file=123").fileBytes, 123);
+}
+
+TEST(SynthSpec, RejectionTable) {
+  EXPECT_TRUE(containsSubstr(rejectionFor(""), "empty spec"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("ring:tasks=5"), "unknown topology 'ring'"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:bogus=1"), "unknown parameter 'bogus'"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:tasks=5,tasks=6"), "duplicate parameter 'tasks'"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:width=5"), "does not apply to the chain"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("fanout:tasks=5"), "only applies to chain and layered"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:fanin=2"), "only applies to the layered"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:mix=spicy"), "unknown mix 'spicy'"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:tasks"), "malformed parameter"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:tasks=0"), "tasks must be in [1, 2000000]"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:tasks=9999999"), "tasks must be in"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("fanout:width=20000"), "width must be in [1, 10000]"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("layered:fanin=65"), "fanin must be in [1, 64]"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:cpu=-2"), "positive number of seconds"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("chain:file=0"), "positive size"));
+  EXPECT_TRUE(containsSubstr(rejectionFor("layered:tasks=100,width=50,layers=7"),
+                             "inconsistent with"));
+}
+
+TEST(SynthGenerate, ChainShape) {
+  sim::Rng rng;  // default master seed; tests only need determinism
+  const AbstractWorkflow awf = makeSynthetic(SynthSpec::parse("chain:tasks=10"), rng);
+  ASSERT_EQ(awf.dag.jobCount(), 10);
+  EXPECT_EQ(awf.name, "chain:tasks=10,mix=balanced,cpu=10,file=16MB");
+  EXPECT_EQ(awf.dag.job(0).transformation, "synth_src");
+  EXPECT_EQ(awf.dag.job(5).transformation, "synth_stage");
+  EXPECT_EQ(awf.dag.job(9).transformation, "synth_sink");
+  for (JobId id = 1; id < 10; ++id) {
+    ASSERT_EQ(awf.dag.parents(id).size(), 1u);
+    EXPECT_EQ(awf.dag.parents(id).front(), id - 1);
+  }
+  ASSERT_EQ(awf.externalInputs.size(), 1u);
+  EXPECT_EQ(awf.externalInputs[0].lfn, "synth/in");
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(SynthGenerate, FanAndDiamondShapes) {
+  sim::Rng rng;
+  const AbstractWorkflow fanout = makeSynthetic(SynthSpec::parse("fanout:width=6"), rng);
+  ASSERT_EQ(fanout.dag.jobCount(), 7);
+  EXPECT_EQ(fanout.dag.children(0).size(), 6u);
+
+  sim::Rng rng2;
+  const AbstractWorkflow fanin = makeSynthetic(SynthSpec::parse("fanin:width=6"), rng2);
+  ASSERT_EQ(fanin.dag.jobCount(), 7);
+  EXPECT_EQ(fanin.dag.parents(6).size(), 6u);
+
+  sim::Rng rng3;
+  const AbstractWorkflow diamond = makeSynthetic(SynthSpec::parse("diamond:width=6"), rng3);
+  ASSERT_EQ(diamond.dag.jobCount(), 8);
+  EXPECT_EQ(diamond.dag.children(0).size(), 6u);
+  EXPECT_EQ(diamond.dag.parents(7).size(), 6u);
+}
+
+TEST(SynthGenerate, LayeredShapeRespectsFanin) {
+  sim::Rng rng;
+  const SynthSpec spec = SynthSpec::parse("layered:tasks=200,width=20,fanin=3");
+  const AbstractWorkflow awf = makeSynthetic(spec, rng);
+  ASSERT_EQ(awf.dag.jobCount(), 200);
+  for (JobId id = 0; id < awf.dag.jobCount(); ++id) {
+    if (id < 20) {
+      EXPECT_TRUE(awf.dag.parents(id).empty());
+    } else {
+      const std::size_t n = awf.dag.parents(id).size();
+      EXPECT_GE(n, 1u);
+      EXPECT_LE(n, 3u);  // fanin caps the parent count (dupes dropped)
+    }
+  }
+  EXPECT_TRUE(awf.dag.isAcyclic());
+}
+
+TEST(SynthGenerate, SameSeedSameWorkflow) {
+  const SynthSpec spec = SynthSpec::parse("layered:tasks=300,fanin=2,mix=data");
+  sim::Rng a;
+  sim::Rng b;
+  const AbstractWorkflow wa = makeSynthetic(spec, a);
+  const AbstractWorkflow wb = makeSynthetic(spec, b);
+  ASSERT_EQ(wa.dag.jobCount(), wb.dag.jobCount());
+  for (JobId id = 0; id < wa.dag.jobCount(); ++id) {
+    EXPECT_EQ(wa.dag.job(id).name, wb.dag.job(id).name);
+    EXPECT_DOUBLE_EQ(wa.dag.job(id).cpuSeconds, wb.dag.job(id).cpuSeconds);
+    EXPECT_EQ(wa.dag.job(id).inputs, wb.dag.job(id).inputs);
+    EXPECT_EQ(wa.dag.job(id).outputs, wb.dag.job(id).outputs);
+    EXPECT_EQ(wa.dag.children(id), wb.dag.children(id));
+  }
+}
+
+TEST(SynthGenerate, TopologyDrawsDoNotShiftRuntimeDraws) {
+  // cpu/size streams are forked off before topology draws, so changing
+  // fanin rewires edges without perturbing any task's runtime or sizes.
+  sim::Rng a;
+  sim::Rng b;
+  const AbstractWorkflow w2 = makeSynthetic(SynthSpec::parse("layered:tasks=300,fanin=2"), a);
+  const AbstractWorkflow w3 = makeSynthetic(SynthSpec::parse("layered:tasks=300,fanin=3"), b);
+  ASSERT_EQ(w2.dag.jobCount(), w3.dag.jobCount());
+  for (JobId id = 0; id < w2.dag.jobCount(); ++id) {
+    EXPECT_DOUBLE_EQ(w2.dag.job(id).cpuSeconds, w3.dag.job(id).cpuSeconds);
+    EXPECT_EQ(w2.dag.job(id).outputs.front().size, w3.dag.job(id).outputs.front().size);
+  }
+}
+
+TEST(SynthGenerate, RuntimesAndSizesStayNearMeans) {
+  sim::Rng rng;
+  const SynthSpec spec = SynthSpec::parse("chain:tasks=500,cpu=8,file=10MB");
+  const AbstractWorkflow awf = makeSynthetic(spec, rng);
+  for (JobId id = 0; id < awf.dag.jobCount(); ++id) {
+    const JobSpec& j = awf.dag.job(id);
+    EXPECT_GE(j.cpuSeconds, 4.0);  // jitter is uniform(0.5, 1.5) * mean
+    EXPECT_LE(j.cpuSeconds, 12.0);
+    EXPECT_GE(j.outputs.front().size, 5_MB);
+    EXPECT_LE(j.outputs.front().size, 15_MB);
+  }
+}
+
+TEST(SynthGenerate, RegistersAllSynthTransformations) {
+  TransformationCatalog tc;
+  registerSynthTransformations(tc);
+  EXPECT_TRUE(tc.has("synth_src"));
+  EXPECT_TRUE(tc.has("synth_stage"));
+  EXPECT_TRUE(tc.has("synth_sink"));
+}
+
+}  // namespace
+}  // namespace wfs::wf::synth

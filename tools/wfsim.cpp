@@ -9,6 +9,13 @@
 //   wfsim table1 [--scale S]                       reproduce Table I
 //   wfsim list                                     storage systems & instance types
 //
+// Workflow sources (run/sweep/repeat; see docs/WORKFLOWS.md): instead of a
+// built-in <app>, `--workflow FILE` imports a WfCommons JSON trace and
+// `--synth SPEC` generates a parameterized DAG — the <app> positional is
+// then dropped:
+//   wfsim run --workflow examples/workflows/diamond_min.json nfs 2
+//   wfsim sweep --synth layered:tasks=5000,fanin=3 --jsonl out.jsonl
+//
 // Fault injection (wfs::fault): --faults turns it on for run/sweep/repeat;
 // the tuning flags below shape the schedule, which is drawn from
 // --fault-seed, never from wall clock. `avail` runs the availability sweep:
@@ -56,6 +63,9 @@ using namespace wfs::analysis;
                "  wfsim list\n"
                "\n"
                "apps:     montage | broadband | epigenome\n"
+               "          or, for run/sweep/repeat (the <app> positional is dropped):\n"
+               "          --workflow FILE   WfCommons JSON trace (docs/WORKFLOWS.md)\n"
+               "          --synth SPEC      e.g. diamond:width=16  layered:tasks=100000\n"
                "storage:  local | s3 | nfs | gluster-nufa | gluster-dist | pvfs |\n"
                "          xtreemfs | p2p\n"
                "options:  --jobs N   --jsonl FILE  --metrics FILE  --scale S\n"
@@ -121,6 +131,10 @@ StorageKind parseStorage(const std::string& s) {
 
 struct Cli {
   std::vector<std::string> positional;
+  /// WfCommons trace path (--workflow); replaces the <app> positional.
+  std::string workflowFile;
+  /// Synthetic SPEC string (--synth), as typed; canonicalized in toConfig.
+  std::string synthSpec;
   double scale = 1.0;
   std::uint64_t seed = 42;
   int reps = 5;
@@ -162,16 +176,32 @@ Cli parseArgs(int argc, char** argv) {
     auto faultFlag = [&] {
       if (cli.firstFaultFlag.empty()) cli.firstFaultFlag = a;
     };
+    // Range checks live here, next to the raw text, so every rejection can
+    // quote the offending value verbatim.
     if (a == "--scale") {
-      cli.scale = parseDouble(a, next());
+      const std::string v = next();
+      cli.scale = parseDouble(a, v);
+      if (cli.scale <= 0) die("--scale must be > 0, got '" + v + "'");
     } else if (a == "--seed") {
       cli.seed = parseU64(a, next());
     } else if (a == "--reps") {
-      cli.reps = static_cast<int>(parseLong(a, next()));
+      const std::string v = next();
+      cli.reps = static_cast<int>(parseLong(a, v));
+      if (cli.reps < 1) die("--reps must be >= 1, got '" + v + "'");
     } else if (a == "--cluster") {
-      cli.clusterFactor = static_cast<int>(parseLong(a, next()));
+      const std::string v = next();
+      cli.clusterFactor = static_cast<int>(parseLong(a, v));
+      if (cli.clusterFactor < 1) die("--cluster must be >= 1, got '" + v + "'");
     } else if (a == "--jobs") {
-      cli.jobs = static_cast<int>(parseLong(a, next()));
+      const std::string v = next();
+      cli.jobs = static_cast<int>(parseLong(a, v));
+      if (cli.jobs < 0) die("--jobs must be >= 0 (0 = all hardware threads), got '" + v + "'");
+    } else if (a == "--workflow") {
+      cli.workflowFile = next();
+      if (cli.workflowFile.empty()) die("--workflow expects a trace file path");
+    } else if (a == "--synth") {
+      cli.synthSpec = next();
+      if (cli.synthSpec.empty()) die("--synth expects a SPEC (e.g. diamond:width=16)");
     } else if (a == "--jsonl") {
       cli.jsonl = next();
     } else if (a == "--metrics") {
@@ -188,16 +218,26 @@ Cli parseArgs(int argc, char** argv) {
       cli.faults = true;
     } else if (a == "--crash-rate") {
       faultFlag();
-      cli.crashRate = parseDouble(a, next());
+      const std::string v = next();
+      cli.crashRate = parseDouble(a, v);
+      if (cli.crashRate < 0.0) die("--crash-rate must be >= 0, got '" + v + "'");
     } else if (a == "--op-fault-prob") {
       faultFlag();
-      cli.opFaultProb = parseDouble(a, next());
+      const std::string v = next();
+      cli.opFaultProb = parseDouble(a, v);
+      if (cli.opFaultProb < 0.0 || cli.opFaultProb > 1.0) {
+        die("--op-fault-prob must be a probability in [0,1], got '" + v + "'");
+      }
     } else if (a == "--outage-rate") {
       faultFlag();
-      cli.outageRate = parseDouble(a, next());
+      const std::string v = next();
+      cli.outageRate = parseDouble(a, v);
+      if (cli.outageRate < 0.0) die("--outage-rate must be >= 0, got '" + v + "'");
     } else if (a == "--outage-mean") {
       faultFlag();
-      cli.outageMean = parseDouble(a, next());
+      const std::string v = next();
+      cli.outageMean = parseDouble(a, v);
+      if (cli.outageMean <= 0.0) die("--outage-mean must be > 0 seconds, got '" + v + "'");
     } else if (a == "--fault-seed") {
       faultFlag();
       cli.faultSeed = parseU64(a, next());
@@ -211,16 +251,27 @@ Cli parseArgs(int argc, char** argv) {
       wfs::fault::NodeCrash c;
       c.atSeconds = parseDouble(a, v.substr(0, colon));
       c.node = static_cast<int>(parseLong(a, v.substr(colon + 1)));
+      if (c.atSeconds < 0.0) die("--crash-at time must be >= 0, got '" + v + "'");
+      if (c.node < 0) die("--crash-at node must be >= 0, got '" + v + "'");
       cli.crashAt.push_back(c);
     } else if (a == "--crash-frac") {
       faultFlag();
-      cli.crashFrac = parseDouble(a, next());
+      const std::string v = next();
+      cli.crashFrac = parseDouble(a, v);
+      if (cli.crashFrac <= 0.0 || cli.crashFrac >= 1.0) {
+        die("--crash-frac must be in (0,1): a fraction of the clean makespan, got '" + v +
+            "'");
+      }
     } else if (a == "--max-op-retries") {
       faultFlag();
-      cli.maxOpRetries = static_cast<int>(parseLong(a, next()));
+      const std::string v = next();
+      cli.maxOpRetries = static_cast<int>(parseLong(a, v));
+      if (cli.maxOpRetries < 1) die("--max-op-retries must be >= 1, got '" + v + "'");
     } else if (a == "--retry-backoff") {
       faultFlag();
-      cli.retryBackoff = parseDouble(a, next());
+      const std::string v = next();
+      cli.retryBackoff = parseDouble(a, v);
+      if (cli.retryBackoff < 0.0) die("--retry-backoff must be >= 0 seconds, got '" + v + "'");
     } else if (a.rfind("--", 0) == 0) {
       usage(("unknown option: " + a).c_str());
     } else {
@@ -233,30 +284,44 @@ Cli parseArgs(int argc, char** argv) {
 /// Cross-flag consistency checks, done once the command is known so errors
 /// come out as one actionable line instead of a stack trace mid-sweep.
 void validateCli(const Cli& cli, const std::string& cmd) {
-  if (cli.scale <= 0) die("--scale must be > 0");
-  if (cli.reps < 1) die("--reps must be >= 1");
-  if (cli.clusterFactor < 1) die("--cluster must be >= 1");
-  if (cli.jobs < 0) die("--jobs must be >= 0 (0 = all hardware threads)");
+  // Per-flag range checks live in parseArgs (they quote the raw value);
+  // everything here spans flags or needs the command.
+  if (!cli.workflowFile.empty() && !cli.synthSpec.empty()) {
+    die("--workflow " + cli.workflowFile + " and --synth " + cli.synthSpec +
+        " are mutually exclusive; pick one workflow source");
+  }
+  const std::string wfFlag = !cli.workflowFile.empty() ? "--workflow " + cli.workflowFile
+                             : !cli.synthSpec.empty()  ? "--synth " + cli.synthSpec
+                                                       : "";
+  if (!wfFlag.empty()) {
+    if (cmd == "avail" || cmd == "table1") {
+      die(wfFlag + ": only run, sweep and repeat accept external workflows");
+    }
+    // wfslint: allow(float-eq) flag-sentinel test: 1.0 is the parse default, not computed
+    if (cli.scale != 1.0) {
+      die(wfFlag + ": --scale applies only to built-in apps (external workflows fix "
+                   "their own size)");
+    }
+  }
+  if (!cli.workflowFile.empty()) {
+    // Catch a bad path now, not after the cluster is built; the importer
+    // itself re-validates content and prefixes errors with this same path.
+    std::FILE* traceFile = std::fopen(cli.workflowFile.c_str(), "rb");
+    if (traceFile == nullptr) die(wfFlag + ": cannot open file");
+    std::fclose(traceFile);
+  }
+  if (!cli.synthSpec.empty()) {
+    try {
+      (void)wfs::wf::synth::SynthSpec::parse(cli.synthSpec);
+    } catch (const wfs::wf::synth::SynthError& e) {
+      die(wfFlag + ": " + e.what());
+    }
+  }
   if (!cli.faults && cmd != "avail" && !cli.firstFaultFlag.empty()) {
     die(cli.firstFaultFlag + " has no effect without --faults (or the avail command)");
   }
   if (cli.faults && cmd == "avail") {
     die("avail injects its own crash; drop --faults (tuning flags still apply)");
-  }
-  if (cli.opFaultProb < 0.0 || cli.opFaultProb > 1.0) {
-    die("--op-fault-prob must be a probability in [0,1]");
-  }
-  if (cli.crashRate < 0.0) die("--crash-rate must be >= 0");
-  if (cli.outageRate < 0.0) die("--outage-rate must be >= 0");
-  if (cli.outageMean <= 0.0) die("--outage-mean must be > 0 seconds");
-  if (cli.crashFrac <= 0.0 || cli.crashFrac >= 1.0) {
-    die("--crash-frac must be in (0,1): a fraction of the clean makespan");
-  }
-  if (cli.maxOpRetries < 1) die("--max-op-retries must be >= 1");
-  if (cli.retryBackoff < 0.0) die("--retry-backoff must be >= 0 seconds");
-  for (const auto& c : cli.crashAt) {
-    if (c.atSeconds < 0.0) die("--crash-at time must be >= 0");
-    if (c.node < 0) die("--crash-at node must be >= 0");
   }
   // wfslint: allow(float-eq) flag-sentinel test: 0.0 is the parse default, not a computed value
   if (cli.faults && cli.crashRate == 0.0 && cli.opFaultProb == 0.0 &&
@@ -277,6 +342,15 @@ void validateCli(const Cli& cli, const std::string& cmd) {
 ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) {
   ExperimentConfig cfg;
   cfg.app = app;
+  if (!cli.workflowFile.empty()) {
+    cfg.source = WorkflowSource::kImportedTrace;
+    cfg.workflowFile = cli.workflowFile;
+  } else if (!cli.synthSpec.empty()) {
+    cfg.source = WorkflowSource::kSynthetic;
+    // Canonical spelling (defaults resolved) — what JSONL reports and what
+    // the generator names the workflow. validateCli already proved it parses.
+    cfg.synthSpec = wfs::wf::synth::SynthSpec::parse(cli.synthSpec).canonical();
+  }
   cfg.storage = kind;
   cfg.workerNodes = nodes;
   cfg.appScale = cli.scale;
@@ -368,11 +442,23 @@ void printFaultOutcome(const FaultOutcome& f) {
   }
 }
 
+/// With --workflow/--synth the <app> positional is dropped; the App value
+/// passed to toConfig is then inert (source dispatch ignores it).
+bool externalWorkflow(const Cli& cli) {
+  return !cli.workflowFile.empty() || !cli.synthSpec.empty();
+}
+
 int cmdRun(const Cli& cli) {
-  if (cli.positional.size() != 3) usage("run needs <app> <storage> <nodes>");
+  const bool external = externalWorkflow(cli);
+  if (cli.positional.size() != (external ? 2u : 3u)) {
+    usage(external ? "run with --workflow/--synth needs <storage> <nodes>"
+                   : "run needs <app> <storage> <nodes>");
+  }
+  const std::size_t base = external ? 0 : 1;
   ExperimentConfig cfg =
-      toConfig(cli, parseApp(cli.positional[0]), parseStorage(cli.positional[1]),
-               static_cast<int>(parseLong("<nodes>", cli.positional[2])));
+      toConfig(cli, external ? App::kMontage : parseApp(cli.positional[0]),
+               parseStorage(cli.positional[base]),
+               static_cast<int>(parseLong("<nodes>", cli.positional[base + 1])));
   cfg.trace = cli.trace;
   const auto r = runExperiment(cfg);
   printResult(r);
@@ -391,8 +477,15 @@ int cmdRun(const Cli& cli) {
 }
 
 int cmdSweep(const Cli& cli) {
-  if (cli.positional.size() != 1) usage("sweep needs <app>");
-  const App app = parseApp(cli.positional[0]);
+  const bool external = externalWorkflow(cli);
+  if (cli.positional.size() != (external ? 0u : 1u)) {
+    usage(external ? "sweep with --workflow/--synth takes no positional arguments"
+                   : "sweep needs <app>");
+  }
+  const App app = external ? App::kMontage : parseApp(cli.positional[0]);
+  const std::string title = external
+                                ? (!cli.workflowFile.empty() ? cli.workflowFile : cli.synthSpec)
+                                : toString(app);
   const StorageKind kinds[] = {StorageKind::kLocal,       StorageKind::kS3,
                                StorageKind::kNfs,         StorageKind::kGlusterNufa,
                                StorageKind::kGlusterDist, StorageKind::kPvfs};
@@ -431,7 +524,7 @@ int cmdSweep(const Cli& cli) {
     }
     series[keys[i].first].values[keys[i].second] = results[i].result.makespanSeconds;
   }
-  std::printf("%s", renderTable(std::string(toString(app)) + " runtime",
+  std::printf("%s", renderTable(title + " runtime",
                                 {"1 node", "2 nodes", "4 nodes", "8 nodes"}, series,
                                 "seconds")
                         .c_str());
@@ -440,12 +533,18 @@ int cmdSweep(const Cli& cli) {
 }
 
 int cmdRepeat(const Cli& cli) {
-  if (cli.positional.size() != 3) usage("repeat needs <app> <storage> <nodes>");
+  const bool external = externalWorkflow(cli);
+  if (cli.positional.size() != (external ? 2u : 3u)) {
+    usage(external ? "repeat with --workflow/--synth needs <storage> <nodes>"
+                   : "repeat needs <app> <storage> <nodes>");
+  }
+  const std::size_t base = external ? 0 : 1;
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < cli.reps; ++i) seeds.push_back(cli.seed + static_cast<unsigned>(i));
   const auto agg = repeatExperiment(
-      toConfig(cli, parseApp(cli.positional[0]), parseStorage(cli.positional[1]),
-               static_cast<int>(parseLong("<nodes>", cli.positional[2]))),
+      toConfig(cli, external ? App::kMontage : parseApp(cli.positional[0]),
+               parseStorage(cli.positional[base]),
+               static_cast<int>(parseLong("<nodes>", cli.positional[base + 1]))),
       seeds, cli.jobs);
   std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
               static_cast<unsigned long long>(seeds.front()),
@@ -467,7 +566,7 @@ int cmdAvail(const Cli& cli) {
   opt.app = parseApp(cli.positional[0]);
   if (cli.positional.size() == 2) {
     opt.nodes = static_cast<int>(parseLong("<nodes>", cli.positional[1]));
-    if (opt.nodes < 1) die("<nodes> must be >= 1");
+    if (opt.nodes < 1) die("<nodes> must be >= 1, got '" + cli.positional[1] + "'");
   }
   opt.appScale = cli.scale;
   opt.seed = cli.seed;
