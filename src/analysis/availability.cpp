@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/fabric/cellid.hpp"
+#include "storage/base/path.hpp"
+
 namespace wfs::analysis {
 
 namespace {
@@ -20,104 +23,139 @@ std::string num(double v) {
   return buf;
 }
 
+void runPhase(SweepCellResult& slot) {
+  try {
+    slot.result = runExperiment(slot.config);
+    slot.ok = true;
+  } catch (const std::exception& e) {
+    slot.error = e.what();
+  } catch (...) {
+    slot.error = "unknown error";
+  }
+}
+
 }  // namespace
 
+ExperimentConfig availabilityCleanConfig(const AvailabilityOptions& opt, StorageKind kind) {
+  ExperimentConfig cfg;
+  cfg.app = opt.app;
+  cfg.appScale = opt.appScale;
+  cfg.storage = kind;
+  cfg.workerNodes = nodesFor(kind, opt.nodes);
+  cfg.seed = opt.seed;
+  return cfg;
+}
+
+AvailabilityCell runAvailabilityCell(const AvailabilityOptions& opt, StorageKind kind) {
+  AvailabilityCell cell;
+  cell.clean.config = availabilityCleanConfig(opt, kind);
+  runPhase(cell.clean);
+  if (!cell.clean.ok) return cell;
+
+  ExperimentConfig cfg = cell.clean.config;
+  cfg.faults = opt.faults;
+  cfg.faults.enabled = true;
+  const int crashNode = std::clamp(opt.crashNode, 0, cfg.workerNodes - 1);
+  const double crashAt = opt.crashFrac * cell.clean.result.makespanSeconds;
+  cfg.faults.explicitCrashes.push_back(fault::NodeCrash{crashAt, crashNode});
+  cell.crashAtSeconds = crashAt;
+  cell.crashNode = crashNode;
+  cell.faulted.config = cfg;
+  runPhase(cell.faulted);
+  return cell;
+}
+
 std::vector<AvailabilityCell> runAvailabilitySweep(const AvailabilityOptions& opt) {
-  std::vector<ExperimentConfig> clean;
-  clean.reserve(opt.backends.size());
-  for (const StorageKind kind : opt.backends) {
-    ExperimentConfig cfg;
-    cfg.app = opt.app;
-    cfg.appScale = opt.appScale;
-    cfg.storage = kind;
-    cfg.workerNodes = nodesFor(kind, opt.nodes);
-    cfg.seed = opt.seed;
-    clean.push_back(cfg);
-  }
-
+  std::vector<AvailabilityCell> cells(opt.backends.size());
   SweepRunner runner{SweepRunner::Options{.threads = opt.threads, .progress = {}}};
-  std::vector<SweepCellResult> cleanResults = runner.run(clean);
-
-  std::vector<AvailabilityCell> cells(cleanResults.size());
-  std::vector<ExperimentConfig> faulted;
-  std::vector<std::size_t> faultedIdx;  // cells index per faulted config
-  for (std::size_t i = 0; i < cleanResults.size(); ++i) {
-    cells[i].clean = cleanResults[i];
-    if (!cleanResults[i].ok) continue;
-    ExperimentConfig cfg = cleanResults[i].config;
-    cfg.faults = opt.faults;
-    cfg.faults.enabled = true;
-    const int crashNode =
-        std::clamp(opt.crashNode, 0, cfg.workerNodes - 1);
-    const double crashAt = opt.crashFrac * cleanResults[i].result.makespanSeconds;
-    cfg.faults.explicitCrashes.push_back(fault::NodeCrash{crashAt, crashNode});
-    cells[i].crashAtSeconds = crashAt;
-    cells[i].crashNode = crashNode;
-    faulted.push_back(cfg);
-    faultedIdx.push_back(i);
-  }
-
-  std::vector<SweepCellResult> faultedResults = runner.run(faulted);
-  for (std::size_t k = 0; k < faultedResults.size(); ++k) {
-    cells[faultedIdx[k]].faulted = faultedResults[k];
-  }
+  runner.runIndexed(opt.backends.size(), [&](std::size_t i) {
+    cells[i] = runAvailabilityCell(opt, opt.backends[i]);
+  });
   return cells;
+}
+
+fabric::FabricCell availabilityFabricCell(const AvailabilityOptions& opt, StorageKind kind) {
+  const ExperimentConfig clean = availabilityCleanConfig(opt, kind);
+  fabric::FabricCell cell;
+  // The crash twin's exact schedule depends on the clean makespan, which is
+  // itself a pure function of the clean config — so (clean config, crash
+  // parameters, fault spec) fully names the pair.
+  std::string canonical = "avail-v1|";
+  canonical += fabric::canonicalConfig(clean);
+  canonical += "|crash_frac=" + num(opt.crashFrac);
+  canonical += "|crash_node=" + std::to_string(opt.crashNode);
+  canonical += '|';
+  canonical += fabric::canonicalFaultSpec(opt.faults);
+  cell.hexHash = fabric::hashHex(storage::pathHash(canonical));
+  cell.label = std::string("avail/") + toString(kind) + "/" +
+               std::to_string(clean.workerNodes) + "n/seed" + std::to_string(clean.seed);
+  cell.run = [opt, kind]() {
+    const AvailabilityCell ran = runAvailabilityCell(opt, kind);
+    fabric::CellOutput out;
+    out.line = availabilityCellJson(ran);
+    out.cacheable = ran.clean.ok && ran.faulted.ok;
+    return out;
+  };
+  return cell;
+}
+
+std::string availabilityCellJson(const AvailabilityCell& c) {
+  const ExperimentConfig& cfg = c.clean.config;
+  std::string line = "{";
+  auto field = [&line](const char* key, std::string value) {
+    if (line.size() > 1) line += ",";
+    line += "\"";
+    line += key;
+    line += "\":";
+    line += value;
+  };
+  field("app", std::string("\"") + toString(cfg.app) + "\"");
+  field("storage", std::string("\"") + toString(cfg.storage) + "\"");
+  field("nodes", std::to_string(cfg.workerNodes));
+  field("scale", num(cfg.appScale));
+  field("seed", std::to_string(cfg.seed));
+  if (!c.clean.ok) {
+    field("error", std::string("\"") + c.clean.error + "\"");
+    return line + "}";
+  }
+  if (!c.faulted.ok) {
+    field("error", std::string("\"") + c.faulted.error + "\"");
+    return line + "}";
+  }
+  const ExperimentResult& base = c.clean.result;
+  const ExperimentResult& hurt = c.faulted.result;
+  const FaultOutcome& f = hurt.fault;
+  field("crash_node", std::to_string(c.crashNode));
+  field("crash_at_s", num(c.crashAtSeconds));
+  field("clean_makespan_s", num(base.makespanSeconds));
+  field("faulted_makespan_s", num(hurt.makespanSeconds));
+  field("makespan_inflation",
+        num(base.makespanSeconds > 0 ? hurt.makespanSeconds / base.makespanSeconds : 0));
+  field("clean_cost", num(base.cost.totalHourly()));
+  field("faulted_cost", num(hurt.cost.totalHourly()));
+  field("cost_inflation",
+        num(base.cost.totalHourly() > 0 ? hurt.cost.totalHourly() / base.cost.totalHourly()
+                                        : 0));
+  field("failed", f.failed ? "true" : "false");
+  field("crashes", std::to_string(f.crashes));
+  field("crash_aborts", std::to_string(f.crashAborts));
+  field("lost_files", std::to_string(f.lostFiles));
+  field("recomputed_jobs", std::to_string(f.recomputedJobs));
+  field("replacement_vms", std::to_string(f.replacementVms));
+  field("restaged_inputs", std::to_string(f.restagedInputs));
+  field("retries", std::to_string(f.retries));
+  field("op_faults_injected", std::to_string(f.opFaultsInjected));
+  field("op_faults_retried", std::to_string(f.opFaultsRetried));
+  field("op_faults_exhausted", std::to_string(f.opFaultsExhausted));
+  field("outage_stalls", std::to_string(f.outageStalls));
+  return line + "}";
 }
 
 std::string availabilityJsonl(const std::vector<AvailabilityCell>& cells) {
   std::string out;
   for (const AvailabilityCell& c : cells) {
-    const ExperimentConfig& cfg = c.clean.config;
-    std::string line = "{";
-    auto field = [&line](const char* key, std::string value) {
-      if (line.size() > 1) line += ",";
-      line += "\"";
-      line += key;
-      line += "\":";
-      line += value;
-    };
-    field("app", std::string("\"") + toString(cfg.app) + "\"");
-    field("storage", std::string("\"") + toString(cfg.storage) + "\"");
-    field("nodes", std::to_string(cfg.workerNodes));
-    field("scale", num(cfg.appScale));
-    field("seed", std::to_string(cfg.seed));
-    if (!c.clean.ok) {
-      field("error", std::string("\"") + c.clean.error + "\"");
-      out += line + "}\n";
-      continue;
-    }
-    if (!c.faulted.ok) {
-      field("error", std::string("\"") + c.faulted.error + "\"");
-      out += line + "}\n";
-      continue;
-    }
-    const ExperimentResult& base = c.clean.result;
-    const ExperimentResult& hurt = c.faulted.result;
-    const FaultOutcome& f = hurt.fault;
-    field("crash_node", std::to_string(c.crashNode));
-    field("crash_at_s", num(c.crashAtSeconds));
-    field("clean_makespan_s", num(base.makespanSeconds));
-    field("faulted_makespan_s", num(hurt.makespanSeconds));
-    field("makespan_inflation",
-          num(base.makespanSeconds > 0 ? hurt.makespanSeconds / base.makespanSeconds : 0));
-    field("clean_cost", num(base.cost.totalHourly()));
-    field("faulted_cost", num(hurt.cost.totalHourly()));
-    field("cost_inflation",
-          num(base.cost.totalHourly() > 0 ? hurt.cost.totalHourly() / base.cost.totalHourly()
-                                          : 0));
-    field("failed", f.failed ? "true" : "false");
-    field("crashes", std::to_string(f.crashes));
-    field("crash_aborts", std::to_string(f.crashAborts));
-    field("lost_files", std::to_string(f.lostFiles));
-    field("recomputed_jobs", std::to_string(f.recomputedJobs));
-    field("replacement_vms", std::to_string(f.replacementVms));
-    field("restaged_inputs", std::to_string(f.restagedInputs));
-    field("retries", std::to_string(f.retries));
-    field("op_faults_injected", std::to_string(f.opFaultsInjected));
-    field("op_faults_retried", std::to_string(f.opFaultsRetried));
-    field("op_faults_exhausted", std::to_string(f.opFaultsExhausted));
-    field("outage_stalls", std::to_string(f.outageStalls));
-    out += line + "}\n";
+    out += availabilityCellJson(c);
+    out += "\n";
   }
   return out;
 }

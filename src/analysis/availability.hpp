@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/fabric/fabric.hpp"
 #include "analysis/sweep.hpp"
 
 namespace wfs::analysis {
@@ -48,6 +49,26 @@ struct AvailabilityOptions {
 
 [[nodiscard]] std::vector<AvailabilityCell> runAvailabilitySweep(
     const AvailabilityOptions& opt);
+
+/// The clean-phase config the sweep builds for one backend (also the base
+/// of the backend's fabric cell identity).
+[[nodiscard]] ExperimentConfig availabilityCleanConfig(const AvailabilityOptions& opt,
+                                                       StorageKind kind);
+
+/// Runs one backend's clean + crash-twin pair (both phases serial within
+/// the call; backends fan out across the pool).
+[[nodiscard]] AvailabilityCell runAvailabilityCell(const AvailabilityOptions& opt,
+                                                   StorageKind kind);
+
+/// One backend as a single-line JSON object (no trailing newline) — the
+/// unit availabilityJsonl, the sweep fabric checkpoint and the result
+/// cache all share.
+[[nodiscard]] std::string availabilityCellJson(const AvailabilityCell& cell);
+
+/// One backend as a fabric cell: identity covers the clean config, the
+/// crash parameters and the fault spec, so any knob change re-simulates.
+[[nodiscard]] fabric::FabricCell availabilityFabricCell(const AvailabilityOptions& opt,
+                                                        StorageKind kind);
 
 /// One line per backend, fixed key order and number formatting (same
 /// byte-determinism contract as sweepJsonl).

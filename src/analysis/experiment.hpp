@@ -36,6 +36,12 @@ enum class StorageKind {
 
 /// One cell of the paper's experiment matrix: application x storage system
 /// x cluster size (Figs 2-7), plus the ablation knobs from DESIGN.md §3.
+///
+/// Cell identity: fabric/cellid.cpp canonically serializes every field for
+/// config hashing (checkpoints, shard manifests, the result cache) and
+/// destructures this struct with structured bindings, so ADDING OR
+/// REMOVING A FIELD BREAKS THAT BUILD until the serializer is updated —
+/// by design: a new knob must never be silently absent from cell identity.
 struct ExperimentConfig {
   App app = App::kMontage;
   /// kBuiltinApp runs `app`; kImportedTrace parses `workflowFile`;

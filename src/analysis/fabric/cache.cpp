@@ -1,0 +1,83 @@
+#include "analysis/fabric/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace wfs::analysis::fabric {
+
+namespace fs = std::filesystem;
+
+const char* ResultCache::salt() {
+  // Manual code-version salt: bump when simulation behavior changes in any
+  // way that can alter a cell's result line (the byte-identity CI gates are
+  // the tripwire that a bump was forgotten). docs/SWEEPS.md documents the
+  // bump rule.
+  return "wfs-results-v1";
+}
+
+ResultCache::ResultCache(std::string root) : root_{std::move(root)} {
+  saltDir_ = root_ + "/" + salt();
+  std::error_code ec;
+  fs::create_directories(saltDir_, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create cache directory " + saltDir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string ResultCache::entryPath(std::string_view hexHash) const {
+  std::string p = saltDir_;
+  p += '/';
+  p.append(hexHash.substr(0, 2));
+  p += '/';
+  p.append(hexHash);
+  p += ".json";
+  return p;
+}
+
+std::optional<std::string> ResultCache::lookup(std::string_view hexHash) const {
+  std::FILE* f = std::fopen(entryPath(hexHash).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string line;
+  char buf[4096];
+  for (std::size_t n = 0; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    line.append(buf, n);
+  }
+  std::fclose(f);
+  // Entries are written without a trailing newline; tolerate one anyway so
+  // a hand-edited entry doesn't corrupt the merged JSONL.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+  if (line.empty()) return std::nullopt;  // torn or empty entry: treat as miss
+  return line;
+}
+
+void ResultCache::store(std::string_view hexHash, std::string_view line) const {
+  const std::string path = entryPath(hexHash);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return;  // cache is best-effort; the sweep result is already safe
+  // Atomic install: a unique temp name per writer (pid + in-process
+  // counter), then rename. Concurrent shards sharing the cache at worst
+  // race to install identical bytes.
+  static std::atomic<unsigned> storeCounter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(storeCounter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) std::remove(tmp.c_str());
+}
+
+}  // namespace wfs::analysis::fabric

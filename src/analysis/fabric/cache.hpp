@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wfs::analysis::fabric {
+
+/// On-disk content-addressed store of finished cell lines, keyed by the
+/// cell's config hash (which covers the seed) under a code-version salt.
+///
+/// Layout: `<root>/<salt>/<hh>/<hash>.json` where `hh` is the first two hex
+/// digits of the 16-digit cell hash (fan-out so 10^5-cell sweeps don't put
+/// every entry in one directory). Each entry holds exactly the JSONL line
+/// the sweep would have produced, so a cache hit is byte-identical to a
+/// fresh simulation by construction.
+///
+/// The salt names the simulation behavior version: bump kCacheSalt whenever
+/// a change can alter any cell's result (new storage model, engine fix, …),
+/// and every stale entry is orphaned instead of served. Stores are atomic
+/// (temp file + rename), so shards on the same host may share a cache
+/// directory; at worst two writers race to install the same bytes.
+class ResultCache {
+ public:
+  /// Opens (and creates, including parents) `<root>/<salt>/`.
+  /// Throws std::runtime_error if the directory cannot be created.
+  explicit ResultCache(std::string root);
+
+  /// The stored line for this cell hash, or nullopt on a miss.
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view hexHash) const;
+
+  /// Installs `line` (one cellJson line, no trailing newline) for the hash.
+  void store(std::string_view hexHash, std::string_view line) const;
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// The code-version salt folded into every entry path.
+  [[nodiscard]] static const char* salt();
+
+ private:
+  [[nodiscard]] std::string entryPath(std::string_view hexHash) const;
+
+  std::string root_;     // as given
+  std::string saltDir_;  // <root>/<salt>
+};
+
+}  // namespace wfs::analysis::fabric

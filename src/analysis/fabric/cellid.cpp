@@ -1,0 +1,128 @@
+#include "analysis/fabric/cellid.hpp"
+
+#include <cstdio>
+
+#include "storage/base/path.hpp"
+
+namespace wfs::analysis::fabric {
+
+namespace {
+
+/// Exact round-trippable decimal for identity purposes. %.17g guarantees
+/// distinct doubles serialize to distinct text (unlike the JSONL exporter's
+/// human-oriented %.10g).
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void appendField(std::string& out, const char* key, const std::string& value) {
+  out += '|';
+  out += key;
+  out += '=';
+  out += value;
+}
+
+void appendField(std::string& out, const char* key, const char* value) {
+  out += '|';
+  out += key;
+  out += '=';
+  out += value;
+}
+
+void appendField(std::string& out, const char* key, double value) {
+  out += '|';
+  out += key;
+  out += '=';
+  appendNumber(out, value);
+}
+
+void appendField(std::string& out, const char* key, std::uint64_t value) {
+  appendField(out, key, std::to_string(value));
+}
+
+void appendField(std::string& out, const char* key, int value) {
+  appendField(out, key, std::to_string(value));
+}
+
+void appendField(std::string& out, const char* key, bool value) {
+  appendField(out, key, value ? "1" : "0");
+}
+
+}  // namespace
+
+std::string canonicalFaultSpec(const fault::Spec& spec) {
+  // Exhaustiveness guard: destructuring names every member, so a new
+  // fault::Spec field fails to compile here until it is serialized below
+  // (or deliberately excluded with a comment).
+  const auto& [enabled, seed, crashRatePerNodeHour, opFaultProb, outageRatePerHour,
+               outageMeanSeconds, horizonSeconds, explicitCrashes, explicitOutages,
+               maxOpRetries, retryBackoffSeconds] = spec;
+
+  std::string out = "faults-v1";
+  appendField(out, "on", enabled);
+  appendField(out, "seed", seed);
+  appendField(out, "crash_rate", crashRatePerNodeHour);
+  appendField(out, "op_prob", opFaultProb);
+  appendField(out, "outage_rate", outageRatePerHour);
+  appendField(out, "outage_mean", outageMeanSeconds);
+  appendField(out, "horizon", horizonSeconds);
+  out += "|crashes=";
+  for (const fault::NodeCrash& c : explicitCrashes) {
+    appendNumber(out, c.atSeconds);
+    out += ':';
+    out += std::to_string(c.node);
+    out += ';';
+  }
+  out += "|outages=";
+  for (const fault::Outage& o : explicitOutages) {
+    appendNumber(out, o.startSeconds);
+    out += ':';
+    appendNumber(out, o.endSeconds);
+    out += ';';
+  }
+  appendField(out, "retries", maxOpRetries);
+  appendField(out, "backoff", retryBackoffSeconds);
+  return out;
+}
+
+std::string canonicalConfig(const ExperimentConfig& cfg) {
+  // Exhaustiveness guard (see header): a new ExperimentConfig field breaks
+  // this binding until the serializer decides its fate.
+  const auto& [app, source, workflowFile, synthSpec, storage, workerNodes, workerType,
+               nfsServerType, dataAwareScheduling, firstWritePenalty, clusterFactor,
+               appScale, seed, trace, faults] = cfg;
+  (void)trace;  // deliberate exclusion: logging only, cannot affect results
+
+  std::string out = "cfg-v1";
+  appendField(out, "app", toString(app));
+  appendField(out, "source", toString(source));
+  appendField(out, "workflow", workflowFile);
+  appendField(out, "synth", synthSpec);
+  appendField(out, "storage", toString(storage));
+  appendField(out, "nodes", workerNodes);
+  appendField(out, "worker", workerType);
+  appendField(out, "nfs_server", nfsServerType);
+  appendField(out, "data_aware", dataAwareScheduling);
+  appendField(out, "first_write_penalty", firstWritePenalty);
+  appendField(out, "cluster", clusterFactor);
+  appendField(out, "scale", appScale);
+  appendField(out, "seed", seed);
+  appendField(out, "faults", canonicalFaultSpec(faults));
+  return out;
+}
+
+std::uint64_t configHash(const ExperimentConfig& cfg) {
+  return storage::pathHash(canonicalConfig(cfg));
+}
+
+std::string hashHex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string configHashHex(const ExperimentConfig& cfg) { return hashHex(configHash(cfg)); }
+
+}  // namespace wfs::analysis::fabric

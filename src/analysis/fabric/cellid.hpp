@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/experiment.hpp"
+
+namespace wfs::analysis::fabric {
+
+/// Canonical, versioned serialization of an experiment cell's identity —
+/// every ExperimentConfig field that can influence the simulation result,
+/// in a fixed order with fixed number formatting, so equal configs always
+/// serialize to equal bytes on every platform.
+///
+/// Stability contract (docs/SWEEPS.md): the string starts with a format
+/// version tag (`cfg-v1`). Any change to the serialization — a new field, a
+/// renamed key, different float formatting — must bump the tag, which
+/// invalidates all existing hashes (and therefore result-cache entries and
+/// checkpoints). The implementation destructures ExperimentConfig and
+/// fault::Spec with structured bindings, so adding or removing a struct
+/// field breaks the build until this serializer is updated — a new config
+/// knob can never be silently omitted from cell identity.
+///
+/// `trace` is the one deliberate exclusion: it redirects logging and cannot
+/// change a single simulated event, so a traced and an untraced run of the
+/// same cell share an identity.
+[[nodiscard]] std::string canonicalConfig(const ExperimentConfig& cfg);
+
+/// Canonical serialization of a fault::Spec (embedded in canonicalConfig;
+/// exposed for composite identities such as availability cells).
+[[nodiscard]] std::string canonicalFaultSpec(const fault::Spec& spec);
+
+/// FNV-1a 64-bit hash of canonicalConfig — the cell's name in checkpoint
+/// manifests, shard fragments and the result cache. The seed is part of
+/// the config, so two seeds of the same grid cell hash differently.
+[[nodiscard]] std::uint64_t configHash(const ExperimentConfig& cfg);
+
+/// configHash rendered as 16 lowercase hex digits (the on-disk spelling).
+[[nodiscard]] std::string configHashHex(const ExperimentConfig& cfg);
+
+/// 16-lowercase-hex-digit rendering of any 64-bit cell/grid hash.
+[[nodiscard]] std::string hashHex(std::uint64_t h);
+
+}  // namespace wfs::analysis::fabric

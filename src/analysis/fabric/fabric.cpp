@@ -1,0 +1,244 @@
+#include "analysis/fabric/fabric.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/export.hpp"
+#include "analysis/fabric/cache.hpp"
+#include "analysis/fabric/cellid.hpp"
+#include "analysis/sweep.hpp"
+#include "storage/base/path.hpp"
+
+namespace wfs::analysis::fabric {
+
+const char* toString(CellSource source) {
+  switch (source) {
+    case CellSource::kSimulated: return "simulated";
+    case CellSource::kCacheHit: return "cache";
+    case CellSource::kResumed: return "resumed";
+  }
+  return "?";
+}
+
+std::uint64_t gridFingerprint(const std::vector<FabricCell>& cells) {
+  std::string joined;
+  joined.reserve(cells.size() * 17);
+  for (const FabricCell& c : cells) {
+    joined += c.hexHash;
+    joined += '\n';
+  }
+  return storage::pathHash(joined);
+}
+
+FabricOutput runFabric(const std::vector<FabricCell>& cells, const FabricOptions& opt) {
+  if (opt.shardCount < 1 || opt.shardIndex < 0 || opt.shardIndex >= opt.shardCount) {
+    throw std::logic_error("fabric shard spec out of range: " +
+                           std::to_string(opt.shardIndex) + "/" +
+                           std::to_string(opt.shardCount));
+  }
+
+  FabricOutput out;
+  out.gridHash = gridFingerprint(cells);
+  out.stats.gridCells = cells.size();
+
+  // This shard's cells, ascending grid index — the output order, fixed
+  // before anything runs.
+  for (std::size_t i = static_cast<std::size_t>(opt.shardIndex); i < cells.size();
+       i += static_cast<std::size_t>(opt.shardCount)) {
+    FabricRecord rec;
+    rec.index = i;
+    rec.hexHash = cells[i].hexHash;
+    out.records.push_back(std::move(rec));
+  }
+  out.stats.shardCells = out.records.size();
+
+  // Fold in the checkpoint: a record is trusted only if its index belongs
+  // to this shard of this grid AND its hash matches the cell it claims to
+  // be — anything else means the checkpoint came from a different grid,
+  // shard spec or config version, and silently mixing it in would corrupt
+  // the output.
+  std::size_t resumedCount = 0;
+  if (opt.resume && !opt.checkpoint.empty()) {
+    for (PartRecord& rec : PartsLog::load(opt.checkpoint)) {
+      if (rec.index >= cells.size() ||
+          rec.index % static_cast<std::size_t>(opt.shardCount) !=
+              static_cast<std::size_t>(opt.shardIndex)) {
+        throw std::runtime_error(
+            "checkpoint " + opt.checkpoint + " does not match this run (cell index " +
+            std::to_string(rec.index) + " is outside shard " +
+            std::to_string(opt.shardIndex) + "/" + std::to_string(opt.shardCount) +
+            " of a " + std::to_string(cells.size()) +
+            "-cell grid); delete it or rerun with the original grid and --shard");
+      }
+      if (rec.hexHash != cells[rec.index].hexHash) {
+        throw std::runtime_error(
+            "checkpoint " + opt.checkpoint + " was written for a different grid: cell " +
+            std::to_string(rec.index) + " has config hash " + cells[rec.index].hexHash +
+            " but the checkpoint recorded " + rec.hexHash +
+            "; delete the checkpoint or rerun the original configuration");
+      }
+      FabricRecord& slot =
+          out.records[(rec.index - static_cast<std::size_t>(opt.shardIndex)) /
+                      static_cast<std::size_t>(opt.shardCount)];
+      if (!slot.line.empty()) continue;  // duplicate record: first one wins
+      slot.line = std::move(rec.line);
+      slot.source = CellSource::kResumed;
+      ++resumedCount;
+    }
+  }
+  out.stats.resumed = resumedCount;
+
+  // The checkpoint log: truncated on fresh runs, appended to on resume
+  // (the resumed records are already on disk).
+  std::optional<PartsLog> parts;
+  if (!opt.checkpoint.empty()) parts.emplace(opt.checkpoint, /*truncate=*/!opt.resume);
+
+  std::optional<ResultCache> cache;
+  if (!opt.cacheDir.empty()) cache.emplace(opt.cacheDir);
+
+  std::mutex completionMutex;
+  std::size_t done = 0;
+
+  // Announce resumed cells first so `done/shardCells` ticks over the whole
+  // shard, not just the freshly-run remainder.
+  if (opt.progress) {
+    for (const FabricRecord& rec : out.records) {
+      if (rec.source != CellSource::kResumed) continue;
+      opt.progress(++done, out.stats.shardCells, cells[rec.index], CellSource::kResumed,
+                   out.stats);
+    }
+  } else {
+    done = resumedCount;
+  }
+
+  std::vector<std::size_t> pending;  // slots in out.records still to run
+  for (std::size_t s = 0; s < out.records.size(); ++s) {
+    if (out.records[s].source != CellSource::kResumed || out.records[s].line.empty()) {
+      pending.push_back(s);
+    }
+  }
+
+  SweepRunner::Options runnerOpt;
+  runnerOpt.threads = opt.threads;
+  SweepRunner runner{runnerOpt};
+  runner.runIndexed(pending.size(), [&](std::size_t k) {
+    FabricRecord& rec = out.records[pending[k]];
+    const FabricCell& cell = cells[rec.index];
+
+    CellOutput produced;
+    CellSource source = CellSource::kSimulated;
+    bool wasCacheMiss = false;
+    if (cache) {
+      if (std::optional<std::string> hit = cache->lookup(rec.hexHash)) {
+        produced.line = std::move(*hit);
+        produced.cacheable = false;  // already stored
+        source = CellSource::kCacheHit;
+      } else {
+        wasCacheMiss = true;
+      }
+    }
+    if (source == CellSource::kSimulated) {
+      try {
+        produced = cell.run();
+      } catch (const std::exception& e) {
+        produced.line = std::string("{\"error\":\"fabric cell threw: ") + e.what() + "\"}";
+        produced.cacheable = false;
+      } catch (...) {
+        produced.line = "{\"error\":\"fabric cell threw an unknown error\"}";
+        produced.cacheable = false;
+      }
+      if (cache && produced.cacheable) cache->store(rec.hexHash, produced.line);
+    }
+
+    std::lock_guard lk{completionMutex};
+    rec.line = std::move(produced.line);
+    rec.extra = std::move(produced.extra);
+    rec.source = source;
+    if (source == CellSource::kCacheHit) {
+      ++out.stats.cacheHits;
+    } else {
+      ++out.stats.simulated;
+      if (wasCacheMiss) ++out.stats.cacheMisses;
+    }
+    if (parts) parts->append(PartRecord{rec.index, rec.hexHash, rec.line});
+    if (opt.progress) opt.progress(++done, out.stats.shardCells, cell, source, out.stats);
+  });
+  if (parts) parts->close();
+
+  return out;
+}
+
+FabricCell experimentCell(const ExperimentConfig& cfg, bool withMetrics) {
+  FabricCell cell;
+  cell.hexHash = configHashHex(cfg);
+  {
+    SweepCellResult labelled;
+    labelled.config = cfg;
+    cell.label = labelled.label();
+  }
+  cell.run = [cfg, withMetrics]() {
+    SweepCellResult result;
+    result.config = cfg;
+    try {
+      result.result = runExperiment(cfg);
+      result.ok = true;
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    } catch (...) {
+      result.error = "unknown error";
+    }
+    CellOutput output;
+    output.line = cellJson(result);
+    output.cacheable = result.ok;
+    if (withMetrics) output.extra = metricsJsonl(result);
+    return output;
+  };
+  return cell;
+}
+
+namespace {
+
+/// Finds the value start of `"key":` at field position (preceded by '{' or
+/// ','). Escaped quotes inside string values keep a backslash before the
+/// quote, so a value can never fake a field boundary.
+std::size_t fieldValuePos(std::string_view line, std::string_view key) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle += "\":";
+  for (std::size_t pos = line.find(needle); pos != std::string_view::npos;
+       pos = line.find(needle, pos + 1)) {
+    if (pos > 0 && (line[pos - 1] == '{' || line[pos - 1] == ',')) {
+      return pos + needle.size();
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::optional<double> lineNumberField(std::string_view line, std::string_view key) {
+  const std::size_t pos = fieldValuePos(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::string token{line.substr(pos, line.find_first_of(",}", pos) - pos)};
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> lineStringField(std::string_view line, std::string_view key) {
+  std::size_t pos = fieldValuePos(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  if (pos >= line.size() || line[pos] != '"') return std::nullopt;
+  ++pos;
+  std::string out;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;  // \" and \\ unescape
+    out.push_back(line[pos]);
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace wfs::analysis::fabric

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/fabric/manifest.hpp"
+
+namespace wfs::analysis::fabric {
+
+/// How a cell's line was obtained.
+enum class CellSource { kSimulated, kCacheHit, kResumed };
+
+[[nodiscard]] const char* toString(CellSource source);
+
+/// What one cell's runner hands back: the finished JSONL line (no trailing
+/// newline) plus whether it may enter the result cache (failed cells and
+/// cells with side outputs stay out) and any extra per-cell output that
+/// rides along uncached and uncheckpointed (e.g. the --metrics ledger).
+struct CellOutput {
+  std::string line;
+  bool cacheable = true;
+  std::string extra;
+};
+
+/// One cell of a fabric grid: a stable identity (config hash) plus a
+/// closure that produces the cell's line. The closure runs on a worker
+/// thread and must be self-contained (one isolated simulator per cell —
+/// the same contract SweepRunner has always enforced).
+struct FabricCell {
+  std::string hexHash;
+  std::string label;
+  std::function<CellOutput()> run;
+};
+
+/// One finished cell with provenance, in ascending grid-index order.
+struct FabricRecord {
+  std::size_t index = 0;
+  std::string hexHash;
+  std::string line;
+  std::string extra;
+  CellSource source = CellSource::kSimulated;
+};
+
+struct FabricStats {
+  std::size_t gridCells = 0;   // full grid, before shard filtering
+  std::size_t shardCells = 0;  // cells this invocation owns
+  std::size_t simulated = 0;
+  std::size_t cacheHits = 0;
+  std::size_t cacheMisses = 0;  // lookups that fell through to simulation
+  std::size_t resumed = 0;
+};
+
+struct FabricOptions {
+  /// Worker threads; <= 0 means hardware concurrency (SweepRunner rules).
+  int threads = 0;
+  /// This invocation owns grid cells with index % shardCount == shardIndex.
+  int shardIndex = 0;
+  int shardCount = 1;
+  /// Skip cells already present (with matching hashes) in the checkpoint.
+  bool resume = false;
+  /// Result-cache directory; empty disables the cache.
+  std::string cacheDir;
+  /// Checkpoint (parts log) path; empty disables checkpointing.
+  std::string checkpoint;
+  /// Serialized per-finished-cell callback (progress line printing).
+  std::function<void(std::size_t done, std::size_t shardCells, const FabricCell& cell,
+                     CellSource source, const FabricStats& soFar)>
+      progress;
+};
+
+struct FabricOutput {
+  std::vector<FabricRecord> records;  // this shard's cells, ascending index
+  FabricStats stats;
+  /// FNV-1a over every cell hash of the FULL grid in index order — the
+  /// grid fingerprint fragments carry so merge can refuse cross-grid mixes.
+  std::uint64_t gridHash = 0;
+};
+
+/// Deterministic fingerprint over a grid's cell hashes (index order).
+[[nodiscard]] std::uint64_t gridFingerprint(const std::vector<FabricCell>& cells);
+
+/// Executes a cell grid through shard filtering, checkpoint resume, the
+/// result cache and the work-stealing pool, streaming every completion to
+/// the fsync'd parts log. The records of a shard are byte-identical to the
+/// corresponding slice of a single-process, single-thread run: identity
+/// and ordering come from the grid index, never from completion order or
+/// from where a line was obtained.
+///
+/// Throws std::runtime_error if the checkpoint belongs to a different grid
+/// or shard spec (hash mismatch / foreign indices) — a stale checkpoint
+/// must never be silently folded into fresh results.
+[[nodiscard]] FabricOutput runFabric(const std::vector<FabricCell>& cells,
+                                     const FabricOptions& opt);
+
+/// Wraps one ExperimentConfig as a fabric cell: identity from
+/// cellid::configHash, line from runExperiment + cellJson. Failed cells
+/// produce their usual "error" line and are not cached.
+[[nodiscard]] FabricCell experimentCell(const ExperimentConfig& cfg, bool withMetrics = false);
+
+/// Flat single-line JSON field access for the fixed-key-order lines the
+/// exporters emit (cellJson / availabilityJsonl). Returns nullopt when the
+/// key is absent. Keys match whole fields only (`"key":`), never inside
+/// string values of other keys.
+[[nodiscard]] std::optional<double> lineNumberField(std::string_view line,
+                                                    std::string_view key);
+[[nodiscard]] std::optional<std::string> lineStringField(std::string_view line,
+                                                         std::string_view key);
+
+}  // namespace wfs::analysis::fabric

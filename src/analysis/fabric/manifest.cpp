@@ -1,0 +1,170 @@
+#include "analysis/fabric/manifest.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace wfs::analysis::fabric {
+
+namespace {
+
+constexpr const char* kManifestMagic = "# wfsim fragment manifest v1";
+
+/// Reads a whole file; returns false if it cannot be opened.
+bool slurp(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  for (std::size_t n = 0; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+std::size_t parseIndex(const std::string& where, const std::string& token) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    throw std::runtime_error(where + ": malformed cell index '" + token + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::string partsPath(const std::string& jsonlPath) { return jsonlPath + ".parts"; }
+std::string manifestPath(const std::string& jsonlPath) { return jsonlPath + ".manifest"; }
+
+std::vector<PartRecord> PartsLog::load(const std::string& path) {
+  std::string text;
+  std::vector<PartRecord> records;
+  if (!slurp(path, text)) return records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: record without newline
+    const std::string_view line{text.data() + pos, eol - pos};
+    pos = eol + 1;
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 = tab1 == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : line.find('\t', tab1 + 1);
+    if (tab2 == std::string_view::npos) continue;  // torn or foreign line: skip
+    PartRecord rec;
+    char* end = nullptr;
+    const std::string idx{line.substr(0, tab1)};
+    rec.index = static_cast<std::size_t>(std::strtoull(idx.c_str(), &end, 10));
+    if (idx.empty() || end != idx.c_str() + idx.size()) continue;
+    rec.hexHash = std::string(line.substr(tab1 + 1, tab2 - tab1 - 1));
+    rec.line = std::string(line.substr(tab2 + 1));
+    if (rec.hexHash.empty() || rec.line.empty()) continue;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+PartsLog::PartsLog(const std::string& path, bool truncate) : path_{path} {
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open checkpoint " + path + " for writing");
+  }
+}
+
+PartsLog::~PartsLog() { close(); }
+
+void PartsLog::append(const PartRecord& rec) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "%zu\t%s\t%s\n", rec.index, rec.hexHash.c_str(), rec.line.c_str());
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+}
+
+void PartsLog::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void writeManifest(const std::string& path, const ManifestInfo& info) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot open manifest " + path + " for writing");
+  std::fprintf(f, "%s\n", kManifestMagic);
+  std::fprintf(f, "grid %zu %016llx\n", info.gridCells,
+               static_cast<unsigned long long>(info.gridHash));
+  std::fprintf(f, "shard %d/%d\n", info.shardIndex, info.shardCount);
+  for (const auto& [index, hash] : info.entries) {
+    std::fprintf(f, "cell %zu %s\n", index, hash.c_str());
+  }
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+}
+
+ManifestInfo readManifest(const std::string& path) {
+  std::string text;
+  if (!slurp(path, text)) {
+    throw std::runtime_error("cannot read manifest " + path +
+                             " (fragments must sit next to their .manifest sidecar)");
+  }
+  ManifestInfo info;
+  std::size_t pos = 0;
+  int lineNo = 0;
+  bool sawGrid = false;
+  bool sawShard = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineNo;
+    if (lineNo == 1) {
+      if (line != kManifestMagic) {
+        throw std::runtime_error(path + ": not a wfsim fragment manifest (bad header '" +
+                                 line + "')");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    const std::string kind = line.substr(0, sp);
+    const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+    if (kind == "grid") {
+      const std::size_t sp2 = rest.find(' ');
+      if (sp2 == std::string::npos) {
+        throw std::runtime_error(path + ": malformed grid line '" + line + "'");
+      }
+      info.gridCells = parseIndex(path, rest.substr(0, sp2));
+      char* end = nullptr;
+      const std::string hex = rest.substr(sp2 + 1);
+      info.gridHash = std::strtoull(hex.c_str(), &end, 16);
+      if (hex.empty() || end != hex.c_str() + hex.size()) {
+        throw std::runtime_error(path + ": malformed grid hash '" + hex + "'");
+      }
+      sawGrid = true;
+    } else if (kind == "shard") {
+      const std::size_t slash = rest.find('/');
+      if (slash == std::string::npos) {
+        throw std::runtime_error(path + ": malformed shard line '" + line + "'");
+      }
+      info.shardIndex = static_cast<int>(parseIndex(path, rest.substr(0, slash)));
+      info.shardCount = static_cast<int>(parseIndex(path, rest.substr(slash + 1)));
+      sawShard = true;
+    } else if (kind == "cell") {
+      const std::size_t sp2 = rest.find(' ');
+      if (sp2 == std::string::npos) {
+        throw std::runtime_error(path + ": malformed cell line '" + line + "'");
+      }
+      info.entries.emplace_back(parseIndex(path, rest.substr(0, sp2)), rest.substr(sp2 + 1));
+    } else {
+      throw std::runtime_error(path + ": unknown manifest line '" + line + "'");
+    }
+  }
+  if (!sawGrid || !sawShard) {
+    throw std::runtime_error(path + ": manifest is missing its grid/shard header");
+  }
+  return info;
+}
+
+}  // namespace wfs::analysis::fabric

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wfs::analysis::fabric {
+
+/// One finished cell as recorded in a checkpoint (parts log) or described
+/// by a fragment manifest: global grid index, cell config hash, and the
+/// exact JSONL line the cell produced (no trailing newline).
+struct PartRecord {
+  std::size_t index = 0;
+  std::string hexHash;
+  std::string line;
+};
+
+/// Sidecar paths next to a sweep's `--jsonl FILE` target.
+[[nodiscard]] std::string partsPath(const std::string& jsonlPath);     // FILE.parts
+[[nodiscard]] std::string manifestPath(const std::string& jsonlPath);  // FILE.manifest
+
+/// Append-only checkpoint log: one tab-separated `index<TAB>hash<TAB>line`
+/// record per finished cell, flushed AND fsync'd per append so a SIGKILL
+/// loses at most the record being written. cellJson escapes all control
+/// characters, so the line itself can never contain a tab or newline.
+///
+/// Appends are not internally locked — the fabric serializes them under its
+/// completion mutex.
+class PartsLog {
+ public:
+  /// Loads a parts log, tolerating a torn final record (no trailing
+  /// newline, or fewer than three fields): the torn tail is dropped, which
+  /// simply re-runs that cell on resume. A missing file loads as empty.
+  [[nodiscard]] static std::vector<PartRecord> load(const std::string& path);
+
+  /// Opens for appending; `truncate` starts a fresh log (non-resume runs).
+  /// Throws std::runtime_error if the file cannot be opened.
+  PartsLog(const std::string& path, bool truncate);
+  ~PartsLog();
+  PartsLog(const PartsLog&) = delete;
+  PartsLog& operator=(const PartsLog&) = delete;
+
+  /// Appends one record and forces it to stable storage (fflush + fsync).
+  void append(const PartRecord& rec);
+
+  void close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Fragment manifest: names the grid a fragment belongs to (cell count and
+/// a fingerprint over every cell hash in index order), which shard of it
+/// this fragment covers, and the (index, hash) of each JSONL line in file
+/// order. `wfsim merge` uses it to reassemble fragments into the
+/// byte-identical single-process ordering and to refuse fragments from
+/// different grids or overlapping shards.
+struct ManifestInfo {
+  int shardIndex = 0;
+  int shardCount = 1;
+  std::size_t gridCells = 0;
+  std::uint64_t gridHash = 0;
+  std::vector<std::pair<std::size_t, std::string>> entries;  // (index, hexHash)
+};
+
+void writeManifest(const std::string& path, const ManifestInfo& info);
+
+/// Throws std::runtime_error (naming the path and the offending line) on a
+/// missing or malformed manifest.
+[[nodiscard]] ManifestInfo readManifest(const std::string& path);
+
+}  // namespace wfs::analysis::fabric

@@ -1,19 +1,46 @@
 #include "analysis/repeat.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "analysis/fabric/fabric.hpp"
 #include "analysis/sweep.hpp"
 
 namespace wfs::analysis {
 
-RepeatedResult repeatExperiment(ExperimentConfig cfg,
-                                const std::vector<std::uint64_t>& seeds, int jobs) {
+std::vector<ExperimentConfig> repeatGrid(ExperimentConfig cfg,
+                                         const std::vector<std::uint64_t>& seeds) {
   std::vector<ExperimentConfig> cells;
   cells.reserve(seeds.size());
   for (const std::uint64_t seed : seeds) {
     cfg.seed = seed;
     cells.push_back(cfg);
   }
+  return cells;
+}
+
+RepeatLineAggregate aggregateRepeatLines(const std::vector<std::string>& lines) {
+  RepeatLineAggregate agg;
+  for (const std::string& line : lines) {
+    if (const auto err = fabric::lineStringField(line, "error")) {
+      throw std::runtime_error("repeat cell failed: " + *err);
+    }
+    const auto makespan = fabric::lineNumberField(line, "makespan_s");
+    const auto hourly = fabric::lineNumberField(line, "cost_hourly");
+    const auto perSecond = fabric::lineNumberField(line, "cost_per_second");
+    if (!makespan || !hourly || !perSecond) {
+      throw std::runtime_error("repeat cell line is missing result fields: " + line);
+    }
+    agg.makespan.add(*makespan);
+    agg.costHourly.add(*hourly);
+    agg.costPerSecond.add(*perSecond);
+  }
+  return agg;
+}
+
+RepeatedResult repeatExperiment(ExperimentConfig cfg,
+                                const std::vector<std::uint64_t>& seeds, int jobs) {
+  std::vector<ExperimentConfig> cells = repeatGrid(std::move(cfg), seeds);
 
   SweepRunner::Options opt;
   opt.threads = jobs;

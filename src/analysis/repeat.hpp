@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -30,5 +31,22 @@ struct RepeatedResult {
 [[nodiscard]] RepeatedResult repeatExperiment(ExperimentConfig cfg,
                                               const std::vector<std::uint64_t>& seeds,
                                               int jobs = 1);
+
+/// The per-seed grid repeatExperiment runs: `cfg` with each seed in list
+/// order. A repeat is just a seed-axis sweep, which is how the CLI feeds
+/// it through the sweep fabric (sharding/resume/cache for free).
+[[nodiscard]] std::vector<ExperimentConfig> repeatGrid(ExperimentConfig cfg,
+                                                       const std::vector<std::uint64_t>& seeds);
+
+/// Aggregate of repeat cells that came back as JSONL lines (from the
+/// fabric: freshly simulated, cache hits and resumed cells are
+/// indistinguishable by construction). Line order is seed-list order.
+/// Throws std::runtime_error on an error line, quoting the cell's message.
+struct RepeatLineAggregate {
+  sim::OnlineStats makespan;
+  sim::OnlineStats costHourly;
+  sim::OnlineStats costPerSecond;
+};
+[[nodiscard]] RepeatLineAggregate aggregateRepeatLines(const std::vector<std::string>& lines);
 
 }  // namespace wfs::analysis

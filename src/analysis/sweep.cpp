@@ -58,30 +58,23 @@ int SweepRunner::resolveThreads(std::size_t cells) const {
   return static_cast<int>(std::clamp<std::size_t>(cells, 1, n));
 }
 
-std::vector<SweepCellResult> SweepRunner::run(std::vector<ExperimentConfig> cells) const {
-  std::vector<SweepCellResult> results(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i) results[i].config = std::move(cells[i]);
-  if (results.empty()) return results;
-
-  const int workers = resolveThreads(results.size());
+void SweepRunner::runIndexed(std::size_t count,
+                             const std::function<void(std::size_t)>& task) const {
+  if (count == 0) return;
+  const int workers = resolveThreads(count);
   if (workers == 1) {
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      runCell(results[i]);
-      if (opt_.progress) opt_.progress(i + 1, results.size(), results[i]);
-    }
-    return results;
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
   }
 
   // Deal cells round-robin: the expensive large-node-count cells sit next
   // to each other in a typical grid, and round-robin spreads them across
   // workers; stealing mops up whatever imbalance remains.
   std::vector<WorkQueue> queues(static_cast<std::size_t>(workers));
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  for (std::size_t i = 0; i < count; ++i) {
     queues[i % static_cast<std::size_t>(workers)].q.push_back(i);
   }
 
-  std::mutex progressMutex;
-  std::size_t done = 0;
   auto work = [&](int self) {
     std::size_t idx = 0;
     for (;;) {
@@ -92,11 +85,7 @@ std::vector<SweepCellResult> SweepRunner::run(std::vector<ExperimentConfig> cell
       // Cells are only ever removed from the queues, so one empty scan
       // means this worker is permanently out of work.
       if (!have) return;
-      runCell(results[idx]);
-      if (opt_.progress) {
-        std::lock_guard lk{progressMutex};
-        opt_.progress(++done, results.size(), results[idx]);
-      }
+      task(idx);
     }
   };
 
@@ -104,6 +93,22 @@ std::vector<SweepCellResult> SweepRunner::run(std::vector<ExperimentConfig> cell
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) pool.emplace_back(work, w);
   for (auto& t : pool) t.join();
+}
+
+std::vector<SweepCellResult> SweepRunner::run(std::vector<ExperimentConfig> cells) const {
+  std::vector<SweepCellResult> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) results[i].config = std::move(cells[i]);
+  if (results.empty()) return results;
+
+  std::mutex progressMutex;
+  std::size_t done = 0;
+  runIndexed(results.size(), [&](std::size_t idx) {
+    runCell(results[idx]);
+    if (opt_.progress) {
+      std::lock_guard lk{progressMutex};
+      opt_.progress(++done, results.size(), results[idx]);
+    }
+  });
   return results;
 }
 

@@ -55,6 +55,14 @@ class SweepRunner {
   /// Runs every cell and returns one result per cell, in input order.
   [[nodiscard]] std::vector<SweepCellResult> run(std::vector<ExperimentConfig> cells) const;
 
+  /// The generic work-stealing core: executes `task(k)` once for every
+  /// k in [0, count) across the resolved worker count. Tasks must be
+  /// independent; `task` is called concurrently and must do its own
+  /// serialization for shared state (run() and the sweep fabric both wrap
+  /// it with a completion mutex). Round-robin dealing + back-stealing, the
+  /// same schedule run() has always used.
+  void runIndexed(std::size_t count, const std::function<void(std::size_t)>& task) const;
+
   /// The worker count `run` would use for a grid of `cells` cells.
   [[nodiscard]] int resolveThreads(std::size_t cells) const;
 

@@ -44,6 +44,10 @@ struct FaultPlan {
 /// from `seed`) or explicit event lists, plus the storage retry policy.
 /// Embedded in analysis::ExperimentConfig; `enabled == false` is the
 /// paper-faithful zero-fault path and must not perturb a single event.
+///
+/// Part of sweep-cell identity: analysis/fabric/cellid.cpp destructures
+/// this struct exhaustively for config hashing, so adding or removing a
+/// field breaks that build until the serializer is updated.
 struct Spec {
   bool enabled = false;
   std::uint64_t seed = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_set>
 
 namespace wfs::wf {
@@ -76,7 +77,13 @@ bool Dag::isAcyclic() const {
 
 void Dag::connectByFiles(const std::vector<FileSpec>& externalInputs) {
   externalInputs_ = externalInputs;
-  std::unordered_map<std::string, JobId> producer;
+  // Keys are views into jobs_/externalInputs_ LFNs, which are stable for the
+  // lifetime of this function — at 10^5-10^6 tasks the owned-string copies
+  // (and rehash growth without the reserve) dominated generation time.
+  std::size_t outputCount = 0;
+  for (const auto& j : jobs_) outputCount += j.outputs.size();
+  std::unordered_map<std::string_view, JobId> producer;
+  producer.reserve(outputCount);
   for (const auto& j : jobs_) {
     for (const auto& f : j.outputs) {
       auto [it, inserted] = producer.emplace(f.lfn, j.id);
@@ -86,8 +93,9 @@ void Dag::connectByFiles(const std::vector<FileSpec>& externalInputs) {
       (void)it;
     }
   }
-  std::unordered_set<std::string> external;
-  for (const auto& f : externalInputs) external.insert(f.lfn);
+  std::unordered_set<std::string_view> external;
+  external.reserve(externalInputs_.size());
+  for (const auto& f : externalInputs_) external.insert(f.lfn);
   for (const auto& j : jobs_) {
     for (const auto& f : j.inputs) {
       if (auto it = producer.find(f.lfn); it != producer.end()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,8 +16,13 @@ constexpr const char* kStageTx = "synth_stage";
 constexpr const char* kSinkTx = "synth_sink";
 
 /// Output LFN of task `t`; short on purpose — at 10^6 tasks the intern
-/// table stores every one of these.
-std::string taskFile(int t) { return "synth/f_" + std::to_string(t); }
+/// table stores every one of these. Formatted in one pass (single
+/// construction, SSO-sized up to 10^6) rather than via concatenation.
+std::string taskFile(int t) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "synth/f_%d", t);
+  return {buf, static_cast<std::size_t>(n)};
+}
 
 double drawCpu(const SynthSpec& spec, sim::Rng& cpuRng) {
   return spec.cpuSeconds * cpuRng.uniform(0.5, 1.5);
@@ -29,7 +35,9 @@ Bytes drawSize(const SynthSpec& spec, sim::Rng& sizeRng) {
 
 JobSpec baseJob(int t, const char* tx, const SynthSpec& spec, sim::Rng& cpuRng) {
   JobSpec j;
-  j.name = std::string(tx) + "_" + std::to_string(t);
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof buf, "%s_%d", tx, t);
+  j.name.assign(buf, static_cast<std::size_t>(n));
   j.transformation = tx;
   j.cpuSeconds = drawCpu(spec, cpuRng);
   return j;
@@ -118,6 +126,10 @@ AbstractWorkflow makeSynthetic(const SynthSpec& spec, sim::Rng& rng) {
       int layerStart = 0;
       int prevStart = 0;
       int prevCount = 0;
+      // Hoisted out of the task loop: at 10^5-10^6 tasks a fresh vector per
+      // task is pure allocator churn.
+      std::vector<int> parentRows;
+      parentRows.reserve(static_cast<std::size_t>(spec.fanin));
       for (int t = 0; t < spec.tasks; ++t) {
         const int j = t - layerStart;
         if (j == spec.width) {
@@ -132,8 +144,7 @@ AbstractWorkflow makeSynthetic(const SynthSpec& spec, sim::Rng& rng) {
         if (layerStart == 0) {
           job.inputs = {stagedInput};
         } else {
-          std::vector<int> parentRows;
-          parentRows.reserve(static_cast<std::size_t>(spec.fanin));
+          parentRows.clear();
           parentRows.push_back(prevStart + col % prevCount);
           for (int d = 1; d < spec.fanin; ++d) {
             const int pick =

@@ -1,0 +1,368 @@
+#include "analysis/fabric/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/fabric/cache.hpp"
+#include "analysis/fabric/cellid.hpp"
+#include "analysis/fabric/manifest.hpp"
+#include "wf/synth/spec.hpp"
+
+namespace wfs::analysis::fabric {
+namespace {
+
+/// Fresh per-test scratch directory under gtest's temp root.
+std::string scratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "wfs_fabric_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A tiny synthetic grid: fast cells, several storage backends, fixed size.
+std::vector<ExperimentConfig> tinyGrid() {
+  const std::string spec = wf::synth::SynthSpec::parse("diamond:width=6").canonical();
+  const struct {
+    StorageKind kind;
+    int nodes;
+  } axes[] = {
+      {StorageKind::kLocal, 1}, {StorageKind::kS3, 1},  {StorageKind::kS3, 2},
+      {StorageKind::kNfs, 1},   {StorageKind::kNfs, 2}, {StorageKind::kGlusterNufa, 2},
+  };
+  std::vector<ExperimentConfig> cells;
+  for (const auto& a : axes) {
+    ExperimentConfig cfg;
+    cfg.source = WorkflowSource::kSynthetic;
+    cfg.synthSpec = spec;
+    cfg.storage = a.kind;
+    cfg.workerNodes = a.nodes;
+    cells.push_back(cfg);
+  }
+  return cells;
+}
+
+std::vector<FabricCell> tinyCells() {
+  std::vector<FabricCell> out;
+  for (const ExperimentConfig& cfg : tinyGrid()) out.push_back(experimentCell(cfg));
+  return out;
+}
+
+/// The single-process, single-thread, no-cache, no-checkpoint lines — the
+/// byte-identity reference everything else must reproduce.
+std::vector<std::string> referenceLines() {
+  FabricOptions opt;
+  opt.threads = 1;
+  const FabricOutput out = runFabric(tinyCells(), opt);
+  std::vector<std::string> lines;
+  for (const FabricRecord& rec : out.records) lines.push_back(rec.line);
+  return lines;
+}
+
+TEST(CellIdTest, EqualConfigsHashEqual) {
+  ExperimentConfig a;
+  ExperimentConfig b;
+  EXPECT_EQ(configHash(a), configHash(b));
+  EXPECT_EQ(configHashHex(a), configHashHex(b));
+  EXPECT_EQ(configHashHex(a).size(), 16u);
+  EXPECT_EQ(canonicalConfig(a).rfind("cfg-v1|", 0), 0u) << canonicalConfig(a);
+}
+
+TEST(CellIdTest, EveryResultAffectingFieldChangesTheHash) {
+  const ExperimentConfig base;
+  const std::uint64_t h0 = configHash(base);
+  auto mutated = [&](auto&& mutate) {
+    ExperimentConfig cfg = base;
+    mutate(cfg);
+    return configHash(cfg);
+  };
+  EXPECT_NE(mutated([](auto& c) { c.app = App::kBroadband; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.source = WorkflowSource::kSynthetic; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.workflowFile = "x.json"; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.synthSpec = "diamond:width=4"; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.storage = StorageKind::kNfs; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.workerNodes = 2; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.workerType = "m1.small"; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.nfsServerType = "m2.4xlarge"; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.dataAwareScheduling = true; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.firstWritePenalty = false; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.clusterFactor = 2; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.appScale = 0.5; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.seed = 7; }), h0);
+  EXPECT_NE(mutated([](auto& c) { c.faults.enabled = true; }), h0);
+}
+
+TEST(CellIdTest, TraceIsDeliberatelyExcludedFromIdentity) {
+  ExperimentConfig cfg;
+  const std::uint64_t h0 = configHash(cfg);
+  cfg.trace = true;  // logging only: must not invalidate checkpoints/caches
+  EXPECT_EQ(configHash(cfg), h0);
+}
+
+TEST(CellIdTest, FaultSpecFieldsChangeTheHash) {
+  ExperimentConfig base;
+  base.faults.enabled = true;
+  const std::uint64_t h0 = configHash(base);
+  auto mutated = [&](auto&& mutate) {
+    ExperimentConfig cfg = base;
+    mutate(cfg.faults);
+    return configHash(cfg);
+  };
+  EXPECT_NE(mutated([](auto& f) { f.seed = 9; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.crashRatePerNodeHour = 0.5; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.opFaultProb = 0.01; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.outageRatePerHour = 1.0; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.outageMeanSeconds = 60.0; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.horizonSeconds = 60.0; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.explicitCrashes.push_back({10.0, 0}); }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.explicitOutages.push_back({1.0, 2.0}); }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.maxOpRetries = 2; }), h0);
+  EXPECT_NE(mutated([](auto& f) { f.retryBackoffSeconds = 2.0; }), h0);
+}
+
+TEST(ResultCacheTest, RoundTripAndMiss) {
+  const ResultCache cache{scratchDir("cache_roundtrip")};
+  EXPECT_EQ(cache.lookup("00112233aabbccdd"), std::nullopt);
+  const std::string line = "{\"app\":\"montage\",\"makespan_s\":12.5}";
+  cache.store("00112233aabbccdd", line);
+  const auto hit = cache.lookup("00112233aabbccdd");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, line);
+  // A second store of the same key is a harmless overwrite (shards racing).
+  cache.store("00112233aabbccdd", line);
+  EXPECT_EQ(cache.lookup("00112233aabbccdd"), line);
+  EXPECT_EQ(cache.lookup("ffeeddccbbaa9988"), std::nullopt);
+}
+
+TEST(PartsLogTest, RoundTripToleratesTornTailAndMalformedLines) {
+  const std::string path = scratchDir("parts") + "/out.jsonl.parts";
+  {
+    PartsLog log{path, /*truncate=*/true};
+    log.append(PartRecord{0, "aaaaaaaaaaaaaaaa", "{\"x\":1}"});
+    log.append(PartRecord{3, "bbbbbbbbbbbbbbbb", "{\"x\":2}"});
+  }
+  {
+    // A malformed middle record and a torn final record, as a SIGKILL mid-
+    // append would leave them.
+    std::ofstream f{path, std::ios::app | std::ios::binary};
+    f << "not-a-record\n";
+    f << "7\tcccccccccccccccc\t{\"x\":3}";  // no newline: torn
+  }
+  const std::vector<PartRecord> recs = PartsLog::load(path);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].index, 0u);
+  EXPECT_EQ(recs[0].hexHash, "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(recs[0].line, "{\"x\":1}");
+  EXPECT_EQ(recs[1].index, 3u);
+  EXPECT_EQ(recs[1].line, "{\"x\":2}");
+  EXPECT_TRUE(PartsLog::load(path + ".missing").empty());
+}
+
+TEST(ManifestTest, RoundTrip) {
+  const std::string path = scratchDir("manifest") + "/frag.jsonl.manifest";
+  ManifestInfo info;
+  info.shardIndex = 1;
+  info.shardCount = 3;
+  info.gridCells = 18;
+  info.gridHash = 0x0123456789abcdefULL;
+  info.entries = {{1, "aaaaaaaaaaaaaaaa"}, {4, "bbbbbbbbbbbbbbbb"}};
+  writeManifest(path, info);
+  const ManifestInfo back = readManifest(path);
+  EXPECT_EQ(back.shardIndex, info.shardIndex);
+  EXPECT_EQ(back.shardCount, info.shardCount);
+  EXPECT_EQ(back.gridCells, info.gridCells);
+  EXPECT_EQ(back.gridHash, info.gridHash);
+  EXPECT_EQ(back.entries, info.entries);
+}
+
+TEST(ManifestTest, MissingAndMalformedManifestsThrowNamingThePath) {
+  const std::string dir = scratchDir("manifest_bad");
+  try {
+    (void)readManifest(dir + "/absent.manifest");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absent.manifest"), std::string::npos) << e.what();
+  }
+  const std::string path = dir + "/corrupt.manifest";
+  std::ofstream{path, std::ios::binary} << "# wfsim fragment manifest v1\ngarbage here\n";
+  EXPECT_THROW((void)readManifest(path), std::runtime_error);
+}
+
+TEST(FabricTest, ShardsPartitionTheGridAndReassembleByteIdentically) {
+  const std::vector<std::string> reference = referenceLines();
+  const std::vector<FabricCell> cells = tinyCells();
+
+  std::vector<std::string> merged(reference.size());
+  std::set<std::size_t> covered;
+  std::uint64_t gridHash = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    FabricOptions opt;
+    opt.threads = 2;
+    opt.shardIndex = shard;
+    opt.shardCount = 3;
+    const FabricOutput out = runFabric(cells, opt);
+    EXPECT_EQ(out.stats.gridCells, cells.size());
+    if (shard == 0) {
+      gridHash = out.gridHash;
+    } else {
+      EXPECT_EQ(out.gridHash, gridHash);  // every shard can name the full grid
+    }
+    for (const FabricRecord& rec : out.records) {
+      EXPECT_EQ(rec.index % 3u, static_cast<std::size_t>(shard));
+      EXPECT_TRUE(covered.insert(rec.index).second) << "cell " << rec.index << " ran twice";
+      merged[rec.index] = rec.line;
+    }
+  }
+  EXPECT_EQ(covered.size(), reference.size());
+  EXPECT_EQ(merged, reference);
+}
+
+TEST(FabricTest, ResumeIsByteIdenticalAtAnyThreadCount) {
+  const std::vector<std::string> reference = referenceLines();
+  const std::string dir = scratchDir("resume");
+
+  for (const int threads : {1, 2, 8}) {
+    const std::string checkpoint =
+        dir + "/t" + std::to_string(threads) + ".jsonl.parts";
+    // A full checkpoint, then truncated to its first 2 records — the state
+    // a killed run leaves behind.
+    {
+      FabricOptions opt;
+      opt.threads = 1;
+      opt.checkpoint = checkpoint;
+      (void)runFabric(tinyCells(), opt);
+    }
+    std::vector<PartRecord> recs = PartsLog::load(checkpoint);
+    ASSERT_EQ(recs.size(), reference.size());
+    recs.resize(2);
+    {
+      PartsLog log{checkpoint, /*truncate=*/true};
+      for (const PartRecord& rec : recs) log.append(rec);
+    }
+
+    FabricOptions opt;
+    opt.threads = threads;
+    opt.resume = true;
+    opt.checkpoint = checkpoint;
+    const FabricOutput out = runFabric(tinyCells(), opt);
+    EXPECT_EQ(out.stats.resumed, 2u);
+    EXPECT_EQ(out.stats.simulated, reference.size() - 2);
+    ASSERT_EQ(out.records.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(out.records[i].line, reference[i]) << "threads=" << threads << " cell " << i;
+    }
+    // The resumed log now holds every cell again (resumed ones were already
+    // on disk; fresh ones were appended).
+    EXPECT_EQ(PartsLog::load(checkpoint).size(), reference.size());
+  }
+}
+
+TEST(FabricTest, WarmCacheServesEveryCellWithoutSimulating) {
+  const std::vector<std::string> reference = referenceLines();
+  const std::string cacheDir = scratchDir("cache_warm");
+
+  FabricOptions opt;
+  opt.threads = 2;
+  opt.cacheDir = cacheDir;
+  const FabricOutput cold = runFabric(tinyCells(), opt);
+  EXPECT_EQ(cold.stats.simulated, reference.size());
+  EXPECT_EQ(cold.stats.cacheMisses, reference.size());
+  EXPECT_EQ(cold.stats.cacheHits, 0u);
+
+  const FabricOutput warm = runFabric(tinyCells(), opt);
+  EXPECT_EQ(warm.stats.simulated, 0u);
+  EXPECT_EQ(warm.stats.cacheHits, reference.size());
+  ASSERT_EQ(warm.records.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(warm.records[i].line, reference[i]) << "cell " << i;
+    EXPECT_EQ(warm.records[i].source, CellSource::kCacheHit);
+  }
+}
+
+TEST(FabricTest, ErrorCellsAreReportedInPlaceButNeverCached) {
+  ExperimentConfig bad;  // node-attached storage with 4 workers is invalid
+  bad.storage = StorageKind::kLocal;
+  bad.workerNodes = 4;
+  bad.appScale = 0.05;
+  const std::vector<FabricCell> cells{experimentCell(bad)};
+  FabricOptions opt;
+  opt.threads = 1;
+  opt.cacheDir = scratchDir("cache_error");
+
+  const FabricOutput first = runFabric(cells, opt);
+  ASSERT_EQ(first.records.size(), 1u);
+  EXPECT_NE(first.records[0].line.find("\"error\":"), std::string::npos)
+      << first.records[0].line;
+  const FabricOutput second = runFabric(cells, opt);
+  EXPECT_EQ(second.stats.cacheHits, 0u);  // the failure was not installed
+  EXPECT_EQ(second.stats.simulated, 1u);
+  EXPECT_EQ(second.records[0].line, first.records[0].line);
+}
+
+TEST(FabricTest, ForeignCheckpointsAreRejectedNotFolded) {
+  const std::string dir = scratchDir("foreign");
+  const std::string checkpoint = dir + "/out.jsonl.parts";
+  {
+    FabricOptions opt;
+    opt.threads = 1;
+    opt.checkpoint = checkpoint;
+    (void)runFabric(tinyCells(), opt);
+  }
+
+  // Same grid shape, different seed: every hash changes, so the checkpoint
+  // must be refused, not silently reused.
+  std::vector<FabricCell> other;
+  for (ExperimentConfig cfg : tinyGrid()) {
+    cfg.seed = 99;
+    other.push_back(experimentCell(cfg));
+  }
+  FabricOptions opt;
+  opt.threads = 1;
+  opt.resume = true;
+  opt.checkpoint = checkpoint;
+  EXPECT_THROW((void)runFabric(other, opt), std::runtime_error);
+
+  // A checkpoint whose indices fall outside the shard is just as foreign.
+  std::filesystem::remove(checkpoint);
+  {
+    PartsLog log{checkpoint, /*truncate=*/true};
+    log.append(PartRecord{1, "aaaaaaaaaaaaaaaa", "{}"});  // index 1 is shard 1/2's
+  }
+  FabricOptions sharded;
+  sharded.threads = 1;
+  sharded.shardIndex = 0;
+  sharded.shardCount = 2;
+  sharded.resume = true;
+  sharded.checkpoint = checkpoint;
+  EXPECT_THROW((void)runFabric(tinyCells(), sharded), std::runtime_error);
+}
+
+TEST(FabricTest, ShardSpecOutOfRangeThrows) {
+  FabricOptions opt;
+  opt.shardIndex = 5;
+  opt.shardCount = 4;
+  EXPECT_THROW((void)runFabric(tinyCells(), opt), std::logic_error);
+}
+
+TEST(LineFieldTest, ExtractsWholeFieldsOnly) {
+  const std::string line =
+      "{\"app\":\"montage\",\"note\":\"x,\\\"makespan_s\\\":99\",\"makespan_s\":12.5,"
+      "\"tasks\":20}";
+  const auto makespan = lineNumberField(line, "makespan_s");
+  ASSERT_TRUE(makespan.has_value());
+  EXPECT_EQ(*makespan, 12.5);  // the decoy inside the string value is skipped
+  const auto app = lineStringField(line, "app");
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(*app, "montage");
+  EXPECT_EQ(lineStringField(line, "note"), "x,\"makespan_s\":99");
+  EXPECT_EQ(lineNumberField(line, "absent"), std::nullopt);
+  EXPECT_EQ(lineStringField(line, "absent"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace wfs::analysis::fabric

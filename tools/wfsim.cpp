@@ -4,8 +4,10 @@
 //                [--data-aware] [--no-first-write-penalty] [--cluster K]
 //                [--nfs-server TYPE] [--metrics FILE] [--faults ...]
 //   wfsim sweep  <app> [--jobs N] [--jsonl FILE] [--metrics FILE]
+//                [--shard I/N] [--resume] [--cache DIR] [--list-cells]
 //   wfsim repeat <app> <storage> <nodes> [--reps R] [--jobs N]
 //   wfsim avail  <app> [nodes] [--crash-frac F] [--jobs N] [--jsonl FILE]
+//   wfsim merge  FRAGMENT... --jsonl OUT           reassemble shard fragments
 //   wfsim table1 [--scale S]                       reproduce Table I
 //   wfsim list                                     storage systems & instance types
 //
@@ -22,13 +24,22 @@
 // every backend fault-free, then again with one worker crash-stopped at
 // --crash-frac of the clean makespan, reporting makespan/cost inflation.
 //
-// Sweeps fan out over a work-stealing thread pool (analysis::SweepRunner),
-// one isolated simulator per grid cell; results are merged by cell index,
-// so stdout and --jsonl output are byte-identical for any --jobs value.
+// Sweep fabric (docs/SWEEPS.md): sweep, repeat and avail all run through
+// analysis::fabric — every grid cell has a content hash over its canonical
+// config, results stream to an fsync'd FILE.parts checkpoint as cells
+// finish (--resume skips completed cells after a crash), --shard I/N runs
+// the I-th of N deterministic grid slices (reassembled with `wfsim merge`
+// into the byte-identical single-process ordering), and --cache DIR reuses
+// finished cell lines across runs, keyed by config hash under a
+// code-version salt. Identity and ordering come from the grid index alone,
+// so output files are byte-identical for any --jobs value and for any mix
+// of simulated, resumed and cached cells.
 //
 // Examples:
 //   wfsim run broadband s3 4 --scale 0.25
 //   wfsim sweep montage --jobs $(nproc) --jsonl montage.jsonl
+//   wfsim sweep montage --shard 1/3 --jsonl frag1.jsonl --cache ~/.wfsim-cache
+//   wfsim merge frag0.jsonl frag1.jsonl frag2.jsonl --jsonl montage.jsonl
 //   wfsim repeat epigenome nfs 4 --reps 5 --jobs 2
 
 #include <algorithm>
@@ -37,12 +48,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/availability.hpp"
+#include "analysis/fabric/cellid.hpp"
+#include "analysis/fabric/fabric.hpp"
+#include "analysis/fabric/manifest.hpp"
 #include "analysis/repeat.hpp"
 #include "analysis/sweep.hpp"
 #include "wfcloudsim.hpp"
@@ -59,6 +74,7 @@ using namespace wfs::analysis;
                "  wfsim sweep  <app> [options]\n"
                "  wfsim repeat <app> <storage> <nodes> [--reps R] [options]\n"
                "  wfsim avail  <app> [nodes] [options]\n"
+               "  wfsim merge  FRAGMENT... --jsonl OUT\n"
                "  wfsim table1 [options]\n"
                "  wfsim list\n"
                "\n"
@@ -71,6 +87,9 @@ using namespace wfs::analysis;
                "options:  --jobs N   --jsonl FILE  --metrics FILE  --scale S\n"
                "          --seed N  --reps R  --cluster K  --data-aware\n"
                "          --no-first-write-penalty  --nfs-server TYPE  --trace\n"
+               "fabric:   --shard I/N  --resume  --cache DIR  --no-cache  --list-cells\n"
+               "          (sweep/repeat/avail; WFS_SWEEP_CACHE sets the default cache;\n"
+               "          see docs/SWEEPS.md)\n"
                "faults:   --faults  --crash-rate PER_NODE_HOUR  --crash-at T:NODE\n"
                "          --op-fault-prob P  --outage-rate PER_HOUR  --outage-mean S\n"
                "          --fault-seed N  --max-op-retries N  --retry-backoff S\n"
@@ -150,6 +169,19 @@ struct Cli {
   /// Per-layer/per-node metrics ledger JSONL; empty = none, "-" = stdout.
   std::string metrics;
 
+  // Sweep fabric (sweep/repeat/avail).
+  /// This invocation owns grid cells with index % shardCount == shardIndex.
+  int shardIndex = 0;
+  int shardCount = 1;
+  bool shardGiven = false;
+  /// Fold the FILE.parts checkpoint in and run only the missing cells.
+  bool resume = false;
+  /// Result-cache directory (--cache beats $WFS_SWEEP_CACHE beats none).
+  std::string cacheDir;
+  bool noCache = false;
+  /// Print the cell grid (index, hash, label) and exit without simulating.
+  bool listCells = false;
+
   // Fault injection.
   bool faults = false;
   /// Any fault-tuning flag was given (to reject tuning without --faults).
@@ -206,6 +238,38 @@ Cli parseArgs(int argc, char** argv) {
       cli.jsonl = next();
     } else if (a == "--metrics") {
       cli.metrics = next();
+    } else if (a == "--shard") {
+      const std::string v = next();
+      const auto slash = v.find('/');
+      long idx = 0;
+      long cnt = 0;
+      bool wellFormed = slash != std::string::npos && slash > 0 && slash + 1 < v.size();
+      if (wellFormed) {
+        const std::string is = v.substr(0, slash);
+        const std::string cs = v.substr(slash + 1);
+        char* end = nullptr;
+        idx = std::strtol(is.c_str(), &end, 10);
+        wellFormed = end == is.c_str() + is.size();
+        if (wellFormed) {
+          cnt = std::strtol(cs.c_str(), &end, 10);
+          wellFormed = end == cs.c_str() + cs.size();
+        }
+      }
+      if (!wellFormed) die("--shard expects I/N (e.g. 0/4), got '" + v + "'");
+      if (cnt < 1) die("--shard count must be >= 1, got '" + v + "'");
+      if (idx < 0 || idx >= cnt) die("--shard index must be in [0,N), got '" + v + "'");
+      cli.shardIndex = static_cast<int>(idx);
+      cli.shardCount = static_cast<int>(cnt);
+      cli.shardGiven = true;
+    } else if (a == "--resume") {
+      cli.resume = true;
+    } else if (a == "--cache") {
+      cli.cacheDir = next();
+      if (cli.cacheDir.empty()) die("--cache expects a directory path");
+    } else if (a == "--no-cache") {
+      cli.noCache = true;
+    } else if (a == "--list-cells") {
+      cli.listCells = true;
     } else if (a == "--data-aware") {
       cli.dataAware = true;
     } else if (a == "--no-first-write-penalty") {
@@ -294,7 +358,7 @@ void validateCli(const Cli& cli, const std::string& cmd) {
                              : !cli.synthSpec.empty()  ? "--synth " + cli.synthSpec
                                                        : "";
   if (!wfFlag.empty()) {
-    if (cmd == "avail" || cmd == "table1") {
+    if (cmd == "avail" || cmd == "table1" || cmd == "merge") {
       die(wfFlag + ": only run, sweep and repeat accept external workflows");
     }
     // wfslint: allow(float-eq) flag-sentinel test: 1.0 is the parse default, not computed
@@ -317,6 +381,51 @@ void validateCli(const Cli& cli, const std::string& cmd) {
       die(wfFlag + ": " + e.what());
     }
   }
+
+  // Fabric flags apply only to the grid commands, and sharded/resumed runs
+  // need a real output file: the checkpoint and the fragment manifest are
+  // sidecars of `--jsonl FILE`.
+  const bool fabricCmd = cmd == "sweep" || cmd == "repeat" || cmd == "avail";
+  if (!fabricCmd) {
+    if (cli.shardGiven) die("--shard applies only to sweep, repeat and avail");
+    if (cli.resume) die("--resume applies only to sweep, repeat and avail");
+    if (!cli.cacheDir.empty() || cli.noCache) {
+      die("--cache/--no-cache apply only to sweep, repeat and avail");
+    }
+    if (cli.listCells) die("--list-cells applies only to sweep, repeat and avail");
+  }
+  if (!cli.cacheDir.empty() && cli.noCache) {
+    die("--cache " + cli.cacheDir + " and --no-cache are mutually exclusive");
+  }
+  const bool jsonlFile = !cli.jsonl.empty() && cli.jsonl != "-";
+  if (cli.shardGiven && cli.shardCount > 1 && !jsonlFile && !cli.listCells) {
+    die("--shard needs --jsonl FILE (not stdout): each fragment carries a "
+        "FILE.manifest sidecar that wfsim merge consumes");
+  }
+  if (cli.resume && !jsonlFile) {
+    die("--resume needs --jsonl FILE (not stdout): the checkpoint lives at FILE.parts");
+  }
+  if (!cli.metrics.empty() && fabricCmd) {
+    // The per-cell metrics ledger exists only for freshly simulated cells;
+    // it is neither checkpointed nor cached, so any source of non-simulated
+    // lines would silently hole the ledger.
+    if (cli.shardGiven && cli.shardCount > 1) {
+      die("--metrics cannot be combined with --shard: the metrics ledger is not "
+          "sharded or merged");
+    }
+    if (cli.resume) {
+      die("--metrics cannot be combined with --resume: resumed cells are not "
+          "re-simulated and produce no ledger");
+    }
+    if (!cli.cacheDir.empty()) {
+      die("--metrics cannot be combined with --cache: cache hits skip simulation "
+          "and produce no ledger");
+    }
+  }
+  if (cmd == "merge" && cli.jsonl.empty()) {
+    die("merge needs --jsonl OUT (the merged output path)");
+  }
+
   if (!cli.faults && cmd != "avail" && !cli.firstFaultFlag.empty()) {
     die(cli.firstFaultFlag + " has no effect without --faults (or the avail command)");
   }
@@ -403,6 +512,117 @@ void writeJsonl(const Cli& cli, const std::vector<SweepCellResult>& cells) {
   if (!cli.metrics.empty()) {
     writeFileOrStdout(cli.metrics, sweepMetricsJsonl(cells), "cell ledgers", cells.size());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep fabric plumbing shared by sweep/repeat/avail.
+
+/// The cache directory this run should use: --no-cache disables, --cache
+/// wins, else $WFS_SWEEP_CACHE. The env default is silently dropped under
+/// --metrics (an explicit --cache with --metrics is rejected in validateCli):
+/// cache hits produce no metrics ledger, so an ambient cache must never
+/// change what --metrics emits.
+std::string resolveCacheDir(const Cli& cli) {
+  if (cli.noCache) return "";
+  if (!cli.cacheDir.empty()) return cli.cacheDir;
+  if (!cli.metrics.empty()) return "";
+  const char* env = std::getenv("WFS_SWEEP_CACHE");
+  return env != nullptr ? env : "";
+}
+
+/// --list-cells: the dry run. Same vocabulary as the fragment manifest —
+/// grid size + fingerprint, the shard spec, then one `cell <index> <hash>
+/// <label>` line per cell this invocation would own.
+int listCellsDryRun(const Cli& cli, const std::vector<fabric::FabricCell>& fcells) {
+  std::printf("grid %zu %s\n", fcells.size(),
+              fabric::hashHex(fabric::gridFingerprint(fcells)).c_str());
+  std::size_t owned = 0;
+  for (std::size_t i = static_cast<std::size_t>(cli.shardIndex); i < fcells.size();
+       i += static_cast<std::size_t>(cli.shardCount)) {
+    ++owned;
+  }
+  std::printf("shard %d/%d %zu\n", cli.shardIndex, cli.shardCount, owned);
+  for (std::size_t i = static_cast<std::size_t>(cli.shardIndex); i < fcells.size();
+       i += static_cast<std::size_t>(cli.shardCount)) {
+    std::printf("cell %zu %s %s\n", i, fcells[i].hexHash.c_str(), fcells[i].label.c_str());
+  }
+  return 0;
+}
+
+/// Runs a cell grid through the fabric with this CLI's shard/resume/cache
+/// options and prints the provenance summary (the hit/miss counters the
+/// warm-cache CI gate greps for).
+fabric::FabricOutput runGrid(const Cli& cli, const char* what,
+                             const std::vector<fabric::FabricCell>& fcells) {
+  fabric::FabricOptions opt;
+  opt.threads = cli.jobs;
+  opt.shardIndex = cli.shardIndex;
+  opt.shardCount = cli.shardCount;
+  opt.resume = cli.resume;
+  opt.cacheDir = resolveCacheDir(cli);
+  if (!cli.jsonl.empty() && cli.jsonl != "-") opt.checkpoint = fabric::partsPath(cli.jsonl);
+  opt.progress = [](std::size_t done, std::size_t total, const fabric::FabricCell& cell,
+                    fabric::CellSource source, const fabric::FabricStats&) {
+    const bool fresh = source == fabric::CellSource::kSimulated;
+    std::fprintf(stderr, "[%zu/%zu] %s%s%s%s\n", done, total, cell.label.c_str(),
+                 fresh ? "" : " (", fresh ? "" : fabric::toString(source), fresh ? "" : ")");
+  };
+
+  const fabric::FabricOutput out = fabric::runFabric(fcells, opt);
+  const fabric::FabricStats& st = out.stats;
+  std::fprintf(stderr,
+               "%s: grid %zu cells, shard %d/%d owns %zu: simulated %zu, cache hits %zu, "
+               "cache misses %zu, resumed %zu\n",
+               what, st.gridCells, cli.shardIndex, cli.shardCount, st.shardCells,
+               st.simulated, st.cacheHits, st.cacheMisses, st.resumed);
+  return out;
+}
+
+/// Writes the shard's JSONL (+ manifest sidecar for real files) and the
+/// metrics ledger, then retires the checkpoint: once the final file is on
+/// disk the parts log has served its purpose.
+void writeFabricOutputs(const Cli& cli, const fabric::FabricOutput& out) {
+  if (!cli.jsonl.empty()) {
+    std::string body;
+    for (const fabric::FabricRecord& rec : out.records) {
+      body += rec.line;
+      body += '\n';
+    }
+    writeFileOrStdout(cli.jsonl, body, "cells", out.records.size());
+    if (cli.jsonl != "-") {
+      fabric::ManifestInfo info;
+      info.shardIndex = cli.shardIndex;
+      info.shardCount = cli.shardCount;
+      info.gridCells = out.stats.gridCells;
+      info.gridHash = out.gridHash;
+      info.entries.reserve(out.records.size());
+      for (const fabric::FabricRecord& rec : out.records) {
+        info.entries.emplace_back(rec.index, rec.hexHash);
+      }
+      fabric::writeManifest(fabric::manifestPath(cli.jsonl), info);
+      std::remove(fabric::partsPath(cli.jsonl).c_str());
+    }
+  }
+  if (!cli.metrics.empty()) {
+    std::string body;
+    for (const fabric::FabricRecord& rec : out.records) body += rec.extra;
+    const auto lines =
+        static_cast<std::size_t>(std::count(body.begin(), body.end(), '\n'));
+    writeFileOrStdout(cli.metrics, body, "ledger lines", lines);
+  }
+}
+
+/// Extracts a numeric field from a finished cell line or throws, naming the
+/// cell — a missing field here means an exporter/extractor key mismatch, not
+/// user error.
+double requireNumber(const fabric::FabricRecord& rec, const std::string& label,
+                     const char* key) {
+  const auto v = fabric::lineNumberField(rec.line, key);
+  if (!v) {
+    throw std::runtime_error("cell " + label + " line is missing \"" + key +
+                             "\": " + rec.line);
+  }
+  return *v;
 }
 
 void printResult(const ExperimentResult& r) {
@@ -493,8 +713,9 @@ int cmdSweep(const Cli& cli) {
 
   // Flatten the valid cells of the grid; (kind, node) indices to refold
   // the index-ordered results into the figure's series.
-  std::vector<ExperimentConfig> cells;
+  std::vector<fabric::FabricCell> fcells;
   std::vector<std::pair<std::size_t, std::size_t>> keys;
+  const bool withMetrics = !cli.metrics.empty();
   for (std::size_t k = 0; k < std::size(kinds); ++k) {
     for (std::size_t ni = 0; ni < std::size(nodeCounts); ++ni) {
       const int n = nodeCounts[ni];
@@ -504,31 +725,40 @@ int cmdSweep(const Cli& cli) {
              kinds[k] == StorageKind::kPvfs) &&
             n < 2);
       if (!valid) continue;
-      cells.push_back(toConfig(cli, app, kinds[k], n));
+      fcells.push_back(fabric::experimentCell(toConfig(cli, app, kinds[k], n), withMetrics));
       keys.emplace_back(k, ni);
     }
   }
 
-  const auto results = makeRunner(cli).run(std::move(cells));
+  if (cli.listCells) return listCellsDryRun(cli, fcells);
+  const fabric::FabricOutput out = runGrid(cli, "sweep", fcells);
 
-  std::vector<Series> series;
-  for (const StorageKind kind : kinds) {
-    Series s;
-    s.label = toString(kind);
-    s.values.assign(std::size(nodeCounts), std::nan(""));
-    series.push_back(std::move(s));
-  }
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!results[i].ok) {
-      throw std::runtime_error("cell " + results[i].label() + ": " + results[i].error);
+  if (cli.shardCount == 1) {
+    std::vector<Series> series;
+    for (const StorageKind kind : kinds) {
+      Series s;
+      s.label = toString(kind);
+      s.values.assign(std::size(nodeCounts), std::nan(""));
+      series.push_back(std::move(s));
     }
-    series[keys[i].first].values[keys[i].second] = results[i].result.makespanSeconds;
+    for (const fabric::FabricRecord& rec : out.records) {
+      if (const auto err = fabric::lineStringField(rec.line, "error")) {
+        throw std::runtime_error("cell " + fcells[rec.index].label + ": " + *err);
+      }
+      series[keys[rec.index].first].values[keys[rec.index].second] =
+          requireNumber(rec, fcells[rec.index].label, "makespan_s");
+    }
+    std::printf("%s", renderTable(title + " runtime",
+                                  {"1 node", "2 nodes", "4 nodes", "8 nodes"}, series,
+                                  "seconds")
+                          .c_str());
+  } else {
+    std::fprintf(stderr,
+                 "shard %d/%d: table suppressed (partial grid); merge all fragments "
+                 "with wfsim merge first\n",
+                 cli.shardIndex, cli.shardCount);
   }
-  std::printf("%s", renderTable(title + " runtime",
-                                {"1 node", "2 nodes", "4 nodes", "8 nodes"}, series,
-                                "seconds")
-                        .c_str());
-  writeJsonl(cli, results);
+  writeFabricOutputs(cli, out);
   return 0;
 }
 
@@ -541,20 +771,44 @@ int cmdRepeat(const Cli& cli) {
   const std::size_t base = external ? 0 : 1;
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < cli.reps; ++i) seeds.push_back(cli.seed + static_cast<unsigned>(i));
-  const auto agg = repeatExperiment(
+
+  // A repeat is a seed-axis sweep, so it rides the same fabric: shardable,
+  // resumable, cacheable.
+  const ExperimentConfig cfg =
       toConfig(cli, external ? App::kMontage : parseApp(cli.positional[0]),
                parseStorage(cli.positional[base]),
-               static_cast<int>(parseLong("<nodes>", cli.positional[base + 1]))),
-      seeds, cli.jobs);
-  std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
-              static_cast<unsigned long long>(seeds.front()),
-              static_cast<unsigned long long>(seeds.back()));
-  std::printf("makespan   : %.0f s +- %.0f (95%% CI), range [%.0f, %.0f]\n",
-              agg.makespan.mean(), agg.makespan.ci95(), agg.makespan.min(),
-              agg.makespan.max());
-  std::printf("cost/hourly: $%.2f +- %.3f\n", agg.costHourly.mean(), agg.costHourly.ci95());
-  std::printf("cost/second: $%.3f +- %.3f\n", agg.costPerSecond.mean(),
-              agg.costPerSecond.ci95());
+               static_cast<int>(parseLong("<nodes>", cli.positional[base + 1])));
+  std::vector<fabric::FabricCell> fcells;
+  const bool withMetrics = !cli.metrics.empty();
+  for (const ExperimentConfig& cell : repeatGrid(cfg, seeds)) {
+    fcells.push_back(fabric::experimentCell(cell, withMetrics));
+  }
+
+  if (cli.listCells) return listCellsDryRun(cli, fcells);
+  const fabric::FabricOutput out = runGrid(cli, "repeat", fcells);
+
+  if (cli.shardCount == 1) {
+    std::vector<std::string> lines;
+    lines.reserve(out.records.size());
+    for (const fabric::FabricRecord& rec : out.records) lines.push_back(rec.line);
+    const RepeatLineAggregate agg = aggregateRepeatLines(lines);
+    std::printf("%d repetitions (seeds %llu..%llu)\n", cli.reps,
+                static_cast<unsigned long long>(seeds.front()),
+                static_cast<unsigned long long>(seeds.back()));
+    std::printf("makespan   : %.0f s +- %.0f (95%% CI), range [%.0f, %.0f]\n",
+                agg.makespan.mean(), agg.makespan.ci95(), agg.makespan.min(),
+                agg.makespan.max());
+    std::printf("cost/hourly: $%.2f +- %.3f\n", agg.costHourly.mean(),
+                agg.costHourly.ci95());
+    std::printf("cost/second: $%.3f +- %.3f\n", agg.costPerSecond.mean(),
+                agg.costPerSecond.ci95());
+  } else {
+    std::fprintf(stderr,
+                 "shard %d/%d: aggregate suppressed (partial seed list); merge all "
+                 "fragments with wfsim merge first\n",
+                 cli.shardIndex, cli.shardCount);
+  }
+  writeFabricOutputs(cli, out);
   return 0;
 }
 
@@ -579,27 +833,147 @@ int cmdAvail(const Cli& cli) {
   opt.faults.maxOpRetries = cli.maxOpRetries;
   opt.faults.retryBackoffSeconds = cli.retryBackoff;
 
-  const auto cells = runAvailabilitySweep(opt);
+  std::vector<fabric::FabricCell> fcells;
+  fcells.reserve(opt.backends.size());
+  for (const StorageKind kind : opt.backends) {
+    fcells.push_back(availabilityFabricCell(opt, kind));
+  }
+
+  if (cli.listCells) return listCellsDryRun(cli, fcells);
+  const fabric::FabricOutput out = runGrid(cli, "avail", fcells);
+
+  // Each row is one backend, so a shard's table is just the owned subset.
   std::printf("%-14s %13s %13s %10s %10s %6s %6s\n", "storage", "clean_s", "faulted_s",
               "infl", "cost_infl", "recomp", "lost");
-  for (const auto& c : cells) {
-    const char* name = toString(c.clean.config.storage);
-    if (!c.clean.ok || !c.faulted.ok) {
-      std::printf("%-14s FAILED: %s\n", name,
-                  (!c.clean.ok ? c.clean.error : c.faulted.error).c_str());
+  for (const fabric::FabricRecord& rec : out.records) {
+    const char* name = toString(opt.backends[rec.index]);
+    if (const auto err = fabric::lineStringField(rec.line, "error")) {
+      std::printf("%-14s FAILED: %s\n", name, err->c_str());
       continue;
     }
-    const auto& base = c.clean.result;
-    const auto& hurt = c.faulted.result;
+    const std::string& label = fcells[rec.index].label;
     std::printf("%-14s %13.1f %13.1f %9.3fx %9.3fx %6llu %6llu\n", name,
-                base.makespanSeconds, hurt.makespanSeconds,
-                hurt.makespanSeconds / base.makespanSeconds,
-                hurt.cost.totalHourly() / base.cost.totalHourly(),
-                static_cast<unsigned long long>(hurt.fault.recomputedJobs),
-                static_cast<unsigned long long>(hurt.fault.lostFiles));
+                requireNumber(rec, label, "clean_makespan_s"),
+                requireNumber(rec, label, "faulted_makespan_s"),
+                requireNumber(rec, label, "makespan_inflation"),
+                requireNumber(rec, label, "cost_inflation"),
+                static_cast<unsigned long long>(requireNumber(rec, label, "recomputed_jobs")),
+                static_cast<unsigned long long>(requireNumber(rec, label, "lost_files")));
   }
-  if (!cli.jsonl.empty()) {
-    writeFileOrStdout(cli.jsonl, availabilityJsonl(cells), "backends", cells.size());
+  writeFabricOutputs(cli, out);
+  return 0;
+}
+
+/// wfsim merge FRAGMENT... --jsonl OUT: reassembles shard fragments (each
+/// with its FILE.manifest sidecar) into the byte-identical single-process
+/// ordering. Refuses fragments from different grids, overlapping shards, or
+/// an incomplete cover — a silently partial merge would masquerade as a
+/// full result set.
+int cmdMerge(const Cli& cli) {
+  if (cli.positional.empty()) {
+    usage("merge needs fragment files: wfsim merge FRAGMENT... --jsonl OUT");
+  }
+
+  struct Fragment {
+    std::string path;
+    fabric::ManifestInfo info;
+    std::vector<std::string> lines;
+  };
+  std::vector<Fragment> frags;
+  for (const std::string& path : cli.positional) {
+    Fragment f;
+    f.path = path;
+    f.info = fabric::readManifest(fabric::manifestPath(path));
+
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr) die("cannot open fragment " + path);
+    std::string body;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) body.append(buf, n);
+    std::fclose(in);
+    std::size_t start = 0;
+    while (start < body.size()) {
+      const std::size_t nl = body.find('\n', start);
+      if (nl == std::string::npos) {
+        die("fragment " + path + " ends mid-line (truncated write?); re-run that shard");
+      }
+      f.lines.push_back(body.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (f.lines.size() != f.info.entries.size()) {
+      die("fragment " + path + " has " + std::to_string(f.lines.size()) +
+          " lines but its manifest lists " + std::to_string(f.info.entries.size()) +
+          " cells");
+    }
+    frags.push_back(std::move(f));
+  }
+
+  const Fragment& first = frags.front();
+  for (const Fragment& f : frags) {
+    if (f.info.gridCells != first.info.gridCells || f.info.gridHash != first.info.gridHash) {
+      die("fragments " + first.path + " and " + f.path +
+          " come from different grids (grid " + std::to_string(first.info.gridCells) + " " +
+          fabric::hashHex(first.info.gridHash) + " vs " + std::to_string(f.info.gridCells) +
+          " " + fabric::hashHex(f.info.gridHash) + ")");
+    }
+    if (f.info.shardCount != first.info.shardCount) {
+      die("fragments disagree on shard count: " + first.path + " is /" +
+          std::to_string(first.info.shardCount) + ", " + f.path + " is /" +
+          std::to_string(f.info.shardCount));
+    }
+  }
+  std::vector<const Fragment*> shardOwner(static_cast<std::size_t>(first.info.shardCount),
+                                          nullptr);
+  for (const Fragment& f : frags) {
+    auto& owner = shardOwner[static_cast<std::size_t>(f.info.shardIndex)];
+    if (owner != nullptr) {
+      die("fragments " + owner->path + " and " + f.path + " both cover shard " +
+          std::to_string(f.info.shardIndex) + "/" + std::to_string(f.info.shardCount));
+    }
+    owner = &f;
+  }
+
+  std::vector<const std::string*> lines(first.info.gridCells, nullptr);
+  std::vector<const std::string*> hashes(first.info.gridCells, nullptr);
+  for (const Fragment& f : frags) {
+    for (std::size_t k = 0; k < f.info.entries.size(); ++k) {
+      const std::size_t idx = f.info.entries[k].first;
+      if (idx >= first.info.gridCells) {
+        die("fragment " + f.path + " names cell index " + std::to_string(idx) +
+            ", outside its own " + std::to_string(first.info.gridCells) + "-cell grid");
+      }
+      if (lines[idx] != nullptr) {
+        die("cell index " + std::to_string(idx) + " appears in more than one fragment");
+      }
+      lines[idx] = &f.lines[k];
+      hashes[idx] = &f.info.entries[k].second;
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] == nullptr) {
+      die("fragments cover only part of the grid: cell index " + std::to_string(i) +
+          " of " + std::to_string(lines.size()) + " is missing (shard " +
+          std::to_string(i % static_cast<std::size_t>(first.info.shardCount)) + "/" +
+          std::to_string(first.info.shardCount) + " not supplied?)");
+    }
+  }
+
+  std::string body;
+  for (const std::string* line : lines) {
+    body += *line;
+    body += '\n';
+  }
+  writeFileOrStdout(cli.jsonl, body, "cells", lines.size());
+  if (cli.jsonl != "-") {
+    fabric::ManifestInfo merged;
+    merged.shardIndex = 0;
+    merged.shardCount = 1;
+    merged.gridCells = first.info.gridCells;
+    merged.gridHash = first.info.gridHash;
+    merged.entries.reserve(lines.size());
+    for (std::size_t i = 0; i < hashes.size(); ++i) merged.entries.emplace_back(i, *hashes[i]);
+    fabric::writeManifest(fabric::manifestPath(cli.jsonl), merged);
   }
   return 0;
 }
@@ -651,6 +1025,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmdSweep(cli);
     if (cmd == "repeat") return cmdRepeat(cli);
     if (cmd == "avail") return cmdAvail(cli);
+    if (cmd == "merge") return cmdMerge(cli);
     if (cmd == "table1") return cmdTable1(cli);
     if (cmd == "list") return cmdList();
   } catch (const std::exception& e) {
