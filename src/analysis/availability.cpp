@@ -43,6 +43,9 @@ ExperimentConfig availabilityCleanConfig(const AvailabilityOptions& opt, Storage
   cfg.storage = kind;
   cfg.workerNodes = nodesFor(kind, opt.nodes);
   cfg.seed = opt.seed;
+  cfg.replicas = opt.replicas;
+  cfg.ecK = opt.ecK;
+  cfg.ecM = opt.ecM;
   return cfg;
 }
 
@@ -148,6 +151,15 @@ std::string availabilityCellJson(const AvailabilityCell& c) {
   field("op_faults_retried", std::to_string(f.opFaultsRetried));
   field("op_faults_exhausted", std::to_string(f.opFaultsExhausted));
   field("outage_stalls", std::to_string(f.outageStalls));
+  if (cfg.replicas > 1) field("replicas", std::to_string(cfg.replicas));
+  if (cfg.ecK > 0) {
+    field("ec_k", std::to_string(cfg.ecK));
+    field("ec_m", std::to_string(cfg.ecM));
+  }
+  field("degraded_reads", std::to_string(hurt.redundancy.degradedReads));
+  field("reconstructions", std::to_string(hurt.redundancy.reconstructions));
+  field("healed_files", std::to_string(hurt.redundancy.healedFiles));
+  field("heal_bytes", std::to_string(hurt.redundancy.healBytes));
   return line + "}";
 }
 

@@ -36,6 +36,12 @@ struct AvailabilityOptions {
   double crashFrac = 0.5;
   /// Which worker to kill.
   int crashNode = 0;
+  /// Redundancy knobs forwarded to every backend config (see
+  /// ExperimentConfig): replicas > 1 restricts the sweep to GlusterFS
+  /// backends, ecK > 0 to PVFS.
+  int replicas = 1;
+  int ecK = 0;
+  int ecM = 0;
   int threads = 0;
   /// Extra fault machinery for the faulted phase (op faults, outages, retry
   /// policy, fault seed). `enabled`/`explicitCrashes` are set internally.

@@ -129,6 +129,27 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   if (needsTwo && cfg.workerNodes < 2) {
     throw std::invalid_argument("GlusterFS/PVFS need at least two nodes (paper §V)");
   }
+  const bool isGluster = cfg.storage == StorageKind::kGlusterNufa ||
+                         cfg.storage == StorageKind::kGlusterDist;
+  if (cfg.replicas < 1) throw std::invalid_argument("replicas must be >= 1");
+  if (cfg.replicas > 1 && !isGluster) {
+    throw std::invalid_argument("replication requires a GlusterFS backend");
+  }
+  if (cfg.replicas > cfg.workerNodes) {
+    throw std::invalid_argument("replicas cannot exceed the brick count (worker nodes)");
+  }
+  if (cfg.ecK < 0 || cfg.ecM < 0 || (cfg.ecK > 0) != (cfg.ecM > 0)) {
+    throw std::invalid_argument("erasure geometry needs k >= 1 and m >= 1");
+  }
+  if (cfg.ecK > 0 && cfg.storage != StorageKind::kPvfs) {
+    throw std::invalid_argument("erasure coding requires the PVFS backend (striping)");
+  }
+  if (cfg.ecK > 0 && cfg.ecK + cfg.ecM > cfg.workerNodes) {
+    throw std::invalid_argument("erasure stripe width k+m cannot exceed the I/O server count");
+  }
+  if (cfg.replicas > 1 && cfg.ecK > 0) {
+    throw std::invalid_argument("replication and erasure coding are mutually exclusive");
+  }
 
   sim::Simulator sim;
   sim.trace().enable(cfg.trace);
@@ -172,16 +193,23 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
       break;
     }
     case StorageKind::kGlusterNufa:
-      store = std::make_unique<storage::GlusterFs>(sim, fabric, nodes,
-                                                   storage::GlusterMode::kNufa);
+    case StorageKind::kGlusterDist: {
+      storage::GlusterFs::Config glCfg;
+      glCfg.replicas = cfg.replicas;
+      store = std::make_unique<storage::GlusterFs>(
+          sim, fabric, nodes,
+          cfg.storage == StorageKind::kGlusterNufa ? storage::GlusterMode::kNufa
+                                                   : storage::GlusterMode::kDistribute,
+          glCfg);
       break;
-    case StorageKind::kGlusterDist:
-      store = std::make_unique<storage::GlusterFs>(sim, fabric, nodes,
-                                                   storage::GlusterMode::kDistribute);
+    }
+    case StorageKind::kPvfs: {
+      storage::PvfsFs::Config pvCfg;
+      pvCfg.ecK = cfg.ecK;
+      pvCfg.ecM = cfg.ecM;
+      store = std::make_unique<storage::PvfsFs>(sim, fabric, nodes, pvCfg);
       break;
-    case StorageKind::kPvfs:
-      store = std::make_unique<storage::PvfsFs>(sim, fabric, nodes);
-      break;
+    }
     case StorageKind::kXtreemFs:
       store = std::make_unique<storage::XtreemFs>(sim, fabric, nodes);
       break;
@@ -339,6 +367,16 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     if (const auto* rl = store->metrics().findLayer("fault/retry")) {
       res.fault.opFaultsRetried = rl->faultsRetried;
       res.fault.opFaultsExhausted = rl->faultsExhausted;
+    }
+  }
+  res.redundancy.enabled = cfg.replicas > 1 || cfg.ecK > 0;
+  if (res.redundancy.enabled) {
+    const char* layerName = cfg.replicas > 1 ? "cluster/afr" : "cluster/ec";
+    if (const auto* red = store->metrics().findLayer(layerName)) {
+      res.redundancy.degradedReads = red->degradedReads;
+      res.redundancy.reconstructions = red->reconstructions;
+      res.redundancy.healedFiles = red->healedFiles;
+      res.redundancy.healBytes = red->healBytes;
     }
   }
   return res;

@@ -69,6 +69,15 @@ struct ExperimentConfig {
   /// parallel sweeps: each cell's lines are internally ordered but cells
   /// interleave on the shared stream.
   bool trace = false;
+  /// AFR-style replica count for the GlusterFS backends; 1 = the paper's
+  /// unreplicated volumes, N > 1 fans every write to N bricks and reads
+  /// survive N-1 brick losses. Rejected for other backends.
+  int replicas = 1;
+  /// Stripe+parity erasure geometry for the PVFS backend: k data + m
+  /// parity fragments, any k reconstruct a read. 0+0 = the paper's plain
+  /// full-width striping. Rejected for other backends.
+  int ecK = 0;
+  int ecM = 0;
   /// Fault injection (crash-stop nodes, storage-op faults, outages);
   /// inactive by default — the zero-fault path is event-identical to a
   /// build without the fault subsystem.
@@ -94,6 +103,16 @@ struct FaultOutcome {
   std::uint64_t outageStalls = 0;
 };
 
+/// What the redundancy tier did during one run; all-zero when the run had
+/// no replication or erasure coding configured.
+struct RedundancyOutcome {
+  bool enabled = false;
+  std::uint64_t degradedReads = 0;    // reads served off a non-preferred child / via parity
+  std::uint64_t reconstructions = 0;  // erasure reads that decoded through parity
+  std::uint64_t healedFiles = 0;      // files re-replicated / rebuilt by self-heal
+  Bytes healBytes = 0;                // bytes moved by self-heal passes
+};
+
 struct ExperimentResult {
   double makespanSeconds = 0.0;
   cloud::CostReport cost;
@@ -103,6 +122,7 @@ struct ExperimentResult {
   std::string storageName;
   std::string workflowName;
   FaultOutcome fault;
+  RedundancyOutcome redundancy;
 };
 
 /// Builds the full simulated world (cloud, network, storage, WMS), runs the

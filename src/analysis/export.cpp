@@ -162,6 +162,20 @@ std::string cellJson(const SweepCellResult& cell) {
     field("op_faults_exhausted", std::to_string(r.fault.opFaultsExhausted));
     field("outage_stalls", std::to_string(r.fault.outageStalls));
   }
+  // Redundancy keys likewise appear only for replicated / erasure-coded
+  // cells — the default grids carry neither, keeping reference outputs
+  // byte-identical.
+  if (r.redundancy.enabled) {
+    if (cfg.replicas > 1) field("replicas", std::to_string(cfg.replicas));
+    if (cfg.ecK > 0) {
+      field("ec_k", std::to_string(cfg.ecK));
+      field("ec_m", std::to_string(cfg.ecM));
+    }
+    field("degraded_reads", std::to_string(r.redundancy.degradedReads));
+    field("reconstructions", std::to_string(r.redundancy.reconstructions));
+    field("healed_files", std::to_string(r.redundancy.healedFiles));
+    field("heal_bytes", std::to_string(r.redundancy.healBytes));
+  }
   return out + "}";
 }
 
@@ -215,6 +229,19 @@ std::string metricsJsonl(const SweepCellResult& cell) {
     field(line, "faults_retried", std::to_string(lm.faultsRetried));
     field(line, "faults_exhausted", std::to_string(lm.faultsExhausted));
     field(line, "outage_stalls", std::to_string(lm.outageStalls));
+    field(line, "degraded_reads", std::to_string(lm.degradedReads));
+    field(line, "reconstructions", std::to_string(lm.reconstructions));
+    field(line, "healed_files", std::to_string(lm.healedFiles));
+    field(line, "heal_bytes", std::to_string(lm.healBytes));
+    if (!lm.childReads.empty()) {
+      std::string arr = "[";
+      for (std::size_t c = 0; c < lm.childReads.size(); ++c) {
+        if (c > 0) arr += ",";
+        arr += std::to_string(lm.childReads[c]);
+      }
+      arr += "]";
+      field(line, "child_reads", arr);
+    }
     out += line + "}\n";
   }
   for (std::size_t n = 0; n < m.nodes.size(); ++n) {

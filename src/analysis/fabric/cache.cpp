@@ -18,7 +18,9 @@ const char* ResultCache::salt() {
   // way that can alter a cell's result line (the byte-identity CI gates are
   // the tripwire that a bump was forgotten). docs/SWEEPS.md documents the
   // bump rule.
-  return "wfs-results-v1";
+  // v2: faulted runs changed — scratch round trips now surface mid-trip
+  // losses (FileLostError) instead of silently reading a lost file.
+  return "wfs-results-v2";
 }
 
 ResultCache::ResultCache(std::string root) : root_{std::move(root)} {

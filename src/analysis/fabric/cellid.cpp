@@ -92,10 +92,10 @@ std::string canonicalConfig(const ExperimentConfig& cfg) {
   // this binding until the serializer decides its fate.
   const auto& [app, source, workflowFile, synthSpec, storage, workerNodes, workerType,
                nfsServerType, dataAwareScheduling, firstWritePenalty, clusterFactor,
-               appScale, seed, trace, faults] = cfg;
+               appScale, seed, trace, replicas, ecK, ecM, faults] = cfg;
   (void)trace;  // deliberate exclusion: logging only, cannot affect results
 
-  std::string out = "cfg-v1";
+  std::string out = "cfg-v2";
   appendField(out, "app", toString(app));
   appendField(out, "source", toString(source));
   appendField(out, "workflow", workflowFile);
@@ -109,6 +109,9 @@ std::string canonicalConfig(const ExperimentConfig& cfg) {
   appendField(out, "cluster", clusterFactor);
   appendField(out, "scale", appScale);
   appendField(out, "seed", seed);
+  appendField(out, "replicas", replicas);
+  appendField(out, "ec_k", ecK);
+  appendField(out, "ec_m", ecM);
   appendField(out, "faults", canonicalFaultSpec(faults));
   return out;
 }

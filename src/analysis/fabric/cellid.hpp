@@ -13,7 +13,7 @@ namespace wfs::analysis::fabric {
 /// serialize to equal bytes on every platform.
 ///
 /// Stability contract (docs/SWEEPS.md): the string starts with a format
-/// version tag (`cfg-v1`). Any change to the serialization — a new field, a
+/// version tag (`cfg-v2`). Any change to the serialization — a new field, a
 /// renamed key, different float formatting — must bump the tag, which
 /// invalidates all existing hashes (and therefore result-cache entries and
 /// checkpoints). The implementation destructures ExperimentConfig and

@@ -37,6 +37,10 @@ sim::Task<void> FaultInjector::run() {
     ++report_.replacementVms;
     scheduler_->reviveNode(crash.node);
     engine_->notifyFilesChanged();
+    // Kick the backend's self-heal in the background: it re-replicates the
+    // replacement VM's share of the namespace through the ordinary I/O
+    // paths, competing with the resumed workflow for network and disks.
+    sim_->spawn(storage_->healNode(crash.node));
     WFS_TRACE(sim::TraceCat::kCloud, *sim_,
               "node " + std::to_string(crash.node) + " replaced (" +
                   std::to_string(restaged) + " inputs re-staged)");

@@ -39,6 +39,18 @@ struct LayerMetrics {
   std::uint64_t faultsRetried = 0;
   std::uint64_t faultsExhausted = 0;
   std::uint64_t outageStalls = 0;
+
+  /// Redundancy ledger (zero unless a ReplicaLayer/ErasureLayer sits on the
+  /// stack): reads whose preferred copy was down or unhealed, EC reads that
+  /// substituted parity for a dead data fragment, and the files/bytes the
+  /// background self-heal re-replicated onto replacement nodes.
+  std::uint64_t degradedReads = 0;
+  std::uint64_t reconstructions = 0;
+  std::uint64_t healedFiles = 0;
+  Bytes healBytes = 0;
+  /// Replica reads served per child node (AFR read-child accounting);
+  /// empty unless a ReplicaLayer served reads.
+  std::vector<std::uint64_t> childReads;
 };
 
 /// Where a node's read bytes were served from. The serving layer attributes

@@ -101,6 +101,16 @@ sim::Task<void> StorageSystem::scratchRoundTrip(int node, sim::FileId file, Byte
   metrics_.nodeIo(node).written += size;
   auto wr = doWrite(node, file, size);
   co_await std::move(wr);
+  // A crash may have taken the data between the write landing and this
+  // re-read (a remote brick, a stripe server): surface the loss exactly as
+  // read() would, so the attempt aborts and regenerates the temporary
+  // instead of silently reading a file the catalog says is gone. Without
+  // this check the entry stayed lost+discarded forever and the loss was
+  // never acted on.
+  if (catalog_.lookup(file).lost) {
+    throw FileLostError("file lost to node failure: " + files_->name(file) +
+                        " (scratch re-read on node " + std::to_string(node) + ")");
+  }
   ++metrics_.readOps;
   metrics_.bytesRead += size;
   auto rd = doRead(node, file, size);
@@ -157,6 +167,11 @@ int StorageSystem::restoreNode(int node) {
     doPreload(id, catalog_.lookup(id).size);
   }
   return static_cast<int>(restage.size());
+}
+
+sim::Task<void> StorageSystem::healNode(int node) {
+  (void)node;
+  co_return;
 }
 
 void StorageSystem::armFaults(const FaultArming& arming) {

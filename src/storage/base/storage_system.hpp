@@ -223,6 +223,14 @@ class StorageSystem {
   /// count.
   int restoreNode(int node);
 
+  /// Background self-heal after restoreNode(): re-replicates whatever the
+  /// replacement VM's media should hold but lost (replica copies, erasure
+  /// fragments) using the backend's ordinary I/O paths, so heal traffic
+  /// competes with workflow I/O on the shared flow network. Default: no
+  /// redundancy, nothing to heal. Spawned (not awaited) by the fault
+  /// injector.
+  [[nodiscard]] virtual sim::Task<void> healNode(int node);
+
   /// Prepends a RetryLayer/FaultLayer pair to every distinct node stack
   /// (shared stacks are armed once). With a zero-probability, zero-outage
   /// arming the pair is a provable no-op; call at most once, before the

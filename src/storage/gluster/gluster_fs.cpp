@@ -52,6 +52,10 @@ GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<Stora
     brickPtrs.push_back(brickStacks_.back().get());
   }
 
+  if (cfg.replicas > 1) {
+    replicaState_ = std::make_unique<ReplicaState>(n, cfg.replicas, *layout_);
+  }
+
   // Every client mounts the volume through its own translator stack.
   clientStacks_.reserve(static_cast<std::size_t>(n));
   std::vector<LayerStack*> stackPtrs;
@@ -64,14 +68,22 @@ GlusterFs::GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<Stora
     ioCache.hitCountsLocalRead = true;
     ioCache.missCountsCacheMiss = true;
 
-    PlacementLayer::Config dht;
-    dht.lookupLatency = cfg.lookupLatency;
-
     std::vector<std::unique_ptr<IoLayer>> layers;
     layers.push_back(std::make_unique<LruCacheLayer>(ioCache));
-    auto placement = std::make_unique<PlacementLayer>(fabric, *layout_, nodePtrs, dht);
-    placement->setTargets(brickPtrs);
-    layers.push_back(std::move(placement));
+    if (replicaState_ != nullptr) {
+      ReplicaLayer::Config afr;
+      afr.lookupLatency = cfg.lookupLatency;
+      auto replica = std::make_unique<ReplicaLayer>(fabric, *replicaState_, nodePtrs, afr);
+      replica->setTargets(brickPtrs);
+      afrLayers_.push_back(replica.get());
+      layers.push_back(std::move(replica));
+    } else {
+      PlacementLayer::Config dht;
+      dht.lookupLatency = cfg.lookupLatency;
+      auto placement = std::make_unique<PlacementLayer>(fabric, *layout_, nodePtrs, dht);
+      placement->setTargets(brickPtrs);
+      layers.push_back(std::move(placement));
+    }
     clientStacks_.push_back(std::make_unique<LayerStack>(sim, metrics_, std::move(layers)));
     stackPtrs.push_back(clientStacks_.back().get());
   }
@@ -92,6 +104,12 @@ sim::Task<void> GlusterFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
 
 bool GlusterFs::losesDataOnCrash(int nodeIdx, sim::FileId file, const FileMeta& meta) const {
   (void)meta;
+  if (replicaState_ != nullptr) {
+    // Replicated volume: the file dies only with its last live copy. The
+    // sweep runs before onNodeFail, so the crashing child is excluded here.
+    return replicaState_->hasCopy(file, nodeIdx) &&
+           replicaState_->liveCopiesExcluding(file, nodeIdx) == 0;
+  }
   try {
     return layout_->locate(file) == nodeIdx;
   } catch (const std::out_of_range&) {
@@ -102,6 +120,7 @@ bool GlusterFs::losesDataOnCrash(int nodeIdx, sim::FileId file, const FileMeta& 
 void GlusterFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
   // The brick's page cache and unflushed write-behind data die with the VM.
   wipeStackCaches(*brickStacks_.at(static_cast<std::size_t>(nodeIdx)));
+  if (replicaState_ != nullptr) replicaState_->dropChild(nodeIdx);
   // Every client's io-cache copy of a lost file is stale (the recomputed
   // file may land on a different brick with different bytes).
   for (auto& client : clientStacks_) {
@@ -109,6 +128,28 @@ void GlusterFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
       for (sim::FileId f : lost) ioCache->evict(f);
     }
   }
+}
+
+void GlusterFs::onNodeRestore(int nodeIdx) {
+  // The replacement brick re-joins empty: it is a write target again, but
+  // holds no copies until healNode() re-replicates them.
+  if (replicaState_ != nullptr) replicaState_->reviveChild(nodeIdx);
+}
+
+sim::Task<void> GlusterFs::healNode(int nodeIdx) {
+  if (replicaState_ == nullptr) co_return;  // unreplicated: nothing to heal
+  // Snapshot the namespace in catalog path order (the recovery-sweep order,
+  // so heal replays identically everywhere); files written after the
+  // snapshot see the revived child and replicate normally.
+  std::vector<std::pair<sim::FileId, Bytes>> candidates;
+  for (const sim::FileId id : catalog_.sortedIds()) {
+    const FileMeta& meta = *catalog_.tryLookup(id);
+    if (meta.lost || meta.discarded) continue;
+    candidates.emplace_back(id, meta.size);
+  }
+  auto pass = afrLayers_.at(static_cast<std::size_t>(nodeIdx))
+                  ->heal(nodeIdx, std::move(candidates));
+  co_await std::move(pass);
 }
 
 }  // namespace wfs::storage

@@ -6,6 +6,7 @@
 #include "storage/base/storage_system.hpp"
 #include "storage/stack/layer_stack.hpp"
 #include "storage/stack/layouts.hpp"
+#include "storage/stack/replica_layer.hpp"
 
 namespace wfs::storage {
 
@@ -35,6 +36,11 @@ class GlusterFs : public StorageSystem {
     /// default was small; reads mostly rely on brick page caches).
     Bytes ioCacheBytes = 64_MiB;
     Rate memRate = GBps(1);
+    /// AFR replica count: 1 keeps the paper's unreplicated volumes
+    /// (cluster/dht routing, byte-identical to before); N > 1 swaps the
+    /// placement translator for cluster/afr, which fans every write out to
+    /// the N consecutive bricks starting at the layout's choice.
+    int replicas = 1;
   };
 
   GlusterFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
@@ -52,23 +58,35 @@ class GlusterFs : public StorageSystem {
   [[nodiscard]] LayerStack& clientStack(int node) {
     return *clientStacks_.at(static_cast<std::size_t>(node));
   }
+  [[nodiscard]] int replicas() const { return cfg_.replicas; }
+  /// Shared AFR volume state; nullptr when replicas == 1.
+  [[nodiscard]] const ReplicaState* replicaState() const { return replicaState_.get(); }
+
+  /// Self-heal of a replacement brick: re-replicates every under-replicated
+  /// non-lost file onto it, in catalog path order, through the brick stacks
+  /// and the shared flow network.
+  [[nodiscard]] sim::Task<void> healNode(int node) override;
 
  protected:
   [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
-  /// A file dies with the brick the layout placed it on (no replication in
-  /// the paper's NUFA/distribute volumes).
+  /// Unreplicated: a file dies with the brick the layout placed it on.
+  /// Replicated: it dies only when the crashing brick held its last live
+  /// copy (surviving copies keep it readable, degraded, until healed).
   [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
                                       const FileMeta& meta) const override;
   void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
+  void onNodeRestore(int node) override;
 
  private:
   GlusterMode mode_;
   Config cfg_;
   std::unique_ptr<LayoutPolicy> layout_;
+  std::unique_ptr<ReplicaState> replicaState_;  // set iff replicas > 1
   std::vector<std::unique_ptr<LayerStack>> brickStacks_;
   std::vector<std::unique_ptr<LayerStack>> clientStacks_;
+  std::vector<ReplicaLayer*> afrLayers_;  // per client, set iff replicas > 1
 };
 
 }  // namespace wfs::storage

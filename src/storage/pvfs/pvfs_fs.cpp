@@ -43,15 +43,25 @@ PvfsFs::PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode
   servers.reserve(nodes_.size());
   for (const auto& n : nodes_) servers.push_back(&n);
 
-  StripeLayer::Config stripe;
-  stripe.stripeSize = cfg.stripeSize;
-  stripe.ioRequestOverhead = cfg.ioRequestOverhead;
-  stripe.requestSize = cfg.requestSize;
-
   std::vector<std::unique_ptr<IoLayer>> layers;
   layers.push_back(
       std::make_unique<PvfsMetaLayer>(cfg.metaRpc, cfg.datafileHandshake, nodeCount()));
-  layers.push_back(std::make_unique<StripeLayer>(fabric, std::move(servers), stripe));
+  if (cfg.ecK > 0) {
+    ErasureLayer::Config ec;
+    ec.k = cfg.ecK;
+    ec.m = cfg.ecM;
+    ec.ioRequestOverhead = cfg.ioRequestOverhead;
+    ec.requestSize = cfg.requestSize;
+    auto disperse = std::make_unique<ErasureLayer>(fabric, std::move(servers), ec);
+    ec_ = disperse.get();
+    layers.push_back(std::move(disperse));
+  } else {
+    StripeLayer::Config stripe;
+    stripe.stripeSize = cfg.stripeSize;
+    stripe.ioRequestOverhead = cfg.ioRequestOverhead;
+    stripe.requestSize = cfg.requestSize;
+    layers.push_back(std::make_unique<StripeLayer>(fabric, std::move(servers), stripe));
+  }
   stack_ = std::make_unique<LayerStack>(sim, metrics_, std::move(layers));
   setNodeStacks(std::vector<LayerStack*>(nodes_.size(), stack_.get()));
 }
@@ -66,6 +76,38 @@ sim::Task<void> PvfsFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
 sim::Task<void> PvfsFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
   ++metrics_.remoteReads;  // stripes always reach other servers
   return stack_->read(nodeIdx, file, size);
+}
+
+bool PvfsFs::losesDataOnCrash(int nodeIdx, sim::FileId file, const FileMeta& meta) const {
+  (void)meta;
+  if (ec_ != nullptr) return ec_->losesFile(file, nodeIdx);
+  (void)file;
+  return true;
+}
+
+void PvfsFs::onNodeFail(int nodeIdx, const std::vector<sim::FileId>& lost) {
+  (void)lost;
+  if (ec_ != nullptr) ec_->dropServer(nodeIdx);
+}
+
+void PvfsFs::onNodeRestore(int nodeIdx) {
+  // The replacement server rejoins with empty media: writable again, but
+  // its fragments are gone until healNode() rebuilds them.
+  if (ec_ != nullptr) ec_->reviveServer(nodeIdx);
+}
+
+sim::Task<void> PvfsFs::healNode(int nodeIdx) {
+  if (ec_ == nullptr) co_return;  // plain striping: nothing survives to rebuild from
+  // Catalog path order = the recovery-sweep order, so rebuild replays
+  // identically everywhere.
+  std::vector<std::pair<sim::FileId, Bytes>> candidates;
+  for (const sim::FileId id : catalog_.sortedIds()) {
+    const FileMeta& meta = *catalog_.tryLookup(id);
+    if (meta.lost || meta.discarded) continue;
+    candidates.emplace_back(id, meta.size);
+  }
+  auto pass = ec_->heal(nodeIdx, std::move(candidates));
+  co_await std::move(pass);
 }
 
 }  // namespace wfs::storage

@@ -5,6 +5,7 @@
 
 #include "net/fabric.hpp"
 #include "storage/base/storage_system.hpp"
+#include "storage/stack/erasure_layer.hpp"
 #include "storage/stack/layer_stack.hpp"
 
 namespace wfs::storage {
@@ -20,7 +21,8 @@ namespace wfs::storage {
 /// server caching layer) — the mechanism behind PVFS's poor Montage and
 /// Broadband results (Figs 2, 4).
 ///
-/// Stack (shared): pvfs/meta -> cluster/stripe.
+/// Stack (shared): pvfs/meta -> cluster/stripe,
+/// or pvfs/meta -> cluster/ec when an erasure geometry is configured.
 class PvfsFs : public StorageSystem {
  public:
   struct Config {
@@ -39,6 +41,13 @@ class PvfsFs : public StorageSystem {
     /// request coalescing). This is the small-file killer's other half:
     /// a 3 MB Montage file becomes two dozen seek-bound 128 KiB accesses.
     Bytes requestSize = 128_KiB;
+    /// Stripe+parity erasure geometry. ecK == 0 keeps the paper's plain
+    /// full-width striping (byte-identical to before); ecK >= 1 with
+    /// ecM >= 1 swaps cluster/stripe for cluster/ec, which writes k data +
+    /// m parity fragments to k+m rotated servers and reconstructs reads
+    /// from any k of them.
+    int ecK = 0;
+    int ecM = 0;
   };
 
   PvfsFs(sim::Simulator& sim, net::Fabric& fabric, std::vector<StorageNode> nodes,
@@ -47,24 +56,34 @@ class PvfsFs : public StorageSystem {
 
   [[nodiscard]] std::string name() const override { return "pvfs"; }
 
+  [[nodiscard]] int ecK() const { return cfg_.ecK; }
+  [[nodiscard]] int ecM() const { return cfg_.ecM; }
+  /// The shared dispersal translator; nullptr under plain striping.
+  [[nodiscard]] const ErasureLayer* erasure() const { return ec_; }
+
+  /// Self-heal of a replacement I/O server: rebuilds its missing fragments
+  /// from the surviving k-of-n, in catalog path order. No-op under plain
+  /// striping (nothing survives to rebuild from).
+  [[nodiscard]] sim::Task<void> healNode(int node) override;
+
  protected:
   [[nodiscard]] sim::Task<void> doWrite(int node, sim::FileId file, Bytes size) override;
   [[nodiscard]] sim::Task<void> doRead(int node, sim::FileId file, Bytes size) override;
 
-  /// Every file is striped across every I/O server with no redundancy: one
-  /// node crash loses the whole namespace — matching the operational
-  /// fragility that forced the paper's authors off PVFS 2.8.
+  /// Plain striping spreads every file across every I/O server with no
+  /// redundancy: one node crash loses the whole namespace — matching the
+  /// operational fragility that forced the paper's authors off PVFS 2.8.
+  /// With erasure coding a file dies only when the crashing server drops
+  /// it below k live fragments.
   [[nodiscard]] bool losesDataOnCrash(int node, sim::FileId file,
-                                      const FileMeta& meta) const override {
-    (void)node;
-    (void)file;
-    (void)meta;
-    return true;
-  }
+                                      const FileMeta& meta) const override;
+  void onNodeFail(int node, const std::vector<sim::FileId>& lost) override;
+  void onNodeRestore(int node) override;
 
  private:
   Config cfg_;
   std::unique_ptr<LayerStack> stack_;
+  ErasureLayer* ec_ = nullptr;  // owned by stack_, set iff ecK > 0
 };
 
 }  // namespace wfs::storage

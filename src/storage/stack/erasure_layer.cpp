@@ -1,0 +1,193 @@
+#include "storage/stack/erasure_layer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfs::storage {
+
+ErasureLayer::ErasureLayer(net::Fabric& fabric, std::vector<const StorageNode*> servers,
+                           Config cfg)
+    : cfg_{std::move(cfg)}, fabric_{&fabric}, servers_{std::move(servers)} {
+  serverUp_.assign(servers_.size(), 1);
+}
+
+void ErasureLayer::ensure(sim::FileId file) {
+  if (fragments_.size() <= file.index()) fragments_.resize(file.index() + 1, 0);
+}
+
+int ErasureLayer::serverOf(sim::FileId file, int slot) const {
+  // Rotate the fragment row by file identity so every server carries an
+  // equal share of parity (interning order is deterministic, so placement
+  // is too).
+  const int n = static_cast<int>(servers_.size());
+  return static_cast<int>((file.index() + static_cast<std::uint32_t>(slot)) %
+                          static_cast<std::uint32_t>(n));
+}
+
+bool ErasureLayer::hasFragment(sim::FileId file, int node) const {
+  if (!file.valid() || file.index() >= fragments_.size()) return false;
+  for (int j = 0; j < width(); ++j) {
+    if (serverOf(file, j) != node) continue;
+    if ((fragments_[file.index()] >> j & 1U) != 0) return true;
+  }
+  return false;
+}
+
+int ErasureLayer::liveFragmentsExcluding(sim::FileId file, int excludeNode) const {
+  if (!file.valid() || file.index() >= fragments_.size()) return 0;
+  int live = 0;
+  for (int j = 0; j < width(); ++j) {
+    const int sv = serverOf(file, j);
+    if (sv == excludeNode || !serverUp(sv)) continue;
+    if ((fragments_[file.index()] >> j & 1U) != 0) ++live;
+  }
+  return live;
+}
+
+void ErasureLayer::dropServer(int node) {
+  serverUp_.at(static_cast<std::size_t>(node)) = 0;
+  for (std::size_t i = 0; i < fragments_.size(); ++i) {
+    if (fragments_[i] == 0) continue;
+    const sim::FileId file{static_cast<std::uint32_t>(i)};
+    for (int j = 0; j < width(); ++j) {
+      if (serverOf(file, j) == node) fragments_[i] &= ~(std::uint32_t{1} << j);
+    }
+  }
+}
+
+void ErasureLayer::reviveServer(int node) {
+  serverUp_.at(static_cast<std::size_t>(node)) = 1;
+}
+
+sim::Task<void> ErasureLayer::serverIo(int server, int clientNode, Bytes bytes, bool wr) {
+  const StorageNode& sv = *servers_.at(static_cast<std::size_t>(server));
+  net::Nic* cli = servers_.at(static_cast<std::size_t>(clientNode))->nic;
+  co_await sim_->delay(cfg_.ioRequestOverhead + fabric_->oneWayLatency(cli, sv.nic));
+  // Flow-controlled requests, serial per server: each repositions the disk
+  // because concurrent clients interleave between requests (PVFS 2.6.x did
+  // no server-side request coalescing).
+  const Bytes base = wr ? sv.disk->allocate(bytes) : 0;
+  Bytes done = 0;
+  while (done < bytes) {
+    const Bytes req = std::min(bytes - done, cfg_.requestSize);
+    if (wr) {
+      co_await sv.disk->writeAt(base + done, req, fabric_->path(cli, sv.nic));
+    } else {
+      co_await sv.disk->read(req, fabric_->path(sv.nic, cli));
+    }
+    done += req;
+  }
+}
+
+sim::Task<void> ErasureLayer::process(Op& op) {
+  const Bytes frag = fragmentBytes(op.size);
+  if (isWriteLike(op.kind)) {
+    ensure(op.file);
+    std::vector<sim::Task<void>> parts;
+    parts.reserve(static_cast<std::size_t>(width()));
+    int liveSlots = 0;
+    for (int j = 0; j < width(); ++j) {
+      const int sv = serverOf(op.file, j);
+      // A down server's fragment is skipped — the file is born degraded and
+      // heal() completes it once the replacement re-joins.
+      if (!serverUp(sv)) continue;
+      fragments_[op.file.index()] |= std::uint32_t{1} << j;
+      ++liveSlots;
+      parts.push_back(serverIo(sv, op.node, frag, /*wr=*/true));
+    }
+    if (liveSlots < cfg_.k) {
+      throw std::runtime_error(
+          "cluster/ec: only " + std::to_string(liveSlots) + " live servers for '" +
+          sim_->files().name(op.file) + "' (k=" + std::to_string(cfg_.k) +
+          "+m=" + std::to_string(cfg_.m) + "): cannot store a reconstructable stripe");
+    }
+    co_await sim::allOf(*sim_, std::move(parts));
+    co_return;
+  }
+
+  // Read: any k live fragments reconstruct the file; data fragments are
+  // preferred, each dead one substituted by a parity fragment.
+  std::vector<int> chosen;
+  chosen.reserve(static_cast<std::size_t>(cfg_.k));
+  int parityUsed = 0;
+  const bool known = op.file.valid() && op.file.index() < fragments_.size();
+  for (int pass = 0; pass < 2 && static_cast<int>(chosen.size()) < cfg_.k; ++pass) {
+    const int lo = pass == 0 ? 0 : cfg_.k;
+    const int hi = pass == 0 ? cfg_.k : width();
+    for (int j = lo; j < hi && static_cast<int>(chosen.size()) < cfg_.k; ++j) {
+      const int sv = serverOf(op.file, j);
+      if (!known || !serverUp(sv) || (fragments_[op.file.index()] >> j & 1U) == 0) continue;
+      if (pass == 1) ++parityUsed;
+      chosen.push_back(j);
+    }
+  }
+  if (static_cast<int>(chosen.size()) < cfg_.k) {
+    throw std::runtime_error(
+        "cluster/ec: only " + std::to_string(chosen.size()) + " of k=" +
+        std::to_string(cfg_.k) + " fragments of '" + sim_->files().name(op.file) +
+        "' are live (m=" + std::to_string(cfg_.m) +
+        " parity exhausted): losses exceeded the redundancy budget; recompute or "
+        "re-stage the file");
+  }
+  LayerMetrics& lm = ledger();
+  if (parityUsed > 0) {
+    ++lm.reconstructions;
+    ++lm.degradedReads;
+  }
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(chosen.size());
+  for (const int j : chosen) {
+    const int sv = serverOf(op.file, j);
+    if (op.node >= 0) {
+      auto& io = metrics_->nodeIo(op.node);
+      (sv == op.node ? io.fromDisk : io.fromNetwork) += frag;
+    }
+    parts.push_back(serverIo(sv, op.node, frag, /*wr=*/false));
+  }
+  co_await sim::allOf(*sim_, std::move(parts));
+}
+
+void ErasureLayer::handle(Op& op) {
+  if (op.kind == OpKind::kPreload) {
+    // Pre-staged input: every fragment of the stripe is present (staging is
+    // free and complete, mirroring preload()).
+    ensure(op.file);
+    fragments_[op.file.index()] = (std::uint32_t{1} << width()) - 1;
+  }
+  IoLayer::handle(op);
+}
+
+sim::Task<void> ErasureLayer::heal(int node,
+                                   std::vector<std::pair<sim::FileId, Bytes>> candidates) {
+  for (const auto& [file, size] : candidates) {
+    if (!serverUp(node)) co_return;  // crashed again mid-heal
+    if (!file.valid() || file.index() >= fragments_.size()) continue;
+    const Bytes frag = fragmentBytes(size);
+    for (int j = 0; j < width(); ++j) {
+      if (serverOf(file, j) != node) continue;
+      if ((fragments_[file.index()] >> j & 1U) != 0) continue;
+      // Re-encode from any k live fragments: pull them across the wire to
+      // the replacement server (competing with workflow I/O), then write
+      // the rebuilt fragment to its disk.
+      std::vector<int> sources;
+      for (int s = 0; s < width() && static_cast<int>(sources.size()) < cfg_.k; ++s) {
+        const int sv = serverOf(file, s);
+        if (sv == node || !serverUp(sv)) continue;
+        if ((fragments_[file.index()] >> s & 1U) != 0) sources.push_back(sv);
+      }
+      if (static_cast<int>(sources.size()) < cfg_.k) continue;  // unreconstructable
+      std::vector<sim::Task<void>> pulls;
+      pulls.reserve(sources.size());
+      for (const int sv : sources) pulls.push_back(serverIo(sv, node, frag, /*wr=*/false));
+      co_await sim::allOf(*sim_, std::move(pulls));
+      auto push = serverIo(node, node, frag, /*wr=*/true);
+      co_await std::move(push);
+      fragments_[file.index()] |= std::uint32_t{1} << j;
+      LayerMetrics& lm = ledger();
+      lm.healBytes += frag;
+      ++lm.healedFiles;
+    }
+  }
+}
+
+}  // namespace wfs::storage

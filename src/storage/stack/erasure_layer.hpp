@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/io_layer.hpp"
+
+namespace wfs::storage {
+
+/// cluster/ec (GlusterFS disperse / stripe+parity): every file is cut into
+/// k data fragments of ceil(size/k) bytes plus m parity fragments of the
+/// same size, one fragment per server, rotated by file identity so parity
+/// load spreads. Any k live fragments reconstruct a read; a read that had to
+/// substitute parity for a dead data fragment counts a reconstruction.
+/// Fragment I/O uses the PVFS request model (per-server setup latency,
+/// flow-controlled requestSize chunks, serial per server, parallel across
+/// servers), so geometry changes — not transport changes — explain the
+/// numbers against cluster/stripe.
+class ErasureLayer final : public IoLayer {
+ public:
+  struct Config {
+    std::string name = "cluster/ec";
+    int k = 2;
+    int m = 1;
+    /// Request setup per server per transfer (PVFS ioRequestOverhead).
+    sim::Duration ioRequestOverhead = sim::Duration::micros(300);
+    /// Flow-control window per request.
+    Bytes requestSize = 128_KiB;
+  };
+
+  ErasureLayer(net::Fabric& fabric, std::vector<const StorageNode*> servers, Config cfg);
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  [[nodiscard]] int k() const { return cfg_.k; }
+  [[nodiscard]] int m() const { return cfg_.m; }
+
+  /// Fragments always reach other servers.
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
+    (void)node;
+    (void)file;
+    (void)size;
+    return 0;
+  }
+
+  /// Server of fragment slot `slot` (0..k+m-1) for `file`.
+  [[nodiscard]] int serverOf(sim::FileId file, int slot) const;
+  /// Does `node` hold a live-or-dead-server fragment of `file`?
+  [[nodiscard]] bool hasFragment(sim::FileId file, int node) const;
+  /// Fragments of `file` on live servers, not counting `excludeNode` — the
+  /// failNode() sweep asks before onServerDown has run.
+  [[nodiscard]] int liveFragmentsExcluding(sim::FileId file, int excludeNode) const;
+  /// Crash policy hook for the owning backend: `file` is unreconstructable
+  /// once the fragments surviving outside `node` drop below k.
+  [[nodiscard]] bool losesFile(sim::FileId file, int node) const {
+    return hasFragment(file, node) && liveFragmentsExcluding(file, node) < cfg_.k;
+  }
+
+  [[nodiscard]] bool serverUp(int node) const {
+    return serverUp_.at(static_cast<std::size_t>(node)) != 0;
+  }
+  /// Crash-stop of a server: down, and every fragment it held is gone.
+  void dropServer(int node);
+  /// Replacement VM re-joined; fragments return only via heal().
+  void reviveServer(int node);
+
+  /// Background self-heal of a replacement server: for every file in
+  /// `candidates` (id, size — catalog path order) missing a fragment on
+  /// `node` and still holding k live fragments, read k fragments across the
+  /// wire, re-encode, and write the missing fragment to the server.
+  [[nodiscard]] sim::Task<void> heal(int node,
+                                     std::vector<std::pair<sim::FileId, Bytes>> candidates);
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+  void handle(Op& op) override;
+
+ private:
+  [[nodiscard]] sim::Task<void> serverIo(int server, int clientNode, Bytes bytes, bool wr);
+  [[nodiscard]] Bytes fragmentBytes(Bytes size) const {
+    return (size + static_cast<Bytes>(cfg_.k) - 1) / static_cast<Bytes>(cfg_.k);
+  }
+  [[nodiscard]] int width() const { return cfg_.k + cfg_.m; }
+  void ensure(sim::FileId file);
+
+  Config cfg_;
+  net::Fabric* fabric_;
+  std::vector<const StorageNode*> servers_;
+  std::vector<char> serverUp_;             // by node
+  std::vector<std::uint32_t> fragments_;   // dense by FileId; bit j = slot j present
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,231 @@
+#include "storage/stack/replica_layer.hpp"
+
+#include <stdexcept>
+
+namespace wfs::storage {
+
+ReplicaState::ReplicaState(int bricks, int replicas, LayoutPolicy& layout)
+    : bricks_{bricks}, replicas_{replicas}, layout_{&layout} {
+  childUp_.assign(static_cast<std::size_t>(bricks), 1);
+}
+
+void ReplicaState::ensure(sim::FileId file) {
+  if (primary_.size() <= file.index()) {
+    primary_.resize(file.index() + 1, -1);
+    copies_.resize(file.index() + 1, 0);
+  }
+}
+
+int ReplicaState::primaryOf(sim::FileId file) const {
+  if (!file.valid() || file.index() >= primary_.size()) return -1;
+  return primary_[file.index()];
+}
+
+int ReplicaState::childOf(sim::FileId file, int slot) const {
+  const int primary = primaryOf(file);
+  return primary < 0 ? -1 : (primary + slot) % bricks_;
+}
+
+int ReplicaState::slotOf(sim::FileId file, int node) const {
+  const int primary = primaryOf(file);
+  if (primary < 0) return -1;
+  const int slot = (node - primary + bricks_) % bricks_;
+  return slot < replicas_ ? slot : -1;
+}
+
+std::vector<int> ReplicaState::replicaSetForWrite(sim::FileId file, int creator) {
+  ensure(file);
+  if (primary_[file.index()] < 0) primary_[file.index()] = layout_->place(file, creator);
+  std::vector<int> set(static_cast<std::size_t>(replicas_));
+  for (int j = 0; j < replicas_; ++j) set[static_cast<std::size_t>(j)] = childOf(file, j);
+  return set;
+}
+
+void ReplicaState::notePreload(sim::FileId file) {
+  ensure(file);
+  if (primary_[file.index()] < 0) primary_[file.index()] = layout_->place(file, -1);
+  copies_[file.index()] = (std::uint32_t{1} << replicas_) - 1;
+}
+
+void ReplicaState::noteCopy(sim::FileId file, int slot) {
+  ensure(file);
+  copies_[file.index()] |= std::uint32_t{1} << slot;
+}
+
+bool ReplicaState::hasCopy(sim::FileId file, int node) const {
+  const int slot = slotOf(file, node);
+  if (slot < 0) return false;
+  return (copies_[file.index()] >> slot & 1U) != 0;
+}
+
+int ReplicaState::liveCopiesExcluding(sim::FileId file, int excludeNode) const {
+  if (primaryOf(file) < 0) return 0;
+  int live = 0;
+  for (int j = 0; j < replicas_; ++j) {
+    const int child = childOf(file, j);
+    if (child == excludeNode || !childUp(child)) continue;
+    if ((copies_[file.index()] >> j & 1U) != 0) ++live;
+  }
+  return live;
+}
+
+void ReplicaState::dropChild(int node) {
+  childUp_.at(static_cast<std::size_t>(node)) = 0;
+  for (std::size_t i = 0; i < primary_.size(); ++i) {
+    if (primary_[i] == -1 || copies_[i] == 0) continue;
+    const int slot = (node - primary_[i] + bricks_) % bricks_;
+    if (slot < replicas_) copies_[i] &= ~(std::uint32_t{1} << slot);
+  }
+}
+
+void ReplicaState::reviveChild(int node) {
+  childUp_.at(static_cast<std::size_t>(node)) = 1;
+}
+
+int ReplicaState::readChild(sim::FileId file, int reader, bool& degraded) const {
+  degraded = false;
+  if (primaryOf(file) < 0) return -1;
+  auto live = [this, file](int slot) {
+    const int child = childOf(file, slot);
+    return childUp(child) && (copies_[file.index()] >> slot & 1U) != 0;
+  };
+  // Preferred child: the reader's own brick when in the set, else the
+  // file's hashed slot — same spread a DHT read-child hash gives.
+  int preferred = slotOf(file, reader);
+  if (preferred < 0) preferred = static_cast<int>(file.index()) % replicas_;
+  if (live(preferred)) return childOf(file, preferred);
+  for (int j = 0; j < replicas_; ++j) {
+    if (!live(j)) continue;
+    degraded = true;
+    return childOf(file, j);
+  }
+  return -1;
+}
+
+int ReplicaState::healSource(sim::FileId file, int node) const {
+  if (primaryOf(file) < 0) return -1;
+  for (int j = 0; j < replicas_; ++j) {
+    const int child = childOf(file, j);
+    if (child == node || !childUp(child)) continue;
+    if ((copies_[file.index()] >> j & 1U) != 0) return child;
+  }
+  return -1;
+}
+
+sim::Task<void> ReplicaLayer::writeChild(Op op, int child) {
+  // Each fan-out leg owns its Op copy; the parent clock stays with the
+  // entry frame (parallel legs would double-book time-below otherwise).
+  op.parentClock = nullptr;
+  op.owner = child;
+  if (child != op.node) {
+    net::Nic* client = nicOf(op.node);
+    co_await sim_->delay(cfg_.lookupLatency + fabric_->oneWayLatency(client, nicOf(child)));
+    // protocol/client hop: the payload crosses the network to the child.
+    auto flow = fabric_->network().transfer(fabric_->path(client, nicOf(child)), op.size);
+    co_await std::move(flow);
+  }
+  op.route = {};  // payload is at the child now
+  auto below = targets_.at(static_cast<std::size_t>(child))->submit(op);
+  co_await std::move(below);
+}
+
+sim::Task<void> ReplicaLayer::process(Op& op) {
+  if (op.kind == OpKind::kRead) {
+    bool degraded = false;
+    const int child = state_->readChild(op.file, op.node, degraded);
+    if (child < 0) {
+      throw std::runtime_error(
+          "cluster/afr: no live replica of '" + sim_->files().name(op.file) + "' (replicas=" +
+          std::to_string(state_->replicas()) +
+          "): losses exceeded the redundancy budget; recompute or re-stage the file");
+    }
+    LayerMetrics& lm = ledger();
+    if (degraded) ++lm.degradedReads;
+    if (lm.childReads.size() < nodes_.size()) lm.childReads.resize(nodes_.size());
+    ++lm.childReads[static_cast<std::size_t>(child)];
+    op.owner = child;
+    net::Nic* client = nicOf(op.node);
+    if (child == op.node) {
+      ++metrics_->localReads;
+    } else {
+      ++metrics_->remoteReads;
+      co_await sim_->delay(cfg_.lookupLatency + fabric_->oneWayLatency(client, nicOf(child)));
+    }
+    op.route = fabric_->path(nicOf(child), client);
+    auto below = targets_.at(static_cast<std::size_t>(child))->submit(op);
+    co_await std::move(below);
+    co_return;
+  }
+
+  // Write/scratch: synchronous fan-out to every live child of the set. A
+  // down child is skipped — the file is born under-replicated and the
+  // self-heal pass completes it once the replacement brick re-joins.
+  const std::vector<int> set = state_->replicaSetForWrite(op.file, op.node);
+  std::vector<sim::Task<void>> legs;
+  legs.reserve(set.size());
+  for (int j = 0; j < static_cast<int>(set.size()); ++j) {
+    const int child = set[static_cast<std::size_t>(j)];
+    if (!state_->childUp(child)) continue;
+    state_->noteCopy(op.file, j);
+    legs.push_back(writeChild(op, child));
+  }
+  if (legs.empty()) {
+    throw std::runtime_error("cluster/afr: no live child to write '" +
+                             sim_->files().name(op.file) + "' (replicas=" +
+                             std::to_string(state_->replicas()) + ", all children down)");
+  }
+  co_await sim::allOf(*sim_, std::move(legs));
+}
+
+void ReplicaLayer::handle(Op& op) {
+  if (op.kind == OpKind::kPreload) {
+    state_->notePreload(op.file);
+  }
+  // Control ops visit every child of the set that could hold a copy, so
+  // brick caches seed (preload) and drop (discard) coherently.
+  for (int j = 0; j < state_->replicas(); ++j) {
+    const int child = state_->childOf(op.file, j);
+    if (child < 0) continue;
+    Op childOp = op;
+    childOp.owner = child;
+    childOp.parentClock = nullptr;
+    targets_.at(static_cast<std::size_t>(child))->control(childOp);
+  }
+}
+
+sim::Task<void> ReplicaLayer::heal(int node,
+                                   std::vector<std::pair<sim::FileId, Bytes>> candidates) {
+  for (const auto& [file, size] : candidates) {
+    if (!state_->childUp(node)) co_return;  // crashed again mid-heal
+    if (state_->slotOf(file, node) < 0 || state_->hasCopy(file, node)) continue;
+    const int src = state_->healSource(file, node);
+    if (src < 0) continue;  // no live copy left to replicate from
+    // Read the source brick's copy across the wire to the replacement
+    // child — ordinary brick I/O on a shared flow network, so heal traffic
+    // competes with workflow reads and writes.
+    Op rd;
+    rd.kind = OpKind::kRead;
+    rd.node = node;
+    rd.file = file;
+    rd.size = size;
+    rd.owner = src;
+    rd.route = fabric_->path(nicOf(src), nicOf(node));
+    auto pull = targets_.at(static_cast<std::size_t>(src))->submit(rd);
+    co_await std::move(pull);
+    // Land the copy through the replacement brick's own stack.
+    Op wr;
+    wr.kind = OpKind::kWrite;
+    wr.node = node;
+    wr.file = file;
+    wr.size = size;
+    wr.owner = node;
+    auto push = targets_.at(static_cast<std::size_t>(node))->submit(wr);
+    co_await std::move(push);
+    state_->noteCopy(file, state_->slotOf(file, node));
+    LayerMetrics& lm = ledger();
+    lm.healBytes += size;
+    ++lm.healedFiles;
+  }
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "storage/base/storage_system.hpp"
+#include "storage/stack/io_layer.hpp"
+#include "storage/stack/layer_stack.hpp"
+#include "storage/stack/layouts.hpp"
+
+namespace wfs::storage {
+
+/// Shared replica-set bookkeeping of an AFR volume, owned by the backend and
+/// referenced by every client's ReplicaLayer instance: which children are up,
+/// and which replica slots of each file actually hold a copy. A file's
+/// replica set is the R consecutive bricks starting at the brick its layout
+/// chose: {primary, primary+1, ..., primary+R-1} (mod brick count) — the
+/// standard way a replicated DHT derives subvolume groups from one placement
+/// decision, so replicas=1 degenerates to the plain layout.
+class ReplicaState {
+ public:
+  ReplicaState(int bricks, int replicas, LayoutPolicy& layout);
+
+  [[nodiscard]] int replicas() const { return replicas_; }
+  [[nodiscard]] int bricks() const { return bricks_; }
+
+  /// Child node of replica slot `slot` for a file whose primary is known.
+  [[nodiscard]] int childOf(sim::FileId file, int slot) const;
+  /// Replica slot `node` occupies for `file`, or -1 if outside the set (or
+  /// the file was never placed).
+  [[nodiscard]] int slotOf(sim::FileId file, int node) const;
+
+  /// Resolves (and on first write records) the file's primary via the
+  /// layout, then returns the full replica set.
+  [[nodiscard]] std::vector<int> replicaSetForWrite(sim::FileId file, int creator);
+  /// Pre-staged data: placed by the layout with creator -1, every slot
+  /// populated (input staging is free and complete, mirroring preload()).
+  void notePreload(sim::FileId file);
+
+  /// A copy of `file` landed on replica slot `slot`.
+  void noteCopy(sim::FileId file, int slot);
+  /// Does `node` hold a copy of `file`?
+  [[nodiscard]] bool hasCopy(sim::FileId file, int node) const;
+  /// Live (child up AND copy present) replicas of `file`, not counting
+  /// `excludeNode` — the failNode() sweep asks this *before* onNodeFail has
+  /// marked the crashing child down.
+  [[nodiscard]] int liveCopiesExcluding(sim::FileId file, int excludeNode) const;
+
+  [[nodiscard]] bool childUp(int node) const {
+    return childUp_.at(static_cast<std::size_t>(node)) != 0;
+  }
+  /// Crash-stop of a child: it is down and every copy it held is gone.
+  void dropChild(int node);
+  /// Replacement VM re-joined; its brick is empty until healed.
+  void reviveChild(int node);
+
+  /// Deterministic read-child selection: the reader's own brick when it is
+  /// in the set and live, else the file's hashed preference, else the first
+  /// live slot. Sets `degraded` when the preferred copy was unavailable.
+  /// Returns -1 when no live copy exists.
+  [[nodiscard]] int readChild(sim::FileId file, int reader, bool& degraded) const;
+
+  /// First live copy other than `node` a self-heal can replicate from; -1
+  /// if none.
+  [[nodiscard]] int healSource(sim::FileId file, int node) const;
+
+ private:
+  int bricks_;
+  int replicas_;
+  LayoutPolicy* layout_;
+  std::vector<char> childUp_;          // by node
+  std::vector<int> primary_;           // dense by FileId; -1 = never placed
+  std::vector<std::uint32_t> copies_;  // dense by FileId; bit j = slot j holds a copy
+
+  void ensure(sim::FileId file);
+  [[nodiscard]] int primaryOf(sim::FileId file) const;
+};
+
+/// cluster/afr (GlusterFS Automatic File Replication, the architecture the
+/// paper's backend came from): synchronous client-side N-way replication.
+/// Writes fan out to every live child of the file's replica set in parallel
+/// (remote children pay the lookup RPC and the payload transfer); reads pick
+/// one deterministic child, preferring a local live copy and falling back —
+/// counted as a degraded read — when the preferred child is down or unhealed.
+/// heal() re-replicates one file onto a replacement child through the
+/// ordinary brick stacks and flow network, so self-heal traffic competes
+/// with workflow I/O.
+class ReplicaLayer final : public IoLayer {
+ public:
+  struct Config {
+    std::string name = "cluster/afr";
+    /// Per-file lookup RPC to a remote child (same meaning as
+    /// PlacementLayer's).
+    sim::Duration lookupLatency = sim::Duration::micros(300);
+  };
+
+  ReplicaLayer(net::Fabric& fabric, ReplicaState& state,
+               std::vector<const StorageNode*> nodes, Config cfg)
+      : cfg_{std::move(cfg)}, fabric_{&fabric}, state_{&state}, nodes_{std::move(nodes)} {}
+
+  /// Per-child brick substacks, indexed by node.
+  void setTargets(std::vector<LayerStack*> targets) { targets_ = std::move(targets); }
+
+  [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+  [[nodiscard]] Bytes locality(int node, sim::FileId file, Bytes size) const override {
+    return state_->childUp(node) && state_->hasCopy(file, node) ? size : 0;
+  }
+
+  /// Background self-heal of a replacement child: every under-replicated
+  /// file in `candidates` (id, size — emitted in catalog path order) whose
+  /// set contains `node` is copied from its first live replica, over the
+  /// network, into the child's brick stack.
+  [[nodiscard]] sim::Task<void> heal(int node,
+                                     std::vector<std::pair<sim::FileId, Bytes>> candidates);
+
+ protected:
+  [[nodiscard]] sim::Task<void> process(Op& op) override;
+  void handle(Op& op) override;
+
+ private:
+  [[nodiscard]] sim::Task<void> writeChild(Op op, int child);
+  [[nodiscard]] net::Nic* nicOf(int node) const {
+    return nodes_.at(static_cast<std::size_t>(node))->nic;
+  }
+
+  Config cfg_;
+  net::Fabric* fabric_;
+  ReplicaState* state_;
+  std::vector<const StorageNode*> nodes_;
+  std::vector<LayerStack*> targets_;
+};
+
+}  // namespace wfs::storage

@@ -87,5 +87,58 @@ TEST(AvailabilitySweep, NodeAttachedBackendsLoseAndRecomputeIntermediates) {
   EXPECT_TRUE(sawRecompute);
 }
 
+TEST(AvailabilitySweep, ReplicationEliminatesRecomputeOnLoss) {
+  AvailabilityOptions opt = testOptions(2);
+  opt.nodes = 3;  // a brick outside the replica set keeps degraded reads possible
+  opt.replicas = 2;
+  opt.backends = {StorageKind::kGlusterNufa, StorageKind::kGlusterDist};
+  const std::vector<AvailabilityCell> cells = runAvailabilitySweep(opt);
+  ASSERT_EQ(cells.size(), 2u);
+  for (const AvailabilityCell& c : cells) {
+    const std::string label = c.clean.label();
+    ASSERT_TRUE(c.clean.ok) << label << ": " << c.clean.error;
+    ASSERT_TRUE(c.faulted.ok) << label << ": " << c.faulted.error;
+    // The headline claim of the redundancy tier: a replicated volume turns
+    // crash-lost files into degraded reads plus heal traffic — never into
+    // recomputation.
+    const FaultOutcome& f = c.faulted.result.fault;
+    EXPECT_EQ(f.crashes, 1u) << label;
+    EXPECT_EQ(f.lostFiles, 0u) << label;
+    EXPECT_EQ(f.recomputedJobs, 0u) << label;
+    const RedundancyOutcome& red = c.faulted.result.redundancy;
+    EXPECT_TRUE(red.enabled) << label;
+    EXPECT_GT(red.healedFiles, 0u) << label;
+    EXPECT_GT(red.healBytes, 0u) << label;
+    // The clean twin never degrades or heals.
+    EXPECT_EQ(c.clean.result.redundancy.degradedReads, 0u) << label;
+    EXPECT_EQ(c.clean.result.redundancy.healedFiles, 0u) << label;
+  }
+}
+
+TEST(AvailabilitySweep, ErasureCodingEliminatesRecomputeOnLoss) {
+  AvailabilityOptions opt = testOptions(2);
+  opt.nodes = 3;
+  opt.ecK = 2;
+  opt.ecM = 1;
+  opt.backends = {StorageKind::kPvfs};
+  const std::vector<AvailabilityCell> cells = runAvailabilitySweep(opt);
+  ASSERT_EQ(cells.size(), 1u);
+  const AvailabilityCell& c = cells.front();
+  ASSERT_TRUE(c.clean.ok) << c.clean.error;
+  ASSERT_TRUE(c.faulted.ok) << c.faulted.error;
+  const FaultOutcome& f = c.faulted.result.fault;
+  EXPECT_EQ(f.crashes, 1u);
+  // Plain striping loses the whole namespace to one crash (see
+  // NodeAttachedBackendsLoseAndRecomputeIntermediates); one parity fragment
+  // per stripe eliminates the loss entirely.
+  EXPECT_EQ(f.lostFiles, 0u);
+  EXPECT_EQ(f.recomputedJobs, 0u);
+  const RedundancyOutcome& red = c.faulted.result.redundancy;
+  EXPECT_TRUE(red.enabled);
+  EXPECT_GT(red.healedFiles, 0u);
+  EXPECT_GT(red.healBytes, 0u);
+  EXPECT_EQ(c.clean.result.redundancy.reconstructions, 0u);
+}
+
 }  // namespace
 }  // namespace wfs::analysis

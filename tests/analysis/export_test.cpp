@@ -111,7 +111,9 @@ TEST(Export, MetricsJsonlFixedKeyOrder) {
             "\"scratch_ops\":0,\"discard_ops\":0,\"preload_ops\":0,\"bytes_read\":300,"
             "\"bytes_written\":200,\"cache_hits\":1,\"cache_misses\":2,\"busy_s\":1.5,"
             "\"self_s\":0.25,\"queue_s\":0,\"faults_injected\":0,"
-            "\"faults_retried\":0,\"faults_exhausted\":0,\"outage_stalls\":0}\n"
+            "\"faults_retried\":0,\"faults_exhausted\":0,\"outage_stalls\":0,"
+            "\"degraded_reads\":0,\"reconstructions\":0,\"healed_files\":0,"
+            "\"heal_bytes\":0}\n"
             "{\"app\":\"montage\",\"storage\":\"nfs\",\"nodes\":2,\"scale\":0.5,"
             "\"seed\":7,\"node\":0,\"from_cache_bytes\":100,\"from_disk_bytes\":0,"
             "\"from_network_bytes\":200,\"bytes_written\":0}\n");

@@ -70,7 +70,7 @@ TEST(CellIdTest, EqualConfigsHashEqual) {
   EXPECT_EQ(configHash(a), configHash(b));
   EXPECT_EQ(configHashHex(a), configHashHex(b));
   EXPECT_EQ(configHashHex(a).size(), 16u);
-  EXPECT_EQ(canonicalConfig(a).rfind("cfg-v1|", 0), 0u) << canonicalConfig(a);
+  EXPECT_EQ(canonicalConfig(a).rfind("cfg-v2|", 0), 0u) << canonicalConfig(a);
 }
 
 TEST(CellIdTest, EveryResultAffectingFieldChangesTheHash) {

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/base/errors.hpp"
+#include "storage/pvfs/pvfs_fs.hpp"
+#include "testing/cluster_fixture.hpp"
+
+namespace wfs::storage {
+namespace {
+
+std::unique_ptr<PvfsFs> makeEc(testing::MiniCluster& w, int k, int m) {
+  PvfsFs::Config cfg;
+  cfg.ecK = k;
+  cfg.ecM = m;
+  return std::make_unique<PvfsFs>(w.sim, w.fabric, w.nodes, cfg);
+}
+
+TEST(ErasureLayer, WritePlacesAFragmentOnEveryServer) {
+  testing::MiniCluster w{{.nodes = 3, .zeroDiskOverheads = true}};
+  auto fs = makeEc(w, 2, 1);
+  w.run(fs->write(0, "frag.dat", 12_MB));
+  const ErasureLayer* ec = fs->erasure();
+  ASSERT_NE(ec, nullptr);
+  const sim::FileId id = fs->files().find("frag.dat");
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_TRUE(ec->hasFragment(id, node)) << "server " << node;
+  }
+  const LayerMetrics* lm = fs->metrics().findLayer("cluster/ec");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_EQ(lm->writeOps, 1u);
+  EXPECT_EQ(lm->bytesWritten, 12_MB);
+  EXPECT_EQ(lm->degradedReads, 0u);
+}
+
+TEST(ErasureLayer, ParityReconstructsReadsAfterServerLoss) {
+  testing::MiniCluster w{{.nodes = 3, .zeroDiskOverheads = true}};
+  auto fs = makeEc(w, 2, 1);
+  // Rotation by file index: a.dat (idx 0) keeps a data fragment on server 0,
+  // b.dat (idx 1) only its parity there — one crash exercises both paths.
+  w.run(fs->write(0, "ec/a.dat", 8_MB));
+  w.run(fs->write(0, "ec/b.dat", 8_MB));
+  EXPECT_TRUE(fs->failNode(0).empty());  // m = 1 absorbs one server
+  std::string err;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    try {
+      auto ra = f.read(2, "ec/a.dat");
+      co_await std::move(ra);
+      auto rb = f.read(2, "ec/b.dat");
+      co_await std::move(rb);
+    } catch (const std::exception& e) {
+      out = e.what();
+    }
+  }(*fs, err));
+  EXPECT_EQ(err, "");
+  const LayerMetrics* lm = fs->metrics().findLayer("cluster/ec");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_GE(lm->reconstructions, 1u);
+  EXPECT_GE(lm->degradedReads, 1u);
+}
+
+TEST(ErasureLayer, HealRebuildsMissingFragments) {
+  testing::MiniCluster w{{.nodes = 3, .zeroDiskOverheads = true}};
+  auto fs = makeEc(w, 2, 1);
+  w.run(fs->write(0, "ec/a.dat", 8_MB));
+  w.run(fs->write(0, "ec/b.dat", 8_MB));
+  const sim::FileId a = fs->files().find("ec/a.dat");
+  const sim::FileId b = fs->files().find("ec/b.dat");
+
+  EXPECT_TRUE(fs->failNode(0).empty());
+  fs->restoreNode(0);
+  EXPECT_FALSE(fs->erasure()->hasFragment(a, 0));  // replacement server is empty
+
+  w.run(fs->healNode(0));
+  EXPECT_TRUE(fs->erasure()->hasFragment(a, 0));
+  EXPECT_TRUE(fs->erasure()->hasFragment(b, 0));
+  const LayerMetrics* lm = fs->metrics().findLayer("cluster/ec");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_EQ(lm->healedFiles, 2u);
+  // One ceil(size/k) = 4 MB fragment rebuilt per file.
+  EXPECT_EQ(lm->healBytes, 8_MB);
+
+  // The parity budget is genuinely restored: another single-server loss
+  // costs nothing and reads still complete.
+  EXPECT_TRUE(fs->failNode(1).empty());
+  EXPECT_TRUE(fs->available(a));
+  EXPECT_TRUE(fs->available(b));
+  std::string err;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    try {
+      auto rd = f.read(2, "ec/a.dat");
+      co_await std::move(rd);
+    } catch (const std::exception& e) {
+      out = e.what();
+    }
+  }(*fs, err));
+  EXPECT_EQ(err, "");
+}
+
+TEST(ErasureLayer, WritesBornDegradedAreHealedAfterRestore) {
+  testing::MiniCluster w{{.nodes = 3, .zeroDiskOverheads = true}};
+  auto fs = makeEc(w, 2, 1);
+  // A server is down when the write lands: the stripe is stored with k live
+  // fragments (still reconstructable) and the missing one owes a heal.
+  EXPECT_TRUE(fs->failNode(2).empty());
+  w.run(fs->write(0, "born.dat", 8_MB));
+  const sim::FileId id = fs->files().find("born.dat");
+  EXPECT_FALSE(fs->erasure()->hasFragment(id, 2));
+
+  fs->restoreNode(2);
+  w.run(fs->healNode(2));
+  EXPECT_TRUE(fs->erasure()->hasFragment(id, 2));
+
+  EXPECT_TRUE(fs->failNode(0).empty());
+  EXPECT_TRUE(fs->available(id));
+  std::string err;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    try {
+      auto rd = f.read(1, "born.dat");
+      co_await std::move(rd);
+    } catch (const std::exception& e) {
+      out = e.what();
+    }
+  }(*fs, err));
+  EXPECT_EQ(err, "");
+}
+
+TEST(ErasureLayer, WriteBelowKLiveServersFailsActionably) {
+  testing::MiniCluster w{{.nodes = 3, .zeroDiskOverheads = true}};
+  auto fs = makeEc(w, 2, 1);
+  EXPECT_TRUE(fs->failNode(1).empty());
+  EXPECT_TRUE(fs->failNode(2).empty());
+  std::string msg;
+  w.run([](StorageSystem& f, std::string& out) -> sim::Task<void> {
+    try {
+      auto wr = f.write(0, "nowhere.dat", 4_MB);
+      co_await std::move(wr);
+    } catch (const std::runtime_error& e) {
+      out = e.what();
+    }
+  }(*fs, msg));
+  EXPECT_NE(msg.find("cluster/ec"), std::string::npos) << "message was: " << msg;
+  EXPECT_NE(msg.find("nowhere.dat"), std::string::npos) << "message was: " << msg;
+  EXPECT_NE(msg.find("reconstructable"), std::string::npos) << "message was: " << msg;
+}
+
+}  // namespace
+}  // namespace wfs::storage

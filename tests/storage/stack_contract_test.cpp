@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "storage/base/errors.hpp"
 #include "storage/base/storage_system.hpp"
 #include "storage/ebs/ebs_fs.hpp"
 #include "storage/gluster/gluster_fs.hpp"
@@ -26,6 +29,8 @@ namespace {
 struct BackendCase {
   const char* label;
   std::unique_ptr<StorageSystem> (*make)(testing::MiniCluster&);
+  /// Cluster size the composition needs (EC wants k+m nodes).
+  int nodes = 2;
 };
 
 const BackendCase kBackends[] = {
@@ -67,13 +72,40 @@ const BackendCase kBackends[] = {
      [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
        return std::make_unique<EbsFs>(w.sim, w.net, w.nodes);
      }},
+    // Redundant compositions honor the same contract as the paper's plain
+    // volumes: replication and erasure coding may change costs, never
+    // semantics.
+    {"gluster_nufa_r2",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       GlusterFs::Config cfg;
+       cfg.replicas = 2;
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes, GlusterMode::kNufa,
+                                          cfg);
+     }},
+    {"gluster_dist_r2",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       GlusterFs::Config cfg;
+       cfg.replicas = 2;
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes,
+                                          GlusterMode::kDistribute, cfg);
+     }},
+    {"pvfs_ec21",
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       PvfsFs::Config cfg;
+       cfg.ecK = 2;
+       cfg.ecM = 1;
+       return std::make_unique<PvfsFs>(w.sim, w.fabric, w.nodes, cfg);
+     },
+     3},
 };
 
 class StackContract : public ::testing::TestWithParam<BackendCase> {
  protected:
-  StackContract() : fs{GetParam().make(w)} {}
+  StackContract()
+      : w{{.nodes = GetParam().nodes, .zeroDiskOverheads = true}},
+        fs{GetParam().make(w)} {}
 
-  testing::MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  testing::MiniCluster w;
   std::unique_ptr<StorageSystem> fs;
 };
 
@@ -168,7 +200,7 @@ TEST_P(StackContract, ScratchRoundTripRegistersWriteOnce) {
 
 TEST_P(StackContract, ZeroFaultArmingIsANoOp) {
   // Twin cluster, same backend, no fault layers at all.
-  testing::MiniCluster bare{{.nodes = 2, .zeroDiskOverheads = true}};
+  testing::MiniCluster bare{{.nodes = GetParam().nodes, .zeroDiskOverheads = true}};
   std::unique_ptr<StorageSystem> plain = GetParam().make(bare);
   // Arm the fixture's backend with a zero-probability, zero-outage plan:
   // the RetryLayer/FaultLayer pair must not shift a single event.
@@ -207,6 +239,148 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, StackContract, ::testing::ValuesIn(kBacken
                          [](const ::testing::TestParamInfo<BackendCase>& paramInfo) {
                            return std::string{paramInfo.param.label};
                          });
+
+/// Degraded-operation contract for the redundant compositions: a geometry
+/// that advertises surviving `budget` node losses must keep every file
+/// readable through exactly that many crash-stops, report the loss exactly
+/// once when the budget is exceeded, and fail subsequent reads with an
+/// actionable error naming the file.
+struct RedundantCase {
+  const char* label;
+  int nodes;
+  /// Crash-stops the geometry absorbs: replicas - 1, or m for k+m EC.
+  int budget;
+  std::unique_ptr<StorageSystem> (*make)(testing::MiniCluster&);
+};
+
+const RedundantCase kRedundant[] = {
+    {"gluster_nufa_r2", 2, 1,
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       GlusterFs::Config cfg;
+       cfg.replicas = 2;
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes, GlusterMode::kNufa,
+                                          cfg);
+     }},
+    {"gluster_dist_r3", 3, 2,
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       GlusterFs::Config cfg;
+       cfg.replicas = 3;
+       return std::make_unique<GlusterFs>(w.sim, w.fabric, w.nodes,
+                                          GlusterMode::kDistribute, cfg);
+     }},
+    {"pvfs_ec21", 3, 1,
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       PvfsFs::Config cfg;
+       cfg.ecK = 2;
+       cfg.ecM = 1;
+       return std::make_unique<PvfsFs>(w.sim, w.fabric, w.nodes, cfg);
+     }},
+    {"pvfs_ec22", 4, 2,
+     [](testing::MiniCluster& w) -> std::unique_ptr<StorageSystem> {
+       PvfsFs::Config cfg;
+       cfg.ecK = 2;
+       cfg.ecM = 2;
+       return std::make_unique<PvfsFs>(w.sim, w.fabric, w.nodes, cfg);
+     }},
+};
+
+class DegradedOperation : public ::testing::TestWithParam<RedundantCase> {
+ protected:
+  DegradedOperation()
+      : w{{.nodes = GetParam().nodes, .zeroDiskOverheads = true}},
+        fs{GetParam().make(w)} {}
+
+  testing::MiniCluster w;
+  std::unique_ptr<StorageSystem> fs;
+};
+
+TEST_P(DegradedOperation, ReadsSurviveLossesWithinBudget) {
+  w.run(fs->write(0, "red/data.dat", 12_MB));
+  const sim::FileId id = fs->files().find("red/data.dat");
+  for (int node = 0; node < GetParam().budget; ++node) {
+    const auto lost = fs->failNode(node);
+    EXPECT_EQ(std::count(lost.begin(), lost.end(), id), 0) << "crash of node " << node;
+    EXPECT_TRUE(fs->available(id)) << "crash of node " << node;
+  }
+  // A reader outside the crashed set still gets the bytes (degraded is fine).
+  const int reader = GetParam().nodes - 1;
+  std::string err;
+  w.run([](StorageSystem& f, int node, std::string& out) -> sim::Task<void> {
+    try {
+      auto rd = f.read(node, "red/data.dat");
+      co_await std::move(rd);
+    } catch (const std::exception& e) {
+      out = e.what();
+    }
+  }(*fs, reader, err));
+  EXPECT_EQ(err, "");
+}
+
+TEST_P(DegradedOperation, LossPastBudgetReportedOnceAndFailsActionably) {
+  w.run(fs->write(0, "red/past.dat", 12_MB));
+  const sim::FileId id = fs->files().find("red/past.dat");
+  int reported = 0;
+  for (int node = 0; node <= GetParam().budget; ++node) {
+    const auto lost = fs->failNode(node);
+    reported += static_cast<int>(std::count(lost.begin(), lost.end(), id));
+  }
+  // The crash that spent the last copy reports the loss; no other crash
+  // double-counts it.
+  EXPECT_EQ(reported, 1);
+  EXPECT_FALSE(fs->available(id));
+  const int reader = GetParam().nodes - 1;
+  if (reader <= GetParam().budget) fs->restoreNode(reader);
+  std::string msg;
+  w.run([](StorageSystem& f, int node, std::string& out) -> sim::Task<void> {
+    try {
+      auto rd = f.read(node, "red/past.dat");
+      co_await std::move(rd);
+    } catch (const FileLostError& e) {
+      out = e.what();
+    }
+  }(*fs, reader, msg));
+  EXPECT_NE(msg.find("red/past.dat"), std::string::npos) << "message was: " << msg;
+  EXPECT_NE(msg.find("lost"), std::string::npos) << "message was: " << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(Redundant, DegradedOperation, ::testing::ValuesIn(kRedundant),
+                         [](const ::testing::TestParamInfo<RedundantCase>& paramInfo) {
+                           return std::string{paramInfo.param.label};
+                         });
+
+/// Regression: a crash that lands between a scratch write and its re-read
+/// must surface as FileLostError from scratchRoundTrip (and the loss must be
+/// reported by exactly one failNode sweep) — it used to be read silently.
+TEST(ScratchLossRegression, MidTripCrashSurfacesLostScratch) {
+  testing::MiniCluster w{{.nodes = 2, .zeroDiskOverheads = true}};
+  // Plain PVFS stripes every file across every server with no redundancy,
+  // so one server crash is guaranteed to take the in-flight scratch file.
+  PvfsFs fs{w.sim, w.fabric, w.nodes};
+  std::vector<sim::FileId> lost;
+  std::string msg;
+  w.run([](testing::MiniCluster& cl, StorageSystem& f, std::vector<sim::FileId>& lostOut,
+           std::string& out) -> sim::Task<void> {
+    cl.sim.spawn([](sim::Simulator& s, StorageSystem& f2,
+                    std::vector<sim::FileId>& sunk) -> sim::Task<void> {
+      // 64 MB over a 100 MB/s NIC takes well over 100 ms: this lands
+      // mid-write, after the catalog entry exists.
+      co_await s.delay(sim::Duration::millis(100));
+      sunk = f2.failNode(1);
+    }(cl.sim, f, lostOut));
+    try {
+      auto rt = f.scratchRoundTrip(0, "job/mid.tmp", 64_MB);
+      co_await std::move(rt);
+    } catch (const FileLostError& e) {
+      out = e.what();
+    }
+  }(w, fs, lost, msg));
+  const sim::FileId id = fs.files().find("job/mid.tmp");
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(std::count(lost.begin(), lost.end(), id), 1);
+  EXPECT_NE(msg.find("job/mid.tmp"), std::string::npos) << "message was: " << msg;
+  EXPECT_NE(msg.find("scratch re-read on node 0"), std::string::npos)
+      << "message was: " << msg;
+}
 
 }  // namespace
 }  // namespace wfs::storage

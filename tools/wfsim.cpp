@@ -87,6 +87,9 @@ using namespace wfs::analysis;
                "options:  --jobs N   --jsonl FILE  --metrics FILE  --scale S\n"
                "          --seed N  --reps R  --cluster K  --data-aware\n"
                "          --no-first-write-penalty  --nfs-server TYPE  --trace\n"
+               "redundancy (run/avail):\n"
+               "          --replicas N      AFR replication on gluster-* backends\n"
+               "          --ec K+M          stripe+parity erasure coding on pvfs\n"
                "fabric:   --shard I/N  --resume  --cache DIR  --no-cache  --list-cells\n"
                "          (sweep/repeat/avail; WFS_SWEEP_CACHE sets the default cache;\n"
                "          see docs/SWEEPS.md)\n"
@@ -164,6 +167,13 @@ struct Cli {
   bool firstWritePenalty = true;
   bool trace = false;
   std::string nfsServer = "m1.xlarge";
+  /// Redundancy tier (run/avail): AFR replica count and erasure geometry.
+  int replicas = 1;
+  int ecK = 0;
+  int ecM = 0;
+  /// Raw flag spellings, for cross-flag error messages.
+  std::string replicasRaw;
+  std::string ecRaw;
   /// JSONL sweep output; empty = none, "-" = stdout.
   std::string jsonl;
   /// Per-layer/per-node metrics ledger JSONL; empty = none, "-" = stdout.
@@ -278,6 +288,34 @@ Cli parseArgs(int argc, char** argv) {
       cli.trace = true;
     } else if (a == "--nfs-server") {
       cli.nfsServer = next();
+    } else if (a == "--replicas") {
+      const std::string v = next();
+      cli.replicas = static_cast<int>(parseLong(a, v));
+      if (cli.replicas < 1) die("--replicas must be >= 1, got '" + v + "'");
+      cli.replicasRaw = v;
+    } else if (a == "--ec") {
+      const std::string v = next();
+      const auto plus = v.find('+');
+      long k = 0;
+      long m = 0;
+      bool wellFormed = plus != std::string::npos && plus > 0 && plus + 1 < v.size();
+      if (wellFormed) {
+        const std::string ks = v.substr(0, plus);
+        const std::string ms = v.substr(plus + 1);
+        char* end = nullptr;
+        k = std::strtol(ks.c_str(), &end, 10);
+        wellFormed = end == ks.c_str() + ks.size();
+        if (wellFormed) {
+          m = std::strtol(ms.c_str(), &end, 10);
+          wellFormed = end == ms.c_str() + ms.size();
+        }
+      }
+      if (!wellFormed || k < 1 || m < 1) {
+        die("--ec must be K+M with K >= 1 and M >= 1 (e.g. 2+1), got '" + v + "'");
+      }
+      cli.ecK = static_cast<int>(k);
+      cli.ecM = static_cast<int>(m);
+      cli.ecRaw = v;
     } else if (a == "--faults") {
       cli.faults = true;
     } else if (a == "--crash-rate") {
@@ -426,6 +464,18 @@ void validateCli(const Cli& cli, const std::string& cmd) {
     die("merge needs --jsonl OUT (the merged output path)");
   }
 
+  // Redundancy spans flags and commands: the two schemes are exclusive and
+  // only run/avail carry a single backend (the default sweep grids must
+  // stay redundancy-free so their reference outputs hold).
+  if (cli.replicas > 1 && cli.ecK > 0) {
+    die("--replicas " + cli.replicasRaw + " and --ec " + cli.ecRaw +
+        " are mutually exclusive; pick one redundancy scheme");
+  }
+  if ((cli.replicas > 1 || cli.ecK > 0) && cmd != "run" && cmd != "avail") {
+    die(std::string(cli.replicas > 1 ? "--replicas" : "--ec") +
+        " applies only to run and avail");
+  }
+
   if (!cli.faults && cmd != "avail" && !cli.firstFaultFlag.empty()) {
     die(cli.firstFaultFlag + " has no effect without --faults (or the avail command)");
   }
@@ -468,6 +518,9 @@ ExperimentConfig toConfig(const Cli& cli, App app, StorageKind kind, int nodes) 
   cfg.dataAwareScheduling = cli.dataAware;
   cfg.firstWritePenalty = cli.firstWritePenalty;
   cfg.nfsServerType = cli.nfsServer;
+  cfg.replicas = cli.replicas;
+  cfg.ecK = cli.ecK;
+  cfg.ecM = cli.ecM;
   if (cli.faults) {
     cfg.faults.enabled = true;
     cfg.faults.seed = cli.faultSeed;
@@ -675,9 +728,19 @@ int cmdRun(const Cli& cli) {
                    : "run needs <app> <storage> <nodes>");
   }
   const std::size_t base = external ? 0 : 1;
+  const StorageKind kind = parseStorage(cli.positional[base]);
+  if (cli.replicas > 1 && kind != StorageKind::kGlusterNufa &&
+      kind != StorageKind::kGlusterDist) {
+    die("--replicas " + cli.replicasRaw +
+        " requires a GlusterFS backend (gluster-nufa or gluster-dist), got '" +
+        cli.positional[base] + "'");
+  }
+  if (cli.ecK > 0 && kind != StorageKind::kPvfs) {
+    die("--ec " + cli.ecRaw + " requires the pvfs backend (striping), got '" +
+        cli.positional[base] + "'");
+  }
   ExperimentConfig cfg =
-      toConfig(cli, external ? App::kMontage : parseApp(cli.positional[0]),
-               parseStorage(cli.positional[base]),
+      toConfig(cli, external ? App::kMontage : parseApp(cli.positional[0]), kind,
                static_cast<int>(parseLong("<nodes>", cli.positional[base + 1])));
   cfg.trace = cli.trace;
   const auto r = runExperiment(cfg);
@@ -825,6 +888,15 @@ int cmdAvail(const Cli& cli) {
   opt.appScale = cli.scale;
   opt.seed = cli.seed;
   opt.crashFrac = cli.crashFrac;
+  opt.replicas = cli.replicas;
+  opt.ecK = cli.ecK;
+  opt.ecM = cli.ecM;
+  // A redundancy scheme narrows the sweep to the backends that carry it.
+  if (cli.replicas > 1) {
+    opt.backends = {StorageKind::kGlusterNufa, StorageKind::kGlusterDist};
+  } else if (cli.ecK > 0) {
+    opt.backends = {StorageKind::kPvfs};
+  }
   opt.threads = cli.jobs;
   opt.faults.seed = cli.faultSeed;
   opt.faults.opFaultProb = cli.opFaultProb;
