@@ -28,7 +28,7 @@ ResultCache::ResultCache(std::string root) : root_{std::move(root)} {
   std::error_code ec;
   fs::create_directories(saltDir_, ec);
   if (ec) {
-    throw std::runtime_error("cannot create cache directory " + saltDir_ + ": " +
+    throw std::runtime_error("fabric/cache: cannot create cache directory " + saltDir_ + ": " +
                              ec.message());
   }
 }

@@ -33,7 +33,7 @@ std::uint64_t gridFingerprint(const std::vector<FabricCell>& cells) {
 
 FabricOutput runFabric(const std::vector<FabricCell>& cells, const FabricOptions& opt) {
   if (opt.shardCount < 1 || opt.shardIndex < 0 || opt.shardIndex >= opt.shardCount) {
-    throw std::logic_error("fabric shard spec out of range: " +
+    throw std::logic_error("fabric: shard spec out of range: " +
                            std::to_string(opt.shardIndex) + "/" +
                            std::to_string(opt.shardCount));
   }
@@ -65,7 +65,7 @@ FabricOutput runFabric(const std::vector<FabricCell>& cells, const FabricOptions
           rec.index % static_cast<std::size_t>(opt.shardCount) !=
               static_cast<std::size_t>(opt.shardIndex)) {
         throw std::runtime_error(
-            "checkpoint " + opt.checkpoint + " does not match this run (cell index " +
+            "fabric: checkpoint " + opt.checkpoint + " does not match this run (cell index " +
             std::to_string(rec.index) + " is outside shard " +
             std::to_string(opt.shardIndex) + "/" + std::to_string(opt.shardCount) +
             " of a " + std::to_string(cells.size()) +
@@ -73,7 +73,7 @@ FabricOutput runFabric(const std::vector<FabricCell>& cells, const FabricOptions
       }
       if (rec.hexHash != cells[rec.index].hexHash) {
         throw std::runtime_error(
-            "checkpoint " + opt.checkpoint + " was written for a different grid: cell " +
+            "fabric: checkpoint " + opt.checkpoint + " was written for a different grid: cell " +
             std::to_string(rec.index) + " has config hash " + cells[rec.index].hexHash +
             " but the checkpoint recorded " + rec.hexHash +
             "; delete the checkpoint or rerun the original configuration");

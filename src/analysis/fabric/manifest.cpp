@@ -67,7 +67,7 @@ std::vector<PartRecord> PartsLog::load(const std::string& path) {
 PartsLog::PartsLog(const std::string& path, bool truncate) : path_{path} {
   file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
   if (file_ == nullptr) {
-    throw std::runtime_error("cannot open checkpoint " + path + " for writing");
+    throw std::runtime_error("fabric/manifest: cannot open checkpoint " + path + " for writing");
   }
 }
 
@@ -89,7 +89,7 @@ void PartsLog::close() {
 
 void writeManifest(const std::string& path, const ManifestInfo& info) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("cannot open manifest " + path + " for writing");
+  if (f == nullptr) throw std::runtime_error("fabric/manifest: cannot open manifest " + path + " for writing");
   std::fprintf(f, "%s\n", kManifestMagic);
   std::fprintf(f, "grid %zu %016llx\n", info.gridCells,
                static_cast<unsigned long long>(info.gridHash));
@@ -105,7 +105,7 @@ void writeManifest(const std::string& path, const ManifestInfo& info) {
 ManifestInfo readManifest(const std::string& path) {
   std::string text;
   if (!slurp(path, text)) {
-    throw std::runtime_error("cannot read manifest " + path +
+    throw std::runtime_error("fabric/manifest: cannot read manifest " + path +
                              " (fragments must sit next to their .manifest sidecar)");
   }
   ManifestInfo info;

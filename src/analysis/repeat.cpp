@@ -23,13 +23,13 @@ RepeatLineAggregate aggregateRepeatLines(const std::vector<std::string>& lines) 
   RepeatLineAggregate agg;
   for (const std::string& line : lines) {
     if (const auto err = fabric::lineStringField(line, "error")) {
-      throw std::runtime_error("repeat cell failed: " + *err);
+      throw std::runtime_error("analysis/repeat: cell failed: " + *err);
     }
     const auto makespan = fabric::lineNumberField(line, "makespan_s");
     const auto hourly = fabric::lineNumberField(line, "cost_hourly");
     const auto perSecond = fabric::lineNumberField(line, "cost_per_second");
     if (!makespan || !hourly || !perSecond) {
-      throw std::runtime_error("repeat cell line is missing result fields: " + line);
+      throw std::runtime_error("analysis/repeat: cell line is missing result fields: " + line);
     }
     agg.makespan.add(*makespan);
     agg.costHourly.add(*hourly);
@@ -50,7 +50,7 @@ RepeatedResult repeatExperiment(ExperimentConfig cfg,
   out.runs.reserve(ran.size());
   for (SweepCellResult& cell : ran) {
     if (!cell.ok) {
-      throw std::runtime_error("repeat cell " + cell.label() + " failed: " + cell.error);
+      throw std::runtime_error("analysis/repeat: cell " + cell.label() + " failed: " + cell.error);
     }
     out.makespan.add(cell.result.makespanSeconds);
     out.costHourly.add(cell.result.cost.totalHourly());

@@ -23,7 +23,7 @@ const InstanceType& InstanceCatalog::get(const std::string& name) const {
   for (const auto& t : types_) {
     if (t.name == name) return t;
   }
-  throw std::out_of_range("unknown EC2 instance type: " + name);
+  throw std::out_of_range("cloud/instances: unknown EC2 instance type: " + name);
 }
 
 bool InstanceCatalog::has(const std::string& name) const {

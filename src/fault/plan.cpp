@@ -23,6 +23,7 @@ FaultPlan Spec::materialize(int workerNodes) const {
   sim::Rng crashRng = root.fork();
   sim::Rng outageRng = root.fork();
 
+  // wfslint: allow(D7-counter-monotonic) FaultPlan::crashes is the crash-event list, not the FaultOutcome counter
   plan.crashes = explicitCrashes;
   if (crashRatePerNodeHour > 0.0) {
     const double meanGap = 3600.0 / crashRatePerNodeHour;

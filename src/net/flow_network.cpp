@@ -68,6 +68,9 @@ sim::Task<void> FlowNetwork::transfer(Path path, Bytes bytes) {
   co_await Awaiter{this, &path, static_cast<double>(bytes)};
 }
 
+// wfslint: hot-begin(flow-settle) addFlow/settle/reshare/fill run on every
+// transfer start and completion; the slab, epoch marks and reused scratch
+// vectors exist so nothing here heap-allocates in steady state.
 void FlowNetwork::addFlow(Path path, double bytes, std::coroutine_handle<> waiter) {
   totalBytes_ += bytes;
   if (bytes <= kDoneEps || path.empty()) {
@@ -240,6 +243,7 @@ void FlowNetwork::fill(const std::vector<Capacity*>& caps,
     }
   }
 }
+// wfslint: hot-end
 
 void FlowNetwork::verifyAgainstGlobal() {
   // Bit-pattern snapshots (not ==) so the check is exact and wfslint-clean.
@@ -277,6 +281,7 @@ void FlowNetwork::verifyAgainstGlobal() {
   }
 }
 
+// wfslint: hot-begin(flow-completion) fires once per transfer completion.
 void FlowNetwork::scheduleNextCompletion() {
   if (eventPending_) {
     sim_->cancel(pendingEvent_);
@@ -316,5 +321,6 @@ void FlowNetwork::completeFinishedFlows() {
   }
   order_.resize(out);
 }
+// wfslint: hot-end
 
 }  // namespace wfs::net

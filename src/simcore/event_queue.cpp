@@ -28,6 +28,8 @@ std::string SimTime::toString() const {
   return buf;
 }
 
+// wfslint: hot-begin(event-queue) schedule/cancel run per simulated event;
+// slot recycling and the 4-ary heap exist so nothing here heap-allocates.
 EventId EventQueue::schedule(SimTime at, Callback cb) {
   std::uint32_t slot;
   if (freeHead_ != kNoFree) {
@@ -127,5 +129,6 @@ SimTime EventQueue::runNext() {
   cb();
   return top.at;
 }
+// wfslint: hot-end
 
 }  // namespace wfs::sim

@@ -19,7 +19,7 @@ void FileCatalog::create(sim::FileId id, Bytes size, int creator, bool scratch) 
     // LFN, and a retried attempt regenerates its discarded scratch files.
     const bool reusable = existing.lost || (existing.scratch && existing.discarded);
     if (!reusable) {
-      throw std::logic_error("write-once violation: file already exists: " +
+      throw std::logic_error("storage/catalog: write-once violation, file already exists: " +
                              names_->name(id) + " (" + std::to_string(existing.size) +
                              " bytes, created by node " + std::to_string(existing.creator) +
                              "; rejected re-create from node " + std::to_string(creator) + ")");
@@ -37,7 +37,7 @@ void FileCatalog::create(sim::FileId id, Bytes size, int creator, bool scratch) 
 const FileMeta& FileCatalog::lookup(sim::FileId id) const {
   if (!exists(id)) {
     const std::string shown = id.valid() && names_ != nullptr ? names_->name(id) : "<unknown>";
-    throw std::out_of_range("no such file in storage catalog: " + shown + " (catalog holds " +
+    throw std::out_of_range("storage/catalog: no such file: " + shown + " (catalog holds " +
                             std::to_string(count_) + " files)");
   }
   return entries_[id.index()].meta;
@@ -81,7 +81,7 @@ sim::Task<void> StorageSystem::write(int node, sim::FileId file, Bytes size) {
 sim::Task<void> StorageSystem::read(int node, sim::FileId file) {
   const FileMeta& meta = catalog_.lookup(file);
   if (meta.lost) {
-    throw FileLostError("file lost to node failure: " + files_->name(file) +
+    throw FileLostError("storage/catalog: file lost to node failure: " + files_->name(file) +
                         " (created by node " + std::to_string(meta.creator) + ")");
   }
   const Bytes size = meta.size;
@@ -108,7 +108,7 @@ sim::Task<void> StorageSystem::scratchRoundTrip(int node, sim::FileId file, Byte
   // this check the entry stayed lost+discarded forever and the loss was
   // never acted on.
   if (catalog_.lookup(file).lost) {
-    throw FileLostError("file lost to node failure: " + files_->name(file) +
+    throw FileLostError("storage/catalog: file lost to node failure: " + files_->name(file) +
                         " (scratch re-read on node " + std::to_string(node) + ")");
   }
   ++metrics_.readOps;

@@ -64,7 +64,7 @@ sim::Task<void> EbsFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
 sim::Task<void> EbsFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
   const FileMeta& meta = catalog_.lookup(file);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
-    throw std::logic_error("ebs volume is attached to one instance: " +
+    throw std::logic_error("storage/ebs: volume is attached to one instance: " +
                            files().name(file) + " (created on node " +
                            std::to_string(meta.creator) + ", read from node " +
                            std::to_string(nodeIdx) + ")");

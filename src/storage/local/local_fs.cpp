@@ -23,7 +23,7 @@ sim::Task<void> LocalFs::doWrite(int nodeIdx, sim::FileId file, Bytes size) {
 sim::Task<void> LocalFs::doRead(int nodeIdx, sim::FileId file, Bytes size) {
   const FileMeta& meta = catalog_.lookup(file);
   if (meta.creator != -1 && meta.creator != nodeIdx) {
-    throw std::logic_error("local storage cannot serve '" + files().name(file) +
+    throw std::logic_error("storage/local: cannot serve '" + files().name(file) +
                            "' on node " + std::to_string(nodeIdx) + ": created on node " +
                            std::to_string(meta.creator));
   }

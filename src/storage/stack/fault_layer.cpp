@@ -23,7 +23,7 @@ sim::Task<void> FaultLayer::process(Op& op) {
   }
   if (cfg_.opFaultProb > 0.0 && rng_.nextDouble() < cfg_.opFaultProb) {
     ++ledger().faultsInjected;
-    throw StorageFaultError("injected fault on " + sim_->files().name(op.file) + " (node " +
+    throw StorageFaultError("storage/fault: injected fault on " + sim_->files().name(op.file) + " (node " +
                             std::to_string(op.node) + ")");
   }
   auto below = forward(op);

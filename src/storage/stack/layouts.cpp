@@ -30,7 +30,7 @@ int NufaLayout::place(sim::FileId file, int creator) {
 
 int NufaLayout::locate(sim::FileId file) const {
   if (!file.valid() || file.index() >= placement_.size() || placement_[file.index()] < 0) {
-    throw std::out_of_range("nufa layout: unknown file: " +
+    throw std::out_of_range("layout/nufa: unknown file: " +
                             (file.valid() ? files_->name(file) : "<unknown>"));
   }
   return placement_[file.index()];

@@ -16,7 +16,7 @@ const TransformationCatalog::Entry& TransformationCatalog::get(
     const std::string& transformation) const {
   auto it = entries_.find(transformation);
   if (it == entries_.end()) {
-    throw std::out_of_range("transformation not in catalog: " + transformation);
+    throw std::out_of_range("wf/catalog: transformation not in catalog: " + transformation);
   }
   return it->second;
 }

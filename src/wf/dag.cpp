@@ -26,7 +26,7 @@ JobId Dag::addJob(JobSpec spec) {
 }
 
 void Dag::addEdge(JobId parent, JobId child) {
-  if (parent == child) throw std::logic_error("self-edge in DAG");
+  if (parent == child) throw std::logic_error("wf/dag: self-edge");
   auto& kids = children_.at(static_cast<std::size_t>(parent));
   if (std::find(kids.begin(), kids.end(), child) != kids.end()) return;  // dedupe
   kids.push_back(child);
@@ -62,7 +62,7 @@ std::vector<JobId> Dag::topologicalOrder() const {
       if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
     }
   }
-  if (order.size() != jobs_.size()) throw std::logic_error("workflow DAG has a cycle");
+  if (order.size() != jobs_.size()) throw std::logic_error("wf/dag: workflow DAG has a cycle");
   return order;
 }
 
@@ -88,7 +88,7 @@ void Dag::connectByFiles(const std::vector<FileSpec>& externalInputs) {
     for (const auto& f : j.outputs) {
       auto [it, inserted] = producer.emplace(f.lfn, j.id);
       if (!inserted) {
-        throw std::logic_error("two jobs produce the same file: " + f.lfn);
+        throw std::logic_error("wf/dag: two jobs produce the same file: " + f.lfn);
       }
       (void)it;
     }
@@ -101,7 +101,7 @@ void Dag::connectByFiles(const std::vector<FileSpec>& externalInputs) {
       if (auto it = producer.find(f.lfn); it != producer.end()) {
         addEdge(it->second, j.id);
       } else if (!external.contains(f.lfn)) {
-        throw std::logic_error("input file has no producer and is not external: " + f.lfn);
+        throw std::logic_error("wf/dag: input file has no producer and is not external: " + f.lfn);
       }
     }
   }

@@ -180,7 +180,7 @@ sim::Task<void> DagmanEngine::runJob(JobId id) {
     // effective parallelism of a 7 GB c1.xlarge below its 8 cores).
     sim::Resource& mem = *nodeMemory_.at(static_cast<std::size_t>(node));
     if (job.peakMemory > mem.capacity()) {
-      throw std::runtime_error("job " + job.name + " needs more memory than node has");
+      throw std::runtime_error("wf/engine: job " + job.name + " needs more memory than node has");
     }
     sim::Lease memLease;
     if (job.peakMemory > 0) {

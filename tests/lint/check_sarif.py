@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Schema-shape check for wfslint's SARIF 2.1.0 output.
+
+Usage: check_sarif.py <wfslint-binary> <repo-root> <fixture>...
+
+Runs the linter twice over the given fixtures with --sarif and asserts:
+  - the document parses as JSON and carries the 2.1.0 $schema/version pair,
+  - runs[0].tool.driver names the tool and enumerates the full rule table,
+  - every result is a well-formed SARIF result whose ruleIndex agrees with
+    the rule table and whose location carries a uri + 1-based startLine,
+  - the output is byte-identical across runs (the determinism contract).
+
+Exits non-zero with a one-line diagnostic on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA = ("https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/"
+          "schemas/sarif-schema-2.1.0.json")
+
+
+def fail(msg):
+    print(f"check_sarif: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_once(binary, root, fixtures, out_path):
+    cmd = [binary, "--root", root, "--all-rules", "--sarif", str(out_path)]
+    cmd += fixtures
+    # Exit 1 (findings) is expected on must-fire fixtures; anything else
+    # (usage error, failed SARIF write) is a hard failure.
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        fail(f"wfslint exited {proc.returncode}: {proc.stderr.strip()}")
+    return out_path.read_bytes()
+
+
+def check_shape(raw):
+    doc = json.loads(raw)
+    if doc.get("$schema") != SCHEMA:
+        fail(f"$schema mismatch: {doc.get('$schema')!r}")
+    if doc.get("version") != "2.1.0":
+        fail(f"version mismatch: {doc.get('version')!r}")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("runs must be a single-element array")
+    driver = runs[0].get("tool", {}).get("driver", {})
+    if driver.get("name") != "wfslint":
+        fail(f"tool.driver.name mismatch: {driver.get('name')!r}")
+    if not driver.get("version"):
+        fail("tool.driver.version missing")
+
+    rules = driver.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("tool.driver.rules missing or empty")
+    ids = []
+    for rule in rules:
+        if not rule.get("id"):
+            fail(f"rule without id: {rule!r}")
+        if not rule.get("shortDescription", {}).get("text"):
+            fail(f"rule {rule['id']} lacks shortDescription.text")
+        ids.append(rule["id"])
+    if len(set(ids)) != len(ids):
+        fail("duplicate rule ids in the rule table")
+
+    results = runs[0].get("results")
+    if not isinstance(results, list):
+        fail("runs[0].results must be an array")
+    for res in results:
+        rid = res.get("ruleId")
+        if not rid:
+            fail(f"result without ruleId: {res!r}")
+        idx = res.get("ruleIndex")
+        if not isinstance(idx, int) or not (0 <= idx < len(ids)) or ids[idx] != rid:
+            fail(f"ruleIndex {idx!r} does not point at {rid}")
+        if res.get("level") != "error":
+            fail(f"result level must be 'error', got {res.get('level')!r}")
+        if not res.get("message", {}).get("text"):
+            fail(f"result for {rid} lacks message.text")
+        locs = res.get("locations")
+        if not isinstance(locs, list) or len(locs) != 1:
+            fail(f"result for {rid} must carry exactly one location")
+        phys = locs[0].get("physicalLocation", {})
+        if not phys.get("artifactLocation", {}).get("uri"):
+            fail(f"result for {rid} lacks artifactLocation.uri")
+        start = phys.get("region", {}).get("startLine")
+        if not isinstance(start, int) or start < 1:
+            fail(f"result for {rid} has bad startLine {start!r}")
+    return len(results)
+
+
+def main():
+    argv = sys.argv[1:]
+    expect_empty = "--expect-empty" in argv
+    argv = [a for a in argv if a != "--expect-empty"]
+    if len(argv) < 3:
+        fail("usage: check_sarif.py [--expect-empty] <wfslint-binary> <repo-root> <fixture>...")
+    binary, root, fixtures = argv[0], argv[1], argv[2:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        first = run_once(binary, root, fixtures, Path(tmp) / "a.sarif")
+        second = run_once(binary, root, fixtures, Path(tmp) / "b.sarif")
+    if first != second:
+        fail("SARIF output differs between identical runs")
+
+    n = check_shape(first)
+    if expect_empty and n != 0:
+        fail(f"expected an empty results array, got {n}")
+    if not expect_empty and n == 0:
+        fail("expected at least one result from the must-fire fixtures")
+
+    print(f"check_sarif: OK ({n} results, deterministic, schema shape valid)")
+
+
+if __name__ == "__main__":
+    main()

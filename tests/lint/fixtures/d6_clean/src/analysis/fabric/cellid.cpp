@@ -1,0 +1,30 @@
+// wfslint fixture — mirror of the cfg-v identity serializer (rule D6).
+#include "analysis/experiment.hpp"
+
+#include <string>
+
+namespace wfs::analysis::fabric {
+
+namespace {
+
+std::string canonicalFaultSpec(const fault::Spec& spec) {
+  const auto& [enabled, seed] = spec;
+  std::string s = "faults-v1;";
+  s += enabled ? "1" : "0";
+  s += ";" + std::to_string(seed);
+  return s;
+}
+
+}  // namespace
+
+std::string canonicalConfig(const ExperimentConfig& cfg) {
+  const auto& [app, seed, replicas, faults] = cfg;
+  std::string s = "cfg-v2;";
+  s += std::to_string(app) + ";";
+  s += std::to_string(seed) + ";";
+  s += std::to_string(replicas) + ";";
+  s += canonicalFaultSpec(faults);
+  return s;
+}
+
+}  // namespace wfs::analysis::fabric

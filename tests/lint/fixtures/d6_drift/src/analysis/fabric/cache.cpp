@@ -1,0 +1,9 @@
+// wfslint fixture — mirror of the result-cache salt (rule D6 couples it to
+// the cfg-v identity version).
+#include <string>
+
+namespace wfs::analysis::fabric {
+
+std::string salt() { return "wfs-results-v2"; }
+
+}  // namespace wfs::analysis::fabric

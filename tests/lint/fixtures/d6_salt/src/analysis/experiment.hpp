@@ -1,0 +1,14 @@
+// wfslint fixture — mirror of the ExperimentConfig identity surface.
+#pragma once
+#include "fault/plan.hpp"
+
+namespace wfs::analysis {
+
+struct ExperimentConfig {
+  int app = 0;
+  unsigned long long seed = 42;
+  int replicas = 1;
+  fault::Spec faults;
+};
+
+}  // namespace wfs::analysis

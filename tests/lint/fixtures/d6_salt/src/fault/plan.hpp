@@ -1,0 +1,11 @@
+// wfslint fixture — mirror of the fault::Spec identity surface.
+#pragma once
+
+namespace wfs::fault {
+
+struct Spec {
+  bool enabled = false;
+  unsigned long long seed = 0;
+};
+
+}  // namespace wfs::fault

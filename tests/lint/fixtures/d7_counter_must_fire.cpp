@@ -1,0 +1,28 @@
+// wfslint fixture — D7-counter-monotonic MUST fire: the ledger structs'
+// counters are decremented / reassigned outside a reset(). The counter set
+// is collected from the struct definitions in the same scan, so this file
+// is self-contained. Runs with --all-rules (D7 guards library code only).
+#include <cstdint>
+
+namespace fixture {
+
+struct LayerMetrics {
+  std::uint64_t readOps = 0;
+  std::uint64_t cacheHits = 0;
+  double busySeconds = 0.0;
+};
+
+struct FaultOutcome {
+  bool enabled = false;
+  std::uint64_t crashes = 0;
+};
+
+inline void mangle(LayerMetrics& m, FaultOutcome& out) {
+  m.readOps -= 1;        // fires: decrement
+  m.cacheHits = 7;       // fires: reassignment outside reset()
+  m.busySeconds *= 0.5;  // fires: compound write that is not +=
+  --out.crashes;         // fires: prefix decrement
+  out.enabled = true;    // silent: not a counter (bool flag)
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// wfslint fixture — D7-counter-monotonic must stay silent: counters only
+// accumulate, zeroing lives in reset(), and reads/comparisons are free.
+#include <cstdint>
+
+namespace fixture {
+
+struct StorageMetrics {
+  std::uint64_t writeOps = 0;
+  std::uint64_t bytesWritten = 0;
+
+  void reset() {
+    writeOps = 0;      // sanctioned: zeroing inside reset()
+    bytesWritten = 0;  // sanctioned: zeroing inside reset()
+  }
+};
+
+inline std::uint64_t wellBehaved(StorageMetrics& m) {
+  m.writeOps += 1;      // accumulate: fine
+  m.bytesWritten += 4096;
+  ++m.writeOps;         // increment: fine
+  m.writeOps++;
+  if (m.writeOps == 3) m.reset();
+  // A local named like a counter is not a member access:
+  std::uint64_t writeOps = 0;
+  writeOps -= 0;
+  return m.bytesWritten + writeOps;  // read: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// wfslint fixture — D8-hot-path-alloc MUST fire: heap-allocating
+// constructions inside a hot region, plus a stray hot-end marker.
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+// wfslint: hot-begin(fixture-hot-loop)
+inline int hotLoop(int n) {
+  std::string label = "iteration";            // fires: std::string in region
+  auto widget = std::make_shared<int>(n);     // fires: make_shared in region
+  std::function<int()> thunk = [n] { return n; };  // fires: std::function
+  int* scratch = new int[8];                  // fires: raw new
+  delete[] scratch;
+  return static_cast<int>(label.size()) + *widget + thunk();
+}
+// wfslint: hot-end
+
+inline void coldPath() {}
+// wfslint: hot-end
+// ^ fires: hot-end without a matching hot-begin
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// wfslint fixture — D8-hot-path-alloc must stay silent: allocation outside
+// the region is free, std::string_view is not std::string, and a reasoned
+// allow() covers a deliberate in-region exception.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+inline std::string coldSetup() { return "built once, outside the region"; }
+
+// wfslint: hot-begin(fixture-hot-loop)
+inline int hotLoop(std::string_view label, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += static_cast<int>(label.size());
+  // wfslint: allow(D8-hot-path-alloc) one-time lazy init, amortized across the run
+  static const std::string cached = coldSetup();
+  return acc + static_cast<int>(cached.size());
+}
+// wfslint: hot-end
+
+inline std::string coldTeardown() { return coldSetup() + " and torn down after"; }
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// wfslint fixture — D9-error-style MUST fire: unprefixed and multi-line
+// throw/die() messages. Runs with --all-rules (D9 guards library code only).
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+[[noreturn]] inline void die(const std::string& msg);
+
+inline void checks(int nodes) {
+  if (nodes < 1) {
+    throw std::invalid_argument("nodes must be >= 1");  // fires: no subsystem prefix
+  }
+  if (nodes > 512) {
+    // fires twice: no prefix, and the message spans multiple lines
+    throw std::runtime_error("too many nodes\nsecond line of the message");
+  }
+  die("something went wrong");  // fires: no subsystem prefix
+}
+
+}  // namespace fixture

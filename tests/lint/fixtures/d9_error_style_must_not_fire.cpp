@@ -1,0 +1,22 @@
+// wfslint fixture — D9-error-style must stay silent: subsystem-prefixed
+// one-line messages, CLI flag complaints, and variable-first messages.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+[[noreturn]] inline void die(const std::string& msg);
+
+inline void checks(int nodes, const std::string& path) {
+  if (nodes < 1) {
+    throw std::invalid_argument("cluster/afr: nodes must be >= 1");  // prefixed: fine
+  }
+  if (nodes > 512) {
+    throw std::runtime_error("wf/engine: too many nodes for one fabric");
+  }
+  die("--nodes must be a positive integer");  // CLI flag complaint: fine
+  die(path + " is not readable");  // variable-first: the variable is the prefix
+  throw std::runtime_error("WFS_SETTLE_VERIFY: rate drift on " + path);
+}
+
+}  // namespace fixture

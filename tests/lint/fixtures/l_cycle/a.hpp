@@ -1,0 +1,7 @@
+// wfslint fixture — L-layering MUST fire: a.hpp and b.hpp include each
+// other, so the include graph has a cycle (the ctest case passes both files
+// explicitly; resolution is dirname-relative).
+#pragma once
+#include "b.hpp"
+
+inline int fromA() { return 1; }

@@ -1,0 +1,5 @@
+// wfslint fixture — second half of the include cycle (see a.hpp).
+#pragma once
+#include "a.hpp"
+
+inline int fromB() { return 2; }

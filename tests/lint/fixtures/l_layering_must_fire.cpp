@@ -1,10 +1,14 @@
-// wfslint fixture — D5-layering MUST fire when this file is classified as
+// wfslint fixture — L-layering MUST fire when this file is classified as
 // living in src/simcore (the ctest case passes --treat-as src/simcore/x.cpp):
-// the bottom layer may not include anything stacked above it.
+// the bottom layer may not include anything stacked above it, and the layer
+// of an unresolved target is read off the include string itself.
 #include "storage/base/storage_system.hpp"  // fires under src/simcore
 #include "wf/engine.hpp"                    // fires under src/simcore
 
 // A commented-out include must stay dead:
 // #include "analysis/sweep.hpp"
+
+// System headers carry no layer:
+#include <vector>
 
 int bottomLayer() { return 0; }

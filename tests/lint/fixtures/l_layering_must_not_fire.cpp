@@ -1,0 +1,11 @@
+// wfslint fixture — L-layering must stay silent when this file is classified
+// as living in src/wf (the ctest case passes --treat-as src/wf/x.cpp):
+// downward and same-layer edges are the DAG working as intended.
+#include "simcore/simulator.hpp"            // rank 0 < wf: fine
+#include "net/flow_network.hpp"             // rank 1 < wf: fine
+#include "storage/base/storage_system.hpp"  // rank 2 < wf: fine
+#include "fault/plan.hpp"                   // rank 3 < wf: fine
+#include "wf/dag.hpp"                       // same layer: fine
+#include <string>                           // system header: no layer
+
+int middleLayer() { return 0; }

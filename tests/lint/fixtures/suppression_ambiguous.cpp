@@ -1,0 +1,19 @@
+// wfslint fixture — WFS-bad-suppression MUST fire: the short name
+// "layering" matches both D5-layering and L-layering, so it covers nothing
+// (and does not silence the D5 finding it sits on).
+#include <string>
+
+namespace wfs {
+
+class Trace {
+ public:
+  static Trace& instance();
+  void log(const std::string& line);
+};
+
+inline void ambient(const std::string& line) {
+  // wfslint: allow(layering) ambiguous token, silences neither family
+  Trace::instance().log(line);
+}
+
+}  // namespace wfs

@@ -461,7 +461,7 @@ void validateCli(const Cli& cli, const std::string& cmd) {
     }
   }
   if (cmd == "merge" && cli.jsonl.empty()) {
-    die("merge needs --jsonl OUT (the merged output path)");
+    die("merge: needs --jsonl OUT (the merged output path)");
   }
 
   // Redundancy spans flags and commands: the two schemes are exclusive and
@@ -480,7 +480,7 @@ void validateCli(const Cli& cli, const std::string& cmd) {
     die(cli.firstFaultFlag + " has no effect without --faults (or the avail command)");
   }
   if (cli.faults && cmd == "avail") {
-    die("avail injects its own crash; drop --faults (tuning flags still apply)");
+    die("avail: drop --faults, the sweep injects its own crash (tuning flags still apply)");
   }
   // wfslint: allow(float-eq) flag-sentinel test: 0.0 is the parse default, not a computed value
   if (cli.faults && cli.crashRate == 0.0 && cli.opFaultProb == 0.0 &&
@@ -493,7 +493,7 @@ void validateCli(const Cli& cli, const std::string& cmd) {
   for (const std::string& target : {cli.jsonl, cli.metrics}) {
     if (target.empty() || target == "-") continue;
     std::FILE* f = std::fopen(target.c_str(), "a");
-    if (f == nullptr) die("cannot open " + target + " for writing");
+    if (f == nullptr) die("wfsim: cannot open " + target + " for writing");
     std::fclose(f);
   }
 }
@@ -552,7 +552,7 @@ void writeFileOrStdout(const std::string& target, const std::string& out,
     return;
   }
   std::FILE* f = std::fopen(target.c_str(), "w");
-  if (f == nullptr) throw std::runtime_error("cannot open " + target);
+  if (f == nullptr) throw std::runtime_error("wfsim: cannot open " + target);
   std::fwrite(out.data(), 1, out.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "wrote %zu %s to %s\n", count, what, target.c_str());
@@ -672,7 +672,7 @@ double requireNumber(const fabric::FabricRecord& rec, const std::string& label,
                      const char* key) {
   const auto v = fabric::lineNumberField(rec.line, key);
   if (!v) {
-    throw std::runtime_error("cell " + label + " line is missing \"" + key +
+    throw std::runtime_error("wfsim: cell " + label + " line is missing \"" + key +
                              "\": " + rec.line);
   }
   return *v;
@@ -806,7 +806,7 @@ int cmdSweep(const Cli& cli) {
     }
     for (const fabric::FabricRecord& rec : out.records) {
       if (const auto err = fabric::lineStringField(rec.line, "error")) {
-        throw std::runtime_error("cell " + fcells[rec.index].label + ": " + *err);
+        throw std::runtime_error("wfsim: cell " + fcells[rec.index].label + ": " + *err);
       }
       series[keys[rec.index].first].values[keys[rec.index].second] =
           requireNumber(rec, fcells[rec.index].label, "makespan_s");
@@ -883,7 +883,7 @@ int cmdAvail(const Cli& cli) {
   opt.app = parseApp(cli.positional[0]);
   if (cli.positional.size() == 2) {
     opt.nodes = static_cast<int>(parseLong("<nodes>", cli.positional[1]));
-    if (opt.nodes < 1) die("<nodes> must be >= 1, got '" + cli.positional[1] + "'");
+    if (opt.nodes < 1) die("avail: <nodes> must be >= 1, got '" + cli.positional[1] + "'");
   }
   opt.appScale = cli.scale;
   opt.seed = cli.seed;
@@ -958,7 +958,7 @@ int cmdMerge(const Cli& cli) {
     f.info = fabric::readManifest(fabric::manifestPath(path));
 
     std::FILE* in = std::fopen(path.c_str(), "rb");
-    if (in == nullptr) die("cannot open fragment " + path);
+    if (in == nullptr) die("merge: cannot open fragment " + path);
     std::string body;
     char buf[1 << 16];
     std::size_t n = 0;
@@ -968,13 +968,13 @@ int cmdMerge(const Cli& cli) {
     while (start < body.size()) {
       const std::size_t nl = body.find('\n', start);
       if (nl == std::string::npos) {
-        die("fragment " + path + " ends mid-line (truncated write?); re-run that shard");
+        die("merge: fragment " + path + " ends mid-line (truncated write?); re-run that shard");
       }
       f.lines.push_back(body.substr(start, nl - start));
       start = nl + 1;
     }
     if (f.lines.size() != f.info.entries.size()) {
-      die("fragment " + path + " has " + std::to_string(f.lines.size()) +
+      die("merge: fragment " + path + " has " + std::to_string(f.lines.size()) +
           " lines but its manifest lists " + std::to_string(f.info.entries.size()) +
           " cells");
     }
@@ -984,13 +984,13 @@ int cmdMerge(const Cli& cli) {
   const Fragment& first = frags.front();
   for (const Fragment& f : frags) {
     if (f.info.gridCells != first.info.gridCells || f.info.gridHash != first.info.gridHash) {
-      die("fragments " + first.path + " and " + f.path +
+      die("merge: fragments " + first.path + " and " + f.path +
           " come from different grids (grid " + std::to_string(first.info.gridCells) + " " +
           fabric::hashHex(first.info.gridHash) + " vs " + std::to_string(f.info.gridCells) +
           " " + fabric::hashHex(f.info.gridHash) + ")");
     }
     if (f.info.shardCount != first.info.shardCount) {
-      die("fragments disagree on shard count: " + first.path + " is /" +
+      die("merge: fragments disagree on shard count: " + first.path + " is /" +
           std::to_string(first.info.shardCount) + ", " + f.path + " is /" +
           std::to_string(f.info.shardCount));
     }
@@ -1000,7 +1000,7 @@ int cmdMerge(const Cli& cli) {
   for (const Fragment& f : frags) {
     auto& owner = shardOwner[static_cast<std::size_t>(f.info.shardIndex)];
     if (owner != nullptr) {
-      die("fragments " + owner->path + " and " + f.path + " both cover shard " +
+      die("merge: fragments " + owner->path + " and " + f.path + " both cover shard " +
           std::to_string(f.info.shardIndex) + "/" + std::to_string(f.info.shardCount));
     }
     owner = &f;
@@ -1012,11 +1012,11 @@ int cmdMerge(const Cli& cli) {
     for (std::size_t k = 0; k < f.info.entries.size(); ++k) {
       const std::size_t idx = f.info.entries[k].first;
       if (idx >= first.info.gridCells) {
-        die("fragment " + f.path + " names cell index " + std::to_string(idx) +
+        die("merge: fragment " + f.path + " names cell index " + std::to_string(idx) +
             ", outside its own " + std::to_string(first.info.gridCells) + "-cell grid");
       }
       if (lines[idx] != nullptr) {
-        die("cell index " + std::to_string(idx) + " appears in more than one fragment");
+        die("merge: cell index " + std::to_string(idx) + " appears in more than one fragment");
       }
       lines[idx] = &f.lines[k];
       hashes[idx] = &f.info.entries[k].second;
@@ -1024,7 +1024,7 @@ int cmdMerge(const Cli& cli) {
   }
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (lines[i] == nullptr) {
-      die("fragments cover only part of the grid: cell index " + std::to_string(i) +
+      die("merge: fragments cover only part of the grid: cell index " + std::to_string(i) +
           " of " + std::to_string(lines.size()) + " is missing (shard " +
           std::to_string(i % static_cast<std::size_t>(first.info.shardCount)) + "/" +
           std::to_string(first.info.shardCount) + " not supplied?)");
@@ -1058,7 +1058,7 @@ int cmdTable1(const Cli& cli) {
   const auto results = makeRunner(cli).run(std::move(cells));
   std::printf("%-12s %-8s %-8s %-8s\n", "Application", "I/O", "Memory", "CPU");
   for (const auto& cell : results) {
-    if (!cell.ok) throw std::runtime_error("cell " + cell.label() + ": " + cell.error);
+    if (!cell.ok) throw std::runtime_error("wfsim: cell " + cell.label() + ": " + cell.error);
     const auto& r = cell.result;
     std::printf("%-12s %-8s %-8s %-8s\n", toString(cell.config.app),
                 toString(r.profile.ioLevel), toString(r.profile.memoryLevel),

@@ -8,7 +8,11 @@ unit, named by a digest of everything that could change the verdict:
   * the translation unit's own bytes,
   * every project header it could include (one concatenated digest — cheap,
     coarse, and safe: any header edit invalidates every stamp),
-  * the .clang-tidy configuration,
+  * the translation unit's compile command from the database — flags,
+    defines and include paths change the verdict as surely as the source
+    does (a -D toggle flips whole #if branches),
+  * every .clang-tidy in the tree, not just the root one: clang-tidy merges
+    per-directory configs, so a nested override must also invalidate,
   * the clang-tidy version string.
 
 A stamp is written only after clang-tidy exits clean, so a failing file is
@@ -62,6 +66,30 @@ def headers_digest(root):
     return h.hexdigest()
 
 
+def configs_digest(root):
+    """One digest over every .clang-tidy in the tree (clang-tidy merges
+    per-directory configs, so any of them can change the verdict)."""
+    h = hashlib.sha256()
+    paths = []
+    for dirpath, dirnames, names in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "build") and not d.startswith("build")]
+        if ".clang-tidy" in names:
+            paths.append(os.path.join(dirpath, ".clang-tidy"))
+    for path in sorted(paths):
+        h.update(os.path.relpath(path, root).encode())
+        h.update(sha256_file(path).encode())
+    return h.hexdigest()
+
+
+def compile_command(entry):
+    """The entry's command line, normalized to one string. Either key is
+    legal in a compilation database; CMake emits "command"."""
+    if "arguments" in entry:
+        return "\0".join(entry["arguments"])
+    return entry.get("command", "")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("-p", "--database", required=True,
@@ -92,7 +120,7 @@ def main():
                 rel == p or rel.startswith(p.rstrip("/") + "/")
                 for p in args.prefixes):
             continue
-        files.append((rel, path))
+        files.append((rel, path, compile_command(entry)))
     files = sorted(set(files))
     if not files:
         print("clang-tidy-cached: no translation units matched", file=sys.stderr)
@@ -101,18 +129,18 @@ def main():
     os.makedirs(args.cache, exist_ok=True)
     version = subprocess.run([args.clang_tidy, "--version"],
                              capture_output=True, text=True).stdout
-    config = sha256_file(os.path.join(root, ".clang-tidy"))
+    config = configs_digest(root)
     headers = headers_digest(root)
 
-    def stamp_for(rel, path):
+    def stamp_for(rel, path, command):
         h = hashlib.sha256()
-        for part in (rel, sha256_file(path), headers, config, version):
+        for part in (rel, sha256_file(path), command, headers, config, version):
             h.update(part.encode())
         return os.path.join(args.cache, h.hexdigest())
 
     def analyze(item):
-        rel, path = item
-        stamp = stamp_for(rel, path)
+        rel, path, command = item
+        stamp = stamp_for(rel, path, command)
         if os.path.exists(stamp):
             return rel, True, "(cached)"
         proc = subprocess.run(

@@ -9,13 +9,23 @@
 //   D2-unordered-iter  no iteration over std::unordered_{map,set}
 //   D3-rng-seed        RNG streams forked per concern, never literal-seeded
 //   D4-float-eq        no exact float compares / unordered accumulation
-//   D5-layering        simcore at the bottom, no Trace::instance(),
-//                      catalog mutations only inside src/storage
+//   D5-layering        no Trace::instance(), catalog mutations only inside
+//                      src/storage
+//   L-layering         the include graph respects the layer DAG
+//                      simcore < blk/net < storage < fault < wf < cloud <
+//                      analysis < apps/tools, and is cycle-free
+//   D6-identity-drift  cfg-v cell identity covers every config field; the
+//                      cache salt version rides every identity bump
+//   D7-counter-monotonic  metrics/outcome counters only accumulate
+//   D8-hot-path-alloc  no allocation inside hot-begin/hot-end regions
+//   D9-error-style     throw/die() messages: one line, subsystem-prefixed
 //
-// It is a token/regex tier (comment- and string-aware), so it needs no
+// It is a token/regex tier (comment- and string-aware) plus a cross-file
+// pass over the include graph and the identity serializer, so it needs no
 // libclang and runs in milliseconds; the generic tier (clang-tidy, -Werror)
 // rides in CI next to it. File lists come from directories, explicit paths,
-// or -p build/compile_commands.json.
+// or -p build/compile_commands.json. `--sarif FILE` mirrors the findings as
+// SARIF 2.1.0 for CI code-scanning annotations.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,21 +36,24 @@
 #include <string>
 #include <vector>
 
+#include "project.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 #include "source_file.hpp"
 
 namespace fs = std::filesystem;
 using wfs::lint::Finding;
+using wfs::lint::RuleContext;
 using wfs::lint::SourceFile;
-using wfs::lint::UnorderedIndex;
 
 namespace {
 
 struct Options {
   std::vector<std::string> inputs;
   std::string compileCommands;
-  std::string root;     // repo root for display-path classification
-  std::string treatAs;  // classify a single input as if at this path
+  std::string root;      // repo root for display-path classification
+  std::string treatAs;   // classify a single input as if at this path
+  std::string sarifOut;  // mirror findings as SARIF 2.1.0 to this file
   bool allRules = false;
   bool listRules = false;
 };
@@ -54,6 +67,7 @@ int usage(const char* argv0) {
                "  --treat-as PATH      classify the single input file as if it were at\n"
                "                       PATH relative to the root (fixture testing)\n"
                "  --all-rules          ignore the per-path rule policy (fixture testing)\n"
+               "  --sarif FILE         also write the findings as SARIF 2.1.0\n"
                "  --list-rules         print the rule table and exit\n",
                argv0);
   return 2;
@@ -123,6 +137,8 @@ int main(int argc, char** argv) {
       opt.root = argv[++i];
     } else if (arg == "--treat-as" && i + 1 < argc) {
       opt.treatAs = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      opt.sarifOut = argv[++i];
     } else if (arg == "--all-rules") {
       opt.allRules = true;
     } else if (arg == "--list-rules") {
@@ -183,7 +199,7 @@ int main(int argc, char** argv) {
 
   std::vector<SourceFile> sources;
   sources.reserve(files.size());
-  UnorderedIndex unordered;
+  RuleContext ctx;
   for (const std::string& f : files) {
     const std::string display =
         !opt.treatAs.empty() ? opt.treatAs : displayPathFor(f, opt.root);
@@ -192,24 +208,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wfslint: cannot read %s\n", f.c_str());
       return 2;
     }
-    unordered.collect(sf);
+    ctx.unordered.collect(sf);
+    ctx.counters.collect(sf);
     sources.push_back(std::move(sf));
   }
-  unordered.finalize();
+  ctx.unordered.finalize();
 
-  std::size_t findingCount = 0;
+  std::vector<Finding> findings;
   for (const SourceFile& sf : sources) {
-    for (const Finding& finding : wfs::lint::runRules(sf, unordered, opt.allRules)) {
-      std::printf("%s\n", finding.format().c_str());
-      ++findingCount;
+    for (Finding& finding : wfs::lint::runRules(sf, ctx, opt.allRules)) {
+      findings.push_back(std::move(finding));
     }
   }
+  for (Finding& finding : wfs::lint::runCrossFileRules(sources)) {
+    findings.push_back(std::move(finding));
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.ruleId != b.ruleId) return a.ruleId < b.ruleId;
+    return a.message < b.message;
+  });
 
-  if (findingCount == 0) {
+  for (const Finding& finding : findings) {
+    std::printf("%s\n", finding.format().c_str());
+  }
+  if (!opt.sarifOut.empty() && !wfs::lint::writeSarif(opt.sarifOut, findings)) {
+    std::fprintf(stderr, "wfslint: cannot write %s\n", opt.sarifOut.c_str());
+    return 2;
+  }
+
+  if (findings.empty()) {
     std::printf("wfslint: no findings (%zu files scanned)\n", files.size());
     return 0;
   }
-  std::printf("wfslint: %zu finding(s) across %zu files scanned\n", findingCount,
+  std::printf("wfslint: %zu finding(s) across %zu files scanned\n", findings.size(),
               files.size());
   return 1;
 }

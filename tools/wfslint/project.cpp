@@ -1,0 +1,510 @@
+#include "project.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <regex>
+#include <string>
+
+namespace wfs::lint {
+
+namespace {
+
+constexpr const char* kL = "L-layering";
+constexpr const char* kD6 = "D6-identity-drift";
+
+const char* kLFix =
+    "invert the dependency or hoist the shared type down-layer; a deliberate "
+    "exception needs `// wfslint: allow(L-layering) <reason>`";
+const char* kD6Fix =
+    "keep cellid.cpp's destructuring, the cfg-v string and the wfs-results-v cache "
+    "salt in one commit (docs/SWEEPS.md salt-bump rule)";
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool endsWith(const std::string& s, const std::string& tail) {
+  return s.size() >= tail.size() && s.compare(s.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+/// Matches text[open] ('(', '[' or '{') to its closing bracket, honouring
+/// nesting of the three code bracket kinds. Returns npos when unbalanced.
+std::size_t matchBracket(const std::string& text, std::size_t open) {
+  int paren = 0;
+  int square = 0;
+  int brace = 0;
+  const char want = text[open];
+  for (std::size_t i = open; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '(': ++paren; break;
+      case ')': --paren; break;
+      case '[': ++square; break;
+      case ']': --square; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      default: break;
+    }
+    if (paren == 0 && square == 0 && brace == 0) {
+      if ((want == '(' && text[i] == ')') || (want == '[' && text[i] == ']') ||
+          (want == '{' && text[i] == '}')) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// L-layering: include graph vs. the layer DAG.
+// ---------------------------------------------------------------------------
+
+struct Layer {
+  int rank = -1;
+  const char* name = "";
+};
+
+/// Layer of a repo-relative file path. First match wins; unlisted paths
+/// (tests/, bench/, examples/) carry no layer — they may include anything,
+/// and nothing includes them.
+std::optional<Layer> layerOfPath(const std::string& p) {
+  static const std::pair<const char*, Layer> kTable[] = {
+      {"src/simcore/", {0, "simcore"}}, {"src/blk/", {1, "blk"}},
+      {"src/net/", {1, "net"}},         {"src/prof/", {1, "prof"}},
+      {"src/storage/", {2, "storage"}}, {"src/fault/", {3, "fault"}},
+      {"src/wf/", {4, "wf"}},           {"src/cloud/", {5, "cloud"}},
+      {"src/analysis/", {6, "analysis"}}, {"src/apps/", {7, "apps"}},
+      {"tools/", {7, "tools"}},         {"src/", {7, "src"}},
+  };
+  for (const auto& [prefix, layer] : kTable) {
+    if (p.rfind(prefix, 0) == 0) return layer;
+  }
+  return std::nullopt;
+}
+
+/// Layer of an include target as written (targets are rooted at src/, so
+/// `"wf/engine.hpp"` is the wf layer even when the header was not scanned).
+/// No src/ umbrella here: a quoted target outside the layer directories
+/// (`"unistd.h"`) is not project code and carries no rank.
+std::optional<Layer> layerOfTarget(const std::string& t) {
+  if (t == "wfcloudsim.hpp") return Layer{7, "src"};
+  static const std::pair<const char*, Layer> kTable[] = {
+      {"simcore/", {0, "simcore"}}, {"blk/", {1, "blk"}},
+      {"net/", {1, "net"}},         {"prof/", {1, "prof"}},
+      {"storage/", {2, "storage"}}, {"fault/", {3, "fault"}},
+      {"wf/", {4, "wf"}},           {"cloud/", {5, "cloud"}},
+      {"analysis/", {6, "analysis"}}, {"apps/", {7, "apps"}},
+  };
+  for (const auto& [prefix, layer] : kTable) {
+    if (t.rfind(prefix, 0) == 0) return layer;
+  }
+  return std::nullopt;
+}
+
+/// Lexically normalizes `a/b/../c` include paths so dirname-relative
+/// resolution maps onto scanned display paths.
+std::string normalizePath(const std::string& p) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i <= p.size()) {
+    const std::size_t j = std::min(p.find('/', i), p.size());
+    const std::string part = p.substr(i, j - i);
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    i = j + 1;
+  }
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out.push_back('/');
+    out += part;
+  }
+  return out;
+}
+
+struct IncludeEdge {
+  int line = 0;
+  std::string target;  ///< As written between the quotes/brackets.
+  bool quoted = false; ///< `"..."` (project include) vs `<...>` (system).
+  int toNode = -1;     ///< Index into sources when the target was scanned.
+};
+
+/// Extracts the `#include` directives of one file. Reads the target from
+/// `raw` (the lexer blanks string literals in `stripped`, include targets
+/// among them) but keys on `stripped` to skip directives inside comments.
+std::vector<IncludeEdge> parseIncludes(const SourceFile& sf) {
+  std::vector<IncludeEdge> edges;
+  static const std::regex includeRe(R"(^\s*#\s*include\s*(["<])([^">]+)([">]))");
+  std::size_t lineBegin = 0;
+  int line = 1;
+  while (lineBegin <= sf.raw.size()) {
+    std::size_t lineEnd = sf.raw.find('\n', lineBegin);
+    if (lineEnd == std::string::npos) lineEnd = sf.raw.size();
+    // A directive commented out wholesale leaves no '#' in stripped.
+    if (lineBegin < sf.stripped.size() &&
+        sf.stripped.find('#', lineBegin) < std::min(lineEnd, sf.stripped.size())) {
+      const std::string rawLine = sf.raw.substr(lineBegin, lineEnd - lineBegin);
+      std::smatch m;
+      if (std::regex_search(rawLine, m, includeRe)) {
+        edges.push_back({line, m[2].str(), m[1].str() == "\"", -1});
+      }
+    }
+    lineBegin = lineEnd + 1;
+    ++line;
+  }
+  return edges;
+}
+
+std::string dirnameOf(const std::string& p) {
+  const std::size_t slash = p.rfind('/');
+  return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+void runLayering(const std::vector<SourceFile>& sources, std::vector<Finding>& findings) {
+  std::map<std::string, int> byDisplay;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    byDisplay.emplace(sources[i].displayPath, static_cast<int>(i));
+  }
+
+  std::vector<std::vector<IncludeEdge>> graph(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const SourceFile& sf = sources[i];
+    graph[i] = parseIncludes(sf);
+    for (IncludeEdge& e : graph[i]) {
+      // Resolution candidates, in preprocessor order: alongside the
+      // includer, then rooted at src/ (the one -I of this build), then
+      // verbatim (tools/ headers addressed repo-relative).
+      const std::string dir = dirnameOf(sf.displayPath);
+      for (const std::string& cand :
+           {normalizePath(dir.empty() ? e.target : dir + "/" + e.target),
+            "src/" + e.target, e.target}) {
+        const auto it = byDisplay.find(cand);
+        if (it != byDisplay.end()) {
+          e.toNode = it->second;
+          break;
+        }
+      }
+    }
+  }
+
+  // Direct-edge check. The layers form a total order, so a tree whose every
+  // direct edge points at an equal-or-lower rank cannot reach a higher rank
+  // through any chain of includes — enforcing edges enforces the DAG
+  // transitively.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const SourceFile& sf = sources[i];
+    const auto from = layerOfPath(sf.displayPath);
+    if (!from) continue;
+    for (const IncludeEdge& e : graph[i]) {
+      if (!e.quoted && e.toNode < 0) continue;  // system header
+      const auto to = e.toNode >= 0
+                          ? layerOfPath(sources[static_cast<std::size_t>(e.toNode)].displayPath)
+                          : layerOfTarget(e.target);
+      if (!to || to->rank <= from->rank) continue;
+      if (isSuppressed(sf, e.line, kL)) continue;
+      findings.push_back(
+          {sf.displayPath, e.line, kL,
+           "layer " + std::string(from->name) + " may not include `" + e.target +
+               "` (layer " + to->name +
+               "): the DAG is simcore < blk/net < storage < fault < wf < cloud < "
+               "analysis < apps/tools",
+           kLFix});
+    }
+  }
+
+  // Cycle check over the resolved part of the graph. Iterative DFS in
+  // deterministic (sorted-input) order; each back edge closes a cycle and is
+  // reported once, at the include that closes it.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(sources.size(), Color::kWhite);
+  std::vector<int> pathNode;  // current DFS stack, for cycle reconstruction
+
+  struct Frame {
+    int node;
+    std::size_t edge = 0;
+  };
+  for (std::size_t root = 0; root < sources.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{static_cast<int>(root)}};
+    color[root] = Color::kGray;
+    pathNode.push_back(static_cast<int>(root));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto node = static_cast<std::size_t>(f.node);
+      if (f.edge < graph[node].size()) {
+        const IncludeEdge& e = graph[node][f.edge++];
+        if (e.toNode < 0) continue;
+        const auto next = static_cast<std::size_t>(e.toNode);
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          pathNode.push_back(e.toNode);
+          stack.push_back({e.toNode});
+        } else if (color[next] == Color::kGray) {
+          const SourceFile& sf = sources[node];
+          if (isSuppressed(sf, e.line, kL)) continue;
+          std::string cycle;
+          const auto at = std::find(pathNode.begin(), pathNode.end(), e.toNode);
+          for (auto it = at; it != pathNode.end(); ++it) {
+            cycle += sources[static_cast<std::size_t>(*it)].displayPath + " -> ";
+          }
+          cycle += sources[next].displayPath;
+          findings.push_back({sf.displayPath, e.line, kL, "include cycle: " + cycle,
+                              "break the cycle with a forward declaration or by "
+                              "splitting the shared type into its own header"});
+        }
+      } else {
+        color[node] = Color::kBlack;
+        pathNode.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D6-identity-drift: struct fields vs. the cfg-v cell-identity serializer.
+// ---------------------------------------------------------------------------
+
+/// Locates the body `{...}` of free function `name` in sf.stripped.
+/// Returns false when the file has no definition of it.
+bool functionBody(const SourceFile& sf, const std::string& name, std::size_t& bodyBegin,
+                  std::size_t& bodyEnd) {
+  const std::string& text = sf.stripped;
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += name.size();
+    if (at > 0 && isIdentChar(text[at - 1])) continue;
+    if (pos < text.size() && isIdentChar(text[pos])) continue;
+    std::size_t i = pos;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    if (i >= text.size() || text[i] != '(') continue;
+    const std::size_t closeParen = matchBracket(text, i);
+    if (closeParen == std::string::npos) continue;
+    i = closeParen + 1;
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) != 0 || isIdentChar(text[i]))) {
+      ++i;  // skip `const`, `noexcept`, trailing attributes-free tokens
+    }
+    if (i >= text.size() || text[i] != '{') continue;  // a declaration or a call
+    const std::size_t closeBrace = matchBracket(text, i);
+    if (closeBrace == std::string::npos) continue;
+    bodyBegin = i + 1;
+    bodyEnd = closeBrace;
+    return true;
+  }
+  return false;
+}
+
+/// Parses the first structured binding `auto [a, b, c] = ...` inside
+/// [begin, end) of sf.stripped. Returns the bound names in order plus the
+/// binding's line and the offset just past the closing `]`.
+bool structuredBinding(const SourceFile& sf, std::size_t begin, std::size_t end,
+                       std::vector<std::string>& names, int& line, std::size_t& after) {
+  const std::string& text = sf.stripped;
+  const std::size_t open = text.find('[', begin);
+  if (open == std::string::npos || open >= end) return false;
+  const std::size_t close = matchBracket(text, open);
+  if (close == std::string::npos || close >= end) return false;
+  std::string current;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = text[i];
+    if (c == ',' || i == close) {
+      std::string t = current;
+      t.erase(std::remove_if(t.begin(), t.end(),
+                             [](char ch) {
+                               return std::isspace(static_cast<unsigned char>(ch)) != 0;
+                             }),
+              t.end());
+      if (!t.empty()) names.push_back(std::move(t));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  line = sf.lineOf(open);
+  after = close + 1;
+  return !names.empty();
+}
+
+/// First version number matching `"<prefix><N>` in the file's raw text
+/// (versions live inside string literals, which `stripped` blanks). The
+/// closing quote is deliberately not required: `"cfg-v2"` and `"cfg-v2;"`
+/// both carry the version, and demanding the quote would let a harmless
+/// reformat silently disable the lockstep check.
+std::optional<int> versionLiteral(const SourceFile& sf, const std::string& prefix, int& line) {
+  const std::regex re("\"" + prefix + "([0-9]+)");
+  std::smatch m;
+  if (!std::regex_search(sf.raw, m, re)) return std::nullopt;
+  line = sf.lineOf(static_cast<std::size_t>(m.position(0)));
+  return std::stoi(m[1].str());
+}
+
+/// How bound name `name` is used in the serializer tail [begin, end):
+/// serialized (a real use), excluded (`(void)name`), or absent.
+enum class Use { kAbsent, kExcluded, kSerialized };
+
+Use usageOf(const SourceFile& sf, std::size_t begin, std::size_t end, const std::string& name,
+            int& excludedLine) {
+  const std::string& text = sf.stripped;
+  Use seen = Use::kAbsent;
+  std::size_t pos = begin;
+  while ((pos = text.find(name, pos)) != std::string::npos && pos < end) {
+    const std::size_t at = pos;
+    pos += name.size();
+    if (at > 0 && isIdentChar(text[at - 1])) continue;
+    if (pos < text.size() && isIdentChar(text[pos])) continue;
+    std::size_t k = at;
+    while (k > begin && std::isspace(static_cast<unsigned char>(text[k - 1])) != 0) --k;
+    if (k >= begin + 6 && text.compare(k - 6, 6, "(void)") == 0) {
+      seen = Use::kExcluded;
+      excludedLine = sf.lineOf(at);
+      continue;
+    }
+    return Use::kSerialized;
+  }
+  return seen;
+}
+
+/// One serializer function vs. one struct definition.
+void checkDestructuring(const SourceFile& serializer, const std::string& function,
+                        const SourceFile* structFile, const std::string& structName,
+                        std::vector<Finding>& findings) {
+  std::size_t bodyBegin = 0;
+  std::size_t bodyEnd = 0;
+  if (!functionBody(serializer, function, bodyBegin, bodyEnd)) return;
+  std::vector<std::string> bound;
+  int bindLine = 0;
+  std::size_t tailBegin = 0;
+  if (!structuredBinding(serializer, bodyBegin, bodyEnd, bound, bindLine, tailBegin)) return;
+
+  const auto emit = [&](int line, std::string message, std::string fixit = kD6Fix) {
+    if (isSuppressed(serializer, line, kD6)) return;
+    findings.push_back({serializer.displayPath, line, kD6, std::move(message), fixit});
+  };
+
+  // Field-list cross-check needs the struct definition in the scanned set.
+  if (structFile != nullptr) {
+    std::vector<StructField> fields;
+    int structLine = 0;
+    if (parseStructFields(*structFile, structName, fields, structLine)) {
+      const std::size_t n = std::min(bound.size(), fields.size());
+      bool drifted = false;
+      for (std::size_t i = 0; i < n && !drifted; ++i) {
+        if (bound[i] == fields[i].name) continue;
+        drifted = true;
+        emit(bindLine, function + " binding #" + std::to_string(i + 1) + " is `" + bound[i] +
+                           "` but " + structName + " field #" + std::to_string(i + 1) +
+                           " is `" + fields[i].name + "` (" + structFile->displayPath + ":" +
+                           std::to_string(fields[i].line) + ")");
+      }
+      if (!drifted && fields.size() > bound.size()) {
+        emit(bindLine, structName + " field `" + fields[bound.size()].name + "` (" +
+                           structFile->displayPath + ":" +
+                           std::to_string(fields[bound.size()].line) +
+                           ") is missing from the " + function + " destructuring — the "
+                           "structured binding would no longer compile exhaustively, and "
+                           "the field would be invisible to the cell identity");
+      } else if (!drifted && bound.size() > fields.size()) {
+        emit(bindLine, function + " binds `" + bound[fields.size()] + "` which is not a "
+                           "field of " + structName);
+      }
+    }
+  }
+
+  // Every bound name must feed the identity string, or carry a documented
+  // `(void)` exclusion on its own line.
+  for (const std::string& name : bound) {
+    int excludedLine = 0;
+    switch (usageOf(serializer, tailBegin, bodyEnd, name, excludedLine)) {
+      case Use::kSerialized:
+        break;
+      case Use::kAbsent:
+        emit(bindLine, function + " destructures `" + name +
+                           "` but never serializes it into the identity string");
+        break;
+      case Use::kExcluded: {
+        const auto [b, e] = serializer.lineRange(excludedLine);
+        const std::string rawLine = serializer.raw.substr(b, e - b);
+        if (rawLine.find("exclusion") == std::string::npos) {
+          emit(excludedLine, function + " casts `" + name +
+                                 "` to void without a documented exclusion",
+               "state why the field cannot affect results: `(void)" + name +
+                   ";  // deliberate exclusion: <why>`");
+        }
+        break;
+      }
+    }
+  }
+}
+
+void runIdentityDrift(const std::vector<SourceFile>& sources, std::vector<Finding>& findings) {
+  const SourceFile* serializer = nullptr;
+  const SourceFile* configStruct = nullptr;
+  const SourceFile* faultStruct = nullptr;
+  const SourceFile* saltFile = nullptr;
+  for (const SourceFile& sf : sources) {
+    if (serializer == nullptr && endsWith(sf.displayPath, "analysis/fabric/cellid.cpp")) {
+      serializer = &sf;
+    }
+    if (configStruct == nullptr) {
+      std::vector<StructField> fields;
+      int line = 0;
+      if (parseStructFields(sf, "ExperimentConfig", fields, line)) configStruct = &sf;
+    }
+    if (faultStruct == nullptr &&
+        sf.stripped.find("namespace wfs::fault") != std::string::npos) {
+      std::vector<StructField> fields;
+      int line = 0;
+      if (parseStructFields(sf, "Spec", fields, line)) faultStruct = &sf;
+    }
+    if (saltFile == nullptr && sf.raw.find("\"wfs-results-v") != std::string::npos &&
+        sf.stripped.find("salt") != std::string::npos) {
+      saltFile = &sf;
+    }
+  }
+  if (serializer == nullptr) return;  // partial scan: nothing to anchor on
+
+  checkDestructuring(*serializer, "canonicalConfig", configStruct, "ExperimentConfig",
+                     findings);
+  checkDestructuring(*serializer, "canonicalFaultSpec", faultStruct, "Spec", findings);
+
+  // Salt-bump coupling: the identity version and the cache salt version move
+  // in lockstep (docs/SWEEPS.md). Equality is deliberate — bumping either
+  // alone is the drift this rule exists to catch.
+  int cfgLine = 0;
+  const auto cfgVersion = versionLiteral(*serializer, "cfg-v", cfgLine);
+  if (cfgVersion && saltFile != nullptr) {
+    int saltLine = 0;
+    const auto saltVersion = versionLiteral(*saltFile, "wfs-results-v", saltLine);
+    if (saltVersion && *saltVersion != *cfgVersion &&
+        !isSuppressed(*serializer, cfgLine, kD6)) {
+      findings.push_back(
+          {serializer->displayPath, cfgLine, kD6,
+           "cell identity is cfg-v" + std::to_string(*cfgVersion) +
+               " but the result-cache salt is wfs-results-v" + std::to_string(*saltVersion) +
+               " (" + saltFile->displayPath + ":" + std::to_string(saltLine) +
+               ") — versions must move in lockstep",
+           kD6Fix});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> runCrossFileRules(const std::vector<SourceFile>& sources) {
+  std::vector<Finding> findings;
+  runLayering(sources, findings);
+  runIdentityDrift(sources, findings);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.ruleId < b.ruleId;
+  });
+  return findings;
+}
+
+}  // namespace wfs::lint

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "rules.hpp"
+#include "source_file.hpp"
+
+namespace wfs::lint {
+
+/// Cross-file semantic tier. Runs over the whole scanned set at once:
+///
+///   L-layering         the real preprocessor include graph respects the
+///                      layer DAG simcore < blk/net < storage < fault < wf
+///                      < cloud < analysis < apps/tools (checking every
+///                      direct edge against the total layer order makes the
+///                      property hold transitively), and is cycle-free
+///   D6-identity-drift  the structured bindings in the fabric cell-identity
+///                      serializer cover every ExperimentConfig/fault::Spec
+///                      field, every bound name is serialized (or carries a
+///                      documented `(void)` exclusion), and the cfg-v
+///                      identity version and the wfs-results-v cache salt
+///                      move in lockstep
+///
+/// Findings respect the per-file allow-annotation suppressions. Partial
+/// scans degrade gracefully: D6 only activates when the serializer file is
+/// in the set, and each of its cross-checks only when its anchor (struct
+/// definition, salt literal) was scanned too.
+std::vector<Finding> runCrossFileRules(const std::vector<SourceFile>& sources);
+
+}  // namespace wfs::lint

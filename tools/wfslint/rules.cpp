@@ -13,6 +13,9 @@ constexpr const char* kD2 = "D2-unordered-iter";
 constexpr const char* kD3 = "D3-rng-seed";
 constexpr const char* kD4 = "D4-float-eq";
 constexpr const char* kD5 = "D5-layering";
+constexpr const char* kD7 = "D7-counter-monotonic";
+constexpr const char* kD8 = "D8-hot-path-alloc";
+constexpr const char* kD9 = "D9-error-style";
 constexpr const char* kBadSuppression = "WFS-bad-suppression";
 
 bool startsWith(const std::string& s, const char* prefix) {
@@ -100,6 +103,14 @@ const char* kD3Fix =
     "construct from the experiment config seed or parent.fork() (see fault::FaultPlan)";
 const char* kD4Fix =
     "compare against an epsilon, or sum over a deterministically ordered range";
+const char* kD7Fix =
+    "ledger counters only accumulate: use `+=`/`++`; zeroing belongs in a reset() member";
+const char* kD8Fix =
+    "hoist the construction out of the hot region (reused buffers, InlineFunction, "
+    "slab indices) or annotate `// wfslint: allow(D8-hot-path-alloc) <reason>`";
+const char* kD9Fix =
+    "prefix the message with its subsystem (`cluster/afr: ...`; CLI flag complaints "
+    "start with `--`) and keep it to one line";
 
 const std::vector<RegexRule>& d1Rules() {
   static const std::vector<RegexRule> rules = [] {
@@ -156,29 +167,32 @@ const std::vector<RegexRule>& d4Rules() {
   return rules;
 }
 
-/// Layer prefixes `src/simcore` may never include: everything above it.
-const std::vector<std::string>& bannedSimcoreIncludes() {
-  static const std::vector<std::string> banned = {
-      "storage/", "wf/", "cloud/", "analysis/", "apps/",
-      "fault/",   "net/", "blk/",   "prof/"};
-  return banned;
+/// Constructions banned inside `wfslint: hot-begin/hot-end` regions (D8):
+/// anything that heap-allocates per call on the EventQueue schedule/cancel
+/// and FlowNetwork settle paths.
+const std::vector<RegexRule>& d8Rules() {
+  static const std::vector<RegexRule> rules = [] {
+    std::vector<RegexRule> r;
+    const auto add = [&r](const char* re, const char* msg) {
+      r.push_back({std::regex(re), kD8, msg, kD8Fix});
+    };
+    add(R"(\bnew\b)", "raw `new` allocates inside a hot region");
+    add(R"(\bstd::string\b)", "std::string construction allocates inside a hot region");
+    add(R"(\bstd::to_string\b)", "std::to_string allocates inside a hot region");
+    add(R"(\bstd::function\b)",
+        "std::function type-erases through the heap; use sim::InlineFunction");
+    add(R"(\bstd::make_(?:shared|unique)\b)",
+        "shared/unique allocation inside a hot region");
+    return r;
+  }();
+  return rules;
 }
 
-/// Does suppression token `rule` cover finding id `id` (e.g. both
-/// "unordered-iter" and "D2-unordered-iter" and "D2" cover kD2)?
-bool ruleTokenCovers(const std::string& rule, const std::string& id) {
-  if (rule == id) return true;
-  if (id.size() > 3 && rule == id.substr(3)) return true;  // short name
-  if (rule.size() == 2 && id.compare(0, 2, rule) == 0) return true;  // "D2"
-  return false;
-}
-
-bool knownRuleToken(const std::string& rule) {
-  for (const auto& [id, unused] : ruleTable()) {
-    (void)unused;
-    if (ruleTokenCovers(rule, id)) return true;
-  }
-  return false;
+/// Family short name of a rule id: the text after the `D2-`/`L-`/`WFS-`
+/// family prefix ("D2-unordered-iter" -> "unordered-iter").
+std::string familyShortName(const std::string& id) {
+  const std::size_t dash = id.find('-');
+  return dash == std::string::npos ? id : id.substr(dash + 1);
 }
 
 }  // namespace
@@ -243,20 +257,148 @@ void UnorderedIndex::finalize() {
   }
 }
 
+bool parseStructFields(const SourceFile& sf, const std::string& structName,
+                       std::vector<StructField>& out, int& structLine) {
+  const std::string& text = sf.stripped;
+  std::size_t pos = 0;
+  while ((pos = text.find("struct", pos)) != std::string::npos) {
+    const std::size_t kw = pos;
+    pos += 6;
+    if (kw > 0 && isIdentChar(text[kw - 1])) continue;
+    std::size_t i = kw + 6;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    std::string name;
+    while (i < text.size() && isIdentChar(text[i])) name.push_back(text[i++]);
+    if (name != structName) continue;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    if (i >= text.size() || text[i] != '{') continue;  // forward declaration
+    const std::size_t open = i;
+    const std::size_t close = matchBracket(text, open);
+    if (close == std::string::npos) return false;
+    structLine = sf.lineOf(kw);
+
+    // Walk depth-1 statements of the body. A `;` inside a member function's
+    // own braces sits at depth >= 2 and does not split; a statement that
+    // contains a paren (parameter list / accumulated inline body) is a
+    // member function and is skipped.
+    int depth = 0;
+    std::size_t stmtBegin = open + 1;
+    for (std::size_t k = open; k <= close; ++k) {
+      const char c = text[k];
+      if (c == '{' || c == '(' || c == '[') ++depth;
+      if (c == '}' || c == ')' || c == ']') --depth;
+      if ((c == ';' && depth == 1) || (k == close && depth == 0)) {
+        std::string stmt = text.substr(stmtBegin, k - stmtBegin);
+        stmtBegin = k + 1;
+        if (stmt.find('(') != std::string::npos) continue;  // member function
+        // Cut any default initializer, brace or `=` form.
+        const std::size_t eq = stmt.find('=');
+        if (eq != std::string::npos) stmt = stmt.substr(0, eq);
+        const std::size_t brace = stmt.find('{');
+        if (brace != std::string::npos) stmt = stmt.substr(0, brace);
+        stmt = trim(std::move(stmt));
+        if (stmt.empty() || startsWith(stmt, "using ") || startsWith(stmt, "static ")) {
+          continue;
+        }
+        // The declared name is the trailing identifier of the declaration.
+        std::size_t e = stmt.size();
+        while (e > 0 && isIdentChar(stmt[e - 1])) --e;
+        if (e == stmt.size()) continue;  // ends in punctuation: not a field
+        StructField f;
+        f.name = stmt.substr(e);
+        f.type = trim(stmt.substr(0, e));
+        if (f.type.empty()) continue;  // lone identifier: not a declaration
+        // Locate the name inside the original statement for its line.
+        const std::size_t at = text.rfind(f.name, k);
+        f.line = sf.lineOf(at == std::string::npos ? k : at);
+        out.push_back(std::move(f));
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void CounterIndex::add(std::string name) {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) names_.insert(it, std::move(name));
+}
+
+bool CounterIndex::contains(const std::string& name) const {
+  return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+void CounterIndex::collect(const SourceFile& sf) {
+  static const char* kLedgerStructs[] = {"LayerMetrics", "StorageMetrics", "FaultOutcome",
+                                         "RedundancyOutcome"};
+  for (const char* structName : kLedgerStructs) {
+    std::vector<StructField> fields;
+    int line = 0;
+    if (!parseStructFields(sf, structName, fields, line)) continue;
+    for (StructField& f : fields) {
+      // Counters are the arithmetic accumulators; names, flags and nested
+      // containers are not monotone and stay writable.
+      const bool arithmetic = f.type.find("uint64_t") != std::string::npos ||
+                              f.type.find("Bytes") != std::string::npos ||
+                              f.type.find("double") != std::string::npos;
+      const bool container = f.type.find("vector") != std::string::npos ||
+                             f.type.find("string") != std::string::npos;
+      if (arithmetic && !container) add(std::move(f.name));
+    }
+  }
+}
+
+int ruleTokenCoverage(const std::string& rule) {
+  int covered = 0;
+  for (const auto& [id, summary] : ruleTable()) {
+    (void)summary;
+    if (rule == id || rule == familyShortName(id)) ++covered;
+  }
+  return covered;
+}
+
+bool ruleTokenCovers(const std::string& rule, const std::string& id) {
+  if (rule == id) return true;
+  // A family short name covers its rule only while it names exactly one
+  // family ("layering" stopped covering anything when L-layering joined
+  // D5-layering; spell the full id).
+  return rule == familyShortName(id) && ruleTokenCoverage(rule) == 1;
+}
+
+bool isSuppressed(const SourceFile& sf, int line, const std::string& id) {
+  for (const Suppression& s : sf.suppressions) {
+    if (s.appliesToLine == line && !s.reason.empty() && ruleTokenCovers(s.rule, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<std::pair<std::string, std::string>> ruleTable() {
   return {
       {kD1, "no wall-clock or ambient entropy in simulation code"},
       {kD2, "no iteration over std::unordered_map/std::unordered_set"},
       {kD3, "RNG streams must be forked per concern, never literal-seeded"},
       {kD4, "no exact floating-point comparison or unordered accumulation"},
-      {kD5, "layering: simcore includes nothing above it; no Trace::instance(); "
-            "catalog mutations only inside src/storage"},
-      {kBadSuppression, "wfslint: allow(<rule>) needs a known rule and a non-empty reason"},
+      {kD5, "no Trace::instance(); catalog mutations only inside src/storage"},
+      {"L-layering",
+       "include-graph layer DAG: simcore < blk/net < storage < fault < wf < cloud < "
+       "analysis < apps/tools, transitively and cycle-free"},
+      {"D6-identity-drift",
+       "cfg-v identity serialization covers every ExperimentConfig/fault::Spec field; "
+       "the cache salt version rides every identity bump"},
+      {kD7, "LayerMetrics/StorageMetrics/FaultOutcome counters only accumulate "
+            "(+=/++); no decrement or reassignment outside reset()"},
+      {kD8, "no std::string/new/make_shared/std::function construction inside "
+            "`wfslint: hot-begin/hot-end` regions"},
+      {kD9, "throw/die() messages are one line and carry a subsystem prefix "
+            "(`cluster/afr: ...`)"},
+      {kBadSuppression,
+       "wfslint: allow(<rule>) needs a known, unambiguous rule and a non-empty reason"},
   };
 }
 
-std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unordered,
-                              bool allRules) {
+std::vector<Finding> runRules(const SourceFile& sf, const RuleContext& ctx, bool allRules) {
   std::vector<Finding> findings;
   const std::string& path = sf.displayPath;
   const std::string& text = sf.stripped;
@@ -264,39 +406,36 @@ std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unorde
   const bool libraryCode = startsWith(path, "src/") || startsWith(path, "tools/");
   const bool storageCode = startsWith(path, "src/storage/") ||
                            startsWith(path, "tests/storage/");
-  const bool simcoreCode = startsWith(path, "src/simcore/");
 
-  const auto suppressed = [&sf](int line, const std::string& id) {
-    for (const Suppression& s : sf.suppressions) {
-      if (s.appliesToLine == line && !s.reason.empty() && ruleTokenCovers(s.rule, id)) {
-        return true;
-      }
-    }
-    return false;
-  };
   const auto emit = [&](int line, const char* id, std::string message, const char* fixit) {
-    if (suppressed(line, id)) return;
+    if (isSuppressed(sf, line, id)) return;
     findings.push_back({path, line, id, std::move(message), fixit});
   };
-  const auto scanRegexRules = [&](const std::vector<RegexRule>& rules) {
+  const auto scanRegexRules = [&](const std::vector<RegexRule>& rules, std::size_t begin,
+                                  std::size_t end) {
     for (const RegexRule& rule : rules) {
-      for (auto it = std::sregex_iterator(text.begin(), text.end(), rule.pattern);
+      for (auto it = std::sregex_iterator(text.begin() + static_cast<std::ptrdiff_t>(begin),
+                                          text.begin() + static_cast<std::ptrdiff_t>(end),
+                                          rule.pattern);
            it != std::sregex_iterator(); ++it) {
-        emit(sf.lineOf(static_cast<std::size_t>(it->position())), rule.id, rule.message,
-             rule.fixit);
+        emit(sf.lineOf(begin + static_cast<std::size_t>(it->position())), rule.id,
+             rule.message, rule.fixit);
       }
     }
+  };
+  const auto scanAll = [&](const std::vector<RegexRule>& rules) {
+    scanRegexRules(rules, 0, text.size());
   };
 
   // D1 — ambient nondeterminism.
-  scanRegexRules(d1Rules());
+  scanAll(d1Rules());
 
   // D3 — RNG discipline (library code only: tests/benches/examples pin
   // experiment-root seeds by design, which IS the documented seeding root).
-  if (allRules || libraryCode) scanRegexRules(d3Rules());
+  if (allRules || libraryCode) scanAll(d3Rules());
 
   // D4 — float-literal comparisons.
-  scanRegexRules(d4Rules());
+  scanAll(d4Rules());
 
   // D2 — range-for over an unordered container, plus the D4 variant
   // std::accumulate over one.
@@ -333,7 +472,7 @@ std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unorde
       }
       if (classicFor || colon == std::string::npos) continue;
       const std::string name = tailIdentifier(head.substr(colon + 1));
-      if (!name.empty() && unordered.contains(name)) {
+      if (!name.empty() && ctx.unordered.contains(name)) {
         emit(sf.lineOf(at), kD2,
              "range-for over unordered container `" + name +
                  "` has platform-dependent order",
@@ -346,7 +485,7 @@ std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unorde
     for (auto it = std::sregex_iterator(text.begin(), text.end(), accumulateRe);
          it != std::sregex_iterator(); ++it) {
       const std::string name = tailIdentifier((*it)[1].str());
-      if (!name.empty() && unordered.contains(name)) {
+      if (!name.empty() && ctx.unordered.contains(name)) {
         emit(sf.lineOf(static_cast<std::size_t>(it->position())), kD4,
              "std::accumulate over unordered container `" + name +
                  "` folds doubles in platform-dependent order",
@@ -355,7 +494,8 @@ std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unorde
     }
   }
 
-  // D5 — layering.
+  // D5 — layering invariants that stay per-file (the include-graph DAG
+  // itself is the cross-file L-layering tier in project.cpp).
   {
     static const std::regex traceRe(R"(\bTrace\s*::\s*instance\b)");
     for (auto it = std::sregex_iterator(text.begin(), text.end(), traceRe);
@@ -376,38 +516,188 @@ std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unorde
              "invariants stay enforced in one place");
       }
     }
+  }
 
-    if (allRules || simcoreCode) {
-      static const std::regex includeRe(R"re(#\s*include\s*"([^"]+)")re");
-      // Include paths live inside string literals, which the lexer blanks;
-      // scan the raw text but only on lines that are preprocessor directives
-      // in the stripped view (so commented-out includes stay dead).
-      for (auto it = std::sregex_iterator(sf.raw.begin(), sf.raw.end(), includeRe);
+  // D7 — counter monotonicity. Library code only: tests construct expected
+  // ledger values freely.
+  if ((allRules || libraryCode) && !ctx.counters.empty()) {
+    // Bodies of reset()/clear() members are the sanctioned zeroing spot.
+    std::vector<std::pair<std::size_t, std::size_t>> resetRanges;
+    {
+      static const std::regex resetRe(R"(\b(?:reset|clear)\s*\(\s*\)[^;{]*\{)");
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), resetRe);
            it != std::sregex_iterator(); ++it) {
-        const int line = sf.lineOf(static_cast<std::size_t>(it->position()));
-        const auto [b, e] = sf.lineRange(line);
-        const std::string strippedLine = trim(text.substr(b, e - b));
-        if (strippedLine.empty() || strippedLine[0] != '#') continue;
-        const std::string target = (*it)[1].str();
-        for (const std::string& banned : bannedSimcoreIncludes()) {
-          if (startsWith(target, banned.c_str())) {
-            emit(line, kD5,
-                 "src/simcore may not depend on `" + target +
-                     "` (simcore is the bottom layer)",
-                 "invert the dependency or move the code out of simcore");
-            break;
-          }
-        }
+        const std::size_t open =
+            static_cast<std::size_t>(it->position() + it->length()) - 1;
+        const std::size_t close = matchBracket(text, open);
+        if (close != std::string::npos) resetRanges.emplace_back(open, close);
       }
+    }
+    const auto inReset = [&resetRanges](std::size_t pos) {
+      for (const auto& [b, e] : resetRanges) {
+        if (pos > b && pos < e) return true;
+      }
+      return false;
+    };
+
+    static const std::regex counterWriteRe(
+        R"((?:\.|->)\s*([A-Za-z_]\w*)\s*(=(?!=)|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=|--))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), counterWriteRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!ctx.counters.contains(name)) continue;
+      const auto pos = static_cast<std::size_t>(it->position());
+      if (inReset(pos)) continue;
+      const std::string op = (*it)[2].str();
+      emit(sf.lineOf(pos), kD7,
+           op == "--" || op == "-="
+               ? "metrics counter `" + name + "` is decremented — ledgers are monotone"
+               : "metrics counter `" + name + "` is reassigned (`" + op +
+                     "`) outside a reset()",
+           kD7Fix);
+    }
+    // Prefix decrement: `--stats.crashes`.
+    static const std::regex prefixDecRe(
+        R"(--\s*[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*(?:\.|->)([A-Za-z_]\w*))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), prefixDecRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!ctx.counters.contains(name)) continue;
+      const auto pos = static_cast<std::size_t>(it->position());
+      if (inReset(pos)) continue;
+      emit(sf.lineOf(pos), kD7,
+           "metrics counter `" + name + "` is decremented — ledgers are monotone",
+           kD7Fix);
     }
   }
 
-  // Suppression hygiene: every annotation needs a known rule and a reason.
+  // D8 — allocation-free hot regions. The markers carry the policy: any
+  // file (simcore or not) may declare one, and the banned set applies only
+  // between hot-begin and hot-end.
+  {
+    std::vector<const HotMarker*> stack;
+    for (const HotMarker& m : sf.hotMarkers) {
+      if (m.begin) {
+        stack.push_back(&m);
+        continue;
+      }
+      if (stack.empty()) {
+        emit(m.line, kD8, "`wfslint: hot-end` without a matching hot-begin",
+             "open the region with `// wfslint: hot-begin(<name>)` or drop the marker");
+        continue;
+      }
+      const HotMarker* begin = stack.back();
+      stack.pop_back();
+      const std::size_t b = sf.lineRange(begin->line + 1).first;
+      const std::size_t e = sf.lineRange(m.line).first;
+      if (b < e) scanRegexRules(d8Rules(), b, e);
+    }
+    for (const HotMarker* begin : stack) {
+      emit(begin->line, kD8,
+           "`wfslint: hot-begin(" + begin->name + ")` is never closed",
+           "close the region with `// wfslint: hot-end`");
+    }
+  }
+
+  // D9 — error style: every throw/die() message is one line and starts
+  // with a subsystem prefix. Library code only; tests throw freely.
+  if (allRules || libraryCode) {
+    const auto literalPrefixOk = [](const std::string& lit) {
+      if (startsWith(lit, "--")) return true;  // CLI flag complaint
+      const std::size_t colon = lit.find(':');
+      if (colon == std::string::npos || colon == 0) return false;
+      if (colon + 1 < lit.size() && lit[colon + 1] != ' ') return false;
+      for (std::size_t i = 0; i < colon; ++i) {
+        const char c = lit[i];
+        if (isIdentChar(c) || c == '/' || c == '.' || c == '+' || c == '*' || c == '=' ||
+            c == '-') {
+          continue;
+        }
+        return false;
+      }
+      return true;
+    };
+
+    const auto checkSpan = [&](std::size_t b, std::size_t e, const char* what) {
+      bool sawFirstLiteral = false;
+      bool multiLineReported = false;
+      for (std::size_t i = b; i < e; ++i) {
+        if (text[i] != '"') continue;
+        std::size_t j = i + 1;
+        while (j < e && text[j] != '"') ++j;
+        if (j >= e) break;
+        const std::string lit = sf.raw.substr(i + 1, j - i - 1);
+        if (!multiLineReported && lit.find("\\n") != std::string::npos) {
+          multiLineReported = true;
+          emit(sf.lineOf(i), kD9,
+               std::string(what) + " message spans multiple lines (`\\n`)", kD9Fix);
+        }
+        if (!sawFirstLiteral) {
+          sawFirstLiteral = true;
+          // Only a literal that opens the message is statically checkable:
+          // it must directly follow the call's `(`/`{`. A leading variable
+          // (file path, flag name) is its own prefix convention.
+          std::size_t k = i;
+          while (k > b && std::isspace(static_cast<unsigned char>(text[k - 1])) != 0) --k;
+          const bool opensMessage = k > b && (text[k - 1] == '(' || text[k - 1] == '{');
+          if (opensMessage && !literalPrefixOk(lit)) {
+            emit(sf.lineOf(i), kD9,
+                 std::string(what) + " message lacks a subsystem prefix: \"" +
+                     lit.substr(0, 24) + (lit.size() > 24 ? "..." : "") + "\"",
+                 kD9Fix);
+          }
+        }
+        i = j;
+      }
+    };
+
+    std::size_t pos = 0;
+    while ((pos = text.find("throw", pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += 5;
+      if (at > 0 && isIdentChar(text[at - 1])) continue;
+      if (pos < text.size() && isIdentChar(text[pos])) continue;  // throws, rethrow
+      // Span: to the statement-ending `;` at bracket depth 0.
+      int depth = 0;
+      std::size_t end = pos;
+      while (end < text.size()) {
+        const char c = text[end];
+        if (c == '(' || c == '{' || c == '[') ++depth;
+        if (c == ')' || c == '}' || c == ']') --depth;
+        if (c == ';' && depth <= 0) break;
+        ++end;
+      }
+      checkSpan(pos, end, "throw");
+    }
+
+    pos = 0;
+    while ((pos = text.find("die", pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += 3;
+      if (at > 0 && isIdentChar(text[at - 1])) continue;
+      if (pos < text.size() && isIdentChar(text[pos])) continue;
+      std::size_t i = at + 3;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+      if (i >= text.size() || text[i] != '(') continue;
+      const std::size_t close = matchBracket(text, i);
+      if (close == std::string::npos) continue;
+      checkSpan(i, close + 1, "die()");
+    }
+  }
+
+  // Suppression hygiene: every annotation needs a known, unambiguous rule
+  // and a reason.
   for (const Suppression& s : sf.suppressions) {
-    if (!knownRuleToken(s.rule)) {
+    const int coverage = ruleTokenCoverage(s.rule);
+    if (coverage == 0) {
       findings.push_back({path, s.line, kBadSuppression,
                           "unknown rule `" + s.rule + "` in wfslint annotation",
                           "use one of the ids from `wfslint --list-rules`"});
+    } else if (coverage > 1) {
+      findings.push_back({path, s.line, kBadSuppression,
+                          "ambiguous token `" + s.rule + "` covers " +
+                              std::to_string(coverage) + " rule families and silences none",
+                          "spell the full rule id (e.g. `D5-layering` or `L-layering`)"});
     } else if (s.reason.empty()) {
       findings.push_back({path, s.line, kBadSuppression,
                           "suppression of `" + s.rule + "` carries no justification",

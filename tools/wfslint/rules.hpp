@@ -38,15 +38,66 @@ class UnorderedIndex {
   void add(std::string name);
 };
 
-/// Per-file rule driver. `displayPath` (repo-relative) feeds the path
-/// policy: D3 guards library code (src/, tools/) only — tests, benches and
-/// examples legitimately pin experiment-root seeds; D5's catalog-mutation
-/// check exempts src/storage/ and tests/storage/, its include check applies
-/// inside src/simcore/. `allRules` (fixture mode) disables the policy.
-std::vector<Finding> runRules(const SourceFile& sf, const UnorderedIndex& unordered,
-                              bool allRules);
+/// One member-variable declaration of a struct, as parsed by
+/// parseStructFields: the declared name, the (whitespace-normalized)
+/// declaration text before the name, and the 1-based line it sits on.
+struct StructField {
+  std::string name;
+  std::string type;
+  int line = 0;
+};
 
-/// Canonical rule ids, for --list-rules and suppression matching.
+/// Token-tier parse of `struct <name> { ... }` in sf.stripped: extracts the
+/// member-variable declarations (depth-1 statements with no parameter
+/// list), skipping member functions. Returns false when the struct is not
+/// defined in this file. `structLine` receives the definition's line.
+bool parseStructFields(const SourceFile& sf, const std::string& structName,
+                       std::vector<StructField>& out, int& structLine);
+
+/// Monotone counter members of the metrics/outcome ledger structs
+/// (LayerMetrics, StorageMetrics, FaultOutcome, RedundancyOutcome),
+/// gathered repo-wide from the struct definitions themselves so fixtures
+/// and the real tree feed the same machinery. Rule D7 flags any write to
+/// these names that is not `+=`/`++` (outside a reset()).
+class CounterIndex {
+ public:
+  void collect(const SourceFile& sf);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;  // kept sorted+unique
+  void add(std::string name);
+};
+
+/// Cross-file state shared by every per-file rule pass.
+struct RuleContext {
+  UnorderedIndex unordered;
+  CounterIndex counters;
+};
+
+/// Does suppression token `rule` cover finding id `id`? Tokens must be the
+/// full rule id ("D2-unordered-iter") or the full family short name
+/// ("unordered-iter"); a short name shared by several rules is ambiguous
+/// and covers nothing (and is itself reported as a bad suppression).
+[[nodiscard]] bool ruleTokenCovers(const std::string& rule, const std::string& id);
+
+/// How many rule ids the token would cover; 0 = unknown, >1 = ambiguous.
+[[nodiscard]] int ruleTokenCoverage(const std::string& rule);
+
+/// True when `line` of `sf` carries a well-formed suppression for `id`.
+/// Shared between the per-file rules and the cross-file tier.
+[[nodiscard]] bool isSuppressed(const SourceFile& sf, int line, const std::string& id);
+
+/// Per-file rule driver. `displayPath` (repo-relative) feeds the path
+/// policy: D3/D7/D9 guard library code (src/, tools/) only — tests, benches
+/// and examples legitimately pin experiment-root seeds and expected
+/// counter values; D5's catalog-mutation check exempts src/storage/ and
+/// tests/storage/. `allRules` (fixture mode) disables the policy.
+std::vector<Finding> runRules(const SourceFile& sf, const RuleContext& ctx, bool allRules);
+
+/// Canonical rule ids, for --list-rules, SARIF metadata and suppression
+/// matching.
 std::vector<std::pair<std::string, std::string>> ruleTable();
 
 }  // namespace wfs::lint

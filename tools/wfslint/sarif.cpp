@@ -1,0 +1,97 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace wfs::lint {
+
+namespace {
+
+/// JSON string escaping per RFC 8259: the two mandatory escapes plus \uXXXX
+/// for control characters. Finding text is ASCII in practice but file paths
+/// need not be.
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sarifReport(const std::vector<Finding>& findings) {
+  const auto rules = ruleTable();
+  std::map<std::string, std::size_t> ruleIndex;
+  for (std::size_t i = 0; i < rules.size(); ++i) ruleIndex.emplace(rules[i].first, i);
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/"
+      "schemas/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"wfslint\",\n"
+      "          \"version\": \"2.0.0\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + jsonEscape(rules[i].first) +
+           "\", \"shortDescription\": {\"text\": \"" + jsonEscape(rules[i].second) +
+           "\"}, \"defaultConfiguration\": {\"level\": \"error\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const auto it = ruleIndex.find(f.ruleId);
+    out += "        {\"ruleId\": \"" + jsonEscape(f.ruleId) + "\"";
+    if (it != ruleIndex.end()) {
+      out += ", \"ruleIndex\": " + std::to_string(it->second);
+    }
+    out += ", \"level\": \"error\", \"message\": {\"text\": \"" +
+           jsonEscape(f.message + "; fix: " + f.fixit) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           jsonEscape(f.file) + "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+bool writeSarif(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << sarifReport(findings);
+  return static_cast<bool>(out);
+}
+
+}  // namespace wfs::lint

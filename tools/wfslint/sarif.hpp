@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace wfs::lint {
+
+/// Renders findings as a SARIF 2.1.0 log (one run, driver "wfslint", rule
+/// metadata from ruleTable()). Deterministic: callers pass findings already
+/// sorted, rule order is the table order, and no timestamps are emitted.
+/// An empty findings list still yields a valid log with `"results": []` so
+/// CI can upload unconditionally.
+std::string sarifReport(const std::vector<Finding>& findings);
+
+/// Writes sarifReport() to `path`. Returns false on I/O failure.
+bool writeSarif(const std::string& path, const std::vector<Finding>& findings);
+
+}  // namespace wfs::lint

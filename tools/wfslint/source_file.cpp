@@ -9,21 +9,35 @@ namespace wfs::lint {
 
 namespace {
 
+/// What a `wfslint:` comment annotation turned out to be.
+enum class AnnotationKind { kNone, kAllow, kHotBegin, kHotEnd };
+
 /// Parses one comment's text (without the `//` or `/* */` fences) looking
-/// for a wfslint annotation. Returns true and fills `rule`/`reason` when the
-/// marker is present — even with an empty reason, so the caller can report
-/// a bad suppression instead of silently ignoring it.
-bool parseAnnotation(const std::string& comment, std::string& rule, std::string& reason) {
+/// for a wfslint annotation. `allow(<rule>) <reason>` fills `rule`/`reason`
+/// — even with an empty reason, so the caller can report a bad suppression
+/// instead of silently ignoring it. `hot-begin(<name>)` fills `rule` with
+/// the region name; `hot-end` takes no operand.
+AnnotationKind parseAnnotation(const std::string& comment, std::string& rule,
+                               std::string& reason) {
   const std::string marker = "wfslint:";
   const std::size_t m = comment.find(marker);
-  if (m == std::string::npos) return false;
+  if (m == std::string::npos) return AnnotationKind::kNone;
   std::size_t i = m + marker.size();
   while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i])) != 0) ++i;
+  const std::string hotEnd = "hot-end";
+  if (comment.compare(i, hotEnd.size(), hotEnd) == 0) return AnnotationKind::kHotEnd;
+  const std::string hotBegin = "hot-begin(";
+  if (comment.compare(i, hotBegin.size(), hotBegin) == 0) {
+    const std::size_t close = comment.find(')', i + hotBegin.size());
+    if (close == std::string::npos) return AnnotationKind::kNone;
+    rule = comment.substr(i + hotBegin.size(), close - i - hotBegin.size());
+    return AnnotationKind::kHotBegin;
+  }
   const std::string verb = "allow(";
-  if (comment.compare(i, verb.size(), verb) != 0) return false;
+  if (comment.compare(i, verb.size(), verb) != 0) return AnnotationKind::kNone;
   i += verb.size();
   const std::size_t close = comment.find(')', i);
-  if (close == std::string::npos) return false;
+  if (close == std::string::npos) return AnnotationKind::kNone;
   rule = comment.substr(i, close - i);
   // Trim the rule token.
   while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front())) != 0) {
@@ -38,7 +52,7 @@ bool parseAnnotation(const std::string& comment, std::string& rule, std::string&
   const auto notSpace = [](char c) { return std::isspace(static_cast<unsigned char>(c)) == 0; };
   reason.erase(reason.begin(), std::find_if(reason.begin(), reason.end(), notSpace));
   reason.erase(std::find_if(reason.rbegin(), reason.rend(), notSpace).base(), reason.end());
-  return true;
+  return AnnotationKind::kAllow;
 }
 
 /// True when `stripped[start, lineStart)` holds only whitespace — i.e. the
@@ -93,7 +107,13 @@ SourceFile loadSource(const std::string& path, const std::string& displayPath) {
   auto finishComment = [&sf](const std::string& body, std::size_t startOffset) {
     std::string rule;
     std::string reason;
-    if (!parseAnnotation(body, rule, reason)) return;
+    const AnnotationKind kind = parseAnnotation(body, rule, reason);
+    if (kind == AnnotationKind::kNone) return;
+    if (kind == AnnotationKind::kHotBegin || kind == AnnotationKind::kHotEnd) {
+      sf.hotMarkers.push_back(
+          {sf.lineOf(startOffset), kind == AnnotationKind::kHotBegin, std::move(rule)});
+      return;
+    }
     Suppression s;
     s.line = sf.lineOf(startOffset);
     const auto [lineBegin, lineEnd] = sf.lineRange(s.line);

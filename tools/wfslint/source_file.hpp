@@ -18,6 +18,15 @@ struct Suppression {
   std::string reason;    ///< Trailing comment text; must be non-empty.
 };
 
+/// One hot-region marker: `wfslint: hot-begin(<name>)` opens an allocation-
+/// free region (rule D8), `wfslint: hot-end` closes it. Markers are kept as
+/// a flat list; rules.cpp pairs them and reports stray or unterminated ones.
+struct HotMarker {
+  int line = 0;      ///< 1-based line the comment sits on.
+  bool begin = false;
+  std::string name;  ///< Region label from hot-begin(<name>); empty on end.
+};
+
 /// A source file prepared for the token/regex tier: `stripped` mirrors the
 /// original byte-for-byte in layout (same length, same newlines) but has
 /// comment bodies and string/char literal contents blanked to spaces, so
@@ -29,6 +38,7 @@ struct SourceFile {
                            ///< their include targets only here).
   std::string stripped;
   std::vector<Suppression> suppressions;
+  std::vector<HotMarker> hotMarkers;
   bool loadFailed = false;
 
   /// Line (1-based) containing byte `offset` of `stripped`.
