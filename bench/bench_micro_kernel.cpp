@@ -137,6 +137,33 @@ void BM_FlowNetworkReshare(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowNetworkReshare)->Arg(64)->Arg(256);
 
+void BM_FlowSameTimestampBurst(benchmark::State& state) {
+  // The fan-out moment of a workflow stage: N identical transfers admitted
+  // at one simulated instant over a small shared capacity set, and (being
+  // identical) all completing at one instant too. Same-timestamp settle
+  // coalescing folds each burst into a single component recompute; the
+  // per-touch oracle pays one recompute per admission and completion.
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FlowNetwork fn{sim};
+    std::vector<std::unique_ptr<net::Capacity>> caps;
+    for (int i = 0; i < 8; ++i) {
+      caps.push_back(std::make_unique<net::Capacity>(fn, MBps(100), "c"));
+    }
+    for (int i = 0; i < flows; ++i) {
+      net::Path p{{caps[static_cast<std::size_t>(i) % caps.size()].get(), 1.0},
+                  {caps[static_cast<std::size_t>(i + 3) % caps.size()].get(), 1.0}};
+      sim.spawn([](net::FlowNetwork& n, net::Path path) -> sim::Task<void> {
+        co_await n.transfer(std::move(path), 10_MB);
+      }(fn, p));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowSameTimestampBurst)->Arg(64)->Arg(1024);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "blk/chunk_coverage.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace wfs::blk {
+
+ChunkCoverage::ChunkCoverage(Bytes capacity, Bytes chunk)
+    : capacity_{capacity}, chunk_{chunk} {
+  assert(capacity >= 0 && chunk > 0);
+  numChunks_ = static_cast<std::size_t>((capacity + chunk - 1) / chunk);
+  bits_.assign((numChunks_ + 63) / 64, 0);
+}
+
+Bytes ChunkCoverage::spanOf(std::size_t i) const {
+  const Bytes begin = static_cast<Bytes>(i) * chunk_;
+  return std::min(capacity_, begin + chunk_) - begin;
+}
+
+void ChunkCoverage::insert(Bytes begin, Bytes end) {
+  assert(begin >= 0 && end <= capacity_);
+  assert(begin % chunk_ == 0);
+  assert(end % chunk_ == 0 || end == capacity_);
+  if (end <= begin) return;
+  const auto first = static_cast<std::size_t>(begin / chunk_);
+  const auto last = static_cast<std::size_t>((end + chunk_ - 1) / chunk_);
+  for (std::size_t i = first; i < last; ++i) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if ((bits_[i >> 6] & mask) == 0) {
+      bits_[i >> 6] |= mask;
+      total_ += spanOf(i);
+    }
+  }
+}
+
+Bytes ChunkCoverage::coveredWithin(Bytes begin, Bytes end) const {
+  begin = std::max<Bytes>(begin, 0);
+  end = std::min(end, capacity_);
+  if (end <= begin) return 0;
+  const auto first = static_cast<std::size_t>(begin / chunk_);
+  const auto last = static_cast<std::size_t>((end - 1) / chunk_);  // inclusive
+  if (first == last) {
+    return isSet(first) ? end - begin : 0;
+  }
+  Bytes covered = 0;
+  // Partial (or capacity-cut) edge chunks, measured exactly.
+  if (isSet(first)) {
+    covered += std::min(end, static_cast<Bytes>(first + 1) * chunk_) - begin;
+  }
+  if (isSet(last)) {
+    covered += end - static_cast<Bytes>(last) * chunk_;
+  }
+  // Interior chunks are fully inside [begin, end) and never capacity-cut
+  // (a capacity-cut chunk is the device's last, which here would be the
+  // query's last): each set bit contributes exactly chunk_ bytes, counted
+  // a word at a time.
+  std::size_t i = first + 1;       // first interior chunk
+  const std::size_t e = last;      // one past the interior range
+  std::size_t interiorSet = 0;
+  while (i < e) {
+    const std::size_t w = i >> 6;
+    const std::size_t wordEnd = std::min(e, (w + 1) << 6);
+    std::uint64_t word = bits_[w];
+    // Mask to [i, wordEnd) within this word.
+    word &= ~std::uint64_t{0} << (i & 63);
+    if ((wordEnd & 63) != 0) {
+      word &= (std::uint64_t{1} << (wordEnd & 63)) - 1;
+    }
+    interiorSet += static_cast<std::size_t>(std::popcount(word));
+    i = wordEnd;
+  }
+  covered += static_cast<Bytes>(interiorSet) * chunk_;
+  return covered;
+}
+
+}  // namespace wfs::blk

@@ -8,8 +8,12 @@
 namespace wfs::blk {
 
 Disk::Disk(net::FlowNetwork& net, const Config& cfg, std::string name)
-    : net_{&net}, cfg_{cfg}, service_{net, 1.0, std::move(name)} {
+    : net_{&net},
+      cfg_{cfg},
+      service_{net, 1.0, std::move(name)},
+      extents_{cfg.capacityBytes, cfg.initChunk} {
   assert(cfg.readRate > 0 && cfg.writeRate > 0 && cfg.firstWriteRate > 0);
+  assert(cfg.initChunk > 0);
 }
 
 Bytes Disk::allocate(Bytes size) {

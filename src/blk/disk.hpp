@@ -3,7 +3,7 @@
 #include <memory>
 #include <string>
 
-#include "blk/extent_set.hpp"
+#include "blk/chunk_coverage.hpp"
 #include "net/flow_network.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
@@ -97,7 +97,7 @@ class Disk : public BlockStore {
   net::FlowNetwork* net_;
   Config cfg_;
   net::Capacity service_;
-  ExtentSet extents_;
+  ChunkCoverage extents_;
   std::uint64_t allocCounter_ = 0;
 };
 

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "prof/zone.hpp"
 
 namespace wfs::net {
 
@@ -20,36 +23,114 @@ constexpr double kMinRate = 1e-3;
 /// Loads below this are floating-point residue from subtracting frozen
 /// flows' weights, not real demand (legitimate weights are > 1e-9).
 constexpr double kLoadEps = 1e-12;
-/// Component closure is abandoned for a full recompute after this many
-/// passes; real topologies are star-shaped and converge in two or three.
-constexpr int kMaxClosurePasses = 8;
+[[nodiscard]] bool envTruthy(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
 }  // namespace
 
 Capacity::Capacity(FlowNetwork& net, Rate rate, std::string name)
-    : net_{&net}, rate_{rate}, name_{std::move(name)} {
-  assert(rate > 0);
-  net_->capacities_.push_back(this);
-}
+    : net_{&net}, idx_{net.registerCap(rate)}, name_{std::move(name)} {}
 
-Capacity::~Capacity() {
-  auto& caps = net_->capacities_;
-  caps.erase(std::remove(caps.begin(), caps.end(), this), caps.end());
-}
+Capacity::~Capacity() { net_->unregisterCap(idx_); }
 
-void Capacity::setRate(Rate r) {
-  assert(r > 0);
-  if (r == rate_) return;
+Rate Capacity::rate() const { return net_->capRate_[idx_]; }
+
+void Capacity::setRate(Rate r) { net_->setCapRate(idx_, r); }
+
+double Capacity::serviceBytes() const {
+  // Settle barrier: a coalesced batch may still be pending at this instant;
+  // apply it, then bring the service integrals up to now(). (The pending
+  // reshare only changes rates from this instant forward, so the order of
+  // the two calls does not affect the integral.)
+  net_->flushSettles();
   net_->settle();
-  rate_ = r;
-  net_->beginReshare();
-  net_->seedCap(this);
-  net_->reshareTouched();
+  return net_->capService_[idx_];
 }
 
-FlowNetwork::FlowNetwork(sim::Simulator& sim) : sim_{&sim} {
-  const char* env = std::getenv("WFS_SETTLE_VERIFY");
-  verifySettle_ = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+FlowNetwork::FlowNetwork(sim::Simulator& sim)
+    : sim_{&sim},
+      flowRemaining_{sim::ArenaAllocator<double>{&sim.arena()}},
+      flowRate_{sim::ArenaAllocator<double>{&sim.arena()}},
+      flowMark_{sim::ArenaAllocator<std::uint64_t>{&sim.arena()}},
+      flowSeq_{sim::ArenaAllocator<std::uint64_t>{&sim.arena()}},
+      flowWaiter_{sim::ArenaAllocator<std::coroutine_handle<>>{&sim.arena()}},
+      flowHopBegin_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      flowHopCount_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      flowHopRoom_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      hopCap_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      hopWeight_{sim::ArenaAllocator<double>{&sim.arena()}},
+      hopSlot_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      hopNext_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      hopPrev_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      order_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      freeSlots_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      capRate_{sim::ArenaAllocator<double>{&sim.arena()}},
+      capService_{sim::ArenaAllocator<double>{&sim.arena()}},
+      capResidual_{sim::ArenaAllocator<double>{&sim.arena()}},
+      capLoad_{sim::ArenaAllocator<double>{&sim.arena()}},
+      capUsed_{sim::ArenaAllocator<double>{&sim.arena()}},
+      capMark_{sim::ArenaAllocator<std::uint64_t>{&sim.arena()}},
+      capSeq_{sim::ArenaAllocator<std::uint64_t>{&sim.arena()}},
+      capHead_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      capOrder_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      capFree_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      seedCaps_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      compCaps_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      compFlows_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      unfrozen_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      batchRateTouches_{sim::ArenaAllocator<RateTouch>{&sim.arena()}} {
+  verifySettle_ = envTruthy("WFS_SETTLE_VERIFY");
+  const char* co = std::getenv("WFS_SETTLE_COALESCE");
+  if (co != nullptr && co[0] == '0' && co[1] == '\0') coalesce_ = false;
+  const char* eps = std::getenv("WFS_SETTLE_EPS");
+  if (eps != nullptr && eps[0] != '\0') settleEps_ = std::max(0.0, std::atof(eps));
 }
+
+std::uint32_t FlowNetwork::registerCap(Rate rate) {
+  assert(rate > 0);
+  std::uint32_t idx;
+  if (capFree_.empty()) {
+    idx = static_cast<std::uint32_t>(capRate_.size());
+    capRate_.push_back(rate);
+    capService_.push_back(0.0);
+    capResidual_.push_back(0.0);
+    capLoad_.push_back(0.0);
+    capUsed_.push_back(0.0);
+    capMark_.push_back(0);
+    capSeq_.push_back(0);
+    capHead_.push_back(kInvalidIndex);
+  } else {
+    idx = capFree_.back();
+    capFree_.pop_back();
+    capRate_[idx] = rate;
+    capService_[idx] = 0.0;
+    capResidual_[idx] = 0.0;
+    capLoad_[idx] = 0.0;
+    capUsed_[idx] = 0.0;
+    capMark_[idx] = 0;
+    capHead_[idx] = kInvalidIndex;
+  }
+  capSeq_[idx] = ++capSeqGen_;
+  capOrder_.push_back(idx);
+  return idx;
+}
+
+void FlowNetwork::unregisterCap(std::uint32_t idx) {
+  capOrder_.erase(std::remove(capOrder_.begin(), capOrder_.end(), idx), capOrder_.end());
+  capFree_.push_back(idx);
+}
+
+void FlowNetwork::setCoalesce(bool on) {
+  // Apply any pending batch before switching modes so both modes start
+  // from settled state; a stale flush event fires as a no-op.
+  if (!on) flushSettles();
+  coalesce_ = on;
+}
+
+void FlowNetwork::setSettleEpsilon(double eps) { settleEps_ = std::max(0.0, eps); }
+
+void FlowNetwork::setVerifySettle(bool on) { verifySettle_ = on; }
 
 sim::Task<void> FlowNetwork::transfer(Path path, Bytes bytes) {
   // The awaiter is trivially destructible on purpose: it borrows the path
@@ -60,18 +141,17 @@ sim::Task<void> FlowNetwork::transfer(Path path, Bytes bytes) {
     Path* path;
     double bytes;
     [[nodiscard]] bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) const {
-      net->addFlow(std::move(*path), bytes, h);
-    }
+    void await_suspend(std::coroutine_handle<> h) const { net->addFlow(*path, bytes, h); }
     void await_resume() const noexcept {}
   };
   co_await Awaiter{this, &path, static_cast<double>(bytes)};
 }
 
-// wfslint: hot-begin(flow-settle) addFlow/settle/reshare/fill run on every
-// transfer start and completion; the slab, epoch marks and reused scratch
-// vectors exist so nothing here heap-allocates in steady state.
-void FlowNetwork::addFlow(Path path, double bytes, std::coroutine_handle<> waiter) {
+// wfslint: hot-begin(flow-settle) addFlow/settle/batch/reshare/fill run on
+// every transfer start and completion; the struct-of-arrays slabs, epoch
+// marks and reused scratch vectors exist so nothing here heap-allocates in
+// steady state (the arena absorbs the slab growth itself).
+void FlowNetwork::addFlow(const Path& path, double bytes, std::coroutine_handle<> waiter) {
   totalBytes_ += bytes;
   if (bytes <= kDoneEps || path.empty()) {
     // Nothing to bottleneck on: complete on the next scheduling round.
@@ -80,24 +160,67 @@ void FlowNetwork::addFlow(Path path, double bytes, std::coroutine_handle<> waite
     return;
   }
   settle();
+  const auto nh = static_cast<std::uint32_t>(path.size());
   std::uint32_t slot;
   if (freeSlots_.empty()) {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
+    slot = static_cast<std::uint32_t>(flowRemaining_.size());
+    flowRemaining_.push_back(0.0);
+    flowRate_.push_back(0.0);
+    flowMark_.push_back(0);
+    flowSeq_.push_back(0);
+    flowWaiter_.emplace_back();
+    flowHopBegin_.push_back(0);
+    flowHopCount_.push_back(0);
+    flowHopRoom_.push_back(0);
   } else {
     slot = freeSlots_.back();
     freeSlots_.pop_back();
   }
-  Flow& f = slab_[slot];
-  f.path = std::move(path);  // reuses the retired path's heap block
-  f.remaining = bytes;
-  f.rate = 0.0;
-  f.waiter = waiter;
-  f.mark = 0;
+  // Hop ranges live in one flat array; a recycled slot keeps its old range
+  // when the new path fits (steady-state transfers reuse without growing).
+  if (nh > flowHopRoom_[slot]) {
+    flowHopBegin_[slot] = static_cast<std::uint32_t>(hopCap_.size());
+    flowHopRoom_[slot] = nh;
+    hopCap_.resize(hopCap_.size() + nh);
+    hopWeight_.resize(hopWeight_.size() + nh);
+    hopSlot_.resize(hopCap_.size());
+    hopNext_.resize(hopCap_.size());
+    hopPrev_.resize(hopCap_.size());
+  }
+  const std::uint32_t hb = flowHopBegin_[slot];
+  flowHopCount_[slot] = nh;
+  for (std::uint32_t i = 0; i < nh; ++i) {
+    const std::uint32_t h = hb + i;
+    const std::uint32_t c = path[i].cap->idx_;
+    hopCap_[h] = c;
+    hopWeight_[h] = path[i].weight;
+    // Link the hop at the head of its capacity's incidence chain.
+    hopSlot_[h] = slot;
+    hopPrev_[h] = kInvalidIndex;
+    hopNext_[h] = capHead_[c];
+    if (capHead_[c] != kInvalidIndex) hopPrev_[capHead_[c]] = h;
+    capHead_[c] = h;
+  }
+  flowRemaining_[slot] = bytes;
+  flowRate_[slot] = 0.0;
+  flowWaiter_[slot] = waiter;
+  flowMark_[slot] = 0;
+  flowSeq_[slot] = ++flowSeqGen_;
   order_.push_back(slot);
-  beginReshare();
-  for (const Hop& hop : f.path) seedCap(hop.cap);
-  reshareTouched();
+  openBatch();
+  for (std::uint32_t i = 0; i < nh; ++i) seedCap(hopCap_[hb + i]);
+  noteTouched(true);
+}
+
+void FlowNetwork::setCapRate(std::uint32_t idx, Rate r) {
+  assert(r > 0);
+  if (r == capRate_[idx]) return;
+  settle();
+  openBatch();
+  batchRateTouches_.push_back({idx, capRate_[idx]});
+  capRate_[idx] = r;
+  seedCap(idx);
+  noteTouched(false);
 }
 
 void FlowNetwork::settle() {
@@ -105,141 +228,209 @@ void FlowNetwork::settle() {
   const double dt = (now - lastSettle_).asSeconds();
   lastSettle_ = now;
   if (dt <= 0.0) return;
-  for (const std::uint32_t slot : order_) {
-    Flow& f = slab_[slot];
-    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  WFPROF_ZONE("net/settle");
+  for (const std::uint32_t s : order_) {
+    flowRemaining_[s] = std::max(0.0, flowRemaining_[s] - flowRate_[s] * dt);
   }
-  for (Capacity* c : capacities_) {
-    c->serviceBytes_ += c->usedRate_ * dt;
+  for (const std::uint32_t c : capOrder_) {
+    capService_[c] += capUsed_[c] * dt;
   }
 }
 
-void FlowNetwork::beginReshare() { ++epoch_; }
+void FlowNetwork::openBatch() {
+  if (dirty_) return;  // joins the batch already open at this instant
+  dirty_ = true;
+  batchStructural_ = false;
+  batchRateTouches_.clear();
+  seedCaps_.clear();
+  ++epoch_;
+}
 
-void FlowNetwork::seedCap(Capacity* c) { c->mark_ = epoch_; }
+void FlowNetwork::noteTouched(bool structural) {
+  ++settleTouches_;
+  if (structural) batchStructural_ = true;
+  if (!coalesce_) {
+    // Per-touch oracle mode: recompute immediately, exactly like the
+    // pre-batching engine (one epoch per touch).
+    flushSettles();
+    return;
+  }
+  if (!flushScheduled_) {
+    // One zero-delay event per batch; it runs after every same-instant
+    // touch (later seq) and before simulated time can advance. A barrier
+    // call may have flushed already by then — the event no-ops on clean.
+    flushScheduled_ = true;
+    sim_->schedule(sim::Duration::zero(), [this] {
+      flushScheduled_ = false;
+      flushSettles();
+    });
+  }
+}
+
+void FlowNetwork::flushSettles() {
+  if (!dirty_) return;
+  dirty_ = false;
+  const double eps = verifySettle_ ? 0.0 : settleEps_;
+  if (!batchStructural_ && eps > 0.0) {
+    // Rate-only batch: when every change stayed within the relative
+    // epsilon, keep current flow rates (and the pending completion event,
+    // which remains valid for unchanged rates). The next structural touch
+    // recomputes exactly.
+    bool withinEps = true;
+    for (const RateTouch& t : batchRateTouches_) {
+      if (std::fabs(capRate_[t.idx] - t.oldRate) > eps * t.oldRate) {
+        withinEps = false;
+        break;
+      }
+    }
+    if (withinEps) {
+      ++fastPathSkips_;
+      return;
+    }
+  }
+  reshareTouched();
+}
 
 void FlowNetwork::reshareTouched() {
-  // Close the seed set under path-sharing: a flow joins the component when
-  // any capacity on its path is marked, then marks the rest of its path.
-  // Cluster topologies are star-shaped around shared fabric/disk
-  // capacities, so this converges in two or three passes (one when the
-  // component turns out to be everything, the common case); pathological
-  // chains fall back to the (always-correct) full recompute.
+  WFPROF_ZONE("net/reshare");
+  // Close the seed set under path-sharing with a worklist walk over the
+  // per-capacity incidence chains: a flow joins the component when any
+  // capacity on its path is marked, then marks (and enqueues) the rest of
+  // its path. Cost is proportional to the component's hop count, not the
+  // number of active flows — a settle in one transfer's corner of a large
+  // simulation no longer scans everything. The set is the exact connected
+  // component; fill() over it is bit-identical to a global recompute on
+  // the untouched remainder (disjoint components don't interact).
   compFlows_.clear();
-  int passes = 0;
-  bool grew = true;
-  while (grew && compFlows_.size() < order_.size()) {
-    grew = false;
-    if (++passes > kMaxClosurePasses) {
-      compFlows_.clear();
-      for (const std::uint32_t slot : order_) {
-        Flow& f = slab_[slot];
-        f.mark = epoch_;
-        compFlows_.push_back(&f);
-        for (const Hop& hop : f.path) hop.cap->mark_ = epoch_;
-      }
-      break;
-    }
-    for (const std::uint32_t slot : order_) {
-      Flow& f = slab_[slot];
-      if (f.mark == epoch_) continue;
-      bool touched = false;
-      for (const Hop& hop : f.path) {
-        if (hop.cap->mark_ == epoch_) {
-          touched = true;
-          break;
-        }
-      }
-      if (!touched) continue;
-      f.mark = epoch_;
-      compFlows_.push_back(&f);
-      for (const Hop& hop : f.path) {
-        if (hop.cap->mark_ != epoch_) {
-          hop.cap->mark_ = epoch_;
-          grew = true;
+  for (std::size_t i = 0; i < seedCaps_.size(); ++i) {
+    const std::uint32_t c = seedCaps_[i];
+    for (std::uint32_t h = capHead_[c]; h != kInvalidIndex; h = hopNext_[h]) {
+      const std::uint32_t s = hopSlot_[h];
+      if (flowMark_[s] == epoch_) continue;
+      flowMark_[s] = epoch_;
+      compFlows_.push_back(s);
+      const std::uint32_t hb = flowHopBegin_[s];
+      const std::uint32_t he = hb + flowHopCount_[s];
+      for (std::uint32_t k = hb; k < he; ++k) {
+        const std::uint32_t c2 = hopCap_[k];
+        if (capMark_[c2] != epoch_) {
+          capMark_[c2] = epoch_;
+          seedCaps_.push_back(c2);
         }
       }
     }
   }
-  // compFlows_ was appended to across passes, so restore admission order —
-  // progressive filling freezes flows in iteration order and floating-point
-  // accumulation is order-sensitive: the component-restricted recompute
-  // must replay exactly the operation sequence the global algorithm would
-  // apply to this component. Single-pass closures are already sorted.
-  if (passes > 1) {
+  // Restore canonical order — progressive filling freezes flows in
+  // iteration order and floating-point accumulation is order-sensitive:
+  // the component-restricted recompute must replay exactly the operation
+  // sequence the global algorithm would apply to this component, so flows
+  // go in admission order and capacities in registration order. Two
+  // routes produce that exact subsequence (sequence numbers increase
+  // strictly along order_/capOrder_): sorting the component by per-slot
+  // sequence number, or filtering the canonical list by epoch mark. Sort
+  // when the component is a sliver of the active set (many independent
+  // transfers), filter when it is most of it (one shared bottleneck, the
+  // NFS/S3 server case) — the linear scan is cheaper than k·log k there.
+  if (compFlows_.size() * 4 >= order_.size()) {
     compFlows_.clear();
-    for (const std::uint32_t slot : order_) {
-      Flow& f = slab_[slot];
-      if (f.mark == epoch_) compFlows_.push_back(&f);
+    for (const std::uint32_t s : order_) {
+      if (flowMark_[s] == epoch_) compFlows_.push_back(s);
     }
+  } else {
+    std::sort(compFlows_.begin(), compFlows_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return flowSeq_[a] < flowSeq_[b]; });
   }
+  // seedCaps_ is exactly the marked set (every capMark_ stamp pushes), minus
+  // any slot recycled by an unregister/register pair inside the batch —
+  // re-registration resets the mark, and the filter drops those.
   compCaps_.clear();
-  for (Capacity* c : capacities_) {
-    if (c->mark_ == epoch_) compCaps_.push_back(c);
+  if (seedCaps_.size() * 4 >= capOrder_.size()) {
+    for (const std::uint32_t c : capOrder_) {
+      if (capMark_[c] == epoch_) compCaps_.push_back(c);
+    }
+  } else {
+    for (const std::uint32_t c : seedCaps_) {
+      if (capMark_[c] == epoch_) compCaps_.push_back(c);
+    }
+    std::sort(compCaps_.begin(), compCaps_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return capSeq_[a] < capSeq_[b]; });
   }
   fill(compCaps_, compFlows_);
   if (verifySettle_) verifyAgainstGlobal();
   scheduleNextCompletion();
 }
 
-void FlowNetwork::fill(const std::vector<Capacity*>& caps,
-                       const std::vector<Flow*>& flows) {
+void FlowNetwork::fill(const AVec<std::uint32_t>& caps, const AVec<std::uint32_t>& flows) {
+  WFPROF_ZONE("net/fill");
+  ++fillCount_;
   // Weighted progressive filling. All unfrozen flows rise at a common fill
-  // level phi; the capacity with the smallest residual_/load_ saturates
+  // level phi; the capacity with the smallest residual/load saturates
   // first and freezes its flows at that level. `caps`/`flows` must be
   // closed under path-sharing: every capacity on an unfrozen flow's path
   // is in `caps`.
-  for (Capacity* c : caps) {
-    c->residual_ = c->rate_;
-    c->load_ = 0.0;
-    c->usedRate_ = 0.0;
+  for (const std::uint32_t c : caps) {
+    capResidual_[c] = capRate_[c];
+    capLoad_[c] = 0.0;
+    capUsed_[c] = 0.0;
   }
   unfrozen_.assign(flows.begin(), flows.end());
-  for (const Flow* f : unfrozen_) {
-    for (const Hop& hop : f->path) hop.cap->load_ += hop.weight;
+  for (const std::uint32_t s : unfrozen_) {
+    const std::uint32_t hb = flowHopBegin_[s];
+    const std::uint32_t he = hb + flowHopCount_[s];
+    for (std::uint32_t h = hb; h < he; ++h) capLoad_[hopCap_[h]] += hopWeight_[h];
   }
 
   while (!unfrozen_.empty()) {
-    Capacity* bottleneck = nullptr;
+    std::uint32_t bottleneck = kInvalidIndex;
     double phi = std::numeric_limits<double>::infinity();
-    for (Capacity* c : caps) {
-      if (c->load_ <= kLoadEps) continue;
-      const double cPhi = std::max(c->residual_, 0.0) / c->load_;
+    for (const std::uint32_t c : caps) {
+      if (capLoad_[c] <= kLoadEps) continue;
+      const double cPhi = std::max(capResidual_[c], 0.0) / capLoad_[c];
       if (cPhi < phi) {
         phi = cPhi;
         bottleneck = c;
       }
     }
-    assert(bottleneck != nullptr && "every flow has a non-empty, closed path");
+    assert(bottleneck != kInvalidIndex && "every flow has a non-empty, closed path");
     phi = std::max(phi, 0.0);
 
-    // Freeze every unfrozen flow passing through the bottleneck.
-    auto isThrough = [bottleneck](const Flow* f) {
-      for (const Hop& hop : f->path) {
-        if (hop.cap == bottleneck) return true;
-      }
-      return false;
-    };
+    // Freeze every unfrozen flow passing through the bottleneck. One
+    // in-place compacting pass: frozen flows' capacity updates happen in
+    // encounter order and survivors keep their relative order, exactly the
+    // operation sequence the erase-based loop produced — without its
+    // quadratic element shifting.
+    std::size_t out = 0;
     bool frozeAny = false;
-    for (auto it = unfrozen_.begin(); it != unfrozen_.end();) {
-      Flow* f = *it;
-      if (!isThrough(f)) {
-        ++it;
+    for (const std::uint32_t s : unfrozen_) {
+      const std::uint32_t hb = flowHopBegin_[s];
+      const std::uint32_t he = hb + flowHopCount_[s];
+      bool through = false;
+      for (std::uint32_t h = hb; h < he; ++h) {
+        if (hopCap_[h] == bottleneck) {
+          through = true;
+          break;
+        }
+      }
+      if (!through) {
+        unfrozen_[out++] = s;
         continue;
       }
-      f->rate = std::max(phi, kMinRate);
-      for (const Hop& hop : f->path) {
-        hop.cap->residual_ -= phi * hop.weight;
-        hop.cap->load_ -= hop.weight;
-        hop.cap->usedRate_ += f->rate * hop.weight;
+      const double r = std::max(phi, kMinRate);
+      flowRate_[s] = r;
+      for (std::uint32_t h = hb; h < he; ++h) {
+        const std::uint32_t c = hopCap_[h];
+        const double w = hopWeight_[h];
+        capResidual_[c] -= phi * w;
+        capLoad_[c] -= w;
+        capUsed_[c] += r * w;
       }
-      it = unfrozen_.erase(it);
       frozeAny = true;
     }
+    unfrozen_.resize(out);
     if (!frozeAny) {
       // Defensive: the bottleneck's load was pure residue after all; zero
       // it so the next iteration picks a real one instead of spinning.
-      bottleneck->load_ = 0.0;
+      capLoad_[bottleneck] = 0.0;
     }
   }
 }
@@ -249,71 +440,80 @@ void FlowNetwork::verifyAgainstGlobal() {
   // Bit-pattern snapshots (not ==) so the check is exact and wfslint-clean.
   std::vector<std::uint64_t> flowBits;
   flowBits.reserve(order_.size());
-  std::vector<Flow*> all;
-  all.reserve(order_.size());
-  for (const std::uint32_t slot : order_) {
-    flowBits.push_back(std::bit_cast<std::uint64_t>(slab_[slot].rate));
-    all.push_back(&slab_[slot]);
+  for (const std::uint32_t s : order_) {
+    flowBits.push_back(std::bit_cast<std::uint64_t>(flowRate_[s]));
   }
   std::vector<std::uint64_t> capBits;
-  capBits.reserve(capacities_.size());
-  for (const Capacity* c : capacities_) {
-    capBits.push_back(std::bit_cast<std::uint64_t>(c->usedRate_));
+  capBits.reserve(capOrder_.size());
+  for (const std::uint32_t c : capOrder_) {
+    capBits.push_back(std::bit_cast<std::uint64_t>(capUsed_[c]));
   }
 
-  fill(capacities_, all);
+  fill(capOrder_, order_);
 
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    if (std::bit_cast<std::uint64_t>(all[i]->rate) != flowBits[i]) {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(flowRate_[order_[i]]) != flowBits[i]) {
       throw std::logic_error(
           "WFS_SETTLE_VERIFY: incremental reshare diverged from global on flow #" +
           std::to_string(i));
     }
   }
-  std::size_t i = 0;
-  for (const Capacity* c : capacities_) {
-    if (std::bit_cast<std::uint64_t>(c->usedRate_) != capBits[i]) {
+  for (std::size_t i = 0; i < capOrder_.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(capUsed_[capOrder_[i]]) != capBits[i]) {
       throw std::logic_error(
-          "WFS_SETTLE_VERIFY: incremental reshare diverged from global on capacity '" +
-          c->name_ + "'");
+          "WFS_SETTLE_VERIFY: incremental reshare diverged from global on capacity #" +
+          std::to_string(i));
     }
-    ++i;
   }
 }
 
 // wfslint: hot-begin(flow-completion) fires once per transfer completion.
 void FlowNetwork::scheduleNextCompletion() {
+  WFPROF_ZONE("net/schedule-completion");
   if (eventPending_) {
     sim_->cancel(pendingEvent_);
     eventPending_ = false;
   }
   if (order_.empty()) return;
   double soonest = std::numeric_limits<double>::infinity();
-  for (const std::uint32_t slot : order_) {
-    const Flow& f = slab_[slot];
-    soonest = std::min(soonest, f.remaining / f.rate);
+  for (const std::uint32_t s : order_) {
+    soonest = std::min(soonest, flowRemaining_[s] / flowRate_[s]);
   }
   // fromSeconds rounds up, so the event lands at-or-after true completion.
   pendingEvent_ = sim_->schedule(sim::Duration::fromSeconds(soonest), [this] {
     eventPending_ = false;
     settle();
-    beginReshare();
+    openBatch();
     completeFinishedFlows();
-    reshareTouched();
+    noteTouched(true);
   });
   eventPending_ = true;
 }
 
 void FlowNetwork::completeFinishedFlows() {
+  WFPROF_ZONE("net/complete-flows");
   // Single compacting pass keeps order_ in admission order and resumes
   // completions in that same deterministic order.
   std::size_t out = 0;
   for (const std::uint32_t slot : order_) {
-    Flow& f = slab_[slot];
-    if (f.remaining <= kDoneEps) {
+    if (flowRemaining_[slot] <= kDoneEps) {
       ++completedFlows_;
-      for (const Hop& hop : f.path) seedCap(hop.cap);
-      sim_->schedule(sim::Duration::zero(), [h = f.waiter] { h.resume(); });
+      const std::uint32_t hb = flowHopBegin_[slot];
+      const std::uint32_t he = hb + flowHopCount_[slot];
+      for (std::uint32_t h = hb; h < he; ++h) {
+        seedCap(hopCap_[h]);
+        // Unlink from the capacity's incidence chain (the slot's hop range
+        // is reused by the next flow admitted into it).
+        const std::uint32_t p = hopPrev_[h];
+        const std::uint32_t n = hopNext_[h];
+        if (p != kInvalidIndex) {
+          hopNext_[p] = n;
+        } else {
+          capHead_[hopCap_[h]] = n;
+        }
+        if (n != kInvalidIndex) hopPrev_[n] = p;
+      }
+      sim_->schedule(sim::Duration::zero(), [h = flowWaiter_[slot]] { h.resume(); });
       freeSlots_.push_back(slot);
     } else {
       order_[out++] = slot;

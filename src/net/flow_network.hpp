@@ -2,9 +2,11 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "simcore/arena.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/task.hpp"
 #include "simcore/units.hpp"
@@ -16,7 +18,11 @@ class FlowNetwork;
 /// A shared bottleneck: NIC direction, fabric stage, or disk service.
 ///
 /// Capacities are registered with one FlowNetwork; flows traverse a path of
-/// capacities and receive a weighted max–min fair share of each.
+/// capacities and receive a weighted max–min fair share of each. The object
+/// is a stable handle — the hot per-capacity state (rate, load, residual,
+/// service integral, epoch mark) lives in the network's struct-of-arrays
+/// slabs, keyed by the registration index, so settle passes walk contiguous
+/// memory instead of chasing one heap object per capacity.
 class Capacity {
  public:
   Capacity(FlowNetwork& net, Rate rate, std::string name = {});
@@ -24,7 +30,7 @@ class Capacity {
   Capacity& operator=(const Capacity&) = delete;
   ~Capacity();
 
-  [[nodiscard]] Rate rate() const { return rate_; }
+  [[nodiscard]] Rate rate() const;
   /// Changing the rate re-shares the flows sharing a component with this
   /// capacity (used for degraded modes).
   void setRate(Rate r);
@@ -32,21 +38,15 @@ class Capacity {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Integral of in-use rate over time, in bytes; divide by elapsed seconds
-  /// times rate() for average utilization.
-  [[nodiscard]] double serviceBytes() const { return serviceBytes_; }
+  /// times rate() for average utilization. Acts as a settle barrier: any
+  /// batched same-instant reshare is applied before the value is read.
+  [[nodiscard]] double serviceBytes() const;
 
  private:
   friend class FlowNetwork;
   FlowNetwork* net_;
-  Rate rate_;
+  std::uint32_t idx_;
   std::string name_;
-  double serviceBytes_ = 0.0;
-
-  // Scratch used during recompute/settle.
-  double residual_ = 0.0;
-  double load_ = 0.0;
-  double usedRate_ = 0.0;
-  std::uint64_t mark_ = 0;  ///< component-walk epoch stamp
 };
 
 /// One hop of a flow's path. `weight` scales how much of the capacity each
@@ -58,7 +58,100 @@ struct Hop {
   double weight = 1.0;
 };
 
-using Path = std::vector<Hop>;
+/// Flow path with inline storage for the common case. Every real topology
+/// in the repo builds 1-4 hops (nic tx -> core -> nic rx, plus at most a
+/// device/controller stage), and a path is built per transfer on the hot
+/// path — inline storage keeps that completely allocation-free, falling
+/// back to the heap only for synthetic deep paths.
+class Path {
+ public:
+  Path() noexcept = default;
+  Path(std::initializer_list<Hop> hops) {
+    for (const Hop& h : hops) push_back(h);
+  }
+  Path(const Path& other) { copyFrom(other); }
+  Path(Path&& other) noexcept { moveFrom(other); }
+  Path& operator=(const Path& other) {
+    if (this != &other) {
+      reset();
+      copyFrom(other);
+    }
+    return *this;
+  }
+  Path& operator=(Path&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  ~Path() { delete[] heap_; }
+
+  void push_back(const Hop& h) {
+    if (size_ == cap_) grow();
+    data()[size_++] = h;
+  }
+  void clear() noexcept { size_ = 0; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] Hop& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const Hop& operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] Hop* begin() noexcept { return data(); }
+  [[nodiscard]] Hop* end() noexcept { return data() + size_; }
+  [[nodiscard]] const Hop* begin() const noexcept { return data(); }
+  [[nodiscard]] const Hop* end() const noexcept { return data() + size_; }
+  [[nodiscard]] Hop& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] const Hop& back() const noexcept { return data()[size_ - 1]; }
+
+ private:
+  static constexpr std::uint32_t kInline = 4;
+
+  [[nodiscard]] Hop* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+  [[nodiscard]] const Hop* data() const noexcept { return heap_ != nullptr ? heap_ : inline_; }
+
+  void reset() noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    size_ = 0;
+    cap_ = kInline;
+  }
+  void copyFrom(const Path& other) {
+    if (other.size_ > kInline) {
+      heap_ = new Hop[other.size_];
+      cap_ = other.size_;
+    }
+    Hop* d = data();
+    const Hop* s = other.data();
+    for (std::uint32_t i = 0; i < other.size_; ++i) d[i] = s[i];
+    size_ = other.size_;
+  }
+  void moveFrom(Path& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      other.heap_ = nullptr;
+    } else {
+      for (std::uint32_t i = 0; i < other.size_; ++i) inline_[i] = other.inline_[i];
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+    other.cap_ = kInline;
+  }
+  void grow() {
+    const std::uint32_t ncap = cap_ * 2;
+    Hop* n = new Hop[ncap];
+    const Hop* s = data();
+    for (std::uint32_t i = 0; i < size_; ++i) n[i] = s[i];
+    delete[] heap_;
+    heap_ = n;
+    cap_ = ncap;
+  }
+
+  Hop inline_[kInline] = {};
+  Hop* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+};
 
 /// Flow-level network/IO model with weighted progressive-filling (max–min)
 /// bandwidth sharing.
@@ -72,8 +165,16 @@ using Path = std::vector<Hop>;
 /// capacities (two capacities are connected when some active flow traverses
 /// both). Flows in unrelated components provably keep bit-identical rates,
 /// so a simulation with many independent transfers settles each event in
-/// time proportional to the touched component, not the whole network. Set
-/// `WFS_SETTLE_VERIFY=1` (or call setVerifySettle) to cross-check every
+/// time proportional to the touched component, not the whole network.
+///
+/// Touches within one simulated instant are additionally *coalesced*: the
+/// epoch seeds accumulate and a single component-union recompute runs at
+/// batch end (a zero-delay flush event, or the explicit flushSettles()
+/// barrier). Because the fill is memoryless in the surviving flow set and
+/// progress integration happens before any same-instant mutation, the
+/// batched recompute is bit-identical to the per-touch sequence — a
+/// property the per-touch mode (setCoalesce(false)) exists to cross-check.
+/// Set `WFS_SETTLE_VERIFY=1` (or call setVerifySettle) to cross-check every
 /// incremental recompute against a full global recompute, bit for bit.
 class FlowNetwork {
  public:
@@ -90,43 +191,83 @@ class FlowNetwork {
   [[nodiscard]] std::uint64_t completedFlows() const { return completedFlows_; }
   [[nodiscard]] double totalBytesMoved() const { return totalBytes_; }
 
+  /// Settle barrier: applies any touches batched within the current instant
+  /// (component-union recompute + completion rescheduling) immediately.
+  /// No-op when nothing is pending. Readers of rates or service integrals
+  /// go through this; the zero-delay flush event makes it automatic before
+  /// simulated time can advance.
+  void flushSettles();
+
+  /// Same-instant settle coalescing (default on; WFS_SETTLE_COALESCE=0
+  /// disables). Per-touch mode recomputes at every touch exactly as the
+  /// pre-batching engine did — kept as the oracle for the equivalence
+  /// property test.
+  void setCoalesce(bool on);
+  [[nodiscard]] bool coalesce() const { return coalesce_; }
+
+  /// Rate-change epsilon fast-path (WFS_SETTLE_EPS, default 0 = exact):
+  /// a batch consisting solely of capacity rate changes, each within a
+  /// relative `eps` of the previous rate, skips the recompute and lets
+  /// flows keep their current rates. With eps = 0 the condition never
+  /// holds (setRate ignores no-op changes), so the default engine is
+  /// exact; WFS_SETTLE_VERIFY forces eps back to 0.
+  void setSettleEpsilon(double eps);
+  [[nodiscard]] double settleEpsilon() const { return settleEps_; }
+
   /// Debug cross-check: after every incremental reshare, recompute all
   /// rates globally and require bit-identical results (throws
   /// std::logic_error on divergence). Also enabled by the WFS_SETTLE_VERIFY
   /// environment variable.
-  void setVerifySettle(bool on) { verifySettle_ = on; }
+  void setVerifySettle(bool on);
   [[nodiscard]] bool verifySettle() const { return verifySettle_; }
 
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 
+  // --- settle statistics (regression hooks for tests and benches) ---------
+  /// Progressive-filling recomputes actually executed.
+  [[nodiscard]] std::uint64_t fillCount() const { return fillCount_; }
+  /// Touches recorded (flow add/finish, capacity rate change).
+  [[nodiscard]] std::uint64_t settleTouches() const { return settleTouches_; }
+  /// Batches whose recompute was skipped by the epsilon fast-path.
+  [[nodiscard]] std::uint64_t fastPathSkips() const { return fastPathSkips_; }
+
  private:
   friend class Capacity;
 
-  struct Flow {
-    Path path;
-    double remaining = 0.0;
-    double rate = 0.0;
-    std::coroutine_handle<> waiter{};
-    std::uint64_t mark = 0;  ///< component-walk epoch stamp
-  };
+  template <typename T>
+  using AVec = std::vector<T, sim::ArenaAllocator<T>>;
 
-  void addFlow(Path path, double bytes, std::coroutine_handle<> waiter);
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  // Capacity registration (called by the Capacity handle).
+  [[nodiscard]] std::uint32_t registerCap(Rate rate);
+  void unregisterCap(std::uint32_t idx);
+  void setCapRate(std::uint32_t idx, Rate r);
+
+  void addFlow(const Path& path, double bytes, std::coroutine_handle<> waiter);
 
   /// Advances all flow progress to now() using the current rates.
   void settle();
-  /// Begins a touched-component recompute: bumps the epoch and clears the
-  /// seed set. Follow with seedCap() for each touched capacity, then
-  /// reshareTouched().
-  void beginReshare();
-  /// Marks `c` as touched this epoch (idempotent).
-  void seedCap(Capacity* c);
+  /// Opens a reshare batch if none is pending: bumps the epoch so seedCap()
+  /// calls accumulate into one component-union recompute.
+  void openBatch();
+  /// Marks capacity `idx` as touched this epoch and records it as a BFS
+  /// seed (idempotent).
+  void seedCap(std::uint32_t idx) {
+    if (capMark_[idx] == epoch_) return;
+    capMark_[idx] = epoch_;
+    seedCaps_.push_back(idx);
+  }
+  /// Records a touch: per-touch mode recomputes immediately; coalesced mode
+  /// arms the zero-delay flush event.
+  void noteTouched(bool structural);
   /// Closes the seed set over path-sharing, recomputes max–min rates for
   /// exactly those flows, and reschedules the next completion.
   void reshareTouched();
   /// Weighted progressive filling over an explicit (capacity, flow) subset.
   /// Both lists must be closed under path-sharing and listed in
   /// registration/admission order for deterministic tie-breaking.
-  void fill(const std::vector<Capacity*>& caps, const std::vector<Flow*>& flows);
+  void fill(const AVec<std::uint32_t>& caps, const AVec<std::uint32_t>& flows);
   /// Recomputes everything globally and throws if any rate or used-rate
   /// differs from the incremental result by even one bit.
   void verifyAgainstGlobal();
@@ -134,25 +275,73 @@ class FlowNetwork {
   void scheduleNextCompletion();
 
   sim::Simulator* sim_;
-  // Flows live in a slab of reusable slots; `order_` lists the active slots
-  // in admission order (the canonical iteration order every recompute and
-  // resume sequence follows). Contiguous walks, no per-flow allocation.
-  std::vector<Flow> slab_;
-  std::vector<std::uint32_t> order_;
-  std::vector<std::uint32_t> freeSlots_;
-  std::vector<Capacity*> capacities_;
+
+  // --- flow slab (struct-of-arrays, indexed by slot) -----------------------
+  // `order_` lists the active slots in admission order — the canonical
+  // iteration order every recompute and resume sequence follows. The settle
+  // and fill loops touch only the dense double arrays.
+  AVec<double> flowRemaining_;
+  AVec<double> flowRate_;
+  AVec<std::uint64_t> flowMark_;  ///< component-walk epoch stamps
+  AVec<std::uint64_t> flowSeq_;   ///< admission sequence (sort key)
+  AVec<std::coroutine_handle<>> flowWaiter_;
+  AVec<std::uint32_t> flowHopBegin_;
+  AVec<std::uint32_t> flowHopCount_;
+  AVec<std::uint32_t> flowHopRoom_;  ///< hop capacity of the slot's range
+  AVec<std::uint32_t> hopCap_;       ///< flat hop storage: capacity index
+  AVec<double> hopWeight_;           ///< flat hop storage: per-byte weight
+  // Intrusive per-capacity incidence lists over the hop slab: every active
+  // hop is linked into its capacity's chain (O(1) link/unlink), so the
+  // component walk visits exactly the flows sharing a touched capacity
+  // instead of scanning every active flow per closure pass.
+  AVec<std::uint32_t> hopSlot_;  ///< hop index -> owning flow slot
+  AVec<std::uint32_t> hopNext_;
+  AVec<std::uint32_t> hopPrev_;
+  AVec<std::uint32_t> order_;
+  AVec<std::uint32_t> freeSlots_;
+
+  // --- capacity slab (struct-of-arrays, indexed by registration slot) ------
+  AVec<double> capRate_;
+  AVec<double> capService_;
+  AVec<double> capResidual_;
+  AVec<double> capLoad_;
+  AVec<double> capUsed_;
+  AVec<std::uint64_t> capMark_;
+  AVec<std::uint64_t> capSeq_;    ///< registration sequence (sort key)
+  AVec<std::uint32_t> capHead_;   ///< first hop in the capacity's chain
+  AVec<std::uint32_t> capOrder_;  ///< live capacities in registration order
+  AVec<std::uint32_t> capFree_;
+
   sim::SimTime lastSettle_{};
   sim::EventId pendingEvent_{};
   bool eventPending_ = false;
   bool verifySettle_ = false;
+  bool coalesce_ = true;
+  bool dirty_ = false;          ///< touches accumulated this instant
+  bool flushScheduled_ = false;
+  bool batchStructural_ = false;  ///< batch added/removed a flow
+  double settleEps_ = 0.0;
   std::uint64_t completedFlows_ = 0;
   std::uint64_t epoch_ = 0;
+  std::uint64_t flowSeqGen_ = 0;
+  std::uint64_t capSeqGen_ = 0;
   double totalBytes_ = 0.0;
+  std::uint64_t fillCount_ = 0;
+  std::uint64_t settleTouches_ = 0;
+  std::uint64_t fastPathSkips_ = 0;
 
   // Reused component-walk scratch (kept across events to avoid churn).
-  std::vector<Capacity*> compCaps_;
-  std::vector<Flow*> compFlows_;
-  std::vector<Flow*> unfrozen_;
+  // seedCaps_ doubles as the BFS worklist: seeds accumulate over a batch,
+  // then reshareTouched() appends the closure behind them.
+  AVec<std::uint32_t> seedCaps_;
+  AVec<std::uint32_t> compCaps_;
+  AVec<std::uint32_t> compFlows_;
+  AVec<std::uint32_t> unfrozen_;
+  struct RateTouch {
+    std::uint32_t idx;
+    double oldRate;
+  };
+  AVec<RateTouch> batchRateTouches_;
 };
 
 }  // namespace wfs::net

@@ -1,0 +1,62 @@
+#include "prof/zone.hpp"
+
+#if defined(WFS_PROF_ZONES)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace wfs::prof {
+
+namespace {
+
+ZoneStats*& registryHead() {
+  static ZoneStats* head = nullptr;
+  return head;
+}
+
+struct DumpAtExit {
+  ~DumpAtExit() {
+    // Quiet unless the operator asked for output: an instrumented binary is
+    // often run under a harness that parses stdout/stderr.
+    const char* env = std::getenv("WFS_PROF_ZONES");
+    if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      dumpZones();
+    }
+  }
+};
+
+}  // namespace
+
+ZoneStats& registerZone(const char* name) {
+  // Zones register from function-local statics on first execution; the
+  // simulator is single-threaded per world and registration is idempotent
+  // per call site, so a plain intrusive push suffices.
+  static DumpAtExit dumper;
+  auto* z = new ZoneStats{};
+  z->name = name;
+  z->next = registryHead();
+  registryHead() = z;
+  return *z;
+}
+
+void dumpZones() {
+  std::vector<const ZoneStats*> rows;
+  for (const ZoneStats* z = registryHead(); z != nullptr; z = z->next) rows.push_back(z);
+  std::sort(rows.begin(), rows.end(),
+            [](const ZoneStats* a, const ZoneStats* b) { return a->nanos > b->nanos; });
+  std::fprintf(stderr, "wfprof zones (%zu):\n", rows.size());
+  for (const ZoneStats* z : rows) {
+    const double ms = static_cast<double>(z->nanos) / 1e6;
+    const double per = z->calls > 0 ? static_cast<double>(z->nanos) /
+                                          static_cast<double>(z->calls)
+                                    : 0.0;
+    std::fprintf(stderr, "  %-24s %12llu calls %12.3f ms %9.1f ns/call\n", z->name,
+                 static_cast<unsigned long long>(z->calls), ms, per);
+  }
+}
+
+}  // namespace wfs::prof
+
+#endif  // WFS_PROF_ZONES

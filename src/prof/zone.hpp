@@ -1,0 +1,74 @@
+#pragma once
+
+// Lightweight host-time zone profiler for the engine hot paths
+// (settle / schedule / ready-scan), compiled to *nothing* unless the build
+// enables -DWFS_PROF_ZONES=1 (CMake option WFS_PROF_ZONES). The disabled
+// build must stay bit-for-bit free of zone code — a ctest symbol check
+// (prof.zone_noop_symbols) asserts the wfsim binary exports no Zone symbols.
+//
+// Usage, at the top of a hot function or block:
+//
+//   WFPROF_ZONE("net/flow-settle");
+//
+// Each zone keeps a call count and accumulated wall nanoseconds; the table
+// is dumped to stderr at process exit when the WFS_PROF_ZONES environment
+// variable is also set (so an instrumented binary can still run quietly).
+// Zones nest naturally (each scope measures inclusive time).
+
+#if defined(WFS_PROF_ZONES)
+
+#include <chrono>  // wfslint: allow(D1-wall-clock) the zone profiler measures host time by design; simulation code never reads it
+#include <cstdint>
+
+namespace wfs::prof {
+
+struct ZoneStats {
+  const char* name = nullptr;
+  std::uint64_t calls = 0;
+  std::uint64_t nanos = 0;
+  ZoneStats* next = nullptr;  // intrusive registry list
+};
+
+/// Registers a zone once (function-local static at the use site makes this
+/// a one-time cost) and returns its mutable stats row.
+[[nodiscard]] ZoneStats& registerZone(const char* name);
+
+/// Writes the zone table to stderr, sorted by accumulated time.
+void dumpZones();
+
+class ZoneScope {
+ public:
+  explicit ZoneScope(ZoneStats& z) noexcept
+      : z_{&z},
+        t0_{std::chrono::steady_clock::now()} {}  // wfslint: allow(D1-wall-clock) profiler timestamp
+  ZoneScope(const ZoneScope&) = delete;
+  ZoneScope& operator=(const ZoneScope&) = delete;
+  ~ZoneScope() noexcept {
+    const auto t1 = std::chrono::steady_clock::now();  // wfslint: allow(D1-wall-clock) profiler timestamp
+    z_->nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count());
+    ++z_->calls;
+  }
+
+ private:
+  ZoneStats* z_;
+  std::chrono::steady_clock::time_point t0_;  // wfslint: allow(D1-wall-clock) profiler timestamp
+};
+
+}  // namespace wfs::prof
+
+#define WFPROF_ZONE_CAT2(a, b) a##b
+#define WFPROF_ZONE_CAT(a, b) WFPROF_ZONE_CAT2(a, b)
+#define WFPROF_ZONE(name)                                                        \
+  static ::wfs::prof::ZoneStats& WFPROF_ZONE_CAT(wfprofZoneStats_, __LINE__) =   \
+      ::wfs::prof::registerZone(name);                                           \
+  ::wfs::prof::ZoneScope WFPROF_ZONE_CAT(wfprofZoneScope_, __LINE__) {           \
+    WFPROF_ZONE_CAT(wfprofZoneStats_, __LINE__)                                  \
+  }
+
+#else  // !WFS_PROF_ZONES
+
+/// Disabled build: expands to a no-op statement; no symbols, no overhead.
+#define WFPROF_ZONE(name) static_cast<void>(0)
+
+#endif

@@ -1,0 +1,148 @@
+#include "simcore/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace wfs::sim {
+
+namespace {
+
+constexpr std::size_t roundUp(std::size_t n, std::size_t grain) {
+  return (n + grain - 1) / grain * grain;
+}
+
+thread_local Arena* tlsFrameArena = nullptr;
+
+}  // namespace
+
+Arena::~Arena() {
+  while (chunks_ != nullptr) {
+    Chunk* next = chunks_->next;
+    std::free(chunks_);
+    chunks_ = next;
+  }
+  while (large_ != nullptr) {
+    LargeBlock* next = large_->next;
+    std::free(large_);
+    large_ = next;
+  }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align <= kGrain && "arena serves at most 16-byte alignment");
+  (void)align;
+  if (bytes == 0) bytes = 1;
+  const std::size_t size = roundUp(bytes, kGrain);
+  bytesAllocated_ += size;
+  if (size > kMaxSmall) return allocateLarge(size);
+  const std::size_t bucket = size / kGrain - 1;
+  if (FreeNode* node = buckets_[bucket]; node != nullptr) {
+    buckets_[bucket] = node->next;
+    ++recycleHits_;
+    return node;
+  }
+  return bumpFromChunks(size);
+}
+
+void* Arena::bumpFromChunks(std::size_t size) {
+  if (chunks_ == nullptr || chunks_->used + size > chunks_->size) {
+    // Look for a rewound chunk (after reset()) with room before growing.
+    std::size_t grown = kMinChunk;
+    if (chunks_ != nullptr) grown = std::min(kMaxChunk, chunks_->size * 2);
+    if (grown < size) grown = roundUp(size, kGrain);
+    auto* c = static_cast<Chunk*>(std::malloc(sizeof(Chunk) + grown));
+    if (c == nullptr) throw std::bad_alloc{};
+    c->next = chunks_;
+    c->size = grown;
+    c->used = 0;
+    chunks_ = c;
+    ++chunkCount_;
+    bytesReserved_ += grown;
+  }
+  void* p = reinterpret_cast<unsigned char*>(chunks_ + 1) + chunks_->used;
+  chunks_->used += size;
+  return p;
+}
+
+void* Arena::allocateLarge(std::size_t size) {
+  // Exact-size reuse: vector regrowth in a second run repeats the first
+  // run's sizes, so a short linear scan finds the freed twin.
+  for (LargeBlock* b = large_; b != nullptr; b = b->next) {
+    if (b->free && b->size == size) {
+      b->free = false;
+      ++recycleHits_;
+      return b + 1;
+    }
+  }
+  auto* b = static_cast<LargeBlock*>(std::malloc(sizeof(LargeBlock) + size));
+  if (b == nullptr) throw std::bad_alloc{};
+  b->next = large_;
+  b->size = size;
+  b->free = false;
+  large_ = b;
+  bytesReserved_ += size;
+  return b + 1;
+}
+
+void Arena::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t size = roundUp(bytes, kGrain);
+  if (size > kMaxSmall) {
+    auto* b = reinterpret_cast<LargeBlock*>(p) - 1;
+    assert(b->size == size);
+    b->free = true;
+    return;
+  }
+  const std::size_t bucket = size / kGrain - 1;
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = buckets_[bucket];
+  buckets_[bucket] = node;
+}
+
+void Arena::reset() noexcept {
+  for (Chunk* c = chunks_; c != nullptr; c = c->next) c->used = 0;
+  for (LargeBlock* b = large_; b != nullptr; b = b->next) b->free = true;
+  for (auto& bucket : buckets_) bucket = nullptr;
+  bytesAllocated_ = 0;
+}
+
+Arena* currentFrameArena() noexcept { return tlsFrameArena; }
+
+FrameArenaScope::FrameArenaScope(Arena* a) noexcept : prev_{tlsFrameArena} {
+  tlsFrameArena = a;
+}
+
+FrameArenaScope::~FrameArenaScope() { tlsFrameArena = prev_; }
+
+namespace {
+struct FrameHeader {
+  Arena* arena;
+  std::size_t size;  // header + frame bytes, as passed to Arena::allocate
+};
+static_assert(sizeof(FrameHeader) == 16, "frame header must preserve 16-byte alignment");
+}  // namespace
+
+void* frameAllocate(std::size_t bytes) {
+  const std::size_t total = sizeof(FrameHeader) + bytes;
+  Arena* a = tlsFrameArena;
+  void* raw = a != nullptr ? a->allocate(total, 16) : std::malloc(total);
+  if (raw == nullptr) throw std::bad_alloc{};
+  auto* h = static_cast<FrameHeader*>(raw);
+  h->arena = a;
+  h->size = total;
+  return h + 1;
+}
+
+void frameFree(void* frame) noexcept {
+  if (frame == nullptr) return;
+  auto* h = static_cast<FrameHeader*>(frame) - 1;
+  if (h->arena != nullptr) {
+    h->arena->deallocate(h, h->size);
+  } else {
+    std::free(h);
+  }
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace wfs::sim {
+
+/// Per-simulation monotonic arena with size-bucketed recycling.
+///
+/// A sweep cell builds one Simulator, runs it, and throws the whole world
+/// away; the arena matches that lifecycle. Allocation is a pointer bump out
+/// of geometrically growing chunks; deallocation pushes the block onto an
+/// exact-size free list so steady-state churn (event slots, flow hops,
+/// coroutine frames of repeated operations) recycles without ever touching
+/// the system allocator. Everything is reclaimed wholesale by reset() or
+/// destruction, which is what bounds a run's allocator traffic by its *peak*
+/// live state instead of its total event count.
+///
+/// Single-threaded by design, like the Simulator that owns it. Blocks larger
+/// than kMaxSmall bypass the buckets and are carried on a dedicated list
+/// (vector growth doubles through a handful of such blocks per run).
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena();
+
+  /// Bump- or recycle-allocates `bytes` aligned to at most 16. Never returns
+  /// nullptr (throws std::bad_alloc on OS refusal).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Returns a block to the arena for exact-size reuse. `bytes` must be the
+  /// size passed to allocate(). Never calls into the system allocator.
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Rewinds every chunk and drops the free lists; all outstanding blocks
+  /// are invalidated at once. Chunks and large blocks are kept for reuse, so
+  /// a second run of the same shape performs no system allocation at all.
+  void reset() noexcept;
+
+  // --- observability (regression hooks for the arena tests) ---------------
+  /// Bytes handed out since construction/reset, including recycled ones.
+  [[nodiscard]] std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+  /// Bytes currently reserved from the system allocator (chunks + large).
+  [[nodiscard]] std::uint64_t bytesReserved() const { return bytesReserved_; }
+  /// Allocations served from a free list instead of fresh chunk space.
+  [[nodiscard]] std::uint64_t recycleHits() const { return recycleHits_; }
+  [[nodiscard]] std::size_t chunkCount() const { return chunkCount_; }
+
+ private:
+  // Headers are padded to a 16-byte multiple so the payload that follows
+  // them starts at the full alignment the arena serves (InlineFunction slots
+  // are alignas(max_align_t); a 24-byte header would hand out 8-aligned
+  // blocks and fault the compiler's aligned stores).
+  struct alignas(16) Chunk {
+    Chunk* next;
+    std::size_t size;  // payload bytes following this header
+    std::size_t used;  // bump offset into the payload
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct alignas(16) LargeBlock {
+    LargeBlock* next;
+    std::size_t size;  // payload bytes following this header
+    bool free;
+  };
+
+  /// Granularity of the size classes; also the strongest alignment served.
+  static constexpr std::size_t kGrain = 16;
+  /// Largest bucketed block; bigger requests use the large-block list.
+  static constexpr std::size_t kMaxSmall = 4096;
+  static constexpr std::size_t kBuckets = kMaxSmall / kGrain;
+  /// First chunk size; doubles until kMaxChunk.
+  static constexpr std::size_t kMinChunk = 64 * 1024;
+  static constexpr std::size_t kMaxChunk = 1024 * 1024;
+
+  void* bumpFromChunks(std::size_t bytes);
+  void* allocateLarge(std::size_t bytes);
+
+  Chunk* chunks_ = nullptr;  // head is the active bump chunk
+  LargeBlock* large_ = nullptr;
+  FreeNode* buckets_[kBuckets] = {};
+  std::uint64_t bytesAllocated_ = 0;
+  std::uint64_t bytesReserved_ = 0;
+  std::uint64_t recycleHits_ = 0;
+  std::size_t chunkCount_ = 0;
+};
+
+/// std-compatible allocator over an Arena, with a null-arena fallback to the
+/// system allocator so containers (and the components holding them) keep
+/// working when no simulation world is attached — standalone unit tests
+/// default-construct an EventQueue, for example.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* a) noexcept : arena_{a} {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_{o.arena()} {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p, n * sizeof(T));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Typed pool over an Arena: construct/destroy single objects with exact-size
+/// recycling. Used for per-run bookkeeping nodes that come and go in bulk.
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(Arena& a) noexcept : arena_{&a} {}
+
+  template <typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    void* p = arena_->allocate(sizeof(T), alignof(T));
+    return ::new (p) T(static_cast<Args&&>(args)...);
+  }
+  void destroy(T* p) noexcept {
+    p->~T();
+    arena_->deallocate(p, sizeof(T));
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Arena used for coroutine frames allocated on this thread (set for the
+/// duration of Simulator::run/runUntil dispatch). Null outside a run; frame
+/// allocation then falls back to the system allocator.
+[[nodiscard]] Arena* currentFrameArena() noexcept;
+
+/// RAII installer for currentFrameArena(); restores the previous arena so
+/// nested simulations (a simulation building another world) stay correct.
+class FrameArenaScope {
+ public:
+  explicit FrameArenaScope(Arena* a) noexcept;
+  FrameArenaScope(const FrameArenaScope&) = delete;
+  FrameArenaScope& operator=(const FrameArenaScope&) = delete;
+  ~FrameArenaScope();
+
+ private:
+  Arena* prev_;
+};
+
+/// Coroutine-frame allocation helpers: a 16-byte header in front of the
+/// frame records the owning arena (or null for the system allocator) and the
+/// block size, so the frame can be freed correctly no matter where its
+/// destruction happens relative to run().
+[[nodiscard]] void* frameAllocate(std::size_t bytes);
+void frameFree(void* frame) noexcept;
+
+}  // namespace wfs::sim

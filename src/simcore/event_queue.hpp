@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "simcore/arena.hpp"
 #include "simcore/inline_function.hpp"
 #include "simcore/time.hpp"
 
@@ -33,6 +34,13 @@ struct EventId {
 class EventQueue {
  public:
   using Callback = InlineFunction<void()>;
+
+  /// Standalone queue over the system allocator (unit tests).
+  EventQueue() = default;
+  /// Queue whose slot table and heap spill into `arena` — the Simulator
+  /// passes its per-run arena so queue growth is reclaimed wholesale.
+  explicit EventQueue(Arena& arena)
+      : slots_{ArenaAllocator<Slot>{&arena}}, heap_{ArenaAllocator<HeapEntry>{&arena}} {}
 
   EventId schedule(SimTime at, Callback cb);
 
@@ -78,8 +86,8 @@ class EventQueue {
   void removeAt(std::size_t i);
   void release(std::uint32_t slot);
 
-  std::vector<Slot> slots_;
-  std::vector<HeapEntry> heap_;
+  std::vector<Slot, ArenaAllocator<Slot>> slots_;
+  std::vector<HeapEntry, ArenaAllocator<HeapEntry>> heap_;
   std::uint32_t freeHead_ = kNoFree;
   std::uint64_t nextSeq_ = 0;
 };

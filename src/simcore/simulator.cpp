@@ -13,8 +13,13 @@ void Delay::await_suspend(std::coroutine_handle<> h) const {
 
 namespace detail {
 
-struct DetachedHandle::promise_type {
+struct DetachedHandle::promise_type : DetachedNode {
   Simulator* sim;
+
+  // Root-process wrapper frames recycle through the same arena-aware path
+  // as Task frames (see PromiseBase in simcore/task.hpp).
+  static void* operator new(std::size_t n) { return frameAllocate(n); }
+  static void operator delete(void* p) noexcept { frameFree(p); }
 
   // Coroutine parameters are visible to the promise constructor; we use that
   // to learn which simulator owns this root process.
@@ -28,12 +33,12 @@ struct DetachedHandle::promise_type {
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
-      // Unregister, then self-destroy. Nothing may touch the frame after
-      // destroy(); returning void leaves control with the resumer.
-      Simulator* sim = h.promise().sim;
-      void* addr = h.address();
+      // Unlink, then self-destroy. The unlink touches the promise, so it
+      // must happen before destroy(); returning void leaves control with
+      // the resumer.
+      promise_type& p = h.promise();
+      p.sim->unregisterDetached(&p);
       h.destroy();
-      sim->unregisterDetached(addr);
     }
     void await_resume() const noexcept {}
   };
@@ -56,12 +61,15 @@ DetachedHandle detachedRun(Simulator&, Task<void> t) {
 
 void Simulator::spawn(Task<void> t) {
   auto wrapper = detail::detachedRun(*this, std::move(t));
-  detached_.insert(wrapper.handle.address());
+  registerDetached(&wrapper.handle.promise());
   const auto h = wrapper.handle;
   schedule(Duration::zero(), [h] { h.resume(); });
 }
 
 std::size_t Simulator::run() {
+  // Coroutine frames created while this world dispatches come out of its
+  // arena (exact-size recycling; wholesale reclaim with the Simulator).
+  FrameArenaScope frames{&arena_};
   std::size_t n = 0;
   while (!queue_.empty()) {
     // Advance the clock before dispatching, so code running inside the event
@@ -74,6 +82,7 @@ std::size_t Simulator::run() {
 }
 
 std::size_t Simulator::runUntil(SimTime until) {
+  FrameArenaScope frames{&arena_};
   std::size_t n = 0;
   while (!queue_.empty() && queue_.nextTime() <= until) {
     now_ = queue_.nextTime();
@@ -86,18 +95,23 @@ std::size_t Simulator::runUntil(SimTime until) {
 
 Simulator::~Simulator() {
   // Destroy still-suspended root processes; their frames own any child tasks,
-  // so the whole tree is reclaimed.
-  auto leftovers = std::move(detached_);
-  detached_.clear();
-  // wfslint: allow(unordered-iter) destruction order of independent root frames is unobservable: the simulation is over and no event can run
-  for (void* addr : leftovers) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  // so the whole tree is reclaimed. Detach the chain first so a frame
+  // destructor calling back into the registry sees an empty list. Order is
+  // reverse spawn order, which is unobservable: the simulation is over and
+  // no event can run.
+  detail::DetachedNode* n = detachedHead_;
+  detachedHead_ = nullptr;
+  detachedCount_ = 0;
+  while (n != nullptr) {
+    detail::DetachedNode* next = n->next;
+    auto& p = *static_cast<detail::DetachedHandle::promise_type*>(n);
+    std::coroutine_handle<detail::DetachedHandle::promise_type>::from_promise(p).destroy();
+    n = next;
   }
 }
 
 namespace {
-Task<void> notifyWhenDone(Task<void> inner, std::shared_ptr<std::size_t> remaining,
-                          std::shared_ptr<OneShotEvent> done) {
+Task<void> notifyWhenDone(Task<void> inner, std::size_t* remaining, OneShotEvent* done) {
   co_await std::move(inner);
   if (--*remaining == 0) done->fire();
 }
@@ -105,13 +119,16 @@ Task<void> notifyWhenDone(Task<void> inner, std::shared_ptr<std::size_t> remaini
 
 Task<void> allOf(Simulator& sim, std::vector<Task<void>> tasks) {
   if (tasks.empty()) co_return;
-  auto remaining = std::make_shared<std::size_t>(tasks.size());
-  auto done = std::make_shared<OneShotEvent>(sim);
+  // The counter and event live in this frame: every child decrements (and
+  // the last one fires) strictly before this coroutine resumes past wait(),
+  // so no shared_ptr control blocks are needed on this hot path.
+  std::size_t remaining = tasks.size();
+  OneShotEvent done{sim};
   for (auto& t : tasks) {
-    sim.spawn(notifyWhenDone(std::move(t), remaining, done));
+    sim.spawn(notifyWhenDone(std::move(t), &remaining, &done));
   }
   tasks.clear();
-  co_await done->wait();
+  co_await done.wait();
 }
 
 }  // namespace wfs::sim

@@ -2,9 +2,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "simcore/arena.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/file_id.hpp"
 #include "simcore/task.hpp"
@@ -32,6 +32,15 @@ class Delay {
 };
 
 namespace detail {
+/// Intrusive hook linking every live root-process frame into its
+/// simulator's registry: spawn/finish are pointer swaps on the frame
+/// itself, not hash-set node allocations (spawns are a hot path — one per
+/// transfer/job/timer process).
+struct DetachedNode {
+  DetachedNode* prev = nullptr;
+  DetachedNode* next = nullptr;
+};
+
 /// Self-destroying wrapper coroutine that owns a spawned root Task.
 struct DetachedHandle {
   struct promise_type;
@@ -76,7 +85,7 @@ class Simulator {
   [[nodiscard]] Delay yield() { return Delay{*this, Duration::zero()}; }
 
   /// Number of live root processes (spawned, not yet finished).
-  [[nodiscard]] std::size_t liveProcesses() const { return detached_.size(); }
+  [[nodiscard]] std::size_t liveProcesses() const { return detachedCount_; }
 
   /// This simulation world's log sink (see WFS_TRACE). Simulator-local so
   /// concurrent simulators (SweepRunner workers) never share mutable state.
@@ -88,13 +97,37 @@ class Simulator {
   [[nodiscard]] FileIdTable& files() { return files_; }
   [[nodiscard]] const FileIdTable& files() const { return files_; }
 
+  /// This world's bump arena (see simcore/arena.hpp). Event-queue spill,
+  /// flow slabs, engine bookkeeping, and coroutine frames created during
+  /// run() all live here and are reclaimed wholesale when the world dies.
+  [[nodiscard]] Arena& arena() { return arena_; }
+
  private:
   friend struct detail::DetachedHandle;
-  void unregisterDetached(void* addr) { detached_.erase(addr); }
+  void registerDetached(detail::DetachedNode* n) {
+    n->prev = nullptr;
+    n->next = detachedHead_;
+    if (detachedHead_ != nullptr) detachedHead_->prev = n;
+    detachedHead_ = n;
+    ++detachedCount_;
+  }
+  void unregisterDetached(detail::DetachedNode* n) {
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      detachedHead_ = n->next;
+    }
+    if (n->next != nullptr) n->next->prev = n->prev;
+    --detachedCount_;
+  }
 
-  EventQueue queue_;
+  // Declared first so it is destroyed last: every other member (queued
+  // callbacks, detached coroutine frames) may hold arena-backed memory.
+  Arena arena_;
+  EventQueue queue_{arena_};
   SimTime now_ = SimTime::origin();
-  std::unordered_set<void*> detached_;
+  detail::DetachedNode* detachedHead_ = nullptr;
+  std::size_t detachedCount_ = 0;
   Trace trace_;
   FileIdTable files_;
 };

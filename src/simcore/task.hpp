@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "simcore/arena.hpp"
+
 namespace wfs::sim {
 
 /// Lazy coroutine used for every simulated activity.
@@ -23,6 +25,14 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+
+  // Task frames churn at event rate (every storage op is a coroutine chain).
+  // When a Simulator is dispatching, frames come out of its arena and are
+  // recycled exact-size; a header written by frameAllocate routes each frame
+  // back to wherever it came from, so frames created outside a run (test
+  // bodies, setup code) still free correctly through the system allocator.
+  static void* operator new(std::size_t n) { return frameAllocate(n); }
+  static void operator delete(void* p) noexcept { frameFree(p); }
 
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }

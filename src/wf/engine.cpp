@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "prof/zone.hpp"
 #include "simcore/trace.hpp"
 
 namespace wfs::wf {
@@ -17,14 +18,22 @@ DagmanEngine::DagmanEngine(sim::Simulator& sim, ExecutableWorkflow& workflow,
       scheduler_{&scheduler},
       nodeMemory_{std::move(nodeMemory)},
       prof_{prof},
-      opt_{opt} {
+      opt_{opt},
+      indegree_{sim::ArenaAllocator<int>{&sim.arena()}},
+      done_{sim::ArenaAllocator<std::uint8_t>{&sim.arena()}},
+      active_{sim::ArenaAllocator<std::uint8_t>{&sim.arena()}},
+      childBegin_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      childList_{sim::ArenaAllocator<JobId>{&sim.arena()}},
+      producerOf_{sim::ArenaAllocator<JobId>{&sim.arena()}},
+      consumerBegin_{sim::ArenaAllocator<std::uint32_t>{&sim.arena()}},
+      consumerList_{sim::ArenaAllocator<JobId>{&sim.arena()}} {
   allDone_ = std::make_unique<sim::OneShotEvent>(sim);
   filesChanged_ = std::make_unique<sim::Broadcast>(sim);
   faultRng_ = sim::Rng{opt.faultSeed};
   const auto jobCount = static_cast<std::size_t>(workflow.dag.jobCount());
   indegree_.resize(jobCount);
-  done_.resize(jobCount, false);
-  active_.resize(jobCount, false);
+  done_.assign(jobCount, 0);
+  active_.assign(jobCount, 0);
   nodeEpoch_.resize(nodeMemory_.size(), 0);
   // Intern every logical file name once, up front; the run itself then
   // never hashes a path string again.
@@ -44,12 +53,38 @@ DagmanEngine::DagmanEngine(sim::Simulator& sim, ExecutableWorkflow& workflow,
     internAll(job.outputs);
     internAll(job.scratchFiles);
   }
+  // Forward adjacency as CSR, preserving the dag's child order so the
+  // ready/spawn sequence is identical to walking dag.children() directly.
+  childBegin_.assign(jobCount + 1, 0);
+  for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    childBegin_[i + 1] =
+        childBegin_[i] + static_cast<std::uint32_t>(workflow.dag.children(id).size());
+  }
+  childList_.resize(childBegin_[jobCount]);
+  for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
+    std::uint32_t k = childBegin_[static_cast<std::size_t>(id)];
+    for (const JobId c : workflow.dag.children(id)) childList_[k++] = c;
+  }
+  // Reverse file maps: producer array plus consumer CSR (two-pass count).
   producerOf_.assign(files.size(), -1);
-  consumersOf_.assign(files.size(), {});
+  consumerBegin_.assign(files.size() + 1, 0);
   for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
     const JobSpec& job = workflow.dag.job(id);
     for (const auto& f : job.outputs) producerOf_[f.id.index()] = id;
-    for (const auto& f : job.inputs) consumersOf_[f.id.index()].push_back(id);
+    for (const auto& f : job.inputs) ++consumerBegin_[f.id.index() + 1];
+  }
+  for (std::size_t i = 1; i < consumerBegin_.size(); ++i) {
+    consumerBegin_[i] += consumerBegin_[i - 1];
+  }
+  consumerList_.resize(consumerBegin_[files.size()]);
+  // Fill positions walk forward per file, preserving job-id order within
+  // each file's consumer run (same order the per-file vectors produced).
+  AVec<std::uint32_t> cursor{consumerBegin_.begin(), consumerBegin_.end() - 1,
+                             sim::ArenaAllocator<std::uint32_t>{&sim.arena()}};
+  for (JobId id = 0; id < workflow.dag.jobCount(); ++id) {
+    const JobSpec& job = workflow.dag.job(id);
+    for (const auto& f : job.inputs) consumerList_[cursor[f.id.index()]++] = id;
   }
 }
 
@@ -80,13 +115,19 @@ void DagmanEngine::spawnJob(JobId id) {
   sim_->spawn(runJob(id));
 }
 
+// wfslint: hot-begin(ready-scan) runs after every job completion; the CSR
+// walk and byte-array checks must stay allocation-free.
 void DagmanEngine::submitReadyChildren(JobId finished) {
-  for (const JobId c : wf_->dag.children(finished)) {
+  WFPROF_ZONE("engine/ready-scan");
+  const std::uint32_t end = childBegin_[static_cast<std::size_t>(finished) + 1];
+  for (std::uint32_t k = childBegin_[static_cast<std::size_t>(finished)]; k < end; ++k) {
+    const JobId c = childList_[k];
     const auto ci = static_cast<std::size_t>(c);
-    if (done_[ci] || active_[ci]) continue;  // recovery re-finish of a parent
+    if (done_[ci] != 0 || active_[ci] != 0) continue;  // recovery re-finish of a parent
     if (--indegree_[ci] == 0) spawnJob(c);
   }
 }
+// wfslint: hot-end
 
 bool DagmanEngine::inputsAvailable(const JobSpec& job) const {
   return std::all_of(job.inputs.begin(), job.inputs.end(),
@@ -114,12 +155,13 @@ void DagmanEngine::onFilesLost(const std::vector<sim::FileId>& lost) {
       const auto pi = static_cast<std::size_t>(p);
       if (!done_[pi] || resub[pi]) continue;
       bool needed = false;
-      const std::vector<JobId>& consumers = consumersOf_[file.index()];
-      if (consumers.empty()) {
+      const std::uint32_t cb = consumerBegin_[file.index()];
+      const std::uint32_t ce = consumerBegin_[file.index() + 1];
+      if (cb == ce) {
         needed = true;  // final workflow output
       } else {
-        for (const JobId c : consumers) {
-          const auto ci = static_cast<std::size_t>(c);
+        for (std::uint32_t k = cb; k < ce; ++k) {
+          const auto ci = static_cast<std::size_t>(consumerList_[k]);
           if (!done_[ci] || resub[ci]) {
             needed = true;
             break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "prof/wfprof.hpp"
+#include "simcore/arena.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/signal.hpp"
@@ -95,6 +96,9 @@ class DagmanEngine {
   void spawnJob(JobId id);
   [[nodiscard]] bool inputsAvailable(const JobSpec& job) const;
 
+  template <typename T>
+  using AVec = std::vector<T, sim::ArenaAllocator<T>>;
+
   sim::Simulator* sim_;
   const ExecutableWorkflow* wf_;
   storage::StorageSystem* storage_;
@@ -103,18 +107,26 @@ class DagmanEngine {
   prof::WfProf* prof_;
   Options opt_;
 
-  std::vector<int> indegree_;
-  std::vector<bool> done_;
+  // Per-job state is kept as dense arena-backed byte/int arrays and the
+  // forward adjacency as a CSR (offset + flat edge list) built once in the
+  // constructor: the ready-scan after every job completion then walks two
+  // contiguous arrays instead of chasing a vector-of-vectors, and the whole
+  // bookkeeping is freed wholesale with the simulator's arena.
+  AVec<int> indegree_;
+  AVec<std::uint8_t> done_;
   /// A runJob coroutine is in flight for the job (guards double-submit
   /// during recovery).
-  std::vector<bool> active_;
+  AVec<std::uint8_t> active_;
+  AVec<std::uint32_t> childBegin_;  ///< CSR offsets, jobCount()+1 entries
+  AVec<JobId> childList_;           ///< CSR edges, dag children order
   /// Bumped per crash; an attempt compares against its claim-time value to
   /// learn its VM died under it.
   std::vector<std::uint64_t> nodeEpoch_;
   /// Reverse maps for recompute-on-loss, dense by FileId (-1 = no producer,
-  /// i.e. a pre-staged input).
-  std::vector<JobId> producerOf_;
-  std::vector<std::vector<JobId>> consumersOf_;
+  /// i.e. a pre-staged input). Consumers are a CSR over FileId.
+  AVec<JobId> producerOf_;
+  AVec<std::uint32_t> consumerBegin_;  ///< CSR offsets, files.size()+1
+  AVec<JobId> consumerList_;
   int completed_ = 0;
   bool failed_ = false;
   std::uint64_t retries_ = 0;

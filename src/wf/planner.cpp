@@ -10,7 +10,7 @@ namespace wfs::wf {
 Planner::Planner(const TransformationCatalog& tc, const ReplicaCatalog& rc, SiteCatalog site)
     : tc_{&tc}, rc_{&rc}, site_{std::move(site)} {}
 
-ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract, const Options& opt) const {
+void Planner::validate(const AbstractWorkflow& abstract) const {
   // Validate transformations against the site's catalog.
   for (JobId id = 0; id < abstract.dag.jobCount(); ++id) {
     const JobSpec& j = abstract.dag.job(id);
@@ -28,6 +28,10 @@ ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract, const Options
   if (!abstract.dag.isAcyclic()) {
     throw std::logic_error("planner: abstract workflow has a cycle");
   }
+}
+
+ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract, const Options& opt) const {
+  validate(abstract);
 
   ExecutableWorkflow exec;
   exec.name = abstract.name;
@@ -44,6 +48,26 @@ ExecutableWorkflow Planner::plan(const AbstractWorkflow& abstract, const Options
     return exec;
   }
   exec.dag = clusterDag(abstract.dag, exec.clusterFactor);
+  for (JobId id = 0; id < exec.dag.jobCount(); ++id) {
+    JobSpec& j = exec.dag.job(id);
+    j.cpuSeconds *= tc_->get(j.transformation).cpuFactor;
+  }
+  exec.dag.connectByFiles(exec.externalInputs);
+  return exec;
+}
+
+ExecutableWorkflow Planner::plan(AbstractWorkflow&& abstract, const Options& opt) const {
+  validate(abstract);
+
+  ExecutableWorkflow exec;
+  exec.name = std::move(abstract.name);
+  exec.clusterFactor = std::max(1, opt.clusterFactor);
+  if (exec.clusterFactor == 1) {
+    exec.dag = std::move(abstract.dag);
+  } else {
+    exec.dag = clusterDag(abstract.dag, exec.clusterFactor);
+  }
+  exec.externalInputs = std::move(abstract.externalInputs);
   for (JobId id = 0; id < exec.dag.jobCount(); ++id) {
     JobSpec& j = exec.dag.job(id);
     j.cpuSeconds *= tc_->get(j.transformation).cpuFactor;

@@ -41,8 +41,14 @@ class Planner {
   [[nodiscard]] ExecutableWorkflow plan(const AbstractWorkflow& abstract,
                                         const Options& opt) const;
   [[nodiscard]] ExecutableWorkflow plan(const AbstractWorkflow& abstract) const;
+  /// Consuming overload for callers done with the abstract workflow: at
+  /// clusterFactor 1 the DAG moves straight into the plan instead of
+  /// deep-copying 10^5-10^6 JobSpecs (strings and file vectors included) —
+  /// at WfCommons scale that copy was a measurable slice of a run.
+  [[nodiscard]] ExecutableWorkflow plan(AbstractWorkflow&& abstract, const Options& opt) const;
 
  private:
+  void validate(const AbstractWorkflow& abstract) const;
   [[nodiscard]] Dag clusterDag(const Dag& dag, int factor) const;
 
   const TransformationCatalog* tc_;

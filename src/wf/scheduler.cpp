@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "prof/zone.hpp"
+
 namespace wfs::wf {
 
 Scheduler::Scheduler(sim::Simulator& sim, std::vector<int> slotsPerNode, Policy policy,
@@ -16,7 +18,11 @@ Scheduler::Scheduler(sim::Simulator& sim, std::vector<int> slotsPerNode, Policy 
   assert(policy != Policy::kDataAware || storage != nullptr);
 }
 
+// wfslint: hot-begin(sched-dispatch) pickNode/tryClaim/drainQueue run on
+// every job claim and slot release; node ranking and queue matching must
+// stay allocation-free.
 int Scheduler::pickNode(const JobSpec& job) const {
+  WFPROF_ZONE("sched/pick-node");
   const int n = static_cast<int>(free_.size());
   if (policy_ == Policy::kDataAware) {
     // Rank free nodes by the input bytes they can serve locally; fall back
@@ -49,6 +55,7 @@ int Scheduler::pickNode(const JobSpec& job) const {
 }
 
 int Scheduler::tryClaim(const JobSpec& job) {
+  WFPROF_ZONE("sched/try-claim");
   if (!queue_.empty()) return -1;  // strict FIFO: wait behind earlier jobs
   const int node = pickNode(job);
   if (node < 0) return -1;
@@ -68,6 +75,7 @@ void Scheduler::releaseSlot(int node) {
 }
 
 void Scheduler::drainQueue() {
+  WFPROF_ZONE("sched/drain-queue");
   // Match head-of-queue jobs while slots remain (usually just the freed one).
   while (!queue_.empty()) {
     const int chosen = pickNode(*queue_.front().job);
@@ -81,6 +89,7 @@ void Scheduler::drainQueue() {
     sim_->schedule(sim::Duration::zero(), [h = w.handle] { h.resume(); });
   }
 }
+// wfslint: hot-end
 
 void Scheduler::failNode(int node) {
   free_[static_cast<std::size_t>(node)] = 0;

@@ -1,0 +1,48 @@
+// wfslint fixture — D8-hot-path-alloc MUST fire: per-call allocations
+// sneaking back into the arena/SoA settle and ready-scan region shapes
+// (mirrors src/net/flow_network.cpp flow-settle and src/wf/engine.cpp
+// ready-scan, which run per batch flush / per job completion).
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Slab {
+  std::vector<double> remaining;
+  std::vector<double> rate;
+  std::vector<std::uint32_t> mark;
+};
+
+// wfslint: hot-begin(fixture-flow-settle) runs once per same-timestamp batch
+inline double settleBatch(Slab& s, std::uint32_t epoch) {
+  std::ostringstream trace;                        // fires: ostringstream in region
+  double total = 0;
+  std::unordered_map<std::uint32_t, double> seen;  // fires: hash table in region
+  for (std::size_t i = 0; i < s.remaining.size(); ++i) {
+    if (s.mark[i] != epoch) continue;
+    total += s.rate[i];
+    seen[static_cast<std::uint32_t>(i)] = s.rate[i];
+    trace << i << ":" << s.rate[i] << " ";
+  }
+  std::string rendered = trace.str();              // fires: std::string in region
+  return total + static_cast<double>(rendered.size() + seen.size());
+}
+// wfslint: hot-end
+
+// wfslint: hot-begin(fixture-ready-scan) runs after every job completion
+inline int readyScan(const std::vector<int>& indegree) {
+  auto* scratch = new int[indegree.size()];        // fires: raw new in region
+  int ready = 0;
+  for (std::size_t i = 0; i < indegree.size(); ++i) {
+    scratch[i] = indegree[i];
+    if (indegree[i] == 0) ++ready;
+  }
+  delete[] scratch;
+  return ready;
+}
+// wfslint: hot-end
+
+}  // namespace fixture

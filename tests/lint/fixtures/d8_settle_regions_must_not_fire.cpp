@@ -1,0 +1,54 @@
+// wfslint fixture — D8-hot-path-alloc must stay silent on the idioms the
+// arena/SoA engine core actually uses inside its settle and ready-scan
+// regions: reused member vectors (cleared, not reconstructed), epoch marks,
+// slab indices, and plain arithmetic. Buffers are built outside the region.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Slab {
+  std::vector<double> remaining;
+  std::vector<double> rate;
+  std::vector<std::uint32_t> mark;
+  std::vector<std::uint32_t> worklist;  // reused across batches; clear() keeps capacity
+};
+
+inline Slab makeSlab(std::size_t n) {
+  Slab s;
+  s.remaining.resize(n);
+  s.rate.resize(n);
+  s.mark.resize(n);
+  s.worklist.reserve(n);
+  return s;
+}
+
+// wfslint: hot-begin(fixture-flow-settle) runs once per same-timestamp batch
+inline double settleBatch(Slab& s, std::uint32_t epoch) {
+  s.worklist.clear();
+  double total = 0;
+  for (std::size_t i = 0; i < s.remaining.size(); ++i) {
+    if (s.mark[i] != epoch) continue;
+    s.worklist.push_back(static_cast<std::uint32_t>(i));
+    total += s.rate[i];
+  }
+  for (const std::uint32_t slot : s.worklist) s.remaining[slot] -= s.rate[slot];
+  return total;
+}
+// wfslint: hot-end
+
+// wfslint: hot-begin(fixture-ready-scan) runs after every job completion
+inline int readyScan(std::vector<int>& indegree, std::vector<std::uint32_t>& readyOut) {
+  readyOut.clear();
+  int ready = 0;
+  for (std::size_t i = 0; i < indegree.size(); ++i) {
+    if (indegree[i] == 0) {
+      readyOut.push_back(static_cast<std::uint32_t>(i));
+      ++ready;
+    }
+  }
+  return ready;
+}
+// wfslint: hot-end
+
+}  // namespace fixture

@@ -1,0 +1,162 @@
+// Arena allocator tests: exact-size recycling, wholesale reset, and the
+// O(peak-live-state) reservation bound that makes per-world arenas safe for
+// long sweep runs (memory tracks the largest instant, not the event count).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "simcore/arena.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+
+namespace wfs::sim {
+namespace {
+
+TEST(Arena, ServesAlignedBlocksAndCountsThem) {
+  Arena a;
+  void* p = a.allocate(24);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  // Writable for the full request.
+  std::memset(p, 0xab, 24);
+  EXPECT_GE(a.bytesAllocated(), 24u);
+  EXPECT_GT(a.bytesReserved(), 0u);
+  EXPECT_EQ(a.chunkCount(), 1u);
+}
+
+TEST(Arena, ExactSizeRecyclingReusesTheSameBlock) {
+  Arena a;
+  void* first = a.allocate(64);
+  a.deallocate(first, 64);
+  void* second = a.allocate(64);
+  EXPECT_EQ(first, second) << "same-size churn must recycle, not bump";
+  EXPECT_EQ(a.recycleHits(), 1u);
+  // A different size class must not steal the freed block.
+  a.deallocate(second, 64);
+  void* other = a.allocate(128);
+  EXPECT_NE(other, second);
+}
+
+TEST(Arena, SteadyStateChurnReservesPeakNotTotal) {
+  Arena a;
+  // Warm up: reach steady state with kLive live blocks.
+  constexpr int kLive = 32;
+  constexpr std::size_t kSize = 256;
+  std::vector<void*> live;
+  for (int i = 0; i < kLive; ++i) live.push_back(a.allocate(kSize));
+  const std::uint64_t reservedAtPeak = a.bytesReserved();
+  const std::size_t chunksAtPeak = a.chunkCount();
+  // Churn far more blocks than the peak: each round frees and re-allocates
+  // every block. Reservation must not move — recycling serves everything.
+  for (int round = 0; round < 1000; ++round) {
+    for (void*& p : live) {
+      a.deallocate(p, kSize);
+      p = a.allocate(kSize);
+    }
+  }
+  EXPECT_EQ(a.bytesReserved(), reservedAtPeak);
+  EXPECT_EQ(a.chunkCount(), chunksAtPeak);
+  EXPECT_GE(a.recycleHits(), 1000u * kLive);
+  EXPECT_GE(a.bytesAllocated(), 1000u * kLive * kSize);
+}
+
+TEST(Arena, ResetKeepsChunksSoRepeatRunsDoNotReserveAgain) {
+  Arena a;
+  for (int i = 0; i < 100; ++i) static_cast<void>(a.allocate(512));
+  const std::uint64_t reserved = a.bytesReserved();
+  const std::size_t chunks = a.chunkCount();
+  a.reset();
+  // Same-shape second run: everything comes out of the retained chunks.
+  for (int i = 0; i < 100; ++i) static_cast<void>(a.allocate(512));
+  EXPECT_EQ(a.bytesReserved(), reserved);
+  EXPECT_EQ(a.chunkCount(), chunks);
+}
+
+TEST(Arena, ResetInvalidatesFreeListsWithoutLosingLargeBlocks) {
+  Arena a;
+  // A block past the bucket limit goes on the large list.
+  void* big = a.allocate(64 * 1024);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 64 * 1024);
+  const std::uint64_t reserved = a.bytesReserved();
+  a.reset();
+  // The large block is retained and reused for an equal-or-smaller request.
+  void* again = a.allocate(64 * 1024);
+  EXPECT_EQ(a.bytesReserved(), reserved);
+  std::memset(again, 0, 64 * 1024);
+}
+
+TEST(Arena, LargeBlockChurnRecyclesWithoutNewReservation) {
+  Arena a;
+  void* big = a.allocate(32 * 1024);
+  const std::uint64_t reserved = a.bytesReserved();
+  for (int i = 0; i < 50; ++i) {
+    a.deallocate(big, 32 * 1024);
+    big = a.allocate(32 * 1024);
+  }
+  EXPECT_EQ(a.bytesReserved(), reserved);
+}
+
+TEST(ArenaPool, TypedPoolRecyclesNodes) {
+  struct Node {
+    int v;
+    explicit Node(int x) : v{x} {}
+  };
+  Arena a;
+  Pool<Node> pool{a};
+  Node* n1 = pool.create(7);
+  EXPECT_EQ(n1->v, 7);
+  pool.destroy(n1);
+  Node* n2 = pool.create(9);
+  EXPECT_EQ(static_cast<void*>(n1), static_cast<void*>(n2));
+  EXPECT_EQ(n2->v, 9);
+  pool.destroy(n2);
+}
+
+TEST(ArenaAllocatorTest, VectorGrowthAndNullArenaFallback) {
+  Arena a;
+  {
+    std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>{&a}};
+    for (int i = 0; i < 10000; ++i) v.push_back(i);
+    EXPECT_EQ(v[9999], 9999);
+    EXPECT_GT(a.bytesAllocated(), 10000u * sizeof(int));
+  }
+  // Null-arena allocator must fall back to the system allocator.
+  std::vector<int, ArenaAllocator<int>> w;
+  for (int i = 0; i < 100; ++i) w.push_back(i);
+  EXPECT_EQ(w.back(), 99);
+}
+
+Task<void> tickOnce(Simulator& s) { co_await s.delay(Duration::millis(1)); }
+
+Task<void> spawner(Simulator& s, int rounds, int width) {
+  // Children are created inside run() dispatch, so their frames come out of
+  // the simulator's arena (frames built outside a run use the system
+  // allocator — the FrameArenaScope is only installed for the dispatch loop).
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < width; ++i) s.spawn(tickOnce(s));
+    co_await s.delay(Duration::millis(2));
+  }
+}
+
+TEST(ArenaFrames, SimulatorRunRecyclesCoroutineFrames) {
+  // Spawning the same coroutine shape repeatedly inside run() must reach a
+  // steady state where frames recycle through the simulator's arena instead
+  // of growing its reservation.
+  Simulator sim;
+  sim.spawn(spawner(sim, 5, 8));
+  sim.run();
+  const std::uint64_t reserved = sim.arena().bytesReserved();
+  ASSERT_GT(reserved, 0u);
+  sim.spawn(spawner(sim, 200, 8));
+  sim.run();
+  EXPECT_EQ(sim.arena().bytesReserved(), reserved)
+      << "steady-state spawn churn must not grow the arena";
+  EXPECT_GT(sim.arena().recycleHits(), 0u);
+}
+
+}  // namespace
+}  // namespace wfs::sim

@@ -183,6 +183,12 @@ const std::vector<RegexRule>& d8Rules() {
         "std::function type-erases through the heap; use sim::InlineFunction");
     add(R"(\bstd::make_(?:shared|unique)\b)",
         "shared/unique allocation inside a hot region");
+    add(R"(\bstd::o?stringstream\b)",
+        "stringstream buffers allocate per construction; format into a reused "
+        "buffer outside the region");
+    add(R"(\bstd::unordered_(?:map|set)\b)",
+        "hash-table construction allocates buckets inside a hot region; use a "
+        "slab index or reused arena-backed container");
     return r;
   }();
   return rules;
